@@ -1,0 +1,58 @@
+// Shared helpers for the per-table/figure bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "driver/report.h"
+#include "metrics/cycles.h"
+#include "programs/registry.h"
+#include "support/text.h"
+
+namespace jtam::bench {
+
+/// Scale selection: full paper-like defaults, or --quick for CI-speed runs.
+inline programs::Scale scale_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      return programs::Scale{12, 60, 10, 10, 12, 2, 40};
+    }
+  }
+  return programs::Scale{};
+}
+
+/// Run every paper workload under both back-ends with the given options.
+inline std::vector<driver::BackendPair> run_all(
+    const programs::Scale& scale, const driver::RunOptions& opts) {
+  std::vector<driver::BackendPair> out;
+  for (const programs::Workload& w : programs::paper_workloads(scale)) {
+    std::cerr << "  running " << w.name << " ...\n";
+    out.push_back(driver::run_both(w, opts));
+    driver::require_ok({&out.back().md, &out.back().am});
+  }
+  return out;
+}
+
+/// MD/AM cycle-ratio geometric mean across a set of runs at one config.
+inline double ratio_geomean(const std::vector<driver::BackendPair>& pairs,
+                            std::uint32_t size, std::uint32_t assoc,
+                            std::uint32_t penalty, bool exclude_ss = false) {
+  std::vector<double> rs;
+  for (const driver::BackendPair& p : pairs) {
+    if (exclude_ss && p.md.workload == "ss") continue;
+    rs.push_back(p.ratio(size, assoc, penalty));
+  }
+  return metrics::geomean(rs);
+}
+
+inline std::vector<std::string> size_labels() {
+  std::vector<std::string> out;
+  for (std::uint32_t s : cache::paper_cache_sizes()) {
+    out.push_back(std::to_string(s / 1024) + "K");
+  }
+  return out;
+}
+
+}  // namespace jtam::bench

@@ -1,0 +1,38 @@
+// Figure 3 — "The geometric means of the ratios of the total time taken for
+// the set of test programs in the MD to the AM implementation given
+// separate data and instruction caches", for miss penalties 12/24/48 and
+// associativities 1/2/4 over cache sizes 1K-128K.
+//
+// Expected shape: the ratio is lowest (MD strongest) at small and at large
+// caches, with the AM implementation closing the gap at medium sizes and
+// high penalties; direct-mapped caches favour MD ("there is little
+// difference between the ratios for 2- and 4-way ... but there is for
+// direct-mapped").
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace jtam;  // NOLINT(build/namespaces)
+  const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const driver::RunOptions opts;
+  const auto pairs = bench::run_all(scale, opts);
+
+  for (std::uint32_t penalty : cache::paper_miss_penalties()) {
+    std::vector<driver::Series> series;
+    for (std::uint32_t assoc : cache::paper_associativities()) {
+      driver::Series s;
+      s.name = std::to_string(assoc) + "-way";
+      for (std::uint32_t size : cache::paper_cache_sizes()) {
+        s.values.push_back(
+            bench::ratio_geomean(pairs, size, assoc, penalty));
+      }
+      series.push_back(std::move(s));
+    }
+    driver::print_ratio_table(
+        std::cout,
+        "Figure 3 (miss = " + std::to_string(penalty) +
+            " cycles): geomean MD/AM cycle ratio vs cache size",
+        bench::size_labels(), series);
+  }
+  return 0;
+}

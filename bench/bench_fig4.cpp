@@ -1,0 +1,41 @@
+// Figure 4 — "The ratio of the total cycles taken in the flat [MD]
+// implementation vs. the direct [AM] implementation for separate 4-way
+// set-associative data and instruction caches of varying sizes", one curve
+// per program plus the geometric mean, at miss penalties 12/24/48.
+//
+// Expected shape: curves order by granularity — mmt (finest) highest,
+// selection sort lowest; raising the penalty lifts the fine-grained curves
+// toward (and in the paper past) 1.0 at medium cache sizes.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace jtam;  // NOLINT(build/namespaces)
+  const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const driver::RunOptions opts;
+  const auto pairs = bench::run_all(scale, opts);
+
+  for (std::uint32_t penalty : cache::paper_miss_penalties()) {
+    std::vector<driver::Series> series;
+    for (const driver::BackendPair& p : pairs) {
+      driver::Series s;
+      s.name = p.md.workload;
+      for (std::uint32_t size : cache::paper_cache_sizes()) {
+        s.values.push_back(p.ratio(size, 4, penalty));
+      }
+      series.push_back(std::move(s));
+    }
+    driver::Series mean;
+    mean.name = "geomean";
+    for (std::uint32_t size : cache::paper_cache_sizes()) {
+      mean.values.push_back(bench::ratio_geomean(pairs, size, 4, penalty));
+    }
+    series.push_back(std::move(mean));
+    driver::print_ratio_table(
+        std::cout,
+        "Figure 4 (4-way set-associative, miss = " +
+            std::to_string(penalty) + " cycles): MD/AM per program",
+        bench::size_labels(), series);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// §2.4 extension — the combined approach the paper cites:
+//
+// "Another variation is to combine the two approaches, using the
+// message-driven approach for short threads and the Active Messages
+// approach for long threads, as is done with Optimistic Active Messages
+// [KWW+94].  In this study, however, our goal is to understand the
+// differences in behavior of the two pure systems."
+//
+// This bench explores the variation the paper set aside: handler-safe
+// thread chains execute directly at high priority (message-driven style),
+// everything else through the AM scheduling hierarchy.  Reported against
+// both pure systems.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace jtam;  // NOLINT(build/namespaces)
+  const programs::Scale scale = bench::scale_from_args(argc, argv);
+
+  text::Table t;
+  t.header({"Program", "MD instr", "AM instr", "OAM instr", "OAM/MD",
+            "OAM cycles@24 / MD", "/ AM"});
+  for (const programs::Workload& w : programs::paper_workloads(scale)) {
+    std::cerr << "  running " << w.name << " ...\n";
+    driver::RunOptions opts;
+    opts.backend = rt::BackendKind::MessageDriven;
+    driver::RunResult md = driver::run_workload(w, opts);
+    opts.backend = rt::BackendKind::ActiveMessages;
+    driver::RunResult am = driver::run_workload(w, opts);
+    opts.backend = rt::BackendKind::Hybrid;
+    driver::RunResult oam = driver::run_workload(w, opts);
+    driver::require_ok({&md, &am, &oam});
+    const double c_md = static_cast<double>(md.cycles(8192, 4, 24));
+    const double c_am = static_cast<double>(am.cycles(8192, 4, 24));
+    const double c_oam = static_cast<double>(oam.cycles(8192, 4, 24));
+    t.row({w.name, text::with_commas(md.instructions),
+           text::with_commas(am.instructions),
+           text::with_commas(oam.instructions),
+           text::fixed(static_cast<double>(oam.instructions) /
+                           md.instructions,
+                       2),
+           text::fixed(c_oam / c_md, 2), text::fixed(c_oam / c_am, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe hybrid should land between the pure systems: close "
+               "to MD's instruction counts\nwhere handler-safe chains "
+               "dominate, falling back to AM costs elsewhere.\n";
+  return 0;
+}

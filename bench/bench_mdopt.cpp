@@ -1,0 +1,60 @@
+// §2.3 ablation — the Message-Driven compiler optimizations.
+//
+// "Because inlets pass control directly to threads instead of placing them
+// into a continuation vector, a bigger region of code is open to
+// conventional optimization": inlet->thread fall-through, frame
+// store/reload elision, and stop->suspend conversion.  The paper presents
+// these as available improvements; this bench quantifies each one
+// cumulatively on top of the plain MD implementation.
+
+#include <cmath>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace jtam;  // NOLINT(build/namespaces)
+  const programs::Scale scale = bench::scale_from_args(argc, argv);
+
+  struct Level {
+    const char* name;
+    tamc::MdOptions md;
+  };
+  const Level levels[] = {
+      {"plain MD", tamc::MdOptions::none()},
+      {"+ inline fall-through", {true, false, false}},
+      {"+ frame-traffic elision", {true, true, false}},
+      {"+ stop->suspend", {true, true, true}},
+  };
+
+  text::Table t;
+  std::vector<std::string> head{"Program"};
+  for (const Level& l : levels) head.push_back(l.name);
+  t.header(head);
+
+  for (const programs::Workload& w : programs::paper_workloads(scale)) {
+    std::cerr << "  running " << w.name << " ...\n";
+    std::vector<std::string> row{w.name};
+    std::uint64_t base = 0;
+    for (const Level& l : levels) {
+      driver::RunOptions opts;
+      opts.backend = rt::BackendKind::MessageDriven;
+      opts.md = l.md;
+      opts.with_cache = false;
+      driver::RunResult r = driver::run_workload(w, opts);
+      driver::require_ok({&r});
+      if (base == 0) {
+        base = r.instructions;
+        row.push_back(text::with_commas(base) + " instr");
+      } else {
+        row.push_back(text::fixed(
+            100.0 * (1.0 - static_cast<double>(r.instructions) / base), 2) +
+            "% saved");
+      }
+    }
+    t.row(row);
+  }
+  t.print(std::cout);
+  std::cout << "\nEach column adds one §2.3 optimization; savings are "
+               "relative to the plain MD implementation.\n";
+  return 0;
+}

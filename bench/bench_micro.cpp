@@ -1,0 +1,99 @@
+// Micro-benchmarks of the simulator itself (google-benchmark): cache
+// access throughput, machine interpretation rate, compile time.  These
+// gate the practicality of the full sweeps, not the paper's results.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.h"
+#include "cache/cache_bank.h"
+#include "driver/experiment.h"
+#include "mdp/assembler.h"
+#include "mdp/machine.h"
+#include "programs/registry.h"
+#include "runtime/kernel.h"
+#include "tamc/lower.h"
+
+namespace {
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::SetAssocCache c(cache::CacheConfig{
+      static_cast<std::uint32_t>(state.range(0)), 64, 4});
+  std::uint32_t x = 12345;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(c.access((x >> 8) & 0xFFFFF0u, (x & 1) != 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(1024)->Arg(8192)->Arg(131072);
+
+void BM_CacheBankFanout(benchmark::State& state) {
+  cache::CacheBank bank = cache::CacheBank::paper_bank();
+  std::uint32_t x = 98765;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    bank.on_data((x >> 8) & 0xFFFFF0u, (x & 1) != 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheBankFanout);
+
+void BM_MachineInterpretation(benchmark::State& state) {
+  // A tight self-contained loop: decrement a register until zero, halt.
+  mdp::Assembler a;
+  a.section(mdp::Section::SysCode);
+  auto loop = a.label("loop");
+  a.movi(mdp::R0, 1'000'000);
+  a.bind(loop);
+  a.alui(mdp::Op::Subi, mdp::R0, mdp::R0, 1);
+  a.brnz(mdp::R0, loop);
+  a.halt(mdp::R0);
+  auto entry = a.here("entry_stub");
+  a.suspend();
+  (void)entry;
+  mdp::CodeImage img = a.link();
+  for (auto _ : state) {
+    mdp::Machine m(img);
+    std::uint32_t boot[] = {mem::kSysCodeBase};
+    m.inject(mdp::Priority::Low, boot);
+    benchmark::DoNotOptimize(m.run());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(
+                                m.instructions_executed()));
+  }
+}
+BENCHMARK(BM_MachineInterpretation)->Unit(benchmark::kMillisecond);
+
+void BM_CompileWorkload(benchmark::State& state) {
+  programs::Workload w = programs::make_mmt(8);
+  for (auto _ : state) {
+    tamc::CompileOptions opts;
+    opts.backend = state.range(0) == 0 ? rt::BackendKind::MessageDriven
+                                       : rt::BackendKind::ActiveMessages;
+    benchmark::DoNotOptimize(tamc::compile(w.program, opts));
+  }
+}
+BENCHMARK(BM_CompileWorkload)->Arg(0)->Arg(1);
+
+void BM_EndToEndWorkload(benchmark::State& state) {
+  programs::Workload w = programs::make_selection_sort(40);
+  for (auto _ : state) {
+    driver::RunOptions opts;
+    opts.backend = state.range(0) == 0 ? rt::BackendKind::MessageDriven
+                                       : rt::BackendKind::ActiveMessages;
+    opts.with_cache = state.range(1) != 0;
+    benchmark::DoNotOptimize(driver::run_workload(w, opts));
+  }
+}
+BENCHMARK(BM_EndToEndWorkload)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

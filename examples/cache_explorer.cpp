@@ -1,0 +1,64 @@
+// Cache explorer: run one of the paper's workloads under both back-ends
+// and dump the entire cache ladder — instruction/data misses and total
+// cycles for every geometry the paper sweeps.  Useful for seeing exactly
+// where the MD/AM trade-off flips for a given program.
+//
+// Usage:  ./build/examples/cache_explorer [mmt|qs|dtw|paraffins|wavefront|ss]
+
+#include <iostream>
+#include <string>
+
+#include "driver/experiment.h"
+#include "driver/report.h"
+#include "programs/registry.h"
+#include "support/text.h"
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "qs";
+  programs::Scale scale;
+  programs::Workload w = [&] {
+    if (which == "mmt") return programs::make_mmt(scale.mmt_n);
+    if (which == "qs") return programs::make_quicksort(scale.qs_n);
+    if (which == "dtw") return programs::make_dtw(scale.dtw_n);
+    if (which == "paraffins") return programs::make_paraffins(scale.paraffins_n);
+    if (which == "wavefront") {
+      return programs::make_wavefront(scale.wavefront_n,
+                                      scale.wavefront_steps);
+    }
+    if (which == "ss") return programs::make_selection_sort(scale.ss_n);
+    std::cerr << "unknown workload '" << which
+              << "' (mmt|qs|dtw|paraffins|wavefront|ss)\n";
+    std::exit(2);
+  }();
+
+  std::cout << w.description << "\n\n";
+  driver::BackendPair p = driver::run_both(w, driver::RunOptions{});
+  driver::require_ok({&p.md, &p.am});
+
+  for (const driver::RunResult* r : {&p.md, &p.am}) {
+    std::cout << "[" << rt::backend_name(r->backend) << "] "
+              << text::with_commas(r->instructions) << " instructions, "
+              << text::with_commas(r->counts.total_reads()) << " reads, "
+              << text::with_commas(r->counts.total_writes()) << " writes\n";
+  }
+  std::cout << "\n";
+
+  text::Table t;
+  t.header({"Config", "MD I-miss", "MD D-miss", "AM I-miss", "AM D-miss",
+            "MD/AM @12", "@24", "@48"});
+  for (const driver::ConfigResult& c : p.md.cache) {
+    const auto& cm = p.md.config(c.config.size_bytes, c.config.assoc);
+    const auto& ca = p.am.config(c.config.size_bytes, c.config.assoc);
+    t.row({c.config.name(), text::with_commas(cm.icache.misses),
+           text::with_commas(cm.dcache.misses),
+           text::with_commas(ca.icache.misses),
+           text::with_commas(ca.dcache.misses),
+           text::fixed(p.ratio(c.config.size_bytes, c.config.assoc, 12), 3),
+           text::fixed(p.ratio(c.config.size_bytes, c.config.assoc, 24), 3),
+           text::fixed(p.ratio(c.config.size_bytes, c.config.assoc, 48), 3)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Disassembly tool: show the MDP code the compiler generates for a paper
+// workload (or a .tam file) under any back-end — runtime kernel included.
+// Handy for studying exactly how the two scheduling regimes differ at the
+// instruction level (Table 1 made concrete).
+//
+// Usage:
+//   ./build/examples/disasm_tool qs md          # workload + backend
+//   ./build/examples/disasm_tool file.tam am    # textual program
+//   backends: md | am | am-enabled | oam
+
+#include <iostream>
+#include <string>
+
+#include "mdp/disasm.h"
+#include "programs/registry.h"
+#include "support/error.h"
+#include "tam/parser.h"
+#include "tamc/lower.h"
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: disasm_tool WORKLOAD|FILE.tam [md|am|am-enabled|oam]\n";
+    return 2;
+  }
+  const std::string which = argv[1];
+  const std::string be = argc > 2 ? argv[2] : "md";
+
+  tam::Program prog;
+  if (which.size() > 4 && which.substr(which.size() - 4) == ".tam") {
+    prog = tam::parse_program_file(which);
+  } else {
+    programs::Scale tiny{4, 8, 4, 4, 4, 1, 6};
+    bool found = false;
+    for (programs::Workload& w : programs::paper_workloads(tiny)) {
+      if (w.name == which) {
+        prog = w.program;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown workload '" << which
+                << "' (mmt|qs|dtw|paraffins|wavefront|ss or a .tam file)\n";
+      return 2;
+    }
+  }
+
+  tamc::CompileOptions opts;
+  if (be == "md") {
+    opts.backend = rt::BackendKind::MessageDriven;
+  } else if (be == "am") {
+    opts.backend = rt::BackendKind::ActiveMessages;
+  } else if (be == "am-enabled") {
+    opts.backend = rt::BackendKind::ActiveMessages;
+    opts.am_enabled_variant = true;
+  } else if (be == "oam") {
+    opts.backend = rt::BackendKind::Hybrid;
+  } else {
+    std::cerr << "unknown backend '" << be << "'\n";
+    return 2;
+  }
+
+  tamc::CompiledProgram cp = tamc::compile(prog, opts);
+  std::cout << "; program '" << prog.name << "', back-end "
+            << rt::backend_name(opts.backend) << "\n"
+            << "; " << cp.image.sys_code.size() << " kernel + "
+            << cp.image.user_code.size() << " user instructions\n\n"
+            << mdp::disasm(cp.image);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Quickstart: write a TAM program against the public API, compile it for
+// both scheduling back-ends, run it on the simulated J-Machine node, and
+// compare granularity and cache behaviour.
+//
+// The program computes sum(i*i) for i = 1..n with a single codeblock whose
+// loop thread re-forks itself — the smallest interesting TAM program.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart [n]
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+#include "support/text.h"
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+namespace {
+
+// Frame slots for our codeblock.
+constexpr tam::SlotId kN = 0;
+constexpr tam::SlotId kI = 1;
+constexpr tam::SlotId kSum = 2;
+
+programs::Workload make_sum_of_squares(int n) {
+  tam::Program prog;
+  prog.name = "sum_of_squares";
+
+  tam::CodeblockBuilder cb(prog, "sumsq", /*num_data_slots=*/3);
+  tam::ThreadId t_init = cb.declare_thread("init");
+  tam::ThreadId t_loop = cb.declare_thread("loop");
+  tam::ThreadId t_body = cb.declare_thread("body");
+  tam::ThreadId t_done = cb.declare_thread("done");
+  tam::InletId in_start = cb.declare_inlet("start", /*payload_words=*/1);
+
+  {
+    // The boot message delivers n; TAM inlets are short: store and post.
+    tam::BodyBuilder b = cb.define_inlet(in_start);
+    b.frame_store(kN, b.msg_load(0));
+    b.post(t_init);
+  }
+  {
+    tam::BodyBuilder b = cb.define_thread(t_init);
+    b.frame_store(kI, b.konst(1));
+    b.frame_store(kSum, b.konst(0));
+    b.forks({t_loop});
+  }
+  {
+    // Loop head: i <= n ?  Loop state lives in the frame, reloaded every
+    // iteration — the frame traffic the two back-ends schedule differently.
+    tam::BodyBuilder b = cb.define_thread(t_loop);
+    tam::VReg i = b.frame_load(kI);
+    tam::VReg nv = b.frame_load(kN);
+    tam::VReg c = b.bin(tam::BinOp::Le, i, nv);
+    b.cond_forks(c, {t_body}, {t_done});
+  }
+  {
+    tam::BodyBuilder b = cb.define_thread(t_body);
+    tam::VReg i = b.frame_load(kI);
+    tam::VReg sq = b.bin(tam::BinOp::Mul, i, i);
+    tam::VReg sum = b.frame_load(kSum);
+    tam::VReg s2 = b.bin(tam::BinOp::Add, sum, sq);
+    b.frame_store(kSum, s2);
+    tam::VReg i1 = b.bini(tam::BinOp::Add, i, 1);
+    b.frame_store(kI, i1);
+    b.forks({t_loop});  // tail fork compiles to a branch
+  }
+  {
+    tam::BodyBuilder b = cb.define_thread(t_done);
+    tam::VReg sum = b.frame_load(kSum);
+    b.send_halt(sum);
+    b.stop();
+  }
+  cb.finish();
+
+  programs::Workload w;
+  w.name = "sum_of_squares";
+  w.description = "quickstart example";
+  w.program = prog;
+  w.setup = [n](programs::SetupCtx& ctx) {
+    mem::Addr frame = ctx.alloc_frame(0);
+    ctx.send_to_inlet(0, 0, frame, {static_cast<std::uint32_t>(n)});
+  };
+  w.check = [n](const programs::CheckCtx& ctx) -> std::string {
+    std::uint32_t want = 0;
+    for (int i = 1; i <= n; ++i) want += static_cast<std::uint32_t>(i * i);
+    if (ctx.halt_value != want) {
+      return "got " + std::to_string(ctx.halt_value) + ", expected " +
+             std::to_string(want);
+    }
+    return {};
+  };
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::stoi(argv[1]) : 500;
+  programs::Workload w = make_sum_of_squares(n);
+
+  std::cout << "sum of squares 1.." << n
+            << " on the simulated J-Machine node\n\n";
+  for (rt::BackendKind backend : {rt::BackendKind::MessageDriven,
+                                  rt::BackendKind::ActiveMessages}) {
+    driver::RunOptions opts;
+    opts.backend = backend;
+    driver::RunResult r = driver::run_workload(w, opts);
+    std::cout << "[" << rt::backend_name(backend) << "] result "
+              << r.halt_value << " (" << (r.ok() ? "oracle ok" : r.check_error)
+              << "), " << text::with_commas(r.instructions)
+              << " instructions, TPQ " << text::fixed(r.gran.tpq(), 1)
+              << ", IPT " << text::fixed(r.gran.ipt(), 1) << "\n";
+    for (std::uint32_t size : {1024u, 8192u, 65536u}) {
+      const driver::ConfigResult& c = r.config(size, 4);
+      std::cout << "      " << c.config.name() << ": I-miss "
+                << c.icache.misses << ", D-miss " << c.dcache.misses
+                << ", cycles@24 "
+                << text::with_commas(r.cycles(size, 4, 24)) << "\n";
+    }
+  }
+  std::cout << "\nA single sequential loop favours the MD back-end: no "
+               "ready-thread bookkeeping,\nno scheduler — the message "
+               "queue is the task queue.\n";
+  return 0;
+}

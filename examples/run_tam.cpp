@@ -1,0 +1,55 @@
+// Generic runner for textual TAM programs: parse a .tam file, boot its
+// first codeblock with one integer argument, and execute it under all three
+// back-ends, reporting results and scheduling statistics.
+//
+// Convention: codeblock 0's inlet 0 receives the argument; the program
+// halts with its result.  See examples/programs/*.tam.
+//
+// Usage:  ./build/examples/run_tam examples/programs/pascal.tam [arg]
+
+#include <iostream>
+#include <string>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+#include "support/text.h"
+#include "tam/parser.h"
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: run_tam FILE.tam [int-arg]\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::uint32_t arg =
+      argc > 2 ? static_cast<std::uint32_t>(std::stoul(argv[2])) : 10;
+
+  programs::Workload w;
+  w.program = tam::parse_program_file(path);
+  w.name = w.program.name;
+  w.setup = [arg](programs::SetupCtx& ctx) {
+    mem::Addr frame = ctx.alloc_frame(0);
+    ctx.send_to_inlet(0, 0, frame, {arg});
+  };
+  w.check = [](const programs::CheckCtx&) { return std::string{}; };
+
+  std::cout << "program '" << w.name << "' (" << path << "), arg = " << arg
+            << "\n\n";
+  for (rt::BackendKind b : {rt::BackendKind::MessageDriven,
+                            rt::BackendKind::ActiveMessages,
+                            rt::BackendKind::Hybrid}) {
+    driver::RunOptions opts;
+    opts.backend = b;
+    driver::RunResult r = driver::run_workload(w, opts);
+    std::cout << "[" << rt::backend_name(b) << "]  "
+              << mdp::run_status_name(r.status) << ", result = "
+              << r.halt_value << ", "
+              << text::with_commas(r.instructions) << " instructions, "
+              << r.gran.threads << " threads / " << r.gran.quanta
+              << " quanta, cycles@8K/4-way/24 = "
+              << text::with_commas(r.cycles(8192, 4, 24)) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Scheduling trace: make Figure 1 visible.
+//
+// Runs a tiny two-frame program under both back-ends with a TraceSink that
+// prints every scheduling event (inlet starts, thread starts, activations,
+// system handlers).  Under AM, inlets run immediately at high priority and
+// the scheduler groups threads by frame; under MD, inlets wait in the
+// queue until the LCV drains and control flows straight from each inlet
+// into its thread.
+//
+// Usage:  ./build/examples/scheduling_trace [max_events]
+
+#include <iostream>
+#include <string>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+namespace {
+
+/// Prints one line per scheduling mark, annotated with priority level.
+class NarratingSink final : public mdp::TraceSink {
+ public:
+  explicit NarratingSink(int max_events) : budget_(max_events) {}
+  void on_fetch(mem::Addr, mdp::Priority) override {}
+  void on_read(mem::Addr, mdp::Priority) override {}
+  void on_write(mem::Addr, mdp::Priority) override {}
+  void on_mark(mdp::MarkKind kind, std::uint32_t aux,
+               mdp::Priority lvl) override {
+    if (budget_ <= 0) return;
+    const char* what = nullptr;
+    switch (kind) {
+      case mdp::MarkKind::ThreadStart: what = "thread start  "; break;
+      case mdp::MarkKind::InletStart: what = "inlet         "; break;
+      case mdp::MarkKind::SysStart: what = "system handler"; break;
+      case mdp::MarkKind::Activate: what = "ACTIVATE      "; break;
+      case mdp::MarkKind::FpCall: return;  // too noisy
+    }
+    --budget_;
+    std::cout << "    [" << (lvl == mdp::Priority::High ? "high" : "low ")
+              << "] " << what;
+    if (kind != mdp::MarkKind::SysStart) {
+      std::cout << "  frame=0x" << std::hex << aux << std::dec;
+    }
+    std::cout << "\n";
+  }
+
+ private:
+  int budget_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_events = argc > 1 ? std::stoi(argv[1]) : 40;
+  // A 2x2 matrix multiply: main + two concurrent row frames — just enough
+  // concurrency to show the interleaving difference.
+  programs::Workload w = programs::make_mmt(2);
+
+  for (rt::BackendKind backend : {rt::BackendKind::ActiveMessages,
+                                  rt::BackendKind::MessageDriven}) {
+    driver::RunOptions opts;
+    opts.backend = backend;
+    opts.with_cache = false;
+
+    driver::RunResult totals = driver::run_workload(w, opts);
+    std::cout << "=== " << rt::backend_name(backend) << " implementation ("
+              << totals.gran.inlets << " inlets, " << totals.gran.threads
+              << " threads, " << totals.gran.quanta << " quanta) ===\n"
+              << "  first " << max_events << " scheduling events:\n";
+
+    driver::PreparedRun prep = driver::prepare_run(w, opts);
+    NarratingSink sink(max_events);
+    prep.machine->set_sink(&sink);
+    prep.machine->run();
+    std::cout << "\n";
+  }
+  std::cout << "Under AM, inlets appear at high priority as soon as their "
+               "message arrives and the\nscheduler groups threads per "
+               "frame (ACTIVATE lines); under MD, each inlet appears\nat "
+               "low priority only after the LCV drains, flowing directly "
+               "into its thread\n(Figure 1 of the paper).\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "cache/cache.h"
+
+#include <bit>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace jtam::cache {
+
+namespace {
+bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+std::string CacheConfig::name() const {
+  std::ostringstream os;
+  os << (size_bytes >= 1024 ? size_bytes / 1024 : size_bytes)
+     << (size_bytes >= 1024 ? "K" : "B") << "/" << assoc << "-way/"
+     << block_bytes << "B";
+  return os.str();
+}
+
+void CacheConfig::validate() const {
+  JTAM_CHECK(is_pow2(size_bytes), "cache size must be a power of two");
+  JTAM_CHECK(is_pow2(block_bytes), "block size must be a power of two");
+  JTAM_CHECK(block_bytes >= 4, "block must hold at least one word");
+  JTAM_CHECK(is_pow2(assoc), "associativity must be a power of two");
+  JTAM_CHECK(size_bytes >= block_bytes * assoc,
+             "cache too small for one set of " + std::to_string(assoc) +
+                 " blocks of " + std::to_string(block_bytes) + " bytes");
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  block_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg_.block_bytes));
+  set_mask_ = cfg_.num_sets() - 1;
+  ways_.assign(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.assoc, Way{});
+}
+
+bool SetAssocCache::access(std::uint32_t addr, bool is_write) {
+  ++stats_.accesses;
+  const std::uint32_t block = addr >> block_shift_;
+  const std::uint32_t set = block & set_mask_;
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+
+  // Hit path: bump LRU ordering, mark dirty on write.
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].valid && base[w].tag == block) {
+      const std::uint32_t old = base[w].lru;
+      for (std::uint32_t v = 0; v < cfg_.assoc; ++v) {
+        if (base[v].valid && base[v].lru < old) ++base[v].lru;
+      }
+      base[w].lru = 0;
+      if (is_write) base[w].dirty = true;
+      return true;
+    }
+  }
+
+  // Miss: pick the invalid way if any, else the LRU way.
+  ++stats_.misses;
+  std::uint32_t victim = 0;
+  bool found_invalid = false;
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      found_invalid = true;
+      break;
+    }
+  }
+  if (!found_invalid) {
+    std::uint32_t worst = 0;
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+      if (base[w].lru >= worst) {
+        worst = base[w].lru;
+        victim = w;
+      }
+    }
+    if (base[victim].dirty) ++stats_.writebacks;
+  }
+
+  for (std::uint32_t v = 0; v < cfg_.assoc; ++v) {
+    if (base[v].valid) ++base[v].lru;
+  }
+  base[victim] = Way{block, /*valid=*/true, /*dirty=*/is_write, /*lru=*/0};
+  return false;
+}
+
+void SetAssocCache::reset() {
+  for (auto& w : ways_) w = Way{};
+  stats_ = CacheStats{};
+}
+
+bool SetAssocCache::contains(std::uint32_t addr) const {
+  const std::uint32_t block = addr >> block_shift_;
+  const std::uint32_t set = block & set_mask_;
+  const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].valid && base[w].tag == block) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint32_t> paper_cache_sizes() {
+  return {1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072};
+}
+
+std::vector<std::uint32_t> paper_associativities() { return {1, 2, 4}; }
+
+std::vector<std::uint32_t> paper_miss_penalties() { return {12, 24, 48}; }
+
+}  // namespace jtam::cache

@@ -1,0 +1,90 @@
+// Set-associative cache simulator.
+//
+// Models the caches of the paper's evaluation (§3.3): separate instruction
+// and write-back data caches, LRU replacement, 1/2/4-way associativity,
+// block sizes 8-64 bytes, total sizes 1K-128K.  Instructions take one cycle
+// plus the miss penalty on a cache miss; because the two TAM back-ends
+// execute different numbers of accesses, the paper compares absolute cycle
+// counts, never miss ratios — this module therefore reports raw access and
+// miss counts and leaves cycle arithmetic to metrics/cycles.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jtam::cache {
+
+/// Geometry of one cache.  Sizes are powers of two; `assoc` divides the
+/// number of blocks.
+struct CacheConfig {
+  std::uint32_t size_bytes = 8 * 1024;
+  std::uint32_t block_bytes = 64;
+  std::uint32_t assoc = 4;
+
+  std::uint32_t num_blocks() const { return size_bytes / block_bytes; }
+  std::uint32_t num_sets() const { return num_blocks() / assoc; }
+  std::string name() const;
+
+  /// Throws jtam::Error when the geometry is not realizable.
+  void validate() const;
+};
+
+/// Access/miss counters for one simulated cache.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;  // dirty blocks evicted (data caches only)
+
+  std::uint64_t hits() const { return accesses - misses; }
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / accesses;
+  }
+};
+
+/// One set-associative, write-back, write-allocate cache with true LRU
+/// replacement.  Tags are full block addresses so aliasing is impossible.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  /// Simulate one access.  Returns true on hit.
+  bool access(std::uint32_t addr, bool is_write);
+
+  /// Simulate a read access (convenience for instruction fetch).
+  bool read(std::uint32_t addr) { return access(addr, /*is_write=*/false); }
+
+  const CacheConfig& config() const { return cfg_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// Drop all cached blocks and counters.
+  void reset();
+
+  /// True if the block containing `addr` is currently resident.
+  bool contains(std::uint32_t addr) const;
+
+ private:
+  struct Way {
+    std::uint32_t tag = 0;   // block address (addr >> block_shift)
+    bool valid = false;
+    bool dirty = false;
+    std::uint32_t lru = 0;   // smaller == more recently used
+  };
+
+  CacheConfig cfg_;
+  std::uint32_t block_shift_;
+  std::uint32_t set_mask_;
+  std::vector<Way> ways_;    // num_sets * assoc, set-major
+  CacheStats stats_;
+};
+
+/// The per-program cache ladder the paper sweeps: 1K..128K in powers of two.
+std::vector<std::uint32_t> paper_cache_sizes();
+
+/// The associativities the paper simulates.
+std::vector<std::uint32_t> paper_associativities();
+
+/// The miss penalties (cycles) the paper evaluates.
+std::vector<std::uint32_t> paper_miss_penalties();
+
+}  // namespace jtam::cache

@@ -1,0 +1,56 @@
+// CacheBank: simulate many cache configurations in a single pass.
+//
+// The paper runs each (program, implementation) pair once on the instruction
+// simulator and feeds the reference stream into a cache simulator at many
+// geometries.  Storing multi-million-event traces is wasteful, so the bank
+// holds every configuration live and fans each fetch/read/write event out to
+// all of them.  Each configuration owns a split instruction/data pair, as in
+// the paper ("in all cases, we specified separate instruction and write-back
+// data caches").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace jtam::cache {
+
+/// One simulated split I/D cache pair.
+struct SplitCache {
+  explicit SplitCache(const CacheConfig& cfg) : icache(cfg), dcache(cfg) {}
+  SetAssocCache icache;
+  SetAssocCache dcache;
+};
+
+class CacheBank {
+ public:
+  /// Build a bank with one split pair per configuration.
+  explicit CacheBank(const std::vector<CacheConfig>& configs);
+
+  /// The full ladder of the paper: sizes 1K-128K x associativity 1/2/4 at a
+  /// given block size (64 B unless overridden — the size at which both
+  /// systems performed best, §3.3).
+  static CacheBank paper_bank(std::uint32_t block_bytes = 64);
+
+  void on_fetch(std::uint32_t addr) {
+    for (auto& c : caches_) c.icache.read(addr);
+  }
+  void on_data(std::uint32_t addr, bool is_write) {
+    for (auto& c : caches_) c.dcache.access(addr, is_write);
+  }
+
+  std::size_t size() const { return caches_.size(); }
+  const SplitCache& at(std::size_t i) const { return caches_[i]; }
+
+  /// Index of the configuration matching (size, assoc); throws if absent.
+  std::size_t find(std::uint32_t size_bytes, std::uint32_t assoc) const;
+
+  const std::vector<CacheConfig>& configs() const { return configs_; }
+
+ private:
+  std::vector<CacheConfig> configs_;
+  std::vector<SplitCache> caches_;
+};
+
+}  // namespace jtam::cache

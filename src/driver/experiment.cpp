@@ -1,0 +1,211 @@
+#include "driver/experiment.h"
+
+#include "mdp/multi.h"
+
+#include <memory>
+#include <utility>
+
+#include "runtime/kernel.h"
+#include "runtime/layout.h"
+#include "support/error.h"
+
+namespace jtam::driver {
+
+namespace {
+
+/// Write the codeblock descriptor table and entry-count templates into the
+/// system-table region, and initialize the OS globals — what the J-Machine
+/// boot loader established before user code ran.
+void install_runtime_state(mdp::Machine& m,
+                           const tamc::CompiledProgram& cp) {
+  using mem::Addr;
+  const auto& layouts = cp.layouts;
+  Addr tmpl_cursor = mem::kSysTableBase +
+                     static_cast<Addr>(rt::kMaxCodeblocks * rt::kCbDescBytes);
+  for (std::size_t cb = 0; cb < layouts.size(); ++cb) {
+    const rt::FrameLayout& fl = layouts[cb];
+    const Addr desc = mem::kSysTableBase +
+                      static_cast<Addr>(cb) * rt::kCbDescBytes;
+    m.store_word(desc + 0, static_cast<std::uint32_t>(fl.frame_bytes));
+    m.store_word(desc + 4, static_cast<std::uint32_t>(fl.ec_off));
+    m.store_word(desc + 8, static_cast<std::uint32_t>(fl.num_ec));
+    m.store_word(desc + 12, tmpl_cursor);
+    for (int e = 0; e < fl.num_ec; ++e) {
+      m.store_word(tmpl_cursor, static_cast<std::uint32_t>(fl.ec_init[e]));
+      tmpl_cursor += 4;
+    }
+    JTAM_CHECK(tmpl_cursor <= mem::kSysTableLimit,
+               "entry-count templates overflow the system table region");
+  }
+
+  // OS globals and the LCV stop sentinel.
+  m.store_word(rt::kGlLcvTop, rt::kLcvEmptyTop);
+  m.store_word(mem::kLcvBase, cp.lcv_sentinel());
+  m.store_word(rt::kGlCurFrame, 0);
+  m.store_word(rt::kGlSchedActive, 0);
+  m.store_word(rt::kGlFqHead, 0);
+  m.store_word(rt::kGlFqTail, 0);
+  for (int cb = 0; cb < rt::kMaxCodeblocks; ++cb) {
+    m.store_word(rt::kGlFreeHeads + static_cast<Addr>(4 * cb), 0);
+  }
+}
+
+}  // namespace
+
+std::uint64_t RunResult::cycles(std::uint32_t size_bytes, std::uint32_t assoc,
+                                std::uint32_t penalty) const {
+  const ConfigResult& c = config(size_bytes, assoc);
+  return metrics::total_cycles(instructions, c.icache, c.dcache, penalty);
+}
+
+const ConfigResult& RunResult::config(std::uint32_t size_bytes,
+                                      std::uint32_t assoc) const {
+  for (const ConfigResult& c : cache) {
+    if (c.config.size_bytes == size_bytes && c.config.assoc == assoc) {
+      return c;
+    }
+  }
+  throw Error("run has no cache configuration " + std::to_string(size_bytes) +
+              "B/" + std::to_string(assoc) + "-way");
+}
+
+PreparedRun prepare_run(const programs::Workload& w, const RunOptions& opts) {
+  tamc::CompileOptions copts;
+  copts.backend = opts.backend;
+  copts.am_enabled_variant = opts.am_enabled_variant;
+  copts.md = opts.md;
+  PreparedRun out{tamc::compile(w.program, copts), nullptr};
+
+  mdp::Machine::Config mcfg;
+  mcfg.queue_bytes = opts.queue_bytes;
+  mcfg.max_instructions = opts.max_instructions;
+  out.machine = std::make_unique<mdp::Machine>(out.compiled.image, mcfg);
+  mdp::Machine& m = *out.machine;
+  install_runtime_state(m, out.compiled);
+
+  // Host-side workload setup: heap arrays, root frame, boot messages.
+  programs::SetupCtx setup(m, out.compiled);
+  w.setup(setup);
+
+  // Reserve the deferred-read pool after the host heap, then start the
+  // runtime frame heap behind it.
+  const mem::Addr defer_base = setup.cursor();
+  const mem::Addr defer_limit = defer_base + (1u << 20);
+  JTAM_CHECK(defer_limit < mem::kUserDataLimit,
+             "no room for the deferred-read pool");
+  m.set_defer_pool(defer_base, defer_limit);
+  m.store_word(rt::kGlHeapBump, defer_limit);
+  return out;
+}
+
+RunResult run_workload(const programs::Workload& w, const RunOptions& opts) {
+  PreparedRun prep = prepare_run(w, opts);
+  mdp::Machine& m = *prep.machine;
+
+  std::optional<cache::CacheBank> bank;
+  if (opts.with_cache) bank.emplace(cache::CacheBank::paper_bank(opts.block_bytes));
+  metrics::StatsSink sink(opts.backend, bank ? &*bank : nullptr);
+  m.set_sink(&sink);
+
+  RunResult r;
+  r.workload = w.name;
+  r.backend = opts.backend;
+  r.status = m.run();
+  r.halt_value = m.halt_value();
+  r.instructions = m.instructions_executed();
+  r.gran = sink.granularity();
+  r.counts = sink.counts();
+  r.queue_high_water[0] = m.queue_high_water(mdp::Priority::Low);
+  r.queue_high_water[1] = m.queue_high_water(mdp::Priority::High);
+  if (bank) {
+    for (std::size_t i = 0; i < bank->size(); ++i) {
+      r.cache.push_back(ConfigResult{bank->configs()[i],
+                                     bank->at(i).icache.stats(),
+                                     bank->at(i).dcache.stats()});
+    }
+  }
+
+  if (r.status == mdp::RunStatus::Halted) {
+    programs::CheckCtx check{m, r.status, r.halt_value};
+    r.check_error = w.check(check);
+  } else {
+    r.check_error = std::string("machine did not halt: ") +
+                    mdp::run_status_name(r.status);
+  }
+  return r;
+}
+
+MultiRunResult run_workload_multi(const programs::Workload& w,
+                                  const RunOptions& opts, int num_nodes,
+                                  std::uint32_t latency) {
+  tamc::CompileOptions copts;
+  copts.backend = opts.backend;
+  copts.am_enabled_variant = opts.am_enabled_variant;
+  copts.md = opts.md;
+  copts.multi_node = true;
+  tamc::CompiledProgram cp = tamc::compile(w.program, copts);
+
+  mdp::MultiMachine::Config mc;
+  mc.num_nodes = num_nodes;
+  mc.latency = latency;
+  mc.queue_bytes = opts.queue_bytes;
+  mc.max_rounds = opts.max_instructions;
+  mdp::MultiMachine mm(cp.image, mc);
+
+  for (int n = 0; n < num_nodes; ++n) {
+    install_runtime_state(mm.node(n), cp);
+    mm.node(n).store_word(rt::kGlNodeId, static_cast<std::uint32_t>(n));
+  }
+
+  // Host-side setup lives on node 0 (initial arrays, the root frame).
+  programs::SetupCtx setup(mm.node(0), cp);
+  w.setup(setup);
+
+  for (int n = 0; n < num_nodes; ++n) {
+    const mem::Addr local_base =
+        n == 0 ? setup.cursor() : mem::kUserDataBase;
+    const mem::Addr global_base =
+        (static_cast<mem::Addr>(n) << 24) | local_base;
+    const mem::Addr defer_limit = global_base + (1u << 20);
+    mm.node(n).set_defer_pool(global_base, defer_limit);
+    mm.node(n).store_word(rt::kGlHeapBump, defer_limit);
+  }
+
+  MultiRunResult r;
+  r.workload = w.name;
+  r.backend = opts.backend;
+  r.num_nodes = num_nodes;
+  r.status = mm.run();
+  r.halt_value = mm.halt_value();
+  r.rounds = mm.rounds();
+  r.total_instructions = mm.total_instructions();
+  r.messages = mm.messages_sent();
+  for (int n = 0; n < num_nodes; ++n) {
+    r.per_node_instructions.push_back(mm.node(n).instructions_executed());
+  }
+  if (r.status == mdp::RunStatus::Halted) {
+    programs::CheckCtx check{mm.node(0), r.status, r.halt_value};
+    r.check_error = w.check(check);
+  } else {
+    r.check_error = std::string("ensemble did not halt: ") +
+                    mdp::run_status_name(r.status);
+  }
+  return r;
+}
+
+double BackendPair::ratio(std::uint32_t size_bytes, std::uint32_t assoc,
+                          std::uint32_t penalty) const {
+  return static_cast<double>(md.cycles(size_bytes, assoc, penalty)) /
+         static_cast<double>(am.cycles(size_bytes, assoc, penalty));
+}
+
+BackendPair run_both(const programs::Workload& w, RunOptions opts) {
+  BackendPair p;
+  opts.backend = rt::BackendKind::MessageDriven;
+  p.md = run_workload(w, opts);
+  opts.backend = rt::BackendKind::ActiveMessages;
+  p.am = run_workload(w, opts);
+  return p;
+}
+
+}  // namespace jtam::driver

@@ -1,0 +1,114 @@
+// Experiment driver: compile a workload for one back-end, load it onto a
+// fresh machine, run it while streaming every memory reference into the
+// granularity metrics and (optionally) the full cache ladder, and validate
+// the final state against the workload's oracle.
+//
+// This is the code path every bench binary uses; one simulation per
+// (workload, back-end) feeds all cache configurations simultaneously.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_bank.h"
+#include "metrics/cycles.h"
+#include "metrics/granularity.h"
+#include "programs/registry.h"
+#include "tamc/lower.h"
+
+namespace jtam::driver {
+
+struct RunOptions {
+  rt::BackendKind backend = rt::BackendKind::ActiveMessages;
+  bool am_enabled_variant = false;       // §2.4 ablation
+  /// §2.3 describes the MD inlet/thread optimizations as *possible* ("a
+  /// subset of these optimizations can be performed"), not as part of the
+  /// measured system — so the paper-faithful default is off; bench_mdopt
+  /// quantifies what they would have bought.
+  tamc::MdOptions md = tamc::MdOptions::none();
+  bool with_cache = true;
+  std::uint32_t block_bytes = 64;        // §3.3: 64-byte blocks by default
+  std::uint32_t queue_bytes = mem::kQueueBytes;
+  std::uint64_t max_instructions = 600'000'000ULL;
+};
+
+struct ConfigResult {
+  cache::CacheConfig config;
+  cache::CacheStats icache;
+  cache::CacheStats dcache;
+};
+
+struct RunResult {
+  std::string workload;
+  rt::BackendKind backend{};
+  mdp::RunStatus status{};
+  std::uint32_t halt_value = 0;
+  std::string check_error;  // empty == oracle passed
+  std::uint64_t instructions = 0;
+  metrics::Granularity gran;
+  metrics::AccessCounts counts;
+  std::vector<ConfigResult> cache;
+  std::uint32_t queue_high_water[2] = {0, 0};  // [low, high]
+
+  bool ok() const {
+    return status == mdp::RunStatus::Halted && check_error.empty();
+  }
+  /// Cycles at a given cache geometry and miss penalty.
+  std::uint64_t cycles(std::uint32_t size_bytes, std::uint32_t assoc,
+                       std::uint32_t penalty) const;
+  const ConfigResult& config(std::uint32_t size_bytes,
+                             std::uint32_t assoc) const;
+};
+
+/// Run one workload under one back-end.  Throws jtam::Error on simulator
+/// faults; scheduling deadlock and oracle mismatches are reported in the
+/// result instead so benches can flag them.
+RunResult run_workload(const programs::Workload& w, const RunOptions& opts);
+
+/// A compiled workload loaded onto a fresh machine, boot messages queued,
+/// ready to run — for callers that want to attach their own TraceSink or
+/// single-step (see examples/scheduling_trace.cpp).
+struct PreparedRun {
+  tamc::CompiledProgram compiled;
+  std::unique_ptr<mdp::Machine> machine;
+};
+PreparedRun prepare_run(const programs::Workload& w, const RunOptions& opts);
+
+/// Multi-node run (the paper's stated future work): the workload executes
+/// on `num_nodes` MDP nodes joined by a constant-latency network, frames
+/// placed round-robin.  Cache simulation is omitted (the paper's cache
+/// study is uniprocessor); the oracle still validates the results and the
+/// round clock gives a parallel-time estimate.
+struct MultiRunResult {
+  std::string workload;
+  rt::BackendKind backend{};
+  int num_nodes = 0;
+  mdp::RunStatus status{};
+  std::uint32_t halt_value = 0;
+  std::string check_error;
+  std::uint64_t rounds = 0;          // parallel steps (all nodes advance 1/round)
+  std::uint64_t total_instructions = 0;
+  std::uint64_t messages = 0;        // network messages (remote sends)
+  std::vector<std::uint64_t> per_node_instructions;
+  bool ok() const {
+    return status == mdp::RunStatus::Halted && check_error.empty();
+  }
+};
+MultiRunResult run_workload_multi(const programs::Workload& w,
+                                  const RunOptions& opts, int num_nodes,
+                                  std::uint32_t latency = 16);
+
+/// Run under both back-ends with otherwise identical options.
+struct BackendPair {
+  RunResult md;
+  RunResult am;
+  /// The paper's headline metric: MD cycles / AM cycles.
+  double ratio(std::uint32_t size_bytes, std::uint32_t assoc,
+               std::uint32_t penalty) const;
+};
+BackendPair run_both(const programs::Workload& w, RunOptions opts);
+
+}  // namespace jtam::driver

@@ -1,0 +1,48 @@
+#include "driver/report.h"
+
+#include <ostream>
+
+#include "support/error.h"
+#include "support/text.h"
+
+namespace jtam::driver {
+
+void print_run_summary(std::ostream& os, const RunResult& r) {
+  os << r.workload << " [" << rt::backend_name(r.backend) << "] "
+     << mdp::run_status_name(r.status) << ", "
+     << text::with_commas(r.instructions) << " instructions, TPQ "
+     << text::fixed(r.gran.tpq(), 1) << ", IPT "
+     << text::fixed(r.gran.ipt(), 1) << ", IPQ "
+     << text::fixed(r.gran.ipq(), 0);
+  if (!r.check_error.empty()) os << "  ORACLE-FAILED: " << r.check_error;
+  os << "\n";
+}
+
+void print_ratio_table(std::ostream& os, const std::string& title,
+                       const std::vector<std::string>& xs,
+                       const std::vector<Series>& series) {
+  os << title << "\n";
+  text::Table t;
+  std::vector<std::string> head{"x"};
+  for (const Series& s : series) head.push_back(s.name);
+  t.header(head);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row{xs[i]};
+    for (const Series& s : series) {
+      row.push_back(i < s.values.size() ? text::fixed(s.values[i], 3) : "-");
+    }
+    t.row(row);
+  }
+  t.print(os);
+  os << "\n";
+}
+
+void require_ok(const std::vector<const RunResult*>& runs) {
+  for (const RunResult* r : runs) {
+    JTAM_CHECK(r->ok(), "run '" + r->workload + "' [" +
+                            rt::backend_name(r->backend) +
+                            "] failed: " + r->check_error);
+  }
+}
+
+}  // namespace jtam::driver

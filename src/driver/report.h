@@ -1,0 +1,28 @@
+// Table/figure rendering helpers shared by the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+
+namespace jtam::driver {
+
+/// Print the standard run header (workload, status, instructions, oracle).
+void print_run_summary(std::ostream& os, const RunResult& r);
+
+/// Print an ASCII "figure": one line per x value with series columns —
+/// the textual equivalent of the paper's ratio-vs-cache-size plots.
+struct Series {
+  std::string name;
+  std::vector<double> values;  // one per x
+};
+void print_ratio_table(std::ostream& os, const std::string& title,
+                       const std::vector<std::string>& xs,
+                       const std::vector<Series>& series);
+
+/// Fail loudly (exit code) if any run in a set did not pass its oracle.
+void require_ok(const std::vector<const RunResult*>& runs);
+
+}  // namespace jtam::driver

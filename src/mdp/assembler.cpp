@@ -1,0 +1,94 @@
+#include "mdp/assembler.h"
+
+#include "support/error.h"
+
+namespace jtam::mdp {
+
+Addr CodeImage::symbol(const std::string& name) const {
+  auto it = symbols.find(name);
+  JTAM_CHECK(it != symbols.end(), "unknown symbol '" + name + "'");
+  return it->second;
+}
+
+Assembler::Assembler() = default;
+
+LabelRef Assembler::label(std::string name) {
+  labels_.push_back(LabelInfo{std::move(name), false, 0});
+  return LabelRef{static_cast<std::uint32_t>(labels_.size() - 1)};
+}
+
+void Assembler::bind(LabelRef l) {
+  JTAM_CHECK(l.id < labels_.size(), "bind of unknown label");
+  LabelInfo& info = labels_[l.id];
+  JTAM_CHECK(!info.bound, "label '" + info.name + "' bound twice");
+  info.bound = true;
+  info.addr = cursor();
+}
+
+LabelRef Assembler::here(std::string name) {
+  LabelRef l = label(std::move(name));
+  bind(l);
+  return l;
+}
+
+Addr Assembler::base_of(Section s) const {
+  return s == Section::SysCode ? mem::kSysCodeBase : mem::kUserCodeBase;
+}
+
+Addr Assembler::cursor() const {
+  return base_of(cur_) +
+         static_cast<Addr>(code_of(cur_).size()) * mem::kWordBytes;
+}
+
+Addr Assembler::emit(Instr i, ImmOrLabel imm, const char* comment) {
+  Addr at = cursor();
+  Pending p{i, false, 0};
+  p.instr.comment = comment;
+  if (imm.is_label()) {
+    p.has_fixup = true;
+    p.label_id = imm.label().id;
+  } else {
+    p.instr.imm = imm.imm();
+  }
+  code_of(cur_).push_back(p);
+  return at;
+}
+
+Addr Assembler::emit(Instr i, const char* comment) {
+  return emit(i, ImmOrLabel{i.imm}, comment);
+}
+
+CodeImage Assembler::link() const {
+  CodeImage img;
+  for (std::size_t li = 0; li < labels_.size(); ++li) {
+    const LabelInfo& info = labels_[li];
+    JTAM_CHECK(info.bound, "label '" +
+                               (info.name.empty() ? ("#" + std::to_string(li))
+                                                  : info.name) +
+                               "' was never bound");
+    if (!info.name.empty()) {
+      JTAM_CHECK(img.symbols.emplace(info.name, info.addr).second,
+                 "duplicate symbol '" + info.name + "'");
+    }
+  }
+  auto resolve = [&](const std::vector<Pending>& src,
+                     std::vector<Instr>& dst) {
+    dst.reserve(src.size());
+    for (const Pending& p : src) {
+      Instr i = p.instr;
+      if (p.has_fixup) {
+        i.imm = static_cast<std::int32_t>(labels_[p.label_id].addr);
+      }
+      dst.push_back(i);
+    }
+  };
+  resolve(code_of(Section::SysCode), img.sys_code);
+  resolve(code_of(Section::UserCode), img.user_code);
+  JTAM_CHECK(img.sys_code_limit() <= mem::kSysCodeLimit,
+             "system code overflows its region");
+  JTAM_CHECK(img.user_code_limit() <= mem::kUserCodeLimit,
+             "user code overflows its region");
+  return img;
+}
+
+}  // namespace jtam::mdp

@@ -1,0 +1,208 @@
+// Two-section symbolic assembler for the MDP ISA.
+//
+// The runtime kernel is emitted into the system-code section and compiled
+// TAM inlets/threads into the user-code section; labels are global, so user
+// code can call runtime entry points (rt_post, the FP library, ...) and the
+// runtime can reference user handlers.  `link()` resolves all label fixups
+// and produces a CodeImage that the Machine loads.
+//
+// Emission style: each emit_* method appends one instruction at the current
+// section cursor and returns its address.  Immediate operands may be plain
+// integers or `LabelRef`s, which are patched at link time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "mdp/isa.h"
+#include "mem/memory_map.h"
+
+namespace jtam::mdp {
+
+using mem::Addr;
+
+enum class Section : std::uint8_t { SysCode = 0, UserCode = 1 };
+
+/// Opaque label handle.  Obtain via Assembler::label(); bind with bind().
+struct LabelRef {
+  std::uint32_t id = 0;
+};
+
+/// An immediate operand: either a literal or a label to resolve.
+class ImmOrLabel {
+ public:
+  ImmOrLabel(std::int32_t v) : v_(v) {}          // NOLINT(runtime/explicit)
+  ImmOrLabel(LabelRef l) : v_(l) {}              // NOLINT(runtime/explicit)
+  bool is_label() const { return std::holds_alternative<LabelRef>(v_); }
+  std::int32_t imm() const { return std::get<std::int32_t>(v_); }
+  LabelRef label() const { return std::get<LabelRef>(v_); }
+
+ private:
+  std::variant<std::int32_t, LabelRef> v_;
+};
+
+/// Result of linking: both code sections plus the symbol table.
+struct CodeImage {
+  std::vector<Instr> sys_code;   // starts at mem::kSysCodeBase
+  std::vector<Instr> user_code;  // starts at mem::kUserCodeBase
+  std::unordered_map<std::string, Addr> symbols;
+
+  Addr sys_code_limit() const {
+    return mem::kSysCodeBase +
+           static_cast<Addr>(sys_code.size()) * mem::kWordBytes;
+  }
+  Addr user_code_limit() const {
+    return mem::kUserCodeBase +
+           static_cast<Addr>(user_code.size()) * mem::kWordBytes;
+  }
+  /// Address of a named label; throws if unknown.
+  Addr symbol(const std::string& name) const;
+};
+
+class Assembler {
+ public:
+  Assembler();
+
+  // --- labels ---------------------------------------------------------
+  /// Create a fresh label.  `name` is optional; named labels appear in the
+  /// linked symbol table and must be unique.
+  LabelRef label(std::string name = {});
+  /// Bind `l` to the current cursor of the current section.
+  void bind(LabelRef l);
+  /// label() + bind() in one step.
+  LabelRef here(std::string name = {});
+
+  // --- sections -------------------------------------------------------
+  void section(Section s) { cur_ = s; }
+  Section current_section() const { return cur_; }
+  /// Address the next instruction will occupy.
+  Addr cursor() const;
+
+  // --- raw emission ---------------------------------------------------
+  Addr emit(Instr i, ImmOrLabel imm, const char* comment = nullptr);
+  Addr emit(Instr i, const char* comment = nullptr);
+
+  // --- convenience emitters (one per opcode family) --------------------
+  Addr nop() { return emit({Op::Nop}); }
+  Addr halt(Reg rs) { return emit({Op::Halt, 0, rs}); }
+  Addr alu(Op op, Reg rd, Reg rs, Reg rt, const char* c = nullptr) {
+    return emit({op, rd, rs, rt}, c);
+  }
+  Addr alui(Op op, Reg rd, Reg rs, ImmOrLabel imm, const char* c = nullptr) {
+    return emit({op, rd, rs}, imm, c);
+  }
+  Addr movi(Reg rd, ImmOrLabel imm, const char* c = nullptr) {
+    return emit({Op::Movi, rd}, imm, c);
+  }
+  Addr mov(Reg rd, Reg rs, const char* c = nullptr) {
+    return emit({Op::Mov, rd, rs}, c);
+  }
+  Addr ld(Reg rd, Reg rs, std::int32_t off, const char* c = nullptr) {
+    return emit({Op::Ld, rd, rs, 0, 0, off}, c);
+  }
+  Addr st(Reg rs_addr, std::int32_t off, Reg rt_val,
+          const char* c = nullptr) {
+    return emit({Op::St, 0, rs_addr, rt_val, 0, off}, c);
+  }
+  /// M[rs + off] = imm (imm may be a label, e.g. a thread address).
+  Addr sti(Reg rs_addr, std::int32_t off, ImmOrLabel imm,
+           const char* c = nullptr) {
+    return emit({Op::Sti, 0, rs_addr, 0, 0, off}, imm, c);
+  }
+  /// rd = M[abs] (absolute address, typically an OS global).
+  Addr ldg(Reg rd, ImmOrLabel abs, const char* c = nullptr) {
+    return emit({Op::Ldg, rd}, abs, c);
+  }
+  /// M[abs] = rs.
+  Addr stg(Reg rs, ImmOrLabel abs, const char* c = nullptr) {
+    return emit({Op::Stg, 0, rs}, abs, c);
+  }
+  Addr ldm(Reg rd, std::int32_t off, const char* c = nullptr) {
+    return emit({Op::Ldm, rd, 0, 0, 0, off}, c);
+  }
+  Addr br(ImmOrLabel target, const char* c = nullptr) {
+    return emit({Op::Br}, target, c);
+  }
+  Addr brz(Reg rs, ImmOrLabel target, const char* c = nullptr) {
+    return emit({Op::Brz, 0, rs}, target, c);
+  }
+  Addr brnz(Reg rs, ImmOrLabel target, const char* c = nullptr) {
+    return emit({Op::Brnz, 0, rs}, target, c);
+  }
+  Addr jmp(Reg rs, const char* c = nullptr) {
+    return emit({Op::Jmp, 0, rs}, c);
+  }
+  Addr call(ImmOrLabel target, const char* c = nullptr) {
+    return emit({Op::Call}, target, c);
+  }
+  Addr callr(Reg rs, const char* c = nullptr) {
+    return emit({Op::Callr, 0, rs}, c);
+  }
+  Addr ret() { return emit({Op::Ret}); }
+  Addr sendh() { return emit({Op::SendH}); }
+  Addr sendl() { return emit({Op::SendL}); }
+  Addr sendw(Reg rs, const char* c = nullptr) {
+    return emit({Op::SendW, 0, rs}, c);
+  }
+  Addr sendwi(ImmOrLabel imm, const char* c = nullptr) {
+    return emit({Op::SendWi}, imm, c);
+  }
+  Addr sendd(Reg rs, const char* c = nullptr) {
+    return emit({Op::SendD, 0, rs}, c);
+  }
+  Addr senddr(const char* c = nullptr) { return emit({Op::SendDr}, c); }
+  Addr sende() { return emit({Op::SendE}); }
+  Addr suspend() { return emit({Op::Suspend}); }
+  Addr eint() { return emit({Op::Eint}); }
+  Addr dint() { return emit({Op::Dint}); }
+  Addr itagld(Reg rd, Reg rs_addr, Reg rt_tag, const char* c = nullptr) {
+    return emit({Op::Itagld, rd, rs_addr, rt_tag}, c);
+  }
+  Addr itagst(Reg rs_addr, Reg rt_val, const char* c = nullptr) {
+    return emit({Op::Itagst, 0, rs_addr, rt_val}, c);
+  }
+  Addr idefer(Reg rs_addr, Reg rt_inlet, Reg rd_frame,
+              const char* c = nullptr) {
+    return emit({Op::Idefer, rd_frame, rs_addr, rt_inlet}, c);
+  }
+  Addr idhead(Reg rd, Reg rs_addr, const char* c = nullptr) {
+    return emit({Op::Idhead, rd, rs_addr}, c);
+  }
+  Addr mark(MarkKind k, Reg aux = R0) {
+    return emit({Op::Mark, 0, aux, 0, static_cast<std::int32_t>(k)});
+  }
+
+  // --- linking ----------------------------------------------------------
+  /// Resolve fixups and return the image.  Throws on unbound labels.
+  CodeImage link() const;
+
+  std::size_t sys_size() const { return sys_[0].size(); }
+  std::size_t user_size() const { return sys_[1].size(); }
+
+ private:
+  struct Pending {
+    Instr instr;
+    bool has_fixup = false;
+    std::uint32_t label_id = 0;
+  };
+  struct LabelInfo {
+    std::string name;
+    bool bound = false;
+    Addr addr = 0;
+  };
+
+  Addr base_of(Section s) const;
+  std::vector<Pending>& code_of(Section s) { return sys_[static_cast<int>(s)]; }
+  const std::vector<Pending>& code_of(Section s) const {
+    return sys_[static_cast<int>(s)];
+  }
+
+  Section cur_ = Section::SysCode;
+  std::vector<Pending> sys_[2];  // indexed by Section
+  std::vector<LabelInfo> labels_;
+};
+
+}  // namespace jtam::mdp

@@ -1,0 +1,131 @@
+#include "mdp/disasm.h"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace jtam::mdp {
+
+namespace {
+
+std::string reg_name(std::uint8_t r) { return "r" + std::to_string(r); }
+
+}  // namespace
+
+std::string disasm(const Instr& in) {
+  std::ostringstream os;
+  os << op_name(in.op);
+  switch (in.op) {
+    case Op::Nop: case Op::Ret: case Op::SendH: case Op::SendL:
+    case Op::SendE: case Op::Suspend: case Op::Eint: case Op::Dint:
+      break;
+    case Op::Halt:
+      os << " " << reg_name(in.rs);
+      break;
+    case Op::Add: case Op::Sub: case Op::Mul: case Op::Divs: case Op::Mods:
+    case Op::And: case Op::Or: case Op::Xor: case Op::Shl: case Op::Shr:
+    case Op::Slt: case Op::Sle: case Op::Seq: case Op::Sne:
+    case Op::Fadd: case Op::Fsub: case Op::Fmul: case Op::Fdiv:
+    case Op::Flt: case Op::Feq:
+      os << " " << reg_name(in.rd) << ", " << reg_name(in.rs) << ", "
+         << reg_name(in.rt);
+      break;
+    case Op::Itof: case Op::Ftoi: case Op::Mov:
+      os << " " << reg_name(in.rd) << ", " << reg_name(in.rs);
+      break;
+    case Op::Addi: case Op::Subi: case Op::Muli: case Op::Andi: case Op::Ori:
+    case Op::Shli: case Op::Shri: case Op::Slti:
+      os << " " << reg_name(in.rd) << ", " << reg_name(in.rs) << ", "
+         << in.imm;
+      break;
+    case Op::Movi:
+      os << " " << reg_name(in.rd) << ", " << in.imm;
+      break;
+    case Op::Ld:
+      os << " " << reg_name(in.rd) << ", [" << reg_name(in.rs) << "+"
+         << in.off << "]";
+      break;
+    case Op::St:
+      os << " [" << reg_name(in.rs) << "+" << in.off << "], "
+         << reg_name(in.rt);
+      break;
+    case Op::Sti:
+      os << " [" << reg_name(in.rs) << "+" << in.off << "], 0x" << std::hex
+         << in.imm;
+      break;
+    case Op::Ldg:
+      os << " " << reg_name(in.rd) << ", [0x" << std::hex << in.imm << "]";
+      break;
+    case Op::Stg:
+      os << " [0x" << std::hex << in.imm << "], " << std::dec
+         << reg_name(in.rs);
+      break;
+    case Op::Ldm:
+      os << " " << reg_name(in.rd) << ", [MB+" << in.off << "]";
+      break;
+    case Op::Br:
+      os << " 0x" << std::hex << in.imm;
+      break;
+    case Op::Brz: case Op::Brnz:
+      os << " " << reg_name(in.rs) << ", 0x" << std::hex << in.imm;
+      break;
+    case Op::Jmp: case Op::Callr:
+      os << " " << reg_name(in.rs);
+      break;
+    case Op::Call:
+      os << " 0x" << std::hex << in.imm;
+      break;
+    case Op::SendW:
+    case Op::SendD:
+      os << " " << reg_name(in.rs);
+      break;
+    case Op::SendDr:
+      break;
+    case Op::SendWi:
+      os << " 0x" << std::hex << in.imm;
+      break;
+    case Op::Itagld:
+      os << " " << reg_name(in.rd) << ", [" << reg_name(in.rs) << "], tag->"
+         << reg_name(in.rt);
+      break;
+    case Op::Itagst:
+      os << " [" << reg_name(in.rs) << "], " << reg_name(in.rt);
+      break;
+    case Op::Idefer:
+      os << " [" << reg_name(in.rs) << "], inlet=" << reg_name(in.rt)
+         << ", frame=" << reg_name(in.rd);
+      break;
+    case Op::Idhead:
+      os << " " << reg_name(in.rd) << ", [" << reg_name(in.rs) << "]";
+      break;
+    case Op::Mark:
+      os << " kind=" << in.imm << ", aux=" << reg_name(in.rs);
+      break;
+  }
+  if (in.comment != nullptr) os << "  ; " << in.comment;
+  return os.str();
+}
+
+std::string disasm(const CodeImage& img) {
+  // Invert the symbol table so each address shows its labels.
+  std::multimap<Addr, std::string> by_addr;
+  for (const auto& [name, addr] : img.symbols) by_addr.emplace(addr, name);
+
+  std::ostringstream os;
+  auto dump = [&](const std::vector<Instr>& code, Addr base,
+                  const char* title) {
+    os << "; --- " << title << " ---\n";
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      Addr a = base + static_cast<Addr>(i) * mem::kWordBytes;
+      auto [lo, hi] = by_addr.equal_range(a);
+      for (auto it = lo; it != hi; ++it) os << it->second << ":\n";
+      os << "  0x" << std::hex << std::setw(6) << std::setfill('0') << a
+         << std::dec << std::setfill(' ') << "  " << disasm(code[i]) << "\n";
+    }
+  };
+  dump(img.sys_code, mem::kSysCodeBase, "system code");
+  dump(img.user_code, mem::kUserCodeBase, "user code");
+  return os.str();
+}
+
+}  // namespace jtam::mdp

@@ -1,0 +1,17 @@
+// Disassembler for debugging generated code.
+#pragma once
+
+#include <string>
+
+#include "mdp/assembler.h"
+#include "mdp/isa.h"
+
+namespace jtam::mdp {
+
+/// Render one instruction ("add r1, r2, r3  ; comment").
+std::string disasm(const Instr& in);
+
+/// Render a whole image with addresses and symbol annotations.
+std::string disasm(const CodeImage& img);
+
+}  // namespace jtam::mdp

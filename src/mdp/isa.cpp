@@ -1,0 +1,99 @@
+#include "mdp/isa.h"
+
+namespace jtam::mdp {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Nop: return "nop";
+    case Op::Halt: return "halt";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Divs: return "divs";
+    case Op::Mods: return "mods";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Xor: return "xor";
+    case Op::Shl: return "shl";
+    case Op::Shr: return "shr";
+    case Op::Slt: return "slt";
+    case Op::Sle: return "sle";
+    case Op::Seq: return "seq";
+    case Op::Sne: return "sne";
+    case Op::Addi: return "addi";
+    case Op::Subi: return "subi";
+    case Op::Muli: return "muli";
+    case Op::Andi: return "andi";
+    case Op::Ori: return "ori";
+    case Op::Shli: return "shli";
+    case Op::Shri: return "shri";
+    case Op::Slti: return "slti";
+    case Op::Movi: return "movi";
+    case Op::Mov: return "mov";
+    case Op::Fadd: return "fadd";
+    case Op::Fsub: return "fsub";
+    case Op::Fmul: return "fmul";
+    case Op::Fdiv: return "fdiv";
+    case Op::Flt: return "flt";
+    case Op::Feq: return "feq";
+    case Op::Itof: return "itof";
+    case Op::Ftoi: return "ftoi";
+    case Op::Ld: return "ld";
+    case Op::St: return "st";
+    case Op::Sti: return "sti";
+    case Op::Ldg: return "ldg";
+    case Op::Stg: return "stg";
+    case Op::Ldm: return "ldm";
+    case Op::Br: return "br";
+    case Op::Brz: return "brz";
+    case Op::Brnz: return "brnz";
+    case Op::Jmp: return "jmp";
+    case Op::Call: return "call";
+    case Op::Callr: return "callr";
+    case Op::Ret: return "ret";
+    case Op::SendH: return "sendh";
+    case Op::SendL: return "sendl";
+    case Op::SendW: return "sendw";
+    case Op::SendWi: return "sendwi";
+    case Op::SendD: return "sendd";
+    case Op::SendDr: return "senddr";
+    case Op::SendE: return "sende";
+    case Op::Suspend: return "suspend";
+    case Op::Eint: return "eint";
+    case Op::Dint: return "dint";
+    case Op::Itagld: return "itagld";
+    case Op::Itagst: return "itagst";
+    case Op::Idefer: return "idefer";
+    case Op::Idhead: return "idhead";
+    case Op::Mark: return "mark";
+  }
+  return "?";
+}
+
+bool op_reads_memory(Op op) {
+  switch (op) {
+    case Op::Ld:
+    case Op::Ldg:
+    case Op::Ldm:
+    case Op::Itagld:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_writes_memory(Op op) {
+  switch (op) {
+    case Op::St:
+    case Op::Sti:
+    case Op::Stg:
+    case Op::Itagst:
+    case Op::Idefer:  // writes the 3-word deferred node
+    case Op::SendE:   // writes the message into queue memory
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace jtam::mdp

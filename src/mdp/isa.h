@@ -1,0 +1,163 @@
+// Instruction set of the simulated Message-Driven Processor (MDP).
+//
+// This is a word-oriented RISC-like ISA modelled on the mechanisms of the
+// MIT J-Machine's MDP that matter for the paper's experiment:
+//
+//  * two complete priority levels, each with its own register bank and a
+//    4 KB hardware message queue buffered directly into memory;
+//  * message dispatch on suspend: a handler ends with SUSPEND, which
+//    consumes the current message and dispatches the next one;
+//  * arrival of a high-priority message preempts low-priority computation
+//    (unless the low level has disabled interrupts with DINT);
+//  * SEND composes a message in an internal (per-level) buffer and SENDE
+//    injects it, writing the words into the destination queue's memory —
+//    modelling the paper's observation that hardware buffering consumes
+//    cache space and memory bandwidth;
+//  * tagged memory: I-structure presence tags are held alongside words
+//    (free, as the MDP's tag bits were part of its 36-bit words), with
+//    assist ops for deferred-read lists.
+//
+// Instructions uniformly occupy one 4-byte word for instruction-cache
+// purposes and take one cycle plus memory access time (§3.3: "instructions
+// were assumed to uniformly take one cycle, not counting memory access
+// time").  MARK is a zero-cost instrumentation op that produces no fetch
+// event and no cycle; the compiler and runtime use it to delimit threads,
+// inlets, and quanta for the granularity statistics of Table 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jtam::mdp {
+
+/// General-purpose registers.  Each priority level has its own bank of
+/// eight, so switching level moves no state through memory.
+enum Reg : std::uint8_t {
+  R0 = 0,
+  R1 = 1,
+  R2 = 2,
+  R3 = 3,
+  R4 = 4,
+  R5 = 5,  // scratch register used by control sequences (LCV pop/push)
+  R6 = 6,  // frame pointer during thread/inlet execution (kRegFp)
+  R7 = 7,  // link register for CALL/RET (kRegLr)
+};
+
+inline constexpr Reg kRegScratch = R5;
+inline constexpr Reg kRegFp = R6;
+inline constexpr Reg kRegLr = R7;
+inline constexpr int kNumRegs = 8;
+
+enum class Priority : std::uint8_t { Low = 0, High = 1 };
+
+inline constexpr const char* priority_name(Priority p) {
+  return p == Priority::Low ? "low" : "high";
+}
+
+enum class Op : std::uint8_t {
+  Nop,
+  Halt,  // stop the machine; halt value taken from reg rs
+
+  // ALU, register-register: rd = rs OP rt
+  Add, Sub, Mul, Divs, Mods, And, Or, Xor, Shl, Shr,
+  Slt,  // rd = (int)rs <  (int)rt
+  Sle,  // rd = (int)rs <= (int)rt
+  Seq,  // rd = rs == rt
+  Sne,  // rd = rs != rt
+
+  // ALU, register-immediate: rd = rs OP imm
+  Addi, Subi, Muli, Andi, Ori, Shli, Shri,
+  Slti,  // rd = (int)rs < imm
+
+  // Moves
+  Movi,  // rd = imm (imm may be a label address after assembly)
+  Mov,   // rd = rs
+
+  // IEEE-754 single precision on register bit patterns.  Only the software
+  // floating-point library in system code issues these; user threads call
+  // the library, paying its instruction cost, as on the FPU-less MDP.
+  Fadd, Fsub, Fmul, Fdiv,
+  Flt,   // rd = (float)rs < (float)rt
+  Feq,
+  Itof,  // rd = (float)(int)rs
+  Ftoi,  // rd = (int)(float)rs
+
+  // Memory (word accesses; addresses must be word aligned)
+  Ld,   // rd = M[rs + off]
+  St,   // M[rs + off] = rt
+  Sti,  // M[rs + off] = imm (store constant: thread addresses, entry counts)
+  Ldg,  // rd = M[imm]  (absolute: OS globals such as the LCV top pointer)
+  Stg,  // M[imm] = rs  (absolute store)
+  Ldm,  // rd = M[MB + off]; fetch an operand of the current message straight
+        // out of the hardware queue (a data read in the sys-data region)
+
+  // Control
+  Br,    // pc = imm
+  Brz,   // if rs == 0: pc = imm
+  Brnz,  // if rs != 0: pc = imm
+  Jmp,   // pc = rs
+  Call,  // LR = return addr; pc = imm
+  Callr, // LR = return addr; pc = rs
+  Ret,   // pc = LR
+
+  // Messaging
+  SendH,   // begin composing a message bound for the high-priority queue
+  SendL,   // begin composing a message bound for the low-priority queue
+  SendW,   // append register rs to the composing message
+  SendWi,  // append immediate (typically a handler label) to it
+  SendD,   // set the composing message's destination node from rs
+           // (multi-node only; default is the local node)
+  SendDr,  // set the destination to the allocator's round-robin next node
+           // (multi-node frame placement assist)
+  SendE,   // inject: write the words into the destination queue's memory
+           // (or hand them to the network when the destination is remote)
+
+  // Scheduling
+  Suspend,  // end handler: consume current message, dispatch next
+  Eint,     // allow high-priority arrivals to preempt low-priority code
+  Dint,     // forbid it (thread control sections, §2.1 atomicity)
+
+  // Tagged-memory assists (I-structure support; see runtime/istructure.h).
+  Itagld,  // rd = M[rs]; rt = presence tag of that word (one data read)
+  Itagst,  // M[rs] = rt and set the presence tag (one data write)
+  Idefer,  // append deferred-read record {inlet=rt, frame=rd} to the list
+           // for address rs; allocates a 3-word node (three data writes)
+  Idhead,  // rd = address of first deferred node for address rs (0 if none)
+           // and detach the list (tag-side operation, no memory event)
+
+  // Instrumentation: no fetch event, no cycle.  imm = MarkKind,
+  // rs = auxiliary register (frame pointer for thread/inlet marks).
+  Mark,
+};
+
+/// Marker kinds used for granularity accounting.
+enum class MarkKind : std::int32_t {
+  ThreadStart = 1,  // aux = frame pointer
+  InletStart = 2,   // aux = frame pointer
+  SysStart = 3,     // scheduler / idle / system code at low priority
+  Activate = 4,     // AM scheduler activated a frame (aux = frame pointer)
+  FpCall = 5,       // entry into the floating-point library
+};
+
+/// One decoded instruction.  `comment` points at a static string written by
+/// the code generators and is used only by the disassembler.
+struct Instr {
+  Op op = Op::Nop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::int32_t imm = 0;  // immediate value / branch target / absolute addr
+  std::int32_t off = 0;  // byte offset for Ld/St/Sti/Ldm
+  const char* comment = nullptr;
+};
+
+/// Mnemonic for an opcode ("add", "sendw", ...).
+const char* op_name(Op op);
+
+/// True for ops that read M[] (used by tests over trace invariants).
+bool op_reads_memory(Op op);
+
+/// True for ops that write M[].
+bool op_writes_memory(Op op);
+
+}  // namespace jtam::mdp

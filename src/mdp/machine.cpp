@@ -1,0 +1,425 @@
+#include "mdp/machine.h"
+
+#include <bit>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace jtam::mdp {
+
+namespace {
+
+float as_f(std::uint32_t v) { return std::bit_cast<float>(v); }
+std::uint32_t as_u(float f) { return std::bit_cast<std::uint32_t>(f); }
+std::int32_t as_i(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+std::uint32_t as_u(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+
+}  // namespace
+
+const char* run_status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::Halted: return "halted";
+    case RunStatus::Deadlock: return "deadlock";
+    case RunStatus::Budget: return "budget-exhausted";
+  }
+  return "?";
+}
+
+Machine::Machine(CodeImage image, Config cfg)
+    : image_(std::move(image)), cfg_(cfg) {
+  JTAM_CHECK(cfg_.queue_bytes >= 64 && cfg_.queue_bytes <= mem::kQueueBytes,
+             "queue size must be in [64, 4096] bytes");
+  JTAM_CHECK(cfg_.num_nodes >= 1 && cfg_.node_id >= 0 &&
+                 cfg_.node_id < cfg_.num_nodes,
+             "node id out of range");
+  // Stagger round-robin placement so nodes do not all allocate on node 0.
+  rr_node_ = cfg_.node_id;
+  memory_.assign(mem::kMemoryLimit / mem::kWordBytes, 0);
+  tags_.assign((mem::kUserDataLimit - mem::kUserDataBase) / mem::kWordBytes,
+               false);
+  queues_[0] = Queue{mem::kLowQueueBase, cfg_.queue_bytes,
+                     mem::kLowQueueBase, mem::kLowQueueBase, 0, 0, {}};
+  queues_[1] = Queue{mem::kHighQueueBase, cfg_.queue_bytes,
+                     mem::kHighQueueBase, mem::kHighQueueBase, 0, 0, {}};
+}
+
+// --- address plumbing -------------------------------------------------------
+
+const Instr& Machine::code_at(Addr a) const {
+  JTAM_CHECK((a & 3u) == 0, "instruction address not word aligned");
+  if (a >= mem::kSysCodeBase) {
+    std::size_t i = (a - mem::kSysCodeBase) / mem::kWordBytes;
+    if (i < image_.sys_code.size()) return image_.sys_code[i];
+  }
+  if (a >= mem::kUserCodeBase) {
+    std::size_t i = (a - mem::kUserCodeBase) / mem::kWordBytes;
+    if (i < image_.user_code.size()) return image_.user_code[i];
+  }
+  std::ostringstream os;
+  os << "instruction fetch from unmapped address 0x" << std::hex << a;
+  throw Error(os.str());
+}
+
+void Machine::check_data_addr(Addr a) const {
+  if ((a & 3u) != 0) {
+    std::ostringstream os;
+    os << "unaligned data access at 0x" << std::hex << a;
+    throw Error(os.str());
+  }
+  const Addr node = a >> 24;       // user-data owner (multi-node)
+  const Addr local = a & 0xFFFFFFu;
+  if (local >= mem::kSysDataBase && local < mem::kSysDataLimit) {
+    if (node != 0) {
+      std::ostringstream os;
+      os << "sys-data address with node bits at 0x" << std::hex << a;
+      throw Error(os.str());
+    }
+    return;
+  }
+  if (local >= mem::kUserDataBase && local < mem::kUserDataLimit) {
+    if (static_cast<int>(node) != cfg_.node_id) {
+      std::ostringstream os;
+      os << "remote user-data address dereferenced locally: 0x" << std::hex
+         << a << " on node " << std::dec << cfg_.node_id
+         << " (remote data must travel by message)";
+      throw Error(os.str());
+    }
+    return;
+  }
+  std::ostringstream os;
+  os << "data access outside data regions at 0x" << std::hex << a;
+  throw Error(os.str());
+}
+
+std::uint32_t Machine::mem_read(Addr a, Priority lvl, bool emit_event) {
+  check_data_addr(a);
+  if (emit_event && sink_ != nullptr) sink_->on_read(a & 0xFFFFFFu, lvl);
+  return memory_[(a & 0xFFFFFFu) / mem::kWordBytes];
+}
+
+void Machine::mem_write(Addr a, std::uint32_t v, Priority lvl,
+                        bool emit_event) {
+  check_data_addr(a);
+  if (emit_event && sink_ != nullptr) sink_->on_write(a & 0xFFFFFFu, lvl);
+  memory_[(a & 0xFFFFFFu) / mem::kWordBytes] = v;
+}
+
+std::uint32_t Machine::load_word(Addr a) const {
+  check_data_addr(a);
+  return memory_[(a & 0xFFFFFFu) / mem::kWordBytes];
+}
+
+void Machine::store_word(Addr a, std::uint32_t v) {
+  check_data_addr(a);
+  memory_[(a & 0xFFFFFFu) / mem::kWordBytes] = v;
+}
+
+std::size_t Machine::tag_index(Addr a) const {
+  const Addr local = a & 0xFFFFFFu;
+  JTAM_CHECK(local >= mem::kUserDataBase && local < mem::kUserDataLimit,
+             "presence tags exist only over user data");
+  JTAM_CHECK((a & 3u) == 0, "tag access not word aligned");
+  return (local - mem::kUserDataBase) / mem::kWordBytes;
+}
+
+bool Machine::tag(Addr a) const { return tags_[tag_index(a)]; }
+
+void Machine::set_tag(Addr a, bool present) { tags_[tag_index(a)] = present; }
+
+void Machine::set_defer_pool(Addr base, Addr limit) {
+  const Addr lb = base & 0xFFFFFFu;
+  const Addr ll = ((limit - 4) & 0xFFFFFFu) + 4;
+  JTAM_CHECK(lb >= mem::kUserDataBase && ll <= mem::kUserDataLimit &&
+                 lb < ll,
+             "deferred-read pool must lie inside user data");
+  defer_bump_ = base;
+  defer_limit_ = limit;
+}
+
+// --- queues ------------------------------------------------------------------
+
+void Machine::inject(Priority p, std::span<const std::uint32_t> words) {
+  enqueue(p, words, p, /*emit_events=*/false);
+}
+
+void Machine::enqueue(Priority p, std::span<const std::uint32_t> words,
+                      Priority sender_level, bool emit_events) {
+  JTAM_CHECK(!words.empty(), "cannot enqueue an empty message");
+  Queue& q = queue(p);
+  const std::uint32_t need =
+      static_cast<std::uint32_t>(words.size()) * mem::kWordBytes;
+  JTAM_CHECK(need <= q.bytes, "message larger than the hardware queue");
+  std::uint32_t pad = 0;
+  Addr place = q.tail;
+  if (q.tail + need > q.base + q.bytes) {
+    pad = q.base + q.bytes - q.tail;  // skip the fragmented tail of the ring
+    place = q.base;
+  }
+  if (q.used_bytes + pad + need > q.bytes) {
+    std::ostringstream os;
+    os << priority_name(p) << "-priority message queue overflow ("
+       << q.used_bytes << "B used, message of " << need << "B)"
+       << " — the paper only ran programs that fit in the queue (§2.3);"
+       << " reduce the problem size or raise Config::queue_bytes";
+    throw Error(os.str());
+  }
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    mem_write(place + static_cast<Addr>(i) * mem::kWordBytes, words[i],
+              sender_level, emit_events);
+  }
+  q.records.push_back(
+      MsgRec{place, static_cast<std::uint32_t>(words.size()), pad});
+  q.used_bytes += pad + need;
+  q.high_water = std::max(q.high_water, q.used_bytes);
+  q.tail = place + need;
+  if (q.tail == q.base + q.bytes) q.tail = q.base;
+}
+
+void Machine::dispatch(Priority p) {
+  Queue& q = queue(p);
+  JTAM_ASSERT(!q.records.empty(), "dispatch from empty queue");
+  Level& lv = level(p);
+  lv.mb = q.records.front().offset;
+  // The dispatch hardware reads the header word (the handler address)
+  // from queue memory; that read touches the memory system like any other.
+  lv.ip = mem_read(lv.mb, p);
+  lv.active = true;
+}
+
+void Machine::consume_current(Priority p) {
+  Queue& q = queue(p);
+  JTAM_ASSERT(!q.records.empty(), "consume with no current message");
+  MsgRec rec = q.records.front();
+  q.records.pop_front();
+  q.used_bytes -= rec.pad + rec.len * mem::kWordBytes;
+  q.head = rec.offset + rec.len * mem::kWordBytes;
+  if (q.head == q.base + q.bytes) q.head = q.base;
+}
+
+// --- execution ---------------------------------------------------------------
+
+Machine::Level* Machine::pick() {
+  Level& hi = levels_[1];
+  Level& lo = levels_[0];
+  if (hi.active) return &hi;
+  if (!queues_[1].empty() && (!lo.active || lo.int_enabled)) {
+    dispatch(Priority::High);
+    return &hi;
+  }
+  if (lo.active) return &lo;
+  if (!queues_[0].empty()) {
+    dispatch(Priority::Low);
+    return &lo;
+  }
+  return nullptr;
+}
+
+RunStatus Machine::run() { return run_steps(cfg_.max_instructions); }
+
+RunStatus Machine::run_steps(std::uint64_t n) {
+  std::uint64_t executed = 0;
+  while (!halted_) {
+    Level* lv = pick();
+    if (lv == nullptr) return RunStatus::Deadlock;
+    Priority p = (lv == &levels_[1]) ? Priority::High : Priority::Low;
+    exec(*lv, p);
+    if (++executed >= n) return halted_ ? RunStatus::Halted : RunStatus::Budget;
+  }
+  return RunStatus::Halted;
+}
+
+void Machine::exec(Level& lv, Priority p) {
+  const Instr& in = code_at(lv.ip);
+  const Addr next = lv.ip + mem::kWordBytes;
+  auto& r = lv.regs;
+
+  if (in.op == Op::Mark) {
+    // Instrumentation is free: no fetch event, no cycle, no budget charge.
+    if (sink_ != nullptr) {
+      sink_->on_mark(static_cast<MarkKind>(in.imm), r[in.rs], p);
+    }
+    lv.ip = next;
+    return;
+  }
+
+  if (sink_ != nullptr) sink_->on_fetch(lv.ip, p);
+  ++instr_count_;
+  ++instr_by_level_[static_cast<int>(p)];
+  lv.ip = next;
+
+  switch (in.op) {
+    case Op::Nop:
+      break;
+    case Op::Halt:
+      halt_value_ = r[in.rs];
+      halted_ = true;
+      break;
+
+    case Op::Add: r[in.rd] = r[in.rs] + r[in.rt]; break;
+    case Op::Sub: r[in.rd] = r[in.rs] - r[in.rt]; break;
+    case Op::Mul: r[in.rd] = r[in.rs] * r[in.rt]; break;
+    case Op::Divs:
+      JTAM_CHECK(r[in.rt] != 0, "division by zero");
+      r[in.rd] = as_u(as_i(r[in.rs]) / as_i(r[in.rt]));
+      break;
+    case Op::Mods:
+      JTAM_CHECK(r[in.rt] != 0, "modulo by zero");
+      r[in.rd] = as_u(as_i(r[in.rs]) % as_i(r[in.rt]));
+      break;
+    case Op::And: r[in.rd] = r[in.rs] & r[in.rt]; break;
+    case Op::Or: r[in.rd] = r[in.rs] | r[in.rt]; break;
+    case Op::Xor: r[in.rd] = r[in.rs] ^ r[in.rt]; break;
+    case Op::Shl: r[in.rd] = r[in.rs] << (r[in.rt] & 31u); break;
+    case Op::Shr: r[in.rd] = r[in.rs] >> (r[in.rt] & 31u); break;
+    case Op::Slt: r[in.rd] = as_i(r[in.rs]) < as_i(r[in.rt]) ? 1 : 0; break;
+    case Op::Sle: r[in.rd] = as_i(r[in.rs]) <= as_i(r[in.rt]) ? 1 : 0; break;
+    case Op::Seq: r[in.rd] = r[in.rs] == r[in.rt] ? 1 : 0; break;
+    case Op::Sne: r[in.rd] = r[in.rs] != r[in.rt] ? 1 : 0; break;
+
+    case Op::Addi: r[in.rd] = r[in.rs] + as_u(in.imm); break;
+    case Op::Subi: r[in.rd] = r[in.rs] - as_u(in.imm); break;
+    case Op::Muli: r[in.rd] = r[in.rs] * as_u(in.imm); break;
+    case Op::Andi: r[in.rd] = r[in.rs] & as_u(in.imm); break;
+    case Op::Ori: r[in.rd] = r[in.rs] | as_u(in.imm); break;
+    case Op::Shli: r[in.rd] = r[in.rs] << (in.imm & 31); break;
+    case Op::Shri: r[in.rd] = r[in.rs] >> (in.imm & 31); break;
+    case Op::Slti: r[in.rd] = as_i(r[in.rs]) < in.imm ? 1 : 0; break;
+
+    case Op::Movi: r[in.rd] = as_u(in.imm); break;
+    case Op::Mov: r[in.rd] = r[in.rs]; break;
+
+    case Op::Fadd: r[in.rd] = as_u(as_f(r[in.rs]) + as_f(r[in.rt])); break;
+    case Op::Fsub: r[in.rd] = as_u(as_f(r[in.rs]) - as_f(r[in.rt])); break;
+    case Op::Fmul: r[in.rd] = as_u(as_f(r[in.rs]) * as_f(r[in.rt])); break;
+    case Op::Fdiv: r[in.rd] = as_u(as_f(r[in.rs]) / as_f(r[in.rt])); break;
+    case Op::Flt: r[in.rd] = as_f(r[in.rs]) < as_f(r[in.rt]) ? 1 : 0; break;
+    case Op::Feq: r[in.rd] = as_f(r[in.rs]) == as_f(r[in.rt]) ? 1 : 0; break;
+    case Op::Itof: r[in.rd] = as_u(static_cast<float>(as_i(r[in.rs]))); break;
+    case Op::Ftoi:
+      r[in.rd] = as_u(static_cast<std::int32_t>(as_f(r[in.rs])));
+      break;
+
+    case Op::Ld: r[in.rd] = mem_read(r[in.rs] + as_u(in.off), p); break;
+    case Op::St: mem_write(r[in.rs] + as_u(in.off), r[in.rt], p); break;
+    case Op::Sti:
+      mem_write(r[in.rs] + as_u(in.off), as_u(in.imm), p);
+      break;
+    case Op::Ldg: r[in.rd] = mem_read(as_u(in.imm), p); break;
+    case Op::Stg: mem_write(as_u(in.imm), r[in.rs], p); break;
+    case Op::Ldm: r[in.rd] = mem_read(lv.mb + as_u(in.off), p); break;
+
+    case Op::Br: lv.ip = as_u(in.imm); break;
+    case Op::Brz:
+      if (r[in.rs] == 0) lv.ip = as_u(in.imm);
+      break;
+    case Op::Brnz:
+      if (r[in.rs] != 0) lv.ip = as_u(in.imm);
+      break;
+    case Op::Jmp: lv.ip = r[in.rs]; break;
+    case Op::Call:
+      r[kRegLr] = next;
+      lv.ip = as_u(in.imm);
+      break;
+    case Op::Callr:
+      r[kRegLr] = next;
+      lv.ip = r[in.rs];
+      break;
+    case Op::Ret: lv.ip = r[kRegLr]; break;
+
+    case Op::SendH:
+    case Op::SendL:
+      JTAM_CHECK(!lv.composing, "SENDH/SENDL while already composing");
+      lv.composing = true;
+      lv.compose_dest =
+          in.op == Op::SendH ? Priority::High : Priority::Low;
+      lv.compose_node = cfg_.node_id;
+      lv.compose_words.clear();
+      break;
+    case Op::SendW:
+      JTAM_CHECK(lv.composing, "SENDW outside a message");
+      lv.compose_words.push_back(r[in.rs]);
+      break;
+    case Op::SendWi:
+      JTAM_CHECK(lv.composing, "SENDWI outside a message");
+      lv.compose_words.push_back(as_u(in.imm));
+      break;
+    case Op::SendD: {
+      JTAM_CHECK(lv.composing, "SENDD outside a message");
+      const int dest = static_cast<int>(r[in.rs]);
+      JTAM_CHECK(dest >= 0 && dest < cfg_.num_nodes,
+                 "SENDD destination node out of range");
+      lv.compose_node = dest;
+      break;
+    }
+    case Op::SendDr:
+      JTAM_CHECK(lv.composing, "SENDDR outside a message");
+      lv.compose_node = rr_node_;
+      rr_node_ = (rr_node_ + 1) % cfg_.num_nodes;
+      break;
+    case Op::SendE: {
+      JTAM_CHECK(lv.composing, "SENDE outside a message");
+      lv.composing = false;
+      if (lv.compose_node == cfg_.node_id) {
+        enqueue(lv.compose_dest, lv.compose_words, p, /*emit_events=*/true);
+      } else {
+        JTAM_CHECK(net_ != nullptr,
+                   "remote SENDE without a network attached");
+        net_->send(lv.compose_node, lv.compose_dest, lv.compose_words);
+      }
+      break;
+    }
+
+    case Op::Suspend:
+      JTAM_CHECK(lv.active, "SUSPEND at an idle level");
+      JTAM_CHECK(!lv.composing, "SUSPEND with a half-composed message");
+      consume_current(p);
+      lv.active = false;
+      break;
+    case Op::Eint: lv.int_enabled = true; break;
+    case Op::Dint: lv.int_enabled = false; break;
+
+    case Op::Itagld: {
+      Addr a = r[in.rs];
+      r[in.rd] = mem_read(a, p);
+      r[in.rt] = tag(a) ? 1 : 0;
+      break;
+    }
+    case Op::Itagst: {
+      Addr a = r[in.rs];
+      mem_write(a, r[in.rt], p);
+      set_tag(a, true);
+      break;
+    }
+    case Op::Idefer: {
+      Addr a = r[in.rs];
+      JTAM_CHECK(defer_bump_ != 0, "deferred-read pool not configured");
+      JTAM_CHECK(defer_bump_ + 12 <= defer_limit_,
+                 "deferred-read pool exhausted");
+      Addr node = defer_bump_;
+      defer_bump_ += 12;
+      auto it = defer_heads_.find(a);
+      Addr old_head = it == defer_heads_.end() ? 0 : it->second;
+      mem_write(node + 0, r[in.rt], p);   // inlet address
+      mem_write(node + 4, r[in.rd], p);   // frame pointer
+      mem_write(node + 8, old_head, p);   // next
+      defer_heads_[a] = node;
+      break;
+    }
+    case Op::Idhead: {
+      Addr a = r[in.rs];
+      auto it = defer_heads_.find(a);
+      if (it == defer_heads_.end()) {
+        r[in.rd] = 0;
+      } else {
+        r[in.rd] = it->second;
+        defer_heads_.erase(it);
+      }
+      break;
+    }
+
+    case Op::Mark:
+      break;  // handled above
+  }
+}
+
+}  // namespace jtam::mdp

@@ -1,0 +1,206 @@
+// The simulated Message-Driven Processor.
+//
+// A uniprocessor J-Machine node: two priority levels with banked register
+// files, a 4 KB hardware message queue per level living in the sys-data
+// region of memory, dispatch-on-suspend, and preemption of low-priority
+// computation by high-priority message arrival (gated by EINT/DINT).
+//
+// Every executed instruction produces a fetch event, and every memory
+// access a read/write event, on the attached TraceSink; the experiment
+// driver fans these into the cache bank and the granularity metrics.  This
+// mirrors the paper's method: "an instruction simulator was used to produce
+// more detailed statistics, specifically on memory access and granularity"
+// (§3), whose traces feed the cache simulator (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mdp/assembler.h"
+#include "mdp/isa.h"
+#include "mem/memory_map.h"
+
+namespace jtam::mdp {
+
+/// Receives one callback per architectural event.  Implementations must be
+/// cheap; they run once per simulated instruction/access.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_fetch(Addr addr, Priority level) = 0;
+  virtual void on_read(Addr addr, Priority level) = 0;
+  virtual void on_write(Addr addr, Priority level) = 0;
+  virtual void on_mark(MarkKind kind, std::uint32_t aux, Priority level) {
+    (void)kind; (void)aux; (void)level;
+  }
+};
+
+/// Delivery interface for multi-node configurations: SENDE hands remote
+/// messages to the network instead of the local queue.  Implemented by
+/// mdp::MultiMachine; single-node machines never touch it.
+class NetworkPort {
+ public:
+  virtual ~NetworkPort() = default;
+  virtual void send(int dest_node, Priority p,
+                    std::span<const std::uint32_t> words) = 0;
+};
+
+enum class RunStatus {
+  Halted,    // a HALT instruction executed
+  Deadlock,  // both levels idle, both queues empty, no HALT seen
+  Budget,    // instruction budget exhausted
+};
+
+const char* run_status_name(RunStatus s);
+
+class Machine {
+ public:
+  struct Config {
+    std::uint32_t queue_bytes = mem::kQueueBytes;  // per priority level
+    std::uint64_t max_instructions = 2'000'000'000ULL;
+    // Multi-node: this node's id and the machine count.  User-data
+    // addresses carry the owning node in bits 24+; sys-data and code are
+    // per-node private and never carry node bits.
+    int node_id = 0;
+    int num_nodes = 1;
+  };
+
+  explicit Machine(CodeImage image) : Machine(std::move(image), Config{}) {}
+  Machine(CodeImage image, Config cfg);
+
+  // --- host (pre-run) operations; no trace events -----------------------
+  /// Enqueue a message as if it arrived from the network.
+  void inject(Priority p, std::span<const std::uint32_t> words);
+  std::uint32_t load_word(Addr a) const;
+  void store_word(Addr a, std::uint32_t v);
+  bool tag(Addr a) const;
+  void set_tag(Addr a, bool present);
+  /// Reserve [base, limit) in user data for deferred-read nodes.
+  void set_defer_pool(Addr base, Addr limit);
+
+  // --- execution ---------------------------------------------------------
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  void set_network(NetworkPort* net) { net_ = net; }
+  /// Network delivery of an arriving message (multi-node): buffered into
+  /// queue memory with trace events, exactly like a local SENDE.
+  void deliver(Priority p, std::span<const std::uint32_t> words) {
+    enqueue(p, words, p, /*emit_events=*/true);
+  }
+  /// True when both levels are suspended with empty queues (nothing to do
+  /// until a message arrives).
+  bool is_idle() const {
+    return !levels_[0].active && !levels_[1].active &&
+           queues_[0].records.empty() && queues_[1].records.empty();
+  }
+  int node_id() const { return cfg_.node_id; }
+  RunStatus run();
+  /// Execute at most `n` instructions (for unit tests); returns the status
+  /// if the machine stopped, or RunStatus::Budget if `n` ran out first.
+  RunStatus run_steps(std::uint64_t n);
+
+  // --- inspection ---------------------------------------------------------
+  bool halted() const { return halted_; }
+  std::uint32_t halt_value() const { return halt_value_; }
+  std::uint64_t instructions_executed() const { return instr_count_; }
+  std::uint64_t instructions_executed(Priority p) const {
+    return instr_by_level_[static_cast<int>(p)];
+  }
+  std::uint32_t reg(Priority p, Reg r) const {
+    return levels_[static_cast<int>(p)].regs[r];
+  }
+  void set_reg(Priority p, Reg r, std::uint32_t v) {
+    levels_[static_cast<int>(p)].regs[r] = v;
+  }
+  Addr ip(Priority p) const { return levels_[static_cast<int>(p)].ip; }
+  bool level_active(Priority p) const {
+    return levels_[static_cast<int>(p)].active;
+  }
+  bool interrupts_enabled() const { return levels_[0].int_enabled; }
+  std::size_t queue_depth(Priority p) const {
+    return queues_[static_cast<int>(p)].records.size();
+  }
+  std::uint32_t queue_used_bytes(Priority p) const {
+    return queues_[static_cast<int>(p)].used_bytes;
+  }
+  /// Peak queue occupancy seen so far (bytes), for overflow-margin reports.
+  std::uint32_t queue_high_water(Priority p) const {
+    return queues_[static_cast<int>(p)].high_water;
+  }
+  const CodeImage& image() const { return image_; }
+
+ private:
+  struct Level {
+    std::uint32_t regs[kNumRegs] = {};
+    Addr ip = 0;
+    Addr mb = 0;  // message base of the message being handled
+    bool active = false;
+    bool int_enabled = true;  // meaningful at low priority only
+    // Message being composed by SENDH/SENDL ... SENDE.
+    bool composing = false;
+    Priority compose_dest = Priority::Low;
+    int compose_node = 0;  // destination node (multi-node)
+    std::vector<std::uint32_t> compose_words;
+  };
+
+  struct MsgRec {
+    Addr offset = 0;          // address of word 0 in the queue region
+    std::uint32_t len = 0;    // words
+    std::uint32_t pad = 0;    // bytes skipped before this message
+  };
+
+  struct Queue {
+    Addr base = 0;
+    std::uint32_t bytes = 0;
+    Addr head = 0;  // address of the oldest message (absolute)
+    Addr tail = 0;  // address where the next message will be placed
+    std::uint32_t used_bytes = 0;
+    std::uint32_t high_water = 0;
+    std::deque<MsgRec> records;
+    bool empty() const { return records.empty(); }
+  };
+
+  Level& level(Priority p) { return levels_[static_cast<int>(p)]; }
+  Queue& queue(Priority p) { return queues_[static_cast<int>(p)]; }
+
+  const Instr& code_at(Addr a) const;
+  std::uint32_t mem_read(Addr a, Priority lvl, bool emit_event = true);
+  void mem_write(Addr a, std::uint32_t v, Priority lvl,
+                 bool emit_event = true);
+  void check_data_addr(Addr a) const;
+
+  void enqueue(Priority p, std::span<const std::uint32_t> words,
+               Priority sender_level, bool emit_events);
+  void dispatch(Priority p);
+  void consume_current(Priority p);
+
+  /// Choose the level to execute next; dispatches as needed.  Returns
+  /// nullptr when the machine is idle.
+  Level* pick();
+  void exec(Level& lv, Priority p);
+
+  std::size_t tag_index(Addr a) const;
+
+  CodeImage image_;
+  Config cfg_;
+  std::vector<std::uint32_t> memory_;    // word-indexed flat memory
+  std::vector<bool> tags_;               // presence tags over user data
+  std::unordered_map<Addr, Addr> defer_heads_;
+  Addr defer_bump_ = 0;
+  Addr defer_limit_ = 0;
+
+  Level levels_[2];  // [0]=Low, [1]=High
+  Queue queues_[2];
+
+  TraceSink* sink_ = nullptr;
+  NetworkPort* net_ = nullptr;
+  int rr_node_ = 0;  // SENDDR round-robin placement counter
+  bool halted_ = false;
+  std::uint32_t halt_value_ = 0;
+  std::uint64_t instr_count_ = 0;
+  std::uint64_t instr_by_level_[2] = {0, 0};
+};
+
+}  // namespace jtam::mdp

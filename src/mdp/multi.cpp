@@ -1,0 +1,62 @@
+#include "mdp/multi.h"
+
+#include "support/error.h"
+
+namespace jtam::mdp {
+
+MultiMachine::MultiMachine(const CodeImage& image, Config cfg) : cfg_(cfg) {
+  JTAM_CHECK(cfg_.num_nodes >= 1 && cfg_.num_nodes <= 256,
+             "node count must be in [1, 256]");
+  nodes_.reserve(static_cast<std::size_t>(cfg_.num_nodes));
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    Machine::Config mc;
+    mc.queue_bytes = cfg_.queue_bytes;
+    mc.node_id = n;
+    mc.num_nodes = cfg_.num_nodes;
+    nodes_.push_back(std::make_unique<Machine>(image, mc));
+    nodes_.back()->set_network(this);
+  }
+}
+
+void MultiMachine::send(int dest_node, Priority p,
+                        std::span<const std::uint32_t> words) {
+  JTAM_CHECK(dest_node >= 0 && dest_node < cfg_.num_nodes,
+             "network send to nonexistent node");
+  ++messages_;
+  wire_.push_back(InFlight{rounds_ + cfg_.latency, dest_node, p,
+                           {words.begin(), words.end()}});
+}
+
+std::uint64_t MultiMachine::total_instructions() const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_) total += m->instructions_executed();
+  return total;
+}
+
+RunStatus MultiMachine::run() {
+  for (rounds_ = 0; rounds_ < cfg_.max_rounds; ++rounds_) {
+    // Deliver everything whose flight time has elapsed (FIFO per wire).
+    while (!wire_.empty() && wire_.front().deliver_round <= rounds_) {
+      const InFlight& m = wire_.front();
+      nodes_[static_cast<std::size_t>(m.dest)]->deliver(m.p, m.words);
+      wire_.pop_front();
+    }
+    bool progress = false;
+    for (auto& m : nodes_) {
+      if (m->is_idle()) continue;
+      RunStatus s = m->run_steps(1);
+      if (s == RunStatus::Halted) {
+        halt_value_ = m->halt_value();
+        halted_node_ = m->node_id();
+        return RunStatus::Halted;
+      }
+      // Budget(1) == executed an instruction; Deadlock == went idle.
+      progress = true;
+      (void)s;
+    }
+    if (!progress && wire_.empty()) return RunStatus::Deadlock;
+  }
+  return RunStatus::Budget;
+}
+
+}  // namespace jtam::mdp

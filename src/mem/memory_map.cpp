@@ -1,0 +1,34 @@
+#include "mem/memory_map.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace jtam::mem {
+
+Region classify(Addr a) {
+  if (a >= kSysCodeBase && a < kSysCodeLimit) return Region::SysCode;
+  if (a >= kUserCodeBase && a < kUserCodeLimit) return Region::UserCode;
+  if (a >= kSysDataBase && a < kSysDataLimit) return Region::SysData;
+  if (a >= kUserDataBase && a < kUserDataLimit) return Region::UserData;
+  std::ostringstream os;
+  os << "address 0x" << std::hex << a << " is outside every mapped region";
+  throw Error(os.str());
+}
+
+bool is_code(Addr a) {
+  Region r = classify(a);
+  return r == Region::SysCode || r == Region::UserCode;
+}
+
+const char* region_name(Region r) {
+  switch (r) {
+    case Region::SysCode: return "sys-code";
+    case Region::UserCode: return "user-code";
+    case Region::SysData: return "sys-data";
+    case Region::UserData: return "user-data";
+  }
+  return "?";
+}
+
+}  // namespace jtam::mem

@@ -1,0 +1,80 @@
+// Memory map of the simulated J-Machine node.
+//
+// The paper divides memory into *system* and *user* regions for its access
+// accounting (§3.1): system code is the runtime kernel plus the software
+// floating-point library; system data is the two hardware message queues,
+// the operating-system globals, and the LCV; user code is the compiled
+// inlets/threads of each program; user data is the frames and the
+// I-structure heap.  This module fixes the address layout and classifies
+// addresses into those regions.
+//
+// All addresses are byte addresses; every access is a 4-byte word and must
+// be word aligned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jtam::mem {
+
+using Addr = std::uint32_t;
+
+inline constexpr Addr kWordBytes = 4;
+
+// --- Layout constants -----------------------------------------------------
+// Regions are deliberately placed far apart so an out-of-range pointer in a
+// runtime kernel trips the machine's bounds checks instead of silently
+// landing in another region.
+
+inline constexpr Addr kSysCodeBase = 0x0000'1000;  // runtime kernel, FP lib
+inline constexpr Addr kSysCodeLimit = 0x0008'0000;
+
+inline constexpr Addr kUserCodeBase = 0x0010'0000;  // compiled inlets/threads
+inline constexpr Addr kUserCodeLimit = 0x0020'0000;
+
+// System data: message queues (4 KB each, as on the MDP), OS globals, LCV.
+inline constexpr Addr kQueueBytes = 4 * 1024;
+inline constexpr Addr kLowQueueBase = 0x0020'0000;
+inline constexpr Addr kHighQueueBase = kLowQueueBase + kQueueBytes;
+inline constexpr Addr kOsGlobalsBase = kHighQueueBase + kQueueBytes;
+inline constexpr Addr kOsGlobalsBytes = 4 * 1024;
+inline constexpr Addr kLcvBase = kOsGlobalsBase + kOsGlobalsBytes;
+inline constexpr Addr kLcvBytes = 4 * 1024;
+// Static system tables (codeblock descriptors, entry-count templates).
+inline constexpr Addr kSysTableBase = kLcvBase + kLcvBytes;
+inline constexpr Addr kSysTableLimit = 0x0030'0000;
+inline constexpr Addr kSysDataBase = kLowQueueBase;
+inline constexpr Addr kSysDataLimit = kSysTableLimit;
+
+// User data: frames, I-structure heap, scratch allocations.
+inline constexpr Addr kUserDataBase = 0x0040'0000;
+inline constexpr Addr kUserDataLimit = 0x0100'0000;  // 12 MB of user data
+
+inline constexpr Addr kMemoryLimit = kUserDataLimit;
+
+/// Region classification used for the paper's system/user access accounting.
+enum class Region : std::uint8_t {
+  SysCode = 0,
+  UserCode = 1,
+  SysData = 2,
+  UserData = 3,
+};
+
+inline constexpr int kRegionCount = 4;
+
+/// Classify a byte address.  Throws jtam::Error for addresses outside every
+/// region (the machine treats that as a fault).
+Region classify(Addr a);
+
+/// True if `a` lies in one of the two code regions.
+bool is_code(Addr a);
+
+/// Human-readable region name ("sys-code", "user-data", ...).
+const char* region_name(Region r);
+
+/// True if `a` falls inside either hardware message queue.
+inline bool in_queue(Addr a) {
+  return a >= kLowQueueBase && a < kHighQueueBase + kQueueBytes;
+}
+
+}  // namespace jtam::mem

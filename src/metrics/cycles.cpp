@@ -1,0 +1,19 @@
+#include "metrics/cycles.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace jtam::metrics {
+
+double geomean(std::span<const double> values) {
+  JTAM_CHECK(!values.empty(), "geometric mean of an empty set");
+  double log_sum = 0.0;
+  for (double v : values) {
+    JTAM_CHECK(v > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace jtam::metrics

@@ -1,0 +1,42 @@
+// Cycle model and ratio helpers.
+//
+// §3.3: "Instructions were assumed to uniformly take one cycle, not
+// counting memory access time.  Because the number of data and code
+// accesses differ between the two implementations, the absolute numbers of
+// cycles, not miss percentages, are compared."  Total cycles are therefore
+// instructions * 1 + (instruction-cache misses + data-cache misses) *
+// penalty, and the paper's headline metric is the MD/AM cycle ratio.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cache/cache.h"
+
+namespace jtam::metrics {
+
+/// Total cycles for one cache configuration under a given miss penalty.
+inline std::uint64_t total_cycles(std::uint64_t instructions,
+                                  const cache::CacheStats& icache,
+                                  const cache::CacheStats& dcache,
+                                  std::uint32_t miss_penalty) {
+  return instructions + miss_penalty * (icache.misses + dcache.misses);
+}
+
+/// Cycle model extended with a write-back cost: dirty evictions consume
+/// memory bandwidth too.  The paper's model charges misses only; this is
+/// the bench_writeback ablation.
+inline std::uint64_t total_cycles_wb(std::uint64_t instructions,
+                                     const cache::CacheStats& icache,
+                                     const cache::CacheStats& dcache,
+                                     std::uint32_t miss_penalty,
+                                     std::uint32_t writeback_penalty) {
+  return total_cycles(instructions, icache, dcache, miss_penalty) +
+         writeback_penalty * dcache.writebacks;
+}
+
+/// Geometric mean of a set of ratios (the paper reports geometric means of
+/// per-program MD/AM ratios).
+double geomean(std::span<const double> values);
+
+}  // namespace jtam::metrics

@@ -1,0 +1,108 @@
+// Granularity and memory-access accounting.
+//
+// Reproduces the paper's measurement methodology: the instruction simulator
+// produces per-access statistics (§3: "an instruction simulator was used to
+// produce more detailed statistics, specifically on memory access and
+// granularity"), split into system/user code and data regions (§3.1), plus
+// the granularity metrics of Table 2:
+//
+//   TPQ  threads per quantum — how many threads from a frame are executed
+//        before a switch to another frame;
+//   IPT  instructions per thread;
+//   IPQ  instructions per quantum.
+//
+// Quantum boundaries follow each back-end's scheduling structure: under AM
+// a quantum is one frame activation (delimited by the scheduler's Activate
+// mark; pending replies that arrive during the activation extend it), and
+// under MD a quantum extends while consecutive dispatched inlets/threads
+// belong to the same frame ("this can involve emptying the LCV multiple
+// times if subsequent messages are destined for the same frame", §3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache_bank.h"
+#include "mdp/machine.h"
+#include "mem/memory_map.h"
+#include "runtime/layout.h"
+
+namespace jtam::metrics {
+
+/// Branch-free region classification for hot paths (the address is known
+/// to be valid because the machine bounds-checked it).
+inline int region_index(mem::Addr a) {
+  if (a < mem::kUserCodeBase) return 0;  // system code
+  if (a < mem::kSysDataBase) return 1;   // user code
+  if (a < mem::kUserDataBase) return 2;  // system data (queues, globals, LCV)
+  return 3;                              // user data (frames, heap)
+}
+
+inline constexpr int kNumRegions = 4;
+inline constexpr int kNumLevels = 2;
+
+/// Raw access counts by [priority level][memory region].
+struct AccessCounts {
+  std::uint64_t fetch[kNumLevels][kNumRegions] = {};
+  std::uint64_t read[kNumLevels][kNumRegions] = {};
+  std::uint64_t write[kNumLevels][kNumRegions] = {};
+
+  std::uint64_t total_fetches() const;
+  std::uint64_t total_reads() const;
+  std::uint64_t total_writes() const;
+  std::uint64_t fetches_in(int region) const;
+  std::uint64_t reads_in(int region) const;
+  std::uint64_t writes_in(int region) const;
+};
+
+struct Granularity {
+  std::uint64_t threads = 0;
+  std::uint64_t inlets = 0;
+  std::uint64_t quanta = 0;
+  std::uint64_t activations = 0;  // AM only
+  std::uint64_t fp_calls = 0;
+  std::uint64_t thread_instrs = 0;   // low-priority, thread context
+  std::uint64_t inlet_instrs = 0;    // inlet context (either level)
+  std::uint64_t sched_instrs = 0;    // low-priority system context
+  std::uint64_t handler_instrs = 0;  // high-priority system handlers
+  std::uint64_t quantum_instrs = 0;  // low-priority user work (IPQ numerator)
+
+  double tpq() const {
+    return quanta == 0 ? 0.0 : static_cast<double>(threads) / quanta;
+  }
+  double ipt() const {
+    return threads == 0 ? 0.0 : static_cast<double>(thread_instrs) / threads;
+  }
+  double ipq() const {
+    return quanta == 0 ? 0.0
+                       : static_cast<double>(quantum_instrs) / quanta;
+  }
+};
+
+/// TraceSink that accumulates access counts and granularity statistics and
+/// (optionally) forwards every reference to a CacheBank.
+class StatsSink final : public mdp::TraceSink {
+ public:
+  StatsSink(rt::BackendKind backend, cache::CacheBank* bank)
+      : backend_(backend), bank_(bank) {}
+
+  void on_fetch(mem::Addr a, mdp::Priority lvl) override;
+  void on_read(mem::Addr a, mdp::Priority lvl) override;
+  void on_write(mem::Addr a, mdp::Priority lvl) override;
+  void on_mark(mdp::MarkKind kind, std::uint32_t aux,
+               mdp::Priority lvl) override;
+
+  const AccessCounts& counts() const { return counts_; }
+  const Granularity& granularity() const { return gran_; }
+
+ private:
+  enum class Ctx : std::uint8_t { None, Thread, Inlet, Sys };
+
+  rt::BackendKind backend_;
+  cache::CacheBank* bank_;
+  AccessCounts counts_;
+  Granularity gran_;
+  Ctx ctx_[kNumLevels] = {Ctx::None, Ctx::Sys};
+  std::uint32_t quantum_frame_ = 0;  // MD quantum tracking
+};
+
+}  // namespace jtam::metrics

@@ -1,0 +1,383 @@
+// Discrete time warp (DTW) — "a speech-processing application that
+// performs operations on matrices of floating-point numbers" (§3).
+//
+// Structure: the classic dynamic-time-warp cost recurrence over two
+// sequences a and b,
+//
+//   D[i][j] = |a_i - b_j| + min(D[i-1][j], D[i][j-1], D[i-1][j-1])
+//
+// with a padded zero row/column so every element is computed uniformly.
+// One codeblock per row, ALL spawned up front: each element's north/diag
+// reads defer on the row above, so rows advance in a fine-grained
+// dataflow ping-pong — DTW sits low in Table 2 (TPQ 5.3 MD / 6.0 AM),
+// unlike wavefront whose rows are spawned sequentially.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "programs/registry.h"
+#include "support/error.h"
+
+namespace jtam::programs {
+
+using namespace tam;  // NOLINT(build/namespaces) — IR builder DSL
+
+namespace {
+
+// main codeblock slots
+constexpr SlotId kMD = 0;
+constexpr SlotId kMA = 1;
+constexpr SlotId kMB = 2;
+constexpr SlotId kMN = 3;
+constexpr SlotId kMR = 4;
+constexpr SlotId kMRowF = 5;
+constexpr SlotId kMCnt = 6;
+constexpr SlotId kMRes = 7;
+
+// row codeblock slots
+constexpr SlotId kRD = 0;
+constexpr SlotId kRA = 1;
+constexpr SlotId kRB = 2;
+constexpr SlotId kRN = 3;
+constexpr SlotId kRI = 4;
+constexpr SlotId kRMainF = 5;
+constexpr SlotId kRJ = 6;
+constexpr SlotId kRWest = 7;
+constexpr SlotId kRVa = 8;
+constexpr SlotId kRVb = 9;
+constexpr SlotId kRVn = 10;
+constexpr SlotId kRVd = 11;
+
+constexpr CbId kCbMain = 0;
+constexpr CbId kCbRow = 1;
+
+Program build_program() {
+  Program prog;
+  prog.name = "dtw";
+
+  // ---- main codeblock -----------------------------------------------------
+  CodeblockBuilder mc(prog, "dtw_main", 8);
+  ThreadId t_init = mc.declare_thread("init");
+  ThreadId t_spawn = mc.declare_thread("spawn");
+  ThreadId t_falloc = mc.declare_thread("falloc_row");
+  ThreadId t_sendargs = mc.declare_thread("send_row_args");
+  ThreadId t_check = mc.declare_thread("check_done");
+  ThreadId t_final = mc.declare_thread("fetch_result");
+  ThreadId t_halt = mc.declare_thread("halt");
+  InletId in_start = mc.declare_inlet("start", 4);
+  InletId in_fr = mc.declare_inlet("row_frame", 1);
+  InletId in_done = mc.declare_inlet("row_done", 1);
+  InletId in_res = mc.declare_inlet("result", 1);
+
+  {
+    BodyBuilder b = mc.define_inlet(in_start);
+    b.frame_store(kMD, b.msg_load(0));
+    b.frame_store(kMA, b.msg_load(1));
+    b.frame_store(kMB, b.msg_load(2));
+    b.frame_store(kMN, b.msg_load(3));
+    b.post(t_init);
+  }
+  {
+    BodyBuilder b = mc.define_inlet(in_fr);
+    b.frame_store(kMRowF, b.msg_load(0));
+    b.post(t_sendargs);
+  }
+  {
+    BodyBuilder b = mc.define_inlet(in_done);
+    VReg cnt = b.frame_load(kMCnt);
+    VReg got = b.msg_load(0);
+    VReg c2 = b.bin(BinOp::Add, cnt, got);
+    b.frame_store(kMCnt, c2);
+    b.post(t_check);
+  }
+  {
+    BodyBuilder b = mc.define_inlet(in_res);
+    b.frame_store(kMRes, b.msg_load(0));
+    b.post(t_halt);
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_init);
+    b.frame_store(kMR, b.konst(1));
+    b.frame_store(kMCnt, b.konst(0));
+    b.forks({t_spawn});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_spawn);
+    VReg r = b.frame_load(kMR);
+    VReg n = b.frame_load(kMN);
+    VReg c = b.bin(BinOp::Le, r, n);
+    b.cond_forks(c, {t_falloc}, {});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_falloc);
+    b.falloc(kCbRow, in_fr);
+    b.stop();
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_sendargs);
+    VReg rowf = b.frame_load(kMRowF);
+    VReg d = b.frame_load(kMD);
+    VReg av = b.frame_load(kMA);
+    VReg bv = b.frame_load(kMB);
+    b.send_msg(kCbRow, /*in_dab=*/0, rowf, {d, av, bv});
+    VReg n = b.frame_load(kMN);
+    VReg r = b.frame_load(kMR);
+    VReg self = b.self_frame();
+    b.send_msg(kCbRow, /*in_nif=*/1, rowf, {n, r, self});
+    VReg r1 = b.bini(BinOp::Add, r, 1);
+    b.frame_store(kMR, r1);
+    b.forks({t_spawn});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_check);
+    VReg cnt = b.frame_load(kMCnt);
+    VReg n = b.frame_load(kMN);
+    VReg c = b.bin(BinOp::Eq, cnt, n);
+    b.cond_forks(c, {t_final}, {});
+  }
+  {
+    // Fetch D[n][n] (the warp distance) and halt with it.
+    BodyBuilder b = mc.define_thread(t_final);
+    VReg d = b.frame_load(kMD);
+    VReg n = b.frame_load(kMN);
+    VReg np = b.bini(BinOp::Add, n, 1);
+    VReg t1 = b.bin(BinOp::Mul, n, np);
+    VReg t2 = b.bin(BinOp::Add, t1, n);
+    VReg off = b.bini(BinOp::Shl, t2, 2);
+    VReg addr = b.bin(BinOp::Add, d, off);
+    b.ifetch(addr, in_res);
+    b.stop();
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_halt);
+    VReg res = b.frame_load(kMRes);
+    b.send_halt(res);
+    b.stop();
+  }
+  mc.finish();
+
+  // ---- row codeblock --------------------------------------------------------
+  CodeblockBuilder rc(prog, "dtw_row", 12);
+  ThreadId t_start = rc.declare_thread("row_start", /*entry_count=*/2);
+  ThreadId t_fetch_a = rc.declare_thread("fetch_a");
+  ThreadId t_jinit = rc.declare_thread("jinit");
+  ThreadId t_jloop = rc.declare_thread("jloop");
+  ThreadId t_fetch3 = rc.declare_thread("fetch_bnd");
+  ThreadId t_elem = rc.declare_thread("elem", /*entry_count=*/3);
+  ThreadId t_rowdone = rc.declare_thread("row_done");
+  InletId in_dab = rc.declare_inlet("dab", 3);
+  InletId in_nif = rc.declare_inlet("nif", 3);
+  InletId in_a = rc.declare_inlet("a_i", 1);
+  InletId in_b = rc.declare_inlet("b_j", 1);
+  InletId in_n = rc.declare_inlet("north", 1);
+  InletId in_d = rc.declare_inlet("diag", 1);
+
+  {
+    BodyBuilder b = rc.define_inlet(in_dab);
+    b.frame_store(kRD, b.msg_load(0));
+    b.frame_store(kRA, b.msg_load(1));
+    b.frame_store(kRB, b.msg_load(2));
+    b.post(t_start);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(in_nif);
+    b.frame_store(kRN, b.msg_load(0));
+    b.frame_store(kRI, b.msg_load(1));
+    b.frame_store(kRMainF, b.msg_load(2));
+    b.post(t_start);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(in_a);
+    b.frame_store(kRVa, b.msg_load(0));
+    b.post(t_jinit);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(in_b);
+    b.frame_store(kRVb, b.msg_load(0));
+    b.post(t_elem);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(in_n);
+    b.frame_store(kRVn, b.msg_load(0));
+    b.post(t_elem);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(in_d);
+    b.frame_store(kRVd, b.msg_load(0));
+    b.post(t_elem);
+  }
+  {
+    BodyBuilder b = rc.define_thread(t_start);
+    b.forks({t_fetch_a});
+  }
+  {
+    // a_i, fetched once per row.
+    BodyBuilder b = rc.define_thread(t_fetch_a);
+    VReg a0 = b.frame_load(kRA);
+    VReg i = b.frame_load(kRI);
+    VReg i1 = b.bini(BinOp::Sub, i, 1);
+    VReg off = b.bini(BinOp::Shl, i1, 2);
+    VReg addr = b.bin(BinOp::Add, a0, off);
+    b.ifetch(addr, in_a);
+    b.stop();
+  }
+  {
+    BodyBuilder b = rc.define_thread(t_jinit);
+    b.frame_store(kRJ, b.konst(1));
+    b.frame_store(kRWest, b.konst_f(0.0f));
+    b.forks({t_jloop});
+  }
+  {
+    BodyBuilder b = rc.define_thread(t_jloop);
+    VReg j = b.frame_load(kRJ);
+    VReg n = b.frame_load(kRN);
+    VReg c = b.bin(BinOp::Le, j, n);
+    b.cond_forks(c, {t_fetch3}, {t_rowdone});
+  }
+  {
+    // Split-phase reads of b_j, north = D[i-1][j], diag = D[i-1][j-1].
+    BodyBuilder b = rc.define_thread(t_fetch3);
+    VReg n = b.frame_load(kRN);
+    VReg np = b.bini(BinOp::Add, n, 1);
+    VReg i = b.frame_load(kRI);
+    VReg i1 = b.bini(BinOp::Sub, i, 1);
+    VReg t1 = b.bin(BinOp::Mul, i1, np);
+    VReg j = b.frame_load(kRJ);
+    VReg t2 = b.bin(BinOp::Add, t1, j);
+    VReg off = b.bini(BinOp::Shl, t2, 2);
+    VReg d0 = b.frame_load(kRD);
+    VReg na = b.bin(BinOp::Add, d0, off);
+    b.ifetch(na, in_n);
+    VReg da = b.bini(BinOp::Sub, na, 4);
+    b.ifetch(da, in_d);
+    VReg b0 = b.frame_load(kRB);
+    VReg j2 = b.frame_load(kRJ);
+    VReg j1 = b.bini(BinOp::Sub, j2, 1);
+    VReg o2 = b.bini(BinOp::Shl, j1, 2);
+    VReg ba = b.bin(BinOp::Add, b0, o2);
+    b.ifetch(ba, in_b);
+    b.stop();
+  }
+  {
+    BodyBuilder b = rc.define_thread(t_elem);
+    VReg va = b.frame_load(kRVa);
+    VReg vb = b.frame_load(kRVb);
+    VReg diff = b.bin(BinOp::FSub, va, vb);
+    VReg ad = b.bini(BinOp::And, diff, 0x7fffffff);  // |x| on float bits
+    VReg vn = b.frame_load(kRVn);
+    VReg vd = b.frame_load(kRVd);
+    VReg c1 = b.bin(BinOp::FLt, vn, vd);
+    VReg m1 = b.select(c1, vn, vd);
+    VReg w = b.frame_load(kRWest);
+    VReg c2 = b.bin(BinOp::FLt, w, m1);
+    VReg m2 = b.select(c2, w, m1);
+    VReg v = b.bin(BinOp::FAdd, ad, m2);
+    b.frame_store(kRWest, v);
+    VReg n = b.frame_load(kRN);
+    VReg np = b.bini(BinOp::Add, n, 1);
+    VReg i = b.frame_load(kRI);
+    VReg t1 = b.bin(BinOp::Mul, i, np);
+    VReg j = b.frame_load(kRJ);
+    VReg t2 = b.bin(BinOp::Add, t1, j);
+    VReg off = b.bini(BinOp::Shl, t2, 2);
+    VReg d0 = b.frame_load(kRD);
+    VReg ca = b.bin(BinOp::Add, d0, off);
+    VReg v2 = b.frame_load(kRWest);
+    b.istore(ca, v2);
+    VReg j1 = b.bini(BinOp::Add, j, 1);
+    b.frame_store(kRJ, j1);
+    b.forks({t_jloop});
+  }
+  {
+    BodyBuilder b = rc.define_thread(t_rowdone);
+    VReg one = b.konst(1);
+    VReg mainf = b.frame_load(kRMainF);
+    b.send_msg(kCbMain, in_done, mainf, {one});
+    b.release();
+    b.stop();
+  }
+  rc.finish();
+
+  return prog;
+}
+
+float seq_a(int i) { return static_cast<float>((i * 37) % 19) * 0.3f; }
+float seq_b(int j) { return static_cast<float>((j * 23) % 17) * 0.4f; }
+
+/// Bit-exact oracle: identical operation order per element; the dataflow
+/// schedule cannot change element values.
+float oracle_dtw(int n) {
+  const int np = n + 1;
+  std::vector<float> d(static_cast<std::size_t>(np) * np, 0.0f);
+  for (int i = 1; i <= n; ++i) {
+    float west = 0.0f;
+    for (int j = 1; j <= n; ++j) {
+      float diff = seq_a(i) - seq_b(j);
+      float ad = std::bit_cast<float>(
+          std::bit_cast<std::uint32_t>(diff) & 0x7fffffffu);
+      float vn = d[static_cast<std::size_t>(i - 1) * np + j];
+      float vd = d[static_cast<std::size_t>(i - 1) * np + j - 1];
+      float m1 = vn < vd ? vn : vd;
+      float m2 = west < m1 ? west : m1;
+      float v = ad + m2;
+      d[static_cast<std::size_t>(i) * np + j] = v;
+      west = v;
+    }
+  }
+  return d[static_cast<std::size_t>(n) * np + n];
+}
+
+}  // namespace
+
+Workload make_dtw(int n) {
+  JTAM_CHECK(n >= 2, "dtw needs n >= 2");
+  struct State {
+    mem::Addr d = 0, a = 0, b = 0;
+  };
+  auto st = std::make_shared<State>();
+
+  Workload w;
+  w.name = "dtw";
+  w.description = "discrete time warp over float sequences of length " +
+                  std::to_string(n) + " (paper arg: 10)";
+  w.program = build_program();
+  w.setup = [st, n](SetupCtx& ctx) {
+    const int np = n + 1;
+    st->d = ctx.alloc_words(static_cast<std::uint32_t>(np * np));
+    st->a = ctx.alloc_words(static_cast<std::uint32_t>(n));
+    st->b = ctx.alloc_words(static_cast<std::uint32_t>(n));
+    // Padded zero row and column of D are present from the start.
+    for (int j = 0; j <= n; ++j) {
+      ctx.write_tagged_f(st->d + static_cast<mem::Addr>(4 * j), 0.0f);
+    }
+    for (int i = 1; i <= n; ++i) {
+      ctx.write_tagged_f(st->d + static_cast<mem::Addr>(4 * (i * np)), 0.0f);
+    }
+    for (int i = 1; i <= n; ++i) {
+      ctx.write_tagged_f(st->a + static_cast<mem::Addr>(4 * (i - 1)),
+                         seq_a(i));
+    }
+    for (int j = 1; j <= n; ++j) {
+      ctx.write_tagged_f(st->b + static_cast<mem::Addr>(4 * (j - 1)),
+                         seq_b(j));
+    }
+    mem::Addr frame = ctx.alloc_frame(kCbMain);
+    ctx.send_to_inlet(kCbMain, 0, frame,
+                      {st->d, st->a, st->b, static_cast<std::uint32_t>(n)});
+  };
+  w.check = [n](const CheckCtx& ctx) -> std::string {
+    float want = oracle_dtw(n);
+    float got = std::bit_cast<float>(ctx.halt_value);
+    if (got != want) {
+      return "warp distance " + std::to_string(got) + ", expected " +
+             std::to_string(want);
+    }
+    return {};
+  };
+  return w;
+}
+
+}  // namespace jtam::programs

@@ -1,0 +1,358 @@
+// Matrix multiply with trace (MMT) — "multiplies two matrices of
+// floating-point numbers and sums the elements of the product" (§3).
+//
+// Structure: the main codeblock spawns one row codeblock per result row;
+// each row computes its n dot products with split-phase I-structure reads
+// of A and B, paying the software-FP library for every multiply/add.  All
+// rows are live at once, so replies interleave heavily across frames —
+// MMT is the finest-grained program in Table 2 (TPQ 4.2 under both
+// back-ends) and the only one where AM wins at every miss penalty.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "programs/registry.h"
+#include "support/error.h"
+
+namespace jtam::programs {
+
+using namespace tam;  // NOLINT(build/namespaces) — IR builder DSL
+
+namespace {
+
+// main codeblock slots
+constexpr SlotId kMainA = 0;
+constexpr SlotId kMainB = 1;
+constexpr SlotId kMainC = 2;
+constexpr SlotId kMainN = 3;
+constexpr SlotId kMainK = 4;
+constexpr SlotId kMainRowF = 5;
+constexpr SlotId kMainSum = 6;
+constexpr SlotId kMainCnt = 7;
+
+// row codeblock slots
+constexpr SlotId kRowA = 0;
+constexpr SlotId kRowB = 1;
+constexpr SlotId kRowC = 2;
+constexpr SlotId kRowN = 3;
+constexpr SlotId kRowI = 4;
+constexpr SlotId kRowMainF = 5;
+constexpr SlotId kRowJ = 6;
+constexpr SlotId kRowK = 7;
+constexpr SlotId kRowAcc = 8;
+constexpr SlotId kRowVa = 9;
+constexpr SlotId kRowVb = 10;
+constexpr SlotId kRowSum = 11;
+
+constexpr CbId kCbMain = 0;
+constexpr CbId kCbRow = 1;
+
+Program build_program() {
+  Program prog;
+  prog.name = "mmt";
+
+  // ---- main codeblock (cb 0) ------------------------------------------
+  CodeblockBuilder main_cb(prog, "mmt_main", 8);
+  ThreadId t_init = main_cb.declare_thread("init");
+  ThreadId t_spawn = main_cb.declare_thread("spawn");
+  ThreadId t_falloc = main_cb.declare_thread("falloc_row");
+  ThreadId t_sendargs = main_cb.declare_thread("send_row_args");
+  ThreadId t_check = main_cb.declare_thread("check_done");
+  ThreadId t_finish = main_cb.declare_thread("finish");
+  InletId in_start = main_cb.declare_inlet("start", 4);
+  InletId in_fr = main_cb.declare_inlet("row_frame", 1);
+  InletId in_done = main_cb.declare_inlet("row_done", 1);
+
+  {
+    BodyBuilder b = main_cb.define_inlet(in_start);
+    b.frame_store(kMainA, b.msg_load(0));
+    b.frame_store(kMainB, b.msg_load(1));
+    b.frame_store(kMainC, b.msg_load(2));
+    b.frame_store(kMainN, b.msg_load(3));
+    b.post(t_init);
+  }
+  {
+    BodyBuilder b = main_cb.define_inlet(in_fr);
+    b.frame_store(kMainRowF, b.msg_load(0));
+    b.post(t_sendargs);
+  }
+  {
+    // Row completion: accumulate the row sum *in the inlet* so concurrent
+    // completions cannot interleave between load and store (inlets are
+    // atomic at their priority level in both back-ends).
+    BodyBuilder b = main_cb.define_inlet(in_done);
+    VReg v = b.msg_load(0);
+    VReg sum = b.frame_load(kMainSum);
+    VReg s2 = b.bin(BinOp::FAdd, sum, v);
+    b.frame_store(kMainSum, s2);
+    VReg cnt = b.frame_load(kMainCnt);
+    VReg c2 = b.bini(BinOp::Add, cnt, 1);
+    b.frame_store(kMainCnt, c2);
+    b.post(t_check);
+  }
+  {
+    BodyBuilder b = main_cb.define_thread(t_init);
+    b.frame_store(kMainK, b.konst(0));
+    b.frame_store(kMainSum, b.konst_f(0.0f));
+    b.frame_store(kMainCnt, b.konst(0));
+    b.forks({t_spawn});
+  }
+  {
+    BodyBuilder b = main_cb.define_thread(t_spawn);
+    VReg k = b.frame_load(kMainK);
+    VReg n = b.frame_load(kMainN);
+    VReg c = b.bin(BinOp::Lt, k, n);
+    b.cond_forks(c, {t_falloc}, {});
+  }
+  {
+    BodyBuilder b = main_cb.define_thread(t_falloc);
+    b.falloc(kCbRow, in_fr);
+    b.stop();
+  }
+  {
+    BodyBuilder b = main_cb.define_thread(t_sendargs);
+    VReg rowf = b.frame_load(kMainRowF);
+    VReg av = b.frame_load(kMainA);
+    VReg bv = b.frame_load(kMainB);
+    VReg cv = b.frame_load(kMainC);
+    b.send_msg(kCbRow, /*in_abc=*/0, rowf, {av, bv, cv});
+    VReg n = b.frame_load(kMainN);
+    VReg k = b.frame_load(kMainK);
+    VReg self = b.self_frame();
+    b.send_msg(kCbRow, /*in_nif=*/1, rowf, {n, k, self});
+    VReg k1 = b.bini(BinOp::Add, k, 1);
+    b.frame_store(kMainK, k1);
+    b.forks({t_spawn});
+  }
+  {
+    BodyBuilder b = main_cb.define_thread(t_check);
+    VReg cnt = b.frame_load(kMainCnt);
+    VReg n = b.frame_load(kMainN);
+    VReg c = b.bin(BinOp::Eq, cnt, n);
+    b.cond_forks(c, {t_finish}, {});
+  }
+  {
+    BodyBuilder b = main_cb.define_thread(t_finish);
+    VReg sum = b.frame_load(kMainSum);
+    b.send_halt(sum);
+    b.stop();
+  }
+  main_cb.finish();
+
+  // ---- row codeblock (cb 1) --------------------------------------------
+  CodeblockBuilder row_cb(prog, "mmt_row", 12);
+  ThreadId t_start = row_cb.declare_thread("row_start", /*entry_count=*/2);
+  ThreadId t_jloop = row_cb.declare_thread("jloop");
+  ThreadId t_dotinit = row_cb.declare_thread("dot_init");
+  ThreadId t_kloop = row_cb.declare_thread("kloop");
+  ThreadId t_fetch2 = row_cb.declare_thread("fetch_ab");
+  ThreadId t_acc = row_cb.declare_thread("accumulate", /*entry_count=*/2);
+  ThreadId t_dotdone = row_cb.declare_thread("dot_done");
+  ThreadId t_rowdone = row_cb.declare_thread("row_done");
+  InletId in_abc = row_cb.declare_inlet("abc", 3);
+  InletId in_nif = row_cb.declare_inlet("nif", 3);
+  InletId in_a = row_cb.declare_inlet("a_elem", 1);
+  InletId in_b = row_cb.declare_inlet("b_elem", 1);
+
+  {
+    BodyBuilder b = row_cb.define_inlet(in_abc);
+    b.frame_store(kRowA, b.msg_load(0));
+    b.frame_store(kRowB, b.msg_load(1));
+    b.frame_store(kRowC, b.msg_load(2));
+    b.post(t_start);
+  }
+  {
+    BodyBuilder b = row_cb.define_inlet(in_nif);
+    b.frame_store(kRowN, b.msg_load(0));
+    b.frame_store(kRowI, b.msg_load(1));
+    b.frame_store(kRowMainF, b.msg_load(2));
+    b.post(t_start);
+  }
+  {
+    BodyBuilder b = row_cb.define_inlet(in_a);
+    b.frame_store(kRowVa, b.msg_load(0));
+    b.post(t_acc);
+  }
+  {
+    BodyBuilder b = row_cb.define_inlet(in_b);
+    b.frame_store(kRowVb, b.msg_load(0));
+    b.post(t_acc);
+  }
+  {
+    BodyBuilder b = row_cb.define_thread(t_start);
+    b.frame_store(kRowJ, b.konst(0));
+    b.frame_store(kRowSum, b.konst_f(0.0f));
+    b.forks({t_jloop});
+  }
+  {
+    BodyBuilder b = row_cb.define_thread(t_jloop);
+    VReg j = b.frame_load(kRowJ);
+    VReg n = b.frame_load(kRowN);
+    VReg c = b.bin(BinOp::Lt, j, n);
+    b.cond_forks(c, {t_dotinit}, {t_rowdone});
+  }
+  {
+    BodyBuilder b = row_cb.define_thread(t_dotinit);
+    b.frame_store(kRowAcc, b.konst_f(0.0f));
+    b.frame_store(kRowK, b.konst(0));
+    b.forks({t_kloop});
+  }
+  {
+    BodyBuilder b = row_cb.define_thread(t_kloop);
+    VReg k = b.frame_load(kRowK);
+    VReg n = b.frame_load(kRowN);
+    VReg c = b.bin(BinOp::Lt, k, n);
+    b.cond_forks(c, {t_fetch2}, {t_dotdone});
+  }
+  {
+    // Issue both split-phase reads: A[i][k] and B[k][j].
+    BodyBuilder b = row_cb.define_thread(t_fetch2);
+    VReg a0 = b.frame_load(kRowA);
+    VReg i = b.frame_load(kRowI);
+    VReg n = b.frame_load(kRowN);
+    VReg k = b.frame_load(kRowK);
+    VReg t1 = b.bin(BinOp::Mul, i, n);
+    VReg t2 = b.bin(BinOp::Add, t1, k);
+    VReg t3 = b.bini(BinOp::Shl, t2, 2);
+    VReg aa = b.bin(BinOp::Add, a0, t3);
+    b.ifetch(aa, in_a);
+    VReg b0 = b.frame_load(kRowB);
+    VReg j = b.frame_load(kRowJ);
+    VReg t4 = b.bin(BinOp::Mul, k, n);
+    VReg t5 = b.bin(BinOp::Add, t4, j);
+    VReg t6 = b.bini(BinOp::Shl, t5, 2);
+    VReg ab = b.bin(BinOp::Add, b0, t6);
+    b.ifetch(ab, in_b);
+    b.stop();
+  }
+  {
+    BodyBuilder b = row_cb.define_thread(t_acc);
+    VReg va = b.frame_load(kRowVa);
+    VReg vb = b.frame_load(kRowVb);
+    VReg p = b.bin(BinOp::FMul, va, vb);
+    VReg acc = b.frame_load(kRowAcc);
+    VReg a2 = b.bin(BinOp::FAdd, acc, p);
+    b.frame_store(kRowAcc, a2);
+    VReg k = b.frame_load(kRowK);
+    VReg k1 = b.bini(BinOp::Add, k, 1);
+    b.frame_store(kRowK, k1);
+    b.forks({t_kloop});
+  }
+  {
+    BodyBuilder b = row_cb.define_thread(t_dotdone);
+    VReg c0 = b.frame_load(kRowC);
+    VReg i = b.frame_load(kRowI);
+    VReg n = b.frame_load(kRowN);
+    VReg j = b.frame_load(kRowJ);
+    VReg t1 = b.bin(BinOp::Mul, i, n);
+    VReg t2 = b.bin(BinOp::Add, t1, j);
+    VReg t3 = b.bini(BinOp::Shl, t2, 2);
+    VReg ac = b.bin(BinOp::Add, c0, t3);
+    VReg acc = b.frame_load(kRowAcc);
+    b.istore(ac, acc);
+    VReg rs = b.frame_load(kRowSum);
+    VReg rs2 = b.bin(BinOp::FAdd, rs, acc);
+    b.frame_store(kRowSum, rs2);
+    VReg j1 = b.bini(BinOp::Add, j, 1);
+    b.frame_store(kRowJ, j1);
+    b.forks({t_jloop});
+  }
+  {
+    BodyBuilder b = row_cb.define_thread(t_rowdone);
+    VReg rs = b.frame_load(kRowSum);
+    VReg mainf = b.frame_load(kRowMainF);
+    b.send_msg(kCbMain, in_done, mainf, {rs});
+    b.release();
+    b.stop();
+  }
+  row_cb.finish();
+
+  return prog;
+}
+
+float elem_a(int i, int j) {
+  return static_cast<float>((i * 31 + j * 17) % 13) * 0.5f - 3.0f;
+}
+float elem_b(int i, int j) {
+  return static_cast<float>((i * 7 + j * 29) % 11) * 0.25f - 1.25f;
+}
+
+/// Plain-C++ oracle: the product matrix with the exact accumulation order
+/// the TAM program uses (k ascending per element), so element values match
+/// bit for bit.
+std::vector<float> oracle_product(int n) {
+  std::vector<float> c(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < n; ++k) {
+        acc = acc + elem_a(i, k) * elem_b(k, j);
+      }
+      c[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Workload make_mmt(int n) {
+  JTAM_CHECK(n >= 2, "mmt needs n >= 2");
+  struct State {
+    mem::Addr a = 0, b = 0, c = 0;
+  };
+  auto st = std::make_shared<State>();
+
+  Workload w;
+  w.name = "mmt";
+  w.description = "float matrix multiply + trace, n=" + std::to_string(n) +
+                  " (paper arg: 50)";
+  w.program = build_program();
+  w.setup = [st, n](SetupCtx& ctx) {
+    const auto words =
+        static_cast<std::uint32_t>(n) * static_cast<std::uint32_t>(n);
+    st->a = ctx.alloc_words(words);
+    st->b = ctx.alloc_words(words);
+    st->c = ctx.alloc_words(words);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        const auto off = static_cast<mem::Addr>(4 * (i * n + j));
+        ctx.write_tagged_f(st->a + off, elem_a(i, j));
+        ctx.write_tagged_f(st->b + off, elem_b(i, j));
+      }
+    }
+    mem::Addr frame = ctx.alloc_frame(kCbMain);
+    ctx.send_to_inlet(kCbMain, 0, frame,
+                      {st->a, st->b, st->c, static_cast<std::uint32_t>(n)});
+  };
+  w.check = [st, n](const CheckCtx& ctx) -> std::string {
+    const std::vector<float> want = oracle_product(n);
+    double expect_sum = 0.0;
+    for (int i = 0; i < n * n; ++i) {
+      const auto addr = st->c + static_cast<mem::Addr>(4 * i);
+      if (!ctx.m.tag(addr)) {
+        return "C[" + std::to_string(i) + "] never written";
+      }
+      float got = std::bit_cast<float>(ctx.m.load_word(addr));
+      if (got != want[static_cast<std::size_t>(i)]) {
+        return "C[" + std::to_string(i) + "] = " + std::to_string(got) +
+               ", expected " + std::to_string(want[i]);
+      }
+      expect_sum += want[static_cast<std::size_t>(i)];
+    }
+    // Row sums arrive in scheduling order, so the final float reduction can
+    // differ between back-ends in the last bits; compare loosely.
+    float sum = std::bit_cast<float>(ctx.halt_value);
+    if (std::abs(sum - expect_sum) > 1e-3 * (1.0 + std::abs(expect_sum))) {
+      return "trace sum " + std::to_string(sum) + " far from oracle " +
+             std::to_string(expect_sum);
+    }
+    return {};
+  };
+  return w;
+}
+
+}  // namespace jtam::programs

@@ -1,0 +1,838 @@
+// Paraffins — "enumerates the distinct isomers of paraffins" [AHN88] (§3).
+//
+// The classic Id benchmark counts alkane isomers through a dataflow dynamic
+// program over *radicals* (rooted trees of degree <= 3):
+//
+//   r[0] = r[1] = 1
+//   r[i] = sum over 0 <= a <= b <= c, a+b+c = i-1 of the number of
+//          multisets {A in r[a], B in r[b], C in r[c]}          (i >= 2)
+//
+// and paraffins of size m as bond-centred pairs plus carbon-centred
+// quadruples (subtree sizes <= (m-1)/2 so each molecule is counted once):
+//
+//   p[m] = [m even] mset2(r[m/2])
+//        + sum over a <= b <= c <= d, a+b+c+d = m-1, d <= (m-1)/2
+//          of the multiset count of the quadruple
+//
+// The program result is sum(p[1..n]).  One codeblock per radical size and
+// one per paraffin size, all spawned eagerly: every r[x] read is a
+// split-phase I-structure fetch that defers until rad(x) writes it, so the
+// whole DP self-schedules in dataflow order and activations interleave at
+// fine grain (Table 2: TPQ 6.8 MD / 8.7 AM).  Multiset coefficients are
+// computed in case-split threads on size equalities — combinations with
+// repetition, mset_k(x) = C(x+k-1, k).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "programs/registry.h"
+#include "support/error.h"
+
+namespace jtam::programs {
+
+using namespace tam;  // NOLINT(build/namespaces) — IR builder DSL
+
+namespace {
+
+constexpr CbId kCbMain = 0;
+constexpr CbId kCbRad = 1;
+constexpr CbId kCbPara = 2;
+
+// main slots
+constexpr SlotId kMR = 0;  // radicals array base
+constexpr SlotId kMN = 1;
+constexpr SlotId kMS = 2;  // spawn index
+constexpr SlotId kMChildF = 3;
+constexpr SlotId kMTotal = 4;
+constexpr SlotId kMCnt = 5;
+
+// rad slots
+constexpr SlotId kRR = 0;
+constexpr SlotId kRI = 1;
+constexpr SlotId kRAcc = 2;
+constexpr SlotId kRA = 3;
+constexpr SlotId kRB = 4;
+constexpr SlotId kRC = 5;
+constexpr SlotId kRRa = 6;
+constexpr SlotId kRRb = 7;
+constexpr SlotId kRRc = 8;
+
+// para slots
+constexpr SlotId kPR = 0;
+constexpr SlotId kPM = 1;
+constexpr SlotId kPMainF = 2;
+constexpr SlotId kPAcc = 3;
+constexpr SlotId kPA = 4;
+constexpr SlotId kPB = 5;
+constexpr SlotId kPC = 6;
+constexpr SlotId kPD = 7;
+constexpr SlotId kPRa = 8;
+constexpr SlotId kPRb = 9;
+constexpr SlotId kPRc = 10;
+constexpr SlotId kPRd = 11;
+
+// mset_k(x) emission helpers: multiset coefficient C(x+k-1, k).
+VReg emit_mset2(BodyBuilder& b, VReg x) {
+  VReg x1 = b.bini(BinOp::Add, x, 1);
+  VReg p = b.bin(BinOp::Mul, x, x1);
+  return b.bini(BinOp::Shr, p, 1);
+}
+VReg emit_mset3(BodyBuilder& b, VReg x) {
+  VReg x1 = b.bini(BinOp::Add, x, 1);
+  VReg p = b.bin(BinOp::Mul, x, x1);
+  VReg x2 = b.bini(BinOp::Add, x, 2);
+  VReg p2 = b.bin(BinOp::Mul, p, x2);
+  VReg six = b.konst(6);
+  return b.bin(BinOp::Div, p2, six);
+}
+VReg emit_mset4(BodyBuilder& b, VReg x) {
+  VReg x1 = b.bini(BinOp::Add, x, 1);
+  VReg p = b.bin(BinOp::Mul, x, x1);
+  VReg x2 = b.bini(BinOp::Add, x, 2);
+  VReg p2 = b.bin(BinOp::Mul, p, x2);
+  VReg x3 = b.bini(BinOp::Add, x, 3);
+  VReg p3 = b.bin(BinOp::Mul, p2, x3);
+  VReg c24 = b.konst(24);
+  return b.bin(BinOp::Div, p3, c24);
+}
+
+Program build_program() {
+  Program prog;
+  prog.name = "paraffins";
+
+  // ---- main codeblock -----------------------------------------------------
+  CodeblockBuilder mc(prog, "par_main", 6);
+  ThreadId t_init = mc.declare_thread("init");
+  ThreadId t_spawn = mc.declare_thread("spawn");
+  ThreadId t_which = mc.declare_thread("which");
+  ThreadId t_frad = mc.declare_thread("falloc_rad");
+  ThreadId t_fpar = mc.declare_thread("falloc_para");
+  ThreadId t_sendargs = mc.declare_thread("send_args");
+  ThreadId t_srad = mc.declare_thread("send_rad");
+  ThreadId t_spar = mc.declare_thread("send_para");
+  ThreadId t_checkm = mc.declare_thread("check_done");
+  ThreadId t_finish = mc.declare_thread("finish");
+  InletId in_start = mc.declare_inlet("start", 2);
+  InletId in_fr = mc.declare_inlet("child_frame", 1);
+  InletId in_pdone = mc.declare_inlet("para_done", 1);
+
+  {
+    BodyBuilder b = mc.define_inlet(in_start);
+    b.frame_store(kMR, b.msg_load(0));
+    b.frame_store(kMN, b.msg_load(1));
+    b.post(t_init);
+  }
+  {
+    BodyBuilder b = mc.define_inlet(in_fr);
+    b.frame_store(kMChildF, b.msg_load(0));
+    b.post(t_sendargs);
+  }
+  {
+    BodyBuilder b = mc.define_inlet(in_pdone);
+    VReg v = b.msg_load(0);
+    VReg tot = b.frame_load(kMTotal);
+    VReg t2 = b.bin(BinOp::Add, tot, v);
+    b.frame_store(kMTotal, t2);
+    VReg cnt = b.frame_load(kMCnt);
+    VReg c2 = b.bini(BinOp::Add, cnt, 1);
+    b.frame_store(kMCnt, c2);
+    b.post(t_checkm);
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_init);
+    b.frame_store(kMS, b.konst(0));
+    b.frame_store(kMTotal, b.konst(0));
+    b.frame_store(kMCnt, b.konst(0));
+    b.forks({t_spawn});
+  }
+  {
+    // 2n-1 children: rad(2..n) then para(1..n).
+    BodyBuilder b = mc.define_thread(t_spawn);
+    VReg s = b.frame_load(kMS);
+    VReg n = b.frame_load(kMN);
+    VReg n2 = b.bini(BinOp::Shl, n, 1);
+    VReg lim = b.bini(BinOp::Sub, n2, 1);
+    VReg c = b.bin(BinOp::Lt, s, lim);
+    b.cond_forks(c, {t_which}, {});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_which);
+    VReg s = b.frame_load(kMS);
+    VReg n = b.frame_load(kMN);
+    VReg n1 = b.bini(BinOp::Sub, n, 1);
+    VReg c = b.bin(BinOp::Lt, s, n1);
+    b.cond_forks(c, {t_frad}, {t_fpar});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_frad);
+    b.falloc(kCbRad, in_fr);
+    b.stop();
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_fpar);
+    b.falloc(kCbPara, in_fr);
+    b.stop();
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_sendargs);
+    VReg s = b.frame_load(kMS);
+    VReg n = b.frame_load(kMN);
+    VReg n1 = b.bini(BinOp::Sub, n, 1);
+    VReg c = b.bin(BinOp::Lt, s, n1);
+    b.cond_forks(c, {t_srad}, {t_spar});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_srad);
+    VReg cf = b.frame_load(kMChildF);
+    VReg rr = b.frame_load(kMR);
+    VReg s = b.frame_load(kMS);
+    VReg i = b.bini(BinOp::Add, s, 2);
+    b.send_msg(kCbRad, /*r_in=*/0, cf, {rr, i});
+    VReg s1 = b.bini(BinOp::Add, s, 1);
+    b.frame_store(kMS, s1);
+    b.forks({t_spawn});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_spar);
+    VReg cf = b.frame_load(kMChildF);
+    VReg rr = b.frame_load(kMR);
+    VReg s = b.frame_load(kMS);
+    VReg n = b.frame_load(kMN);
+    VReg t1 = b.bin(BinOp::Sub, s, n);
+    VReg m = b.bini(BinOp::Add, t1, 2);  // m = s - (n-1) + 1
+    VReg self = b.self_frame();
+    b.send_msg(kCbPara, /*p_in=*/0, cf, {rr, m, self});
+    VReg s1 = b.bini(BinOp::Add, s, 1);
+    b.frame_store(kMS, s1);
+    b.forks({t_spawn});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_checkm);
+    VReg cnt = b.frame_load(kMCnt);
+    VReg n = b.frame_load(kMN);
+    VReg c = b.bin(BinOp::Eq, cnt, n);
+    b.cond_forks(c, {t_finish}, {});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_finish);
+    VReg tot = b.frame_load(kMTotal);
+    b.send_halt(tot);
+    b.stop();
+  }
+  mc.finish();
+
+  // ---- rad codeblock: compute r[i] ------------------------------------------
+  CodeblockBuilder rc(prog, "rad", 9);
+  ThreadId r_init = rc.declare_thread("init");
+  ThreadId r_aloop = rc.declare_thread("aloop");
+  ThreadId r_binit = rc.declare_thread("binit");
+  ThreadId r_bloop = rc.declare_thread("bloop");
+  ThreadId r_anext = rc.declare_thread("anext");
+  ThreadId r_fetch3 = rc.declare_thread("fetch3");
+  ThreadId r_term = rc.declare_thread("term", /*entry_count=*/3);
+  ThreadId r_e1 = rc.declare_thread("case_ab");
+  ThreadId r_d1 = rc.declare_thread("case_a_b");
+  ThreadId r_e1e2 = rc.declare_thread("abc_equal");
+  ThreadId r_e1d2 = rc.declare_thread("ab_equal");
+  ThreadId r_d1e2 = rc.declare_thread("bc_equal");
+  ThreadId r_d1d2 = rc.declare_thread("all_diff");
+  ThreadId r_fin = rc.declare_thread("finish");
+  InletId r_in = rc.declare_inlet("Ri", 2);
+  InletId r_ra = rc.declare_inlet("ra", 1);
+  InletId r_rb = rc.declare_inlet("rb", 1);
+  InletId r_rc = rc.declare_inlet("rc", 1);
+
+  {
+    BodyBuilder b = rc.define_inlet(r_in);
+    b.frame_store(kRR, b.msg_load(0));
+    b.frame_store(kRI, b.msg_load(1));
+    b.post(r_init);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(r_ra);
+    b.frame_store(kRRa, b.msg_load(0));
+    b.post(r_term);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(r_rb);
+    b.frame_store(kRRb, b.msg_load(0));
+    b.post(r_term);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(r_rc);
+    b.frame_store(kRRc, b.msg_load(0));
+    b.post(r_term);
+  }
+  {
+    BodyBuilder b = rc.define_thread(r_init);
+    b.frame_store(kRAcc, b.konst(0));
+    b.frame_store(kRA, b.konst(0));
+    b.forks({r_aloop});
+  }
+  {
+    // a <= (i-1)/3
+    BodyBuilder b = rc.define_thread(r_aloop);
+    VReg a = b.frame_load(kRA);
+    VReg i = b.frame_load(kRI);
+    VReg i1 = b.bini(BinOp::Sub, i, 1);
+    VReg three = b.konst(3);
+    VReg lim = b.bin(BinOp::Div, i1, three);
+    VReg c = b.bin(BinOp::Le, a, lim);
+    b.cond_forks(c, {r_binit}, {r_fin});
+  }
+  {
+    BodyBuilder b = rc.define_thread(r_binit);
+    VReg a = b.frame_load(kRA);
+    b.frame_store(kRB, a);
+    b.forks({r_bloop});
+  }
+  {
+    // b <= (i-1-a)/2
+    BodyBuilder b = rc.define_thread(r_bloop);
+    VReg bb = b.frame_load(kRB);
+    VReg i = b.frame_load(kRI);
+    VReg a = b.frame_load(kRA);
+    VReg i1 = b.bini(BinOp::Sub, i, 1);
+    VReg rem = b.bin(BinOp::Sub, i1, a);
+    VReg lim = b.bini(BinOp::Shr, rem, 1);
+    VReg c = b.bin(BinOp::Le, bb, lim);
+    b.cond_forks(c, {r_fetch3}, {r_anext});
+  }
+  {
+    BodyBuilder b = rc.define_thread(r_anext);
+    VReg a = b.frame_load(kRA);
+    VReg a1 = b.bini(BinOp::Add, a, 1);
+    b.frame_store(kRA, a1);
+    b.forks({r_aloop});
+  }
+  {
+    // c = i-1-a-b; fetch r[a], r[b], r[c]
+    BodyBuilder b = rc.define_thread(r_fetch3);
+    VReg i = b.frame_load(kRI);
+    VReg a = b.frame_load(kRA);
+    VReg bb = b.frame_load(kRB);
+    VReg i1 = b.bini(BinOp::Sub, i, 1);
+    VReg t1 = b.bin(BinOp::Sub, i1, a);
+    VReg cc = b.bin(BinOp::Sub, t1, bb);
+    b.frame_store(kRC, cc);
+    VReg rr = b.frame_load(kRR);
+    VReg oa = b.bini(BinOp::Shl, a, 2);
+    VReg pa = b.bin(BinOp::Add, rr, oa);
+    b.ifetch(pa, r_ra);
+    VReg ob = b.bini(BinOp::Shl, bb, 2);
+    VReg pb = b.bin(BinOp::Add, rr, ob);
+    b.ifetch(pb, r_rb);
+    VReg oc = b.bini(BinOp::Shl, cc, 2);
+    VReg pc = b.bin(BinOp::Add, rr, oc);
+    b.ifetch(pc, r_rc);
+    b.stop();
+  }
+  {
+    BodyBuilder b = rc.define_thread(r_term);
+    VReg a = b.frame_load(kRA);
+    VReg bb = b.frame_load(kRB);
+    VReg e1 = b.bin(BinOp::Eq, a, bb);
+    b.cond_forks(e1, {r_e1}, {r_d1});
+  }
+  {
+    BodyBuilder b = rc.define_thread(r_e1);
+    VReg bb = b.frame_load(kRB);
+    VReg cc = b.frame_load(kRC);
+    VReg e2 = b.bin(BinOp::Eq, bb, cc);
+    b.cond_forks(e2, {r_e1e2}, {r_e1d2});
+  }
+  {
+    BodyBuilder b = rc.define_thread(r_d1);
+    VReg bb = b.frame_load(kRB);
+    VReg cc = b.frame_load(kRC);
+    VReg e2 = b.bin(BinOp::Eq, bb, cc);
+    b.cond_forks(e2, {r_d1e2}, {r_d1d2});
+  }
+  // Leaf cases accumulate the multiset term and continue the b loop.
+  auto leaf_tail = [&](BodyBuilder& b, VReg term) {
+    VReg acc = b.frame_load(kRAcc);
+    VReg a2 = b.bin(BinOp::Add, acc, term);
+    b.frame_store(kRAcc, a2);
+    VReg bb = b.frame_load(kRB);
+    VReg b1 = b.bini(BinOp::Add, bb, 1);
+    b.frame_store(kRB, b1);
+    b.forks({r_bloop});
+  };
+  {
+    BodyBuilder b = rc.define_thread(r_e1e2);  // a == b == c
+    VReg ra = b.frame_load(kRRa);
+    leaf_tail(b, emit_mset3(b, ra));
+  }
+  {
+    BodyBuilder b = rc.define_thread(r_e1d2);  // a == b < c
+    VReg ra = b.frame_load(kRRa);
+    VReg m = emit_mset2(b, ra);
+    VReg rcv = b.frame_load(kRRc);
+    leaf_tail(b, b.bin(BinOp::Mul, m, rcv));
+  }
+  {
+    BodyBuilder b = rc.define_thread(r_d1e2);  // a < b == c
+    VReg rb = b.frame_load(kRRb);
+    VReg m = emit_mset2(b, rb);
+    VReg ra = b.frame_load(kRRa);
+    leaf_tail(b, b.bin(BinOp::Mul, ra, m));
+  }
+  {
+    BodyBuilder b = rc.define_thread(r_d1d2);  // all different
+    VReg ra = b.frame_load(kRRa);
+    VReg rb = b.frame_load(kRRb);
+    VReg p = b.bin(BinOp::Mul, ra, rb);
+    VReg rcv = b.frame_load(kRRc);
+    leaf_tail(b, b.bin(BinOp::Mul, p, rcv));
+  }
+  {
+    BodyBuilder b = rc.define_thread(r_fin);
+    VReg rr = b.frame_load(kRR);
+    VReg i = b.frame_load(kRI);
+    VReg o = b.bini(BinOp::Shl, i, 2);
+    VReg addr = b.bin(BinOp::Add, rr, o);
+    VReg acc = b.frame_load(kRAcc);
+    b.istore(addr, acc);
+    b.release();
+    b.stop();
+  }
+  rc.finish();
+
+  // ---- para codeblock: compute p[m] and send it to main ---------------------
+  CodeblockBuilder pc(prog, "para", 12);
+  ThreadId p_start = pc.declare_thread("start");
+  ThreadId p_bcp1 = pc.declare_thread("bcp_fetch");
+  ThreadId p_bcp2 = pc.declare_thread("bcp_add");
+  ThreadId p_ainit = pc.declare_thread("ainit");
+  ThreadId p_aloop = pc.declare_thread("aloop");
+  ThreadId p_binit = pc.declare_thread("binit");
+  ThreadId p_bloop = pc.declare_thread("bloop");
+  ThreadId p_anext = pc.declare_thread("anext");
+  ThreadId p_cinit = pc.declare_thread("cinit");
+  ThreadId p_cloop = pc.declare_thread("cloop");
+  ThreadId p_bnext = pc.declare_thread("bnext");
+  ThreadId p_dchk = pc.declare_thread("dcheck");
+  ThreadId p_cnext = pc.declare_thread("cnext");
+  ThreadId p_fetch4 = pc.declare_thread("fetch4");
+  ThreadId p_quad = pc.declare_thread("quad", /*entry_count=*/4);
+  ThreadId p_q1 = pc.declare_thread("q_ab");
+  ThreadId p_q0 = pc.declare_thread("q_a_b");
+  ThreadId p_q11 = pc.declare_thread("q_abc");
+  ThreadId p_q10 = pc.declare_thread("q_ab_c");
+  ThreadId p_q01 = pc.declare_thread("q_a_bc");
+  ThreadId p_q00 = pc.declare_thread("q_a_b_c");
+  ThreadId p_q111 = pc.declare_thread("q_abcd");
+  ThreadId p_q110 = pc.declare_thread("q_abc_d");
+  ThreadId p_q101 = pc.declare_thread("q_ab_cd");
+  ThreadId p_q100 = pc.declare_thread("q_ab_c_d");
+  ThreadId p_q011 = pc.declare_thread("q_a_bcd");
+  ThreadId p_q010 = pc.declare_thread("q_a_bc_d");
+  ThreadId p_q001 = pc.declare_thread("q_a_b_cd");
+  ThreadId p_q000 = pc.declare_thread("q_all_diff");
+  ThreadId p_fin = pc.declare_thread("finish");
+  InletId p_in = pc.declare_inlet("init", 3);
+  InletId p_bcp = pc.declare_inlet("bcp_half", 1);
+  InletId p_ra = pc.declare_inlet("ra", 1);
+  InletId p_rb = pc.declare_inlet("rb", 1);
+  InletId p_rc = pc.declare_inlet("rc", 1);
+  InletId p_rd = pc.declare_inlet("rd", 1);
+
+  {
+    BodyBuilder b = pc.define_inlet(p_in);
+    b.frame_store(kPR, b.msg_load(0));
+    b.frame_store(kPM, b.msg_load(1));
+    b.frame_store(kPMainF, b.msg_load(2));
+    b.post(p_start);
+  }
+  {
+    BodyBuilder b = pc.define_inlet(p_bcp);
+    b.frame_store(kPRa, b.msg_load(0));  // reuse slot; BCP precedes CCP
+    b.post(p_bcp2);
+  }
+  {
+    BodyBuilder b = pc.define_inlet(p_ra);
+    b.frame_store(kPRa, b.msg_load(0));
+    b.post(p_quad);
+  }
+  {
+    BodyBuilder b = pc.define_inlet(p_rb);
+    b.frame_store(kPRb, b.msg_load(0));
+    b.post(p_quad);
+  }
+  {
+    BodyBuilder b = pc.define_inlet(p_rc);
+    b.frame_store(kPRc, b.msg_load(0));
+    b.post(p_quad);
+  }
+  {
+    BodyBuilder b = pc.define_inlet(p_rd);
+    b.frame_store(kPRd, b.msg_load(0));
+    b.post(p_quad);
+  }
+  {
+    // BCP only exists for even m.
+    BodyBuilder b = pc.define_thread(p_start);
+    b.frame_store(kPAcc, b.konst(0));
+    VReg m = b.frame_load(kPM);
+    VReg odd = b.bini(BinOp::And, m, 1);
+    b.cond_forks(odd, {p_ainit}, {p_bcp1});
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_bcp1);
+    VReg rr = b.frame_load(kPR);
+    VReg m = b.frame_load(kPM);
+    VReg h = b.bini(BinOp::Shr, m, 1);
+    VReg o = b.bini(BinOp::Shl, h, 2);
+    VReg addr = b.bin(BinOp::Add, rr, o);
+    b.ifetch(addr, p_bcp);
+    b.stop();
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_bcp2);
+    VReg v = b.frame_load(kPRa);
+    VReg m = emit_mset2(b, v);
+    VReg acc = b.frame_load(kPAcc);
+    VReg a2 = b.bin(BinOp::Add, acc, m);
+    b.frame_store(kPAcc, a2);
+    b.forks({p_ainit});
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_ainit);
+    b.frame_store(kPA, b.konst(0));
+    b.forks({p_aloop});
+  }
+  {
+    // a <= (m-1)/4
+    BodyBuilder b = pc.define_thread(p_aloop);
+    VReg a = b.frame_load(kPA);
+    VReg m = b.frame_load(kPM);
+    VReg m1 = b.bini(BinOp::Sub, m, 1);
+    VReg lim = b.bini(BinOp::Shr, m1, 2);
+    VReg c = b.bin(BinOp::Le, a, lim);
+    b.cond_forks(c, {p_binit}, {p_fin});
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_binit);
+    VReg a = b.frame_load(kPA);
+    b.frame_store(kPB, a);
+    b.forks({p_bloop});
+  }
+  {
+    // b <= (m-1-a)/3
+    BodyBuilder b = pc.define_thread(p_bloop);
+    VReg bb = b.frame_load(kPB);
+    VReg m = b.frame_load(kPM);
+    VReg a = b.frame_load(kPA);
+    VReg m1 = b.bini(BinOp::Sub, m, 1);
+    VReg rem = b.bin(BinOp::Sub, m1, a);
+    VReg three = b.konst(3);
+    VReg lim = b.bin(BinOp::Div, rem, three);
+    VReg c = b.bin(BinOp::Le, bb, lim);
+    b.cond_forks(c, {p_cinit}, {p_anext});
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_anext);
+    VReg a = b.frame_load(kPA);
+    VReg a1 = b.bini(BinOp::Add, a, 1);
+    b.frame_store(kPA, a1);
+    b.forks({p_aloop});
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_cinit);
+    VReg bb = b.frame_load(kPB);
+    b.frame_store(kPC, bb);
+    b.forks({p_cloop});
+  }
+  {
+    // c <= (m-1-a-b)/2
+    BodyBuilder b = pc.define_thread(p_cloop);
+    VReg cc = b.frame_load(kPC);
+    VReg m = b.frame_load(kPM);
+    VReg a = b.frame_load(kPA);
+    VReg bb = b.frame_load(kPB);
+    VReg m1 = b.bini(BinOp::Sub, m, 1);
+    VReg r1 = b.bin(BinOp::Sub, m1, a);
+    VReg r2 = b.bin(BinOp::Sub, r1, bb);
+    VReg lim = b.bini(BinOp::Shr, r2, 1);
+    VReg c = b.bin(BinOp::Le, cc, lim);
+    b.cond_forks(c, {p_dchk}, {p_bnext});
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_bnext);
+    VReg bb = b.frame_load(kPB);
+    VReg b1 = b.bini(BinOp::Add, bb, 1);
+    b.frame_store(kPB, b1);
+    b.forks({p_bloop});
+  }
+  {
+    // d = m-1-a-b-c; keep the quadruple only if d <= (m-1)/2 (centroid).
+    BodyBuilder b = pc.define_thread(p_dchk);
+    VReg m = b.frame_load(kPM);
+    VReg a = b.frame_load(kPA);
+    VReg bb = b.frame_load(kPB);
+    VReg cc = b.frame_load(kPC);
+    VReg m1 = b.bini(BinOp::Sub, m, 1);
+    VReg r1 = b.bin(BinOp::Sub, m1, a);
+    VReg r2 = b.bin(BinOp::Sub, r1, bb);
+    VReg d = b.bin(BinOp::Sub, r2, cc);
+    b.frame_store(kPD, d);
+    VReg dmax = b.bini(BinOp::Shr, m1, 1);
+    VReg ok = b.bin(BinOp::Le, d, dmax);
+    b.cond_forks(ok, {p_fetch4}, {p_cnext});
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_cnext);
+    VReg cc = b.frame_load(kPC);
+    VReg c1 = b.bini(BinOp::Add, cc, 1);
+    b.frame_store(kPC, c1);
+    b.forks({p_cloop});
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_fetch4);
+    VReg rr = b.frame_load(kPR);
+    VReg a = b.frame_load(kPA);
+    VReg oa = b.bini(BinOp::Shl, a, 2);
+    VReg pa = b.bin(BinOp::Add, rr, oa);
+    b.ifetch(pa, p_ra);
+    VReg bb = b.frame_load(kPB);
+    VReg ob = b.bini(BinOp::Shl, bb, 2);
+    VReg pb = b.bin(BinOp::Add, rr, ob);
+    b.ifetch(pb, p_rb);
+    VReg cc = b.frame_load(kPC);
+    VReg oc = b.bini(BinOp::Shl, cc, 2);
+    VReg pcc = b.bin(BinOp::Add, rr, oc);
+    b.ifetch(pcc, p_rc);
+    VReg dd = b.frame_load(kPD);
+    VReg od = b.bini(BinOp::Shl, dd, 2);
+    VReg pd = b.bin(BinOp::Add, rr, od);
+    b.ifetch(pd, p_rd);
+    b.stop();
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_quad);
+    VReg a = b.frame_load(kPA);
+    VReg bb = b.frame_load(kPB);
+    VReg e1 = b.bin(BinOp::Eq, a, bb);
+    b.cond_forks(e1, {p_q1}, {p_q0});
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_q1);
+    VReg bb = b.frame_load(kPB);
+    VReg cc = b.frame_load(kPC);
+    VReg e2 = b.bin(BinOp::Eq, bb, cc);
+    b.cond_forks(e2, {p_q11}, {p_q10});
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_q0);
+    VReg bb = b.frame_load(kPB);
+    VReg cc = b.frame_load(kPC);
+    VReg e2 = b.bin(BinOp::Eq, bb, cc);
+    b.cond_forks(e2, {p_q01}, {p_q00});
+  }
+  auto cd_branch = [&](ThreadId parent, ThreadId if_eq, ThreadId if_ne) {
+    BodyBuilder b = pc.define_thread(parent);
+    VReg cc = b.frame_load(kPC);
+    VReg dd = b.frame_load(kPD);
+    VReg e3 = b.bin(BinOp::Eq, cc, dd);
+    b.cond_forks(e3, {if_eq}, {if_ne});
+  };
+  cd_branch(p_q11, p_q111, p_q110);
+  cd_branch(p_q10, p_q101, p_q100);
+  cd_branch(p_q01, p_q011, p_q010);
+  cd_branch(p_q00, p_q001, p_q000);
+
+  auto quad_tail = [&](BodyBuilder& b, VReg term) {
+    VReg acc = b.frame_load(kPAcc);
+    VReg a2 = b.bin(BinOp::Add, acc, term);
+    b.frame_store(kPAcc, a2);
+    VReg cc = b.frame_load(kPC);
+    VReg c1 = b.bini(BinOp::Add, cc, 1);
+    b.frame_store(kPC, c1);
+    b.forks({p_cloop});
+  };
+  {
+    BodyBuilder b = pc.define_thread(p_q111);  // a==b==c==d
+    VReg ra = b.frame_load(kPRa);
+    quad_tail(b, emit_mset4(b, ra));
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_q110);  // a==b==c < d
+    VReg ra = b.frame_load(kPRa);
+    VReg m = emit_mset3(b, ra);
+    VReg rd = b.frame_load(kPRd);
+    quad_tail(b, b.bin(BinOp::Mul, m, rd));
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_q101);  // a==b < c==d
+    VReg ra = b.frame_load(kPRa);
+    VReg m1 = emit_mset2(b, ra);
+    VReg rcv = b.frame_load(kPRc);
+    VReg m2 = emit_mset2(b, rcv);
+    quad_tail(b, b.bin(BinOp::Mul, m1, m2));
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_q100);  // a==b < c < d
+    VReg ra = b.frame_load(kPRa);
+    VReg m = emit_mset2(b, ra);
+    VReg rcv = b.frame_load(kPRc);
+    VReg p1 = b.bin(BinOp::Mul, m, rcv);
+    VReg rd = b.frame_load(kPRd);
+    quad_tail(b, b.bin(BinOp::Mul, p1, rd));
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_q011);  // a < b==c==d
+    VReg rb = b.frame_load(kPRb);
+    VReg m = emit_mset3(b, rb);
+    VReg ra = b.frame_load(kPRa);
+    quad_tail(b, b.bin(BinOp::Mul, ra, m));
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_q010);  // a < b==c < d
+    VReg rb = b.frame_load(kPRb);
+    VReg m = emit_mset2(b, rb);
+    VReg ra = b.frame_load(kPRa);
+    VReg p1 = b.bin(BinOp::Mul, ra, m);
+    VReg rd = b.frame_load(kPRd);
+    quad_tail(b, b.bin(BinOp::Mul, p1, rd));
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_q001);  // a < b < c==d
+    VReg rcv = b.frame_load(kPRc);
+    VReg m = emit_mset2(b, rcv);
+    VReg ra = b.frame_load(kPRa);
+    VReg rb = b.frame_load(kPRb);
+    VReg p1 = b.bin(BinOp::Mul, ra, rb);
+    quad_tail(b, b.bin(BinOp::Mul, p1, m));
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_q000);  // all different
+    VReg ra = b.frame_load(kPRa);
+    VReg rb = b.frame_load(kPRb);
+    VReg p1 = b.bin(BinOp::Mul, ra, rb);
+    VReg rcv = b.frame_load(kPRc);
+    VReg p2 = b.bin(BinOp::Mul, p1, rcv);
+    VReg rd = b.frame_load(kPRd);
+    quad_tail(b, b.bin(BinOp::Mul, p2, rd));
+  }
+  {
+    BodyBuilder b = pc.define_thread(p_fin);
+    VReg acc = b.frame_load(kPAcc);
+    VReg mainf = b.frame_load(kPMainF);
+    b.send_msg(kCbMain, in_pdone, mainf, {acc});
+    b.release();
+    b.stop();
+  }
+  pc.finish();
+
+  return prog;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> paraffins_oracle(int n) {
+  std::vector<std::int64_t> r(static_cast<std::size_t>(n) + 1, 0);
+  r[0] = 1;
+  if (n >= 1) r[1] = 1;
+  auto ms2 = [](std::int64_t x) { return x * (x + 1) / 2; };
+  auto ms3 = [](std::int64_t x) { return x * (x + 1) * (x + 2) / 6; };
+  auto ms4 = [](std::int64_t x) {
+    return x * (x + 1) * (x + 2) * (x + 3) / 24;
+  };
+  for (int i = 2; i <= n; ++i) {
+    std::int64_t acc = 0;
+    for (int a = 0; 3 * a <= i - 1; ++a) {
+      for (int b = a; a + 2 * b <= i - 1; ++b) {
+        int c = i - 1 - a - b;
+        if (a == b && b == c) {
+          acc += ms3(r[static_cast<std::size_t>(a)]);
+        } else if (a == b) {
+          acc += ms2(r[static_cast<std::size_t>(a)]) *
+                 r[static_cast<std::size_t>(c)];
+        } else if (b == c) {
+          acc += r[static_cast<std::size_t>(a)] *
+                 ms2(r[static_cast<std::size_t>(b)]);
+        } else {
+          acc += r[static_cast<std::size_t>(a)] *
+                 r[static_cast<std::size_t>(b)] *
+                 r[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+    r[static_cast<std::size_t>(i)] = acc;
+  }
+  std::vector<std::int64_t> p(static_cast<std::size_t>(n) + 1, 0);
+  for (int m = 1; m <= n; ++m) {
+    std::int64_t acc = 0;
+    if (m % 2 == 0) acc += ms2(r[static_cast<std::size_t>(m / 2)]);
+    const int dmax = (m - 1) / 2;
+    for (int a = 0; 4 * a <= m - 1; ++a) {
+      for (int b = a; a + 3 * b <= m - 1; ++b) {
+        for (int c = b; a + b + 2 * c <= m - 1; ++c) {
+          int d = m - 1 - a - b - c;
+          if (d > dmax) continue;
+          std::int64_t ra = r[static_cast<std::size_t>(a)];
+          std::int64_t rb = r[static_cast<std::size_t>(b)];
+          std::int64_t rcv = r[static_cast<std::size_t>(c)];
+          std::int64_t rd = r[static_cast<std::size_t>(d)];
+          std::int64_t term;
+          if (a == b && b == c && c == d) {
+            term = ms4(ra);
+          } else if (a == b && b == c) {
+            term = ms3(ra) * rd;
+          } else if (b == c && c == d) {
+            term = ra * ms3(rb);
+          } else if (a == b && c == d) {
+            term = ms2(ra) * ms2(rcv);
+          } else if (a == b) {
+            term = ms2(ra) * rcv * rd;
+          } else if (b == c) {
+            term = ra * ms2(rb) * rd;
+          } else if (c == d) {
+            term = ra * rb * ms2(rcv);
+          } else {
+            term = ra * rb * rcv * rd;
+          }
+          acc += term;
+        }
+      }
+    }
+    p[static_cast<std::size_t>(m)] = acc;
+  }
+  return p;
+}
+
+Workload make_paraffins(int n) {
+  JTAM_CHECK(n >= 1 && n <= 24, "paraffins supports 1 <= n <= 24");
+  struct State {
+    mem::Addr r = 0;
+  };
+  auto st = std::make_shared<State>();
+
+  Workload w;
+  w.name = "paraffins";
+  w.description = "paraffin isomer enumeration up to size " +
+                  std::to_string(n) + " (paper arg: 13)";
+  w.program = build_program();
+  w.setup = [st, n](SetupCtx& ctx) {
+    st->r = ctx.alloc_words(static_cast<std::uint32_t>(n) + 1);
+    ctx.write_tagged(st->r, 1);      // r[0]
+    ctx.write_tagged(st->r + 4, 1);  // r[1]
+    mem::Addr frame = ctx.alloc_frame(kCbMain);
+    ctx.send_to_inlet(kCbMain, 0, frame,
+                      {st->r, static_cast<std::uint32_t>(n)});
+  };
+  w.check = [n](const CheckCtx& ctx) -> std::string {
+    const std::vector<std::int64_t> p = paraffins_oracle(n);
+    std::int64_t total = 0;
+    for (int m = 1; m <= n; ++m) total += p[static_cast<std::size_t>(m)];
+    if (static_cast<std::int64_t>(ctx.halt_value) != total) {
+      return "isomer total " + std::to_string(ctx.halt_value) +
+             ", expected " + std::to_string(total);
+    }
+    return {};
+  };
+  return w;
+}
+
+}  // namespace jtam::programs

@@ -1,0 +1,473 @@
+// Quicksort (QS) — "sorts an array of random integers" (§3).
+//
+// Functional-style quicksort, as the Id original: each activation fetches
+// its input array element by element (split-phase), partitions into two
+// freshly heap-allocated I-structure arrays, writes the pivot into its
+// final position in the shared output array, and recurses through frame
+// allocation.  Children signal completion through a dynamic continuation;
+// frames are released and recycled through the codeblock free list.  The
+// live recursion tree keeps many activations in flight, so quanta stay
+// small (Table 2: TPQ 4.5 MD / 5.7 AM).
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "programs/registry.h"
+#include "support/error.h"
+
+namespace jtam::programs {
+
+using namespace tam;  // NOLINT(build/namespaces) — IR builder DSL
+
+namespace {
+
+// main codeblock slots
+constexpr SlotId kMSrc = 0;
+constexpr SlotId kMN = 1;
+constexpr SlotId kMDst = 2;
+constexpr SlotId kMQf = 3;
+
+// qsort codeblock slots
+constexpr SlotId kQSrc = 0;
+constexpr SlotId kQN = 1;
+constexpr SlotId kQDst = 2;
+constexpr SlotId kQOff = 3;
+constexpr SlotId kQRetI = 4;
+constexpr SlotId kQRetF = 5;
+constexpr SlotId kQPivot = 6;
+constexpr SlotId kQK = 7;
+constexpr SlotId kQNl = 8;
+constexpr SlotId kQNg = 9;
+constexpr SlotId kQLess = 10;
+constexpr SlotId kQGeq = 11;
+constexpr SlotId kQV = 13;
+constexpr SlotId kQChildF = 14;
+
+constexpr CbId kCbMain = 0;
+constexpr CbId kCbQsort = 1;
+
+Program build_program() {
+  Program prog;
+  prog.name = "quicksort";
+
+  // ---- main codeblock --------------------------------------------------
+  CodeblockBuilder mc(prog, "qs_main", 4);
+  ThreadId t_go = mc.declare_thread("go");
+  ThreadId t_send = mc.declare_thread("send_root_args");
+  ThreadId t_halt = mc.declare_thread("halt");
+  InletId in_start = mc.declare_inlet("start", 3);
+  InletId in_qf = mc.declare_inlet("root_frame", 1);
+  InletId in_done = mc.declare_inlet("sorted", 1);
+
+  {
+    BodyBuilder b = mc.define_inlet(in_start);
+    b.frame_store(kMSrc, b.msg_load(0));
+    b.frame_store(kMN, b.msg_load(1));
+    b.frame_store(kMDst, b.msg_load(2));
+    b.post(t_go);
+  }
+  {
+    BodyBuilder b = mc.define_inlet(in_qf);
+    b.frame_store(kMQf, b.msg_load(0));
+    b.post(t_send);
+  }
+  {
+    BodyBuilder b = mc.define_inlet(in_done);
+    b.msg_load(0);  // completion token (ignored)
+    b.post(t_halt);
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_go);
+    b.falloc(kCbQsort, in_qf);
+    b.stop();
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_send);
+    VReg qf = b.frame_load(kMQf);
+    VReg src = b.frame_load(kMSrc);
+    VReg n = b.frame_load(kMN);
+    VReg dst = b.frame_load(kMDst);
+    b.send_msg(kCbQsort, /*in_snd=*/0, qf, {src, n, dst});
+    VReg off = b.konst(0);
+    VReg reti = b.inlet_addr(in_done);
+    VReg self = b.self_frame();
+    b.send_msg(kCbQsort, /*in_orf=*/1, qf, {off, reti, self});
+    b.stop();
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_halt);
+    VReg n = b.frame_load(kMN);
+    b.send_halt(n);
+    b.stop();
+  }
+  mc.finish();
+
+  // ---- qsort codeblock ---------------------------------------------------
+  CodeblockBuilder qc(prog, "qsort", 15);
+  ThreadId t_start = qc.declare_thread("start", /*entry_count=*/2);
+  ThreadId t_ne0 = qc.declare_thread("not_empty");
+  ThreadId t_done0 = qc.declare_thread("empty_done");
+  ThreadId t_single1 = qc.declare_thread("single_fetch");
+  ThreadId t_single2 = qc.declare_thread("single_place");
+  ThreadId t_pre = qc.declare_thread("fetch_pivot");
+  ThreadId t_alloc1 = qc.declare_thread("alloc_less");
+  ThreadId t_alloc2 = qc.declare_thread("alloc_geq");
+  ThreadId t_pstart = qc.declare_thread("partition_start");
+  ThreadId t_kloop = qc.declare_thread("kloop");
+  ThreadId t_fetchk = qc.declare_thread("fetch_elem");
+  ThreadId t_part = qc.declare_thread("partition");
+  ThreadId t_putl = qc.declare_thread("put_less");
+  ThreadId t_putg = qc.declare_thread("put_geq");
+  ThreadId t_place = qc.declare_thread("place_pivot");
+  ThreadId t_spawnl = qc.declare_thread("spawn_left");
+  ThreadId t_fallocl = qc.declare_thread("falloc_left");
+  ThreadId t_sendl = qc.declare_thread("send_left");
+  ThreadId t_spawnr = qc.declare_thread("spawn_right");
+  ThreadId t_fallocr = qc.declare_thread("falloc_right");
+  ThreadId t_sendr = qc.declare_thread("send_right");
+  ThreadId t_selfl = qc.declare_thread("no_left_child");
+  ThreadId t_selfr = qc.declare_thread("no_right_child");
+  ThreadId t_alldone = qc.declare_thread("all_done", /*entry_count=*/2);
+  InletId in_snd = qc.declare_inlet("src_n_dst", 3);
+  InletId in_orf = qc.declare_inlet("off_ret", 3);
+  InletId in_pivot = qc.declare_inlet("pivot", 1);
+  InletId in_sv = qc.declare_inlet("single_value", 1);
+  InletId in_v = qc.declare_inlet("elem", 1);
+  InletId in_less = qc.declare_inlet("less_base", 1);
+  InletId in_geq = qc.declare_inlet("geq_base", 1);
+  InletId in_lf = qc.declare_inlet("left_frame", 1);
+  InletId in_rf = qc.declare_inlet("right_frame", 1);
+  InletId in_cdone = qc.declare_inlet("child_done", 1);
+
+  {
+    BodyBuilder b = qc.define_inlet(in_snd);
+    b.frame_store(kQSrc, b.msg_load(0));
+    b.frame_store(kQN, b.msg_load(1));
+    b.frame_store(kQDst, b.msg_load(2));
+    b.post(t_start);
+  }
+  {
+    BodyBuilder b = qc.define_inlet(in_orf);
+    b.frame_store(kQOff, b.msg_load(0));
+    b.frame_store(kQRetI, b.msg_load(1));
+    b.frame_store(kQRetF, b.msg_load(2));
+    b.post(t_start);
+  }
+  {
+    BodyBuilder b = qc.define_inlet(in_pivot);
+    b.frame_store(kQPivot, b.msg_load(0));
+    b.post(t_alloc1);
+  }
+  {
+    BodyBuilder b = qc.define_inlet(in_sv);
+    b.frame_store(kQV, b.msg_load(0));
+    b.post(t_single2);
+  }
+  {
+    BodyBuilder b = qc.define_inlet(in_v);
+    b.frame_store(kQV, b.msg_load(0));
+    b.post(t_part);
+  }
+  {
+    BodyBuilder b = qc.define_inlet(in_less);
+    b.frame_store(kQLess, b.msg_load(0));
+    b.post(t_alloc2);
+  }
+  {
+    BodyBuilder b = qc.define_inlet(in_geq);
+    b.frame_store(kQGeq, b.msg_load(0));
+    b.post(t_pstart);
+  }
+  {
+    BodyBuilder b = qc.define_inlet(in_lf);
+    b.frame_store(kQChildF, b.msg_load(0));
+    b.post(t_sendl);
+  }
+  {
+    BodyBuilder b = qc.define_inlet(in_rf);
+    b.frame_store(kQChildF, b.msg_load(0));
+    b.post(t_sendr);
+  }
+  {
+    // Every activation receives exactly two child-done messages (absent
+    // children send one to self), so the join is a synchronizing thread
+    // with entry count 2 — TAM's own exactly-once mechanism.
+    BodyBuilder b = qc.define_inlet(in_cdone);
+    b.msg_load(0);  // completion token
+    b.post(t_alldone);
+  }
+
+  {
+    BodyBuilder b = qc.define_thread(t_start);
+    VReg n = b.frame_load(kQN);
+    VReg c = b.bini(BinOp::Lt, n, 1);  // n == 0
+    b.cond_forks(c, {t_done0}, {t_ne0});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_ne0);
+    VReg n = b.frame_load(kQN);
+    VReg c = b.bini(BinOp::Lt, n, 2);  // n == 1
+    b.cond_forks(c, {t_single1}, {t_pre});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_done0);
+    VReg reti = b.frame_load(kQRetI);
+    VReg retf = b.frame_load(kQRetF);
+    VReg one = b.konst(1);
+    b.send_dyn(reti, retf, {one});
+    b.release();
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_single1);
+    VReg src = b.frame_load(kQSrc);
+    b.ifetch(src, in_sv);
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_single2);
+    VReg dst = b.frame_load(kQDst);
+    VReg off = b.frame_load(kQOff);
+    VReg o4 = b.bini(BinOp::Shl, off, 2);
+    VReg addr = b.bin(BinOp::Add, dst, o4);
+    VReg v = b.frame_load(kQV);
+    b.istore(addr, v);
+    VReg reti = b.frame_load(kQRetI);
+    VReg retf = b.frame_load(kQRetF);
+    VReg one = b.konst(1);
+    b.send_dyn(reti, retf, {one});
+    b.release();
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_pre);
+    VReg src = b.frame_load(kQSrc);
+    b.ifetch(src, in_pivot);  // pivot = src[0]
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_alloc1);
+    VReg n = b.frame_load(kQN);
+    VReg bytes = b.bini(BinOp::Shl, n, 2);  // n-1 would do; n is simpler
+    b.halloc(bytes, in_less);
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_alloc2);
+    VReg n = b.frame_load(kQN);
+    VReg bytes = b.bini(BinOp::Shl, n, 2);
+    b.halloc(bytes, in_geq);
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_pstart);
+    b.frame_store(kQNl, b.konst(0));
+    b.frame_store(kQNg, b.konst(0));
+    b.frame_store(kQK, b.konst(1));
+    b.forks({t_kloop});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_kloop);
+    VReg k = b.frame_load(kQK);
+    VReg n = b.frame_load(kQN);
+    VReg c = b.bin(BinOp::Lt, k, n);
+    b.cond_forks(c, {t_fetchk}, {t_place});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_fetchk);
+    VReg src = b.frame_load(kQSrc);
+    VReg k = b.frame_load(kQK);
+    VReg o = b.bini(BinOp::Shl, k, 2);
+    VReg addr = b.bin(BinOp::Add, src, o);
+    b.ifetch(addr, in_v);
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_part);
+    VReg v = b.frame_load(kQV);
+    VReg p = b.frame_load(kQPivot);
+    VReg c = b.bin(BinOp::Lt, v, p);
+    b.cond_forks(c, {t_putl}, {t_putg});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_putl);
+    VReg la = b.frame_load(kQLess);
+    VReg nl = b.frame_load(kQNl);
+    VReg o = b.bini(BinOp::Shl, nl, 2);
+    VReg addr = b.bin(BinOp::Add, la, o);
+    VReg v = b.frame_load(kQV);
+    b.istore(addr, v);
+    VReg nl1 = b.bini(BinOp::Add, nl, 1);
+    b.frame_store(kQNl, nl1);
+    VReg k = b.frame_load(kQK);
+    VReg k1 = b.bini(BinOp::Add, k, 1);
+    b.frame_store(kQK, k1);
+    b.forks({t_kloop});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_putg);
+    VReg ga = b.frame_load(kQGeq);
+    VReg ng = b.frame_load(kQNg);
+    VReg o = b.bini(BinOp::Shl, ng, 2);
+    VReg addr = b.bin(BinOp::Add, ga, o);
+    VReg v = b.frame_load(kQV);
+    b.istore(addr, v);
+    VReg ng1 = b.bini(BinOp::Add, ng, 1);
+    b.frame_store(kQNg, ng1);
+    VReg k = b.frame_load(kQK);
+    VReg k1 = b.bini(BinOp::Add, k, 1);
+    b.frame_store(kQK, k1);
+    b.forks({t_kloop});
+  }
+  {
+    // Pivot lands in its final position; children fill the flanks.
+    BodyBuilder b = qc.define_thread(t_place);
+    VReg off = b.frame_load(kQOff);
+    VReg nl = b.frame_load(kQNl);
+    VReg s = b.bin(BinOp::Add, off, nl);
+    VReg o4 = b.bini(BinOp::Shl, s, 2);
+    VReg dst = b.frame_load(kQDst);
+    VReg addr = b.bin(BinOp::Add, dst, o4);
+    VReg pv = b.frame_load(kQPivot);
+    b.istore(addr, pv);
+    b.forks({t_spawnl});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_spawnl);
+    VReg nl = b.frame_load(kQNl);
+    VReg zero = b.konst(0);
+    VReg c = b.bin(BinOp::Lt, zero, nl);
+    b.cond_forks(c, {t_fallocl}, {t_selfl});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_fallocl);
+    b.falloc(kCbQsort, in_lf);
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_sendl);
+    VReg cf = b.frame_load(kQChildF);
+    VReg less = b.frame_load(kQLess);
+    VReg nl = b.frame_load(kQNl);
+    VReg dst = b.frame_load(kQDst);
+    b.send_msg(kCbQsort, in_snd, cf, {less, nl, dst});
+    VReg off = b.frame_load(kQOff);
+    VReg reti = b.inlet_addr(in_cdone);
+    VReg self = b.self_frame();
+    b.send_msg(kCbQsort, in_orf, cf, {off, reti, self});
+    b.forks({t_spawnr});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_spawnr);
+    VReg ng = b.frame_load(kQNg);
+    VReg zero = b.konst(0);
+    VReg c = b.bin(BinOp::Lt, zero, ng);
+    b.cond_forks(c, {t_fallocr}, {t_selfr});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_selfl);
+    VReg self = b.self_frame();
+    VReg one = b.konst(1);
+    b.send_msg(kCbQsort, in_cdone, self, {one});
+    b.forks({t_spawnr});
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_selfr);
+    VReg self = b.self_frame();
+    VReg one = b.konst(1);
+    b.send_msg(kCbQsort, in_cdone, self, {one});
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_fallocr);
+    b.falloc(kCbQsort, in_rf);
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_sendr);
+    VReg cf = b.frame_load(kQChildF);
+    VReg geq = b.frame_load(kQGeq);
+    VReg ng = b.frame_load(kQNg);
+    VReg dst = b.frame_load(kQDst);
+    b.send_msg(kCbQsort, in_snd, cf, {geq, ng, dst});
+    VReg off = b.frame_load(kQOff);
+    VReg nl = b.frame_load(kQNl);
+    VReg o2 = b.bin(BinOp::Add, off, nl);
+    VReg roff = b.bini(BinOp::Add, o2, 1);
+    VReg reti = b.inlet_addr(in_cdone);
+    VReg self = b.self_frame();
+    b.send_msg(kCbQsort, in_orf, cf, {roff, reti, self});
+    b.stop();
+  }
+  {
+    BodyBuilder b = qc.define_thread(t_alldone);
+    VReg reti = b.frame_load(kQRetI);
+    VReg retf = b.frame_load(kQRetF);
+    VReg one = b.konst(1);
+    b.send_dyn(reti, retf, {one});
+    b.release();
+    b.stop();
+  }
+  qc.finish();
+
+  return prog;
+}
+
+std::vector<std::uint32_t> random_values(int n, std::uint32_t seed) {
+  std::vector<std::uint32_t> v(static_cast<std::size_t>(n));
+  std::uint32_t x = seed;
+  for (int i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    v[static_cast<std::size_t>(i)] = (x >> 8) & 0x7fffffffu;
+  }
+  return v;
+}
+
+}  // namespace
+
+Workload make_quicksort(int n, std::uint32_t seed) {
+  JTAM_CHECK(n >= 1, "quicksort needs n >= 1");
+  struct State {
+    mem::Addr src = 0, dst = 0;
+  };
+  auto st = std::make_shared<State>();
+
+  Workload w;
+  w.name = "qs";
+  w.description = "functional quicksort of " + std::to_string(n) +
+                  " random integers (paper arg: 100)";
+  w.program = build_program();
+  w.setup = [st, n, seed](SetupCtx& ctx) {
+    st->src = ctx.alloc_words(static_cast<std::uint32_t>(n));
+    st->dst = ctx.alloc_words(static_cast<std::uint32_t>(n));
+    const std::vector<std::uint32_t> vals = random_values(n, seed);
+    for (int i = 0; i < n; ++i) {
+      ctx.write_tagged(st->src + static_cast<mem::Addr>(4 * i),
+                       vals[static_cast<std::size_t>(i)]);
+    }
+    mem::Addr frame = ctx.alloc_frame(kCbMain);
+    ctx.send_to_inlet(kCbMain, 0, frame,
+                      {st->src, static_cast<std::uint32_t>(n), st->dst});
+  };
+  w.check = [st, n, seed](const CheckCtx& ctx) -> std::string {
+    std::vector<std::uint32_t> want = random_values(n, seed);
+    std::sort(want.begin(), want.end());
+    for (int i = 0; i < n; ++i) {
+      const auto addr = st->dst + static_cast<mem::Addr>(4 * i);
+      if (!ctx.m.tag(addr)) {
+        return "dst[" + std::to_string(i) + "] never written";
+      }
+      std::uint32_t got = ctx.m.load_word(addr);
+      if (got != want[static_cast<std::size_t>(i)]) {
+        return "dst[" + std::to_string(i) + "] = " + std::to_string(got) +
+               ", expected " + std::to_string(want[i]);
+      }
+    }
+    return {};
+  };
+  return w;
+}
+
+}  // namespace jtam::programs

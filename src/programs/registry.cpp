@@ -1,0 +1,72 @@
+#include "programs/registry.h"
+
+#include <bit>
+
+#include "runtime/kernel.h"
+#include "support/error.h"
+
+namespace jtam::programs {
+
+SetupCtx::SetupCtx(mdp::Machine& m, const tamc::CompiledProgram& cp)
+    : m_(m), cp_(cp), cursor_(mem::kUserDataBase) {}
+
+mem::Addr SetupCtx::alloc_words(std::uint32_t words) {
+  mem::Addr base = cursor_;
+  cursor_ += words * mem::kWordBytes;
+  JTAM_CHECK(cursor_ <= mem::kUserDataLimit, "host heap exhausted in setup");
+  return base;
+}
+
+void SetupCtx::write(mem::Addr a, std::uint32_t v) { m_.store_word(a, v); }
+
+void SetupCtx::write_tagged(mem::Addr a, std::uint32_t v) {
+  m_.store_word(a, v);
+  m_.set_tag(a, true);
+}
+
+void SetupCtx::write_tagged_f(mem::Addr a, float v) {
+  write_tagged(a, std::bit_cast<std::uint32_t>(v));
+}
+
+mem::Addr SetupCtx::alloc_frame(tam::CbId cb) {
+  const rt::FrameLayout& fl = cp_.layouts[static_cast<std::size_t>(cb)];
+  mem::Addr frame =
+      alloc_words(static_cast<std::uint32_t>(fl.frame_bytes) / 4);
+  m_.store_word(frame + rt::kFrameLinkOff, 0);
+  if (fl.backend == rt::BackendKind::ActiveMessages) {
+    m_.store_word(frame + rt::kAmRcvCntOff, 0);
+  }
+  for (int e = 0; e < fl.num_ec; ++e) {
+    m_.store_word(frame + static_cast<mem::Addr>(fl.ec_off + 4 * e),
+                  static_cast<std::uint32_t>(fl.ec_init[e]));
+  }
+  return frame;
+}
+
+void SetupCtx::send_to_inlet(tam::CbId cb, tam::InletId inlet,
+                             mem::Addr frame,
+                             const std::vector<std::uint32_t>& args) {
+  JTAM_CHECK(static_cast<int>(args.size()) ==
+                 cp_.source.codeblocks[cb].inlets[inlet].payload_words,
+             "boot message payload does not match inlet arity");
+  std::vector<std::uint32_t> words;
+  words.reserve(args.size() + 2);
+  words.push_back(cp_.inlet_addr(cb, inlet));
+  words.push_back(frame);
+  for (std::uint32_t a : args) words.push_back(a);
+  m_.inject(rt::inlet_queue(cp_.options.backend), words);
+}
+
+std::vector<Workload> paper_workloads(const Scale& s) {
+  // Table 2 order: TPQ increases down the list.
+  return {
+      make_mmt(s.mmt_n),
+      make_quicksort(s.qs_n),
+      make_dtw(s.dtw_n),
+      make_paraffins(s.paraffins_n),
+      make_wavefront(s.wavefront_n, s.wavefront_steps),
+      make_selection_sort(s.ss_n),
+  };
+}
+
+}  // namespace jtam::programs

@@ -1,0 +1,101 @@
+// Workload interface and the registry of the paper's six programs (§3):
+//
+//   matrix multiply (MMT), quicksort (QS), discrete time warp (DTW),
+//   paraffins, wavefront, and selection sort (SS).
+//
+// Each workload supplies a TAM IR program, a host-side setup hook that
+// builds its initial heap (I-structure arrays), allocates the root frame
+// and injects the boot messages, and a check hook that validates the final
+// machine state against a plain-C++ oracle.  Both back-ends must produce
+// identical results ("while both implementations yield the same results,
+// their dynamic behaviors differ", §2.3) — the test suite asserts this for
+// every workload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mdp/machine.h"
+#include "tamc/lower.h"
+
+namespace jtam::programs {
+
+/// Host-side environment handed to Workload::setup before the run starts.
+/// Mirrors what the J-Machine boot loader did: it can place initial data in
+/// user memory, build the root frame, and enqueue boot messages.
+class SetupCtx {
+ public:
+  SetupCtx(mdp::Machine& m, const tamc::CompiledProgram& cp);
+
+  /// Allocate `words` words of user data; returns the base address.
+  mem::Addr alloc_words(std::uint32_t words);
+  /// Plain word write (no presence tag).
+  void write(mem::Addr a, std::uint32_t v);
+  /// I-structure writes: set the word and its presence tag.
+  void write_tagged(mem::Addr a, std::uint32_t v);
+  void write_tagged_f(mem::Addr a, float v);
+  /// Allocate and initialize a frame for `cb` exactly as rt_falloc would.
+  mem::Addr alloc_frame(tam::CbId cb);
+  /// Enqueue a boot message to a user inlet (lands in the back-end's inlet
+  /// queue, as if sent by the network).
+  void send_to_inlet(tam::CbId cb, tam::InletId inlet, mem::Addr frame,
+                     const std::vector<std::uint32_t>& args);
+
+  /// First free user-data address (the runtime heap starts here).
+  mem::Addr cursor() const { return cursor_; }
+  mdp::Machine& machine() { return m_; }
+  const tamc::CompiledProgram& compiled() const { return cp_; }
+
+ private:
+  mdp::Machine& m_;
+  const tamc::CompiledProgram& cp_;
+  mem::Addr cursor_;
+};
+
+/// Final machine state handed to Workload::check.
+struct CheckCtx {
+  mdp::Machine& m;
+  mdp::RunStatus status;
+  std::uint32_t halt_value;
+};
+
+struct Workload {
+  std::string name;
+  std::string description;
+  tam::Program program;
+  std::function<void(SetupCtx&)> setup;
+  /// Returns an empty string on success, else a failure description.
+  std::function<std::string(const CheckCtx&)> check;
+};
+
+/// Problem sizes.  Defaults are scaled so each run executes 10^5-10^7
+/// simulated instructions (the paper's runs were 10^5-10^7+ as well) while
+/// the working sets still sweep past the 1K-128K cache ladder.
+struct Scale {
+  int mmt_n = 40;          // paper: 50 (n x n float matrices)
+  int qs_n = 200;          // paper: 100 random integers
+  int dtw_n = 32;          // paper: arg 10; FP cost matrix of dtw_n^2
+  int paraffins_n = 16;    // paper: 13 (max paraffin size)
+  int wavefront_n = 40;    // paper: 40 (matrix edge)
+  int wavefront_steps = 5; // successive matrices
+  int ss_n = 100;          // paper: 100 integers in reverse order
+};
+
+Workload make_mmt(int n);
+Workload make_quicksort(int n, std::uint32_t seed = 0x1234abcd);
+Workload make_dtw(int n);
+Workload make_paraffins(int n);
+Workload make_wavefront(int n, int steps);
+Workload make_selection_sort(int n);
+
+/// The paper's six programs, in Table 2 order (increasing TPQ).
+std::vector<Workload> paper_workloads(const Scale& s = {});
+
+/// Plain-C++ oracle for the paraffins DP: p[m] (isomer count of C_m H_2m+2)
+/// for m = 0..n.  Exposed so tests can pin it against the published
+/// sequence (p(13) = 802).
+std::vector<std::int64_t> paraffins_oracle(int n);
+
+}  // namespace jtam::programs

@@ -1,0 +1,205 @@
+// Selection sort (SS) — "sorts an array of integers that are originally in
+// reverse order" (§3).  The paper notes it "makes only 3 procedure calls in
+// its entire execution, leading to high locality for frame memory": it is a
+// single codeblock whose loop threads re-fork themselves, so the whole run
+// is a handful of enormous quanta (Table 2: TPQ ~6400-6900, by far the
+// coarsest program).  The array is imperative global data (gfetch/gstore);
+// the FIFO system queue orders the in-place swaps.
+
+#include <memory>
+
+#include "programs/registry.h"
+#include "support/error.h"
+
+namespace jtam::programs {
+
+using namespace tam;  // NOLINT(build/namespaces) — IR builder DSL
+
+namespace {
+
+constexpr SlotId kBase = 0;
+constexpr SlotId kN = 1;
+constexpr SlotId kI = 2;
+constexpr SlotId kJ = 3;
+constexpr SlotId kVi = 4;
+constexpr SlotId kBest = 5;
+constexpr SlotId kBestIdx = 6;
+constexpr SlotId kAj = 7;
+
+Program build_program(int n) {
+  JTAM_CHECK(n >= 2, "selection sort needs at least two elements");
+  Program prog;
+  prog.name = "selection_sort";
+  CodeblockBuilder cb(prog, "ss", /*num_data_slots=*/8);
+
+  ThreadId t_init = cb.declare_thread("init");
+  ThreadId t_outer = cb.declare_thread("outer");
+  ThreadId t_fetch_vi = cb.declare_thread("fetch_vi");
+  ThreadId t_inner_init = cb.declare_thread("inner_init");
+  ThreadId t_inner = cb.declare_thread("inner");
+  ThreadId t_fetch_aj = cb.declare_thread("fetch_aj");
+  ThreadId t_cmp = cb.declare_thread("cmp");
+  ThreadId t_swap = cb.declare_thread("swap");
+  ThreadId t_done = cb.declare_thread("done");
+
+  InletId in_start = cb.declare_inlet("start", 2);
+  InletId in_vi = cb.declare_inlet("vi", 1);
+  InletId in_aj = cb.declare_inlet("aj", 1);
+
+  {
+    BodyBuilder b = cb.define_inlet(in_start);
+    b.frame_store(kBase, b.msg_load(0));
+    b.frame_store(kN, b.msg_load(1));
+    b.post(t_init);
+  }
+  {
+    BodyBuilder b = cb.define_inlet(in_vi);
+    b.frame_store(kVi, b.msg_load(0));
+    b.post(t_inner_init);
+  }
+  {
+    BodyBuilder b = cb.define_inlet(in_aj);
+    b.frame_store(kAj, b.msg_load(0));
+    b.post(t_cmp);
+  }
+
+  {
+    BodyBuilder b = cb.define_thread(t_init);
+    b.frame_store(kI, b.konst(0));
+    b.forks({t_outer});
+  }
+  {
+    // outer loop head: i < n-1 ?
+    BodyBuilder b = cb.define_thread(t_outer);
+    VReg i = b.frame_load(kI);
+    VReg nv = b.frame_load(kN);
+    VReg limit = b.bini(BinOp::Sub, nv, 1);
+    VReg c = b.bin(BinOp::Lt, i, limit);
+    b.cond_forks(c, {t_fetch_vi}, {t_done});
+  }
+  {
+    // split-phase read of A[i]
+    BodyBuilder b = cb.define_thread(t_fetch_vi);
+    VReg base = b.frame_load(kBase);
+    VReg i = b.frame_load(kI);
+    VReg off = b.bini(BinOp::Shl, i, 2);
+    VReg addr = b.bin(BinOp::Add, base, off);
+    b.gfetch(addr, in_vi);
+    b.stop();
+  }
+  {
+    BodyBuilder b = cb.define_thread(t_inner_init);
+    VReg vi = b.frame_load(kVi);
+    b.frame_store(kBest, vi);
+    VReg i = b.frame_load(kI);
+    b.frame_store(kBestIdx, i);
+    VReg j0 = b.bini(BinOp::Add, i, 1);
+    b.frame_store(kJ, j0);
+    b.forks({t_inner});
+  }
+  {
+    // inner loop head: j < n ?
+    BodyBuilder b = cb.define_thread(t_inner);
+    VReg j = b.frame_load(kJ);
+    VReg nv = b.frame_load(kN);
+    VReg c = b.bin(BinOp::Lt, j, nv);
+    b.cond_forks(c, {t_fetch_aj}, {t_swap});
+  }
+  {
+    BodyBuilder b = cb.define_thread(t_fetch_aj);
+    VReg base = b.frame_load(kBase);
+    VReg j = b.frame_load(kJ);
+    VReg off = b.bini(BinOp::Shl, j, 2);
+    VReg addr = b.bin(BinOp::Add, base, off);
+    b.gfetch(addr, in_aj);
+    b.stop();
+  }
+  {
+    // track the minimum seen so far (branchless, as TL0 cmoves would be)
+    BodyBuilder b = cb.define_thread(t_cmp);
+    VReg aj = b.frame_load(kAj);
+    VReg best = b.frame_load(kBest);
+    VReg c = b.bin(BinOp::Lt, aj, best);
+    VReg nb = b.select(c, aj, best);
+    b.frame_store(kBest, nb);
+    VReg bi = b.frame_load(kBestIdx);
+    VReg j = b.frame_load(kJ);
+    VReg nbi = b.select(c, j, bi);
+    b.frame_store(kBestIdx, nbi);
+    VReg j1 = b.bini(BinOp::Add, j, 1);
+    b.frame_store(kJ, j1);
+    b.forks({t_inner});
+  }
+  {
+    // swap A[i] <-> A[bestIdx]
+    BodyBuilder b = cb.define_thread(t_swap);
+    VReg base = b.frame_load(kBase);
+    VReg i = b.frame_load(kI);
+    VReg offi = b.bini(BinOp::Shl, i, 2);
+    VReg ai = b.bin(BinOp::Add, base, offi);
+    VReg best = b.frame_load(kBest);
+    b.gstore(ai, best);
+    VReg bi = b.frame_load(kBestIdx);
+    VReg offb = b.bini(BinOp::Shl, bi, 2);
+    VReg ab = b.bin(BinOp::Add, base, offb);
+    VReg vi = b.frame_load(kVi);
+    b.gstore(ab, vi);
+    VReg i1 = b.bini(BinOp::Add, i, 1);
+    b.frame_store(kI, i1);
+    b.forks({t_outer});
+  }
+  {
+    BodyBuilder b = cb.define_thread(t_done);
+    VReg nv = b.frame_load(kN);
+    b.send_halt(nv);
+    b.stop();
+  }
+
+  cb.finish();
+  return prog;
+}
+
+}  // namespace
+
+Workload make_selection_sort(int n) {
+  struct State {
+    mem::Addr base = 0;
+    int n = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->n = n;
+
+  Workload w;
+  w.name = "ss";
+  w.description = "selection sort of " + std::to_string(n) +
+                  " reverse-ordered integers (paper arg: 100)";
+  w.program = build_program(n);
+  w.setup = [st, n](SetupCtx& ctx) {
+    st->base = ctx.alloc_words(static_cast<std::uint32_t>(n));
+    for (int k = 0; k < n; ++k) {
+      // Reverse order: values n..1.
+      ctx.write(st->base + static_cast<mem::Addr>(4 * k),
+                static_cast<std::uint32_t>(n - k));
+    }
+    mem::Addr frame = ctx.alloc_frame(0);
+    ctx.send_to_inlet(0, 0, frame,
+                      {st->base, static_cast<std::uint32_t>(n)});
+  };
+  w.check = [st, n](const CheckCtx& ctx) -> std::string {
+    if (ctx.halt_value != static_cast<std::uint32_t>(n)) {
+      return "unexpected halt value";
+    }
+    for (int k = 0; k < n; ++k) {
+      std::uint32_t v =
+          ctx.m.load_word(st->base + static_cast<mem::Addr>(4 * k));
+      if (v != static_cast<std::uint32_t>(k + 1)) {
+        return "A[" + std::to_string(k) + "] = " + std::to_string(v) +
+               ", expected " + std::to_string(k + 1);
+      }
+    }
+    return {};
+  };
+  return w;
+}
+
+}  // namespace jtam::programs

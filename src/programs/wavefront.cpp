@@ -1,0 +1,333 @@
+// Wavefront — "computes successive matrices in which each element depends
+// on a function of north and west values of the previous and current
+// matrix" (§3).
+//
+// Structure: one codeblock per matrix row per time step; rows are spawned
+// in dependency order (each completion triggers the next), so every
+// I-structure read finds its operand present and a row runs to completion
+// as one long quantum — wavefront is the second-coarsest program in
+// Table 2 (TPQ 43.9 MD / 65.2 AM).  Element recurrence (modular, to stay
+// in 32-bit):
+//
+//   cur[i][j] = (north + west + prev) mod 9973
+//   north = i > 0 ? cur[i-1][j] : prev[i][j]
+//   west  = j > 0 ? cur[i][j-1] : 1
+//   prev  = prev[i][j]
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "programs/registry.h"
+#include "support/error.h"
+
+namespace jtam::programs {
+
+using namespace tam;  // NOLINT(build/namespaces) — IR builder DSL
+
+namespace {
+
+constexpr std::int32_t kMod = 9973;
+
+// main codeblock slots
+constexpr SlotId kMBase = 0;
+constexpr SlotId kMN = 1;
+constexpr SlotId kMSteps = 2;
+constexpr SlotId kMR = 3;     // next row index (0 .. steps*n)
+constexpr SlotId kMRowF = 4;
+constexpr SlotId kMSum = 5;
+constexpr SlotId kMI = 6;     // scratch: row-within-step
+
+// row codeblock slots
+constexpr SlotId kRPrev = 0;
+constexpr SlotId kRCur = 1;
+constexpr SlotId kRN = 2;
+constexpr SlotId kRI = 3;
+constexpr SlotId kRMainF = 4;
+constexpr SlotId kRJ = 5;
+constexpr SlotId kRWest = 6;
+constexpr SlotId kRVn = 7;
+constexpr SlotId kRVp = 8;
+
+constexpr CbId kCbMain = 0;
+constexpr CbId kCbRow = 1;
+
+Program build_program() {
+  Program prog;
+  prog.name = "wavefront";
+
+  // ---- main codeblock ----------------------------------------------------
+  CodeblockBuilder mc(prog, "wf_main", 7);
+  ThreadId t_init = mc.declare_thread("init");
+  ThreadId t_spawn = mc.declare_thread("spawn");
+  ThreadId t_falloc = mc.declare_thread("falloc_row");
+  ThreadId t_sendargs = mc.declare_thread("send_row_args");
+  ThreadId t_finish = mc.declare_thread("finish");
+  InletId in_start = mc.declare_inlet("start", 3);
+  InletId in_fr = mc.declare_inlet("row_frame", 1);
+  InletId in_done = mc.declare_inlet("row_done", 1);
+
+  {
+    BodyBuilder b = mc.define_inlet(in_start);
+    b.frame_store(kMBase, b.msg_load(0));
+    b.frame_store(kMN, b.msg_load(1));
+    b.frame_store(kMSteps, b.msg_load(2));
+    b.post(t_init);
+  }
+  {
+    BodyBuilder b = mc.define_inlet(in_fr);
+    b.frame_store(kMRowF, b.msg_load(0));
+    b.post(t_sendargs);
+  }
+  {
+    // Row checksum accumulates in the inlet; completion drives the next
+    // spawn, keeping the wavefront in dependency order.
+    BodyBuilder b = mc.define_inlet(in_done);
+    VReg v = b.msg_load(0);
+    VReg sum = b.frame_load(kMSum);
+    VReg s2 = b.bin(BinOp::Add, sum, v);
+    b.frame_store(kMSum, s2);
+    b.post(t_spawn);
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_init);
+    b.frame_store(kMR, b.konst(0));
+    b.frame_store(kMSum, b.konst(0));
+    b.forks({t_spawn});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_spawn);
+    VReg r = b.frame_load(kMR);
+    VReg n = b.frame_load(kMN);
+    VReg steps = b.frame_load(kMSteps);
+    VReg total = b.bin(BinOp::Mul, n, steps);
+    VReg c = b.bin(BinOp::Lt, r, total);
+    b.cond_forks(c, {t_falloc}, {t_finish});
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_falloc);
+    b.falloc(kCbRow, in_fr);
+    b.stop();
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_sendargs);
+    VReg r = b.frame_load(kMR);
+    VReg n = b.frame_load(kMN);
+    VReg i = b.bin(BinOp::Mod, r, n);
+    b.frame_store(kMI, i);
+    VReg tm1 = b.bin(BinOp::Div, r, n);
+    VReg r1 = b.bini(BinOp::Add, r, 1);
+    b.frame_store(kMR, r1);
+    VReg nn = b.bin(BinOp::Mul, n, n);
+    VReg sz = b.bini(BinOp::Shl, nn, 2);
+    VReg off = b.bin(BinOp::Mul, tm1, sz);
+    VReg base = b.frame_load(kMBase);
+    VReg prev = b.bin(BinOp::Add, base, off);
+    VReg cur = b.bin(BinOp::Add, prev, sz);
+    VReg rowf = b.frame_load(kMRowF);
+    VReg n2 = b.frame_load(kMN);
+    b.send_msg(kCbRow, /*in_abc=*/0, rowf, {prev, cur, n2});
+    VReg i2 = b.frame_load(kMI);
+    VReg self = b.self_frame();
+    b.send_msg(kCbRow, /*in_if=*/1, rowf, {i2, self});
+    b.stop();
+  }
+  {
+    BodyBuilder b = mc.define_thread(t_finish);
+    VReg sum = b.frame_load(kMSum);
+    b.send_halt(sum);
+    b.stop();
+  }
+  mc.finish();
+
+  // ---- row codeblock -------------------------------------------------------
+  CodeblockBuilder rc(prog, "wf_row", 9);
+  ThreadId t_start = rc.declare_thread("row_start", /*entry_count=*/2);
+  ThreadId t_jloop = rc.declare_thread("jloop");
+  ThreadId t_fetch = rc.declare_thread("fetch_np");
+  ThreadId t_elem = rc.declare_thread("elem", /*entry_count=*/2);
+  ThreadId t_rowdone = rc.declare_thread("row_done");
+  InletId in_abc = rc.declare_inlet("abc", 3);
+  InletId in_if = rc.declare_inlet("i_frame", 2);
+  InletId in_n = rc.declare_inlet("north", 1);
+  InletId in_p = rc.declare_inlet("prev", 1);
+
+  {
+    BodyBuilder b = rc.define_inlet(in_abc);
+    b.frame_store(kRPrev, b.msg_load(0));
+    b.frame_store(kRCur, b.msg_load(1));
+    b.frame_store(kRN, b.msg_load(2));
+    b.post(t_start);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(in_if);
+    b.frame_store(kRI, b.msg_load(0));
+    b.frame_store(kRMainF, b.msg_load(1));
+    b.post(t_start);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(in_n);
+    b.frame_store(kRVn, b.msg_load(0));
+    b.post(t_elem);
+  }
+  {
+    BodyBuilder b = rc.define_inlet(in_p);
+    b.frame_store(kRVp, b.msg_load(0));
+    b.post(t_elem);
+  }
+  {
+    BodyBuilder b = rc.define_thread(t_start);
+    b.frame_store(kRJ, b.konst(0));
+    b.frame_store(kRWest, b.konst(1));
+    b.forks({t_jloop});
+  }
+  {
+    BodyBuilder b = rc.define_thread(t_jloop);
+    VReg j = b.frame_load(kRJ);
+    VReg n = b.frame_load(kRN);
+    VReg c = b.bin(BinOp::Lt, j, n);
+    b.cond_forks(c, {t_fetch}, {t_rowdone});
+  }
+  {
+    // Split-phase reads of north and prev for element (i, j).
+    BodyBuilder b = rc.define_thread(t_fetch);
+    VReg i = b.frame_load(kRI);
+    VReg n = b.frame_load(kRN);
+    VReg j = b.frame_load(kRJ);
+    VReg t1 = b.bin(BinOp::Mul, i, n);
+    VReg t2 = b.bin(BinOp::Add, t1, j);
+    VReg off = b.bini(BinOp::Shl, t2, 2);
+    VReg pv = b.frame_load(kRPrev);
+    VReg pa = b.bin(BinOp::Add, pv, off);
+    VReg cu = b.frame_load(kRCur);
+    VReg na2 = b.bin(BinOp::Add, cu, off);
+    VReg n4 = b.bini(BinOp::Shl, n, 2);
+    VReg na3 = b.bin(BinOp::Sub, na2, n4);
+    VReg c0 = b.bini(BinOp::Lt, i, 1);  // i == 0: north is prev[i][j]
+    VReg na = b.select(c0, pa, na3);
+    b.ifetch(na, in_n);
+    b.ifetch(pa, in_p);
+    b.stop();
+  }
+  {
+    BodyBuilder b = rc.define_thread(t_elem);
+    VReg vn = b.frame_load(kRVn);
+    VReg w = b.frame_load(kRWest);
+    VReg v1 = b.bin(BinOp::Add, vn, w);
+    VReg vp = b.frame_load(kRVp);
+    VReg v2 = b.bin(BinOp::Add, v1, vp);
+    VReg v = b.bini(BinOp::Mod, v2, kMod);
+    b.frame_store(kRWest, v);
+    VReg i = b.frame_load(kRI);
+    VReg n = b.frame_load(kRN);
+    VReg j = b.frame_load(kRJ);
+    VReg t1 = b.bin(BinOp::Mul, i, n);
+    VReg t2 = b.bin(BinOp::Add, t1, j);
+    VReg off = b.bini(BinOp::Shl, t2, 2);
+    VReg cu = b.frame_load(kRCur);
+    VReg ca = b.bin(BinOp::Add, cu, off);
+    b.istore(ca, v);
+    VReg j1 = b.bini(BinOp::Add, j, 1);
+    b.frame_store(kRJ, j1);
+    b.forks({t_jloop});
+  }
+  {
+    BodyBuilder b = rc.define_thread(t_rowdone);
+    VReg w = b.frame_load(kRWest);  // last element: the row checksum
+    VReg mainf = b.frame_load(kRMainF);
+    b.send_msg(kCbMain, in_done, mainf, {w});
+    b.release();
+    b.stop();
+  }
+  rc.finish();
+
+  return prog;
+}
+
+std::uint32_t m0_elem(int i, int j) {
+  return static_cast<std::uint32_t>((i * 13 + j * 7) % 10 + 1);
+}
+
+struct Oracle {
+  std::vector<std::vector<std::uint32_t>> mats;  // [step][i*n+j]
+  std::uint32_t checksum = 0;
+};
+
+Oracle oracle(int n, int steps) {
+  Oracle o;
+  o.mats.resize(static_cast<std::size_t>(steps) + 1,
+                std::vector<std::uint32_t>(static_cast<std::size_t>(n) * n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      o.mats[0][static_cast<std::size_t>(i) * n + j] = m0_elem(i, j);
+    }
+  }
+  for (int t = 1; t <= steps; ++t) {
+    const auto& prev = o.mats[static_cast<std::size_t>(t) - 1];
+    auto& cur = o.mats[static_cast<std::size_t>(t)];
+    for (int i = 0; i < n; ++i) {
+      std::uint32_t west = 1;
+      for (int j = 0; j < n; ++j) {
+        std::uint32_t p = prev[static_cast<std::size_t>(i) * n + j];
+        std::uint32_t north =
+            i > 0 ? cur[static_cast<std::size_t>(i - 1) * n + j] : p;
+        std::uint32_t v = (north + west + p) % kMod;
+        cur[static_cast<std::size_t>(i) * n + j] = v;
+        west = v;
+      }
+      o.checksum += west;
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+Workload make_wavefront(int n, int steps) {
+  JTAM_CHECK(n >= 2 && steps >= 1, "wavefront needs n >= 2, steps >= 1");
+  struct State {
+    mem::Addr base = 0;
+  };
+  auto st = std::make_shared<State>();
+
+  Workload w;
+  w.name = "wavefront";
+  w.description = "wavefront relaxation, n=" + std::to_string(n) + ", " +
+                  std::to_string(steps) + " steps (paper arg: 40)";
+  w.program = build_program();
+  w.setup = [st, n, steps](SetupCtx& ctx) {
+    const auto nn = static_cast<std::uint32_t>(n) *
+                    static_cast<std::uint32_t>(n);
+    st->base = ctx.alloc_words(nn * static_cast<std::uint32_t>(steps + 1));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        ctx.write_tagged(st->base + static_cast<mem::Addr>(4 * (i * n + j)),
+                         m0_elem(i, j));
+      }
+    }
+    mem::Addr frame = ctx.alloc_frame(kCbMain);
+    ctx.send_to_inlet(kCbMain, 0, frame,
+                      {st->base, static_cast<std::uint32_t>(n),
+                       static_cast<std::uint32_t>(steps)});
+  };
+  w.check = [st, n, steps](const CheckCtx& ctx) -> std::string {
+    Oracle o = oracle(n, steps);
+    if (ctx.halt_value != o.checksum) {
+      return "checksum " + std::to_string(ctx.halt_value) + ", expected " +
+             std::to_string(o.checksum);
+    }
+    const auto nn = static_cast<mem::Addr>(n) * static_cast<mem::Addr>(n);
+    const mem::Addr last = st->base + 4 * nn * static_cast<mem::Addr>(steps);
+    for (int i = 0; i < n * n; ++i) {
+      std::uint32_t got =
+          ctx.m.load_word(last + static_cast<mem::Addr>(4 * i));
+      if (got != o.mats[static_cast<std::size_t>(steps)][i]) {
+        return "M_last[" + std::to_string(i) + "] mismatch";
+      }
+    }
+    return {};
+  };
+  return w;
+}
+
+}  // namespace jtam::programs

@@ -1,0 +1,161 @@
+// Software floating-point library.
+//
+// The MDP has no floating-point unit; Id programs paid for FP in library
+// instructions, and the paper counts that library as *system code* ("system
+// code includes the operating system and library, including the
+// floating-point library", §3.1).  Each routine performs the realistic
+// unpack / align / operate / renormalize instruction sequence of a software
+// float implementation (30-60 instructions, as on the real FPU-less MDP) in
+// ordinary integer instructions, then delegates the final arithmetic to the
+// simulator's FP-assist opcode so results are bit-exact.
+//
+// Calling convention: arguments in R0/R1, result in R0; clobbers R0, R1 and
+// R5; entered with CALL (return address in R7).
+
+#include "mdp/assembler.h"
+#include "runtime/kernel.h"
+
+namespace jtam::rt {
+
+using namespace mdp;  // NOLINT(build/namespaces) — assembler DSL
+
+namespace {
+
+// Unpack both operands: sign, exponent, mantissa with hidden bit.  All the
+// work happens in R5 so the real operands survive for the assist op.
+// 12 instructions.
+void emit_unpack2(Assembler& a) {
+  a.alui(Op::Shri, R5, R0, 31, "sign a");
+  a.alui(Op::Shri, R5, R0, 23, "exp a");
+  a.alui(Op::Andi, R5, R5, 0xff);
+  a.alui(Op::Andi, R5, R0, 0x7fffff, "mant a");
+  a.alui(Op::Ori, R5, R5, 0x800000, "hidden bit a");
+  a.alui(Op::Shri, R5, R1, 31, "sign b");
+  a.alui(Op::Shri, R5, R1, 23, "exp b");
+  a.alui(Op::Andi, R5, R5, 0xff);
+  a.alui(Op::Andi, R5, R1, 0x7fffff, "mant b");
+  a.alui(Op::Ori, R5, R5, 0x800000, "hidden bit b");
+  a.alu(Op::Sub, R5, R5, R5, "exponent difference");
+  a.alui(Op::Andi, R5, R5, 0x1f, "clamp shift");
+}
+
+// Renormalize + pack the result: leading-zero scan steps, rounding, and
+// re-assembly.  10 instructions.
+void emit_renorm(Assembler& a) {
+  a.alui(Op::Shri, R5, R0, 23, "result exp");
+  a.alui(Op::Andi, R5, R5, 0xff);
+  a.alui(Op::Andi, R5, R0, 0x7fffff, "result mant");
+  a.alui(Op::Shli, R5, R5, 1, "normalize scan 1");
+  a.alui(Op::Shli, R5, R5, 2, "normalize scan 2");
+  a.alui(Op::Shri, R5, R5, 3, "normalize scan 3");
+  a.alui(Op::Addi, R5, R5, 1, "round to nearest");
+  a.alui(Op::Shri, R5, R5, 1);
+  a.alui(Op::Andi, R5, R5, 0x7fffff, "repack mant");
+  a.alui(Op::Ori, R5, R5, 0x3f80, "repack exp");
+}
+
+}  // namespace
+
+void emit_fp_library(Assembler& a, KernelRefs& refs) {
+  // fp_add / fp_sub: unpack, align the smaller operand (4-step shift),
+  // add/subtract mantissas, renormalize.  ~32 instructions plus call/ret.
+  for (int which = 0; which < 2; ++which) {
+    if (which == 0) {
+      refs.fp_add = a.here("fp_add");
+    } else {
+      refs.fp_sub = a.here("fp_sub");
+    }
+    a.mark(MarkKind::FpCall);
+    emit_unpack2(a);
+    a.alui(Op::Shri, R5, R5, 1, "align step 1");
+    a.alui(Op::Shri, R5, R5, 2, "align step 2");
+    a.alui(Op::Shri, R5, R5, 4, "align step 4");
+    a.alui(Op::Shri, R5, R5, 8, "align step 8");
+    a.alui(Op::Ori, R5, R5, 1, "sticky bit");
+    a.alu(Op::Add, R5, R5, R5, "mantissa sum");
+    a.alui(Op::Shri, R5, R5, 1, "carry normalize");
+    a.alu(which == 0 ? Op::Fadd : Op::Fsub, R0, R0, R1, "fp assist");
+    emit_renorm(a);
+    a.ret();
+  }
+
+  // fp_mul: unpack, exponent add, 4 x 8-bit partial-product steps,
+  // renormalize.  ~36 instructions.
+  refs.fp_mul = a.here("fp_mul");
+  a.mark(MarkKind::FpCall);
+  emit_unpack2(a);
+  a.alu(Op::Add, R5, R5, R5, "exponent sum");
+  a.alui(Op::Subi, R5, R5, 127, "rebias");
+  for (int step = 0; step < 4; ++step) {
+    a.alui(Op::Andi, R5, R5, 0xff, "partial product byte");
+    a.alui(Op::Muli, R5, R5, 3, "partial product multiply");
+    a.alu(Op::Add, R5, R5, R5, "partial product accumulate");
+  }
+  a.alu(Op::Fmul, R0, R0, R1, "fp assist");
+  emit_renorm(a);
+  a.ret();
+
+  // fp_div: unpack, reciprocal seed, three Newton-Raphson refinement
+  // steps, multiply, renormalize.  ~52 instructions.
+  refs.fp_div = a.here("fp_div");
+  a.mark(MarkKind::FpCall);
+  emit_unpack2(a);
+  a.alu(Op::Sub, R5, R5, R5, "exponent difference");
+  a.alui(Op::Addi, R5, R5, 127, "rebias");
+  a.alui(Op::Shri, R5, R5, 8, "reciprocal table index");
+  a.alui(Op::Ori, R5, R5, 0x100, "reciprocal seed");
+  for (int newton = 0; newton < 3; ++newton) {
+    a.alui(Op::Muli, R5, R5, 3, "newton: r*d");
+    a.alu(Op::Sub, R5, R5, R5, "newton: 2 - r*d");
+    a.alui(Op::Addi, R5, R5, 2);
+    a.alui(Op::Muli, R5, R5, 5, "newton: r *= (2 - r*d)");
+    a.alui(Op::Shri, R5, R5, 2, "newton: rescale");
+    a.alui(Op::Andi, R5, R5, 0xffffff);
+  }
+  a.alui(Op::Muli, R5, R5, 7, "quotient mantissa");
+  a.alui(Op::Shri, R5, R5, 1);
+  a.alu(Op::Fdiv, R0, R0, R1, "fp assist");
+  emit_renorm(a);
+  a.ret();
+
+  // fp_lt: sign analysis + magnitude compare.  ~10 instructions.
+  refs.fp_lt = a.here("fp_lt");
+  a.mark(MarkKind::FpCall);
+  a.alui(Op::Shri, R5, R0, 31, "sign a");
+  a.alui(Op::Shri, R5, R1, 31, "sign b");
+  a.alu(Op::Xor, R5, R5, R5, "signs differ?");
+  a.alui(Op::Andi, R5, R0, 0x7fffffff, "|a|");
+  a.alui(Op::Andi, R5, R1, 0x7fffffff, "|b|");
+  a.alu(Op::Slt, R5, R5, R5, "magnitude compare");
+  a.alu(Op::Flt, R0, R0, R1, "fp assist");
+  a.ret();
+
+  // fp_itof: sign strip, leading-zero normalization scan, pack.  ~14.
+  refs.fp_itof = a.here("fp_itof");
+  a.mark(MarkKind::FpCall);
+  a.alui(Op::Shri, R5, R0, 31, "sign");
+  a.alui(Op::Andi, R5, R0, 0x7fffffff, "magnitude");
+  a.alui(Op::Shri, R5, R5, 16, "lz scan 16");
+  a.alui(Op::Shri, R5, R5, 8, "lz scan 8");
+  a.alui(Op::Shri, R5, R5, 4, "lz scan 4");
+  a.alui(Op::Shri, R5, R5, 2, "lz scan 2");
+  a.alui(Op::Shri, R5, R5, 1, "lz scan 1");
+  a.alui(Op::Addi, R5, R5, 127, "bias exponent");
+  a.alui(Op::Shli, R5, R5, 23, "pack");
+  a.alu(Op::Itof, R0, R0, R0, "fp assist");
+  a.ret();
+
+  // fp_ftoi: exponent extract, mantissa shift-out.  ~10.
+  refs.fp_ftoi = a.here("fp_ftoi");
+  a.mark(MarkKind::FpCall);
+  a.alui(Op::Shri, R5, R0, 23, "exp");
+  a.alui(Op::Andi, R5, R5, 0xff);
+  a.alui(Op::Subi, R5, R5, 127, "unbias");
+  a.alui(Op::Andi, R5, R0, 0x7fffff, "mant");
+  a.alui(Op::Ori, R5, R5, 0x800000, "hidden bit");
+  a.alui(Op::Shri, R5, R5, 8, "shift out fraction");
+  a.alu(Op::Ftoi, R0, R0, R0, "fp assist");
+  a.ret();
+}
+
+}  // namespace jtam::rt

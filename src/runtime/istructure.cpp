@@ -1,0 +1,107 @@
+// I-structure and imperative-global handlers.
+//
+// Split-phase global access per TAM: a thread sends a request message to
+// the high-priority system level; the handler replies with a message to the
+// requesting codeblock's inlet, which lands in the back-end's inlet queue
+// (high under AM, low under MD).  I-structure words carry presence tags (as
+// on the MDP's tagged memory); a read of an empty element is recorded on a
+// deferred-read list and answered by the eventual write.
+//
+// Message formats (word 0 is always the handler address):
+//   ifetch:  [rt_ifetch, addr, reply_inlet, reply_frame]
+//   istore:  [rt_istore, addr, value]
+//   gfetch:  [rt_gfetch, addr, reply_inlet, reply_frame]
+//   gstore:  [rt_gstore, addr, value]
+//   reply:   [inlet, frame, value]
+
+#include "mdp/assembler.h"
+#include "runtime/kernel.h"
+
+namespace jtam::rt {
+
+using namespace mdp;  // NOLINT(build/namespaces) — assembler DSL
+
+void emit_istructure_handlers(Assembler& a, KernelRefs& refs,
+                              Priority reply_queue, bool multi_node) {
+  // Open a reply message routed to the home node of the frame in `frame`.
+  auto begin_reply = [&](Reg frame) {
+    if (reply_queue == Priority::High) {
+      a.sendh();
+    } else {
+      a.sendl();
+    }
+    if (multi_node) {
+      a.alui(Op::Shri, R5, frame, 24, "reply destination node");
+      a.sendd(R5);
+    }
+  };
+
+  // --- rt_ifetch ---------------------------------------------------------
+  refs.rt_ifetch = a.here("rt_ifetch");
+  a.mark(MarkKind::SysStart);
+  LabelRef defer = a.label();
+  a.ldm(R0, 4, "addr");
+  a.itagld(R1, R0, R2, "value + presence");
+  a.brz(R2, defer, "empty -> defer");
+  a.ldm(R2, 8, "reply inlet");
+  a.ldm(R3, 12, "reply frame");
+  begin_reply(R3);
+  a.sendw(R2);
+  a.sendw(R3);
+  a.sendw(R1, "value");
+  a.sende();
+  a.suspend();
+  a.bind(defer);
+  a.ldm(R2, 8, "reply inlet");
+  a.ldm(R3, 12, "reply frame");
+  a.idefer(R0, R2, R3, "record deferred read");
+  a.suspend();
+
+  // --- rt_istore ---------------------------------------------------------
+  refs.rt_istore = a.here("rt_istore");
+  a.mark(MarkKind::SysStart);
+  LabelRef wake_loop = a.label();
+  LabelRef wake_done = a.label();
+  a.ldm(R0, 4, "addr");
+  a.ldm(R1, 8, "value");
+  a.itagst(R0, R1, "write + set presence");
+  a.idhead(R2, R0, "detach deferred list");
+  a.bind(wake_loop);
+  a.brz(R2, wake_done);
+  a.ld(R3, R2, 0, "deferred inlet");
+  a.ld(R4, R2, 4, "deferred frame");
+  begin_reply(R4);
+  a.sendw(R3);
+  a.sendw(R4);
+  a.sendw(R1, "value");
+  a.sende();
+  a.ld(R2, R2, 8, "next deferred node");
+  a.br(wake_loop);
+  a.bind(wake_done);
+  a.suspend();
+
+  // --- rt_gfetch (imperative read: no presence check) ---------------------
+  refs.rt_gfetch = a.here("rt_gfetch");
+  a.mark(MarkKind::SysStart);
+  a.ldm(R0, 4, "addr");
+  a.ld(R1, R0, 0, "value");
+  a.ldm(R2, 8, "reply inlet");
+  a.ldm(R3, 12, "reply frame");
+  begin_reply(R3);
+  a.sendw(R2);
+  a.sendw(R3);
+  a.sendw(R1, "value");
+  a.sende();
+  a.suspend();
+
+  // --- rt_gstore (imperative write: fire and forget; FIFO order of the
+  // system queue sequences it against later gfetches) ----------------------
+  refs.rt_gstore = a.here("rt_gstore");
+  a.mark(MarkKind::SysStart);
+  a.ldm(R0, 4, "addr");
+  a.ldm(R1, 8, "value");
+  a.st(R0, 0, R1);
+  a.suspend();
+}
+
+}  // namespace jtam::rt

@@ -1,0 +1,76 @@
+// Runtime kernel emission.
+//
+// The kernel is MDP assembly emitted into the system-code section: frame
+// allocation/free handlers, the I-structure and imperative-global handlers,
+// the halt handler, the software floating-point library and — per back-end —
+// the Active Messages scheduler (frame queue, rt_post, frame swap) or the
+// Message-Driven LCV stop stub.  System routines run as high-priority
+// message handlers in both implementations ("the only code that runs at
+// high priority is that to service system calls, such as allocating frames
+// or accessing global data structures", §2.2).
+#pragma once
+
+#include "mdp/assembler.h"
+#include "runtime/layout.h"
+
+namespace jtam::rt {
+
+/// Labels of kernel entry points user code and the loader reference.
+struct KernelRefs {
+  // System-call handlers (message word 0 targets).
+  mdp::LabelRef rt_falloc;
+  mdp::LabelRef rt_ffree;
+  mdp::LabelRef rt_halloc;
+  mdp::LabelRef rt_ifetch;
+  mdp::LabelRef rt_istore;
+  mdp::LabelRef rt_gfetch;
+  mdp::LabelRef rt_gstore;
+  mdp::LabelRef rt_halt;
+  // Software floating point (args R0/R1, result R0, clobbers R0/R1/R5).
+  mdp::LabelRef fp_add;
+  mdp::LabelRef fp_sub;
+  mdp::LabelRef fp_mul;
+  mdp::LabelRef fp_div;
+  mdp::LabelRef fp_lt;
+  mdp::LabelRef fp_itof;
+  mdp::LabelRef fp_ftoi;
+  // Back-end specific (bound only for the matching backend).
+  mdp::LabelRef am_sched_entry;  // AM: low-priority scheduler wakeup handler
+  mdp::LabelRef am_swap;         // AM: LCV stop sentinel (frame swap)
+  mdp::LabelRef rt_post;         // AM: post routine called from inlets
+  mdp::LabelRef md_stub;         // MD: LCV stop sentinel (reset + suspend)
+  BackendKind backend{};
+};
+
+struct KernelOptions {
+  BackendKind backend = BackendKind::ActiveMessages;
+  bool multi_node = false;  // route replies by the frame's node field
+};
+
+/// Queue that carries messages addressed to user inlets: the high-priority
+/// queue under Active Messages (inlets are interrupt-style handlers), the
+/// low-priority queue under Message-Driven execution (the queue is the task
+/// queue).
+mdp::Priority inlet_queue(BackendKind backend);
+
+/// Emit the whole kernel into the assembler's system-code section.
+KernelRefs emit_kernel(mdp::Assembler& a, const KernelOptions& opts);
+
+// Internal pieces (exposed for focused unit tests).
+void emit_fp_library(mdp::Assembler& a, KernelRefs& refs);
+void emit_istructure_handlers(mdp::Assembler& a, KernelRefs& refs,
+                              mdp::Priority reply_queue,
+                              bool multi_node = false);
+void emit_am_kernel(mdp::Assembler& a, KernelRefs& refs);
+void emit_md_kernel(mdp::Assembler& a, KernelRefs& refs);
+
+/// The generic 5-instruction thread-stop sequence: pop the LCV into the
+/// instruction pointer (§2.3: "the stop statement is implemented as a pop
+/// of the LCV into the instruction register").  Clobbers R5.
+void emit_lcv_pop_jmp(mdp::Assembler& a);
+
+/// Push a statically-known thread address onto the LCV (4 instructions).
+/// Clobbers R5.
+void emit_lcv_push_label(mdp::Assembler& a, mdp::ImmOrLabel thread);
+
+}  // namespace jtam::rt

@@ -1,0 +1,191 @@
+// Active Messages back-end kernel: the two-level scheduling hierarchy.
+//
+// Inlets run at high priority and call rt_post, which implements TAM's
+// scheduling hierarchy in software: decrement the entry count, append the
+// enabled thread to its frame's ready list (the RCV), push directly onto
+// the LCV when the frame is the one currently activated (this is how
+// quanta extend: "this can involve emptying the LCV multiple times if
+// subsequent messages are destined for the same frame", §3.2), enqueue
+// newly-ready frames on the global frame queue, and wake the low-priority
+// scheduler when it is idle.
+//
+// The scheduler itself runs at low priority.  am_swap is the LCV stop
+// sentinel: when a quantum's LCV drains it briefly enables interrupts so
+// pending inlets can extend the quantum, then deactivates the frame, pops
+// the next ready frame from the frame queue, copies its RCV into the LCV
+// ("the frame's list of ready threads is considered the local continuation
+// vector", §1.1.3) and jumps to its first thread.
+
+#include "mdp/assembler.h"
+#include "mem/memory_map.h"
+#include "runtime/kernel.h"
+
+namespace jtam::rt {
+
+using namespace mdp;  // NOLINT(build/namespaces) — assembler DSL
+
+namespace {
+
+// rt_post — called from high-priority inlets.
+//   R0 = thread address, R1 = frame, R2 = entry-count byte offset
+//   (0 for a non-synchronizing thread), R3 = entry-count reset value.
+//   Clobbers R4, R5.  Preserves R0..R3 only as needed internally.
+void emit_rt_post(Assembler& a, KernelRefs& refs) {
+  refs.rt_post = a.here("rt_post");
+  LabelRef ready = a.label();
+  LabelRef rearm = a.label();
+  LabelRef not_current = a.label();
+  LabelRef scan = a.label();
+  LabelRef append = a.label();
+  LabelRef fq_empty = a.label();
+  LabelRef fq_common = a.label();
+  LabelRef push_lcv = a.label();
+  LabelRef done = a.label();
+
+  a.brz(R2, ready, "non-synchronizing");
+  a.alu(Op::Add, R4, R1, R2, "&entry count");
+  a.ld(R5, R4, 0);
+  a.alui(Op::Subi, R5, R5, 1);
+  a.brz(R5, rearm, "count reached zero");
+  a.st(R4, 0, R5, "store decremented count");
+  a.ret();
+  a.bind(rearm);
+  a.st(R4, 0, R3, "re-arm for next enabling");
+
+  a.bind(ready);
+  a.ldg(R4, static_cast<std::int32_t>(kGlCurFrame));
+  a.alu(Op::Seq, R4, R4, R1);
+  a.brnz(R4, push_lcv, "posting to the active frame");
+
+  a.bind(not_current);
+  // The ready list is a *set*: "a pointer to the thread is placed in the
+  // frame, indicating that the thread may run" — a second pointer to an
+  // already-ready thread adds nothing, and merging the enables bounds the
+  // RCV by the codeblock's thread count (a burst of completions posting
+  // the same non-synchronizing collector thread would otherwise overflow
+  // it).  Scan before appending.
+  a.ld(R4, R1, kAmRcvCntOff, "ready count");
+  a.mov(R5, R4, "scan index");
+  a.bind(scan);
+  a.brz(R5, append);
+  a.alui(Op::Subi, R5, R5, 1);
+  a.alui(Op::Shli, R2, R5, 2);
+  a.alu(Op::Add, R2, R2, R1);
+  a.ld(R2, R2, kAmRcvBaseOff, "pending entry");
+  a.alu(Op::Sub, R2, R2, R0);
+  a.brnz(R2, scan);
+  a.ret();  // already pending: this enable merges with it
+  a.bind(append);
+  // Append to the frame's RCV: frame[rcv_base + 4*count] = thread.
+  a.alui(Op::Shli, R5, R4, 2);
+  a.alu(Op::Add, R5, R5, R1);
+  a.st(R5, kAmRcvBaseOff, R0, "rcv[count] = thread");
+  a.alui(Op::Addi, R4, R4, 1);
+  a.st(R1, kAmRcvCntOff, R4);
+  a.alui(Op::Subi, R4, R4, 1);
+  a.brnz(R4, done, "frame already ready/queued");
+  // Newly ready: enqueue on the frame queue.
+  a.ldg(R4, static_cast<std::int32_t>(kGlFqTail));
+  a.brz(R4, fq_empty);
+  a.st(R4, kFrameLinkOff, R1, "tail.link = frame");
+  a.br(fq_common);
+  a.bind(fq_empty);
+  a.stg(R1, static_cast<std::int32_t>(kGlFqHead));
+  a.bind(fq_common);
+  a.stg(R1, static_cast<std::int32_t>(kGlFqTail));
+  a.sti(R1, kFrameLinkOff, 0, "frame.link = nil");
+  // Wake the scheduler when idle (it suspends with the flag cleared, so a
+  // post that observes 0 here is ordered after that clear — no lost wakeup).
+  a.ldg(R4, static_cast<std::int32_t>(kGlSchedActive));
+  a.brnz(R4, done);
+  a.movi(R4, 1);
+  a.stg(R4, static_cast<std::int32_t>(kGlSchedActive));
+  a.sendl();
+  a.sendwi(refs.am_sched_entry, "scheduler wakeup message");
+  a.sende();
+  a.bind(done);
+  a.ret();
+
+  a.bind(push_lcv);
+  a.ldg(R4, static_cast<std::int32_t>(kGlLcvTop));
+  a.st(R4, 0, R0, "push thread onto active LCV");
+  a.alui(Op::Addi, R4, R4, 4);
+  a.stg(R4, static_cast<std::int32_t>(kGlLcvTop));
+  a.ret();
+}
+
+}  // namespace
+
+void emit_am_kernel(Assembler& a, KernelRefs& refs) {
+  // Labels referenced before they are bound.
+  refs.am_sched_entry = a.label("am_sched_entry");
+  refs.am_swap = a.label("am_swap");
+
+  emit_rt_post(a, refs);
+
+  LabelRef have_more = a.label();
+  LabelRef copy = a.label();
+  LabelRef go = a.label();
+  LabelRef idle = a.label();
+
+  // am_sched_entry — handler of the low-priority wakeup message.
+  a.bind(refs.am_sched_entry);
+  a.dint();
+  // Falls through into am_swap.
+
+  // am_swap — LCV stop sentinel; entered with interrupts disabled and the
+  // LCV top pointing at the sentinel slot.  The frame is deactivated
+  // *before* the service window: an I-structure fetch issued during the
+  // quantum "might not be serviced until after the quantum, decreasing
+  // granularity" (§2.4, the unenabled variant the paper measures) — its
+  // reply posts to the frame's RCV and re-enqueues the frame at the tail
+  // of the frame queue rather than extending the current quantum.
+  a.bind(refs.am_swap);
+  a.mark(MarkKind::SysStart);
+  a.movi(R5, static_cast<std::int32_t>(kLcvEmptyTop));
+  a.stg(R5, static_cast<std::int32_t>(kGlLcvTop), "reset LCV");
+  a.movi(R0, 0);
+  a.stg(R0, static_cast<std::int32_t>(kGlCurFrame), "deactivate frame");
+  a.eint();
+  a.dint();  // service window: posts re-enqueue frames through their RCVs
+  a.ldg(R0, static_cast<std::int32_t>(kGlFqHead));
+  a.brz(R0, idle);
+  // Pop the frame queue.
+  a.ld(R1, R0, kFrameLinkOff);
+  a.stg(R1, static_cast<std::int32_t>(kGlFqHead));
+  a.brnz(R1, have_more);
+  a.movi(R2, 0);
+  a.stg(R2, static_cast<std::int32_t>(kGlFqTail));
+  a.bind(have_more);
+  a.stg(R0, static_cast<std::int32_t>(kGlCurFrame), "activate frame");
+  a.mov(kRegFp, R0);
+  a.mark(MarkKind::Activate, kRegFp);
+  // Copy the frame's ready list (RCV) into the LCV.
+  a.ld(R2, kRegFp, kAmRcvCntOff, "ready-thread count");
+  a.movi(R3, 0);
+  a.st(kRegFp, kAmRcvCntOff, R3);
+  a.alui(Op::Addi, R3, kRegFp, kAmRcvBaseOff, "rcv cursor");
+  a.movi(R4, static_cast<std::int32_t>(kLcvEmptyTop));
+  a.bind(copy);
+  a.brz(R2, go);
+  a.ld(R1, R3, 0);
+  a.st(R4, 0, R1);
+  a.alui(Op::Addi, R3, R3, 4);
+  a.alui(Op::Addi, R4, R4, 4);
+  a.alui(Op::Subi, R2, R2, 1);
+  a.br(copy);
+  a.bind(go);
+  a.stg(R4, static_cast<std::int32_t>(kGlLcvTop));
+  emit_lcv_pop_jmp(a);  // the copied list is non-empty: run its first thread
+
+  a.bind(idle);
+  // Clear the active flag *before* enabling interrupts so a racing post
+  // always either sees the flag clear (and sends a wakeup) or is ordered
+  // after this suspend.
+  a.movi(R0, 0);
+  a.stg(R0, static_cast<std::int32_t>(kGlSchedActive));
+  a.eint();
+  a.suspend();
+}
+
+}  // namespace jtam::rt

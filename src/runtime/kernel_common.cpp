@@ -1,0 +1,180 @@
+// Kernel pieces shared by both back-ends: frame allocation/free, halt, and
+// the top-level emit_kernel orchestration.
+
+#include "mdp/assembler.h"
+#include "mem/memory_map.h"
+#include "runtime/kernel.h"
+#include "support/error.h"
+
+namespace jtam::rt {
+
+using namespace mdp;  // NOLINT(build/namespaces) — assembler DSL
+
+Priority inlet_queue(BackendKind backend) {
+  // Hybrid inlets are high-priority handlers like AM's.
+  return backend == BackendKind::MessageDriven ? Priority::Low
+                                               : Priority::High;
+}
+
+namespace {
+
+// rt_falloc — high-priority frame allocation handler.
+//   message: [rt_falloc, cb_id, reply_inlet, reply_frame]
+//   reply:   [reply_inlet, reply_frame, new_frame]
+// Pops the codeblock's free list when possible, else bump-allocates; zeroes
+// the header; copies the entry-count template from the descriptor table.
+void emit_falloc(Assembler& a, KernelRefs& refs, BackendKind backend,
+                 Priority reply_queue, bool multi_node) {
+  refs.rt_falloc = a.here("rt_falloc");
+  a.mark(MarkKind::SysStart);
+  LabelRef reuse = a.label();
+  LabelRef init = a.label();
+  LabelRef copy = a.label();
+  LabelRef reply = a.label();
+
+  a.ldm(R0, 4, "cb id");
+  a.alui(Op::Shli, R1, R0, 4, "desc = base + cb*16");
+  a.alui(Op::Addi, R1, R1, static_cast<std::int32_t>(mem::kSysTableBase));
+  a.alui(Op::Shli, R2, R0, 2, "free head = base + cb*4");
+  a.alui(Op::Addi, R2, R2, static_cast<std::int32_t>(kGlFreeHeads));
+  a.ld(R3, R2, 0, "free-list head");
+  a.brnz(R3, reuse);
+  // Bump allocation from the frame heap.
+  a.ldg(R3, static_cast<std::int32_t>(kGlHeapBump));
+  a.ld(R4, R1, 0, "frame bytes");
+  a.alu(Op::Add, R4, R4, R3);
+  a.stg(R4, static_cast<std::int32_t>(kGlHeapBump));
+  a.br(init);
+  a.bind(reuse);
+  a.ld(R4, R3, kFrameLinkOff, "next free frame");
+  a.st(R2, 0, R4);
+  a.bind(init);
+  a.sti(R3, kFrameLinkOff, 0, "clear link");
+  if (backend != BackendKind::MessageDriven) {
+    a.sti(R3, kAmRcvCntOff, 0, "clear RCV count");
+  }
+  // Copy the entry-count template.
+  a.ld(R5, R1, 8, "num entry counts");
+  a.ld(R4, R1, 12, "template addr");
+  a.ld(R2, R1, 4, "ec offset");
+  a.alu(Op::Add, R2, R2, R3, "ec dst");
+  a.bind(copy);
+  a.brz(R5, reply);
+  a.ld(R0, R4, 0);
+  a.st(R2, 0, R0);
+  a.alui(Op::Addi, R4, R4, 4);
+  a.alui(Op::Addi, R2, R2, 4);
+  a.alui(Op::Subi, R5, R5, 1);
+  a.br(copy);
+  a.bind(reply);
+  a.ldm(R0, 8, "reply inlet");
+  a.ldm(R1, 12, "reply frame");
+  if (reply_queue == Priority::High) {
+    a.sendh();
+  } else {
+    a.sendl();
+  }
+  if (multi_node) {
+    a.alui(Op::Shri, R5, R1, 24, "reply destination node");
+    a.sendd(R5);
+  }
+  a.sendw(R0);
+  a.sendw(R1);
+  a.sendw(R3, "new frame");
+  a.sende();
+  a.suspend();
+}
+
+// rt_ffree — return a frame to its codeblock's free list.
+//   message: [rt_ffree, cb_id, frame]
+void emit_ffree(Assembler& a, KernelRefs& refs) {
+  refs.rt_ffree = a.here("rt_ffree");
+  a.mark(MarkKind::SysStart);
+  a.ldm(R0, 4, "cb id");
+  a.ldm(R1, 8, "frame");
+  a.alui(Op::Shli, R2, R0, 2);
+  a.alui(Op::Addi, R2, R2, static_cast<std::int32_t>(kGlFreeHeads));
+  a.ld(R3, R2, 0, "old head");
+  a.st(R1, kFrameLinkOff, R3, "frame.link = old head");
+  a.st(R2, 0, R1, "head = frame");
+  a.suspend();
+}
+
+// rt_halloc — bump-allocate global heap storage (fresh I-structure arrays,
+// as Id's array constructors did).
+//   message: [rt_halloc, size_bytes, reply_inlet, reply_frame]
+//   reply:   [reply_inlet, reply_frame, base]
+void emit_halloc(Assembler& a, KernelRefs& refs, Priority reply_queue,
+                 bool multi_node) {
+  refs.rt_halloc = a.here("rt_halloc");
+  a.mark(MarkKind::SysStart);
+  a.ldm(R0, 4, "size in bytes");
+  a.ldg(R1, static_cast<std::int32_t>(kGlHeapBump));
+  a.alu(Op::Add, R2, R1, R0);
+  a.stg(R2, static_cast<std::int32_t>(kGlHeapBump));
+  a.ldm(R2, 8, "reply inlet");
+  a.ldm(R3, 12, "reply frame");
+  if (reply_queue == Priority::High) {
+    a.sendh();
+  } else {
+    a.sendl();
+  }
+  if (multi_node) {
+    a.alui(Op::Shri, R5, R3, 24, "reply destination node");
+    a.sendd(R5);
+  }
+  a.sendw(R2);
+  a.sendw(R3);
+  a.sendw(R1, "base");
+  a.sende();
+  a.suspend();
+}
+
+// rt_halt — deliver the result word to the host and stop the machine.
+//   message: [rt_halt, value]
+void emit_halt(Assembler& a, KernelRefs& refs) {
+  refs.rt_halt = a.here("rt_halt");
+  a.mark(MarkKind::SysStart);
+  a.ldm(R0, 4, "result");
+  a.halt(R0);
+}
+
+}  // namespace
+
+void emit_lcv_pop_jmp(Assembler& a) {
+  a.ldg(R5, static_cast<std::int32_t>(kGlLcvTop), "stop: pop LCV");
+  a.alui(Op::Subi, R5, R5, 4);
+  a.stg(R5, static_cast<std::int32_t>(kGlLcvTop));
+  a.ld(R5, R5, 0, "next thread (or sentinel)");
+  a.jmp(R5);
+}
+
+void emit_lcv_push_label(Assembler& a, ImmOrLabel thread) {
+  a.ldg(R5, static_cast<std::int32_t>(kGlLcvTop), "fork: push LCV");
+  a.sti(R5, 0, thread);
+  a.alui(Op::Addi, R5, R5, 4);
+  a.stg(R5, static_cast<std::int32_t>(kGlLcvTop));
+}
+
+KernelRefs emit_kernel(Assembler& a, const KernelOptions& opts) {
+  JTAM_CHECK(a.current_section() == Section::SysCode,
+             "kernel must be emitted into the system-code section");
+  KernelRefs refs;
+  refs.backend = opts.backend;
+  const Priority replies = inlet_queue(opts.backend);
+
+  emit_halt(a, refs);
+  emit_falloc(a, refs, opts.backend, replies, opts.multi_node);
+  emit_ffree(a, refs);
+  emit_halloc(a, refs, replies, opts.multi_node);
+  emit_istructure_handlers(a, refs, replies, opts.multi_node);
+  emit_fp_library(a, refs);
+  if (opts.backend == BackendKind::MessageDriven) {
+    emit_md_kernel(a, refs);
+  } else {
+    emit_am_kernel(a, refs);  // AM and Hybrid share the scheduler kernel
+  }
+  return refs;
+}
+
+}  // namespace jtam::rt

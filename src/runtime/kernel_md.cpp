@@ -1,0 +1,25 @@
+// Message-Driven back-end kernel.
+//
+// The MD implementation needs almost no scheduler: the hardware message
+// queue *is* the task queue.  Inlets run at low priority and branch
+// directly into threads; the only runtime structure is the LCV, whose stop
+// sentinel (md_stub) resets the LCV top and suspends, letting the hardware
+// dispatch the next queued message ("messages in the queue are not
+// processed until the LCV has been emptied", Figure 1).
+
+#include "mdp/assembler.h"
+#include "runtime/kernel.h"
+
+namespace jtam::rt {
+
+using namespace mdp;  // NOLINT(build/namespaces) — assembler DSL
+
+void emit_md_kernel(Assembler& a, KernelRefs& refs) {
+  refs.md_stub = a.here("md_stub");
+  a.mark(MarkKind::SysStart);
+  a.movi(R5, static_cast<std::int32_t>(kLcvEmptyTop));
+  a.stg(R5, static_cast<std::int32_t>(kGlLcvTop), "reset LCV");
+  a.suspend();
+}
+
+}  // namespace jtam::rt

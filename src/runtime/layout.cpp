@@ -1,0 +1,56 @@
+#include "runtime/layout.h"
+
+#include "support/error.h"
+
+namespace jtam::rt {
+
+const char* backend_name(BackendKind b) {
+  switch (b) {
+    case BackendKind::ActiveMessages: return "AM";
+    case BackendKind::MessageDriven: return "MD";
+    case BackendKind::Hybrid: return "OAM";
+  }
+  return "?";
+}
+
+FrameLayout compute_frame_layout(const tam::Codeblock& cb,
+                                 BackendKind backend, int num_spills) {
+  JTAM_CHECK(num_spills >= 0, "negative spill count");
+  FrameLayout fl;
+  fl.backend = backend;
+
+  // Entry-count slots exist only for synchronizing threads.
+  fl.ec_index_of_thread.reserve(cb.threads.size());
+  for (const tam::Thread& t : cb.threads) {
+    if (t.is_synchronizing()) {
+      fl.ec_index_of_thread.push_back(fl.num_ec++);
+      fl.ec_init.push_back(t.entry_count);
+    } else {
+      fl.ec_index_of_thread.push_back(-1);
+    }
+  }
+
+  std::int32_t cursor;
+  if (backend != BackendKind::MessageDriven) {
+    // link | rcv count | rcv entries | data | ec | spills
+    // Capacity bound: every thread can have at most one pending enabling
+    // (entry counts re-arm only when the thread fires), plus slack for
+    // non-synchronizing threads posted from several inlets in one quantum.
+    fl.rcv_cap = static_cast<std::int32_t>(cb.threads.size()) + 4;
+    cursor = kAmRcvBaseOff + 4 * fl.rcv_cap;
+  } else {
+    fl.rcv_cap = 0;
+    cursor = 4;  // link only
+  }
+  fl.data_off = cursor;
+  cursor += 4 * cb.num_data_slots;
+  fl.ec_off = cursor;
+  cursor += 4 * fl.num_ec;
+  fl.spill_off = cursor;
+  fl.num_spills = num_spills;
+  cursor += 4 * num_spills;
+  fl.frame_bytes = cursor;
+  return fl;
+}
+
+}  // namespace jtam::rt

@@ -1,0 +1,104 @@
+// Runtime data layout shared by the compiler, the runtime kernels and the
+// loader: OS globals, frame layouts, and the codeblock descriptor table the
+// frame-allocation handler reads.
+//
+// Frame layout (all byte offsets from the frame pointer):
+//
+//   Active Messages backend                Message-Driven backend
+//   +0   free/frame-queue link             +0   free-list link
+//   +4   RCV count (ready threads)         +4.. data slots
+//   +8   RCV entries (fixed position so    ...  entry counts
+//        the generic scheduler can copy    ...  spill slots
+//        them into the LCV without
+//        per-codeblock information)
+//   ...  data slots / entry counts / spills
+//
+// The MD frame omits the ready-thread list entirely ("eliminating the
+// remote continuation vector", §3.1) and is therefore smaller — part of the
+// locality trade-off the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory_map.h"
+#include "tam/ir.h"
+
+namespace jtam::rt {
+
+using mem::Addr;
+
+enum class BackendKind : std::uint8_t {
+  ActiveMessages,
+  MessageDriven,
+  // §2.4's cited combination (Optimistic Active Messages [KWW+94]): inlets
+  // run at high priority and *handler-safe* thread chains execute directly
+  // in the handler, message-driven style; everything else goes through the
+  // AM scheduling hierarchy.
+  Hybrid,
+};
+
+const char* backend_name(BackendKind b);
+
+// --- OS globals (addresses in the sys-data region) -------------------------
+inline constexpr Addr kGlLcvTop = mem::kOsGlobalsBase + 0;
+inline constexpr Addr kGlCurFrame = mem::kOsGlobalsBase + 4;
+inline constexpr Addr kGlSchedActive = mem::kOsGlobalsBase + 8;
+inline constexpr Addr kGlFqHead = mem::kOsGlobalsBase + 12;
+inline constexpr Addr kGlFqTail = mem::kOsGlobalsBase + 16;
+inline constexpr Addr kGlHeapBump = mem::kOsGlobalsBase + 20;
+inline constexpr Addr kGlNodeId = mem::kOsGlobalsBase + 24;  // multi-node
+inline constexpr Addr kGlFreeHeads = mem::kOsGlobalsBase + 32;
+inline constexpr int kMaxCodeblocks = 64;
+
+/// The LCV grows upward from kLcvBase; slot 0 permanently holds the stop
+/// sentinel (AM: the frame-swap routine; MD: the reset-and-suspend stub),
+/// so an empty LCV has top == kLcvBase + 4 and the generic 5-instruction
+/// stop sequence needs no emptiness test.
+inline constexpr Addr kLcvEmptyTop = mem::kLcvBase + 4;
+
+// --- frame header ----------------------------------------------------------
+inline constexpr std::int32_t kFrameLinkOff = 0;  // both backends
+inline constexpr std::int32_t kAmRcvCntOff = 4;   // AM only
+inline constexpr std::int32_t kAmRcvBaseOff = 8;  // AM only (fixed position)
+
+// --- codeblock descriptor table (read by the falloc handler) ----------------
+// One descriptor per codeblock at kSysTableBase + cb * kCbDescBytes:
+//   +0  frame size in bytes
+//   +4  byte offset of the entry-count array within the frame
+//   +8  number of entry counts
+//   +12 address of the entry-count initializer template
+inline constexpr std::int32_t kCbDescBytes = 16;
+
+struct FrameLayout {
+  BackendKind backend{};
+  std::int32_t data_off = 0;   // byte offset of data slot 0
+  std::int32_t ec_off = 0;     // byte offset of the entry-count array
+  std::int32_t num_ec = 0;
+  std::int32_t spill_off = 0;  // byte offset of compiler spill slots
+  std::int32_t num_spills = 0;
+  std::int32_t rcv_cap = 0;    // AM only: capacity of the RCV list
+  std::int32_t frame_bytes = 0;
+
+  /// Per thread: index into the entry-count array, or -1 if the thread is
+  /// non-synchronizing.
+  std::vector<std::int32_t> ec_index_of_thread;
+  /// Initial value for each entry count (== the thread's entry count).
+  std::vector<std::int32_t> ec_init;
+
+  std::int32_t ec_byte_off(tam::ThreadId t) const {
+    return ec_off + 4 * ec_index_of_thread[static_cast<std::size_t>(t)];
+  }
+  std::int32_t slot_byte_off(tam::SlotId s) const { return data_off + 4 * s; }
+  std::int32_t spill_byte_off(int i) const { return spill_off + 4 * i; }
+  bool thread_is_sync(tam::ThreadId t) const {
+    return ec_index_of_thread[static_cast<std::size_t>(t)] >= 0;
+  }
+};
+
+/// Compute the frame layout of `cb` for `backend` with `num_spills`
+/// compiler-reserved spill slots.
+FrameLayout compute_frame_layout(const tam::Codeblock& cb,
+                                 BackendKind backend, int num_spills);
+
+}  // namespace jtam::rt

@@ -1,0 +1,15 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace jtam::detail {
+
+void raise(const char* kind, const char* expr, const char* file, int line,
+           const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << expr << " at " << file << ":" << line
+     << "]";
+  throw Error(os.str());
+}
+
+}  // namespace jtam::detail

@@ -1,0 +1,45 @@
+// Error handling primitives for the jtam library.
+//
+// The library throws jtam::Error for all user-facing failure conditions
+// (invalid IR, simulator faults, configuration mistakes).  JTAM_CHECK is the
+// preferred way to raise one: it captures the failing expression and a
+// formatted message.  Internal invariants use JTAM_ASSERT, which also throws
+// (never aborts) so tests can assert on misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jtam {
+
+/// Exception type for every failure the library reports.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise(const char* kind, const char* expr, const char* file,
+                        int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace jtam
+
+/// Raise jtam::Error with context if `cond` is false.  `msg` is a
+/// std::string (or convertible) describing the failure.
+#define JTAM_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::jtam::detail::raise("check failed", #cond, __FILE__, __LINE__,     \
+                            (msg));                                        \
+    }                                                                      \
+  } while (0)
+
+/// Internal invariant; failure indicates a bug in jtam itself.
+#define JTAM_ASSERT(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::jtam::detail::raise("internal invariant violated", #cond,          \
+                            __FILE__, __LINE__, (msg));                    \
+    }                                                                      \
+  } while (0)

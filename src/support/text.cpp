@@ -1,0 +1,66 @@
+#include "support/text.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace jtam::text {
+
+std::string fixed(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void Table::header(std::vector<std::string> cells) {
+  rows_.insert(rows_.begin(), std::move(cells));
+  has_header_ = true;
+}
+
+void Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  for (const auto& r : rows_) {
+    if (widths.size() < r.size()) widths.resize(r.size(), 0);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << r[i];
+    }
+    os << '\n';
+  };
+  bool first = true;
+  for (const auto& r : rows_) {
+    emit(r);
+    if (first && has_header_) {
+      std::vector<std::string> dashes;
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        dashes.push_back(std::string(widths[i], '-'));
+      }
+      emit(dashes);
+    }
+    first = false;
+  }
+}
+
+}  // namespace jtam::text

@@ -1,0 +1,31 @@
+// Small text-formatting helpers shared by the bench harnesses and reports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jtam::text {
+
+/// Fixed-point formatting of `v` with `prec` digits after the decimal point.
+std::string fixed(double v, int prec);
+
+/// Format `v` with thousands separators ("1,234,567").
+std::string with_commas(std::uint64_t v);
+
+/// Column-aligned plain-text table.  Rows are added as vectors of cell
+/// strings; `print` pads every column to its widest cell.  The first row
+/// added via `header` is underlined with dashes.
+class Table {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  bool has_header_ = false;
+};
+
+}  // namespace jtam::text

@@ -1,0 +1,329 @@
+#include "tam/ir.h"
+
+#include <bit>
+
+#include "support/error.h"
+
+namespace jtam::tam {
+
+bool is_float_op(BinOp op) {
+  switch (op) {
+    case BinOp::FAdd:
+    case BinOp::FSub:
+    case BinOp::FMul:
+    case BinOp::FDiv:
+    case BinOp::FLt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "add";
+    case BinOp::Sub: return "sub";
+    case BinOp::Mul: return "mul";
+    case BinOp::Div: return "div";
+    case BinOp::Mod: return "mod";
+    case BinOp::And: return "and";
+    case BinOp::Or: return "or";
+    case BinOp::Xor: return "xor";
+    case BinOp::Shl: return "shl";
+    case BinOp::Shr: return "shr";
+    case BinOp::Lt: return "lt";
+    case BinOp::Le: return "le";
+    case BinOp::Eq: return "eq";
+    case BinOp::Ne: return "ne";
+    case BinOp::FAdd: return "fadd";
+    case BinOp::FSub: return "fsub";
+    case BinOp::FMul: return "fmul";
+    case BinOp::FDiv: return "fdiv";
+    case BinOp::FLt: return "flt";
+  }
+  return "?";
+}
+
+// --- BodyBuilder -----------------------------------------------------------
+
+VReg BodyBuilder::fresh() { return next_vreg_++; }
+
+std::vector<VOp>& BodyBuilder::body() {
+  return is_inlet_ ? owner_->cb_.inlets[index_].body
+                   : owner_->cb_.threads[index_].body;
+}
+
+void BodyBuilder::push(VOp op) {
+  JTAM_CHECK(!terminated_, "op appended after terminator in '" +
+                               owner_->cb_.name + "'");
+  body().push_back(std::move(op));
+}
+
+VReg BodyBuilder::konst(std::int32_t v) {
+  VOp op;
+  op.kind = VOpKind::Const;
+  op.dst = fresh();
+  op.imm = v;
+  push(op);
+  return op.dst;
+}
+
+VReg BodyBuilder::konst_f(float v) {
+  return konst(static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(v)));
+}
+
+VReg BodyBuilder::bin(BinOp bop, VReg a, VReg b) {
+  VOp op;
+  op.kind = VOpKind::Bin;
+  op.bop = bop;
+  op.dst = fresh();
+  op.a = a;
+  op.b = b;
+  push(op);
+  return op.dst;
+}
+
+VReg BodyBuilder::bini(BinOp bop, VReg a, std::int32_t imm) {
+  JTAM_CHECK(!is_float_op(bop), "float ops take register operands only");
+  VOp op;
+  op.kind = VOpKind::BinI;
+  op.bop = bop;
+  op.dst = fresh();
+  op.a = a;
+  op.imm = imm;
+  push(op);
+  return op.dst;
+}
+
+VReg BodyBuilder::select(VReg cond, VReg if_true, VReg if_false) {
+  VOp op;
+  op.kind = VOpKind::Select;
+  op.dst = fresh();
+  op.c = cond;
+  op.a = if_true;
+  op.b = if_false;
+  push(op);
+  return op.dst;
+}
+
+VReg BodyBuilder::frame_load(SlotId slot) {
+  VOp op;
+  op.kind = VOpKind::FrameLoad;
+  op.dst = fresh();
+  op.imm = slot;
+  push(op);
+  return op.dst;
+}
+
+void BodyBuilder::frame_store(SlotId slot, VReg v) {
+  VOp op;
+  op.kind = VOpKind::FrameStore;
+  op.a = v;
+  op.imm = slot;
+  push(op);
+}
+
+VReg BodyBuilder::msg_load(int payload_word) {
+  JTAM_CHECK(is_inlet_, "MsgLoad is only available in inlets");
+  VOp op;
+  op.kind = VOpKind::MsgLoad;
+  op.dst = fresh();
+  op.imm = payload_word;
+  push(op);
+  return op.dst;
+}
+
+VReg BodyBuilder::self_frame() {
+  VOp op;
+  op.kind = VOpKind::SelfFrame;
+  op.dst = fresh();
+  push(op);
+  return op.dst;
+}
+
+VReg BodyBuilder::inlet_addr(InletId inlet) {
+  VOp op;
+  op.kind = VOpKind::InletAddr;
+  op.dst = fresh();
+  op.inlet = inlet;
+  push(op);
+  return op.dst;
+}
+
+void BodyBuilder::ifetch(VReg addr, InletId reply_inlet) {
+  VOp op;
+  op.kind = VOpKind::IFetch;
+  op.a = addr;
+  op.inlet = reply_inlet;
+  push(op);
+}
+
+void BodyBuilder::istore(VReg addr, VReg value) {
+  VOp op;
+  op.kind = VOpKind::IStore;
+  op.a = addr;
+  op.b = value;
+  push(op);
+}
+
+void BodyBuilder::gfetch(VReg addr, InletId reply_inlet) {
+  VOp op;
+  op.kind = VOpKind::GFetch;
+  op.a = addr;
+  op.inlet = reply_inlet;
+  push(op);
+}
+
+void BodyBuilder::gstore(VReg addr, VReg value) {
+  VOp op;
+  op.kind = VOpKind::GStore;
+  op.a = addr;
+  op.b = value;
+  push(op);
+}
+
+void BodyBuilder::falloc(CbId cb, InletId reply_inlet) {
+  VOp op;
+  op.kind = VOpKind::FAlloc;
+  op.cb = cb;
+  op.inlet = reply_inlet;
+  push(op);
+}
+
+void BodyBuilder::halloc(VReg size_bytes, InletId reply_inlet) {
+  VOp op;
+  op.kind = VOpKind::HAlloc;
+  op.a = size_bytes;
+  op.inlet = reply_inlet;
+  push(op);
+}
+
+void BodyBuilder::release() {
+  VOp op;
+  op.kind = VOpKind::Release;
+  push(op);
+}
+
+void BodyBuilder::send_msg(CbId cb, InletId inlet, VReg frame,
+                           const std::vector<VReg>& args) {
+  VOp op;
+  op.kind = VOpKind::SendMsg;
+  op.cb = cb;
+  op.inlet = inlet;
+  op.a = frame;
+  op.args = args;
+  push(op);
+}
+
+void BodyBuilder::send_dyn(VReg inlet_addr, VReg frame,
+                           const std::vector<VReg>& args) {
+  VOp op;
+  op.kind = VOpKind::SendDyn;
+  op.a = inlet_addr;
+  op.b = frame;
+  op.args = args;
+  push(op);
+}
+
+void BodyBuilder::send_halt(VReg value) {
+  VOp op;
+  op.kind = VOpKind::SendHalt;
+  op.a = value;
+  push(op);
+}
+
+void BodyBuilder::stop() {
+  JTAM_CHECK(!is_inlet_, "stop() is a thread terminator");
+  JTAM_CHECK(!terminated_, "double terminator");
+  terminated_ = true;
+}
+
+void BodyBuilder::forks(std::vector<ThreadId> targets) {
+  JTAM_CHECK(!is_inlet_, "forks() is a thread terminator");
+  JTAM_CHECK(!terminated_, "double terminator");
+  owner_->cb_.threads[index_].term.then_forks = std::move(targets);
+  terminated_ = true;
+}
+
+void BodyBuilder::cond_forks(VReg cond, std::vector<ThreadId> then_targets,
+                             std::vector<ThreadId> else_targets) {
+  JTAM_CHECK(!is_inlet_, "cond_forks() is a thread terminator");
+  JTAM_CHECK(!terminated_, "double terminator");
+  Terminator& t = owner_->cb_.threads[index_].term;
+  t.cond = cond;
+  t.then_forks = std::move(then_targets);
+  t.else_forks = std::move(else_targets);
+  terminated_ = true;
+}
+
+void BodyBuilder::post(ThreadId t) {
+  JTAM_CHECK(is_inlet_, "post() is an inlet terminator");
+  JTAM_CHECK(!terminated_, "double terminator");
+  owner_->cb_.inlets[index_].post = t;
+  terminated_ = true;
+}
+
+void BodyBuilder::no_post() {
+  JTAM_CHECK(is_inlet_, "no_post() is an inlet terminator");
+  JTAM_CHECK(!terminated_, "double terminator");
+  owner_->cb_.inlets[index_].post.reset();
+  terminated_ = true;
+}
+
+// --- CodeblockBuilder --------------------------------------------------------
+
+CodeblockBuilder::CodeblockBuilder(Program& prog, std::string name,
+                                   int num_data_slots)
+    : prog_(prog) {
+  cb_.name = std::move(name);
+  cb_.num_data_slots = num_data_slots;
+}
+
+ThreadId CodeblockBuilder::declare_thread(std::string name, int entry_count) {
+  JTAM_CHECK(entry_count >= 1, "entry count must be >= 1");
+  cb_.threads.push_back(Thread{std::move(name), entry_count, {}, {}});
+  thread_defined_.push_back(false);
+  return static_cast<ThreadId>(cb_.threads.size() - 1);
+}
+
+InletId CodeblockBuilder::declare_inlet(std::string name, int payload_words) {
+  JTAM_CHECK(payload_words >= 0, "negative payload size");
+  cb_.inlets.push_back(Inlet{std::move(name), payload_words, {}, {}});
+  inlet_defined_.push_back(false);
+  return static_cast<InletId>(cb_.inlets.size() - 1);
+}
+
+BodyBuilder CodeblockBuilder::define_thread(ThreadId t) {
+  JTAM_CHECK(t >= 0 && t < static_cast<int>(cb_.threads.size()),
+             "define of undeclared thread");
+  JTAM_CHECK(!thread_defined_[t],
+             "thread '" + cb_.threads[t].name + "' defined twice");
+  thread_defined_[t] = true;
+  return BodyBuilder(this, /*is_inlet=*/false, t);
+}
+
+BodyBuilder CodeblockBuilder::define_inlet(InletId i) {
+  JTAM_CHECK(i >= 0 && i < static_cast<int>(cb_.inlets.size()),
+             "define of undeclared inlet");
+  JTAM_CHECK(!inlet_defined_[i],
+             "inlet '" + cb_.inlets[i].name + "' defined twice");
+  inlet_defined_[i] = true;
+  return BodyBuilder(this, /*is_inlet=*/true, i);
+}
+
+CbId CodeblockBuilder::finish() {
+  JTAM_CHECK(!finished_, "codeblock finished twice");
+  for (std::size_t i = 0; i < thread_defined_.size(); ++i) {
+    JTAM_CHECK(thread_defined_[i], "thread '" + cb_.threads[i].name +
+                                       "' declared but never defined");
+  }
+  for (std::size_t i = 0; i < inlet_defined_.size(); ++i) {
+    JTAM_CHECK(inlet_defined_[i], "inlet '" + cb_.inlets[i].name +
+                                      "' declared but never defined");
+  }
+  finished_ = true;
+  prog_.codeblocks.push_back(std::move(cb_));
+  return static_cast<CbId>(prog_.codeblocks.size() - 1);
+}
+
+}  // namespace jtam::tam

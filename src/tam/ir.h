@@ -1,0 +1,232 @@
+// TAM intermediate representation.
+//
+// A TAM program is a set of *codeblocks*; invoking a codeblock allocates a
+// *frame* for its arguments, locals and synchronization counters.  Each
+// codeblock is compiled into *inlets* (short message handlers that receive
+// arguments from outside the codeblock) and *threads* (straight-line
+// sequences forming the codeblock body).  Operations of unbounded latency
+// (I-structure reads, frame allocation) are split-phased: a thread issues
+// the request and the reply arrives at an inlet, which posts the dependent
+// thread.  Threads carry an entry count; a thread with entry count 1 is
+// non-synchronizing.  (§1.1.3 of the paper.)
+//
+// Bodies are straight-line three-address code over per-thread virtual
+// registers; control flow between threads is expressed by fork lists on
+// thread terminators (the compiler turns the final fork into a branch when
+// possible, as TAM's compiler did) and by posts on inlets.  Loops are
+// threads that conditionally re-fork themselves, re-reading their loop
+// state from frame slots each iteration — exactly the frame traffic the
+// paper's two back-ends trade off differently.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jtam::tam {
+
+using VReg = int;       // virtual register, local to one thread/inlet body
+using SlotId = int;     // frame data slot index
+using ThreadId = int;   // index into Codeblock::threads
+using InletId = int;    // index into Codeblock::inlets
+using CbId = int;       // index into Program::codeblocks
+
+/// Arithmetic/logic operators available to thread and inlet bodies.
+/// Floating-point operators compile to calls into the software FP library
+/// in system code, as on the FPU-less MDP.
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr,
+  Lt, Le, Eq, Ne,
+  FAdd, FSub, FMul, FDiv, FLt,
+};
+
+bool is_float_op(BinOp op);
+const char* binop_name(BinOp op);
+
+enum class VOpKind : std::uint8_t {
+  Const,       // dst = imm (int or float bit pattern)
+  Copy,        // dst = a (internal; created by the MD optimizer when it
+               // forwards an inlet value to an inlined thread in a register)
+  SpillStore,  // frame.spill[imm] = a (internal; inserted by the register
+               // allocator when body pressure exceeds the MDP register file)
+  SpillLoad,   // dst = frame.spill[imm] (internal)
+  Bin,         // dst = a BOP b
+  BinI,        // dst = a BOP imm
+  Select,      // dst = c ? a : b
+  FrameLoad,   // dst = frame[slot(imm)]
+  FrameStore,  // frame[slot(imm)] = a
+  MsgLoad,     // dst = payload word imm of the current message (inlets only)
+  SelfFrame,   // dst = pointer to own frame
+  InletAddr,   // dst = code address of own codeblock's inlet `inlet`
+               // (continuations are (inlet, frame) pairs passed as values)
+  IFetch,      // split-phase I-structure read of address `a`; value is
+               // delivered to inlet `inlet` as payload word 0
+  IStore,      // I-structure write [a] = b (wakes deferred readers)
+  GFetch,      // imperative global read of address `a`, reply to `inlet`
+  GStore,      // imperative global write [a] = b (no reply; ordering via
+               // the FIFO system queue)
+  FAlloc,      // request a frame for codeblock `cb`; pointer delivered to
+               // inlet `inlet` as payload word 0
+  HAlloc,      // request `a` bytes of global heap (I-structure storage);
+               // base address delivered to inlet `inlet` as payload word 0
+  Release,     // return own frame to the free list (codeblock epilogue)
+  SendMsg,     // send `args` to inlet `inlet` of codeblock `cb` whose frame
+               // pointer is in `a` (static target codeblock)
+  SendDyn,     // send `args` to the continuation (inlet addr `a`, frame `b`)
+  SendHalt,    // deliver `a` to the host and stop the machine
+};
+
+/// One IR operation.  Fields are used according to `kind` (see VOpKind).
+struct VOp {
+  VOpKind kind{};
+  BinOp bop{};
+  VReg dst = -1;
+  VReg a = -1;
+  VReg b = -1;
+  VReg c = -1;
+  std::int32_t imm = 0;
+  InletId inlet = -1;
+  CbId cb = -1;
+  std::vector<VReg> args;
+};
+
+/// Thread terminator: an optional condition selecting between two fork
+/// lists.  With cond < 0, `then_forks` fires unconditionally.  After the
+/// forks the thread stops (pops the LCV / suspends, per back-end).
+struct Terminator {
+  VReg cond = -1;
+  std::vector<ThreadId> then_forks;
+  std::vector<ThreadId> else_forks;
+};
+
+struct Thread {
+  std::string name;
+  int entry_count = 1;  // 1 == non-synchronizing (implicit count of one)
+  std::vector<VOp> body;
+  Terminator term;
+  bool is_synchronizing() const { return entry_count > 1; }
+};
+
+struct Inlet {
+  std::string name;
+  int payload_words = 1;
+  std::vector<VOp> body;
+  std::optional<ThreadId> post;  // TAM inlets end with "post t"
+};
+
+struct Codeblock {
+  std::string name;
+  int num_data_slots = 0;
+  std::vector<Thread> threads;
+  std::vector<Inlet> inlets;
+};
+
+struct Program {
+  std::string name;
+  std::vector<Codeblock> codeblocks;
+};
+
+// --------------------------------------------------------------------------
+// Builder API.  Typical use:
+//
+//   Program prog{"example"};
+//   CodeblockBuilder cb(prog, "main", /*data_slots=*/4);
+//   ThreadId t_go = cb.declare_thread("go", /*entry_count=*/2);
+//   InletId in_x = cb.declare_inlet("x", 1);
+//   { BodyBuilder b = cb.define_inlet(in_x);
+//     b.frame_store(kSlotX, b.msg_load(0));
+//     b.post(t_go); }
+//   { BodyBuilder b = cb.define_thread(t_go);
+//     VReg x = b.frame_load(kSlotX);
+//     ...
+//     b.stop(); }
+//   CbId id = cb.finish();
+// --------------------------------------------------------------------------
+
+class CodeblockBuilder;
+
+/// Builds one thread or inlet body.  Methods append ops and return the
+/// destination virtual register.
+class BodyBuilder {
+ public:
+  VReg konst(std::int32_t v);
+  VReg konst_f(float v);
+  VReg bin(BinOp op, VReg a, VReg b);
+  VReg bini(BinOp op, VReg a, std::int32_t imm);
+  VReg select(VReg cond, VReg if_true, VReg if_false);
+  VReg frame_load(SlotId slot);
+  void frame_store(SlotId slot, VReg v);
+  VReg msg_load(int payload_word);  // inlets only
+  VReg self_frame();
+  VReg inlet_addr(InletId inlet);
+  void ifetch(VReg addr, InletId reply_inlet);
+  void istore(VReg addr, VReg value);
+  void gfetch(VReg addr, InletId reply_inlet);
+  void gstore(VReg addr, VReg value);
+  void falloc(CbId cb, InletId reply_inlet);
+  void halloc(VReg size_bytes, InletId reply_inlet);
+  void release();
+  void send_msg(CbId cb, InletId inlet, VReg frame,
+                const std::vector<VReg>& args);
+  void send_dyn(VReg inlet_addr, VReg frame, const std::vector<VReg>& args);
+  void send_halt(VReg value);
+
+  // Terminators (threads only).
+  void stop();                                 // no forks
+  void forks(std::vector<ThreadId> targets);   // unconditional fork list
+  void cond_forks(VReg cond, std::vector<ThreadId> then_targets,
+                  std::vector<ThreadId> else_targets);
+  // Terminator (inlets only).
+  void post(ThreadId t);
+  void no_post();
+
+ private:
+  friend class CodeblockBuilder;
+  BodyBuilder(CodeblockBuilder* owner, bool is_inlet, int index)
+      : owner_(owner), is_inlet_(is_inlet), index_(index) {}
+  VReg fresh();
+  void push(VOp op);
+  std::vector<VOp>& body();
+
+  CodeblockBuilder* owner_;
+  bool is_inlet_;
+  int index_;
+  int next_vreg_ = 0;
+  bool terminated_ = false;
+};
+
+class CodeblockBuilder {
+ public:
+  /// Creates the codeblock in `prog` (finish() returns its id).
+  CodeblockBuilder(Program& prog, std::string name, int num_data_slots);
+
+  ThreadId declare_thread(std::string name, int entry_count = 1);
+  InletId declare_inlet(std::string name, int payload_words = 1);
+
+  /// Start defining a declared thread/inlet.  Each may be defined once;
+  /// the returned builder must be terminated before finish().
+  BodyBuilder define_thread(ThreadId t);
+  BodyBuilder define_inlet(InletId i);
+
+  /// Validate and commit; returns the codeblock id within the program.
+  CbId finish();
+
+  Codeblock& codeblock() { return cb_; }
+
+ private:
+  friend class BodyBuilder;
+  Program& prog_;
+  Codeblock cb_;
+  std::vector<bool> thread_defined_;
+  std::vector<bool> inlet_defined_;
+  bool finished_ = false;
+};
+
+/// Structural validation of a whole program: all thread/inlet/codeblock
+/// references in range, exactly one terminator per body, MsgLoad only in
+/// inlets and within payload bounds, entry counts >= 1, virtual registers
+/// defined before use.  Throws jtam::Error with a precise message.
+void validate(const Program& prog);
+
+}  // namespace jtam::tam

@@ -1,0 +1,573 @@
+#include "tam/parser.h"
+
+#include <bit>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "support/error.h"
+
+namespace jtam::tam {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char c : line) {
+    if (c == '#') break;
+    if (c == ' ' || c == '\t' || c == '\r') {
+      flush();
+    } else if (c == '(' || c == ')' || c == '=' || c == '?' || c == ':' ||
+               c == ',') {
+      flush();
+      if (c != ',') out.push_back(std::string(1, c));
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+std::optional<BinOp> binop_by_name(const std::string& s) {
+  static const std::map<std::string, BinOp> kOps = {
+      {"add", BinOp::Add},   {"sub", BinOp::Sub},   {"mul", BinOp::Mul},
+      {"div", BinOp::Div},   {"mod", BinOp::Mod},   {"and", BinOp::And},
+      {"or", BinOp::Or},     {"xor", BinOp::Xor},   {"shl", BinOp::Shl},
+      {"shr", BinOp::Shr},   {"lt", BinOp::Lt},     {"le", BinOp::Le},
+      {"eq", BinOp::Eq},     {"ne", BinOp::Ne},     {"fadd", BinOp::FAdd},
+      {"fsub", BinOp::FSub}, {"fmul", BinOp::FMul}, {"fdiv", BinOp::FDiv},
+      {"flt", BinOp::FLt}};
+  auto it = kOps.find(s);
+  if (it == kOps.end()) return std::nullopt;
+  return it->second;
+}
+
+/// Names declared inside one codeblock.
+struct CbNames {
+  std::string name;
+  std::map<std::string, SlotId> slots;
+  std::map<std::string, ThreadId> threads;
+  std::map<std::string, InletId> inlets;
+};
+
+struct Line {
+  int number;
+  std::vector<std::string> toks;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) {
+    std::istringstream is(source);
+    std::string raw;
+    int no = 0;
+    while (std::getline(is, raw)) {
+      ++no;
+      std::vector<std::string> toks = tokenize(raw);
+      if (!toks.empty()) lines_.push_back(Line{no, std::move(toks)});
+    }
+  }
+
+  Program run() {
+    scan_declarations();
+    build();
+    validate(prog_);
+    return prog_;
+  }
+
+ private:
+  [[noreturn]] void fail(int line, const std::string& msg) const {
+    throw Error("TAM parse error at line " + std::to_string(line) + ": " +
+                msg);
+  }
+
+  static bool is_decl(const std::vector<std::string>& t) {
+    return t[0] == "program" || t[0] == "codeblock" || t[0] == "thread" ||
+           t[0] == "inlet";
+  }
+
+  /// Pass 1: collect every codeblock/thread/inlet/slot name so bodies can
+  /// reference them in any order.
+  void scan_declarations() {
+    int cur_cb = -1;
+    for (const Line& ln : lines_) {
+      const auto& t = ln.toks;
+      if (t[0] == "program") {
+        if (t.size() != 2) fail(ln.number, "expected: program NAME");
+        prog_.name = t[1];
+      } else if (t[0] == "codeblock") {
+        // codeblock NAME slots ( a b c )
+        if (t.size() < 2) fail(ln.number, "expected: codeblock NAME ...");
+        CbNames names;
+        names.name = t[1];
+        std::size_t i = 2;
+        if (i < t.size()) {
+          if (t[i] != "slots") fail(ln.number, "expected 'slots(...)'");
+          ++i;
+          if (i >= t.size() || t[i] != "(") fail(ln.number, "expected '('");
+          ++i;
+          while (i < t.size() && t[i] != ")") {
+            SlotId id = static_cast<SlotId>(names.slots.size());
+            if (!names.slots.emplace(t[i], id).second) {
+              fail(ln.number, "duplicate slot '" + t[i] + "'");
+            }
+            ++i;
+          }
+          if (i >= t.size()) fail(ln.number, "missing ')'");
+        }
+        if (by_name_.count(names.name) != 0) {
+          fail(ln.number, "duplicate codeblock '" + names.name + "'");
+        }
+        by_name_[names.name] = static_cast<CbId>(cbs_.size());
+        cbs_.push_back(std::move(names));
+        cur_cb = static_cast<int>(cbs_.size()) - 1;
+      } else if (t[0] == "thread") {
+        if (cur_cb < 0) fail(ln.number, "thread outside a codeblock");
+        if (t.size() < 2) fail(ln.number, "expected: thread NAME");
+        CbNames& cb = cbs_[static_cast<std::size_t>(cur_cb)];
+        ThreadId id = static_cast<ThreadId>(cb.threads.size());
+        if (!cb.threads.emplace(t[1], id).second) {
+          fail(ln.number, "duplicate thread '" + t[1] + "'");
+        }
+      } else if (t[0] == "inlet") {
+        if (cur_cb < 0) fail(ln.number, "inlet outside a codeblock");
+        if (t.size() < 2) fail(ln.number, "expected: inlet NAME(...)");
+        CbNames& cb = cbs_[static_cast<std::size_t>(cur_cb)];
+        InletId id = static_cast<InletId>(cb.inlets.size());
+        if (!cb.inlets.emplace(t[1], id).second) {
+          fail(ln.number, "duplicate inlet '" + t[1] + "'");
+        }
+      }
+    }
+    if (prog_.name.empty()) {
+      throw Error("TAM parse error: missing 'program NAME' header");
+    }
+    if (cbs_.empty()) {
+      throw Error("TAM parse error: no codeblocks");
+    }
+  }
+
+  // --- pass 2 helpers ------------------------------------------------------
+
+  struct BodyCtx {
+    CodeblockBuilder* builder = nullptr;
+    std::optional<BodyBuilder> body;
+    const CbNames* names = nullptr;
+    std::map<std::string, VReg> vregs;
+    std::map<std::string, VReg> msg_params;  // inlet parameter names
+    bool is_inlet = false;
+    std::optional<ThreadId> inlet_post;
+    bool terminated = false;
+    int header_line = 0;
+  };
+
+  VReg use(BodyCtx& ctx, const std::string& name, int line) {
+    if (ctx.is_inlet) {
+      auto mp = ctx.msg_params.find(name);
+      if (mp != ctx.msg_params.end()) return mp->second;
+    }
+    auto it = ctx.vregs.find(name);
+    if (it == ctx.vregs.end()) fail(line, "unknown value '" + name + "'");
+    return it->second;
+  }
+
+  void def(BodyCtx& ctx, const std::string& name, VReg v, int line) {
+    if (!ctx.vregs.emplace(name, v).second) {
+      fail(line, "value '" + name + "' defined twice (values are SSA)");
+    }
+  }
+
+  SlotId slot_of(const BodyCtx& ctx, const std::string& name,
+                 int line) const {
+    auto it = ctx.names->slots.find(name);
+    if (it == ctx.names->slots.end()) fail(line, "unknown slot '" + name + "'");
+    return it->second;
+  }
+
+  ThreadId thread_of(const CbNames& cb, const std::string& name,
+                     int line) const {
+    auto it = cb.threads.find(name);
+    if (it == cb.threads.end()) fail(line, "unknown thread '" + name + "'");
+    return it->second;
+  }
+
+  InletId inlet_of(const CbNames& cb, const std::string& name,
+                   int line) const {
+    auto it = cb.inlets.find(name);
+    if (it == cb.inlets.end()) fail(line, "unknown inlet '" + name + "'");
+    return it->second;
+  }
+
+  std::int32_t to_int(const std::string& s, int line) const {
+    try {
+      std::size_t pos = 0;
+      long v = std::stol(s, &pos, 0);
+      if (pos != s.size()) throw std::invalid_argument(s);
+      return static_cast<std::int32_t>(v);
+    } catch (const std::exception&) {
+      fail(line, "expected an integer, got '" + s + "'");
+    }
+  }
+
+  float to_float(const std::string& s, int line) const {
+    try {
+      std::size_t pos = 0;
+      float v = std::stof(s, &pos);
+      if (pos != s.size()) throw std::invalid_argument(s);
+      return v;
+    } catch (const std::exception&) {
+      fail(line, "expected a float, got '" + s + "'");
+    }
+  }
+
+  void finish_body(BodyCtx& ctx) {
+    if (!ctx.body.has_value()) return;
+    if (ctx.is_inlet) {
+      if (ctx.inlet_post.has_value()) {
+        ctx.body->post(*ctx.inlet_post);
+      } else {
+        ctx.body->no_post();
+      }
+    } else if (!ctx.terminated) {
+      fail(ctx.header_line,
+           "thread body has no terminator (stop / fork / cfork)");
+    }
+    ctx.body.reset();
+  }
+
+  /// Parse `( a b c )` starting at t[i]; returns vreg list, advances i.
+  std::vector<VReg> parse_args(BodyCtx& ctx, const std::vector<std::string>& t,
+                               std::size_t& i, int line) {
+    std::vector<VReg> args;
+    if (i >= t.size() || t[i] != "(") fail(line, "expected '('");
+    ++i;
+    while (i < t.size() && t[i] != ")") {
+      args.push_back(use(ctx, t[i], line));
+      ++i;
+    }
+    if (i >= t.size()) fail(line, "missing ')'");
+    ++i;
+    return args;
+  }
+
+  void parse_statement(BodyCtx& ctx, const Line& ln) {
+    const auto& t = ln.toks;
+    const int no = ln.number;
+    BodyBuilder& b = *ctx.body;
+    const CbNames& cb = *ctx.names;
+
+    if (ctx.terminated) fail(no, "statement after terminator");
+
+    // Terminators (threads only).
+    if (t[0] == "stop") {
+      if (ctx.is_inlet) fail(no, "'stop' is a thread terminator");
+      b.stop();
+      ctx.terminated = true;
+      return;
+    }
+    if (t[0] == "fork") {
+      if (ctx.is_inlet) fail(no, "'fork' is a thread terminator");
+      std::vector<ThreadId> targets;
+      for (std::size_t i = 1; i < t.size(); ++i) {
+        targets.push_back(thread_of(cb, t[i], no));
+      }
+      if (targets.empty()) fail(no, "fork needs at least one target");
+      b.forks(std::move(targets));
+      ctx.terminated = true;
+      return;
+    }
+    if (t[0] == "cfork") {
+      if (ctx.is_inlet) fail(no, "'cfork' is a thread terminator");
+      // cfork c ? t1 t2 : t3 t4
+      if (t.size() < 4 || t[2] != "?") {
+        fail(no, "expected: cfork COND ? THEN... : ELSE...");
+      }
+      VReg c = use(ctx, t[1], no);
+      std::vector<ThreadId> then_t, else_t;
+      std::size_t i = 3;
+      for (; i < t.size() && t[i] != ":"; ++i) {
+        then_t.push_back(thread_of(cb, t[i], no));
+      }
+      if (i < t.size()) {
+        for (++i; i < t.size(); ++i) {
+          else_t.push_back(thread_of(cb, t[i], no));
+        }
+      }
+      b.cond_forks(c, std::move(then_t), std::move(else_t));
+      ctx.terminated = true;
+      return;
+    }
+
+    // Non-assignment statements.
+    if (t[0] == "store") {
+      // store SLOT = x
+      if (t.size() != 4 || t[2] != "=") fail(no, "expected: store SLOT = x");
+      b.frame_store(slot_of(ctx, t[1], no), use(ctx, t[3], no));
+      return;
+    }
+    if (t[0] == "ifetch" || t[0] == "gfetch") {
+      // ifetch a -> INLET
+      if (t.size() != 4 || t[2] != "->") fail(no, "expected: " + t[0] +
+                                                      " a -> INLET");
+      VReg a = use(ctx, t[1], no);
+      InletId in = inlet_of(cb, t[3], no);
+      if (t[0] == "ifetch") {
+        b.ifetch(a, in);
+      } else {
+        b.gfetch(a, in);
+      }
+      return;
+    }
+    if (t[0] == "istore" || t[0] == "gstore") {
+      if (t.size() != 3) fail(no, "expected: " + t[0] + " addr value");
+      VReg a = use(ctx, t[1], no);
+      VReg v = use(ctx, t[2], no);
+      if (t[0] == "istore") {
+        b.istore(a, v);
+      } else {
+        b.gstore(a, v);
+      }
+      return;
+    }
+    if (t[0] == "falloc") {
+      // falloc CB -> INLET
+      if (t.size() != 4 || t[2] != "->") fail(no, "expected: falloc CB -> INLET");
+      auto it = by_name_.find(t[1]);
+      if (it == by_name_.end()) fail(no, "unknown codeblock '" + t[1] + "'");
+      b.falloc(it->second, inlet_of(cb, t[3], no));
+      return;
+    }
+    if (t[0] == "halloc") {
+      if (t.size() != 4 || t[2] != "->") {
+        fail(no, "expected: halloc size -> INLET");
+      }
+      b.halloc(use(ctx, t[1], no), inlet_of(cb, t[3], no));
+      return;
+    }
+    if (t[0] == "send") {
+      // send CB.INLET f ( a b )
+      if (t.size() < 3) fail(no, "expected: send CB.INLET frame (args)");
+      const std::string& target = t[1];
+      auto dot = target.find('.');
+      if (dot == std::string::npos) fail(no, "expected CB.INLET");
+      auto it = by_name_.find(target.substr(0, dot));
+      if (it == by_name_.end()) {
+        fail(no, "unknown codeblock '" + target.substr(0, dot) + "'");
+      }
+      const CbNames& tcb = cbs_[static_cast<std::size_t>(it->second)];
+      InletId in = inlet_of(tcb, target.substr(dot + 1), no);
+      VReg frame = use(ctx, t[2], no);
+      std::size_t i = 3;
+      std::vector<VReg> args = parse_args(ctx, t, i, no);
+      b.send_msg(it->second, in, frame, args);
+      return;
+    }
+    if (t[0] == "senddyn") {
+      if (t.size() < 4) fail(no, "expected: senddyn inlet frame (args)");
+      VReg ia = use(ctx, t[1], no);
+      VReg fr = use(ctx, t[2], no);
+      std::size_t i = 3;
+      std::vector<VReg> args = parse_args(ctx, t, i, no);
+      b.send_dyn(ia, fr, args);
+      return;
+    }
+    if (t[0] == "halt") {
+      if (t.size() != 2) fail(no, "expected: halt x");
+      b.send_halt(use(ctx, t[1], no));
+      return;
+    }
+    if (t[0] == "release") {
+      b.release();
+      return;
+    }
+
+    // Assignments: x = OP ...
+    if (t.size() >= 3 && t[1] == "=") {
+      const std::string& dst = t[0];
+      const std::string& op = t[2];
+      VReg v = -1;
+      if (op == "const") {
+        if (t.size() != 4) fail(no, "expected: x = const N");
+        v = b.konst(to_int(t[3], no));
+      } else if (op == "constf") {
+        if (t.size() != 4) fail(no, "expected: x = constf F");
+        v = b.konst_f(to_float(t[3], no));
+      } else if (op == "msg") {
+        if (t.size() != 4) fail(no, "expected: x = msg K");
+        v = b.msg_load(to_int(t[3], no));
+      } else if (op == "load") {
+        if (t.size() != 4) fail(no, "expected: x = load SLOT");
+        v = b.frame_load(slot_of(ctx, t[3], no));
+      } else if (op == "frame") {
+        v = b.self_frame();
+      } else if (op == "inlet_addr") {
+        if (t.size() != 4) fail(no, "expected: x = inlet_addr INLET");
+        v = b.inlet_addr(inlet_of(cb, t[3], no));
+      } else if (op == "select") {
+        if (t.size() != 6) fail(no, "expected: x = select c a b");
+        v = b.select(use(ctx, t[3], no), use(ctx, t[4], no),
+                     use(ctx, t[5], no));
+      } else if (auto bop = binop_by_name(op)) {
+        if (t.size() != 5) fail(no, "expected: x = " + op + " a b");
+        v = b.bin(*bop, use(ctx, t[3], no), use(ctx, t[4], no));
+      } else if (op.size() > 1 && op.back() == 'i' &&
+                 binop_by_name(op.substr(0, op.size() - 1))) {
+        if (t.size() != 5) fail(no, "expected: x = " + op + " a N");
+        v = b.bini(*binop_by_name(op.substr(0, op.size() - 1)),
+                   use(ctx, t[3], no), to_int(t[4], no));
+      } else {
+        fail(no, "unknown operation '" + op + "'");
+      }
+      def(ctx, dst, v, no);
+      return;
+    }
+
+    fail(no, "unrecognized statement '" + t[0] + "'");
+  }
+
+  void build() {
+    std::optional<CodeblockBuilder> builder;
+    int cur_cb = -1;
+    BodyCtx ctx;
+    // Pre-declare all threads/inlets of a codeblock when entering it, so
+    // forward references resolve.  The *order* of declarations must match
+    // pass 1's name->id assignment, so re-scan headers per codeblock.
+    auto open_codeblock = [&](int cb_index) {
+      const CbNames& names = cbs_[static_cast<std::size_t>(cb_index)];
+      builder.emplace(prog_, names.name,
+                      static_cast<int>(names.slots.size()));
+      // Declare in id order.
+      std::vector<std::pair<ThreadId, const Line*>> tdecl(
+          names.threads.size(), {0, nullptr});
+      std::vector<std::pair<InletId, const Line*>> idecl(names.inlets.size(),
+                                                         {0, nullptr});
+      int seen_cb = -1;
+      for (const Line& ln : lines_) {
+        if (ln.toks[0] == "codeblock") ++seen_cb;
+        if (seen_cb != cb_index) continue;
+        if (ln.toks[0] == "thread") {
+          ThreadId id = names.threads.at(ln.toks[1]);
+          tdecl[static_cast<std::size_t>(id)] = {id, &ln};
+        } else if (ln.toks[0] == "inlet") {
+          InletId id = names.inlets.at(ln.toks[1]);
+          idecl[static_cast<std::size_t>(id)] = {id, &ln};
+        }
+      }
+      for (const auto& [id, ln] : tdecl) {
+        int ec = 1;
+        for (std::size_t i = 2; i + 1 < ln->toks.size(); ++i) {
+          if (ln->toks[i] == "entry") ec = to_int(ln->toks[i + 1], ln->number);
+        }
+        builder->declare_thread(ln->toks[1], ec);
+      }
+      for (const auto& [id, ln] : idecl) {
+        // inlet NAME ( p1 p2 ) [posts T]
+        int params = 0;
+        for (std::size_t i = 2; i < ln->toks.size(); ++i) {
+          if (ln->toks[i] == "(") {
+            for (std::size_t j = i + 1;
+                 j < ln->toks.size() && ln->toks[j] != ")"; ++j) {
+              ++params;
+            }
+            break;
+          }
+        }
+        builder->declare_inlet(ln->toks[1], params);
+      }
+    };
+
+    for (const Line& ln : lines_) {
+      const auto& t = ln.toks;
+      if (t[0] == "program") continue;
+      if (t[0] == "codeblock") {
+        finish_body(ctx);
+        if (builder.has_value()) builder->finish();
+        ++cur_cb;
+        open_codeblock(cur_cb);
+        ctx = BodyCtx{};
+        continue;
+      }
+      if (t[0] == "thread") {
+        finish_body(ctx);
+        const CbNames& names = cbs_[static_cast<std::size_t>(cur_cb)];
+        ctx = BodyCtx{};
+        ctx.builder = &*builder;
+        ctx.names = &names;
+        ctx.is_inlet = false;
+        ctx.header_line = ln.number;
+        ctx.body.emplace(builder->define_thread(names.threads.at(t[1])));
+        continue;
+      }
+      if (t[0] == "inlet") {
+        finish_body(ctx);
+        const CbNames& names = cbs_[static_cast<std::size_t>(cur_cb)];
+        ctx = BodyCtx{};
+        ctx.builder = &*builder;
+        ctx.names = &names;
+        ctx.is_inlet = true;
+        ctx.header_line = ln.number;
+        ctx.body.emplace(builder->define_inlet(names.inlets.at(t[1])));
+        // Parameter names map to message words (materialized eagerly, as
+        // TAM inlets read their operands up front); `posts T` records the
+        // inlet's post target.
+        int word = 0;
+        for (std::size_t i = 2; i < t.size(); ++i) {
+          if (t[i] == "(") {
+            for (std::size_t j = i + 1; j < t.size() && t[j] != ")";
+                 ++j, ++word) {
+              ctx.msg_params[t[j]] = ctx.body->msg_load(word);
+            }
+          } else if (t[i] == "posts") {
+            if (i + 1 >= t.size()) fail(ln.number, "posts needs a thread");
+            ctx.inlet_post = names.threads.count(t[i + 1]) != 0
+                                 ? names.threads.at(t[i + 1])
+                                 : throw Error("TAM parse error at line " +
+                                               std::to_string(ln.number) +
+                                               ": unknown thread '" +
+                                               t[i + 1] + "'");
+          }
+        }
+        continue;
+      }
+      if (!ctx.body.has_value()) fail(ln.number, "statement outside a body");
+      parse_statement(ctx, ln);
+    }
+    finish_body(ctx);
+    if (builder.has_value()) builder->finish();
+  }
+
+  std::vector<Line> lines_;
+  Program prog_;
+  std::vector<CbNames> cbs_;
+  std::map<std::string, CbId> by_name_;
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source) {
+  return Parser(source).run();
+}
+
+Program parse_program_file(const std::string& path) {
+  std::ifstream f(path);
+  JTAM_CHECK(f.good(), "cannot open TAM source file '" + path + "'");
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse_program(os.str());
+}
+
+}  // namespace jtam::tam

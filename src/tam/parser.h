@@ -1,0 +1,73 @@
+// Textual TAM assembly front-end.
+//
+// A small, line-oriented TL0-flavoured syntax for writing TAM programs as
+// text instead of through the C++ builder API.  Example:
+//
+//   program sumsq
+//
+//   codeblock main slots(n i sum)
+//     inlet start(x) posts init
+//       store n = x
+//
+//     thread init
+//       z = const 1
+//       store i = z
+//       zz = const 0
+//       store sum = zz
+//       fork loop
+//
+//     thread loop
+//       a = load i
+//       b = load n
+//       c = le a b
+//       cfork c ? body : done
+//
+//     thread body
+//       a = load i
+//       sq = mul a a
+//       s = load sum
+//       s2 = add s sq
+//       store sum = s2
+//       a1 = addi a 1
+//       store i = a1
+//       fork loop
+//
+//     thread done
+//       r = load sum
+//       halt r
+//       stop
+//
+// Statements (one per line; `#` starts a comment):
+//
+//   x = const N            x = constf F          x = msg K
+//   x = load SLOT          store SLOT = x        x = frame
+//   x = inlet_addr INLET   x = select c a b
+//   x = OP a b             x = OPi a N           (OP: add sub mul div mod
+//                                                 and or xor shl shr lt le
+//                                                 eq ne fadd fsub fmul fdiv
+//                                                 flt)
+//   ifetch a -> INLET      gfetch a -> INLET
+//   istore a b             gstore a b
+//   falloc CB -> INLET     halloc a -> INLET
+//   send CB.INLET f (a b ...)        senddyn i f (a b ...)
+//   halt x                 release
+//
+// Thread terminators:  stop | fork T1 T2 ... | cfork c ? T... : T...
+// Inlet headers:       inlet NAME(p1 p2 ...) [posts THREAD]
+// Thread headers:      thread NAME [entry N]
+#pragma once
+
+#include <string>
+
+#include "tam/ir.h"
+
+namespace jtam::tam {
+
+/// Parse a textual TAM program.  Throws jtam::Error with a line-numbered
+/// message on any syntax or semantic problem; the result is validate()d.
+Program parse_program(const std::string& source);
+
+/// Convenience: read `path` and parse it.
+Program parse_program_file(const std::string& path);
+
+}  // namespace jtam::tam

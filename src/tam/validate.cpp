@@ -1,0 +1,185 @@
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "tam/ir.h"
+
+namespace jtam::tam {
+
+namespace {
+
+struct Ctx {
+  const Program& prog;
+  const Codeblock& cb;
+  std::string where;
+};
+
+void fail(const Ctx& ctx, const std::string& msg) {
+  throw Error("invalid TAM IR in " + ctx.prog.name + "/" + ctx.cb.name +
+              "/" + ctx.where + ": " + msg);
+}
+
+void check_body(const Ctx& ctx, const std::vector<VOp>& body, bool is_inlet,
+                int payload_words) {
+  int defined = 0;  // vregs are allocated densely by the builder
+  auto use = [&](VReg v, const char* role) {
+    if (v < 0 || v >= defined) {
+      fail(ctx, std::string("use of undefined virtual register as ") + role);
+    }
+  };
+  for (const VOp& op : body) {
+    switch (op.kind) {
+      case VOpKind::Const:
+        break;
+      case VOpKind::Copy:
+      case VOpKind::SpillStore:
+        use(op.a, "copied value");
+        break;
+      case VOpKind::SpillLoad:
+        break;
+      case VOpKind::Bin:
+        use(op.a, "lhs");
+        use(op.b, "rhs");
+        break;
+      case VOpKind::BinI:
+        use(op.a, "lhs");
+        if (is_float_op(op.bop)) fail(ctx, "float op with immediate");
+        break;
+      case VOpKind::Select:
+        use(op.c, "cond");
+        use(op.a, "true-value");
+        use(op.b, "false-value");
+        break;
+      case VOpKind::FrameLoad:
+      case VOpKind::FrameStore:
+        if (op.imm < 0 || op.imm >= ctx.cb.num_data_slots) {
+          fail(ctx, "frame slot " + std::to_string(op.imm) +
+                        " out of range (codeblock has " +
+                        std::to_string(ctx.cb.num_data_slots) + ")");
+        }
+        if (op.kind == VOpKind::FrameStore) use(op.a, "stored value");
+        break;
+      case VOpKind::MsgLoad:
+        if (!is_inlet) fail(ctx, "MsgLoad outside an inlet");
+        if (op.imm < 0 || op.imm >= payload_words) {
+          fail(ctx, "message payload word " + std::to_string(op.imm) +
+                        " out of range");
+        }
+        break;
+      case VOpKind::SelfFrame:
+        break;
+      case VOpKind::InletAddr:
+        if (op.inlet < 0 ||
+            op.inlet >= static_cast<int>(ctx.cb.inlets.size())) {
+          fail(ctx, "InletAddr references unknown inlet");
+        }
+        break;
+      case VOpKind::IFetch:
+      case VOpKind::GFetch:
+        use(op.a, "address");
+        if (op.inlet < 0 ||
+            op.inlet >= static_cast<int>(ctx.cb.inlets.size())) {
+          fail(ctx, "fetch reply inlet out of range");
+        }
+        if (ctx.cb.inlets[op.inlet].payload_words < 1) {
+          fail(ctx, "fetch reply inlet must accept at least one word");
+        }
+        break;
+      case VOpKind::IStore:
+      case VOpKind::GStore:
+        use(op.a, "address");
+        use(op.b, "value");
+        break;
+      case VOpKind::FAlloc:
+        if (op.cb < 0 || op.cb >= static_cast<int>(ctx.prog.codeblocks.size())) {
+          fail(ctx, "FAlloc of unknown codeblock");
+        }
+        if (op.inlet < 0 ||
+            op.inlet >= static_cast<int>(ctx.cb.inlets.size())) {
+          fail(ctx, "FAlloc reply inlet out of range");
+        }
+        break;
+      case VOpKind::HAlloc:
+        use(op.a, "allocation size");
+        if (op.inlet < 0 ||
+            op.inlet >= static_cast<int>(ctx.cb.inlets.size())) {
+          fail(ctx, "HAlloc reply inlet out of range");
+        }
+        break;
+      case VOpKind::Release:
+        break;
+      case VOpKind::SendMsg: {
+        use(op.a, "target frame");
+        if (op.cb < 0 || op.cb >= static_cast<int>(ctx.prog.codeblocks.size())) {
+          fail(ctx, "SendMsg to unknown codeblock");
+        }
+        const Codeblock& target = ctx.prog.codeblocks[op.cb];
+        if (op.inlet < 0 ||
+            op.inlet >= static_cast<int>(target.inlets.size())) {
+          fail(ctx, "SendMsg to unknown inlet of " + target.name);
+        }
+        if (static_cast<int>(op.args.size()) !=
+            target.inlets[op.inlet].payload_words) {
+          fail(ctx, "SendMsg argument count does not match inlet '" +
+                        target.inlets[op.inlet].name + "' payload size");
+        }
+        for (VReg v : op.args) use(v, "message argument");
+        break;
+      }
+      case VOpKind::SendDyn:
+        use(op.a, "continuation inlet");
+        use(op.b, "continuation frame");
+        for (VReg v : op.args) use(v, "message argument");
+        break;
+      case VOpKind::SendHalt:
+        use(op.a, "halt value");
+        break;
+    }
+    if (op.dst >= 0) {
+      if (op.dst != defined) fail(ctx, "non-dense virtual register numbering");
+      ++defined;
+    }
+  }
+}
+
+void check_thread_ref(const Ctx& ctx, ThreadId t, const char* role) {
+  if (t < 0 || t >= static_cast<int>(ctx.cb.threads.size())) {
+    fail(ctx, std::string("unknown thread referenced by ") + role);
+  }
+}
+
+}  // namespace
+
+void validate(const Program& prog) {
+  JTAM_CHECK(!prog.codeblocks.empty(), "program has no codeblocks");
+  for (const Codeblock& cb : prog.codeblocks) {
+    JTAM_CHECK(!cb.threads.empty(),
+               "codeblock '" + cb.name + "' has no threads");
+    for (std::size_t ti = 0; ti < cb.threads.size(); ++ti) {
+      const Thread& t = cb.threads[ti];
+      Ctx ctx{prog, cb, "thread " + t.name};
+      if (t.entry_count < 1) fail(ctx, "entry count must be >= 1");
+      check_body(ctx, t.body, /*is_inlet=*/false, 0);
+      if (t.term.cond >= 0) {
+        // The condition must be a vreg defined in the body.
+        int defined = 0;
+        for (const VOp& op : t.body) {
+          if (op.dst >= 0) ++defined;
+        }
+        if (t.term.cond >= defined) fail(ctx, "terminator cond undefined");
+      } else if (!t.term.else_forks.empty()) {
+        fail(ctx, "else-forks without a condition");
+      }
+      for (ThreadId f : t.term.then_forks) check_thread_ref(ctx, f, "fork");
+      for (ThreadId f : t.term.else_forks) check_thread_ref(ctx, f, "fork");
+    }
+    for (std::size_t ii = 0; ii < cb.inlets.size(); ++ii) {
+      const Inlet& in = cb.inlets[ii];
+      Ctx ctx{prog, cb, "inlet " + in.name};
+      check_body(ctx, in.body, /*is_inlet=*/true, in.payload_words);
+      if (in.post.has_value()) check_thread_ref(ctx, *in.post, "post");
+    }
+  }
+}
+
+}  // namespace jtam::tam

@@ -1,0 +1,60 @@
+// Internal interface between the shared lowering engine (lower.cpp) and the
+// back-end-specific emitters (backend_am.cpp / backend_md.cpp).  Not part
+// of the public API.
+#pragma once
+
+#include <vector>
+
+#include "mdp/assembler.h"
+#include "runtime/kernel.h"
+#include "runtime/layout.h"
+#include "tam/ir.h"
+#include "tamc/lower.h"
+#include "tamc/mdopt.h"
+#include "tamc/regalloc.h"
+
+namespace jtam::tamc::detail {
+
+struct LowerEnv {
+  mdp::Assembler& a;
+  const tam::Program& prog;
+  const CompileOptions& opt;
+  const rt::KernelRefs& kernel;
+  const std::vector<rt::FrameLayout>& layouts;
+  const MdOptPlan& mdplan;
+  // Pre-created labels for every thread/inlet (named, so they appear in
+  // the linked symbol table).
+  std::vector<std::vector<mdp::LabelRef>> thread_labels;
+  std::vector<std::vector<mdp::LabelRef>> inlet_labels;
+  mdp::Priority inletq{};  // queue carrying user-inlet messages
+  // Register-allocated (possibly spill-rewritten) bodies, indexed like the
+  // program's threads/inlets; an inlet entry with boundary >= 0 is a fused
+  // inlet+thread body.
+  std::vector<std::vector<SpilledBody>> prep_threads;
+  std::vector<std::vector<SpilledBody>> prep_inlets;
+  // Hybrid back-end only: threads that execute directly in high-priority
+  // handlers (analyze_hybrid_runnable); empty otherwise.
+  std::vector<std::vector<bool>> hybrid_runnable;
+};
+
+/// AM: thread prolog after the ThreadStart mark — the brief interrupt
+/// window ("our AM implementation only briefly enables interrupts at the
+/// top of each thread"), or EINT alone in the enabled variant.
+void am_thread_prolog(LowerEnv& env);
+
+/// AM: start of a thread terminator (enabled variant disables interrupts
+/// around continuation-vector access).
+void am_terminator_begin(LowerEnv& env);
+
+/// AM: inlet epilogue — load rt_post's arguments and call it, then suspend.
+void am_inlet_epilogue(LowerEnv& env, tam::CbId cb, const tam::Inlet& inlet,
+                       const rt::FrameLayout& fl);
+
+/// MD: inlet epilogue up to the point where an enabled thread gains
+/// control.  Returns true if control falls through (the caller emits the
+/// posted thread inline right here); returns false if the epilogue is
+/// complete (branched to the thread or suspended).
+bool md_inlet_epilogue(LowerEnv& env, tam::CbId cb, const tam::Inlet& inlet,
+                       const rt::FrameLayout& fl, bool inline_target);
+
+}  // namespace jtam::tamc::detail

@@ -1,0 +1,48 @@
+// Active Messages back-end specifics: interrupt-window management and the
+// inlet -> rt_post protocol.
+
+#include "support/error.h"
+#include "tamc/backend.h"
+
+namespace jtam::tamc::detail {
+
+using namespace mdp;  // NOLINT(build/namespaces) — assembler DSL
+
+void am_thread_prolog(LowerEnv& env) {
+  // Unenabled variant (the paper's measured system): interrupts are enabled
+  // only for the instant between these two instructions, so pending
+  // high-priority messages are serviced exactly at thread tops (Figure 2a).
+  env.a.eint();
+  if (!env.opt.am_enabled_variant) env.a.dint();
+}
+
+void am_terminator_begin(LowerEnv& env) {
+  // In the enabled variant interrupts run during the body and must be shut
+  // off around continuation-vector access (Figure 2b); in the unenabled
+  // variant they are already off.
+  if (env.opt.am_enabled_variant) env.a.dint();
+}
+
+void am_inlet_epilogue(LowerEnv& env, tam::CbId cb, const tam::Inlet& inlet,
+                       const rt::FrameLayout& fl) {
+  Assembler& a = env.a;
+  if (inlet.post.has_value()) {
+    const tam::ThreadId t = *inlet.post;
+    a.movi(R0, env.thread_labels[cb][t], "post: thread address");
+    a.mov(R1, kRegFp, "post: frame");
+    if (fl.thread_is_sync(t)) {
+      a.movi(R2, fl.ec_byte_off(t), "post: entry-count offset");
+      a.movi(R3,
+             env.prog.codeblocks[cb].threads[t].entry_count,
+             "post: re-arm value");
+    } else {
+      a.movi(R2, 0, "post: non-synchronizing");
+    }
+    JTAM_ASSERT(env.kernel.backend == rt::BackendKind::ActiveMessages,
+                "AM epilogue with non-AM kernel");
+    a.call(env.kernel.rt_post);
+  }
+  a.suspend();
+}
+
+}  // namespace jtam::tamc::detail

@@ -1,0 +1,41 @@
+// Message-Driven back-end specifics: the inlet -> thread seam.
+//
+// "Inlets contain branches directly to threads, eliminating the need for
+// storing pointers to ready threads in the frame.  Because control can be
+// transferred directly from an inlet to a thread, both run at low
+// priority." (§2.2)
+
+#include "tamc/backend.h"
+
+namespace jtam::tamc::detail {
+
+using namespace mdp;  // NOLINT(build/namespaces) — assembler DSL
+
+bool md_inlet_epilogue(LowerEnv& env, tam::CbId cb, const tam::Inlet& inlet,
+                       const rt::FrameLayout& fl, bool inline_target) {
+  Assembler& a = env.a;
+  if (!inlet.post.has_value()) {
+    a.suspend();
+    return false;
+  }
+  const tam::ThreadId t = *inlet.post;
+  if (fl.thread_is_sync(t)) {
+    // Decrement the entry count; only the enabling post gains control.
+    LabelRef fire = a.label();
+    a.ld(R5, kRegFp, fl.ec_byte_off(t), "post: entry count");
+    a.alui(Op::Subi, R5, R5, 1);
+    a.brz(R5, fire);
+    a.st(kRegFp, fl.ec_byte_off(t), R5);
+    a.suspend();
+    a.bind(fire);
+    a.sti(kRegFp, fl.ec_byte_off(t),
+          env.prog.codeblocks[cb].threads[t].entry_count, "re-arm");
+  }
+  if (inline_target) {
+    return true;  // thread body is emitted right here (fall-through)
+  }
+  a.br(env.thread_labels[cb][t], "post: branch directly to thread");
+  return false;
+}
+
+}  // namespace jtam::tamc::detail

@@ -1,0 +1,654 @@
+#include "tamc/lower.h"
+
+#include <unordered_map>
+
+#include "support/error.h"
+#include "tamc/backend.h"
+#include "tamc/regalloc.h"
+
+namespace jtam::tamc {
+
+using namespace mdp;  // NOLINT(build/namespaces) — assembler DSL
+using detail::LowerEnv;
+using tam::BinOp;
+using tam::CbId;
+using tam::InletId;
+using tam::SlotId;
+using tam::ThreadId;
+using tam::VOp;
+using tam::VOpKind;
+using tam::VReg;
+
+namespace {
+
+Op map_bin(BinOp b) {
+  switch (b) {
+    case BinOp::Add: return Op::Add;
+    case BinOp::Sub: return Op::Sub;
+    case BinOp::Mul: return Op::Mul;
+    case BinOp::Div: return Op::Divs;
+    case BinOp::Mod: return Op::Mods;
+    case BinOp::And: return Op::And;
+    case BinOp::Or: return Op::Or;
+    case BinOp::Xor: return Op::Xor;
+    case BinOp::Shl: return Op::Shl;
+    case BinOp::Shr: return Op::Shr;
+    case BinOp::Lt: return Op::Slt;
+    case BinOp::Le: return Op::Sle;
+    case BinOp::Eq: return Op::Seq;
+    case BinOp::Ne: return Op::Sne;
+    default:
+      throw Error("map_bin on floating-point operator");
+  }
+}
+
+/// Integer ops with an immediate form; others materialize via R5.
+bool has_imm_form(BinOp b) {
+  switch (b) {
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+    case BinOp::And:
+    case BinOp::Or:
+    case BinOp::Shl:
+    case BinOp::Shr:
+    case BinOp::Lt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Op map_bini(BinOp b) {
+  switch (b) {
+    case BinOp::Add: return Op::Addi;
+    case BinOp::Sub: return Op::Subi;
+    case BinOp::Mul: return Op::Muli;
+    case BinOp::And: return Op::Andi;
+    case BinOp::Or: return Op::Ori;
+    case BinOp::Shl: return Op::Shli;
+    case BinOp::Shr: return Op::Shri;
+    case BinOp::Lt: return Op::Slti;
+    default:
+      throw Error("map_bini on operator without an immediate form");
+  }
+}
+
+LabelRef fp_label(const rt::KernelRefs& k, BinOp b) {
+  switch (b) {
+    case BinOp::FAdd: return k.fp_add;
+    case BinOp::FSub: return k.fp_sub;
+    case BinOp::FMul: return k.fp_mul;
+    case BinOp::FDiv: return k.fp_div;
+    case BinOp::FLt: return k.fp_lt;
+    default:
+      throw Error("fp_label on integer operator");
+  }
+}
+
+/// Shared body code generator (identical in both back-ends; only the queue
+/// carrying inlet messages differs).
+class BodyGen {
+ public:
+  BodyGen(LowerEnv& env, CbId cb, const rt::FrameLayout& fl,
+          const SpilledBody& prepared)
+      : env_(env),
+        cb_(cb),
+        fl_(fl),
+        ops_(prepared.ops),
+        alloc_(prepared.alloc) {}
+
+  /// Emit all ops.  `at_boundary` (if given) runs before op `boundary` —
+  /// used by the fused inlet+thread path to bind the thread label and emit
+  /// its ThreadStart mark at the seam.
+  template <typename Fn>
+  void emit(int boundary, Fn&& at_boundary) {
+    for (int i = 0; i < static_cast<int>(ops_.size()); ++i) {
+      if (i == boundary) at_boundary();
+      emit_op(ops_[i]);
+    }
+    if (boundary == static_cast<int>(ops_.size())) at_boundary();
+  }
+  void emit() {
+    emit(-1, [] {});
+  }
+
+  Reg reg(VReg v) const { return alloc_.reg_of[static_cast<std::size_t>(v)]; }
+
+ private:
+  void begin_inlet_send() {
+    if (env_.inletq == Priority::High) {
+      env_.a.sendh();
+    } else {
+      env_.a.sendl();
+    }
+  }
+
+  /// Multi-node: route the composing message to the node owning the
+  /// address/frame in `r` (its bits 24+).  No-op on single-node builds.
+  void route_by(Reg r) {
+    if (!env_.opt.multi_node) return;
+    env_.a.alui(Op::Shri, R5, r, 24, "destination node");
+    env_.a.sendd(R5);
+  }
+
+  void emit_fp_call(const VOp& op) {
+    Assembler& a = env_.a;
+    const Reg ra = reg(op.a);
+    const Reg rb = reg(op.b);
+    // Marshal (ra, rb) into (R0, R1) without clobbering either.
+    if (ra == R0) {
+      if (rb != R1) a.mov(R1, rb);
+    } else if (rb == R1) {
+      a.mov(R0, ra);
+    } else if (rb == R0) {
+      a.mov(R5, rb);
+      a.mov(R0, ra);
+      a.mov(R1, R5);
+    } else {
+      a.mov(R0, ra);
+      if (rb != R1) a.mov(R1, rb);
+    }
+    a.call(fp_label(env_.kernel, op.bop), "software FP");
+    if (reg(op.dst) != R0) a.mov(reg(op.dst), R0);
+  }
+
+  void emit_op(const VOp& op) {
+    Assembler& a = env_.a;
+    switch (op.kind) {
+      case VOpKind::Const:
+        a.movi(reg(op.dst), op.imm);
+        break;
+      case VOpKind::Copy:
+        if (reg(op.dst) != reg(op.a)) a.mov(reg(op.dst), reg(op.a));
+        break;
+      case VOpKind::SpillStore:
+        a.st(kRegFp, fl_.spill_byte_off(op.imm), reg(op.a), "spill");
+        break;
+      case VOpKind::SpillLoad:
+        a.ld(reg(op.dst), kRegFp, fl_.spill_byte_off(op.imm), "reload");
+        break;
+      case VOpKind::Bin:
+        if (tam::is_float_op(op.bop)) {
+          emit_fp_call(op);
+        } else {
+          a.alu(map_bin(op.bop), reg(op.dst), reg(op.a), reg(op.b));
+        }
+        break;
+      case VOpKind::BinI:
+        if (has_imm_form(op.bop)) {
+          a.alui(map_bini(op.bop), reg(op.dst), reg(op.a), op.imm);
+        } else {
+          a.movi(R5, op.imm);
+          a.alu(map_bin(op.bop), reg(op.dst), reg(op.a), R5);
+        }
+        break;
+      case VOpKind::Select: {
+        LabelRef lelse = a.label();
+        LabelRef lend = a.label();
+        a.brz(reg(op.c), lelse);
+        if (reg(op.dst) != reg(op.a)) a.mov(reg(op.dst), reg(op.a));
+        a.br(lend);
+        a.bind(lelse);
+        if (reg(op.dst) != reg(op.b)) a.mov(reg(op.dst), reg(op.b));
+        a.bind(lend);
+        break;
+      }
+      case VOpKind::FrameLoad:
+        a.ld(reg(op.dst), kRegFp, fl_.slot_byte_off(op.imm));
+        break;
+      case VOpKind::FrameStore:
+        a.st(kRegFp, fl_.slot_byte_off(op.imm), reg(op.a));
+        break;
+      case VOpKind::MsgLoad:
+        a.ldm(reg(op.dst), 8 + 4 * op.imm, "message operand");
+        break;
+      case VOpKind::SelfFrame:
+        a.mov(reg(op.dst), kRegFp);
+        break;
+      case VOpKind::InletAddr:
+        a.movi(reg(op.dst), env_.inlet_labels[cb_][op.inlet],
+               "continuation inlet");
+        break;
+      case VOpKind::IFetch:
+        a.sendh();
+        route_by(reg(op.a));
+        a.sendwi(env_.kernel.rt_ifetch);
+        a.sendw(reg(op.a), "address");
+        a.sendwi(env_.inlet_labels[cb_][op.inlet], "reply inlet");
+        a.sendw(kRegFp);
+        a.sende();
+        break;
+      case VOpKind::GFetch:
+        a.sendh();
+        route_by(reg(op.a));
+        a.sendwi(env_.kernel.rt_gfetch);
+        a.sendw(reg(op.a), "address");
+        a.sendwi(env_.inlet_labels[cb_][op.inlet], "reply inlet");
+        a.sendw(kRegFp);
+        a.sende();
+        break;
+      case VOpKind::IStore:
+        a.sendh();
+        route_by(reg(op.a));
+        a.sendwi(env_.kernel.rt_istore);
+        a.sendw(reg(op.a), "address");
+        a.sendw(reg(op.b), "value");
+        a.sende();
+        break;
+      case VOpKind::GStore:
+        a.sendh();
+        route_by(reg(op.a));
+        a.sendwi(env_.kernel.rt_gstore);
+        a.sendw(reg(op.a), "address");
+        a.sendw(reg(op.b), "value");
+        a.sende();
+        break;
+      case VOpKind::FAlloc:
+        a.sendh();
+        if (env_.opt.multi_node) a.senddr("round-robin frame placement");
+        a.sendwi(env_.kernel.rt_falloc);
+        a.sendwi(op.cb, "codeblock id");
+        a.sendwi(env_.inlet_labels[cb_][op.inlet], "reply inlet");
+        a.sendw(kRegFp);
+        a.sende();
+        break;
+      case VOpKind::HAlloc:
+        a.sendh();
+        a.sendwi(env_.kernel.rt_halloc);
+        a.sendw(reg(op.a), "size in bytes");
+        a.sendwi(env_.inlet_labels[cb_][op.inlet], "reply inlet");
+        a.sendw(kRegFp);
+        a.sende();
+        break;
+      case VOpKind::Release:
+        a.sendh();
+        a.sendwi(env_.kernel.rt_ffree);
+        a.sendwi(cb_, "codeblock id");
+        a.sendw(kRegFp);
+        a.sende();
+        break;
+      case VOpKind::SendMsg:
+        begin_inlet_send();
+        route_by(reg(op.a));
+        a.sendwi(env_.inlet_labels[op.cb][op.inlet], "target inlet");
+        a.sendw(reg(op.a), "target frame");
+        for (VReg v : op.args) a.sendw(reg(v));
+        a.sende();
+        break;
+      case VOpKind::SendDyn:
+        begin_inlet_send();
+        route_by(reg(op.b));
+        a.sendw(reg(op.a), "continuation inlet");
+        a.sendw(reg(op.b), "continuation frame");
+        for (VReg v : op.args) a.sendw(reg(v));
+        a.sende();
+        break;
+      case VOpKind::SendHalt:
+        a.sendh();
+        a.sendwi(env_.kernel.rt_halt);
+        a.sendw(reg(op.a), "result");
+        a.sende();
+        break;
+    }
+  }
+
+  LowerEnv& env_;
+  CbId cb_;
+  const rt::FrameLayout& fl_;
+  const std::vector<VOp>& ops_;
+  const AllocatedBody& alloc_;
+};
+
+// --- fork / stop emission ----------------------------------------------------
+
+void emit_stop(LowerEnv& env, bool suspend_ok) {
+  if (suspend_ok) {
+    // MD §2.3: the LCV is statically known to be empty here.
+    // Hybrid: handler-runnable threads end their high-priority handler.
+    env.a.suspend();
+  } else {
+    rt::emit_lcv_pop_jmp(env.a);
+  }
+}
+
+void emit_fork_push(LowerEnv& env, CbId cb, const rt::FrameLayout& fl,
+                    ThreadId t) {
+  Assembler& a = env.a;
+  if (fl.thread_is_sync(t)) {
+    LabelRef store = a.label();
+    LabelRef done = a.label();
+    a.ld(R5, kRegFp, fl.ec_byte_off(t), "fork: entry count");
+    a.alui(Op::Subi, R5, R5, 1);
+    a.brnz(R5, store);
+    a.sti(kRegFp, fl.ec_byte_off(t),
+          env.prog.codeblocks[cb].threads[t].entry_count, "re-arm");
+    rt::emit_lcv_push_label(a, env.thread_labels[cb][t]);
+    a.br(done);
+    a.bind(store);
+    a.st(kRegFp, fl.ec_byte_off(t), R5);
+    a.bind(done);
+  } else {
+    rt::emit_lcv_push_label(a, env.thread_labels[cb][t]);
+  }
+}
+
+/// Tail fork: becomes a branch ("when a fork occurs at the end of a thread,
+/// it is converted by the compiler into a branch when possible", §1.1.3).
+/// Returns true if the not-ready path falls through (caller emits a stop).
+bool emit_fork_tail(LowerEnv& env, CbId cb, const rt::FrameLayout& fl,
+                    ThreadId t) {
+  Assembler& a = env.a;
+  if (fl.thread_is_sync(t)) {
+    LabelRef store = a.label();
+    a.ld(R5, kRegFp, fl.ec_byte_off(t), "tail fork: entry count");
+    a.alui(Op::Subi, R5, R5, 1);
+    a.brnz(R5, store);
+    a.sti(kRegFp, fl.ec_byte_off(t),
+          env.prog.codeblocks[cb].threads[t].entry_count, "re-arm");
+    a.br(env.thread_labels[cb][t], "tail fork -> branch");
+    a.bind(store);
+    a.st(kRegFp, fl.ec_byte_off(t), R5);
+    return true;
+  }
+  a.br(env.thread_labels[cb][t], "tail fork -> branch");
+  return false;
+}
+
+void emit_terminator(LowerEnv& env, CbId cb, const rt::FrameLayout& fl,
+                     const tam::Terminator& term, BodyGen& gen,
+                     bool suspend_ok) {
+  Assembler& a = env.a;
+  if (env.opt.backend == rt::BackendKind::ActiveMessages) {
+    detail::am_terminator_begin(env);
+  }
+  auto emit_arm = [&](const std::vector<ThreadId>& forks) {
+    if (forks.empty()) {
+      emit_stop(env, suspend_ok);
+      return;
+    }
+    for (std::size_t k = 0; k + 1 < forks.size(); ++k) {
+      emit_fork_push(env, cb, fl, forks[k]);
+    }
+    if (emit_fork_tail(env, cb, fl, forks.back())) {
+      emit_stop(env, suspend_ok);
+    }
+  };
+  if (term.cond >= 0) {
+    LabelRef lelse = a.label();
+    a.brz(gen.reg(term.cond), lelse, "conditional forks");
+    emit_arm(term.then_forks);
+    a.bind(lelse);
+    emit_arm(term.else_forks);
+  } else {
+    emit_arm(term.then_forks);
+  }
+}
+
+// --- thread / inlet emission ---------------------------------------------------
+
+/// True when `t` executes inside a high-priority handler (Hybrid only).
+bool runs_in_handler(const LowerEnv& env, CbId cb, ThreadId t) {
+  return env.opt.backend == rt::BackendKind::Hybrid &&
+         env.hybrid_runnable[cb][t];
+}
+
+void emit_thread(LowerEnv& env, CbId cb, ThreadId t, bool already_bound) {
+  Assembler& a = env.a;
+  const tam::Thread& th = env.prog.codeblocks[cb].threads[t];
+  const rt::FrameLayout& fl = env.layouts[cb];
+  const SpilledBody& prepared = env.prep_threads[cb][t];
+  const bool in_handler = runs_in_handler(env, cb, t);
+  if (!already_bound) a.bind(env.thread_labels[cb][t]);
+  a.mark(MarkKind::ThreadStart, kRegFp);
+  if (env.opt.backend == rt::BackendKind::ActiveMessages ||
+      (env.opt.backend == rt::BackendKind::Hybrid && !in_handler)) {
+    detail::am_thread_prolog(env);
+  }
+  BodyGen gen(env, cb, fl, prepared);
+  gen.emit();
+  tam::Terminator term = th.term;
+  term.cond = prepared.term_cond;  // spill rewrites may renumber it
+  const bool suspend_ok =
+      (env.opt.backend == rt::BackendKind::MessageDriven &&
+       env.mdplan.cbs[cb].suspend_stop[t]) ||
+      in_handler;
+  emit_terminator(env, cb, fl, term, gen, suspend_ok);
+}
+
+/// Build the fused inlet+thread body for the §2.3 elision path.
+struct FusedBody {
+  std::vector<VOp> ops;
+  int boundary = 0;
+  VReg term_cond = -1;
+};
+
+FusedBody fuse_bodies(const tam::Inlet& in, const tam::Thread& th,
+                      const std::vector<SlotId>& elided) {
+  FusedBody fb;
+  std::unordered_map<SlotId, VReg> slot_src;
+  auto is_elided = [&](SlotId s) {
+    for (SlotId e : elided) {
+      if (e == s) return true;
+    }
+    return false;
+  };
+  int n = 0;  // inlet virtual register count
+  for (const VOp& op : in.body) {
+    if (op.dst >= 0) n = std::max(n, op.dst + 1);
+  }
+  for (const VOp& op : in.body) {
+    if (op.kind == VOpKind::FrameStore && is_elided(op.imm)) {
+      slot_src[op.imm] = op.a;  // forwarded in a register instead
+      continue;
+    }
+    fb.ops.push_back(op);
+  }
+  fb.boundary = static_cast<int>(fb.ops.size());
+  auto shift = [n](VReg v) { return v >= 0 ? v + n : v; };
+  for (const VOp& op : th.body) {
+    VOp c = op;
+    c.dst = shift(c.dst);
+    c.a = shift(c.a);
+    c.b = shift(c.b);
+    c.c = shift(c.c);
+    for (VReg& v : c.args) v = shift(v);
+    if (op.kind == VOpKind::FrameLoad && is_elided(op.imm)) {
+      c.kind = VOpKind::Copy;
+      c.a = slot_src.at(op.imm);  // un-shifted: defined in the inlet part
+      c.imm = 0;
+    }
+    fb.ops.push_back(c);
+  }
+  fb.term_cond = shift(th.term.cond);
+  return fb;
+}
+
+void emit_inlet(LowerEnv& env, CbId cb, InletId i) {
+  Assembler& a = env.a;
+  const tam::Inlet& in = env.prog.codeblocks[cb].inlets[i];
+  const rt::FrameLayout& fl = env.layouts[cb];
+  const CbOptPlan& plan = env.mdplan.cbs[cb];
+
+  a.bind(env.inlet_labels[cb][i]);
+  a.ldm(kRegFp, 4, "frame pointer");
+  a.mark(MarkKind::InletStart, kRegFp);
+
+  const ThreadId inline_t = plan.inline_thread[i];
+  const SpilledBody& prepared = env.prep_inlets[cb][i];
+  const bool fused = prepared.boundary >= 0;
+
+  if (fused) {
+    // Non-synchronizing by construction (mdopt).  Inlet ops flow straight
+    // into the thread's ops in one register-allocation scope; elided slots
+    // travel in registers.
+    const tam::Thread& th = env.prog.codeblocks[cb].threads[inline_t];
+    BodyGen gen(env, cb, fl, prepared);
+    gen.emit(prepared.boundary, [&] {
+      a.bind(env.thread_labels[cb][inline_t]);
+      a.mark(MarkKind::ThreadStart, kRegFp);
+    });
+    tam::Terminator shifted = th.term;
+    shifted.cond = prepared.term_cond;
+    emit_terminator(env, cb, fl, shifted, gen,
+                    plan.suspend_stop[inline_t]);
+    return;
+  }
+
+  BodyGen gen(env, cb, fl, prepared);
+  gen.emit();
+  switch (env.opt.backend) {
+    case rt::BackendKind::ActiveMessages:
+      detail::am_inlet_epilogue(env, cb, in, fl);
+      return;
+    case rt::BackendKind::Hybrid:
+      // Optimistic path: a handler-safe posted thread is entered directly
+      // (message-driven style) at high priority; otherwise fall back to the
+      // AM scheduling hierarchy through rt_post.
+      if (in.post.has_value() && env.hybrid_runnable[cb][*in.post]) {
+        detail::md_inlet_epilogue(env, cb, in, fl, /*inline_target=*/false);
+      } else {
+        detail::am_inlet_epilogue(env, cb, in, fl);
+      }
+      return;
+    case rt::BackendKind::MessageDriven:
+      break;
+  }
+  const bool falls =
+      detail::md_inlet_epilogue(env, cb, in, fl, inline_t >= 0);
+  if (falls) {
+    a.bind(env.thread_labels[cb][inline_t]);
+    emit_thread(env, cb, inline_t, /*already_bound=*/true);
+  }
+}
+
+void emit_codeblock(LowerEnv& env, CbId cb) {
+  const tam::Codeblock& block = env.prog.codeblocks[cb];
+  for (InletId i = 0; i < static_cast<int>(block.inlets.size()); ++i) {
+    emit_inlet(env, cb, i);
+  }
+  for (ThreadId t = 0; t < static_cast<int>(block.threads.size()); ++t) {
+    if (env.mdplan.cbs[cb].thread_inlined[t]) continue;
+    emit_thread(env, cb, t, /*already_bound=*/false);
+  }
+}
+
+}  // namespace
+
+// --- CompiledProgram ---------------------------------------------------------
+
+std::string CompiledProgram::thread_sym(CbId cb, ThreadId t) {
+  return "u" + std::to_string(cb) + "_t" + std::to_string(t);
+}
+
+std::string CompiledProgram::inlet_sym(CbId cb, InletId i) {
+  return "u" + std::to_string(cb) + "_in" + std::to_string(i);
+}
+
+mem::Addr CompiledProgram::thread_addr(CbId cb, ThreadId t) const {
+  return image.symbol(thread_sym(cb, t));
+}
+
+mem::Addr CompiledProgram::inlet_addr(CbId cb, InletId i) const {
+  return image.symbol(inlet_sym(cb, i));
+}
+
+mem::Addr CompiledProgram::lcv_sentinel() const {
+  return options.backend == rt::BackendKind::MessageDriven
+             ? image.symbol("md_stub")
+             : image.symbol("am_swap");
+}
+
+mem::Addr CompiledProgram::kernel_addr(const std::string& name) const {
+  return image.symbol(name);
+}
+
+// --- compile -------------------------------------------------------------------
+
+CompiledProgram compile(const tam::Program& prog, const CompileOptions& opts) {
+  tam::validate(prog);
+  JTAM_CHECK(prog.codeblocks.size() <=
+                 static_cast<std::size_t>(rt::kMaxCodeblocks),
+             "too many codeblocks for the descriptor table");
+
+  Assembler a;
+  a.section(Section::SysCode);
+  rt::KernelRefs kernel =
+      rt::emit_kernel(a, {opts.backend, opts.multi_node});
+
+  const MdOptPlan plan = analyze_md_opts(
+      prog, opts.backend == rt::BackendKind::MessageDriven ? opts.md
+                                                           : MdOptions::none());
+
+  // Allocate registers (with spilling) for every body first: the spill
+  // counts feed the frame layouts.
+  std::vector<std::vector<SpilledBody>> prep_threads(prog.codeblocks.size());
+  std::vector<std::vector<SpilledBody>> prep_inlets(prog.codeblocks.size());
+  std::vector<int> max_spills(prog.codeblocks.size(), 0);
+  for (CbId c = 0; c < static_cast<int>(prog.codeblocks.size()); ++c) {
+    const tam::Codeblock& cb = prog.codeblocks[c];
+    for (const tam::Thread& t : cb.threads) {
+      prep_threads[c].push_back(allocate_with_spilling(t.body, t.term.cond));
+      max_spills[c] = std::max(max_spills[c],
+                               prep_threads[c].back().num_spill_slots);
+    }
+    for (InletId i = 0; i < static_cast<int>(cb.inlets.size()); ++i) {
+      const tam::Inlet& in = cb.inlets[i];
+      const ThreadId inline_t = plan.cbs[c].inline_thread[i];
+      if (inline_t >= 0 && !plan.cbs[c].elided_slots[i].empty()) {
+        const tam::Thread& th = cb.threads[inline_t];
+        FusedBody fb = fuse_bodies(in, th, plan.cbs[c].elided_slots[i]);
+        prep_inlets[c].push_back(
+            allocate_with_spilling(fb.ops, fb.term_cond, fb.boundary));
+      } else {
+        prep_inlets[c].push_back(allocate_with_spilling(in.body, -1));
+      }
+      max_spills[c] = std::max(max_spills[c],
+                               prep_inlets[c].back().num_spill_slots);
+    }
+  }
+
+  std::vector<rt::FrameLayout> layouts;
+  layouts.reserve(prog.codeblocks.size());
+  for (CbId c = 0; c < static_cast<int>(prog.codeblocks.size()); ++c) {
+    layouts.push_back(rt::compute_frame_layout(prog.codeblocks[c],
+                                               opts.backend, max_spills[c]));
+  }
+
+  LowerEnv env{a,       prog, opts,
+               kernel,  layouts, plan,
+               {},      {},   rt::inlet_queue(opts.backend)};
+  env.prep_threads = std::move(prep_threads);
+  env.prep_inlets = std::move(prep_inlets);
+  if (opts.backend == rt::BackendKind::Hybrid) {
+    JTAM_CHECK(!opts.am_enabled_variant,
+               "the enabled variant applies to the AM back-end only");
+    env.hybrid_runnable = analyze_hybrid_runnable(prog);
+  }
+  env.thread_labels.resize(prog.codeblocks.size());
+  env.inlet_labels.resize(prog.codeblocks.size());
+  for (CbId c = 0; c < static_cast<int>(prog.codeblocks.size()); ++c) {
+    const tam::Codeblock& cb = prog.codeblocks[c];
+    for (ThreadId t = 0; t < static_cast<int>(cb.threads.size()); ++t) {
+      env.thread_labels[c].push_back(
+          a.label(CompiledProgram::thread_sym(c, t)));
+    }
+    for (InletId i = 0; i < static_cast<int>(cb.inlets.size()); ++i) {
+      env.inlet_labels[c].push_back(a.label(CompiledProgram::inlet_sym(c, i)));
+    }
+  }
+
+  a.section(Section::UserCode);
+  for (CbId c = 0; c < static_cast<int>(prog.codeblocks.size()); ++c) {
+    emit_codeblock(env, c);
+  }
+
+  CompiledProgram out;
+  out.image = a.link();
+  out.options = opts;
+  out.layouts = std::move(layouts);
+  out.source = prog;
+  return out;
+}
+
+}  // namespace jtam::tamc

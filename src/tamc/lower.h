@@ -1,0 +1,67 @@
+// The TAM -> MDP compiler.
+//
+// compile() lowers a validated TAM program to MDP machine code under one of
+// the two scheduling regimes the paper compares:
+//
+//  * BackendKind::ActiveMessages — inlets become high-priority message
+//    handlers that call the rt_post library routine; threads run at low
+//    priority under the software scheduler, with interrupts enabled only
+//    briefly at each thread top (the paper's *unenabled* variant; set
+//    am_enabled_variant for the §2.4 alternative that leaves interrupts on
+//    except around continuation-vector access).
+//
+//  * BackendKind::MessageDriven — inlets become low-priority handlers that
+//    branch directly into threads; the message queue is the task queue and
+//    the optional §2.3 optimizations (MdOptions) shrink the inlet/thread
+//    seam further.
+//
+// Both regimes share the body code generator, the LCV fork/stop protocol
+// and the register allocator, so measured differences come only from the
+// scheduling hierarchy — the experiment the paper constructs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mdp/assembler.h"
+#include "runtime/kernel.h"
+#include "runtime/layout.h"
+#include "tam/ir.h"
+#include "tamc/mdopt.h"
+
+namespace jtam::tamc {
+
+struct CompileOptions {
+  rt::BackendKind backend = rt::BackendKind::ActiveMessages;
+  /// §2.4 "enabled" AM variant: interrupts stay on during thread bodies and
+  /// are disabled only around continuation-vector access.
+  bool am_enabled_variant = false;
+  /// §2.3 Message-Driven peephole optimizations (ignored under AM).
+  MdOptions md = MdOptions::all();
+  /// Emit node-routing for every send (SENDD from address node fields,
+  /// SENDDR for frame placement) so the program runs on mdp::MultiMachine.
+  /// Single-node output is bit-identical with this off.
+  bool multi_node = false;
+};
+
+struct CompiledProgram {
+  mdp::CodeImage image;
+  CompileOptions options;
+  std::vector<rt::FrameLayout> layouts;
+  tam::Program source;
+
+  static std::string thread_sym(tam::CbId cb, tam::ThreadId t);
+  static std::string inlet_sym(tam::CbId cb, tam::InletId i);
+
+  mem::Addr thread_addr(tam::CbId cb, tam::ThreadId t) const;
+  mem::Addr inlet_addr(tam::CbId cb, tam::InletId i) const;
+  /// Address installed in LCV slot 0 by the loader (am_swap / md_stub).
+  mem::Addr lcv_sentinel() const;
+  /// Kernel entry points, by name ("rt_falloc", "rt_halt", ...).
+  mem::Addr kernel_addr(const std::string& name) const;
+};
+
+/// Compile `prog`; throws jtam::Error on invalid IR or register pressure.
+CompiledProgram compile(const tam::Program& prog, const CompileOptions& opts);
+
+}  // namespace jtam::tamc

@@ -1,0 +1,169 @@
+#include "tamc/mdopt.h"
+
+#include <algorithm>
+
+namespace jtam::tamc {
+
+using tam::Codeblock;
+using tam::InletId;
+using tam::SlotId;
+using tam::ThreadId;
+using tam::VOp;
+using tam::VOpKind;
+
+namespace {
+
+CbOptPlan analyze_cb(const Codeblock& cb, const MdOptions& opts) {
+  const int nt = static_cast<int>(cb.threads.size());
+  const int ni = static_cast<int>(cb.inlets.size());
+  CbOptPlan plan;
+  plan.inline_thread.assign(ni, -1);
+  plan.thread_inlined.assign(nt, false);
+  plan.suspend_stop.assign(nt, false);
+  plan.elided_slots.assign(ni, {});
+
+  // Which threads appear in any fork list (tail branches included: a forked
+  // thread may start with a non-empty LCV, and a fork target needs its own
+  // standalone code).
+  std::vector<bool> fork_target(nt, false);
+  for (const tam::Thread& t : cb.threads) {
+    for (ThreadId f : t.term.then_forks) fork_target[f] = true;
+    for (ThreadId f : t.term.else_forks) fork_target[f] = true;
+  }
+
+  // How many inlets post each thread.
+  std::vector<int> posters(nt, 0);
+  for (const tam::Inlet& in : cb.inlets) {
+    if (in.post.has_value()) ++posters[*in.post];
+  }
+
+  // Frame-slot def/use maps over the whole codeblock.
+  struct SlotUse {
+    int stores = 0;
+    int loads = 0;
+    int store_inlet = -1;    // the unique storing inlet, if stores == 1
+    int load_thread = -1;    // the unique loading thread (-2 = several)
+  };
+  std::vector<SlotUse> slots(static_cast<std::size_t>(cb.num_data_slots));
+  auto scan_body = [&](const std::vector<VOp>& body, int inlet_idx,
+                       int thread_idx) {
+    for (const VOp& op : body) {
+      if (op.kind == VOpKind::FrameStore) {
+        SlotUse& su = slots[static_cast<std::size_t>(op.imm)];
+        ++su.stores;
+        su.store_inlet = su.stores == 1 ? inlet_idx : -2;
+      } else if (op.kind == VOpKind::FrameLoad) {
+        SlotUse& su = slots[static_cast<std::size_t>(op.imm)];
+        ++su.loads;
+        if (su.loads == 1) {
+          su.load_thread = thread_idx;
+        } else if (su.load_thread != thread_idx) {
+          su.load_thread = -2;
+        }
+      }
+    }
+  };
+  for (int i = 0; i < ni; ++i) scan_body(cb.inlets[i].body, i, -1);
+  for (int t = 0; t < nt; ++t) scan_body(cb.threads[t].body, -1, t);
+
+  // 1. inline fall-through.
+  if (opts.inline_post_threads) {
+    for (int i = 0; i < ni; ++i) {
+      const tam::Inlet& in = cb.inlets[i];
+      if (!in.post.has_value()) continue;
+      ThreadId t = *in.post;
+      if (fork_target[t] || posters[t] != 1) continue;
+      plan.inline_thread[i] = t;
+      plan.thread_inlined[t] = true;
+    }
+  }
+
+  // 2. frame-traffic elision: only across a non-synchronizing inline edge
+  // (a synchronizing thread's first enablings would lose the value).
+  if (opts.elide_frame_traffic) {
+    for (int i = 0; i < ni; ++i) {
+      ThreadId t = plan.inline_thread[i];
+      if (t < 0 || cb.threads[t].is_synchronizing()) continue;
+      for (SlotId s = 0; s < cb.num_data_slots; ++s) {
+        const SlotUse& su = slots[static_cast<std::size_t>(s)];
+        if (su.stores == 1 && su.store_inlet == i && su.loads >= 1 &&
+            su.load_thread == t) {
+          plan.elided_slots[i].push_back(s);
+        }
+      }
+    }
+  }
+
+  // 3. stop -> suspend.
+  if (opts.stop_to_suspend) {
+    for (int t = 0; t < nt; ++t) {
+      if (fork_target[t]) continue;
+      const tam::Terminator& term = cb.threads[t].term;
+      // Every arm must push nothing: at most one fork per arm (the tail
+      // fork compiles to a branch, not a push).
+      if (term.then_forks.size() > 1 || term.else_forks.size() > 1) continue;
+      plan.suspend_stop[t] = true;
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace
+
+std::vector<std::vector<bool>> analyze_hybrid_runnable(
+    const tam::Program& prog) {
+  std::vector<std::vector<bool>> out;
+  out.reserve(prog.codeblocks.size());
+  for (const Codeblock& cb : prog.codeblocks) {
+    const int nt = static_cast<int>(cb.threads.size());
+    std::vector<bool> q(static_cast<std::size_t>(nt), true);
+    // Base condition: no terminator arm may push onto the LCV.
+    for (int t = 0; t < nt; ++t) {
+      const tam::Terminator& term = cb.threads[t].term;
+      if (term.then_forks.size() > 1 || term.else_forks.size() > 1) {
+        q[t] = false;
+      }
+    }
+    // Fixpoint: a thread leaves Q if a tail target is outside Q (a high
+    // thread may not branch into low-style code) or if it is forked by a
+    // thread outside Q (it would then also run at low priority).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int t = 0; t < nt; ++t) {
+        if (!q[t]) continue;
+        const tam::Terminator& term = cb.threads[t].term;
+        for (ThreadId f : term.then_forks) {
+          if (!q[f]) { q[t] = false; changed = true; }
+        }
+        for (ThreadId f : term.else_forks) {
+          if (!q[f]) { q[t] = false; changed = true; }
+        }
+      }
+      for (int s = 0; s < nt; ++s) {
+        if (q[s]) continue;
+        const tam::Terminator& term = cb.threads[s].term;
+        for (ThreadId f : term.then_forks) {
+          if (q[f]) { q[f] = false; changed = true; }
+        }
+        for (ThreadId f : term.else_forks) {
+          if (q[f]) { q[f] = false; changed = true; }
+        }
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+MdOptPlan analyze_md_opts(const tam::Program& prog, const MdOptions& opts) {
+  MdOptPlan plan;
+  plan.cbs.reserve(prog.codeblocks.size());
+  for (const Codeblock& cb : prog.codeblocks) {
+    plan.cbs.push_back(analyze_cb(cb, opts));
+  }
+  return plan;
+}
+
+}  // namespace jtam::tamc

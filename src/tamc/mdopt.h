@@ -1,0 +1,66 @@
+// Analysis for the Message-Driven back-end's peephole optimizations (§2.3).
+//
+// Because an MD inlet passes control *directly* to the thread it posts, "a
+// bigger region of code is open to conventional optimization":
+//
+//  1. inline fall-through — when only one inlet posts a thread and nothing
+//     forks it, the thread's code is placed immediately after the inlet,
+//     eliminating the branch ("the code for the thread can be placed
+//     immediately after the inlet, eliminating the need for line I3");
+//  2. frame-traffic elision — when additionally the thread is
+//     non-synchronizing and a frame slot is written only by that inlet and
+//     read only by that thread, the store/reload pair travels in a register
+//     instead ("the reload of the register in line T1 can be eliminated...
+//     if no other threads use frame slot 5, line I2 can be removed");
+//  3. stop → suspend — when a thread is never forked (so it always starts
+//     with an empty LCV) and pushes nothing onto the LCV, its stop becomes
+//     a SUSPEND ("if thread 1 contains no pushes onto the LCV, then the LCV
+//     is known to be empty, and the stop can be converted to a suspend").
+#pragma once
+
+#include <vector>
+
+#include "tam/ir.h"
+
+namespace jtam::tamc {
+
+struct MdOptions {
+  bool inline_post_threads = true;
+  bool elide_frame_traffic = true;
+  bool stop_to_suspend = true;
+
+  static MdOptions none() { return MdOptions{false, false, false}; }
+  static MdOptions all() { return MdOptions{true, true, true}; }
+};
+
+/// Per-codeblock optimization plan.
+struct CbOptPlan {
+  /// Per inlet: thread to emit inline after the inlet's post (or -1).
+  std::vector<tam::ThreadId> inline_thread;
+  /// Per thread: true if its code is emitted inline inside an inlet (and
+  /// must be skipped by the normal thread-emission loop).
+  std::vector<bool> thread_inlined;
+  /// Per thread: true if its stop may be compiled as SUSPEND.
+  std::vector<bool> suspend_stop;
+  /// Per inlet: frame slots whose store (in this inlet) and loads (in the
+  /// inlined thread) are replaced by a register copy.
+  std::vector<std::vector<tam::SlotId>> elided_slots;
+};
+
+struct MdOptPlan {
+  std::vector<CbOptPlan> cbs;
+};
+
+MdOptPlan analyze_md_opts(const tam::Program& prog, const MdOptions& opts);
+
+/// §2.4 hybrid (Optimistic Active Messages) analysis: per codeblock, which
+/// threads may execute *directly inside a high-priority handler*.  A thread
+/// qualifies when its whole continuation is handler-safe: no LCV pushes
+/// (at most one fork per terminator arm), every tail-fork target qualifies,
+/// and it is never forked from a disqualified (low-priority) thread — the
+/// compile-time analogue of OAM's "run the handler optimistically, fall
+/// back to queueing when it would block".
+std::vector<std::vector<bool>> analyze_hybrid_runnable(
+    const tam::Program& prog);
+
+}  // namespace jtam::tamc

@@ -1,0 +1,351 @@
+#include "tamc/regalloc.h"
+
+#include <array>
+#include <string>
+
+#include "support/error.h"
+
+namespace jtam::tamc {
+
+using tam::VOp;
+using tam::VOpKind;
+using tam::VReg;
+
+bool is_fp_call(const VOp& op) {
+  return (op.kind == VOpKind::Bin || op.kind == VOpKind::BinI) &&
+         tam::is_float_op(op.bop);
+}
+
+void collect_uses(const VOp& op, std::vector<VReg>& out) {
+  auto add = [&](VReg v) {
+    if (v >= 0) out.push_back(v);
+  };
+  switch (op.kind) {
+    case VOpKind::Const:
+    case VOpKind::MsgLoad:
+    case VOpKind::SelfFrame:
+    case VOpKind::InletAddr:
+    case VOpKind::FrameLoad:
+    case VOpKind::FAlloc:
+    case VOpKind::Release:
+      break;
+    case VOpKind::Bin:
+      add(op.a);
+      add(op.b);
+      break;
+    case VOpKind::Copy:
+    case VOpKind::SpillStore:
+    case VOpKind::BinI:
+    case VOpKind::FrameStore:
+    case VOpKind::SendHalt:
+      add(op.a);
+      break;
+    case VOpKind::SpillLoad:
+      break;
+    case VOpKind::Select:
+      add(op.c);
+      add(op.a);
+      add(op.b);
+      break;
+    case VOpKind::IFetch:
+    case VOpKind::GFetch:
+    case VOpKind::HAlloc:
+      add(op.a);
+      break;
+    case VOpKind::IStore:
+    case VOpKind::GStore:
+      add(op.a);
+      add(op.b);
+      break;
+    case VOpKind::SendMsg:
+      add(op.a);
+      for (VReg v : op.args) add(v);
+      break;
+    case VOpKind::SendDyn:
+      add(op.a);
+      add(op.b);
+      for (VReg v : op.args) add(v);
+      break;
+  }
+}
+
+namespace {
+
+struct Liveness {
+  std::vector<int> def_idx;
+  std::vector<int> last_use;
+  std::vector<bool> crossing;  // live across an FP-library call
+  int num_vregs = 0;
+};
+
+Liveness compute_liveness(const std::vector<VOp>& body, VReg term_cond) {
+  Liveness lv;
+  for (const VOp& op : body) {
+    if (op.dst >= 0) lv.num_vregs = std::max(lv.num_vregs, op.dst + 1);
+  }
+  lv.def_idx.assign(static_cast<std::size_t>(lv.num_vregs), -1);
+  lv.last_use.assign(static_cast<std::size_t>(lv.num_vregs), -1);
+  std::vector<int> call_sites;
+  std::vector<VReg> uses;
+  for (int i = 0; i < static_cast<int>(body.size()); ++i) {
+    const VOp& op = body[i];
+    uses.clear();
+    collect_uses(op, uses);
+    for (VReg v : uses) {
+      JTAM_CHECK(v < lv.num_vregs && lv.def_idx[v] >= 0,
+                 "vreg used before definition");
+      lv.last_use[v] = i;
+    }
+    if (op.dst >= 0) lv.def_idx[op.dst] = i;
+    if (is_fp_call(op)) call_sites.push_back(i);
+  }
+  if (term_cond >= 0) {
+    JTAM_CHECK(term_cond < lv.num_vregs && lv.def_idx[term_cond] >= 0,
+               "terminator condition vreg undefined");
+    lv.last_use[term_cond] = static_cast<int>(body.size());
+  }
+  lv.crossing.assign(static_cast<std::size_t>(lv.num_vregs), false);
+  for (int v = 0; v < lv.num_vregs; ++v) {
+    for (int c : call_sites) {
+      if (lv.def_idx[v] < c && c < lv.last_use[v]) {
+        lv.crossing[v] = true;
+        break;
+      }
+    }
+  }
+  return lv;
+}
+
+struct TryResult {
+  bool ok = false;
+  AllocatedBody alloc;
+  int fail_idx = -1;
+  bool fail_crossing = false;
+};
+
+TryResult try_allocate(const std::vector<VOp>& body, const Liveness& lv) {
+  TryResult out;
+  out.alloc.reg_of.assign(static_cast<std::size_t>(lv.num_vregs), mdp::R0);
+  std::array<VReg, 5> holder;  // which vreg currently occupies R0..R4
+  holder.fill(-1);
+
+  auto expire = [&](int now) {
+    for (int r = 0; r < 5; ++r) {
+      if (holder[r] >= 0 && lv.last_use[holder[r]] < now) holder[r] = -1;
+    }
+  };
+
+  for (int i = 0; i < static_cast<int>(body.size()); ++i) {
+    const VOp& op = body[i];
+    if (op.dst < 0) continue;
+    expire(i);
+    const bool crossing = lv.crossing[op.dst];
+    // Prefer the volatile pair for short-lived values so the call-safe
+    // registers stay available for values that must survive FP calls.
+    static constexpr int kPreferVolatile[] = {0, 1, 2, 3, 4};
+    static constexpr int kSafeOnly[] = {2, 3, 4};
+    int chosen = -1;
+    if (crossing) {
+      for (int r : kSafeOnly) {
+        if (holder[r] < 0) { chosen = r; break; }
+      }
+    } else {
+      for (int r : kPreferVolatile) {
+        if (holder[r] < 0) { chosen = r; break; }
+      }
+    }
+    if (chosen < 0) {
+      out.fail_idx = i;
+      out.fail_crossing = crossing;
+      return out;
+    }
+    holder[chosen] = op.dst;
+    out.alloc.reg_of[op.dst] = static_cast<mdp::Reg>(chosen);
+  }
+  out.ok = true;
+  return out;
+}
+
+void replace_uses(VOp& op, VReg from, VReg to) {
+  if (op.kind == VOpKind::FrameLoad || op.kind == VOpKind::SpillLoad ||
+      op.kind == VOpKind::Const || op.kind == VOpKind::MsgLoad ||
+      op.kind == VOpKind::SelfFrame || op.kind == VOpKind::InletAddr) {
+    return;  // no register uses
+  }
+  // `c` and `b` and `a` are uses for every remaining kind except that
+  // `dst` is never a use.
+  if (op.a == from && op.kind != VOpKind::FAlloc) op.a = to;
+  if (op.b == from) op.b = to;
+  if (op.c == from) op.c = to;
+  for (VReg& v : op.args) {
+    if (v == from) v = to;
+  }
+}
+
+bool op_uses(const VOp& op, VReg v) {
+  std::vector<VReg> uses;
+  collect_uses(op, uses);
+  for (VReg u : uses) {
+    if (u == v) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AllocatedBody allocate_registers(const std::vector<VOp>& body,
+                                 VReg term_cond) {
+  Liveness lv = compute_liveness(body, term_cond);
+  TryResult tr = try_allocate(body, lv);
+  JTAM_CHECK(tr.ok,
+             std::string("register pressure too high in body (op ") +
+                 std::to_string(tr.fail_idx) +
+                 (tr.fail_crossing
+                      ? ", value live across an FP call; only R2-R4 "
+                        "survive calls)"
+                      : ")") +
+                 " — use allocate_with_spilling");
+  return tr.alloc;
+}
+
+SpilledBody allocate_with_spilling(std::vector<VOp> body, VReg term_cond,
+                                   int boundary) {
+  std::vector<bool> unspillable;  // spill-derived or already-spilled vregs
+  int num_spills = 0;
+
+  for (;;) {
+    Liveness lv = compute_liveness(body, term_cond);
+    unspillable.resize(static_cast<std::size_t>(lv.num_vregs), false);
+    TryResult tr = try_allocate(body, lv);
+    if (tr.ok) {
+      SpilledBody out;
+      out.ops = std::move(body);
+      out.term_cond = term_cond;
+      out.alloc = std::move(tr.alloc);
+      out.num_spill_slots = num_spills;
+      out.boundary = boundary;
+      return out;
+    }
+
+    // Choose a spill victim among values live at the failure point: the
+    // one whose last use is furthest away (Belady).  When the scarce
+    // call-safe class overflowed, prefer a call-crossing victim.
+    auto pick = [&](bool require_crossing) {
+      int victim = -1;
+      int best_last = -1;
+      for (int v = 0; v < lv.num_vregs; ++v) {
+        if (unspillable[v]) continue;
+        if (lv.def_idx[v] < 0 || lv.def_idx[v] > tr.fail_idx) continue;
+        if (lv.last_use[v] < tr.fail_idx) continue;
+        if (lv.last_use[v] <= lv.def_idx[v]) continue;  // nothing to split
+        if (require_crossing && !lv.crossing[v]) continue;
+        if (lv.last_use[v] > best_last) {
+          best_last = lv.last_use[v];
+          victim = v;
+        }
+      }
+      return victim;
+    };
+    int victim = tr.fail_crossing ? pick(true) : pick(false);
+    if (victim < 0) victim = pick(false);
+    JTAM_CHECK(victim >= 0,
+               "register allocation failed and no spill candidate exists — "
+               "an instruction needs more simultaneous operands than the "
+               "MDP register file holds");
+
+    // Rewrite: store the victim right after its definition; reload before
+    // every later use (and before the terminator, if it is the condition).
+    const int slot = num_spills++;
+    const int def_at = lv.def_idx[victim];
+    std::vector<VOp> out;
+    out.reserve(body.size() + 4);
+    std::vector<VReg> fresh;  // spill-derived vregs (unspillable)
+    int next_tmp = lv.num_vregs;
+    int new_boundary = boundary;
+    for (int i = 0; i < static_cast<int>(body.size()); ++i) {
+      VOp op = body[i];
+      if (i > def_at && op_uses(op, victim)) {
+        VOp ld;
+        ld.kind = VOpKind::SpillLoad;
+        ld.dst = next_tmp;
+        ld.imm = slot;
+        out.push_back(ld);
+        fresh.push_back(next_tmp);
+        replace_uses(op, victim, next_tmp);
+        ++next_tmp;
+        if (boundary >= 0 && i < boundary) ++new_boundary;
+      }
+      out.push_back(op);
+      if (op.dst == victim) {
+        VOp stp;
+        stp.kind = VOpKind::SpillStore;
+        stp.a = victim;
+        stp.imm = slot;
+        out.push_back(stp);
+        if (boundary >= 0 && i < boundary) ++new_boundary;
+      }
+    }
+    VReg new_cond = term_cond;
+    if (term_cond == victim) {
+      VOp ld;
+      ld.kind = VOpKind::SpillLoad;
+      ld.dst = next_tmp;
+      ld.imm = slot;
+      out.push_back(ld);
+      fresh.push_back(next_tmp);
+      new_cond = next_tmp;
+      ++next_tmp;
+    }
+
+    // Renumber densely (defs appear in order, so a single forward pass
+    // assigns and remaps safely).
+    std::vector<VReg> remap(static_cast<std::size_t>(next_tmp), -1);
+    int next_id = 0;
+    for (VOp& op : out) {
+      auto m = [&](VReg v) { return v >= 0 ? remap[v] : v; };
+      // Remap use fields (only meaningful ones; harmless otherwise since
+      // replace_uses-style guards are not needed for a pure renumber —
+      // every non-negative register field except dst is a vreg id).
+      switch (op.kind) {
+        case VOpKind::Const:
+        case VOpKind::MsgLoad:
+        case VOpKind::SelfFrame:
+        case VOpKind::InletAddr:
+        case VOpKind::FrameLoad:
+        case VOpKind::SpillLoad:
+        case VOpKind::FAlloc:
+        case VOpKind::Release:
+          break;
+        default:
+          op.a = m(op.a);
+          op.b = m(op.b);
+          op.c = m(op.c);
+          for (VReg& v : op.args) v = m(v);
+          break;
+      }
+      if (op.dst >= 0) {
+        remap[op.dst] = next_id;
+        op.dst = next_id;
+        ++next_id;
+      }
+    }
+    if (new_cond >= 0) new_cond = remap[new_cond];
+
+    std::vector<bool> new_unspillable(static_cast<std::size_t>(next_id),
+                                      false);
+    for (int v = 0; v < lv.num_vregs; ++v) {
+      if (unspillable[v] && remap[v] >= 0) new_unspillable[remap[v]] = true;
+    }
+    if (remap[victim] >= 0) new_unspillable[remap[victim]] = true;
+    for (VReg f : fresh) {
+      if (remap[f] >= 0) new_unspillable[remap[f]] = true;
+    }
+
+    body = std::move(out);
+    term_cond = new_cond;
+    boundary = new_boundary;
+    unspillable = std::move(new_unspillable);
+  }
+}
+
+}  // namespace jtam::tamc

@@ -1,0 +1,62 @@
+// Virtual-register allocation for thread/inlet bodies.
+//
+// Bodies are straight-line three-address code, so a single linear scan
+// suffices.  The machine conventions are:
+//
+//   R0..R4  allocatable
+//   R5      scratch for control sequences (LCV push/pop, entry counts)
+//   R6      frame pointer (live for the whole body)
+//   R7      link register
+//
+// Floating-point BinOps compile to calls into the software FP library,
+// which takes its arguments in R0/R1, returns in R0, and clobbers R0, R1
+// and R5.  A virtual register whose live range crosses such a call must
+// therefore be placed in R2..R4.  The allocator throws jtam::Error when a
+// body's register pressure cannot be met — TAM threads are tens of
+// instructions long, so in practice this means a workload thread should be
+// split, exactly as the TAM compiler's limited register file forced.
+#pragma once
+
+#include <vector>
+
+#include "mdp/isa.h"
+#include "tam/ir.h"
+
+namespace jtam::tamc {
+
+struct AllocatedBody {
+  /// Machine register per virtual register.
+  std::vector<mdp::Reg> reg_of;
+};
+
+/// Allocate registers for `body`.  `term_cond` (or -1) is the terminator's
+/// condition vreg; it stays live through the end of the body.  Throws on
+/// excess pressure; allocate_with_spilling below is the forgiving variant.
+AllocatedBody allocate_registers(const std::vector<tam::VOp>& body,
+                                 tam::VReg term_cond);
+
+/// A body after (possible) spilling: long live ranges that exceeded the
+/// register file were split through frame spill slots (SpillStore /
+/// SpillLoad ops), exactly as TAM's compiler spilled to frame memory.
+struct SpilledBody {
+  std::vector<tam::VOp> ops;
+  tam::VReg term_cond = -1;
+  AllocatedBody alloc;
+  int num_spill_slots = 0;
+  /// The index in `ops` that corresponded to `boundary` in the input body
+  /// (used by the fused inlet+thread path); -1 if no boundary was given.
+  int boundary = -1;
+};
+
+/// Allocate registers, spilling as needed.  `boundary` (optional) is an op
+/// index to track through the rewrite.
+SpilledBody allocate_with_spilling(std::vector<tam::VOp> body,
+                                   tam::VReg term_cond, int boundary = -1);
+
+/// True if lowering this op calls into the FP library.
+bool is_fp_call(const tam::VOp& op);
+
+/// Append each vreg `op` reads to `out`.
+void collect_uses(const tam::VOp& op, std::vector<tam::VReg>& out);
+
+}  // namespace jtam::tamc

@@ -1,0 +1,119 @@
+// Unit tests for the assembler, linker and disassembler.
+
+#include <gtest/gtest.h>
+
+#include "mdp/assembler.h"
+#include "mdp/disasm.h"
+#include "support/error.h"
+
+namespace jtam::mdp {
+namespace {
+
+TEST(Assembler, SectionsHaveIndependentCursors) {
+  Assembler a;
+  a.section(Section::SysCode);
+  EXPECT_EQ(a.cursor(), mem::kSysCodeBase);
+  a.nop();
+  EXPECT_EQ(a.cursor(), mem::kSysCodeBase + 4);
+  a.section(Section::UserCode);
+  EXPECT_EQ(a.cursor(), mem::kUserCodeBase);
+  a.nop();
+  a.section(Section::SysCode);
+  EXPECT_EQ(a.cursor(), mem::kSysCodeBase + 4);
+}
+
+TEST(Assembler, ForwardLabelFixup) {
+  Assembler a;
+  a.section(Section::SysCode);
+  LabelRef fwd = a.label("target");
+  a.br(fwd);
+  a.nop();
+  a.bind(fwd);
+  a.halt(R0);
+  CodeImage img = a.link();
+  EXPECT_EQ(static_cast<mem::Addr>(img.sys_code[0].imm),
+            img.symbol("target"));
+  EXPECT_EQ(img.symbol("target"), mem::kSysCodeBase + 8);
+}
+
+TEST(Assembler, CrossSectionReference) {
+  Assembler a;
+  a.section(Section::SysCode);
+  LabelRef user_fn = a.label("user_fn");
+  a.movi(R0, user_fn);
+  a.halt(R0);
+  a.section(Section::UserCode);
+  a.bind(user_fn);
+  a.ret();
+  CodeImage img = a.link();
+  EXPECT_EQ(static_cast<mem::Addr>(img.sys_code[0].imm), mem::kUserCodeBase);
+}
+
+TEST(Assembler, UnboundLabelFailsLink) {
+  Assembler a;
+  a.section(Section::SysCode);
+  LabelRef dangling = a.label("dangling");
+  a.br(dangling);
+  EXPECT_THROW(a.link(), Error);
+}
+
+TEST(Assembler, DoubleBindFails) {
+  Assembler a;
+  LabelRef l = a.label();
+  a.bind(l);
+  EXPECT_THROW(a.bind(l), Error);
+}
+
+TEST(Assembler, DuplicateSymbolFailsLink) {
+  Assembler a;
+  a.here("same");
+  a.nop();
+  a.here("same");
+  a.nop();
+  EXPECT_THROW(a.link(), Error);
+}
+
+TEST(Assembler, AnonymousLabelsDoNotPolluteSymbols) {
+  Assembler a;
+  a.section(Section::SysCode);
+  LabelRef anon = a.here();
+  a.br(anon);
+  CodeImage img = a.link();
+  EXPECT_TRUE(img.symbols.empty());
+}
+
+TEST(Assembler, SymbolLookupUnknownThrows) {
+  Assembler a;
+  CodeImage img = a.link();
+  EXPECT_THROW(img.symbol("nope"), Error);
+}
+
+TEST(Disasm, RendersRepresentativeOpcodes) {
+  EXPECT_EQ(disasm(Instr{Op::Add, R1, R2, R3}), "add r1, r2, r3");
+  EXPECT_EQ(disasm(Instr{Op::Movi, R0, 0, 0, 42}), "movi r0, 42");
+  Instr ld{Op::Ld, R2, R6, 0, 0};
+  ld.off = 12;
+  EXPECT_EQ(disasm(ld), "ld r2, [r6+12]");
+  Instr st{Op::St, 0, R6, R1, 0};
+  st.off = 8;
+  EXPECT_EQ(disasm(st), "st [r6+8], r1");
+  EXPECT_EQ(disasm(Instr{Op::Suspend}), "suspend");
+  Instr cmt{Op::Nop};
+  cmt.comment = "hello";
+  EXPECT_EQ(disasm(cmt), "nop  ; hello");
+}
+
+TEST(Disasm, FullImageIncludesSymbols) {
+  Assembler a;
+  a.section(Section::SysCode);
+  a.here("entry");
+  a.nop();
+  a.halt(R0);
+  std::string text = disasm(a.link());
+  EXPECT_NE(text.find("entry:"), std::string::npos);
+  EXPECT_NE(text.find("nop"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jtam::mdp

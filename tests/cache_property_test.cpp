@@ -1,0 +1,111 @@
+// Parameterized property tests of the cache simulator over block sizes,
+// associativities and synthetic reference patterns.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace jtam::cache {
+namespace {
+
+std::vector<std::pair<std::uint32_t, bool>> lcg_stream(int n,
+                                                       std::uint32_t seed,
+                                                       std::uint32_t mask) {
+  std::vector<std::pair<std::uint32_t, bool>> out;
+  std::uint32_t x = seed;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    out.emplace_back((x >> 7) & mask & ~3u, (x & 1) != 0);
+  }
+  return out;
+}
+
+using Geometry = std::tuple<std::uint32_t, std::uint32_t>;  // block, assoc
+
+class CacheSweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheSweep, MissesNeverExceedAccesses) {
+  auto [block, assoc] = GetParam();
+  SetAssocCache c(CacheConfig{8192, block, assoc});
+  for (auto [a, w] : lcg_stream(20000, 7, 0xFFFF)) c.access(a, w);
+  EXPECT_EQ(c.stats().accesses, 20000u);
+  EXPECT_LE(c.stats().misses, c.stats().accesses);
+  EXPECT_LE(c.stats().writebacks, c.stats().misses);
+}
+
+TEST_P(CacheSweep, SequentialScanMissesOncePerBlock) {
+  auto [block, assoc] = GetParam();
+  SetAssocCache c(CacheConfig{8192, block, assoc});
+  const std::uint32_t words = 8192 / 4;  // exactly one cache of data
+  for (std::uint32_t i = 0; i < words; ++i) c.read(i * 4);
+  EXPECT_EQ(c.stats().misses, 8192u / block);
+}
+
+TEST_P(CacheSweep, WorkingSetWithinCapacityHitsAfterWarmup) {
+  auto [block, assoc] = GetParam();
+  SetAssocCache c(CacheConfig{8192, block, assoc});
+  // A 2 KB working set scanned repeatedly fits every geometry.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint32_t a = 0; a < 2048; a += 4) c.read(a);
+  }
+  EXPECT_EQ(c.stats().misses, 2048u / block);  // compulsory only
+}
+
+TEST_P(CacheSweep, DoublingAssociativityNeverAddsMisses) {
+  auto [block, assoc] = GetParam();
+  // Same number of sets; LRU stack property per set.
+  SetAssocCache small(CacheConfig{4096, block, assoc});
+  SetAssocCache big(CacheConfig{8192, block, assoc * 2});
+  ASSERT_EQ(small.config().num_sets(), big.config().num_sets());
+  for (auto [a, w] : lcg_stream(30000, 99, 0x7FFF)) {
+    small.access(a, w);
+    big.access(a, w);
+  }
+  EXPECT_LE(big.stats().misses, small.stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Combine(::testing::Values(8u, 16u, 32u, 64u),
+                       ::testing::Values(1u, 2u, 4u)),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class PenaltyMonotonic
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PenaltyMonotonic, LargerCachesNeverifyFewerWritebacksThanMisses) {
+  SetAssocCache c(CacheConfig{GetParam(), 64, 2});
+  for (auto [a, w] : lcg_stream(50000, 3, 0x3FFFF)) c.access(a, w);
+  EXPECT_LE(c.stats().writebacks, c.stats().misses);
+  EXPECT_GT(c.stats().hits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PenaltyMonotonic,
+                         ::testing::ValuesIn(paper_cache_sizes()));
+
+TEST(CacheProperty, FullyAssociativeLruSizesAreNested) {
+  // With one set (fully associative), a bigger LRU cache's contents always
+  // include the smaller's (stack inclusion), so misses are monotone.
+  SetAssocCache c8(CacheConfig{512, 64, 8});    // 1 set of 8
+  SetAssocCache c16(CacheConfig{1024, 64, 16});  // 1 set of 16
+  ASSERT_EQ(c8.config().num_sets(), 1u);
+  ASSERT_EQ(c16.config().num_sets(), 1u);
+  for (auto [a, w] : lcg_stream(20000, 5, 0xFFF)) {
+    c8.access(a, w);
+    c16.access(a, w);
+    if (c8.contains(a)) {
+      EXPECT_TRUE(c16.contains(a));
+    }
+  }
+  EXPECT_LE(c16.stats().misses, c8.stats().misses);
+}
+
+}  // namespace
+}  // namespace jtam::cache

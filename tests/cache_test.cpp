@@ -1,0 +1,132 @@
+// Unit tests for the set-associative cache simulator.
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "cache/cache_bank.h"
+#include "support/error.h"
+
+namespace jtam::cache {
+namespace {
+
+TEST(CacheConfig, GeometryDerivation) {
+  CacheConfig cfg{8192, 64, 4};
+  EXPECT_EQ(cfg.num_blocks(), 128u);
+  EXPECT_EQ(cfg.num_sets(), 32u);
+  EXPECT_EQ(cfg.name(), "8K/4-way/64B");
+}
+
+TEST(CacheConfig, RejectsBadGeometry) {
+  EXPECT_THROW((CacheConfig{3000, 64, 4}.validate()), Error);
+  EXPECT_THROW((CacheConfig{8192, 48, 4}.validate()), Error);
+  EXPECT_THROW((CacheConfig{8192, 64, 3}.validate()), Error);
+  EXPECT_THROW((CacheConfig{64, 64, 4}.validate()), Error);  // < 1 set
+}
+
+TEST(Cache, ColdMissThenHit) {
+  SetAssocCache c(CacheConfig{1024, 64, 1});
+  EXPECT_FALSE(c.read(0x1000));
+  EXPECT_TRUE(c.read(0x1000));
+  EXPECT_TRUE(c.read(0x103C));  // same 64-byte block
+  EXPECT_FALSE(c.read(0x1040));  // next block
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  // 1K direct-mapped, 64B blocks -> 16 sets; addresses 1K apart conflict.
+  SetAssocCache c(CacheConfig{1024, 64, 1});
+  EXPECT_FALSE(c.read(0x0000));
+  EXPECT_FALSE(c.read(0x0400));
+  EXPECT_FALSE(c.read(0x0000));  // evicted by the conflicting block
+  EXPECT_TRUE(c.contains(0x0000));
+  EXPECT_FALSE(c.contains(0x0400));
+}
+
+TEST(Cache, TwoWayAbsorbsThatConflict) {
+  SetAssocCache c(CacheConfig{1024, 64, 2});
+  EXPECT_FALSE(c.read(0x0000));
+  EXPECT_FALSE(c.read(0x0400));
+  EXPECT_TRUE(c.read(0x0000));
+  EXPECT_TRUE(c.read(0x0400));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  SetAssocCache c(CacheConfig{256, 64, 4});  // one set of four ways
+  c.read(0x0000);
+  c.read(0x0100);
+  c.read(0x0200);
+  c.read(0x0300);
+  c.read(0x0000);  // refresh block 0
+  c.read(0x0400);  // evicts 0x0100 (the LRU), not 0x0000
+  EXPECT_TRUE(c.contains(0x0000));
+  EXPECT_FALSE(c.contains(0x0100));
+  EXPECT_TRUE(c.contains(0x0200));
+}
+
+TEST(Cache, WriteBackCountsDirtyEvictions) {
+  SetAssocCache c(CacheConfig{256, 64, 1});  // 4 sets
+  c.access(0x0000, /*is_write=*/true);
+  EXPECT_EQ(c.stats().writebacks, 0u);
+  c.read(0x0100);  // evicts the dirty block at set 0
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  c.read(0x0200);  // evicts a clean block
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteAllocates) {
+  SetAssocCache c(CacheConfig{1024, 64, 2});
+  EXPECT_FALSE(c.access(0x2000, /*is_write=*/true));
+  EXPECT_TRUE(c.read(0x2000));
+}
+
+TEST(Cache, ResetClearsEverything) {
+  SetAssocCache c(CacheConfig{1024, 64, 2});
+  c.read(0x0000);
+  c.reset();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_FALSE(c.contains(0x0000));
+}
+
+// LRU inclusion property: with the same number of sets, higher
+// associativity can never produce more misses (set-associative LRU is a
+// stack algorithm per set).
+TEST(Cache, LruInclusionAcrossAssociativity) {
+  CacheConfig small{4096, 32, 1};   // 128 sets
+  CacheConfig big{8192, 32, 2};     // 128 sets, double the ways
+  SetAssocCache c1(small);
+  SetAssocCache c2(big);
+  std::uint32_t x = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    x = x * 1664525u + 1013904223u;
+    std::uint32_t addr = (x >> 8) & 0xFFFF0u;
+    bool w = (x & 1u) != 0;
+    c1.access(addr, w);
+    c2.access(addr, w);
+  }
+  EXPECT_LE(c2.stats().misses, c1.stats().misses);
+}
+
+TEST(CacheBank, PaperBankHasAllConfigs) {
+  CacheBank bank = CacheBank::paper_bank();
+  EXPECT_EQ(bank.size(), 24u);  // 8 sizes x 3 associativities
+  for (std::uint32_t assoc : paper_associativities()) {
+    for (std::uint32_t size : paper_cache_sizes()) {
+      EXPECT_NO_THROW(bank.find(size, assoc));
+    }
+  }
+  EXPECT_THROW(bank.find(999, 1), Error);
+}
+
+TEST(CacheBank, FansOutToAllConfigs) {
+  CacheBank bank = CacheBank::paper_bank();
+  bank.on_fetch(0x1000);
+  bank.on_data(0x2000, true);
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    EXPECT_EQ(bank.at(i).icache.stats().accesses, 1u);
+    EXPECT_EQ(bank.at(i).dcache.stats().accesses, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace jtam::cache

@@ -1,0 +1,293 @@
+// Unit tests for the TAM -> MDP compiler: symbol generation, the back-end
+// mapping of Table 1, and the §2.3 optimization analyses.
+
+#include <gtest/gtest.h>
+
+#include "mdp/disasm.h"
+#include "runtime/kernel.h"
+#include "support/error.h"
+#include "tam/ir.h"
+#include "tamc/lower.h"
+#include "tamc/mdopt.h"
+
+namespace jtam::tamc {
+namespace {
+
+using tam::BinOp;
+using tam::BodyBuilder;
+using tam::CbId;
+using tam::CodeblockBuilder;
+using tam::InletId;
+using tam::Program;
+using tam::ThreadId;
+using tam::VReg;
+
+/// A codeblock with one inlet posting a non-synchronizing thread — the
+/// §2.3 poster child.
+Program simple_program() {
+  Program p;
+  p.name = "simple";
+  CodeblockBuilder cb(p, "cb", 2);
+  ThreadId t = cb.declare_thread("t");
+  InletId in = cb.declare_inlet("in", 1);
+  {
+    BodyBuilder b = cb.define_inlet(in);
+    b.frame_store(0, b.msg_load(0));
+    b.post(t);
+  }
+  {
+    BodyBuilder b = cb.define_thread(t);
+    VReg v = b.frame_load(0);
+    VReg w = b.bini(BinOp::Mul, v, 3);
+    b.send_halt(w);
+    b.stop();
+  }
+  cb.finish();
+  return p;
+}
+
+TEST(Compiler, SymbolsForEveryThreadAndInlet) {
+  CompileOptions opts;
+  CompiledProgram cp = compile(simple_program(), opts);
+  EXPECT_NO_THROW(cp.thread_addr(0, 0));
+  EXPECT_NO_THROW(cp.inlet_addr(0, 0));
+  EXPECT_THROW(cp.image.symbol("u0_t7"), Error);
+}
+
+TEST(Compiler, Table1Mapping) {
+  // Table 1: inlets are high-priority handlers under AM, low-priority
+  // under MD; post goes through the library under AM and branches
+  // directly under MD; system routines are high priority in both.
+  CompileOptions am;
+  am.backend = rt::BackendKind::ActiveMessages;
+  CompiledProgram cpa = compile(simple_program(), am);
+  EXPECT_EQ(rt::inlet_queue(cpa.options.backend), mdp::Priority::High);
+  EXPECT_NO_THROW(cpa.kernel_addr("rt_post"));
+  EXPECT_NO_THROW(cpa.kernel_addr("am_sched_entry"));
+  EXPECT_EQ(cpa.lcv_sentinel(), cpa.kernel_addr("am_swap"));
+
+  CompileOptions md;
+  md.backend = rt::BackendKind::MessageDriven;
+  CompiledProgram cpm = compile(simple_program(), md);
+  EXPECT_EQ(rt::inlet_queue(cpm.options.backend), mdp::Priority::Low);
+  EXPECT_THROW(cpm.kernel_addr("rt_post"), Error);
+  EXPECT_EQ(cpm.lcv_sentinel(), cpm.kernel_addr("md_stub"));
+
+  // System handlers exist under both.
+  for (const char* sym : {"rt_falloc", "rt_ffree", "rt_halloc", "rt_ifetch",
+                          "rt_istore", "rt_gfetch", "rt_gstore", "rt_halt",
+                          "fp_add", "fp_mul", "fp_div"}) {
+    EXPECT_NO_THROW(cpa.kernel_addr(sym)) << sym;
+    EXPECT_NO_THROW(cpm.kernel_addr(sym)) << sym;
+  }
+}
+
+TEST(Compiler, AmThreadPrologHasInterruptWindow) {
+  CompileOptions am;
+  am.backend = rt::BackendKind::ActiveMessages;
+  CompiledProgram cp = compile(simple_program(), am);
+  // The unenabled AM thread opens with EINT; DINT right after its mark.
+  const mem::Addr t0 = cp.thread_addr(0, 0);
+  const std::size_t idx = (t0 - mem::kUserCodeBase) / 4;
+  // instruction 0 is the Mark, 1 = EINT, 2 = DINT.
+  EXPECT_EQ(cp.image.user_code[idx].op, mdp::Op::Mark);
+  EXPECT_EQ(cp.image.user_code[idx + 1].op, mdp::Op::Eint);
+  EXPECT_EQ(cp.image.user_code[idx + 2].op, mdp::Op::Dint);
+}
+
+TEST(Compiler, EnabledVariantLeavesInterruptsOn) {
+  CompileOptions am;
+  am.backend = rt::BackendKind::ActiveMessages;
+  am.am_enabled_variant = true;
+  CompiledProgram cp = compile(simple_program(), am);
+  const mem::Addr t0 = cp.thread_addr(0, 0);
+  const std::size_t idx = (t0 - mem::kUserCodeBase) / 4;
+  EXPECT_EQ(cp.image.user_code[idx + 1].op, mdp::Op::Eint);
+  EXPECT_NE(cp.image.user_code[idx + 2].op, mdp::Op::Dint);
+}
+
+TEST(Compiler, MdThreadsHaveNoInterruptManagement) {
+  CompileOptions md;
+  md.backend = rt::BackendKind::MessageDriven;
+  md.md = MdOptions::none();
+  CompiledProgram cp = compile(simple_program(), md);
+  for (const mdp::Instr& in : cp.image.user_code) {
+    EXPECT_NE(in.op, mdp::Op::Eint);
+    EXPECT_NE(in.op, mdp::Op::Dint);
+  }
+}
+
+TEST(Compiler, MdOptimizationsShrinkUserCode) {
+  CompileOptions plain;
+  plain.backend = rt::BackendKind::MessageDriven;
+  plain.md = MdOptions::none();
+  CompileOptions optd = plain;
+  optd.md = MdOptions::all();
+  const std::size_t before =
+      compile(simple_program(), plain).image.user_code.size();
+  const std::size_t after =
+      compile(simple_program(), optd).image.user_code.size();
+  EXPECT_LT(after, before);
+}
+
+TEST(Compiler, AmIgnoresMdOptions) {
+  CompileOptions a1;
+  a1.backend = rt::BackendKind::ActiveMessages;
+  a1.md = MdOptions::none();
+  CompileOptions a2 = a1;
+  a2.md = MdOptions::all();
+  EXPECT_EQ(compile(simple_program(), a1).image.user_code.size(),
+            compile(simple_program(), a2).image.user_code.size());
+}
+
+TEST(Compiler, MdFrameIsSmallerThanAmFrame) {
+  // "Eliminating the remote continuation vector": the MD frame drops the
+  // RCV header and list.
+  CompileOptions am;
+  am.backend = rt::BackendKind::ActiveMessages;
+  CompileOptions md;
+  md.backend = rt::BackendKind::MessageDriven;
+  const auto fa = compile(simple_program(), am).layouts[0];
+  const auto fm = compile(simple_program(), md).layouts[0];
+  EXPECT_LT(fm.frame_bytes, fa.frame_bytes);
+  EXPECT_EQ(fm.rcv_cap, 0);
+  EXPECT_GT(fa.rcv_cap, 0);
+}
+
+TEST(MdOpt, InlinePlanRequiresUniquePoster) {
+  Program p;
+  p.name = "two_posters";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t = cb.declare_thread("t");
+  InletId i1 = cb.declare_inlet("i1", 1);
+  InletId i2 = cb.declare_inlet("i2", 1);
+  {
+    BodyBuilder b = cb.define_inlet(i1);
+    b.frame_store(0, b.msg_load(0));
+    b.post(t);
+  }
+  {
+    BodyBuilder b = cb.define_inlet(i2);
+    b.frame_store(0, b.msg_load(0));
+    b.post(t);
+  }
+  {
+    BodyBuilder b = cb.define_thread(t);
+    b.stop();
+  }
+  cb.finish();
+  MdOptPlan plan = analyze_md_opts(p, MdOptions::all());
+  EXPECT_EQ(plan.cbs[0].inline_thread[i1], -1);
+  EXPECT_EQ(plan.cbs[0].inline_thread[i2], -1);
+}
+
+TEST(MdOpt, ForkTargetsAreNeverInlinedOrSuspended) {
+  Program p;
+  p.name = "forked";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t1 = cb.declare_thread("t1");
+  ThreadId t2 = cb.declare_thread("t2");
+  InletId in = cb.declare_inlet("in", 1);
+  {
+    BodyBuilder b = cb.define_inlet(in);
+    b.frame_store(0, b.msg_load(0));
+    b.post(t2);  // also a fork target below
+  }
+  {
+    BodyBuilder b = cb.define_thread(t1);
+    b.forks({t2});
+  }
+  {
+    BodyBuilder b = cb.define_thread(t2);
+    b.stop();
+  }
+  cb.finish();
+  MdOptPlan plan = analyze_md_opts(p, MdOptions::all());
+  EXPECT_EQ(plan.cbs[0].inline_thread[in], -1);
+  EXPECT_FALSE(plan.cbs[0].suspend_stop[t2]);
+  // t1 is not a fork target and pushes nothing: its stop may suspend.
+  EXPECT_TRUE(plan.cbs[0].suspend_stop[t1]);
+}
+
+TEST(MdOpt, ElisionRequiresExclusiveSlotUse) {
+  Program p;
+  p.name = "shared_slot";
+  CodeblockBuilder cb(p, "cb", 2);
+  ThreadId t = cb.declare_thread("t");
+  ThreadId other = cb.declare_thread("other");
+  InletId in = cb.declare_inlet("in", 1);
+  InletId in2 = cb.declare_inlet("in2", 1);
+  {
+    BodyBuilder b = cb.define_inlet(in);
+    b.frame_store(0, b.msg_load(0));  // slot 0: also read by `other`
+    b.frame_store(1, b.msg_load(0));  // slot 1: exclusive to (in, t)
+    b.post(t);
+  }
+  {
+    BodyBuilder b = cb.define_inlet(in2);
+    b.frame_store(0, b.msg_load(0));  // hmm: second store to slot 0
+    b.post(other);
+  }
+  {
+    BodyBuilder b = cb.define_thread(t);
+    VReg a = b.frame_load(0);
+    VReg c = b.frame_load(1);
+    VReg s = b.bin(BinOp::Add, a, c);
+    b.send_halt(s);
+    b.stop();
+  }
+  {
+    BodyBuilder b = cb.define_thread(other);
+    VReg a = b.frame_load(0);
+    b.send_halt(a);
+    b.stop();
+  }
+  cb.finish();
+  MdOptPlan plan = analyze_md_opts(p, MdOptions::all());
+  ASSERT_EQ(plan.cbs[0].inline_thread[in], t);
+  // Slot 0 is stored twice and read by two threads: not elidable.
+  // Slot 1 is exclusive: elidable.
+  ASSERT_EQ(plan.cbs[0].elided_slots[in].size(), 1u);
+  EXPECT_EQ(plan.cbs[0].elided_slots[in][0], 1);
+}
+
+TEST(MdOpt, SynchronizingInlineTargetsAreNotElided) {
+  Program p;
+  p.name = "sync_target";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t = cb.declare_thread("t", /*entry_count=*/2);
+  InletId in = cb.declare_inlet("in", 1);
+  {
+    BodyBuilder b = cb.define_inlet(in);
+    b.frame_store(0, b.msg_load(0));
+    b.post(t);
+  }
+  {
+    BodyBuilder b = cb.define_thread(t);
+    VReg v = b.frame_load(0);
+    b.send_halt(v);
+    b.stop();
+  }
+  cb.finish();
+  MdOptPlan plan = analyze_md_opts(p, MdOptions::all());
+  // Inlining is fine (unique poster), elision is not (the first post's
+  // value must survive in the frame until the entry count fires).
+  EXPECT_EQ(plan.cbs[0].inline_thread[in], t);
+  EXPECT_TRUE(plan.cbs[0].elided_slots[in].empty());
+}
+
+TEST(Compiler, TooManyCodeblocksRejected) {
+  Program p;
+  p.name = "big";
+  for (int i = 0; i < rt::kMaxCodeblocks + 1; ++i) {
+    CodeblockBuilder cb(p, "cb" + std::to_string(i), 1);
+    ThreadId t = cb.declare_thread("t");
+    BodyBuilder b = cb.define_thread(t);
+    b.stop();
+    cb.finish();
+  }
+  EXPECT_THROW(compile(p, CompileOptions{}), Error);
+}
+
+}  // namespace
+}  // namespace jtam::tamc

@@ -1,0 +1,128 @@
+// Unit tests for the experiment driver plumbing and report helpers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/experiment.h"
+#include "driver/report.h"
+#include "programs/registry.h"
+#include "support/error.h"
+#include "support/text.h"
+
+namespace jtam::driver {
+namespace {
+
+TEST(Driver, ResultCarriesCacheLadder) {
+  RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  RunResult r = run_workload(programs::make_selection_sort(10), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.cache.size(), 24u);  // 8 sizes x 3 associativities
+  EXPECT_NO_THROW(r.config(8192, 4));
+  EXPECT_THROW(r.config(8192, 8), Error);
+  EXPECT_THROW(r.config(3000, 1), Error);
+}
+
+TEST(Driver, CyclesAreMonotoneInPenalty) {
+  RunOptions opts;
+  opts.backend = rt::BackendKind::ActiveMessages;
+  RunResult r = run_workload(programs::make_selection_sort(10), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.cycles(8192, 4, 12), r.cycles(8192, 4, 24));
+  EXPECT_LT(r.cycles(8192, 4, 24), r.cycles(8192, 4, 48));
+  // Zero penalty degenerates to the instruction count.
+  EXPECT_EQ(r.cycles(8192, 4, 0), r.instructions);
+}
+
+TEST(Driver, WithCacheFalseSkipsTheLadder) {
+  RunOptions opts;
+  opts.with_cache = false;
+  RunResult r = run_workload(programs::make_selection_sort(10), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.cache.empty());
+  EXPECT_THROW(r.config(8192, 4), Error);
+}
+
+TEST(Driver, CustomBlockSizeChangesMissCounts) {
+  RunOptions o8;
+  o8.block_bytes = 8;
+  RunOptions o64;
+  o64.block_bytes = 64;
+  programs::Workload w = programs::make_selection_sort(40);
+  RunResult r8 = run_workload(w, o8);
+  RunResult r64 = run_workload(w, o64);
+  ASSERT_TRUE(r8.ok() && r64.ok());
+  // Small blocks take more compulsory/spatial misses on scans.
+  EXPECT_GT(r8.config(8192, 4).dcache.misses,
+            r64.config(8192, 4).dcache.misses);
+}
+
+TEST(Driver, RunBothUsesIdenticalWorkload) {
+  BackendPair p = run_both(programs::make_selection_sort(10), RunOptions{});
+  EXPECT_TRUE(p.md.ok());
+  EXPECT_TRUE(p.am.ok());
+  EXPECT_EQ(p.md.backend, rt::BackendKind::MessageDriven);
+  EXPECT_EQ(p.am.backend, rt::BackendKind::ActiveMessages);
+  EXPECT_GT(p.ratio(8192, 4, 24), 0.0);
+  EXPECT_LT(p.ratio(8192, 4, 24), 1.0);  // MD wins this workload
+}
+
+TEST(Driver, InstructionBudgetSurfacesAsFailure) {
+  RunOptions opts;
+  opts.max_instructions = 100;  // far too few
+  opts.with_cache = false;
+  RunResult r = run_workload(programs::make_selection_sort(10), opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status, mdp::RunStatus::Budget);
+  EXPECT_NE(r.check_error.find("did not halt"), std::string::npos);
+}
+
+TEST(Driver, PreparedRunExposesTheMachine) {
+  PreparedRun prep =
+      prepare_run(programs::make_selection_sort(8), RunOptions{});
+  EXPECT_NE(prep.machine, nullptr);
+  EXPECT_EQ(prep.machine->run(), mdp::RunStatus::Halted);
+  EXPECT_EQ(prep.machine->halt_value(), 8u);
+}
+
+TEST(Report, RequireOkThrowsOnFailure) {
+  RunResult bad;
+  bad.workload = "x";
+  bad.status = mdp::RunStatus::Deadlock;
+  bad.check_error = "boom";
+  EXPECT_THROW(require_ok({&bad}), Error);
+}
+
+TEST(Report, RatioTableRendersAllSeries) {
+  std::ostringstream os;
+  print_ratio_table(os, "T", {"1K", "2K"},
+                    {Series{"a", {0.5, 0.75}}, Series{"b", {1.25, 2.0}}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("T"), std::string::npos);
+  EXPECT_NE(out.find("0.500"), std::string::npos);
+  EXPECT_NE(out.find("2.000"), std::string::npos);
+}
+
+TEST(Text, FormattingHelpers) {
+  EXPECT_EQ(text::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(text::with_commas(0), "0");
+  EXPECT_EQ(text::with_commas(999), "999");
+  EXPECT_EQ(text::with_commas(1000), "1,000");
+  EXPECT_EQ(text::with_commas(1234567890ULL), "1,234,567,890");
+}
+
+TEST(Text, TableAlignsColumns) {
+  text::Table t;
+  t.header({"a", "bbbb"});
+  t.row({"cccc", "d"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a     bbbb"), std::string::npos);
+  EXPECT_NE(out.find("----  ----"), std::string::npos);
+  EXPECT_NE(out.find("cccc  d"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jtam::driver

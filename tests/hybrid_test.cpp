@@ -1,0 +1,169 @@
+// Tests for the Hybrid (Optimistic Active Messages-style) back-end and its
+// handler-safety analysis.
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+#include "support/error.h"
+#include "tamc/lower.h"
+#include "tamc/mdopt.h"
+
+namespace jtam {
+namespace {
+
+using tam::BodyBuilder;
+using tam::CodeblockBuilder;
+using tam::InletId;
+using tam::Program;
+using tam::ThreadId;
+using tam::VReg;
+
+TEST(HybridAnalysis, ChainOfTailForksQualifies) {
+  Program p;
+  p.name = "chain";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t1 = cb.declare_thread("t1");
+  ThreadId t2 = cb.declare_thread("t2");
+  InletId in = cb.declare_inlet("in", 1);
+  {
+    BodyBuilder b = cb.define_inlet(in);
+    b.frame_store(0, b.msg_load(0));
+    b.post(t1);
+  }
+  {
+    BodyBuilder b = cb.define_thread(t1);
+    b.forks({t2});  // single tail fork: no LCV push
+  }
+  {
+    BodyBuilder b = cb.define_thread(t2);
+    VReg v = b.frame_load(0);
+    b.send_halt(v);
+    b.stop();
+  }
+  cb.finish();
+  auto q = tamc::analyze_hybrid_runnable(p);
+  EXPECT_TRUE(q[0][t1]);
+  EXPECT_TRUE(q[0][t2]);
+}
+
+TEST(HybridAnalysis, LcvPushDisqualifiesTheChain) {
+  Program p;
+  p.name = "pushes";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t1 = cb.declare_thread("t1");
+  ThreadId t2 = cb.declare_thread("t2");
+  ThreadId t3 = cb.declare_thread("t3");
+  InletId in = cb.declare_inlet("in", 1);
+  {
+    BodyBuilder b = cb.define_inlet(in);
+    b.frame_store(0, b.msg_load(0));
+    b.post(t1);
+  }
+  {
+    // Two forks: the first is an LCV push -> t1 cannot run in a handler,
+    // and because t1 would then run at low priority, both of its targets
+    // are dragged down with it.
+    BodyBuilder b = cb.define_thread(t1);
+    b.forks({t2, t3});
+  }
+  {
+    BodyBuilder b = cb.define_thread(t2);
+    b.stop();
+  }
+  {
+    BodyBuilder b = cb.define_thread(t3);
+    VReg v = b.frame_load(0);
+    b.send_halt(v);
+    b.stop();
+  }
+  cb.finish();
+  auto q = tamc::analyze_hybrid_runnable(p);
+  EXPECT_FALSE(q[0][t1]);
+  EXPECT_FALSE(q[0][t2]);
+  EXPECT_FALSE(q[0][t3]);
+}
+
+TEST(HybridAnalysis, DisqualificationPropagatesUpTailChains) {
+  Program p;
+  p.name = "prop";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t1 = cb.declare_thread("t1");
+  ThreadId t2 = cb.declare_thread("t2");
+  ThreadId t3 = cb.declare_thread("t3");
+  ThreadId t4 = cb.declare_thread("t4");
+  InletId in = cb.declare_inlet("in", 1);
+  {
+    BodyBuilder b = cb.define_inlet(in);
+    b.frame_store(0, b.msg_load(0));
+    b.post(t1);
+  }
+  {
+    BodyBuilder b = cb.define_thread(t1);
+    b.forks({t2});
+  }
+  {
+    BodyBuilder b = cb.define_thread(t2);
+    b.forks({t3, t4});  // push here
+  }
+  {
+    BodyBuilder b = cb.define_thread(t3);
+    b.stop();
+  }
+  {
+    BodyBuilder b = cb.define_thread(t4);
+    VReg v = b.frame_load(0);
+    b.send_halt(v);
+    b.stop();
+  }
+  cb.finish();
+  auto q = tamc::analyze_hybrid_runnable(p);
+  // t2 pushes; t1 tail-branches into t2 so it is dragged out too.
+  EXPECT_FALSE(q[0][t2]);
+  EXPECT_FALSE(q[0][t1]);
+}
+
+class HybridWorkload : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HybridWorkload, OraclePassesAndCostSitsBetweenPureSystems) {
+  const std::string name = GetParam();
+  programs::Workload w = [&] {
+    if (name == "mmt") return programs::make_mmt(6);
+    if (name == "qs") return programs::make_quicksort(24);
+    if (name == "dtw") return programs::make_dtw(7);
+    if (name == "paraffins") return programs::make_paraffins(8);
+    if (name == "wavefront") return programs::make_wavefront(8, 2);
+    return programs::make_selection_sort(16);
+  }();
+  driver::RunOptions opts;
+  opts.with_cache = false;
+  opts.backend = rt::BackendKind::Hybrid;
+  driver::RunResult oam = driver::run_workload(w, opts);
+  EXPECT_TRUE(oam.ok()) << oam.check_error;
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::RunResult md = driver::run_workload(w, opts);
+  opts.backend = rt::BackendKind::ActiveMessages;
+  driver::RunResult am = driver::run_workload(w, opts);
+  // The hybrid never costs more than pure AM (it only ever removes
+  // scheduling work); it can even undercut pure MD, because handler-safe
+  // chains end in a one-instruction SUSPEND where MD pays the LCV pop and
+  // stop-stub reset.  Allow slack for halt-truncation noise.
+  EXPECT_LE(oam.instructions, am.instructions * 101 / 100) << name;
+  EXPECT_GE(oam.instructions, md.instructions * 80 / 100) << name;
+  (void)md;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, HybridWorkload,
+                         ::testing::Values("mmt", "qs", "dtw", "paraffins",
+                                           "wavefront", "ss"));
+
+TEST(Hybrid, EnabledVariantIsRejected) {
+  programs::Workload w = programs::make_selection_sort(8);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::Hybrid;
+  opts.am_enabled_variant = true;
+  EXPECT_THROW(driver::run_workload(w, opts), Error);
+}
+
+}  // namespace
+}  // namespace jtam

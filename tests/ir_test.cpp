@@ -1,0 +1,190 @@
+// Unit tests for the TAM IR builder and validator.
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "tam/ir.h"
+
+namespace jtam::tam {
+namespace {
+
+Program minimal_program() {
+  Program p;
+  p.name = "t";
+  CodeblockBuilder cb(p, "cb", 2);
+  ThreadId t = cb.declare_thread("t");
+  InletId in = cb.declare_inlet("in", 1);
+  {
+    BodyBuilder b = cb.define_inlet(in);
+    b.frame_store(0, b.msg_load(0));
+    b.post(t);
+  }
+  {
+    BodyBuilder b = cb.define_thread(t);
+    VReg v = b.frame_load(0);
+    b.send_halt(v);
+    b.stop();
+  }
+  cb.finish();
+  return p;
+}
+
+TEST(IrBuilder, MinimalProgramValidates) {
+  EXPECT_NO_THROW(validate(minimal_program()));
+}
+
+TEST(IrBuilder, UndefinedThreadRejected) {
+  Program p;
+  p.name = "t";
+  CodeblockBuilder cb(p, "cb", 1);
+  cb.declare_thread("never_defined");
+  EXPECT_THROW(cb.finish(), Error);
+}
+
+TEST(IrBuilder, DoubleDefineRejected) {
+  Program p;
+  p.name = "t";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t = cb.declare_thread("t");
+  {
+    BodyBuilder b = cb.define_thread(t);
+    b.stop();
+  }
+  EXPECT_THROW(cb.define_thread(t), Error);
+}
+
+TEST(IrBuilder, OpsAfterTerminatorRejected) {
+  Program p;
+  p.name = "t";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t = cb.declare_thread("t");
+  BodyBuilder b = cb.define_thread(t);
+  b.stop();
+  EXPECT_THROW(b.konst(1), Error);
+}
+
+TEST(IrBuilder, MsgLoadOutsideInletRejected) {
+  Program p;
+  p.name = "t";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t = cb.declare_thread("t");
+  BodyBuilder b = cb.define_thread(t);
+  EXPECT_THROW(b.msg_load(0), Error);
+}
+
+TEST(IrBuilder, FloatImmediatesRejected) {
+  Program p;
+  p.name = "t";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t = cb.declare_thread("t");
+  BodyBuilder b = cb.define_thread(t);
+  VReg v = b.konst_f(1.0f);
+  EXPECT_THROW(b.bini(BinOp::FAdd, v, 3), Error);
+  b.stop();
+}
+
+TEST(IrBuilder, EntryCountMustBePositive) {
+  Program p;
+  p.name = "t";
+  CodeblockBuilder cb(p, "cb", 1);
+  EXPECT_THROW(cb.declare_thread("bad", 0), Error);
+}
+
+TEST(IrValidate, SlotOutOfRange) {
+  Program p = minimal_program();
+  p.codeblocks[0].threads[0].body[0].imm = 99;  // FrameLoad slot 99
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(IrValidate, MsgWordOutOfRange) {
+  Program p = minimal_program();
+  p.codeblocks[0].inlets[0].body[0].imm = 5;  // inlet has 1 payload word
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(IrValidate, ForkTargetOutOfRange) {
+  Program p = minimal_program();
+  p.codeblocks[0].threads[0].term.then_forks.push_back(42);
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(IrValidate, PostTargetOutOfRange) {
+  Program p = minimal_program();
+  p.codeblocks[0].inlets[0].post = 42;
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(IrValidate, ElseForksWithoutCondition) {
+  Program p = minimal_program();
+  p.codeblocks[0].threads[0].term.else_forks.push_back(0);
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(IrValidate, SendMsgArityMismatch) {
+  Program p;
+  p.name = "t";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t = cb.declare_thread("t");
+  InletId in = cb.declare_inlet("in", /*payload_words=*/2);
+  {
+    BodyBuilder b = cb.define_inlet(in);
+    b.frame_store(0, b.msg_load(0));
+    b.post(t);
+  }
+  {
+    BodyBuilder b = cb.define_thread(t);
+    VReg f = b.self_frame();
+    VReg v = b.konst(1);
+    b.send_msg(0, in, f, {v});  // inlet wants 2 words
+    b.stop();
+  }
+  cb.finish();
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(IrValidate, FetchReplyInletMustTakeAPayload) {
+  Program p;
+  p.name = "t";
+  CodeblockBuilder cb(p, "cb", 1);
+  ThreadId t = cb.declare_thread("t");
+  InletId in = cb.declare_inlet("in", /*payload_words=*/0);
+  {
+    BodyBuilder b = cb.define_inlet(in);
+    b.no_post();
+  }
+  {
+    BodyBuilder b = cb.define_thread(t);
+    VReg a = b.konst(0x400000);
+    b.ifetch(a, in);
+    b.stop();
+  }
+  cb.finish();
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(IrValidate, EmptyProgramRejected) {
+  Program p;
+  p.name = "empty";
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(IrValidate, CodeblockWithoutThreadsRejected) {
+  Program p;
+  p.name = "t";
+  Codeblock cb;
+  cb.name = "empty";
+  p.codeblocks.push_back(cb);
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(Ir, BinOpClassification) {
+  EXPECT_TRUE(is_float_op(BinOp::FAdd));
+  EXPECT_TRUE(is_float_op(BinOp::FLt));
+  EXPECT_FALSE(is_float_op(BinOp::Add));
+  EXPECT_FALSE(is_float_op(BinOp::Lt));
+  EXPECT_STREQ(binop_name(BinOp::FMul), "fmul");
+  EXPECT_STREQ(binop_name(BinOp::Mod), "mod");
+}
+
+}  // namespace
+}  // namespace jtam::tam

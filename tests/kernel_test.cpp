@@ -1,0 +1,324 @@
+// Unit tests for the runtime kernel handlers, exercised in isolation on a
+// bare machine: frame allocation/free/reuse, heap allocation, I-structure
+// fetch/store with deferral, imperative globals, and the FP library.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include <functional>
+
+#include "mdp/assembler.h"
+#include "mdp/machine.h"
+#include "runtime/kernel.h"
+#include "runtime/layout.h"
+#include "support/error.h"
+
+namespace jtam::rt {
+namespace {
+
+using namespace mdp;  // NOLINT(build/namespaces)
+using mem::Addr;
+
+constexpr Addr kHeapBase = mem::kUserDataBase + 0x100000;
+constexpr Addr kScratch = mem::kUserDataBase + 0x1000;
+
+/// Kernel + a user "probe" handler under test-controlled assembly.
+struct KernelBed {
+  CodeImage image;
+  KernelRefs refs_snapshot;  // label values are resolved through symbols
+
+  explicit KernelBed(BackendKind backend,
+                     const std::function<void(Assembler&, KernelRefs&)>&
+                         emit_user = {}) {
+    Assembler a;
+    a.section(Section::SysCode);
+    KernelRefs refs = emit_kernel(a, {backend});
+    if (emit_user) {
+      a.section(Section::UserCode);
+      emit_user(a, refs);
+    }
+    image = a.link();
+    refs_snapshot = refs;
+  }
+
+  Machine make_machine() const {
+    Machine m(image);
+    m.set_defer_pool(mem::kUserDataBase + 0x200000,
+                     mem::kUserDataBase + 0x300000);
+    m.store_word(kGlHeapBump, kHeapBase);
+    m.store_word(kGlLcvTop, kLcvEmptyTop);
+    for (int cb = 0; cb < kMaxCodeblocks; ++cb) {
+      m.store_word(kGlFreeHeads + static_cast<Addr>(4 * cb), 0);
+    }
+    return m;
+  }
+};
+
+/// Write a codeblock descriptor for tests.
+void write_desc(Machine& m, int cb, std::uint32_t frame_bytes,
+                std::uint32_t ec_off, std::vector<std::uint32_t> ec_init) {
+  const Addr desc = mem::kSysTableBase + static_cast<Addr>(cb) * kCbDescBytes;
+  const Addr tmpl = mem::kSysTableBase + 0x800 + static_cast<Addr>(cb) * 64;
+  m.store_word(desc + 0, frame_bytes);
+  m.store_word(desc + 4, ec_off);
+  m.store_word(desc + 8, static_cast<std::uint32_t>(ec_init.size()));
+  m.store_word(desc + 12, tmpl);
+  for (std::size_t e = 0; e < ec_init.size(); ++e) {
+    m.store_word(tmpl + static_cast<Addr>(4 * e), ec_init[e]);
+  }
+}
+
+TEST(Kernel, HaltHandlerDeliversValue) {
+  KernelBed bed(BackendKind::MessageDriven);
+  Machine m = bed.make_machine();
+  std::uint32_t msg[] = {bed.image.symbol("rt_halt"), 777};
+  m.inject(Priority::High, msg);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), 777u);
+}
+
+TEST(Kernel, FallocBumpAllocatesAndInitializesEntryCounts) {
+  // Reply inlet: captures the frame pointer and halts with it.
+  KernelBed bed(BackendKind::MessageDriven,
+                [](Assembler& a, KernelRefs&) {
+                  a.here("probe");
+                  a.ldm(R0, 8, "frame pointer payload");
+                  a.halt(R0);
+                });
+  Machine m = bed.make_machine();
+  write_desc(m, /*cb=*/3, /*frame_bytes=*/64, /*ec_off=*/16, {2, 5});
+  std::uint32_t msg[] = {bed.image.symbol("rt_falloc"), 3,
+                         bed.image.symbol("probe"), kScratch};
+  m.inject(Priority::High, msg);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  const Addr frame = m.halt_value();
+  EXPECT_EQ(frame, kHeapBase);
+  EXPECT_EQ(m.load_word(frame + 16), 2u);
+  EXPECT_EQ(m.load_word(frame + 20), 5u);
+  EXPECT_EQ(m.load_word(frame + kFrameLinkOff), 0u);
+  EXPECT_EQ(m.load_word(kGlHeapBump), kHeapBase + 64);
+}
+
+TEST(Kernel, FallocAmZeroesTheRcvHeader) {
+  KernelBed bed(BackendKind::ActiveMessages,
+                [](Assembler& a, KernelRefs&) {
+                  a.here("probe");
+                  a.ldm(R0, 8);
+                  a.halt(R0);
+                });
+  Machine m = bed.make_machine();
+  write_desc(m, 0, 96, 32, {7});
+  // Pre-dirty the RCV count location in fresh heap.
+  m.store_word(kHeapBase + kAmRcvCntOff, 0xDEAD);
+  std::uint32_t msg[] = {bed.image.symbol("rt_falloc"), 0,
+                         bed.image.symbol("probe"), kScratch};
+  m.inject(Priority::High, msg);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  EXPECT_EQ(m.load_word(m.halt_value() + kAmRcvCntOff), 0u);
+}
+
+TEST(Kernel, FfreeThenFallocReusesTheFrame) {
+  KernelBed bed(BackendKind::MessageDriven,
+                [](Assembler& a, KernelRefs&) {
+                  a.here("probe");
+                  a.ldm(R0, 8);
+                  a.halt(R0);
+                });
+  Machine m = bed.make_machine();
+  write_desc(m, 1, 48, 8, {});
+  const Addr recycled = kScratch + 0x400;
+  std::uint32_t free_msg[] = {bed.image.symbol("rt_ffree"), 1, recycled};
+  std::uint32_t alloc_msg[] = {bed.image.symbol("rt_falloc"), 1,
+                               bed.image.symbol("probe"), kScratch};
+  m.inject(Priority::High, free_msg);
+  m.inject(Priority::High, alloc_msg);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), recycled);  // free-list hit, no bump
+  EXPECT_EQ(m.load_word(kGlHeapBump), kHeapBase);
+}
+
+TEST(Kernel, HallocBumpsAndReplies) {
+  KernelBed bed(BackendKind::MessageDriven,
+                [](Assembler& a, KernelRefs&) {
+                  a.here("probe");
+                  a.ldm(R0, 8);
+                  a.halt(R0);
+                });
+  Machine m = bed.make_machine();
+  std::uint32_t msg[] = {bed.image.symbol("rt_halloc"), 256,
+                         bed.image.symbol("probe"), kScratch};
+  m.inject(Priority::High, msg);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), kHeapBase);
+  EXPECT_EQ(m.load_word(kGlHeapBump), kHeapBase + 256);
+}
+
+TEST(Kernel, IfetchPresentWordRepliesImmediately) {
+  KernelBed bed(BackendKind::MessageDriven,
+                [](Assembler& a, KernelRefs&) {
+                  a.here("probe");
+                  a.ldm(R0, 8, "value payload");
+                  a.halt(R0);
+                });
+  Machine m = bed.make_machine();
+  m.store_word(kScratch, 4242);
+  m.set_tag(kScratch, true);
+  std::uint32_t msg[] = {bed.image.symbol("rt_ifetch"), kScratch,
+                         bed.image.symbol("probe"), 0x500000};
+  m.inject(Priority::High, msg);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), 4242u);
+}
+
+TEST(Kernel, IfetchEmptyWordDefersUntilIstore) {
+  KernelBed bed(BackendKind::MessageDriven,
+                [](Assembler& a, KernelRefs&) {
+                  a.here("probe");
+                  a.ldm(R0, 8);
+                  a.halt(R0);
+                });
+  Machine m = bed.make_machine();
+  std::uint32_t fetch[] = {bed.image.symbol("rt_ifetch"), kScratch,
+                           bed.image.symbol("probe"), 0x500000};
+  std::uint32_t store[] = {bed.image.symbol("rt_istore"), kScratch, 99};
+  m.inject(Priority::High, fetch);
+  m.inject(Priority::High, store);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), 99u);
+  EXPECT_TRUE(m.tag(kScratch));
+}
+
+TEST(Kernel, IstoreWakesAllDeferredReaders) {
+  // Two deferred fetches to different "frames"; istore must wake both.
+  // The second reply halts with both values combined through a global.
+  KernelBed bed(BackendKind::MessageDriven,
+                [](Assembler& a, KernelRefs&) {
+                  LabelRef fin = a.label();
+                  a.here("probe1");
+                  a.ldm(R0, 8);
+                  a.stg(R0, static_cast<std::int32_t>(
+                                mem::kOsGlobalsBase + 80));
+                  a.suspend();
+                  a.here("probe2");
+                  a.bind(fin);
+                  a.ldm(R0, 8);
+                  a.ldg(R1, static_cast<std::int32_t>(
+                                mem::kOsGlobalsBase + 80));
+                  a.alu(Op::Add, R0, R0, R1);
+                  a.halt(R0);
+                });
+  Machine m = bed.make_machine();
+  std::uint32_t f1[] = {bed.image.symbol("rt_ifetch"), kScratch,
+                        bed.image.symbol("probe2"), 0x500000};
+  std::uint32_t f2[] = {bed.image.symbol("rt_ifetch"), kScratch,
+                        bed.image.symbol("probe1"), 0x500000};
+  std::uint32_t store[] = {bed.image.symbol("rt_istore"), kScratch, 21};
+  m.inject(Priority::High, f1);
+  m.inject(Priority::High, f2);
+  m.inject(Priority::High, store);
+  // Wake order is LIFO (probe1 deferred last, so its reply is sent first
+  // ... actually the detached list is walked most-recent first): probe1's
+  // reply arrives before probe2's, so probe2 (fin) sees the stored global.
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), 42u);
+}
+
+TEST(Kernel, GfetchAndGstoreAreImperative) {
+  KernelBed bed(BackendKind::MessageDriven,
+                [](Assembler& a, KernelRefs&) {
+                  a.here("probe");
+                  a.ldm(R0, 8);
+                  a.halt(R0);
+                });
+  Machine m = bed.make_machine();
+  std::uint32_t st1[] = {bed.image.symbol("rt_gstore"), kScratch, 10};
+  std::uint32_t st2[] = {bed.image.symbol("rt_gstore"), kScratch, 20};
+  std::uint32_t ld[] = {bed.image.symbol("rt_gfetch"), kScratch,
+                        bed.image.symbol("probe"), 0x500000};
+  m.inject(Priority::High, st1);
+  m.inject(Priority::High, st2);  // overwrite: last value wins (FIFO)
+  m.inject(Priority::High, ld);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), 20u);
+}
+
+// --- FP library -------------------------------------------------------------
+
+class FpLibTest : public ::testing::TestWithParam<
+                      std::tuple<const char*, float, float, float>> {};
+
+TEST_P(FpLibTest, ComputesExactIeeeResult) {
+  auto [routine, x, y, want] = GetParam();
+  Assembler a;
+  a.section(Section::SysCode);
+  KernelRefs refs = emit_kernel(a, {BackendKind::MessageDriven});
+  a.section(Section::UserCode);
+  a.here("probe");
+  a.ldm(R0, 4);
+  a.ldm(R1, 8);
+  std::string name = routine;
+  if (name == "fp_add") a.call(refs.fp_add);
+  if (name == "fp_sub") a.call(refs.fp_sub);
+  if (name == "fp_mul") a.call(refs.fp_mul);
+  if (name == "fp_div") a.call(refs.fp_div);
+  if (name == "fp_lt") a.call(refs.fp_lt);
+  a.halt(R0);
+  CodeImage img = a.link();
+  Machine m(img);
+  std::uint32_t msg[] = {img.symbol("probe"), std::bit_cast<std::uint32_t>(x),
+                         std::bit_cast<std::uint32_t>(y)};
+  m.inject(Priority::Low, msg);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  if (name == "fp_lt") {
+    EXPECT_EQ(m.halt_value(), want != 0.0f ? 1u : 0u);
+  } else {
+    EXPECT_EQ(std::bit_cast<float>(m.halt_value()), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, FpLibTest,
+    ::testing::Values(
+        std::make_tuple("fp_add", 1.5f, 2.25f, 3.75f),
+        std::make_tuple("fp_add", -1.0f, 1.0f, 0.0f),
+        std::make_tuple("fp_add", 1e10f, 1.0f, 1e10f + 1.0f),
+        std::make_tuple("fp_sub", 5.0f, 7.5f, -2.5f),
+        std::make_tuple("fp_mul", 3.0f, -0.5f, -1.5f),
+        std::make_tuple("fp_mul", 0.0f, 123.f, 0.0f),
+        std::make_tuple("fp_div", 7.0f, 2.0f, 3.5f),
+        std::make_tuple("fp_div", 1.0f, 3.0f, 1.0f / 3.0f),
+        std::make_tuple("fp_lt", 1.0f, 2.0f, 1.0f),
+        std::make_tuple("fp_lt", 2.0f, 1.0f, 0.0f),
+        std::make_tuple("fp_lt", -1.0f, 1.0f, 1.0f)));
+
+TEST(Kernel, InletQueueSelection) {
+  EXPECT_EQ(inlet_queue(BackendKind::ActiveMessages), Priority::High);
+  EXPECT_EQ(inlet_queue(BackendKind::MessageDriven), Priority::Low);
+}
+
+TEST(Kernel, BackendSpecificSymbolsExist) {
+  {
+    Assembler a;
+    a.section(Section::SysCode);
+    emit_kernel(a, {BackendKind::ActiveMessages});
+    CodeImage img = a.link();
+    EXPECT_NO_THROW(img.symbol("am_swap"));
+    EXPECT_NO_THROW(img.symbol("am_sched_entry"));
+    EXPECT_NO_THROW(img.symbol("rt_post"));
+    EXPECT_THROW(img.symbol("md_stub"), Error);
+  }
+  {
+    Assembler a;
+    a.section(Section::SysCode);
+    emit_kernel(a, {BackendKind::MessageDriven});
+    CodeImage img = a.link();
+    EXPECT_NO_THROW(img.symbol("md_stub"));
+    EXPECT_THROW(img.symbol("am_swap"), Error);
+    EXPECT_THROW(img.symbol("rt_post"), Error);
+  }
+}
+
+}  // namespace
+}  // namespace jtam::rt

@@ -1,0 +1,97 @@
+// Unit tests for frame layouts and the runtime data layout constants.
+
+#include <gtest/gtest.h>
+
+#include "runtime/layout.h"
+#include "tam/ir.h"
+
+namespace jtam::rt {
+namespace {
+
+tam::Codeblock make_cb(int slots, std::vector<int> entry_counts) {
+  tam::Program p;
+  p.name = "t";
+  tam::CodeblockBuilder cb(p, "cb", slots);
+  std::vector<tam::ThreadId> ts;
+  for (int ec : entry_counts) {
+    ts.push_back(cb.declare_thread("t" + std::to_string(ts.size()), ec));
+  }
+  for (tam::ThreadId t : ts) {
+    tam::BodyBuilder b = cb.define_thread(t);
+    b.stop();
+  }
+  cb.finish();
+  return p.codeblocks[0];
+}
+
+TEST(FrameLayout, MdFrameIsHeaderDataEcSpills) {
+  tam::Codeblock cb = make_cb(3, {1, 2, 5, 1});
+  FrameLayout fl =
+      compute_frame_layout(cb, BackendKind::MessageDriven, /*spills=*/2);
+  EXPECT_EQ(fl.data_off, 4);          // link word only
+  EXPECT_EQ(fl.ec_off, 4 + 12);       // after 3 data slots
+  EXPECT_EQ(fl.num_ec, 2);            // two synchronizing threads
+  EXPECT_EQ(fl.spill_off, fl.ec_off + 8);
+  EXPECT_EQ(fl.frame_bytes, fl.spill_off + 8);
+  EXPECT_EQ(fl.rcv_cap, 0);
+}
+
+TEST(FrameLayout, AmFrameAddsTheRcvAtAFixedPosition) {
+  tam::Codeblock cb = make_cb(2, {1, 3});
+  FrameLayout fl =
+      compute_frame_layout(cb, BackendKind::ActiveMessages, /*spills=*/0);
+  // The RCV sits right after the two header words so the generic scheduler
+  // can copy it without per-codeblock information.
+  EXPECT_EQ(kAmRcvBaseOff, 8);
+  EXPECT_EQ(fl.rcv_cap, 2 + 4);  // threads + slack
+  EXPECT_EQ(fl.data_off, kAmRcvBaseOff + 4 * fl.rcv_cap);
+  EXPECT_GT(fl.frame_bytes,
+            compute_frame_layout(cb, BackendKind::MessageDriven, 0)
+                .frame_bytes);
+}
+
+TEST(FrameLayout, HybridUsesTheAmShape) {
+  tam::Codeblock cb = make_cb(1, {1});
+  FrameLayout fl = compute_frame_layout(cb, BackendKind::Hybrid, 0);
+  EXPECT_GT(fl.rcv_cap, 0);
+}
+
+TEST(FrameLayout, EcIndexingAndInitValues) {
+  tam::Codeblock cb = make_cb(0, {1, 4, 1, 7});
+  FrameLayout fl =
+      compute_frame_layout(cb, BackendKind::MessageDriven, 0);
+  EXPECT_EQ(fl.ec_index_of_thread[0], -1);
+  EXPECT_EQ(fl.ec_index_of_thread[1], 0);
+  EXPECT_EQ(fl.ec_index_of_thread[2], -1);
+  EXPECT_EQ(fl.ec_index_of_thread[3], 1);
+  EXPECT_EQ(fl.ec_init[0], 4);
+  EXPECT_EQ(fl.ec_init[1], 7);
+  EXPECT_TRUE(fl.thread_is_sync(1));
+  EXPECT_FALSE(fl.thread_is_sync(2));
+  EXPECT_EQ(fl.ec_byte_off(3), fl.ec_off + 4);
+}
+
+TEST(Layout, OsGlobalsAreDisjointWords) {
+  const mem::Addr globals[] = {kGlLcvTop,  kGlCurFrame, kGlSchedActive,
+                               kGlFqHead,  kGlFqTail,   kGlHeapBump,
+                               kGlNodeId,  kGlFreeHeads};
+  for (std::size_t i = 0; i < std::size(globals); ++i) {
+    for (std::size_t j = i + 1; j < std::size(globals); ++j) {
+      EXPECT_NE(globals[i], globals[j]);
+    }
+    EXPECT_EQ(globals[i] % 4, 0u);
+    EXPECT_GE(globals[i], mem::kOsGlobalsBase);
+  }
+  // The free-list head array must fit inside the globals page.
+  EXPECT_LE(kGlFreeHeads + 4 * kMaxCodeblocks,
+            mem::kOsGlobalsBase + mem::kOsGlobalsBytes);
+}
+
+TEST(Layout, BackendNames) {
+  EXPECT_STREQ(backend_name(BackendKind::ActiveMessages), "AM");
+  EXPECT_STREQ(backend_name(BackendKind::MessageDriven), "MD");
+  EXPECT_STREQ(backend_name(BackendKind::Hybrid), "OAM");
+}
+
+}  // namespace
+}  // namespace jtam::rt

@@ -1,0 +1,449 @@
+// Unit tests for the MDP machine: opcode semantics, message queues,
+// dispatch-on-suspend, preemption, interrupt gating, tagged memory.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "mdp/assembler.h"
+#include "mdp/machine.h"
+#include "support/error.h"
+
+namespace jtam::mdp {
+namespace {
+
+using mem::Addr;
+
+/// Assemble a low-priority handler, boot it with a message, run to halt.
+/// The body ends with `halt rX` supplied by the caller.
+class MachineFixture : public ::testing::Test {
+ protected:
+  /// Runs `emit` inside a low-priority handler context and returns the
+  /// halted machine.
+  template <typename Fn>
+  Machine run_handler(Fn&& emit,
+                      std::vector<std::uint32_t> extra_payload = {}) {
+    Assembler a;
+    a.section(Section::SysCode);
+    LabelRef entry = a.label("entry");
+    a.bind(entry);
+    emit(a);
+    Machine m(a.link());
+    m.set_defer_pool(mem::kUserDataBase + 0x10000,
+                     mem::kUserDataBase + 0x20000);
+    std::vector<std::uint32_t> msg{mem::kSysCodeBase};
+    for (auto w : extra_payload) msg.push_back(w);
+    m.inject(Priority::Low, msg);
+    EXPECT_EQ(m.run(), RunStatus::Halted);
+    return m;
+  }
+};
+
+TEST_F(MachineFixture, AluBasics) {
+  Machine m = run_handler([](Assembler& a) {
+    a.movi(R0, 21);
+    a.movi(R1, 2);
+    a.alu(Op::Mul, R2, R0, R1);
+    a.alui(Op::Addi, R2, R2, 8);
+    a.halt(R2);
+  });
+  EXPECT_EQ(m.halt_value(), 50u);
+}
+
+TEST_F(MachineFixture, SignedDivisionAndModulo) {
+  Machine m = run_handler([](Assembler& a) {
+    a.movi(R0, -17);
+    a.movi(R1, 5);
+    a.alu(Op::Divs, R2, R0, R1);  // -3 (C++ truncation)
+    a.alu(Op::Mods, R3, R0, R1);  // -2
+    a.alu(Op::Mul, R4, R2, R3);   // 6
+    a.halt(R4);
+  });
+  EXPECT_EQ(m.halt_value(), 6u);
+}
+
+TEST_F(MachineFixture, DivisionByZeroFaults) {
+  EXPECT_THROW(run_handler([](Assembler& a) {
+                 a.movi(R0, 1);
+                 a.movi(R1, 0);
+                 a.alu(Op::Divs, R2, R0, R1);
+                 a.halt(R2);
+               }),
+               Error);
+}
+
+TEST_F(MachineFixture, Comparisons) {
+  Machine m = run_handler([](Assembler& a) {
+    a.movi(R0, -1);
+    a.movi(R1, 1);
+    a.alu(Op::Slt, R2, R0, R1);   // 1 (signed)
+    a.alu(Op::Sle, R3, R1, R1);   // 1
+    a.alu(Op::Seq, R4, R0, R1);   // 0
+    a.alu(Op::Sne, R5, R0, R1);   // 1
+    a.alu(Op::Add, R2, R2, R3);
+    a.alu(Op::Add, R2, R2, R4);
+    a.alu(Op::Add, R2, R2, R5);
+    a.halt(R2);
+  });
+  EXPECT_EQ(m.halt_value(), 3u);
+}
+
+TEST_F(MachineFixture, FloatAssistOps) {
+  Machine m = run_handler([](Assembler& a) {
+    a.movi(R0, static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(1.5f)));
+    a.movi(R1, static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(2.25f)));
+    a.alu(Op::Fadd, R2, R0, R1);
+    a.alu(Op::Fmul, R3, R0, R1);
+    a.alu(Op::Fsub, R3, R3, R2);  // 3.375 - 3.75 = -0.375
+    a.alu(Op::Flt, R4, R3, R0);   // -0.375 < 1.5 -> 1
+    a.halt(R4);
+  });
+  EXPECT_EQ(m.halt_value(), 1u);
+}
+
+TEST_F(MachineFixture, LoadStoreRoundTrip) {
+  Machine m = run_handler([](Assembler& a) {
+    a.movi(R0, static_cast<std::int32_t>(mem::kUserDataBase));
+    a.movi(R1, 0xBEEF);
+    a.st(R0, 12, R1);
+    a.ld(R2, R0, 12);
+    a.halt(R2);
+  });
+  EXPECT_EQ(m.halt_value(), 0xBEEFu);
+}
+
+TEST_F(MachineFixture, StoreImmediateAndAbsolute) {
+  Machine m = run_handler([](Assembler& a) {
+    a.movi(R0, static_cast<std::int32_t>(mem::kUserDataBase));
+    a.sti(R0, 4, 77);
+    a.ld(R1, R0, 4);
+    a.stg(R1, static_cast<std::int32_t>(mem::kOsGlobalsBase + 40));
+    a.ldg(R2, static_cast<std::int32_t>(mem::kOsGlobalsBase + 40));
+    a.halt(R2);
+  });
+  EXPECT_EQ(m.halt_value(), 77u);
+}
+
+TEST_F(MachineFixture, UnalignedAccessFaults) {
+  EXPECT_THROW(run_handler([](Assembler& a) {
+                 a.movi(R0, static_cast<std::int32_t>(mem::kUserDataBase + 2));
+                 a.ld(R1, R0, 0);
+                 a.halt(R1);
+               }),
+               Error);
+}
+
+TEST_F(MachineFixture, CodeRegionIsNotData) {
+  EXPECT_THROW(run_handler([](Assembler& a) {
+                 a.movi(R0, static_cast<std::int32_t>(mem::kSysCodeBase));
+                 a.ld(R1, R0, 0);
+                 a.halt(R1);
+               }),
+               Error);
+}
+
+TEST_F(MachineFixture, MessageOperandsReadFromQueueMemory) {
+  Machine m = run_handler(
+      [](Assembler& a) {
+        a.ldm(R0, 4, "first payload word");
+        a.ldm(R1, 8, "second payload word");
+        a.alu(Op::Add, R0, R0, R1);
+        a.halt(R0);
+      },
+      {30, 12});
+  EXPECT_EQ(m.halt_value(), 42u);
+}
+
+TEST_F(MachineFixture, CallAndReturn) {
+  Machine m = run_handler([](Assembler& a) {
+    LabelRef fn = a.label("fn");
+    LabelRef over = a.label();
+    a.movi(R0, 5);
+    a.call(fn);
+    a.halt(R0);
+    a.br(over);  // unreachable
+    a.bind(fn);
+    a.alui(Op::Muli, R0, R0, 9);
+    a.ret();
+    a.bind(over);
+    a.nop();
+  });
+  EXPECT_EQ(m.halt_value(), 45u);
+}
+
+TEST_F(MachineFixture, IndirectJump) {
+  Machine m = run_handler([](Assembler& a) {
+    LabelRef tgt = a.label("tgt");
+    a.movi(R1, tgt);
+    a.jmp(R1);
+    a.movi(R0, 1);  // skipped
+    a.bind(tgt);
+    a.movi(R0, 9);
+    a.halt(R0);
+  });
+  EXPECT_EQ(m.halt_value(), 9u);
+}
+
+// --- messaging & scheduling ---------------------------------------------------
+
+TEST_F(MachineFixture, SendToSelfDispatchesAfterSuspend) {
+  // Handler A sends a message invoking handler B with payload, suspends.
+  Machine m = run_handler([](Assembler& a) {
+    LabelRef b = a.label("b");
+    a.sendl();
+    a.sendwi(b);
+    a.movi(R0, 1234);
+    a.sendw(R0);
+    a.sende();
+    a.suspend();
+    a.bind(b);
+    a.ldm(R0, 4);
+    a.halt(R0);
+  });
+  EXPECT_EQ(m.halt_value(), 1234u);
+}
+
+TEST_F(MachineFixture, HighPriorityPreemptsLowWhenEnabled) {
+  // Low-priority code with interrupts ON sends itself a high message and
+  // keeps computing; the high handler must run before low finishes.
+  Machine m = run_handler([](Assembler& a) {
+    LabelRef high = a.label("high");
+    a.eint();
+    a.sendh();
+    a.sendwi(high);
+    a.sende();
+    // R0 := whatever the high handler left in memory; the handler stores
+    // 7 at a known global before this load executes.
+    a.ldg(R0, static_cast<std::int32_t>(mem::kOsGlobalsBase + 60));
+    a.halt(R0);
+    a.bind(high);
+    a.movi(R1, 7);
+    a.stg(R1, static_cast<std::int32_t>(mem::kOsGlobalsBase + 60));
+    a.suspend();
+  });
+  EXPECT_EQ(m.halt_value(), 7u);
+}
+
+TEST_F(MachineFixture, DintBlocksPreemption) {
+  Machine m = run_handler([](Assembler& a) {
+    LabelRef high = a.label("high2");
+    a.dint();
+    a.sendh();
+    a.sendwi(high);
+    a.sende();
+    // With interrupts disabled the high handler has NOT run yet.
+    a.ldg(R0, static_cast<std::int32_t>(mem::kOsGlobalsBase + 64));
+    a.halt(R0);
+    a.bind(high);
+    a.movi(R1, 7);
+    a.stg(R1, static_cast<std::int32_t>(mem::kOsGlobalsBase + 64));
+    a.suspend();
+  });
+  EXPECT_EQ(m.halt_value(), 0u);
+}
+
+TEST_F(MachineFixture, EintServicesPendingHighMessage) {
+  Machine m = run_handler([](Assembler& a) {
+    LabelRef high = a.label("high3");
+    a.dint();
+    a.sendh();
+    a.sendwi(high);
+    a.sende();
+    a.eint();
+    a.dint();  // the brief thread-top window of the AM implementation
+    a.ldg(R0, static_cast<std::int32_t>(mem::kOsGlobalsBase + 68));
+    a.halt(R0);
+    a.bind(high);
+    a.movi(R1, 7);
+    a.stg(R1, static_cast<std::int32_t>(mem::kOsGlobalsBase + 68));
+    a.suspend();
+  });
+  EXPECT_EQ(m.halt_value(), 7u);
+}
+
+TEST_F(MachineFixture, FifoOrderWithinAQueue) {
+  // Two low messages carrying different values; the first dispatched
+  // handler records, the second halts with both combined.
+  Assembler a;
+  a.section(Section::SysCode);
+  LabelRef rec = a.label("rec");
+  LabelRef fin = a.label("fin");
+  a.bind(rec);
+  a.ldm(R0, 4);
+  a.stg(R0, static_cast<std::int32_t>(mem::kOsGlobalsBase + 72));
+  a.suspend();
+  a.bind(fin);
+  a.ldg(R0, static_cast<std::int32_t>(mem::kOsGlobalsBase + 72));
+  a.ldm(R1, 4);
+  a.alui(Op::Muli, R0, R0, 100);
+  a.alu(Op::Add, R0, R0, R1);
+  a.halt(R0);
+  CodeImage img = a.link();
+  Machine m(img);
+  std::uint32_t m1[] = {img.symbol("rec"), 3};
+  std::uint32_t m2[] = {img.symbol("fin"), 4};
+  m.inject(Priority::Low, m1);
+  m.inject(Priority::Low, m2);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), 304u);
+}
+
+TEST_F(MachineFixture, DeadlockWhenNoWorkRemains) {
+  Assembler a;
+  a.section(Section::SysCode);
+  a.here("quiet");
+  a.suspend();
+  CodeImage img = a.link();
+  Machine m(img);
+  std::uint32_t msg[] = {img.symbol("quiet")};
+  m.inject(Priority::Low, msg);
+  EXPECT_EQ(m.run(), RunStatus::Deadlock);
+}
+
+TEST_F(MachineFixture, BudgetStopsRunawayLoops) {
+  Assembler a;
+  a.section(Section::SysCode);
+  LabelRef spin = a.label("spin");
+  a.bind(spin);
+  a.br(spin);
+  CodeImage img = a.link();
+  Machine m(img, Machine::Config{mem::kQueueBytes, 1000});
+  std::uint32_t msg[] = {img.symbol("spin")};
+  m.inject(Priority::Low, msg);
+  EXPECT_EQ(m.run(), RunStatus::Budget);
+  EXPECT_EQ(m.instructions_executed(), 1000u);
+}
+
+TEST_F(MachineFixture, QueueOverflowIsReported) {
+  Assembler a;
+  a.section(Section::SysCode);
+  a.here("noop");
+  a.suspend();
+  CodeImage img = a.link();
+  Machine m(img, Machine::Config{256, 1000000});
+  std::vector<std::uint32_t> msg(17, img.symbol("noop"));  // 68 bytes
+  m.inject(Priority::Low, msg);
+  m.inject(Priority::Low, msg);
+  m.inject(Priority::Low, msg);
+  EXPECT_THROW(m.inject(Priority::Low, msg), Error);  // 4 x 68 > 256
+}
+
+TEST_F(MachineFixture, QueueWrapsAroundTheRing) {
+  // Fill-and-drain the queue repeatedly so messages wrap the ring buffer.
+  Assembler a;
+  a.section(Section::SysCode);
+  LabelRef again = a.label("again");
+  LabelRef fin = a.label("fin2");
+  a.bind(again);
+  a.ldm(R0, 4);
+  a.alui(Op::Subi, R0, R0, 1);
+  LabelRef done = a.label();
+  a.brz(R0, done);
+  a.sendl();
+  a.sendwi(again);
+  a.sendw(R0);
+  a.sende();
+  a.suspend();
+  a.bind(done);
+  a.sendl();
+  a.sendwi(fin);
+  a.sendw(R0);
+  a.sende();
+  a.suspend();
+  a.bind(fin);
+  a.movi(R0, 99);
+  a.halt(R0);
+  CodeImage img = a.link();
+  Machine m(img, Machine::Config{128, 1000000});  // tiny ring: forces wraps
+  std::uint32_t msg[] = {img.symbol("again"), 50};
+  m.inject(Priority::Low, msg);
+  EXPECT_EQ(m.run(), RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), 99u);
+}
+
+TEST_F(MachineFixture, BankedRegistersSurvivePreemption) {
+  Machine m = run_handler([](Assembler& a) {
+    LabelRef high = a.label("clobber");
+    a.eint();
+    a.movi(R3, 31337);
+    a.sendh();
+    a.sendwi(high);
+    a.sende();
+    // After preemption the low bank's R3 must be intact.
+    a.halt(R3);
+    a.bind(high);
+    a.movi(R3, 0);  // high bank's R3 — must not touch low's
+    a.suspend();
+  });
+  EXPECT_EQ(m.halt_value(), 31337u);
+}
+
+// --- tagged memory -----------------------------------------------------------
+
+TEST_F(MachineFixture, PresenceTagsTrackStores) {
+  Machine m = run_handler([](Assembler& a) {
+    a.movi(R0, static_cast<std::int32_t>(mem::kUserDataBase + 0x100));
+    a.itagld(R1, R0, R2);  // empty: tag 0
+    a.movi(R3, 55);
+    a.itagst(R0, R3);
+    a.itagld(R1, R0, R4);  // now present
+    a.alui(Op::Shli, R4, R4, 1);
+    a.alu(Op::Add, R2, R2, R4);  // 0 + 2
+    a.alu(Op::Add, R2, R2, R1);  // + 55
+    a.halt(R2);
+  });
+  EXPECT_EQ(m.halt_value(), 57u);
+}
+
+TEST_F(MachineFixture, DeferredReadListRoundTrip) {
+  Machine m = run_handler([](Assembler& a) {
+    a.movi(R0, static_cast<std::int32_t>(mem::kUserDataBase + 0x200));
+    a.movi(R1, 0x111);  // "inlet"
+    a.movi(R2, 0x222);  // "frame"
+    a.idefer(R0, R1, R2);
+    a.movi(R1, 0x333);
+    a.movi(R2, 0x444);
+    a.idefer(R0, R1, R2);
+    a.idhead(R3, R0);  // most recent node first
+    a.ld(R4, R3, 0);   // inlet of the second defer
+    a.ld(R5, R3, 8);   // next -> first node
+    a.ld(R5, R5, 4);   // frame of the first defer
+    a.alu(Op::Add, R4, R4, R5);  // 0x333 + 0x222
+    a.halt(R4);
+  });
+  EXPECT_EQ(m.halt_value(), 0x555u);
+}
+
+TEST_F(MachineFixture, IdheadDetachesTheList) {
+  Machine m = run_handler([](Assembler& a) {
+    a.movi(R0, static_cast<std::int32_t>(mem::kUserDataBase + 0x300));
+    a.movi(R1, 1);
+    a.movi(R2, 2);
+    a.idefer(R0, R1, R2);
+    a.idhead(R3, R0);
+    a.idhead(R4, R0);  // second detach: empty
+    a.halt(R4);
+  });
+  EXPECT_EQ(m.halt_value(), 0u);
+}
+
+TEST_F(MachineFixture, SendEWithoutComposeFaults) {
+  EXPECT_THROW(run_handler([](Assembler& a) {
+                 a.sende();
+                 a.halt(R0);
+               }),
+               Error);
+}
+
+TEST_F(MachineFixture, NestedComposeFaults) {
+  EXPECT_THROW(run_handler([](Assembler& a) {
+                 a.sendl();
+                 a.sendh();
+                 a.halt(R0);
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace jtam::mdp

@@ -1,0 +1,63 @@
+// Unit tests for the memory map and region accounting.
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_map.h"
+#include "metrics/granularity.h"
+#include "support/error.h"
+
+namespace jtam::mem {
+namespace {
+
+TEST(MemoryMap, RegionClassification) {
+  EXPECT_EQ(classify(kSysCodeBase), Region::SysCode);
+  EXPECT_EQ(classify(kUserCodeBase), Region::UserCode);
+  EXPECT_EQ(classify(kLowQueueBase), Region::SysData);
+  EXPECT_EQ(classify(kHighQueueBase), Region::SysData);
+  EXPECT_EQ(classify(kOsGlobalsBase), Region::SysData);
+  EXPECT_EQ(classify(kLcvBase), Region::SysData);
+  EXPECT_EQ(classify(kSysTableBase), Region::SysData);
+  EXPECT_EQ(classify(kUserDataBase), Region::UserData);
+  EXPECT_EQ(classify(kUserDataLimit - 4), Region::UserData);
+}
+
+TEST(MemoryMap, OutOfRangeThrows) {
+  EXPECT_THROW(classify(0), Error);
+  EXPECT_THROW(classify(kUserDataLimit), Error);
+}
+
+TEST(MemoryMap, RegionsDoNotOverlap) {
+  EXPECT_LE(kSysCodeLimit, kUserCodeBase);
+  EXPECT_LE(kUserCodeLimit, kSysDataBase);
+  EXPECT_LE(kSysDataLimit, kUserDataBase);
+  EXPECT_LT(kHighQueueBase + kQueueBytes, kOsGlobalsBase + 1);
+  EXPECT_LE(kOsGlobalsBase + kOsGlobalsBytes, kLcvBase);
+  EXPECT_LE(kLcvBase + kLcvBytes, kSysTableBase);
+}
+
+TEST(MemoryMap, QueueMembership) {
+  EXPECT_TRUE(in_queue(kLowQueueBase));
+  EXPECT_TRUE(in_queue(kHighQueueBase + kQueueBytes - 4));
+  EXPECT_FALSE(in_queue(kOsGlobalsBase));
+  EXPECT_FALSE(in_queue(kUserDataBase));
+}
+
+TEST(MemoryMap, RegionNames) {
+  EXPECT_STREQ(region_name(Region::SysCode), "sys-code");
+  EXPECT_STREQ(region_name(Region::UserData), "user-data");
+}
+
+TEST(MemoryMap, FastClassifierAgreesWithExactOne) {
+  // The branch-free classifier on the metrics hot path must agree with
+  // the exact (throwing) one for every mapped address family.
+  for (Addr a : {kSysCodeBase, kSysCodeBase + 400, kUserCodeBase,
+                 kUserCodeBase + 0x1000, kLowQueueBase, kHighQueueBase,
+                 kOsGlobalsBase, kLcvBase, kSysTableBase, kUserDataBase,
+                 kUserDataLimit - 4}) {
+    EXPECT_EQ(metrics::region_index(a), static_cast<int>(classify(a)))
+        << "addr 0x" << std::hex << a;
+  }
+}
+
+}  // namespace
+}  // namespace jtam::mem

@@ -1,0 +1,149 @@
+// Unit tests for the granularity/access metrics and the cycle model.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "metrics/cycles.h"
+#include "metrics/granularity.h"
+#include "support/error.h"
+
+namespace jtam::metrics {
+namespace {
+
+using mdp::MarkKind;
+using mdp::Priority;
+
+TEST(Cycles, TotalCyclesFormula) {
+  cache::CacheStats icache;
+  icache.accesses = 100;
+  icache.misses = 10;
+  cache::CacheStats dcache;
+  dcache.accesses = 50;
+  dcache.misses = 5;
+  // §3.3: instructions take one cycle plus penalty per miss.
+  EXPECT_EQ(total_cycles(1000, icache, dcache, 12), 1000u + 12u * 15u);
+  EXPECT_EQ(total_cycles(1000, icache, dcache, 48), 1000u + 48u * 15u);
+}
+
+TEST(Cycles, GeomeanBasics) {
+  std::array<double, 3> v{1.0, 4.0, 16.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 4.0);
+  std::array<double, 1> one{7.5};
+  EXPECT_DOUBLE_EQ(geomean(one), 7.5);
+}
+
+TEST(Cycles, GeomeanRejectsEmptyAndNonPositive) {
+  EXPECT_THROW(geomean({}), Error);
+  std::array<double, 2> bad{1.0, 0.0};
+  EXPECT_THROW(geomean(bad), Error);
+}
+
+TEST(StatsSink, CountsByLevelAndRegion) {
+  StatsSink s(rt::BackendKind::MessageDriven, nullptr);
+  s.on_fetch(mem::kSysCodeBase, Priority::Low);
+  s.on_fetch(mem::kUserCodeBase, Priority::High);
+  s.on_read(mem::kLowQueueBase, Priority::Low);
+  s.on_write(mem::kUserDataBase, Priority::High);
+  const AccessCounts& c = s.counts();
+  EXPECT_EQ(c.total_fetches(), 2u);
+  EXPECT_EQ(c.fetches_in(0), 1u);  // sys code
+  EXPECT_EQ(c.fetches_in(1), 1u);  // user code
+  EXPECT_EQ(c.reads_in(2), 1u);    // sys data (queue)
+  EXPECT_EQ(c.writes_in(3), 1u);   // user data
+}
+
+TEST(StatsSink, MdQuantaDelimitedByFrameChanges) {
+  StatsSink s(rt::BackendKind::MessageDriven, nullptr);
+  // inlet(frame A) -> thread(A) -> thread(A) | inlet(B) -> thread(B) |
+  // inlet(A) again.
+  s.on_mark(MarkKind::InletStart, 0xA0, Priority::Low);
+  s.on_mark(MarkKind::ThreadStart, 0xA0, Priority::Low);
+  s.on_mark(MarkKind::ThreadStart, 0xA0, Priority::Low);
+  s.on_mark(MarkKind::InletStart, 0xB0, Priority::Low);
+  s.on_mark(MarkKind::ThreadStart, 0xB0, Priority::Low);
+  s.on_mark(MarkKind::InletStart, 0xA0, Priority::Low);
+  const Granularity& g = s.granularity();
+  EXPECT_EQ(g.quanta, 3u);
+  EXPECT_EQ(g.threads, 3u);
+  EXPECT_EQ(g.inlets, 3u);
+  EXPECT_DOUBLE_EQ(g.tpq(), 1.0);
+}
+
+TEST(StatsSink, AmHighPriorityInletsDoNotBreakQuanta) {
+  StatsSink s(rt::BackendKind::ActiveMessages, nullptr);
+  s.on_mark(MarkKind::Activate, 0xA0, Priority::Low);
+  s.on_mark(MarkKind::ThreadStart, 0xA0, Priority::Low);
+  // A high-priority inlet for a DIFFERENT frame interrupts...
+  s.on_mark(MarkKind::InletStart, 0xB0, Priority::High);
+  // ...but the quantum continues when the thread stream resumes.
+  s.on_mark(MarkKind::ThreadStart, 0xA0, Priority::Low);
+  s.on_mark(MarkKind::ThreadStart, 0xA0, Priority::Low);
+  const Granularity& g = s.granularity();
+  EXPECT_EQ(g.quanta, 1u);
+  EXPECT_EQ(g.threads, 3u);
+  EXPECT_EQ(g.activations, 1u);
+  EXPECT_DOUBLE_EQ(g.tpq(), 3.0);
+}
+
+TEST(StatsSink, ConsecutiveSameFrameActivationsShareAQuantum) {
+  // §3.2: "this can involve emptying the LCV multiple times if subsequent
+  // messages are destined for the same frame."
+  StatsSink s(rt::BackendKind::ActiveMessages, nullptr);
+  s.on_mark(MarkKind::Activate, 0xA0, Priority::Low);
+  s.on_mark(MarkKind::ThreadStart, 0xA0, Priority::Low);
+  s.on_mark(MarkKind::Activate, 0xA0, Priority::Low);  // re-activated
+  s.on_mark(MarkKind::ThreadStart, 0xA0, Priority::Low);
+  s.on_mark(MarkKind::Activate, 0xB0, Priority::Low);  // frame switch
+  s.on_mark(MarkKind::ThreadStart, 0xB0, Priority::Low);
+  const Granularity& g = s.granularity();
+  EXPECT_EQ(g.quanta, 2u);
+  EXPECT_EQ(g.activations, 3u);
+}
+
+TEST(StatsSink, InstructionAttributionFollowsContext) {
+  StatsSink s(rt::BackendKind::MessageDriven, nullptr);
+  s.on_mark(MarkKind::ThreadStart, 0xA0, Priority::Low);
+  s.on_fetch(mem::kUserCodeBase, Priority::Low);
+  s.on_fetch(mem::kUserCodeBase + 4, Priority::Low);
+  s.on_mark(MarkKind::SysStart, 0, Priority::Low);
+  s.on_fetch(mem::kSysCodeBase, Priority::Low);
+  s.on_mark(MarkKind::SysStart, 0, Priority::High);
+  s.on_fetch(mem::kSysCodeBase + 4, Priority::High);
+  const Granularity& g = s.granularity();
+  EXPECT_EQ(g.thread_instrs, 2u);
+  EXPECT_EQ(g.sched_instrs, 1u);
+  EXPECT_EQ(g.handler_instrs, 1u);
+  EXPECT_EQ(g.quantum_instrs, 2u);
+  EXPECT_DOUBLE_EQ(g.ipt(), 2.0);
+}
+
+TEST(StatsSink, FpCallsCountWithoutSwitchingContext) {
+  StatsSink s(rt::BackendKind::MessageDriven, nullptr);
+  s.on_mark(MarkKind::ThreadStart, 0xA0, Priority::Low);
+  s.on_mark(MarkKind::FpCall, 0, Priority::Low);
+  s.on_fetch(mem::kSysCodeBase, Priority::Low);  // inside the FP library
+  const Granularity& g = s.granularity();
+  EXPECT_EQ(g.fp_calls, 1u);
+  EXPECT_EQ(g.thread_instrs, 1u);  // attributed to the calling thread
+}
+
+TEST(StatsSink, ForwardsToCacheBank) {
+  cache::CacheBank bank({cache::CacheConfig{1024, 64, 1}});
+  StatsSink s(rt::BackendKind::MessageDriven, &bank);
+  s.on_fetch(mem::kSysCodeBase, Priority::Low);
+  s.on_read(mem::kUserDataBase, Priority::Low);
+  s.on_write(mem::kUserDataBase + 64, Priority::Low);
+  EXPECT_EQ(bank.at(0).icache.stats().accesses, 1u);
+  EXPECT_EQ(bank.at(0).dcache.stats().accesses, 2u);
+}
+
+TEST(Granularity, RatiosHandleZeroDenominators) {
+  Granularity g;
+  EXPECT_DOUBLE_EQ(g.tpq(), 0.0);
+  EXPECT_DOUBLE_EQ(g.ipt(), 0.0);
+  EXPECT_DOUBLE_EQ(g.ipq(), 0.0);
+}
+
+}  // namespace
+}  // namespace jtam::metrics

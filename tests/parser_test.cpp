@@ -1,0 +1,196 @@
+// Tests for the textual TAM assembly front-end.
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+#include "support/error.h"
+#include "tam/parser.h"
+
+namespace jtam::tam {
+namespace {
+
+const char* kSumSq = R"(
+# sum of squares 1..n, one codeblock
+program sumsq
+
+codeblock main slots(n i sum)
+  inlet start(x) posts init
+    store n = x
+
+  thread init
+    one = const 1
+    store i = one
+    zero = const 0
+    store sum = zero
+    fork loop
+
+  thread loop
+    a = load i
+    b = load n
+    c = le a b
+    cfork c ? body : done
+
+  thread body
+    a = load i
+    sq = mul a a
+    s = load sum
+    s2 = add s sq
+    store sum = s2
+    a1 = addi a 1
+    store i = a1
+    fork loop
+
+  thread done
+    r = load sum
+    halt r
+    stop
+)";
+
+TEST(Parser, ParsesAndValidates) {
+  Program p = parse_program(kSumSq);
+  EXPECT_EQ(p.name, "sumsq");
+  ASSERT_EQ(p.codeblocks.size(), 1u);
+  EXPECT_EQ(p.codeblocks[0].threads.size(), 4u);
+  EXPECT_EQ(p.codeblocks[0].inlets.size(), 1u);
+  EXPECT_EQ(p.codeblocks[0].num_data_slots, 3);
+  EXPECT_EQ(p.codeblocks[0].inlets[0].post, 0);  // init is thread 0
+}
+
+TEST(Parser, ParsedProgramRunsCorrectlyUnderAllBackends) {
+  programs::Workload w;
+  w.name = "sumsq";
+  w.program = parse_program(kSumSq);
+  w.setup = [](programs::SetupCtx& ctx) {
+    mem::Addr frame = ctx.alloc_frame(0);
+    ctx.send_to_inlet(0, 0, frame, {20});
+  };
+  w.check = [](const programs::CheckCtx& ctx) -> std::string {
+    return ctx.halt_value == 2870u ? "" : "bad sum";  // sum i^2, i=1..20
+  };
+  for (rt::BackendKind b : {rt::BackendKind::MessageDriven,
+                            rt::BackendKind::ActiveMessages,
+                            rt::BackendKind::Hybrid}) {
+    driver::RunOptions opts;
+    opts.backend = b;
+    opts.with_cache = false;
+    driver::RunResult r = driver::run_workload(w, opts);
+    EXPECT_TRUE(r.ok()) << rt::backend_name(b) << ": " << r.check_error;
+  }
+}
+
+TEST(Parser, EntryCountsAndMultiCodeblock) {
+  Program p = parse_program(R"(
+program two
+codeblock a slots(x)
+  inlet go(v) posts t
+    store x = v
+  thread t entry 2
+    y = load x
+    halt y
+    stop
+codeblock b slots(z)
+  inlet go2(v)
+    store z = v
+  thread u
+    w = load z
+    f = frame
+    ia = inlet_addr go2
+    senddyn ia f (w)
+    stop
+)");
+  ASSERT_EQ(p.codeblocks.size(), 2u);
+  EXPECT_EQ(p.codeblocks[0].threads[0].entry_count, 2);
+  EXPECT_FALSE(p.codeblocks[1].inlets[0].post.has_value());
+}
+
+TEST(Parser, CrossCodeblockSendAndFalloc) {
+  Program p = parse_program(R"(
+program xc
+codeblock main slots(cf)
+  inlet fr(f) posts snd
+    store cf = f
+  thread go
+    falloc child -> fr
+    stop
+  thread snd
+    f = load cf
+    one = const 1
+    send child.boot f (one)
+    stop
+codeblock child slots(v)
+  inlet boot(x) posts fin
+    store v = x
+  thread fin
+    r = load v
+    halt r
+    release
+    stop
+)");
+  EXPECT_EQ(p.codeblocks.size(), 2u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_program("program p\ncodeblock c slots(a)\n  thread t\n    x = bogus 1 2\n    stop\n");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsCommonMistakes) {
+  // unknown slot
+  EXPECT_THROW(parse_program("program p\ncodeblock c slots(a)\n  thread t\n"
+                             "    x = load nope\n    stop\n"),
+               Error);
+  // duplicate SSA name
+  EXPECT_THROW(parse_program("program p\ncodeblock c slots(a)\n  thread t\n"
+                             "    x = const 1\n    x = const 2\n    stop\n"),
+               Error);
+  // missing terminator
+  EXPECT_THROW(parse_program("program p\ncodeblock c slots(a)\n  thread t\n"
+                             "    x = const 1\n"),
+               Error);
+  // statement after terminator
+  EXPECT_THROW(parse_program("program p\ncodeblock c slots(a)\n  thread t\n"
+                             "    stop\n    x = const 1\n"),
+               Error);
+  // unknown fork target
+  EXPECT_THROW(parse_program("program p\ncodeblock c slots(a)\n  thread t\n"
+                             "    fork nowhere\n"),
+               Error);
+  // missing program header
+  EXPECT_THROW(parse_program("codeblock c slots(a)\n  thread t\n    stop\n"),
+               Error);
+  // use before definition
+  EXPECT_THROW(parse_program("program p\ncodeblock c slots(a)\n  thread t\n"
+                             "    halt ghost\n    stop\n"),
+               Error);
+}
+
+TEST(Parser, ImmediateFormsAndFloats) {
+  Program p = parse_program(R"(
+program imm
+codeblock c slots(a)
+  thread t
+    x = const 0x10
+    y = shli x 2
+    z = constf 1.5
+    w = fadd z z
+    q = select y w z
+    store a = q
+    stop
+)");
+  // 0x10 parsed as hex; ops landed in the body.
+  EXPECT_EQ(p.codeblocks[0].threads[0].body.size(), 6u);
+  EXPECT_EQ(p.codeblocks[0].threads[0].body[0].imm, 16);
+}
+
+TEST(Parser, MissingFileIsReported) {
+  EXPECT_THROW(parse_program_file("/nonexistent/prog.tam"), Error);
+}
+
+}  // namespace
+}  // namespace jtam::tam

@@ -1,0 +1,193 @@
+// Parameterized property tests over the full workload x back-end x
+// option matrix, plus paper-shape invariants (Table 2 orderings, §3.1
+// count relations).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+#include "support/error.h"
+
+namespace jtam {
+namespace {
+
+programs::Workload workload_by_name(const std::string& name) {
+  // Small sizes: these run for every parameter combination.
+  if (name == "mmt") return programs::make_mmt(6);
+  if (name == "qs") return programs::make_quicksort(24);
+  if (name == "dtw") return programs::make_dtw(7);
+  if (name == "paraffins") return programs::make_paraffins(8);
+  if (name == "wavefront") return programs::make_wavefront(8, 2);
+  if (name == "ss") return programs::make_selection_sort(16);
+  throw Error("unknown workload " + name);
+}
+
+// --- every workload x backend x md-opt x enabled combination is correct ---
+
+using Combo = std::tuple<const char*, rt::BackendKind, bool, bool>;
+
+class WorkloadMatrix : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(WorkloadMatrix, OraclePasses) {
+  auto [name, backend, opt, enabled] = GetParam();
+  driver::RunOptions opts;
+  opts.backend = backend;
+  opts.md = opt ? tamc::MdOptions::all() : tamc::MdOptions::none();
+  opts.am_enabled_variant = enabled;
+  opts.with_cache = false;
+  driver::RunResult r = driver::run_workload(workload_by_name(name), opts);
+  EXPECT_TRUE(r.ok()) << name << ": " << r.check_error;
+  EXPECT_GT(r.gran.threads, 0u);
+  EXPECT_GT(r.gran.quanta, 0u);
+  EXPECT_GT(r.instructions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadMatrix,
+    ::testing::Combine(
+        ::testing::Values("mmt", "qs", "dtw", "paraffins", "wavefront",
+                          "ss"),
+        ::testing::Values(rt::BackendKind::MessageDriven,
+                          rt::BackendKind::ActiveMessages),
+        ::testing::Bool(),   // §2.3 MD optimizations
+        ::testing::Bool()),  // §2.4 enabled AM variant
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      // NOTE: no structured bindings here — the preprocessor would split
+      // the macro argument at the commas inside the bracket list.
+      std::string s = std::get<0>(info.param);
+      s += std::get<1>(info.param) == rt::BackendKind::MessageDriven
+               ? "_MD"
+               : "_AM";
+      if (std::get<2>(info.param)) s += "_opt";
+      if (std::get<3>(info.param)) s += "_enabled";
+      return s;
+    });
+
+// --- paper-shape invariants (run once at medium scale, shared) -------------
+
+class PaperShape : public ::testing::Test {
+ protected:
+  static const std::map<std::string, driver::BackendPair>& runs() {
+    static const std::map<std::string, driver::BackendPair> r = [] {
+      std::map<std::string, driver::BackendPair> out;
+      programs::Scale s{16, 80, 12, 11, 16, 3, 60};  // medium test scale
+      driver::RunOptions opts;
+      for (const programs::Workload& w : programs::paper_workloads(s)) {
+        out.emplace(w.name, driver::run_both(w, opts));
+      }
+      return out;
+    }();
+    return r;
+  }
+};
+
+TEST_F(PaperShape, EveryRunPassesItsOracle) {
+  for (const auto& [name, p] : runs()) {
+    EXPECT_TRUE(p.md.ok()) << name << " MD: " << p.md.check_error;
+    EXPECT_TRUE(p.am.ok()) << name << " AM: " << p.am.check_error;
+  }
+}
+
+TEST_F(PaperShape, MdExecutesFewerInstructionsEverywhere) {
+  // §3.1: the MD implementation eliminates post-library calls, frame-queue
+  // management and CV pops; it must run fewer instructions per program.
+  for (const auto& [name, p] : runs()) {
+    EXPECT_LT(p.md.instructions, p.am.instructions) << name;
+  }
+}
+
+TEST_F(PaperShape, MdReducesReadsWritesAndFetches) {
+  for (const auto& [name, p] : runs()) {
+    EXPECT_LT(p.md.counts.total_reads(), p.am.counts.total_reads()) << name;
+    EXPECT_LT(p.md.counts.total_writes(), p.am.counts.total_writes())
+        << name;
+    EXPECT_LT(p.md.counts.total_fetches(), p.am.counts.total_fetches())
+        << name;
+  }
+}
+
+TEST_F(PaperShape, AmQuantaAreAtLeastAsCoarse) {
+  // Table 2: "the AM implementation has higher numbers of instructions and
+  // threads per quantum, almost without exception."
+  for (const auto& [name, p] : runs()) {
+    EXPECT_GE(p.am.gran.tpq(), p.md.gran.tpq() * 0.95) << name;
+    EXPECT_GT(p.am.gran.ipt(), p.md.gran.ipt()) << name;
+  }
+}
+
+TEST_F(PaperShape, SelectionSortIsTheCoarsestProgram) {
+  const auto& r = runs();
+  const double ss_tpq = r.at("ss").md.gran.tpq();
+  for (const auto& [name, p] : r) {
+    if (name == "ss") continue;
+    EXPECT_GT(ss_tpq, 10.0 * p.md.gran.tpq()) << name;
+  }
+}
+
+TEST_F(PaperShape, WavefrontIsSecondCoarsest) {
+  const auto& r = runs();
+  const double wf = r.at("wavefront").md.gran.tpq();
+  for (const char* fine : {"mmt", "qs", "dtw", "paraffins"}) {
+    EXPECT_GT(wf, r.at(fine).md.gran.tpq()) << fine;
+  }
+}
+
+TEST_F(PaperShape, CycleRatioRisesWithMissPenalty) {
+  // §3.3: higher miss penalties favour the AM implementation, so the
+  // MD/AM ratio must be non-decreasing in the penalty at medium caches.
+  for (const auto& [name, p] : runs()) {
+    const double r12 = p.ratio(8192, 4, 12);
+    const double r48 = p.ratio(8192, 4, 48);
+    EXPECT_GE(r48, r12 * 0.999) << name;
+  }
+}
+
+TEST_F(PaperShape, SelectionSortHasTheLowestCycleRatio) {
+  // Table 2's cycle-ratio column is ordered by TPQ; selection sort sits at
+  // the bottom at every penalty.
+  const auto& r = runs();
+  for (std::uint32_t pen : {12u, 24u, 48u}) {
+    const double ss = r.at("ss").ratio(8192, 4, pen);
+    for (const auto& [name, p] : r) {
+      if (name == "ss") continue;
+      EXPECT_LT(ss, p.ratio(8192, 4, pen)) << name << " pen=" << pen;
+    }
+  }
+}
+
+TEST_F(PaperShape, QueuesStayWithinTheHardwareLimit) {
+  // §2.3: "we do not address [overflow], only running programs that fit in
+  // the message queue.  We verified that substantial problems could be
+  // solved without using all the memory available for message queues."
+  for (const auto& [name, p] : runs()) {
+    EXPECT_LT(p.md.queue_high_water[0], mem::kQueueBytes) << name;
+    EXPECT_LT(p.md.queue_high_water[1], mem::kQueueBytes) << name;
+    EXPECT_LT(p.am.queue_high_water[1], mem::kQueueBytes) << name;
+  }
+}
+
+TEST_F(PaperShape, MdQueuesRunDeeperThanAm) {
+  // The MD implementation uses the queue as the task queue, so its
+  // low-priority queue occupancy dwarfs AM's ("greater likelihood of
+  // overflowing", §2.3 consequence 1).
+  for (const auto& [name, p] : runs()) {
+    EXPECT_GT(p.md.queue_high_water[0], p.am.queue_high_water[0]) << name;
+  }
+}
+
+TEST_F(PaperShape, InstructionCacheFavoursMdInSmallDirectMappedCaches) {
+  // §3.3.2: AM's lesser control locality hurts its instruction-cache
+  // performance; in small direct-mapped caches MD must take fewer I-misses.
+  for (const auto& [name, p] : runs()) {
+    const auto& md = p.md.config(1024, 1);
+    const auto& am = p.am.config(1024, 1);
+    EXPECT_LT(md.icache.misses, am.icache.misses) << name;
+  }
+}
+
+}  // namespace
+}  // namespace jtam

@@ -1,0 +1,194 @@
+// Unit tests for the register allocator and its spiller.
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "tam/ir.h"
+#include "tamc/regalloc.h"
+
+namespace jtam::tamc {
+namespace {
+
+using tam::BinOp;
+using tam::VOp;
+using tam::VOpKind;
+using tam::VReg;
+
+VOp konst(VReg dst, std::int32_t v) {
+  VOp op;
+  op.kind = VOpKind::Const;
+  op.dst = dst;
+  op.imm = v;
+  return op;
+}
+
+VOp bin(BinOp bop, VReg dst, VReg a, VReg b) {
+  VOp op;
+  op.kind = VOpKind::Bin;
+  op.bop = bop;
+  op.dst = dst;
+  op.a = a;
+  op.b = b;
+  return op;
+}
+
+VOp fstore(std::int32_t slot, VReg a) {
+  VOp op;
+  op.kind = VOpKind::FrameStore;
+  op.imm = slot;
+  op.a = a;
+  return op;
+}
+
+TEST(RegAlloc, DisjointRangesShareRegisters) {
+  // v0 dies feeding v1; v2 can reuse v0's register.
+  std::vector<VOp> body{konst(0, 1), bin(BinOp::Add, 1, 0, 0),
+                        konst(2, 2), bin(BinOp::Add, 3, 1, 2),
+                        fstore(0, 3)};
+  AllocatedBody ab = allocate_registers(body, -1);
+  EXPECT_EQ(ab.reg_of.size(), 4u);
+  for (mdp::Reg r : ab.reg_of) {
+    EXPECT_LE(static_cast<int>(r), 4);  // only R0..R4 are allocatable
+  }
+}
+
+TEST(RegAlloc, OverlappingRangesGetDistinctRegisters) {
+  std::vector<VOp> body{konst(0, 1), konst(1, 2), konst(2, 3),
+                        bin(BinOp::Add, 3, 0, 1),
+                        bin(BinOp::Add, 4, 3, 2),
+                        bin(BinOp::Add, 5, 4, 0),  // v0 still live here
+                        fstore(0, 5)};
+  AllocatedBody ab = allocate_registers(body, -1);
+  EXPECT_NE(ab.reg_of[0], ab.reg_of[1]);
+  EXPECT_NE(ab.reg_of[0], ab.reg_of[2]);
+  EXPECT_NE(ab.reg_of[1], ab.reg_of[2]);
+}
+
+TEST(RegAlloc, ValuesCrossingFpCallsAvoidVolatileRegisters) {
+  // v0 lives across the FAdd (used after it): must land in R2-R4.
+  std::vector<VOp> body{konst(0, 5),
+                        konst(1, 1), konst(2, 2),
+                        bin(BinOp::FAdd, 3, 1, 2),
+                        bin(BinOp::Add, 4, 3, 0),
+                        fstore(0, 4)};
+  AllocatedBody ab = allocate_registers(body, -1);
+  EXPECT_GE(static_cast<int>(ab.reg_of[0]), 2);
+}
+
+TEST(RegAlloc, SixLiveValuesOverflowWithoutSpilling) {
+  std::vector<VOp> body;
+  for (VReg v = 0; v < 6; ++v) body.push_back(konst(v, v));
+  for (VReg v = 0; v < 6; ++v) {
+    VOp use = fstore(0, v);
+    body.push_back(use);
+  }
+  EXPECT_THROW(allocate_registers(body, -1), Error);
+}
+
+TEST(Spiller, SixLiveValuesSpillCleanly) {
+  std::vector<VOp> body;
+  for (VReg v = 0; v < 6; ++v) body.push_back(konst(v, 100 + v));
+  for (VReg v = 0; v < 6; ++v) body.push_back(fstore(v % 3, v));
+  SpilledBody sb = allocate_with_spilling(body, -1);
+  EXPECT_GE(sb.num_spill_slots, 1);
+  // The rewritten body must contain matching store/load pairs.
+  int stores = 0, loads = 0;
+  for (const VOp& op : sb.ops) {
+    if (op.kind == VOpKind::SpillStore) ++stores;
+    if (op.kind == VOpKind::SpillLoad) ++loads;
+  }
+  EXPECT_GE(stores, 1);
+  EXPECT_GE(loads, 1);
+  // And the final allocation must be valid (dense, within R0-R4).
+  for (mdp::Reg r : sb.alloc.reg_of) {
+    EXPECT_LE(static_cast<int>(r), 4);
+  }
+}
+
+TEST(Spiller, ManyValuesAcrossFpCall) {
+  // Five values live across an FP call: only three call-safe registers
+  // exist, so at least two must spill.
+  std::vector<VOp> body;
+  for (VReg v = 0; v < 5; ++v) body.push_back(konst(v, v));
+  body.push_back(konst(5, 50));
+  body.push_back(konst(6, 60));
+  body.push_back(bin(BinOp::FMul, 7, 5, 6));
+  for (VReg v = 0; v < 5; ++v) body.push_back(fstore(0, v));
+  body.push_back(fstore(1, 7));
+  SpilledBody sb = allocate_with_spilling(body, -1);
+  EXPECT_GE(sb.num_spill_slots, 2);
+}
+
+TEST(Spiller, TerminatorConditionSurvivesSpilling) {
+  // Make the condition vreg the longest-lived value so it is the spill
+  // victim; the rewritten term_cond must reference the reloaded vreg.
+  std::vector<VOp> body;
+  body.push_back(konst(0, 1));  // the condition, live to the end
+  for (VReg v = 1; v < 7; ++v) body.push_back(konst(v, v));
+  for (VReg v = 1; v < 7; ++v) body.push_back(fstore(0, v));
+  SpilledBody sb = allocate_with_spilling(body, /*term_cond=*/0);
+  EXPECT_GE(sb.term_cond, 0);
+  // The final op defining term_cond must be a reload or the original def.
+  bool defined = false;
+  for (const VOp& op : sb.ops) {
+    if (op.dst == sb.term_cond) defined = true;
+  }
+  EXPECT_TRUE(defined);
+}
+
+TEST(Spiller, NoSpillNeededLeavesBodyUntouched) {
+  std::vector<VOp> body{konst(0, 1), fstore(0, 0)};
+  SpilledBody sb = allocate_with_spilling(body, -1);
+  EXPECT_EQ(sb.num_spill_slots, 0);
+  EXPECT_EQ(sb.ops.size(), 2u);
+}
+
+TEST(Spiller, BoundaryTracksInsertions) {
+  // Boundary sits after 6 defs; spill stores inserted before it must
+  // shift it.
+  std::vector<VOp> body;
+  for (VReg v = 0; v < 6; ++v) body.push_back(konst(v, v));
+  for (VReg v = 0; v < 6; ++v) body.push_back(fstore(0, v));
+  SpilledBody sb = allocate_with_spilling(body, -1, /*boundary=*/6);
+  EXPECT_GE(sb.boundary, 6);
+  // Everything before the boundary must still be the defining section:
+  // count Const defs before boundary == 6.
+  int consts_before = 0;
+  for (int i = 0; i < sb.boundary; ++i) {
+    if (sb.ops[static_cast<std::size_t>(i)].kind == VOpKind::Const) {
+      ++consts_before;
+    }
+  }
+  EXPECT_EQ(consts_before, 6);
+}
+
+TEST(RegAlloc, CollectUsesCoversEveryKind) {
+  std::vector<VReg> uses;
+  VOp op;
+  op.kind = VOpKind::SendDyn;
+  op.a = 1;
+  op.b = 2;
+  op.args = {3, 4};
+  collect_uses(op, uses);
+  EXPECT_EQ(uses.size(), 4u);
+  uses.clear();
+  op = VOp{};
+  op.kind = VOpKind::Select;
+  op.c = 0;
+  op.a = 1;
+  op.b = 2;
+  collect_uses(op, uses);
+  EXPECT_EQ(uses.size(), 3u);
+}
+
+TEST(RegAlloc, FpCallDetection) {
+  VOp op;
+  op.kind = VOpKind::Bin;
+  op.bop = BinOp::FAdd;
+  EXPECT_TRUE(is_fp_call(op));
+  op.bop = BinOp::Add;
+  EXPECT_FALSE(is_fp_call(op));
+}
+
+}  // namespace
+}  // namespace jtam::tamc

@@ -1,0 +1,184 @@
+// Integration tests of the compiled runtime: scheduling semantics that
+// span compiler + kernel + machine (Figure 1 behaviour, atomicity, frame
+// recycling, halt truncation).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+
+namespace jtam {
+namespace {
+
+/// Records the order of scheduling marks.
+class OrderSink final : public mdp::TraceSink {
+ public:
+  struct Event {
+    mdp::MarkKind kind;
+    std::uint32_t frame;
+    mdp::Priority level;
+  };
+  void on_fetch(mem::Addr, mdp::Priority) override {}
+  void on_read(mem::Addr, mdp::Priority) override {}
+  void on_write(mem::Addr, mdp::Priority) override {}
+  void on_mark(mdp::MarkKind k, std::uint32_t aux,
+               mdp::Priority lvl) override {
+    if (k != mdp::MarkKind::FpCall) events.push_back({k, aux, lvl});
+  }
+  std::vector<Event> events;
+};
+
+OrderSink::Event first_of(const std::vector<OrderSink::Event>& ev,
+                          mdp::MarkKind k) {
+  for (const auto& e : ev) {
+    if (e.kind == k) return e;
+  }
+  ADD_FAILURE() << "no such event";
+  return {};
+}
+
+TEST(RuntimeIntegration, AmInletsRunAtHighPriorityMdAtLow) {
+  programs::Workload w = programs::make_selection_sort(6);
+  for (rt::BackendKind backend : {rt::BackendKind::ActiveMessages,
+                                  rt::BackendKind::MessageDriven}) {
+    driver::RunOptions opts;
+    opts.backend = backend;
+    opts.with_cache = false;
+    driver::PreparedRun prep = driver::prepare_run(w, opts);
+    OrderSink sink;
+    prep.machine->set_sink(&sink);
+    ASSERT_EQ(prep.machine->run(), mdp::RunStatus::Halted);
+    const auto inlet = first_of(sink.events, mdp::MarkKind::InletStart);
+    if (backend == rt::BackendKind::ActiveMessages) {
+      EXPECT_EQ(inlet.level, mdp::Priority::High);
+    } else {
+      EXPECT_EQ(inlet.level, mdp::Priority::Low);
+    }
+  }
+}
+
+TEST(RuntimeIntegration, AmActivatesFramesMdNever) {
+  programs::Workload w = programs::make_mmt(3);
+  for (rt::BackendKind backend : {rt::BackendKind::ActiveMessages,
+                                  rt::BackendKind::MessageDriven}) {
+    driver::RunOptions opts;
+    opts.backend = backend;
+    opts.with_cache = false;
+    driver::RunResult r = driver::run_workload(w, opts);
+    ASSERT_TRUE(r.ok()) << r.check_error;
+    if (backend == rt::BackendKind::ActiveMessages) {
+      EXPECT_GT(r.gran.activations, 0u);
+    } else {
+      EXPECT_EQ(r.gran.activations, 0u);
+    }
+  }
+}
+
+TEST(RuntimeIntegration, MdInletsWaitForTheLcvToDrain) {
+  // Figure 1(b): under MD "none of the inlets would be executed until the
+  // LCV is emptied" — an inlet never appears at low priority between two
+  // threads of a still-running LCV chain.  Observable invariant: a low-
+  // priority InletStart is never immediately followed by a ThreadStart of
+  // a *different* frame without an intervening system event (the stop
+  // stub), because control flows inlet -> own thread.
+  programs::Workload w = programs::make_mmt(3);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  opts.with_cache = false;
+  driver::PreparedRun prep = driver::prepare_run(w, opts);
+  OrderSink sink;
+  prep.machine->set_sink(&sink);
+  ASSERT_EQ(prep.machine->run(), mdp::RunStatus::Halted);
+  for (std::size_t i = 0; i + 1 < sink.events.size(); ++i) {
+    const auto& a = sink.events[i];
+    const auto& b = sink.events[i + 1];
+    if (a.kind == mdp::MarkKind::InletStart &&
+        a.level == mdp::Priority::Low &&
+        b.kind == mdp::MarkKind::ThreadStart) {
+      EXPECT_EQ(a.frame, b.frame)
+          << "an MD inlet handed control to a foreign thread";
+    }
+  }
+}
+
+TEST(RuntimeIntegration, FrameRecyclingKeepsHeapBounded) {
+  // Quicksort releases every activation frame; the free lists must cap
+  // heap growth well below frames-allocated x frame-size.
+  programs::Workload w = programs::make_quicksort(60);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  opts.with_cache = false;
+  driver::PreparedRun prep = driver::prepare_run(w, opts);
+  const std::uint32_t heap_before =
+      prep.machine->load_word(rt::kGlHeapBump);
+  ASSERT_EQ(prep.machine->run(), mdp::RunStatus::Halted);
+  const std::uint32_t heap_after = prep.machine->load_word(rt::kGlHeapBump);
+  // ~120 activations of ~30-word frames would be ~14 KB without reuse;
+  // with recycling the live set is the recursion depth, far smaller.
+  EXPECT_LT(heap_after - heap_before, 10000u);
+}
+
+TEST(RuntimeIntegration, QueueHighWaterTracksBackendStructure) {
+  programs::Workload w = programs::make_dtw(8);
+  driver::RunOptions opts;
+  opts.with_cache = false;
+  driver::BackendPair p = driver::run_both(w, opts);
+  ASSERT_TRUE(p.md.ok() && p.am.ok());
+  // MD parks work in the low queue; AM's low queue holds only scheduler
+  // wakeups (a single 4-byte message at a time).
+  EXPECT_GT(p.md.queue_high_water[0], 64u);
+  EXPECT_LE(p.am.queue_high_water[0], 8u);
+}
+
+TEST(RuntimeIntegration, LargerProblemsScaleInstructionsSuperlinearly) {
+  driver::RunOptions opts;
+  opts.with_cache = false;
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::RunResult small =
+      driver::run_workload(programs::make_selection_sort(20), opts);
+  driver::RunResult large =
+      driver::run_workload(programs::make_selection_sort(40), opts);
+  ASSERT_TRUE(small.ok() && large.ok());
+  // Selection sort is O(n^2): 2x elements -> ~4x instructions.
+  const double growth = static_cast<double>(large.instructions) /
+                        static_cast<double>(small.instructions);
+  EXPECT_GT(growth, 3.0);
+  EXPECT_LT(growth, 5.0);
+}
+
+TEST(RuntimeIntegration, CustomQueueSizeIsRespected) {
+  programs::Workload w = programs::make_selection_sort(12);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  opts.with_cache = false;
+  opts.queue_bytes = 512;  // still enough for this tiny run
+  driver::RunResult r = driver::run_workload(w, opts);
+  EXPECT_TRUE(r.ok()) << r.check_error;
+  EXPECT_LE(r.queue_high_water[0], 512u);
+}
+
+}  // namespace
+}  // namespace jtam
+
+namespace jtam {
+namespace {
+
+TEST(RuntimeIntegration, RcvPostsAreSetSemantics) {
+  // Regression: under the enabled AM variant a long row quantum lets many
+  // completions post main's collector thread while main is inactive; the
+  // ready list must merge duplicate enables instead of overflowing into
+  // the frame's data slots (which once turned a float partial sum into a
+  // "thread address").
+  programs::Workload w = programs::make_mmt(18);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::ActiveMessages;
+  opts.am_enabled_variant = true;
+  opts.with_cache = false;
+  driver::RunResult r = driver::run_workload(w, opts);
+  EXPECT_TRUE(r.ok()) << r.check_error;
+}
+
+}  // namespace
+}  // namespace jtam

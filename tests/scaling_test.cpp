@@ -1,0 +1,74 @@
+// Parameterized scaling sweeps: every workload must stay correct across a
+// range of problem sizes under both pure back-ends, including degenerate
+// and odd/even edge sizes.
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+
+namespace jtam {
+namespace {
+
+void run_ok(const programs::Workload& w, rt::BackendKind b) {
+  driver::RunOptions opts;
+  opts.backend = b;
+  opts.with_cache = false;
+  driver::RunResult r = driver::run_workload(w, opts);
+  EXPECT_TRUE(r.ok()) << w.name << "/" << rt::backend_name(b) << ": "
+                      << r.check_error;
+}
+
+class SortScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortScaling, QuicksortSortsEverySize) {
+  for (std::uint32_t seed : {1u, 77u, 0xFFFFFFFFu}) {
+    programs::Workload w = programs::make_quicksort(GetParam(), seed);
+    run_ok(w, rt::BackendKind::MessageDriven);
+    run_ok(w, rt::BackendKind::ActiveMessages);
+  }
+}
+
+TEST_P(SortScaling, SelectionSortSortsEverySize) {
+  if (GetParam() < 2) GTEST_SKIP() << "selection sort needs n >= 2";
+  programs::Workload w = programs::make_selection_sort(GetParam());
+  run_ok(w, rt::BackendKind::MessageDriven);
+  run_ok(w, rt::BackendKind::ActiveMessages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortScaling,
+                         ::testing::Values(1, 2, 3, 5, 8, 17, 33, 64));
+
+class GridScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridScaling, MmtAndDtwAndWavefront) {
+  run_ok(programs::make_mmt(GetParam()), rt::BackendKind::MessageDriven);
+  run_ok(programs::make_mmt(GetParam()), rt::BackendKind::ActiveMessages);
+  run_ok(programs::make_dtw(GetParam()), rt::BackendKind::MessageDriven);
+  run_ok(programs::make_dtw(GetParam()), rt::BackendKind::ActiveMessages);
+  run_ok(programs::make_wavefront(GetParam(), 2),
+         rt::BackendKind::MessageDriven);
+  run_ok(programs::make_wavefront(GetParam(), 2),
+         rt::BackendKind::ActiveMessages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridScaling, ::testing::Values(2, 3, 5, 9));
+
+class ParaffinScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParaffinScaling, CountsMatchOracleAtEverySize) {
+  programs::Workload w = programs::make_paraffins(GetParam());
+  run_ok(w, rt::BackendKind::MessageDriven);
+  run_ok(w, rt::BackendKind::ActiveMessages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParaffinScaling,
+                         ::testing::Values(1, 2, 3, 4, 7, 12));
+
+TEST(Scaling, WavefrontManySteps) {
+  run_ok(programs::make_wavefront(6, 7), rt::BackendKind::MessageDriven);
+  run_ok(programs::make_wavefront(6, 7), rt::BackendKind::ActiveMessages);
+}
+
+}  // namespace
+}  // namespace jtam

@@ -1,0 +1,33 @@
+// End-to-end smoke test: selection sort through the full stack (TAM IR ->
+// compiler -> MDP machine -> oracle) under both back-ends.
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+
+namespace jtam {
+namespace {
+
+TEST(Smoke, SelectionSortRunsUnderBothBackends) {
+  programs::Workload w = programs::make_selection_sort(12);
+  driver::RunOptions opts;
+  opts.with_cache = false;
+
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::RunResult md = driver::run_workload(w, opts);
+  EXPECT_TRUE(md.ok()) << md.check_error;
+
+  opts.backend = rt::BackendKind::ActiveMessages;
+  driver::RunResult am = driver::run_workload(w, opts);
+  EXPECT_TRUE(am.ok()) << am.check_error;
+
+  // Selection sort is one frame: a handful of quanta, many threads each.
+  EXPECT_GT(md.gran.threads, 100u);
+  EXPECT_GT(am.gran.threads, 100u);
+  EXPECT_GT(md.gran.tpq(), 10.0);
+  EXPECT_GT(am.gran.tpq(), 10.0);
+}
+
+}  // namespace
+}  // namespace jtam

@@ -1,0 +1,119 @@
+// End-to-end workload tests: every program must halt, pass its oracle, and
+// produce identical results under both back-ends ("while both
+// implementations yield the same results, their dynamic behaviors differ",
+// §2.3).  Problem sizes here are small for test speed; the bench harness
+// runs the paper-scale defaults.
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+
+namespace jtam {
+namespace {
+
+void expect_both_ok(const programs::Workload& w) {
+  driver::RunOptions opts;
+  opts.with_cache = false;
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::RunResult md = driver::run_workload(w, opts);
+  EXPECT_TRUE(md.ok()) << w.name << " [MD] " << md.check_error;
+
+  opts.backend = rt::BackendKind::ActiveMessages;
+  driver::RunResult am = driver::run_workload(w, opts);
+  EXPECT_TRUE(am.ok()) << w.name << " [AM] " << am.check_error;
+
+  // Thread and inlet counts are schedule-independent dataflow quantities;
+  // they may differ only by the handful of in-flight completions that HALT
+  // truncates (the machine stops the instant the result is delivered).
+  auto close = [](std::uint64_t x, std::uint64_t y) {
+    const std::uint64_t hi = std::max(x, y);
+    const std::uint64_t lo = std::min(x, y);
+    return hi - lo <= 2 + hi / 50;
+  };
+  EXPECT_TRUE(close(md.gran.threads, am.gran.threads))
+      << w.name << " threads: MD " << md.gran.threads << " vs AM "
+      << am.gran.threads;
+  EXPECT_TRUE(close(md.gran.inlets, am.gran.inlets))
+      << w.name << " inlets: MD " << md.gran.inlets << " vs AM "
+      << am.gran.inlets;
+}
+
+TEST(Workloads, SelectionSort) {
+  expect_both_ok(programs::make_selection_sort(24));
+}
+
+TEST(Workloads, Mmt) { expect_both_ok(programs::make_mmt(6)); }
+
+TEST(Workloads, Wavefront) { expect_both_ok(programs::make_wavefront(8, 2)); }
+
+TEST(Workloads, Dtw) { expect_both_ok(programs::make_dtw(8)); }
+
+TEST(Workloads, QuicksortSmall) {
+  expect_both_ok(programs::make_quicksort(20));
+}
+
+TEST(Workloads, QuicksortDegenerate) {
+  expect_both_ok(programs::make_quicksort(1));
+  expect_both_ok(programs::make_quicksort(2));
+  expect_both_ok(programs::make_quicksort(3));
+}
+
+TEST(Workloads, MdOptimizationsPreserveResults) {
+  // §2.3 optimizations must not change program results.
+  programs::Workload w = programs::make_quicksort(16);
+  driver::RunOptions opts;
+  opts.with_cache = false;
+  opts.backend = rt::BackendKind::MessageDriven;
+  opts.md = tamc::MdOptions::none();
+  driver::RunResult plain = driver::run_workload(w, opts);
+  EXPECT_TRUE(plain.ok()) << plain.check_error;
+  opts.md = tamc::MdOptions::all();
+  driver::RunResult optd = driver::run_workload(w, opts);
+  EXPECT_TRUE(optd.ok()) << optd.check_error;
+  // The optimizations eliminate instructions, never add them.
+  EXPECT_LT(optd.instructions, plain.instructions);
+}
+
+TEST(Workloads, EnabledAmVariantPreservesResults) {
+  // §2.4: the enabled variant services local fetches sooner but computes
+  // the same thing.
+  programs::Workload w = programs::make_dtw(6);
+  driver::RunOptions opts;
+  opts.with_cache = false;
+  opts.backend = rt::BackendKind::ActiveMessages;
+  opts.am_enabled_variant = true;
+  driver::RunResult r = driver::run_workload(w, opts);
+  EXPECT_TRUE(r.ok()) << r.check_error;
+}
+
+}  // namespace
+}  // namespace jtam
+
+namespace jtam {
+namespace {
+
+TEST(Paraffins, OracleMatchesPublishedIsomerCounts) {
+  // OEIS A000602 / [AHN88]: number of alkane isomers C_n H_2n+2.
+  const std::int64_t known[] = {0, 1, 1, 1, 2, 3, 5, 9, 18, 35, 75, 159,
+                                355, 802};
+  std::vector<std::int64_t> p = programs::paraffins_oracle(13);
+  for (int m = 1; m <= 13; ++m) {
+    EXPECT_EQ(p[static_cast<std::size_t>(m)], known[m]) << "n=" << m;
+  }
+}
+
+TEST(Paraffins, RunsUnderBothBackends) {
+  driver::RunOptions opts;
+  opts.with_cache = false;
+  programs::Workload w = programs::make_paraffins(9);
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::RunResult md = driver::run_workload(w, opts);
+  EXPECT_TRUE(md.ok()) << md.check_error;
+  opts.backend = rt::BackendKind::ActiveMessages;
+  driver::RunResult am = driver::run_workload(w, opts);
+  EXPECT_TRUE(am.ok()) << am.check_error;
+}
+
+}  // namespace
+}  // namespace jtam
