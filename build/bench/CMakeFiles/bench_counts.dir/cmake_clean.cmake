@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counts.dir/bench_counts.cpp.o"
+  "CMakeFiles/bench_counts.dir/bench_counts.cpp.o.d"
+  "bench_counts"
+  "bench_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

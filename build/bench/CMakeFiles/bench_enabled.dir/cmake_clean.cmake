@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enabled.dir/bench_enabled.cpp.o"
+  "CMakeFiles/bench_enabled.dir/bench_enabled.cpp.o.d"
+  "bench_enabled"
+  "bench_enabled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enabled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

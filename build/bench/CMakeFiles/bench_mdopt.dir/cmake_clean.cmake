@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mdopt.dir/bench_mdopt.cpp.o"
+  "CMakeFiles/bench_mdopt.dir/bench_mdopt.cpp.o.d"
+  "bench_mdopt"
+  "bench_mdopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mdopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queuesize.dir/bench_queuesize.cpp.o"
+  "CMakeFiles/bench_queuesize.dir/bench_queuesize.cpp.o.d"
+  "bench_queuesize"
+  "bench_queuesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queuesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

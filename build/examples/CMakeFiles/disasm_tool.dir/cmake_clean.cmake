@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disasm_tool.dir/disasm_tool.cpp.o"
+  "CMakeFiles/disasm_tool.dir/disasm_tool.cpp.o.d"
+  "disasm_tool"
+  "disasm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disasm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

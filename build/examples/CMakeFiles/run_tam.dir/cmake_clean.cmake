@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_tam.dir/run_tam.cpp.o"
+  "CMakeFiles/run_tam.dir/run_tam.cpp.o.d"
+  "run_tam"
+  "run_tam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_tam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

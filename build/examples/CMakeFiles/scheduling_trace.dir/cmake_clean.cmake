@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_trace.dir/scheduling_trace.cpp.o"
+  "CMakeFiles/scheduling_trace.dir/scheduling_trace.cpp.o.d"
+  "scheduling_trace"
+  "scheduling_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/jtam.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/cache/cache_bank.cpp" "src/CMakeFiles/jtam.dir/cache/cache_bank.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/cache/cache_bank.cpp.o.d"
+  "/root/repo/src/driver/experiment.cpp" "src/CMakeFiles/jtam.dir/driver/experiment.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/driver/experiment.cpp.o.d"
+  "/root/repo/src/driver/report.cpp" "src/CMakeFiles/jtam.dir/driver/report.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/driver/report.cpp.o.d"
+  "/root/repo/src/mdp/assembler.cpp" "src/CMakeFiles/jtam.dir/mdp/assembler.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/mdp/assembler.cpp.o.d"
+  "/root/repo/src/mdp/disasm.cpp" "src/CMakeFiles/jtam.dir/mdp/disasm.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/mdp/disasm.cpp.o.d"
+  "/root/repo/src/mdp/isa.cpp" "src/CMakeFiles/jtam.dir/mdp/isa.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/mdp/isa.cpp.o.d"
+  "/root/repo/src/mdp/machine.cpp" "src/CMakeFiles/jtam.dir/mdp/machine.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/mdp/machine.cpp.o.d"
+  "/root/repo/src/mdp/multi.cpp" "src/CMakeFiles/jtam.dir/mdp/multi.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/mdp/multi.cpp.o.d"
+  "/root/repo/src/mem/memory_map.cpp" "src/CMakeFiles/jtam.dir/mem/memory_map.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/mem/memory_map.cpp.o.d"
+  "/root/repo/src/metrics/cycles.cpp" "src/CMakeFiles/jtam.dir/metrics/cycles.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/metrics/cycles.cpp.o.d"
+  "/root/repo/src/metrics/granularity.cpp" "src/CMakeFiles/jtam.dir/metrics/granularity.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/metrics/granularity.cpp.o.d"
+  "/root/repo/src/programs/dtw.cpp" "src/CMakeFiles/jtam.dir/programs/dtw.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/programs/dtw.cpp.o.d"
+  "/root/repo/src/programs/mmt.cpp" "src/CMakeFiles/jtam.dir/programs/mmt.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/programs/mmt.cpp.o.d"
+  "/root/repo/src/programs/paraffins.cpp" "src/CMakeFiles/jtam.dir/programs/paraffins.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/programs/paraffins.cpp.o.d"
+  "/root/repo/src/programs/quicksort.cpp" "src/CMakeFiles/jtam.dir/programs/quicksort.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/programs/quicksort.cpp.o.d"
+  "/root/repo/src/programs/registry.cpp" "src/CMakeFiles/jtam.dir/programs/registry.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/programs/registry.cpp.o.d"
+  "/root/repo/src/programs/selection_sort.cpp" "src/CMakeFiles/jtam.dir/programs/selection_sort.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/programs/selection_sort.cpp.o.d"
+  "/root/repo/src/programs/wavefront.cpp" "src/CMakeFiles/jtam.dir/programs/wavefront.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/programs/wavefront.cpp.o.d"
+  "/root/repo/src/runtime/fplib.cpp" "src/CMakeFiles/jtam.dir/runtime/fplib.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/runtime/fplib.cpp.o.d"
+  "/root/repo/src/runtime/istructure.cpp" "src/CMakeFiles/jtam.dir/runtime/istructure.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/runtime/istructure.cpp.o.d"
+  "/root/repo/src/runtime/kernel_am.cpp" "src/CMakeFiles/jtam.dir/runtime/kernel_am.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/runtime/kernel_am.cpp.o.d"
+  "/root/repo/src/runtime/kernel_common.cpp" "src/CMakeFiles/jtam.dir/runtime/kernel_common.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/runtime/kernel_common.cpp.o.d"
+  "/root/repo/src/runtime/kernel_md.cpp" "src/CMakeFiles/jtam.dir/runtime/kernel_md.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/runtime/kernel_md.cpp.o.d"
+  "/root/repo/src/runtime/layout.cpp" "src/CMakeFiles/jtam.dir/runtime/layout.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/runtime/layout.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/jtam.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/text.cpp" "src/CMakeFiles/jtam.dir/support/text.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/support/text.cpp.o.d"
+  "/root/repo/src/tam/ir.cpp" "src/CMakeFiles/jtam.dir/tam/ir.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/tam/ir.cpp.o.d"
+  "/root/repo/src/tam/parser.cpp" "src/CMakeFiles/jtam.dir/tam/parser.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/tam/parser.cpp.o.d"
+  "/root/repo/src/tam/validate.cpp" "src/CMakeFiles/jtam.dir/tam/validate.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/tam/validate.cpp.o.d"
+  "/root/repo/src/tamc/backend_am.cpp" "src/CMakeFiles/jtam.dir/tamc/backend_am.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/tamc/backend_am.cpp.o.d"
+  "/root/repo/src/tamc/backend_md.cpp" "src/CMakeFiles/jtam.dir/tamc/backend_md.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/tamc/backend_md.cpp.o.d"
+  "/root/repo/src/tamc/lower.cpp" "src/CMakeFiles/jtam.dir/tamc/lower.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/tamc/lower.cpp.o.d"
+  "/root/repo/src/tamc/mdopt.cpp" "src/CMakeFiles/jtam.dir/tamc/mdopt.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/tamc/mdopt.cpp.o.d"
+  "/root/repo/src/tamc/regalloc.cpp" "src/CMakeFiles/jtam.dir/tamc/regalloc.cpp.o" "gcc" "src/CMakeFiles/jtam.dir/tamc/regalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

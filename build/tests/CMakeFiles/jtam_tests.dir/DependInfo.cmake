@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assembler_test.cpp" "tests/CMakeFiles/jtam_tests.dir/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/assembler_test.cpp.o.d"
+  "/root/repo/tests/cache_property_test.cpp" "tests/CMakeFiles/jtam_tests.dir/cache_property_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/cache_property_test.cpp.o.d"
+  "/root/repo/tests/cache_test.cpp" "tests/CMakeFiles/jtam_tests.dir/cache_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/cache_test.cpp.o.d"
+  "/root/repo/tests/compiler_test.cpp" "tests/CMakeFiles/jtam_tests.dir/compiler_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/compiler_test.cpp.o.d"
+  "/root/repo/tests/driver_test.cpp" "tests/CMakeFiles/jtam_tests.dir/driver_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/driver_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/jtam_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/hybrid_test.cpp" "tests/CMakeFiles/jtam_tests.dir/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/hybrid_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/jtam_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/kernel_test.cpp" "tests/CMakeFiles/jtam_tests.dir/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/kernel_test.cpp.o.d"
+  "/root/repo/tests/layout_test.cpp" "tests/CMakeFiles/jtam_tests.dir/layout_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/layout_test.cpp.o.d"
+  "/root/repo/tests/machine_test.cpp" "tests/CMakeFiles/jtam_tests.dir/machine_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/machine_test.cpp.o.d"
+  "/root/repo/tests/memory_map_test.cpp" "tests/CMakeFiles/jtam_tests.dir/memory_map_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/memory_map_test.cpp.o.d"
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/jtam_tests.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/multi_test.cpp" "tests/CMakeFiles/jtam_tests.dir/multi_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/multi_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/jtam_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/jtam_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/regalloc_test.cpp" "tests/CMakeFiles/jtam_tests.dir/regalloc_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/regalloc_test.cpp.o.d"
+  "/root/repo/tests/runtime_integration_test.cpp" "tests/CMakeFiles/jtam_tests.dir/runtime_integration_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/runtime_integration_test.cpp.o.d"
+  "/root/repo/tests/scaling_test.cpp" "tests/CMakeFiles/jtam_tests.dir/scaling_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/scaling_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/jtam_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/jtam_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/jtam_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jtam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
