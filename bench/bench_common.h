@@ -1,8 +1,12 @@
 // Shared helpers for the per-table/figure bench binaries.
 #pragma once
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "driver/experiment.h"
@@ -23,14 +27,76 @@ inline programs::Scale scale_from_args(int argc, char** argv) {
   return programs::Scale{};
 }
 
+/// --json <path>: where to write machine-readable results ("" = not asked).
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+/// Wall-clock stopwatch for the simulation phase of a bench.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Write a flat {"bench":..., "wall_seconds":..., "metrics": {...}} JSON
+/// report, so successive PRs can track a perf trajectory (BENCH_*.json).
+inline void write_json(const std::string& path, const std::string& bench_name,
+                       double wall_seconds,
+                       const std::vector<std::pair<std::string, double>>&
+                           metrics) {
+  if (path.empty()) return;
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\n  \"bench\": \"" << bench_name << "\",\n  \"wall_seconds\": "
+     << wall_seconds << ",\n  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << metrics[i].first
+       << "\": " << metrics[i].second;
+  }
+  os << "\n  }\n}\n";
+  std::ofstream out(path);
+  out << os.str();
+  if (!out) {
+    std::cerr << "warning: could not write JSON report to " << path << "\n";
+  } else {
+    std::cerr << "  wrote " << path << "\n";
+  }
+}
+
 /// Run every paper workload under both back-ends with the given options.
+/// All (workload, back-end) pairs go through one run_many call, so they
+/// execute concurrently on multi-CPU hosts and repeats hit the run memo.
 inline std::vector<driver::BackendPair> run_all(
     const programs::Scale& scale, const driver::RunOptions& opts) {
-  std::vector<driver::BackendPair> out;
-  for (const programs::Workload& w : programs::paper_workloads(scale)) {
-    std::cerr << "  running " << w.name << " ...\n";
-    out.push_back(driver::run_both(w, opts));
-    driver::require_ok({&out.back().md, &out.back().am});
+  const std::vector<programs::Workload> ws = programs::paper_workloads(scale);
+  std::cerr << "  simulating " << ws.size() << " workloads x {MD, AM} ...\n";
+  std::vector<driver::RunRequest> reqs;
+  reqs.reserve(ws.size() * 2);
+  for (const programs::Workload& w : ws) {
+    driver::RunRequest md{w, opts};
+    md.opts.backend = rt::BackendKind::MessageDriven;
+    driver::RunRequest am{w, opts};
+    am.opts.backend = rt::BackendKind::ActiveMessages;
+    reqs.push_back(std::move(md));
+    reqs.push_back(std::move(am));
+  }
+  std::vector<driver::RunResult> rs = driver::run_many(reqs);
+  std::vector<driver::BackendPair> out(ws.size());
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    out[i].md = std::move(rs[2 * i]);
+    out[i].am = std::move(rs[2 * i + 1]);
+    driver::require_ok({&out[i].md, &out[i].am});
   }
   return out;
 }

@@ -14,17 +14,26 @@
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
+  bench::Stopwatch clock;
   const driver::RunOptions opts;
   const auto pairs = bench::run_all(scale, opts);
+  const double wall = clock.seconds();
 
+  std::vector<std::pair<std::string, double>> metrics;
   for (std::uint32_t penalty : cache::paper_miss_penalties()) {
     std::vector<driver::Series> series;
     for (std::uint32_t assoc : cache::paper_associativities()) {
       driver::Series s;
       s.name = std::to_string(assoc) + "-way";
       for (std::uint32_t size : cache::paper_cache_sizes()) {
-        s.values.push_back(
-            bench::ratio_geomean(pairs, size, assoc, penalty));
+        const double g = bench::ratio_geomean(pairs, size, assoc, penalty);
+        s.values.push_back(g);
+        metrics.emplace_back("geomean_p" + std::to_string(penalty) + "_a" +
+                                 std::to_string(assoc) + "_" +
+                                 std::to_string(size / 1024) + "K",
+                             g);
       }
       series.push_back(std::move(s));
     }
@@ -34,5 +43,6 @@ int main(int argc, char** argv) {
             " cycles): geomean MD/AM cycle ratio vs cache size",
         bench::size_labels(), series);
   }
+  bench::write_json(json_path, "bench_fig3", wall, metrics);
   return 0;
 }

@@ -10,16 +10,17 @@
 
 #include <iostream>
 
-#include "driver/experiment.h"
-#include "driver/report.h"
-#include "support/text.h"
+#include "bench_common.h"
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
-  programs::Scale scale;
-  if (argc > 1 && std::string(argv[1]) == "--quick") {
-    scale = programs::Scale{12, 60, 10, 10, 12, 2, 40};
-  }
+  const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
+  bench::Stopwatch clock;
+  const driver::RunOptions opts;
+  const auto pairs = bench::run_all(scale, opts);
+  const double wall = clock.seconds();
 
   std::cout << "Table 2: granularity and cycle ratios (8K 4-way, 64B "
                "blocks)\n\n";
@@ -27,24 +28,40 @@ int main(int argc, char** argv) {
   t.header({"Program", "TPQ MD", "TPQ AM", "IPT MD", "IPT AM", "IPQ MD",
             "IPQ AM", "MD/AM @12", "@24", "@48"});
 
-  driver::RunOptions opts;
-  for (const programs::Workload& w : programs::paper_workloads(scale)) {
-    driver::BackendPair p = driver::run_both(w, opts);
-    driver::require_ok({&p.md, &p.am});
-    t.row({w.name, text::fixed(p.md.gran.tpq(), 1),
+  std::vector<std::pair<std::string, double>> metrics;
+  for (const driver::BackendPair& p : pairs) {
+    const std::string& w = p.md.workload;
+    t.row({w, text::fixed(p.md.gran.tpq(), 1),
            text::fixed(p.am.gran.tpq(), 1), text::fixed(p.md.gran.ipt(), 1),
            text::fixed(p.am.gran.ipt(), 1), text::fixed(p.md.gran.ipq(), 0),
            text::fixed(p.am.gran.ipq(), 0),
            text::fixed(p.ratio(8192, 4, 12), 2),
            text::fixed(p.ratio(8192, 4, 24), 2),
            text::fixed(p.ratio(8192, 4, 48), 2)});
-    std::cerr << "  [" << w.name << "] MD "
+    std::cerr << "  [" << w << "] MD "
               << text::with_commas(p.md.instructions) << " instr, AM "
               << text::with_commas(p.am.instructions) << " instr\n";
+    metrics.emplace_back(w + ".md_instructions",
+                         static_cast<double>(p.md.instructions));
+    metrics.emplace_back(w + ".am_instructions",
+                         static_cast<double>(p.am.instructions));
+    metrics.emplace_back(
+        w + ".md_cycles_8K_4way_p24",
+        static_cast<double>(p.md.cycles(8192, 4, 24)));
+    metrics.emplace_back(
+        w + ".am_cycles_8K_4way_p24",
+        static_cast<double>(p.am.cycles(8192, 4, 24)));
+    for (std::uint32_t penalty : cache::paper_miss_penalties()) {
+      metrics.emplace_back(w + ".ratio_8K_4way_p" + std::to_string(penalty),
+                           p.ratio(8192, 4, penalty));
+    }
   }
   t.print(std::cout);
   std::cout << "\nPaper (J-Machine, 1995): TPQ rises down the list; AM >= "
                "MD per program;\nMD/AM cycle ratio falls from ~1.0-1.5 "
                "(mmt) to ~0.6 (ss).\n";
+
+  std::cerr << "  simulation wall-clock: " << text::fixed(wall, 3) << " s\n";
+  bench::write_json(json_path, "bench_table2", wall, metrics);
   return 0;
 }

@@ -32,69 +32,25 @@ void CacheConfig::validate() const {
 SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
   block_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg_.block_bytes));
+  assoc_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg_.assoc));
   set_mask_ = cfg_.num_sets() - 1;
   ways_.assign(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.assoc, Way{});
-}
-
-bool SetAssocCache::access(std::uint32_t addr, bool is_write) {
-  ++stats_.accesses;
-  const std::uint32_t block = addr >> block_shift_;
-  const std::uint32_t set = block & set_mask_;
-  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
-
-  // Hit path: bump LRU ordering, mark dirty on write.
-  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-    if (base[w].valid && base[w].tag == block) {
-      const std::uint32_t old = base[w].lru;
-      for (std::uint32_t v = 0; v < cfg_.assoc; ++v) {
-        if (base[v].valid && base[v].lru < old) ++base[v].lru;
-      }
-      base[w].lru = 0;
-      if (is_write) base[w].dirty = true;
-      return true;
-    }
-  }
-
-  // Miss: pick the invalid way if any, else the LRU way.
-  ++stats_.misses;
-  std::uint32_t victim = 0;
-  bool found_invalid = false;
-  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-    if (!base[w].valid) {
-      victim = w;
-      found_invalid = true;
-      break;
-    }
-  }
-  if (!found_invalid) {
-    std::uint32_t worst = 0;
-    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-      if (base[w].lru >= worst) {
-        worst = base[w].lru;
-        victim = w;
-      }
-    }
-    if (base[victim].dirty) ++stats_.writebacks;
-  }
-
-  for (std::uint32_t v = 0; v < cfg_.assoc; ++v) {
-    if (base[v].valid) ++base[v].lru;
-  }
-  base[victim] = Way{block, /*valid=*/true, /*dirty=*/is_write, /*lru=*/0};
-  return false;
 }
 
 void SetAssocCache::reset() {
   for (auto& w : ways_) w = Way{};
   stats_ = CacheStats{};
+  mru_block_ = kInvalidTag;
+  mru_index_ = 0;
+  tick_ = 0;
 }
 
 bool SetAssocCache::contains(std::uint32_t addr) const {
   const std::uint32_t block = addr >> block_shift_;
   const std::uint32_t set = block & set_mask_;
-  const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+  const Way* base = ways_.data() + (static_cast<std::size_t>(set) << assoc_shift_);
   for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-    if (base[w].valid && base[w].tag == block) return true;
+    if (base[w].tag == block) return true;
   }
   return false;
 }

@@ -40,6 +40,21 @@ class CacheBank {
     for (auto& c : caches_) c.dcache.access(addr, is_write);
   }
 
+  /// Batched consumption for the configurations in [begin, end): each
+  /// config's I-cache runs the whole fetch stream, then its D-cache the
+  /// whole data stream (mdp::TraceBuffer word encodings).  Block-major
+  /// order keeps one cache's metadata hot instead of touching all ~24
+  /// configurations per event, and disjoint config ranges share no state,
+  /// so ranges can run on separate threads with bit-identical results.
+  void consume_block_range(std::size_t begin, std::size_t end,
+                           const std::uint32_t* fetch_words, std::size_t nf,
+                           const std::uint32_t* data_words, std::size_t nd) {
+    for (std::size_t c = begin; c < end; ++c) {
+      caches_[c].icache.fetch_block(fetch_words, nf);
+      caches_[c].dcache.data_block(data_words, nd);
+    }
+  }
+
   std::size_t size() const { return caches_.size(); }
   const SplitCache& at(std::size_t i) const { return caches_[i]; }
 

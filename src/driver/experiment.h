@@ -33,6 +33,18 @@ struct RunOptions {
   std::uint32_t block_bytes = 64;        // §3.3: 64-byte blocks by default
   std::uint32_t queue_bytes = mem::kQueueBytes;
   std::uint64_t max_instructions = 600'000'000ULL;
+
+  // Performance knobs.  These select *how* the reference stream is
+  // consumed, never what is measured: every combination produces
+  // bit-identical RunResults (enforced by tests/pipeline_test.cpp), so
+  // they are excluded from the run-memoization key.
+  /// Batched SoA trace blocks (default) vs the seed's per-event TraceSink
+  /// path, kept as the equivalence baseline.
+  bool batched_trace = true;
+  /// Cache-bank shard workers: 0 = auto (shared pool when the host has
+  /// more than one CPU), 1 = serial in-line, N > 1 = shard the ~24
+  /// configurations N ways across the shared pool.
+  unsigned cache_workers = 0;
 };
 
 struct ConfigResult {
@@ -101,7 +113,9 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
                                   const RunOptions& opts, int num_nodes,
                                   std::uint32_t latency = 16);
 
-/// Run under both back-ends with otherwise identical options.
+/// Run under both back-ends with otherwise identical options.  Routed
+/// through run_many, so the two simulations execute concurrently on
+/// multi-CPU hosts and repeated calls hit the memo.
 struct BackendPair {
   RunResult md;
   RunResult am;
@@ -110,5 +124,32 @@ struct BackendPair {
                std::uint32_t penalty) const;
 };
 BackendPair run_both(const programs::Workload& w, RunOptions opts);
+
+/// One (workload, options) simulation request for run_many.
+struct RunRequest {
+  programs::Workload workload;
+  RunOptions opts;
+};
+
+/// Execute a batch of independent simulations, in parallel when the host
+/// has multiple CPUs, and return results in request order.
+///
+/// Completed runs are memoized process-wide, keyed by the workload's
+/// identity key and the result-relevant options — the figure benches
+/// (fig3/4/5/6 share identical runs) therefore simulate each (workload,
+/// back-end) pair at most once per process.  Workloads with an empty
+/// `key` are never memoized.  `workers` caps the concurrency (0 = one per
+/// hardware thread).  Concurrent runs disable per-run cache sharding —
+/// outer parallelism already saturates the machine.
+std::vector<RunResult> run_many(const std::vector<RunRequest>& reqs,
+                                unsigned workers = 0);
+
+/// Observability/test hooks for the run memo.
+struct RunMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;  // simulations actually executed
+};
+RunMemoStats run_memo_stats();
+void clear_run_memo();
 
 }  // namespace jtam::driver

@@ -1,0 +1,79 @@
+#include "driver/trace_buffer.h"
+
+#include <algorithm>
+
+namespace jtam::driver {
+
+namespace {
+
+inline mdp::Priority level_of(std::uint32_t bit) {
+  return bit != 0 ? mdp::Priority::High : mdp::Priority::Low;
+}
+
+/// Replay a block's fetches with marks applied at their recorded
+/// positions, then its data stream.  Sink must be a concrete (final) type
+/// for the calls to devirtualize; the template keeps one copy of the walk.
+template <typename Sink>
+void replay_block(const mdp::TraceBuffer& buf, Sink* sink) {
+  const auto& fetch = buf.fetch();
+  const auto& marks = buf.marks();
+  std::size_t mi = 0;
+  for (std::size_t i = 0; i < fetch.size(); ++i) {
+    while (mi < marks.size() && marks[mi].fetch_pos == i) {
+      const auto& m = marks[mi++];
+      sink->on_mark(static_cast<mdp::MarkKind>(m.kind), m.aux,
+                    static_cast<mdp::Priority>(m.level));
+    }
+    const std::uint32_t w = fetch[i];
+    sink->on_fetch(w & ~3u, level_of(w & 1u));
+  }
+  while (mi < marks.size()) {
+    const auto& m = marks[mi++];
+    sink->on_mark(static_cast<mdp::MarkKind>(m.kind), m.aux,
+                  static_cast<mdp::Priority>(m.level));
+  }
+  for (const std::uint32_t w : buf.data()) {
+    if ((w & 1u) != 0) {
+      sink->on_write(w & ~3u, level_of(w & 2u));
+    } else {
+      sink->on_read(w & ~3u, level_of(w & 2u));
+    }
+  }
+}
+
+}  // namespace
+
+void StatsReplay::on_block(const mdp::TraceBuffer& buf) {
+  replay_block(buf, sink_);
+}
+
+void SinkReplay::on_block(const mdp::TraceBuffer& buf) {
+  replay_block(buf, sink_);
+}
+
+CacheBankConsumer::CacheBankConsumer(cache::CacheBank* bank,
+                                     support::ThreadPool* pool,
+                                     std::size_t shards)
+    : bank_(bank),
+      pool_(pool),
+      shards_(std::max<std::size_t>(1, std::min(shards, bank->size()))) {}
+
+void CacheBankConsumer::on_block(const mdp::TraceBuffer& buf) {
+  const std::uint32_t* fw = buf.fetch().data();
+  const std::size_t nf = buf.fetch().size();
+  const std::uint32_t* dw = buf.data().data();
+  const std::size_t nd = buf.data().size();
+  if (pool_ == nullptr || shards_ <= 1) {
+    bank_->consume_block_range(0, bank_->size(), fw, nf, dw, nd);
+    return;
+  }
+  const std::size_t n = bank_->size();
+  const std::size_t per = (n + shards_ - 1) / shards_;
+  pool_->parallel_for(shards_, [&](std::size_t s) {
+    const std::size_t begin = s * per;
+    const std::size_t end = std::min(n, begin + per);
+    if (begin < end) bank_->consume_block_range(begin, end, fw, nf, dw, nd);
+  });
+}
+
+}  // namespace jtam::driver

@@ -1,0 +1,91 @@
+// Consumers for the batched trace pipeline (mdp::TraceBuffer).
+//
+// The machine appends packed SoA events; when a block fills, the attached
+// TracePipeline fans it out to consumers: granularity/count accounting
+// (StatsReplay), the cache ladder (CacheBankConsumer, optionally sharded
+// across a worker pool), and a compatibility adapter (SinkReplay) for
+// legacy per-event TraceSink implementations.
+//
+// Determinism: every consumer below produces results bit-identical to the
+// seed per-event path.  Stats accounting needs only the fetch/mark
+// interleaving (reads and writes are pure region counters), which the
+// buffer preserves exactly; each cache configuration is a deterministic
+// automaton over its own I- or D-stream, and configurations share no
+// state, so splitting them across threads cannot change any per-config
+// count.  tests/pipeline_test.cpp enforces this equivalence on real
+// workload runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cache/cache_bank.h"
+#include "mdp/machine.h"
+#include "metrics/granularity.h"
+#include "support/thread_pool.h"
+
+namespace jtam::driver {
+
+/// One stage of the batched pipeline: receives each full block once.
+class TraceConsumer {
+ public:
+  virtual ~TraceConsumer() = default;
+  virtual void on_block(const mdp::TraceBuffer& buf) = 0;
+};
+
+/// The drain a TraceBuffer flushes into: forwards each block to an ordered
+/// list of consumers (the batched analogue of Machine::set_sink).
+class TracePipeline final : public mdp::TraceDrain {
+ public:
+  void add(TraceConsumer* c) { consumers_.push_back(c); }
+  void on_block(const mdp::TraceBuffer& buf) override {
+    for (TraceConsumer* c : consumers_) c->on_block(buf);
+  }
+
+ private:
+  std::vector<TraceConsumer*> consumers_;
+};
+
+/// Replays blocks into the granularity/count accumulator.  Marks are
+/// applied at their recorded fetch positions, reproducing the exact
+/// context attribution of the per-event path; StatsSink is final, so the
+/// calls devirtualize.
+class StatsReplay final : public TraceConsumer {
+ public:
+  explicit StatsReplay(metrics::StatsSink* sink) : sink_(sink) {}
+  void on_block(const mdp::TraceBuffer& buf) override;
+
+ private:
+  metrics::StatsSink* sink_;
+};
+
+/// Compatibility adapter: replays blocks into any legacy TraceSink.  The
+/// fetch/mark interleaving and the read/write order are exact; the
+/// interleaving of data accesses with fetches is not (data events replay
+/// after the block's fetches).  Sinks that need the full order — e.g. the
+/// scheduling-trace example — should stay on Machine::set_sink.
+class SinkReplay final : public TraceConsumer {
+ public:
+  explicit SinkReplay(mdp::TraceSink* sink) : sink_(sink) {}
+  void on_block(const mdp::TraceBuffer& buf) override;
+
+ private:
+  mdp::TraceSink* sink_;
+};
+
+/// Drains blocks into a CacheBank, splitting the configurations into
+/// contiguous shards executed on a worker pool (serially when `pool` is
+/// null or `shards` <= 1).
+class CacheBankConsumer final : public TraceConsumer {
+ public:
+  CacheBankConsumer(cache::CacheBank* bank, support::ThreadPool* pool,
+                    std::size_t shards);
+  void on_block(const mdp::TraceBuffer& buf) override;
+
+ private:
+  cache::CacheBank* bank_;
+  support::ThreadPool* pool_;
+  std::size_t shards_;
+};
+
+}  // namespace jtam::driver

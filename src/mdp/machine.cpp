@@ -93,14 +93,26 @@ void Machine::check_data_addr(Addr a) const {
 
 std::uint32_t Machine::mem_read(Addr a, Priority lvl, bool emit_event) {
   check_data_addr(a);
-  if (emit_event && sink_ != nullptr) sink_->on_read(a & 0xFFFFFFu, lvl);
+  if (emit_event) {
+    if (tbuf_ != nullptr) {
+      tbuf_->add_read(a & 0xFFFFFFu, lvl);
+    } else if (sink_ != nullptr) {
+      sink_->on_read(a & 0xFFFFFFu, lvl);
+    }
+  }
   return memory_[(a & 0xFFFFFFu) / mem::kWordBytes];
 }
 
 void Machine::mem_write(Addr a, std::uint32_t v, Priority lvl,
                         bool emit_event) {
   check_data_addr(a);
-  if (emit_event && sink_ != nullptr) sink_->on_write(a & 0xFFFFFFu, lvl);
+  if (emit_event) {
+    if (tbuf_ != nullptr) {
+      tbuf_->add_write(a & 0xFFFFFFu, lvl);
+    } else if (sink_ != nullptr) {
+      sink_->on_write(a & 0xFFFFFFu, lvl);
+    }
+  }
   memory_[(a & 0xFFFFFFu) / mem::kWordBytes] = v;
 }
 
@@ -235,14 +247,20 @@ void Machine::exec(Level& lv, Priority p) {
 
   if (in.op == Op::Mark) {
     // Instrumentation is free: no fetch event, no cycle, no budget charge.
-    if (sink_ != nullptr) {
+    if (tbuf_ != nullptr) {
+      tbuf_->add_mark(static_cast<MarkKind>(in.imm), r[in.rs], p);
+    } else if (sink_ != nullptr) {
       sink_->on_mark(static_cast<MarkKind>(in.imm), r[in.rs], p);
     }
     lv.ip = next;
     return;
   }
 
-  if (sink_ != nullptr) sink_->on_fetch(lv.ip, p);
+  if (tbuf_ != nullptr) {
+    tbuf_->add_fetch(lv.ip, p);
+  } else if (sink_ != nullptr) {
+    sink_->on_fetch(lv.ip, p);
+  }
   ++instr_count_;
   ++instr_by_level_[static_cast<int>(p)];
   lv.ip = next;

@@ -27,6 +27,13 @@ namespace jtam::mdp {
 
 /// Receives one callback per architectural event.  Implementations must be
 /// cheap; they run once per simulated instruction/access.
+///
+/// This is the exact-interleaving interface: consumers that need the full
+/// order of fetches vs data accesses (e.g. examples/scheduling_trace.cpp)
+/// attach one with Machine::set_sink.  The experiment pipeline uses the
+/// batched TraceBuffer below instead, which the machine appends to without
+/// a virtual call per event; driver/trace_buffer.h provides the consumers,
+/// including a compatibility adapter that replays blocks into a TraceSink.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -36,6 +43,89 @@ class TraceSink {
   virtual void on_mark(MarkKind kind, std::uint32_t aux, Priority level) {
     (void)kind; (void)aux; (void)level;
   }
+};
+
+class TraceBuffer;
+
+/// Consumes one full TraceBuffer block at a time — a single virtual call
+/// per ~2^15 events instead of one per event.
+class TraceDrain {
+ public:
+  virtual ~TraceDrain() = default;
+  /// The buffer is cleared by the caller after this returns.
+  virtual void on_block(const TraceBuffer& buf) = 0;
+};
+
+/// Packed SoA buffer of trace events.  The machine appends events inline;
+/// when a stream reaches the block size, the whole block is handed to the
+/// drain at once and the buffer restarts empty.  Both code and data
+/// addresses are word-aligned, so bits 0-1 carry event metadata:
+///
+///   fetch word = code addr | level             (bit 0: priority level)
+///   data  word = data addr | is_write | level << 1
+///
+/// Marks (scheduling instrumentation) are rare; each records its position
+/// in the fetch stream so a replay can reproduce the exact fetch/mark
+/// interleaving that granularity accounting depends on.  Reads and writes
+/// keep their own relative order in `data`; their interleaving with
+/// fetches is not preserved (no consumer of the batched path needs it —
+/// cache configurations are split I/D and access counting is
+/// order-independent).
+class TraceBuffer {
+ public:
+  struct Mark {
+    std::uint32_t fetch_pos;  // index into fetch() where the mark occurred
+    std::uint32_t aux;
+    std::uint8_t kind;        // MarkKind
+    std::uint8_t level;       // Priority
+  };
+
+  explicit TraceBuffer(TraceDrain* drain, std::size_t block_events = 1u << 15)
+      : drain_(drain), block_(block_events) {
+    fetch_.reserve(block_);
+    data_.reserve(block_);
+  }
+
+  void add_fetch(Addr a, Priority p) {
+    fetch_.push_back(a | static_cast<std::uint32_t>(p));
+    if (fetch_.size() >= block_) flush();
+  }
+  void add_read(Addr a, Priority p) {
+    data_.push_back(a | (static_cast<std::uint32_t>(p) << 1));
+    if (data_.size() >= block_) flush();
+  }
+  void add_write(Addr a, Priority p) {
+    data_.push_back(a | 1u | (static_cast<std::uint32_t>(p) << 1));
+    if (data_.size() >= block_) flush();
+  }
+  void add_mark(MarkKind k, std::uint32_t aux, Priority p) {
+    marks_.push_back(Mark{static_cast<std::uint32_t>(fetch_.size()), aux,
+                          static_cast<std::uint8_t>(k),
+                          static_cast<std::uint8_t>(p)});
+  }
+
+  /// Hand the current block to the drain and restart empty.  The driver
+  /// calls this once more after the run for the final partial block.
+  void flush() {
+    if (drain_ != nullptr &&
+        (!fetch_.empty() || !data_.empty() || !marks_.empty())) {
+      drain_->on_block(*this);
+    }
+    fetch_.clear();
+    data_.clear();
+    marks_.clear();
+  }
+
+  const std::vector<std::uint32_t>& fetch() const { return fetch_; }
+  const std::vector<std::uint32_t>& data() const { return data_; }
+  const std::vector<Mark>& marks() const { return marks_; }
+
+ private:
+  TraceDrain* drain_;
+  std::size_t block_;
+  std::vector<std::uint32_t> fetch_;
+  std::vector<std::uint32_t> data_;
+  std::vector<Mark> marks_;
 };
 
 /// Delivery interface for multi-node configurations: SENDE hands remote
@@ -83,6 +173,10 @@ class Machine {
 
   // --- execution ---------------------------------------------------------
   void set_sink(TraceSink* sink) { sink_ = sink; }
+  /// Attach a batched trace buffer.  When set, it takes precedence over the
+  /// per-event sink: events are appended inline and delivered to the
+  /// buffer's drain one block at a time.
+  void set_trace_buffer(TraceBuffer* buf) { tbuf_ = buf; }
   void set_network(NetworkPort* net) { net_ = net; }
   /// Network delivery of an arriving message (multi-node): buffered into
   /// queue memory with trace events, exactly like a local SENDE.
@@ -195,6 +289,7 @@ class Machine {
   Queue queues_[2];
 
   TraceSink* sink_ = nullptr;
+  TraceBuffer* tbuf_ = nullptr;
   NetworkPort* net_ = nullptr;
   int rr_node_ = 0;  // SENDDR round-robin placement counter
   bool halted_ = false;

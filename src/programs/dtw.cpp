@@ -341,6 +341,7 @@ Workload make_dtw(int n) {
 
   Workload w;
   w.name = "dtw";
+  w.key = "dtw/" + std::to_string(n);
   w.description = "discrete time warp over float sequences of length " +
                   std::to_string(n) + " (paper arg: 10)";
   w.program = build_program();

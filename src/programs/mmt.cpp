@@ -308,6 +308,7 @@ Workload make_mmt(int n) {
 
   Workload w;
   w.name = "mmt";
+  w.key = "mmt/" + std::to_string(n);
   w.description = "float matrix multiply + trace, n=" + std::to_string(n) +
                   " (paper arg: 50)";
   w.program = build_program();

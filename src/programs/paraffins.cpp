@@ -811,6 +811,7 @@ Workload make_paraffins(int n) {
 
   Workload w;
   w.name = "paraffins";
+  w.key = "paraffins/" + std::to_string(n);
   w.description = "paraffin isomer enumeration up to size " +
                   std::to_string(n) + " (paper arg: 13)";
   w.program = build_program();

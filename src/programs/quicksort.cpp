@@ -436,6 +436,7 @@ Workload make_quicksort(int n, std::uint32_t seed) {
 
   Workload w;
   w.name = "qs";
+  w.key = "qs/" + std::to_string(n) + "/" + std::to_string(seed);
   w.description = "functional quicksort of " + std::to_string(n) +
                   " random integers (paper arg: 100)";
   w.program = build_program();

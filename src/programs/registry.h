@@ -64,6 +64,11 @@ struct CheckCtx {
 struct Workload {
   std::string name;
   std::string description;
+  /// Identity key for driver::run_many's result memo: name plus every
+  /// problem-size parameter, so the same program at two scales never
+  /// aliases.  Leave empty on hand-built workloads to opt out of
+  /// memoization.
+  std::string key;
   tam::Program program;
   std::function<void(SetupCtx&)> setup;
   /// Returns an empty string on success, else a failure description.

@@ -171,6 +171,7 @@ Workload make_selection_sort(int n) {
 
   Workload w;
   w.name = "ss";
+  w.key = "ss/" + std::to_string(n);
   w.description = "selection sort of " + std::to_string(n) +
                   " reverse-ordered integers (paper arg: 100)";
   w.program = build_program(n);

@@ -292,6 +292,7 @@ Workload make_wavefront(int n, int steps) {
 
   Workload w;
   w.name = "wavefront";
+  w.key = "wavefront/" + std::to_string(n) + "/" + std::to_string(steps);
   w.description = "wavefront relaxation, n=" + std::to_string(n) + ", " +
                   std::to_string(steps) + " steps (paper arg: 40)";
   w.program = build_program();

@@ -1,0 +1,124 @@
+#include "support/thread_pool.h"
+
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace jtam::support {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  if (threads_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(fn));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Loop {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first failure, guarded by mu
+  };
+  auto loop = std::make_shared<Loop>();
+  loop->n = n;
+  loop->fn = &fn;
+
+  // Workers and the caller claim iterations from the same counter; whoever
+  // finishes the last iteration wakes the caller.  A helper that arrives
+  // after the counter is exhausted exits without touching `fn`, which is
+  // what keeps the borrowed pointer safe: the caller only returns once
+  // done == n, and only claimed iterations dereference fn.
+  auto body = [loop] {
+    for (;;) {
+      const std::size_t i = loop->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= loop->n) return;
+      try {
+        (*loop->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(loop->mu);
+        if (!loop->error) loop->error = std::current_exception();
+      }
+      if (loop->done.fetch_add(1, std::memory_order_acq_rel) + 1 == loop->n) {
+        std::lock_guard<std::mutex> lk(loop->mu);
+        loop->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min<std::size_t>(threads_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) submit(body);
+  body();  // caller participates — guarantees progress even under nesting
+
+  std::unique_lock<std::mutex> lk(loop->mu);
+  loop->cv.wait(lk, [&] { return loop->done.load() == loop->n; });
+  if (loop->error) std::rethrow_exception(loop->error);
+}
+
+unsigned ThreadPool::default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_workers());
+  return pool;
+}
+
+}  // namespace jtam::support

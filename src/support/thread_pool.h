@@ -1,0 +1,66 @@
+// A small fixed-size worker pool for sharding independent simulation work:
+// cache-bank configurations split across workers (driver::CacheBankConsumer)
+// and concurrent (workload, back-end) runs (driver::run_many).
+//
+// parallel_for is the primary primitive.  The calling thread participates in
+// the loop, claiming chunks from the same atomic counter as the workers, so
+// a parallel_for issued from inside a pool task can always make progress by
+// itself — nesting degrades to inline execution instead of deadlocking.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jtam::support {
+
+class ThreadPool {
+ public:
+  /// Spawn exactly `workers` threads.  A pool of 0 workers is valid: every
+  /// operation then runs inline on the calling thread.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Enqueue `fn` for asynchronous execution (inline when the pool has no
+  /// threads).  Exceptions must not escape `fn`.
+  void submit(std::function<void()> fn);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(0) .. fn(n-1) cooperatively across the workers and the calling
+  /// thread; returns when all iterations are done.  Iterations must be
+  /// independent.  The first exception thrown by any iteration is rethrown
+  /// on the caller after the loop drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Worker count matched to the host: hardware_concurrency() - 1 (the
+  /// caller participates in parallel_for), at least 0.
+  static unsigned default_workers();
+
+  /// Process-wide pool used by the experiment pipeline.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;  // queued + running tasks
+  bool stop_ = false;
+};
+
+}  // namespace jtam::support

@@ -1,0 +1,167 @@
+// Equivalence of the batched trace pipeline with the seed per-event path.
+//
+// The whole point of the batched/sharded pipeline is that it changes *how
+// fast* the reference stream is consumed, never *what* is measured: the
+// cache simulator is deterministic and shards share no state, so every
+// per-config CacheStats, every access count and every granularity figure
+// must be bit-identical across
+//   (a) the seed per-event TraceSink path,
+//   (b) the batched pipeline consumed serially, and
+//   (c) the batched pipeline sharded across a worker pool.
+// This file enforces that on real workload runs under both back-ends.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+
+namespace {
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+programs::Scale quick_scale() {
+  return programs::Scale{12, 60, 10, 10, 12, 2, 40};
+}
+
+programs::Workload workload_by_name(const std::string& name) {
+  for (programs::Workload& w : programs::paper_workloads(quick_scale())) {
+    if (w.name == name) return w;
+  }
+  ADD_FAILURE() << "no workload named " << name;
+  return {};
+}
+
+void expect_identical(const driver::RunResult& a, const driver::RunResult& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.halt_value, b.halt_value);
+  EXPECT_EQ(a.check_error, b.check_error);
+  EXPECT_EQ(a.instructions, b.instructions);
+
+  // Granularity, field by field.
+  EXPECT_EQ(a.gran.threads, b.gran.threads);
+  EXPECT_EQ(a.gran.inlets, b.gran.inlets);
+  EXPECT_EQ(a.gran.quanta, b.gran.quanta);
+  EXPECT_EQ(a.gran.activations, b.gran.activations);
+  EXPECT_EQ(a.gran.fp_calls, b.gran.fp_calls);
+  EXPECT_EQ(a.gran.thread_instrs, b.gran.thread_instrs);
+  EXPECT_EQ(a.gran.inlet_instrs, b.gran.inlet_instrs);
+  EXPECT_EQ(a.gran.sched_instrs, b.gran.sched_instrs);
+  EXPECT_EQ(a.gran.handler_instrs, b.gran.handler_instrs);
+  EXPECT_EQ(a.gran.quantum_instrs, b.gran.quantum_instrs);
+
+  // Access counts per (level, region).
+  for (int l = 0; l < metrics::kNumLevels; ++l) {
+    for (int rg = 0; rg < metrics::kNumRegions; ++rg) {
+      EXPECT_EQ(a.counts.fetch[l][rg], b.counts.fetch[l][rg])
+          << "fetch[" << l << "][" << rg << "]";
+      EXPECT_EQ(a.counts.read[l][rg], b.counts.read[l][rg])
+          << "read[" << l << "][" << rg << "]";
+      EXPECT_EQ(a.counts.write[l][rg], b.counts.write[l][rg])
+          << "write[" << l << "][" << rg << "]";
+    }
+  }
+
+  // Every cache configuration: accesses, misses, writebacks for I and D.
+  ASSERT_EQ(a.cache.size(), b.cache.size());
+  for (std::size_t i = 0; i < a.cache.size(); ++i) {
+    SCOPED_TRACE(a.cache[i].config.name());
+    EXPECT_EQ(a.cache[i].config.size_bytes, b.cache[i].config.size_bytes);
+    EXPECT_EQ(a.cache[i].config.assoc, b.cache[i].config.assoc);
+    EXPECT_EQ(a.cache[i].icache.accesses, b.cache[i].icache.accesses);
+    EXPECT_EQ(a.cache[i].icache.misses, b.cache[i].icache.misses);
+    EXPECT_EQ(a.cache[i].icache.writebacks, b.cache[i].icache.writebacks);
+    EXPECT_EQ(a.cache[i].dcache.accesses, b.cache[i].dcache.accesses);
+    EXPECT_EQ(a.cache[i].dcache.misses, b.cache[i].dcache.misses);
+    EXPECT_EQ(a.cache[i].dcache.writebacks, b.cache[i].dcache.writebacks);
+  }
+}
+
+class PipelineEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, rt::BackendKind>> {
+};
+
+TEST_P(PipelineEquivalence, BatchedAndShardedMatchSeedPath) {
+  const programs::Workload w = workload_by_name(std::get<0>(GetParam()));
+  driver::RunOptions opts;
+  opts.backend = std::get<1>(GetParam());
+
+  opts.batched_trace = false;
+  const driver::RunResult seed = driver::run_workload(w, opts);
+  ASSERT_TRUE(seed.ok()) << seed.check_error;
+
+  opts.batched_trace = true;
+  opts.cache_workers = 1;  // serial batch consumption
+  const driver::RunResult batched = driver::run_workload(w, opts);
+
+  opts.cache_workers = 3;  // sharded across the worker pool
+  const driver::RunResult sharded = driver::run_workload(w, opts);
+
+  expect_identical(seed, batched, "seed vs batched-serial");
+  expect_identical(seed, sharded, "seed vs batched-sharded");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PipelineEquivalence,
+    ::testing::Combine(::testing::Values("qs", "paraffins"),
+                       ::testing::Values(rt::BackendKind::MessageDriven,
+                                         rt::BackendKind::ActiveMessages)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             (std::get<1>(info.param) == rt::BackendKind::MessageDriven
+                  ? "MD"
+                  : "AM");
+    });
+
+TEST(RunMany, MemoizesIdenticalRequests) {
+  driver::clear_run_memo();
+  const programs::Workload qs = workload_by_name("qs");
+
+  driver::RunOptions md;
+  md.backend = rt::BackendKind::MessageDriven;
+  driver::RunOptions am;
+  am.backend = rt::BackendKind::ActiveMessages;
+
+  // Duplicate within one batch: the pair must simulate once and alias.
+  std::vector<driver::RunResult> first =
+      driver::run_many({{qs, md}, {qs, md}, {qs, am}});
+  driver::RunMemoStats s1 = driver::run_memo_stats();
+  EXPECT_EQ(s1.misses, 2u);  // qs/MD and qs/AM
+  EXPECT_EQ(s1.hits, 1u);    // the in-batch duplicate
+  expect_identical(first[0], first[1], "in-batch duplicate");
+
+  // A second batch with the same requests is served from the memo.
+  std::vector<driver::RunResult> second =
+      driver::run_many({{qs, md}, {qs, am}});
+  driver::RunMemoStats s2 = driver::run_memo_stats();
+  EXPECT_EQ(s2.misses, 2u);
+  EXPECT_EQ(s2.hits, 3u);
+  expect_identical(first[0], second[0], "memoized MD");
+  expect_identical(first[2], second[1], "memoized AM");
+
+  // Different result-relevant options miss the memo.
+  driver::RunOptions small_blocks = md;
+  small_blocks.block_bytes = 16;
+  (void)driver::run_many({{qs, small_blocks}});
+  EXPECT_EQ(driver::run_memo_stats().misses, 3u);
+  driver::clear_run_memo();
+}
+
+TEST(RunMany, MatchesDirectRunWorkload) {
+  driver::clear_run_memo();
+  const programs::Workload w = workload_by_name("paraffins");
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  const driver::RunResult direct = driver::run_workload(w, opts);
+  const std::vector<driver::RunResult> via = driver::run_many({{w, opts}});
+  ASSERT_EQ(via.size(), 1u);
+  expect_identical(direct, via[0], "run_many vs run_workload");
+  driver::clear_run_memo();
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using jtam::support::ThreadPool;
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> touched(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { ++touched[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int sum = 0;
+  pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);  // no data race possible: everything ran inline
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The caller participates in the iteration loop, so an inner
+  // parallel_for issued from a worker always makes progress even when
+  // every worker is busy with the outer loop.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(16,
+                        [&](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<int> n{0};
+  ThreadPool::shared().parallel_for(32, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 32);
+}
+
+}  // namespace
