@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
 
   text::Table t;
   t.header({"Block", "MD cycles (geomean)", "AM cycles (geomean)",
@@ -36,5 +37,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\nPaper: both systems performed best with 64-byte blocks "
                "(cycles should fall as the block grows).\n";
+  bench::maybe_export_obs(obs_args, scale, {});
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "driver/experiment.h"
 #include "driver/report.h"
 #include "metrics/cycles.h"
+#include "obs/obs.h"
 #include "programs/registry.h"
 #include "support/text.h"
 
@@ -33,6 +34,76 @@ inline std::string json_path_from_args(int argc, char** argv) {
     if (std::string(argv[i]) == "--json") return argv[i + 1];
   }
   return {};
+}
+
+/// Observability flags shared by every bench binary:
+///   --trace <path>  write a Chrome/Perfetto timeline of every (workload,
+///                   back-end) run at the bench's scale;
+///   --profile       print a flat profile + distribution summary per run.
+struct ObsArgs {
+  std::string trace_path;
+  bool profile = false;
+  bool any() const { return profile || !trace_path.empty(); }
+};
+
+inline ObsArgs obs_args_from_args(int argc, char** argv) {
+  ObsArgs oa;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc) oa.trace_path = argv[i + 1];
+    if (a == "--profile") oa.profile = true;
+  }
+  return oa;
+}
+
+/// When --trace/--profile was given, run each paper workload under both
+/// back-ends with the requested collectors attached and emit the
+/// artifacts.  These are extra instrumented runs made directly through
+/// run_workload (never the memo): measurement runs stay untouched, and the
+/// collectors cost nothing when the flags are absent.  The measured cache
+/// ladder is skipped — the profiler simulates its own caches.
+inline void maybe_export_obs(const ObsArgs& oa, const programs::Scale& scale,
+                             driver::RunOptions opts) {
+  if (!oa.any()) return;
+  opts.with_cache = false;
+  opts.obs.profile = oa.profile;
+  opts.obs.histograms = oa.profile;
+  opts.obs.pipeline_metrics = oa.profile;
+  opts.obs.timeline = !oa.trace_path.empty();
+
+  std::vector<std::pair<std::string, std::shared_ptr<const obs::Report>>>
+      runs;
+  for (const programs::Workload& w : programs::paper_workloads(scale)) {
+    for (rt::BackendKind b :
+         {rt::BackendKind::MessageDriven, rt::BackendKind::ActiveMessages}) {
+      opts.backend = b;
+      driver::RunResult r = driver::run_workload(w, opts);
+      const std::string label =
+          w.name + (b == rt::BackendKind::MessageDriven ? " / MD" : " / AM");
+      if (oa.profile && r.obs != nullptr) {
+        std::cout << "\n== " << label << " ==\n";
+        r.obs->write_text(std::cout);
+      }
+      runs.emplace_back(label, r.obs);
+    }
+  }
+  if (!oa.trace_path.empty()) {
+    std::vector<std::pair<std::string, const obs::Timeline*>> timelines;
+    for (const auto& [label, rep] : runs) {
+      if (rep != nullptr && rep->timeline) {
+        timelines.emplace_back(label, &*rep->timeline);
+      }
+    }
+    std::ofstream out(oa.trace_path);
+    obs::write_chrome_trace(out, timelines);
+    if (!out) {
+      std::cerr << "warning: could not write timeline to " << oa.trace_path
+                << "\n";
+    } else {
+      std::cerr << "  wrote " << oa.trace_path << " ("
+                << timelines.size() << " timelines)\n";
+    }
+  }
 }
 
 /// Wall-clock stopwatch for the simulation phase of a bench.
@@ -64,6 +135,12 @@ inline void write_json(const std::string& path, const std::string& bench_name,
     os << (i == 0 ? "\n" : ",\n") << "    \"" << metrics[i].first
        << "\": " << metrics[i].second;
   }
+  // Run-memo effectiveness rides along in every report: how many of the
+  // bench's simulation requests were served from the process-wide memo.
+  const driver::RunMemoStats memo = driver::run_memo_stats();
+  os << (metrics.empty() ? "\n" : ",\n")
+     << "    \"run_memo_hits\": " << memo.hits
+     << ",\n    \"run_memo_misses\": " << memo.misses;
   os << "\n  }\n}\n";
   std::ofstream out(path);
   out << os.str();

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
   driver::RunOptions opts;
   opts.with_cache = false;  // counts only: no cache ladder needed
   const auto pairs = bench::run_all(scale, opts);
@@ -47,5 +48,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\nPaper: MD/AM averages were 0.86 (reads), 0.87 (writes), "
                "0.77 (fetches).\n";
+  bench::maybe_export_obs(obs_args, scale, {});
   return 0;
 }

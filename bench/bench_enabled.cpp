@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
 
   text::Table t;
   t.header({"Program", "TPQ unen.", "TPQ enabled", "cycles unen. @24",
@@ -39,5 +40,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper: enabled quanta are larger and uniprocessor "
                "performance superior; the unenabled variant better models "
                "multiprocessor behaviour and is what the paper measures.\n";
+  bench::maybe_export_obs(obs_args, scale, {});
   return 0;
 }

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
   const std::string json_path = bench::json_path_from_args(argc, argv);
 
   bench::Stopwatch clock;
@@ -44,5 +45,6 @@ int main(int argc, char** argv) {
         bench::size_labels(), series);
   }
   bench::write_json(json_path, "bench_fig3", wall, metrics);
+  bench::maybe_export_obs(obs_args, scale, {});
   return 0;
 }

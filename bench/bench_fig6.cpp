@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
   const driver::RunOptions opts;
   const auto pairs = bench::run_all(scale, opts);
 
@@ -29,5 +30,6 @@ int main(int argc, char** argv) {
       std::cout,
       "Figure 6 (direct-mapped, selection sort excluded): geomean MD/AM",
       bench::size_labels(), series);
+  bench::maybe_export_obs(obs_args, scale, {});
   return 0;
 }

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
 
   text::Table t;
   t.header({"Program", "MD instr", "AM instr", "OAM instr", "OAM/MD",
@@ -45,5 +46,6 @@ int main(int argc, char** argv) {
   std::cout << "\nThe hybrid should land between the pure systems: close "
                "to MD's instruction counts\nwhere handler-safe chains "
                "dominate, falling back to AM costs elsewhere.\n";
+  bench::maybe_export_obs(obs_args, scale, {});
   return 0;
 }

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
 
   struct Level {
     const char* name;
@@ -56,5 +57,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\nEach column adds one §2.3 optimization; savings are "
                "relative to the plain MD implementation.\n";
+  bench::maybe_export_obs(obs_args, scale, {});
   return 0;
 }

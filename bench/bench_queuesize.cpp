@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
+  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
 
   text::Table t;
   t.header({"Program", "MD low-q peak", "MD high-q peak", "AM high-q peak",
@@ -57,5 +58,6 @@ int main(int argc, char** argv) {
   std::cout << "\nEvery paper workload fits the 4096-byte hardware queue "
                "with headroom, as the\npaper verified; the MD low-priority "
                "queue is the deep one (it is the task queue).\n";
+  bench::maybe_export_obs(obs_args, scale, {});
   return 0;
 }

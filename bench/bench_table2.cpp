@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
   const std::string json_path = bench::json_path_from_args(argc, argv);
+  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
 
   bench::Stopwatch clock;
   const driver::RunOptions opts;
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
 
   std::cerr << "  simulation wall-clock: " << text::fixed(wall, 3) << " s\n";
   bench::write_json(json_path, "bench_table2", wall, metrics);
+  bench::maybe_export_obs(obs_args, scale, opts);
   return 0;
 }

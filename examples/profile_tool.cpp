@@ -1,0 +1,177 @@
+// profile_tool: the jtam::obs command line.  Runs one paper workload with
+// the observability collectors attached and emits the artifacts:
+//
+//   - a flat profile (instructions/reads/writes/cache misses per TAM
+//     thread, inlet, kernel routine, and FP-library entry), as a text
+//     table and optionally CSV/JSON;
+//   - distribution histograms of quantum length, threads per quantum,
+//     thread/inlet run length, and queue occupancy at dispatch;
+//   - a Chrome/Perfetto timeline (open the file at ui.perfetto.dev) with
+//     both back-ends as separate processes when --backend both;
+//   - trace-pipeline self-metrics (simulator throughput).
+//
+// Usage:
+//   profile_tool [workload] [--backend md|am|both] [--quick]
+//                [--trace <path>] [--csv <path>] [--json <path>]
+//                [--top N] [--cache SIZExASSOC]...
+//
+// Workloads: mmt qs dtw paraffins wavefront ss.  The measured cache
+// ladder is skipped (the profiler simulates its own caches; add
+// geometries with --cache, default 8192x4).
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "driver/report.h"
+#include "obs/obs.h"
+#include "programs/registry.h"
+#include "support/text.h"
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+namespace {
+
+programs::Workload find_workload(const std::string& name,
+                                 const programs::Scale& scale) {
+  for (programs::Workload& w : programs::paper_workloads(scale)) {
+    if (w.name == name) return w;
+  }
+  std::cerr << "unknown workload '" << name
+            << "' (mmt|qs|dtw|paraffins|wavefront|ss)\n";
+  std::exit(2);
+}
+
+obs::ProfileCacheConfig parse_cache(const std::string& spec) {
+  const auto x = spec.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= spec.size()) {
+    std::cerr << "bad --cache spec '" << spec << "' (expected SIZExASSOC, "
+              << "e.g. 8192x4)\n";
+    std::exit(2);
+  }
+  obs::ProfileCacheConfig pc;
+  pc.size_bytes = static_cast<std::uint32_t>(
+      std::strtoul(spec.substr(0, x).c_str(), nullptr, 10));
+  pc.assoc = static_cast<std::uint32_t>(
+      std::strtoul(spec.substr(x + 1).c_str(), nullptr, 10));
+  return pc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "qs";
+  std::string backend = "both";
+  std::string trace_path;
+  std::string csv_path;
+  std::string json_path;
+  int top_n = 20;
+  bool quick = false;
+  std::vector<obs::ProfileCacheConfig> caches;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << a << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--backend") {
+      backend = next();
+    } else if (a == "--trace") {
+      trace_path = next();
+    } else if (a == "--csv") {
+      csv_path = next();
+    } else if (a == "--json") {
+      json_path = next();
+    } else if (a == "--top") {
+      top_n = std::atoi(next().c_str());
+    } else if (a == "--cache") {
+      caches.push_back(parse_cache(next()));
+    } else if (a == "--quick") {
+      quick = true;
+    } else if (!a.empty() && a[0] != '-') {
+      workload = a;
+    } else {
+      std::cerr << "unknown option '" << a << "'\n";
+      return 2;
+    }
+  }
+  if (backend != "md" && backend != "am" && backend != "both") {
+    std::cerr << "--backend must be md, am, or both\n";
+    return 2;
+  }
+
+  const programs::Scale scale =
+      quick ? programs::Scale{12, 60, 10, 10, 12, 2, 40} : programs::Scale{};
+  const programs::Workload w = find_workload(workload, scale);
+
+  driver::RunOptions opts;
+  opts.with_cache = false;  // the profiler simulates its own caches
+  opts.obs = obs::Options::all();
+  opts.obs.profile_caches = caches;
+  if (trace_path.empty()) opts.obs.timeline = false;
+
+  std::vector<rt::BackendKind> backends;
+  if (backend != "am") backends.push_back(rt::BackendKind::MessageDriven);
+  if (backend != "md") backends.push_back(rt::BackendKind::ActiveMessages);
+
+  std::cout << w.description << "\n";
+  std::vector<driver::RunResult> results;
+  for (rt::BackendKind b : backends) {
+    opts.backend = b;
+    results.push_back(driver::run_workload(w, opts));
+    driver::require_ok({&results.back()});
+  }
+
+  std::ofstream csv;
+  std::ofstream json;
+  if (!csv_path.empty()) csv.open(csv_path);
+  if (!json_path.empty()) json.open(json_path);
+  for (const driver::RunResult& r : results) {
+    std::cout << "\n== " << w.name << " / " << rt::backend_name(r.backend)
+              << " — " << text::with_commas(r.instructions)
+              << " instructions ==\n";
+    r.obs->write_text(std::cout, top_n);
+    if (csv.is_open() && r.obs->profile) {
+      csv << "# " << w.name << " / " << rt::backend_name(r.backend) << "\n";
+      r.obs->profile->write_csv(csv);
+    }
+    if (json.is_open() && r.obs->profile && results.size() == 1) {
+      r.obs->profile->write_json(json);
+    }
+  }
+  if (json.is_open() && results.size() > 1) {
+    // Two backends: wrap the per-run profiles in one object.
+    json << "{\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      json << (i == 0 ? "" : ",\n") << "\""
+           << rt::backend_name(results[i].backend) << "\": ";
+      results[i].obs->profile->write_json(json);
+    }
+    json << "}\n";
+  }
+  if (!csv_path.empty()) std::cerr << "wrote " << csv_path << "\n";
+  if (!json_path.empty()) std::cerr << "wrote " << json_path << "\n";
+
+  if (!trace_path.empty()) {
+    std::vector<std::pair<std::string, const obs::Timeline*>> timelines;
+    for (const driver::RunResult& r : results) {
+      if (r.obs->timeline) {
+        timelines.emplace_back(
+            w.name + std::string(" / ") + rt::backend_name(r.backend),
+            &*r.obs->timeline);
+      }
+    }
+    std::ofstream out(trace_path);
+    obs::write_chrome_trace(out, timelines);
+    std::cerr << "wrote " << trace_path
+              << " — open it at https://ui.perfetto.dev\n";
+  }
+  return 0;
+}

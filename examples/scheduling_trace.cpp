@@ -1,79 +1,84 @@
 // Scheduling trace: make Figure 1 visible.
 //
-// Runs a tiny two-frame program under both back-ends with a TraceSink that
-// prints every scheduling event (inlet starts, thread starts, activations,
-// system handlers).  Under AM, inlets run immediately at high priority and
-// the scheduler groups threads by frame; under MD, inlets wait in the
+// Runs a tiny two-frame program under both back-ends with the obs
+// collectors attached and narrates the scheduling structure from the
+// resulting timeline: thread/inlet/system slices per priority level, plus
+// ACTIVATE instants.  Under AM, inlets run immediately at high priority
+// and the scheduler groups threads by frame; under MD, inlets wait in the
 // queue until the LCV drains and control flows straight from each inlet
 // into its thread.
 //
-// Usage:  ./build/examples/scheduling_trace [max_events]
+// This used to attach a legacy per-event TraceSink via Machine::set_sink;
+// it now rides the batched pipeline's timeline builder, which preserves
+// the exact fetch/mark interleaving (tests/obs_test.cpp pins that
+// SinkReplay caveat down).  Pass a path as the second argument to also
+// write the full Chrome/Perfetto trace of both back-ends.
+//
+// Usage:  ./build/examples/scheduling_trace [max_events] [trace.json]
 
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "driver/experiment.h"
+#include "obs/obs.h"
 #include "programs/registry.h"
 
 using namespace jtam;  // NOLINT(build/namespaces)
 
-namespace {
-
-/// Prints one line per scheduling mark, annotated with priority level.
-class NarratingSink final : public mdp::TraceSink {
- public:
-  explicit NarratingSink(int max_events) : budget_(max_events) {}
-  void on_fetch(mem::Addr, mdp::Priority) override {}
-  void on_read(mem::Addr, mdp::Priority) override {}
-  void on_write(mem::Addr, mdp::Priority) override {}
-  void on_mark(mdp::MarkKind kind, std::uint32_t aux,
-               mdp::Priority lvl) override {
-    if (budget_ <= 0) return;
-    const char* what = nullptr;
-    switch (kind) {
-      case mdp::MarkKind::ThreadStart: what = "thread start  "; break;
-      case mdp::MarkKind::InletStart: what = "inlet         "; break;
-      case mdp::MarkKind::SysStart: what = "system handler"; break;
-      case mdp::MarkKind::Activate: what = "ACTIVATE      "; break;
-      case mdp::MarkKind::FpCall: return;  // too noisy
-    }
-    --budget_;
-    std::cout << "    [" << (lvl == mdp::Priority::High ? "high" : "low ")
-              << "] " << what;
-    if (kind != mdp::MarkKind::SysStart) {
-      std::cout << "  frame=0x" << std::hex << aux << std::dec;
-    }
-    std::cout << "\n";
-  }
-
- private:
-  int budget_;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const int max_events = argc > 1 ? std::stoi(argv[1]) : 40;
+  const std::string trace_path = argc > 2 ? argv[2] : "";
   // A 2x2 matrix multiply: main + two concurrent row frames — just enough
   // concurrency to show the interleaving difference.
   programs::Workload w = programs::make_mmt(2);
 
+  std::vector<driver::RunResult> results;
   for (rt::BackendKind backend : {rt::BackendKind::ActiveMessages,
                                   rt::BackendKind::MessageDriven}) {
     driver::RunOptions opts;
     opts.backend = backend;
     opts.with_cache = false;
+    opts.obs.timeline = true;
 
-    driver::RunResult totals = driver::run_workload(w, opts);
+    driver::RunResult r = driver::run_workload(w, opts);
+    results.push_back(r);
+    const obs::Timeline& tl = *r.obs->timeline;
     std::cout << "=== " << rt::backend_name(backend) << " implementation ("
-              << totals.gran.inlets << " inlets, " << totals.gran.threads
-              << " threads, " << totals.gran.quanta << " quanta) ===\n"
+              << r.gran.inlets << " inlets, " << r.gran.threads
+              << " threads, " << r.gran.quanta << " quanta) ===\n"
               << "  first " << max_events << " scheduling events:\n";
 
-    driver::PreparedRun prep = driver::prepare_run(w, opts);
-    NarratingSink sink(max_events);
-    prep.machine->set_sink(&sink);
-    prep.machine->run();
+    // Merge slices and instants back into time order for narration.
+    struct Line {
+      std::uint64_t ts;
+      std::string text;
+    };
+    std::vector<Line> lines;
+    for (const auto& s : tl.slices) {
+      if (s.tid == obs::kTimelineQuantumTrack) continue;
+      std::ostringstream os;
+      os << "    [" << (s.tid == 1 ? "high" : "low ") << "] " << s.name
+         << "  (" << s.dur << " instrs)";
+      lines.push_back({s.ts, os.str()});
+    }
+    for (const auto& in : tl.instants) {
+      std::ostringstream os;
+      os << "    [" << (in.tid == 1 ? "high" : "low ") << "] ACTIVATE"
+         << "  frame=0x" << std::hex << in.frame << std::dec;
+      lines.push_back({in.ts, os.str()});
+    }
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const Line& a, const Line& b) { return a.ts < b.ts; });
+    int budget = max_events;
+    for (const Line& l : lines) {
+      if (budget-- <= 0) break;
+      std::cout << l.text << "\n";
+    }
     std::cout << "\n";
   }
   std::cout << "Under AM, inlets appear at high priority as soon as their "
@@ -81,5 +86,18 @@ int main(int argc, char** argv) {
                "frame (ACTIVATE lines); under MD, each inlet appears\nat "
                "low priority only after the LCV drains, flowing directly "
                "into its thread\n(Figure 1 of the paper).\n";
+
+  if (!trace_path.empty()) {
+    std::vector<std::pair<std::string, const obs::Timeline*>> timelines;
+    for (const driver::RunResult& r : results) {
+      timelines.emplace_back(std::string("mmt / ") +
+                                 rt::backend_name(r.backend),
+                             &*r.obs->timeline);
+    }
+    std::ofstream out(trace_path);
+    obs::write_chrome_trace(out, timelines);
+    std::cerr << "wrote " << trace_path
+              << " — open it at https://ui.perfetto.dev\n";
+  }
   return 0;
 }

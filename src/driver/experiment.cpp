@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "driver/trace_buffer.h"
+#include "obs/obs.h"
 #include "runtime/kernel.h"
 #include "runtime/layout.h"
 #include "support/error.h"
@@ -136,11 +137,33 @@ RunResult run_workload(const programs::Workload& w, const RunOptions& opts) {
       cache_consumer.emplace(&*bank, pool, workers);
       pipe.add(&*cache_consumer);
     }
-    mdp::TraceBuffer buf(&pipe);
+    // Observability collectors ride the same pipeline, after the
+    // measurement consumers.  The metered drain (wall-clock self-metrics)
+    // wraps the whole pipeline when asked for.
+    std::optional<obs::Collectors> coll;
+    if (opts.obs.any()) {
+      coll.emplace(opts.obs, opts.backend, prep.compiled, opts.block_bytes);
+      coll->attach(pipe);
+      // Only observers consume the synthetic queue-occupancy marks; skip
+      // emitting them (and their per-dispatch cost) on measurement-only
+      // runs.  They change no measured number either way.
+      m.set_queue_marks(true);
+    }
+    mdp::TraceDrain* drain = &pipe;
+    std::optional<obs::MeteredPipeline> metered;
+    if (coll && opts.obs.pipeline_metrics) {
+      metered.emplace(&pipe);
+      drain = &*metered;
+    }
+    mdp::TraceBuffer buf(drain);
     m.set_trace_buffer(&buf);
     r.status = m.run();
     buf.flush();  // final partial block
     m.set_trace_buffer(nullptr);
+    if (coll) {
+      r.obs = std::make_shared<obs::Report>(
+          coll->finish(metered ? &metered->metrics() : nullptr));
+    }
   } else {
     // Seed path: one virtual TraceSink callback per event, fanned into
     // every cache configuration in turn.  Kept as the equivalence baseline
@@ -329,7 +352,13 @@ std::vector<RunResult> run_many(const std::vector<RunRequest>& reqs,
   {
     std::lock_guard<std::mutex> lk(g_memo_mu);
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-      if (!job_keys[j].empty()) g_memo[job_keys[j]] = job_results[j];
+      if (!job_keys[j].empty()) {
+        // The memo serves *measured* results; a possibly large obs report
+        // belongs to the request that asked for it, not the cache.
+        RunResult stored = job_results[j];
+        stored.obs.reset();
+        g_memo[job_keys[j]] = std::move(stored);
+      }
     }
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       if (job_of[i] != SIZE_MAX) {

@@ -16,8 +16,13 @@
 #include "cache/cache_bank.h"
 #include "metrics/cycles.h"
 #include "metrics/granularity.h"
+#include "obs/options.h"
 #include "programs/registry.h"
 #include "tamc/lower.h"
+
+namespace jtam::obs {
+struct Report;
+}
 
 namespace jtam::driver {
 
@@ -45,6 +50,14 @@ struct RunOptions {
   /// more than one CPU), 1 = serial in-line, N > 1 = shard the ~24
   /// configurations N ways across the shared pool.
   unsigned cache_workers = 0;
+
+  /// Observability collectors (src/obs) to attach to the run.  Like the
+  /// pipeline knobs above, these never change a measured number — the
+  /// collectors only observe the trace stream (tests/obs_test.cpp asserts
+  /// bit-identical RunResults) — so they too are excluded from the
+  /// run-memoization key.  Requires the batched pipeline; on the seed
+  /// per-event path no report is produced.
+  obs::Options obs;
 };
 
 struct ConfigResult {
@@ -64,6 +77,10 @@ struct RunResult {
   metrics::AccessCounts counts;
   std::vector<ConfigResult> cache;
   std::uint32_t queue_high_water[2] = {0, 0};  // [low, high]
+  /// Observability report, present when RunOptions::obs requested any
+  /// collector (and the batched pipeline ran).  Not a measured number:
+  /// memoized results and equivalence comparisons ignore it.
+  std::shared_ptr<const obs::Report> obs;
 
   bool ok() const {
     return status == mdp::RunStatus::Halted && check_error.empty();

@@ -130,14 +130,35 @@ enum class Op : std::uint8_t {
   Mark,
 };
 
-/// Marker kinds used for granularity accounting.
+/// Marker kinds used for granularity accounting.  ThreadStart..FpCall are
+/// emitted by MARK instructions the compiler/runtime plant in the code;
+/// Dispatch and Suspend are synthetic — the machine itself emits them at
+/// message dispatch and handler suspension so observers can sample queue
+/// occupancy and close scheduling intervals.  All marks are free: no fetch
+/// event, no cycle, no effect on any measured statistic.
 enum class MarkKind : std::int32_t {
   ThreadStart = 1,  // aux = frame pointer
   InletStart = 2,   // aux = frame pointer
   SysStart = 3,     // scheduler / idle / system code at low priority
   Activate = 4,     // AM scheduler activated a frame (aux = frame pointer)
   FpCall = 5,       // entry into the floating-point library
+  Dispatch = 6,     // machine dispatched a message; aux = queue sample
+  Suspend = 7,      // handler suspended (message consumed); aux = queue sample
 };
+
+/// Aux encoding for Dispatch/Suspend marks: queue occupancy in bytes in the
+/// upper half (the hardware queue is at most 4 KB, so it fits), message
+/// count in the lower half (saturating).
+inline constexpr std::uint32_t pack_queue_sample(std::uint32_t used_bytes,
+                                                 std::uint32_t records) {
+  return (used_bytes << 16) | (records > 0xFFFFu ? 0xFFFFu : records);
+}
+inline constexpr std::uint32_t queue_sample_bytes(std::uint32_t aux) {
+  return aux >> 16;
+}
+inline constexpr std::uint32_t queue_sample_depth(std::uint32_t aux) {
+  return aux & 0xFFFFu;
+}
 
 /// One decoded instruction.  `comment` points at a static string written by
 /// the code generators and is used only by the disassembler.

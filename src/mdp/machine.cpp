@@ -187,10 +187,21 @@ void Machine::enqueue(Priority p, std::span<const std::uint32_t> words,
   if (q.tail == q.base + q.bytes) q.tail = q.base;
 }
 
+void Machine::emit_queue_sample(MarkKind k, Priority p) {
+  const Queue& q = queue(p);
+  emit_mark(k,
+            pack_queue_sample(q.used_bytes,
+                              static_cast<std::uint32_t>(q.records.size())),
+            p);
+}
+
 void Machine::dispatch(Priority p) {
   Queue& q = queue(p);
   JTAM_ASSERT(!q.records.empty(), "dispatch from empty queue");
   Level& lv = level(p);
+  // Synthetic observability mark: sample queue occupancy at the moment the
+  // dispatch hardware pulls the next message.  Free, like every mark.
+  if (queue_marks_) emit_queue_sample(MarkKind::Dispatch, p);
   lv.mb = q.records.front().offset;
   // The dispatch hardware reads the header word (the handler address)
   // from queue memory; that read touches the memory system like any other.
@@ -247,11 +258,7 @@ void Machine::exec(Level& lv, Priority p) {
 
   if (in.op == Op::Mark) {
     // Instrumentation is free: no fetch event, no cycle, no budget charge.
-    if (tbuf_ != nullptr) {
-      tbuf_->add_mark(static_cast<MarkKind>(in.imm), r[in.rs], p);
-    } else if (sink_ != nullptr) {
-      sink_->on_mark(static_cast<MarkKind>(in.imm), r[in.rs], p);
-    }
+    emit_mark(static_cast<MarkKind>(in.imm), r[in.rs], p);
     lv.ip = next;
     return;
   }
@@ -387,12 +394,16 @@ void Machine::exec(Level& lv, Priority p) {
       break;
     }
 
-    case Op::Suspend:
+    case Op::Suspend: {
       JTAM_CHECK(lv.active, "SUSPEND at an idle level");
       JTAM_CHECK(!lv.composing, "SUSPEND with a half-composed message");
       consume_current(p);
       lv.active = false;
+      // Synthetic observability mark: the handler is over; sample the
+      // post-consume queue occupancy for the occupancy timeline.
+      if (queue_marks_) emit_queue_sample(MarkKind::Suspend, p);
       break;
+    }
     case Op::Eint: lv.int_enabled = true; break;
     case Op::Dint: lv.int_enabled = false; break;
 

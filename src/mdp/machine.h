@@ -66,8 +66,10 @@ class TraceDrain {
 ///
 /// Marks (scheduling instrumentation) are rare; each records its position
 /// in the fetch stream so a replay can reproduce the exact fetch/mark
-/// interleaving that granularity accounting depends on.  Reads and writes
-/// keep their own relative order in `data`; their interleaving with
+/// interleaving that granularity accounting depends on, and its position
+/// in the data stream so observability consumers can attribute data
+/// accesses to the mark-delimited context they occurred in.  Reads and
+/// writes keep their own relative order in `data`; their interleaving with
 /// fetches is not preserved (no consumer of the batched path needs it —
 /// cache configurations are split I/D and access counting is
 /// order-independent).
@@ -75,6 +77,7 @@ class TraceBuffer {
  public:
   struct Mark {
     std::uint32_t fetch_pos;  // index into fetch() where the mark occurred
+    std::uint32_t data_pos;   // index into data() where the mark occurred
     std::uint32_t aux;
     std::uint8_t kind;        // MarkKind
     std::uint8_t level;       // Priority
@@ -99,7 +102,8 @@ class TraceBuffer {
     if (data_.size() >= block_) flush();
   }
   void add_mark(MarkKind k, std::uint32_t aux, Priority p) {
-    marks_.push_back(Mark{static_cast<std::uint32_t>(fetch_.size()), aux,
+    marks_.push_back(Mark{static_cast<std::uint32_t>(fetch_.size()),
+                          static_cast<std::uint32_t>(data_.size()), aux,
                           static_cast<std::uint8_t>(k),
                           static_cast<std::uint8_t>(p)});
   }
@@ -177,6 +181,11 @@ class Machine {
   /// per-event sink: events are appended inline and delivered to the
   /// buffer's drain one block at a time.
   void set_trace_buffer(TraceBuffer* buf) { tbuf_ = buf; }
+  /// Emit synthetic Dispatch/Suspend queue-occupancy marks.  Off by
+  /// default: only observability consumers read them (they are no-ops for
+  /// every measured statistic), so measurement-only runs skip the
+  /// per-dispatch work entirely.
+  void set_queue_marks(bool on) { queue_marks_ = on; }
   void set_network(NetworkPort* net) { net_ = net; }
   /// Network delivery of an arriving message (multi-node): buffered into
   /// queue memory with trace events, exactly like a local SENDE.
@@ -260,6 +269,17 @@ class Machine {
   Queue& queue(Priority p) { return queues_[static_cast<int>(p)]; }
 
   const Instr& code_at(Addr a) const;
+  /// Deliver an instrumentation mark to whichever trace attachment is live.
+  void emit_mark(MarkKind k, std::uint32_t aux, Priority p) {
+    if (tbuf_ != nullptr) {
+      tbuf_->add_mark(k, aux, p);
+    } else if (sink_ != nullptr) {
+      sink_->on_mark(k, aux, p);
+    }
+  }
+  /// Out-of-line: sample queue occupancy into a Dispatch/Suspend mark.
+  /// Kept off the dispatch hot path behind the queue_marks_ test.
+  void emit_queue_sample(MarkKind k, Priority p);
   std::uint32_t mem_read(Addr a, Priority lvl, bool emit_event = true);
   void mem_write(Addr a, std::uint32_t v, Priority lvl,
                  bool emit_event = true);
@@ -290,6 +310,7 @@ class Machine {
 
   TraceSink* sink_ = nullptr;
   TraceBuffer* tbuf_ = nullptr;
+  bool queue_marks_ = false;
   NetworkPort* net_ = nullptr;
   int rr_node_ = 0;  // SENDDR round-robin placement counter
   bool halted_ = false;

@@ -101,6 +101,12 @@ void StatsSink::on_mark(mdp::MarkKind kind, std::uint32_t aux,
       // instructions count toward the thread that called it, exactly as
       // the inlined software-FP cost did on the MDP.
       break;
+    case mdp::MarkKind::Dispatch:
+    case mdp::MarkKind::Suspend:
+      // Machine-emitted queue samples for the observability layer; they
+      // carry no context change and touch no granularity statistic, so the
+      // measured numbers are identical with or without observers attached.
+      break;
   }
 }
 

@@ -1,0 +1,104 @@
+#include "obs/distributions.h"
+
+#include "obs/replay.h"
+
+namespace jtam::obs {
+
+void DistributionBuilder::close_run(int level) {
+  if (ctx_[level] == Ctx::Thread) {
+    d_.ipt.add(run_len_[level]);
+  } else if (ctx_[level] == Ctx::Inlet) {
+    d_.inlet_len.add(run_len_[level]);
+  }
+  run_len_[level] = 0;
+}
+
+void DistributionBuilder::quantum_boundary() {
+  if (quantum_open_) {
+    d_.quantum_len.add(q_instrs_);
+    d_.tpq.add(q_threads_);
+    q_instrs_ = 0;
+    q_threads_ = 0;
+  } else {
+    // First boundary: any low-priority user instructions seen before it
+    // (none in practice for either back-end) fold into this quantum so
+    // the histogram sum still equals Granularity::quantum_instrs.
+    quantum_open_ = true;
+  }
+}
+
+void DistributionBuilder::on_block(const mdp::TraceBuffer& buf) {
+  walk_fetches(
+      buf,
+      [&](const mdp::TraceBuffer::Mark& m) {
+        const int l = m.level;
+        switch (static_cast<mdp::MarkKind>(m.kind)) {
+          case mdp::MarkKind::ThreadStart:
+            close_run(l);
+            if (m.aux != quantum_frame_) {
+              quantum_boundary();
+              quantum_frame_ = m.aux;
+            }
+            ++q_threads_;
+            ctx_[l] = Ctx::Thread;
+            break;
+          case mdp::MarkKind::InletStart:
+            close_run(l);
+            if (backend_ == rt::BackendKind::MessageDriven &&
+                l == static_cast<int>(mdp::Priority::Low) &&
+                m.aux != quantum_frame_) {
+              quantum_boundary();
+              quantum_frame_ = m.aux;
+            }
+            ctx_[l] = Ctx::Inlet;
+            break;
+          case mdp::MarkKind::SysStart:
+            close_run(l);
+            ctx_[l] = Ctx::Sys;
+            break;
+          case mdp::MarkKind::Dispatch:
+            d_.queue_depth[l].add(mdp::queue_sample_depth(m.aux));
+            d_.queue_bytes[l].add(mdp::queue_sample_bytes(m.aux));
+            break;
+          case mdp::MarkKind::Activate:
+          case mdp::MarkKind::Suspend:
+          case mdp::MarkKind::FpCall:
+            // No context change (matches StatsSink): a dispatched handler
+            // keeps the stale context until its own Start mark, and FP
+            // library work stays attributed to the caller.
+            break;
+        }
+      },
+      [&](std::size_t, mem::Addr, mdp::Priority p) {
+        const int l = static_cast<int>(p);
+        switch (ctx_[l]) {
+          case Ctx::Thread:
+            ++run_len_[l];
+            ++q_instrs_;  // thread context only exists at low priority
+            break;
+          case Ctx::Inlet:
+            ++run_len_[l];
+            if (p == mdp::Priority::Low) ++q_instrs_;
+            break;
+          case Ctx::Sys:
+          case Ctx::None:
+            break;
+        }
+      });
+}
+
+Distributions DistributionBuilder::finish() {
+  close_run(0);
+  close_run(1);
+  ctx_[0] = ctx_[1] = Ctx::None;
+  if (quantum_open_) {
+    d_.quantum_len.add(q_instrs_);
+    d_.tpq.add(q_threads_);
+    quantum_open_ = false;
+    q_instrs_ = 0;
+    q_threads_ = 0;
+  }
+  return d_;
+}
+
+}  // namespace jtam::obs

@@ -1,0 +1,63 @@
+// Distribution histograms behind the paper's Table 2 means.
+//
+// Table 2 reports TPQ/IPT/IPQ as averages; this consumer keeps the whole
+// distribution of each quantity, replaying the mark stream with exactly
+// the context rules metrics::StatsSink uses so the histograms tie out
+// against the measured granularity counters (count and sum of each
+// histogram equal the corresponding Granularity numerator/denominator —
+// asserted by tests/obs_test.cpp):
+//
+//   quantum_len.count == quanta    quantum_len.sum == quantum_instrs
+//   tpq.count         == quanta    tpq.sum         == threads
+//   ipt.count         == threads   ipt.sum         == thread_instrs
+//   inlet_len.count   == inlets    inlet_len.sum   == inlet_instrs
+//
+// Queue occupancy is sampled from the machine-emitted Dispatch marks
+// (depth and bytes at the instant each message is dispatched), giving the
+// distribution of hardware-queue pressure per priority level.
+#pragma once
+
+#include <cstdint>
+
+#include "driver/trace_buffer.h"
+#include "obs/histogram.h"
+#include "runtime/layout.h"
+
+namespace jtam::obs {
+
+struct Distributions {
+  Histogram quantum_len;     // instructions per quantum
+  Histogram tpq;             // threads per quantum
+  Histogram ipt;             // instructions per thread run
+  Histogram inlet_len;       // instructions per inlet run
+  Histogram queue_depth[2];  // records queued at dispatch, per level
+  Histogram queue_bytes[2];  // bytes queued at dispatch, per level
+};
+
+class DistributionBuilder final : public driver::TraceConsumer {
+ public:
+  explicit DistributionBuilder(rt::BackendKind backend)
+      : backend_(backend) {}
+
+  void on_block(const mdp::TraceBuffer& buf) override;
+
+  /// Close any open runs/quantum and return the result (call once).
+  Distributions finish();
+
+ private:
+  enum class Ctx : std::uint8_t { None, Thread, Inlet, Sys };
+
+  void close_run(int level);
+  void quantum_boundary();
+
+  rt::BackendKind backend_;
+  Distributions d_;
+  Ctx ctx_[2] = {Ctx::None, Ctx::Sys};
+  std::uint32_t quantum_frame_ = 0;
+  bool quantum_open_ = false;
+  std::uint64_t q_instrs_ = 0;
+  std::uint64_t q_threads_ = 0;
+  std::uint64_t run_len_[2] = {0, 0};  // current thread/inlet run, per level
+};
+
+}  // namespace jtam::obs

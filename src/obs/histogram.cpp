@@ -1,0 +1,62 @@
+#include "obs/histogram.h"
+
+#include <bit>
+
+namespace jtam::obs {
+
+namespace {
+
+/// Bucket index: 0 -> 0, 1 -> 1, [2^(b-1), 2^b) -> b.
+inline int bucket_of(std::uint64_t v) {
+  return v == 0 ? 0 : std::bit_width(v);
+}
+
+}  // namespace
+
+void Histogram::add(std::uint64_t v, std::uint64_t weight) {
+  if (weight == 0) return;
+  const int b = bucket_of(v);
+  buckets_[b] += weight;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  count_ += weight;
+  sum_ += v * weight;
+}
+
+void Histogram::bucket_range(int b, std::uint64_t* lo, std::uint64_t* hi) {
+  if (b <= 0) {
+    *lo = 0;
+    *hi = 0;
+    return;
+  }
+  *lo = b == 1 ? 1 : (1ULL << (b - 1));
+  *hi = (b >= 64 ? ~0ULL : (1ULL << b)) - 1;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min());
+  if (p >= 1.0) return static_cast<double>(max_);
+  const double target = p * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t next = cum + buckets_[b];
+    if (static_cast<double>(next) >= target) {
+      std::uint64_t lo = 0;
+      std::uint64_t hi = 0;
+      bucket_range(b, &lo, &hi);
+      // Clamp to the observed extremes so interpolation never reports a
+      // value outside [min, max].
+      const double blo = static_cast<double>(lo < min_ ? min_ : lo);
+      const double bhi = static_cast<double>(hi > max_ ? max_ : hi);
+      const double frac = (target - static_cast<double>(cum)) /
+                          static_cast<double>(buckets_[b]);
+      return blo + (bhi - blo) * frac;
+    }
+    cum = next;
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace jtam::obs

@@ -1,0 +1,51 @@
+// Fixed-footprint distribution accumulator for simulated quantities.
+//
+// The paper's Table 2 reports only *means* (TPQ, IPT, IPQ); the point of
+// the observability layer is to keep the whole distribution.  Values are
+// binned into power-of-two buckets (bucket b holds [2^(b-1), 2^b), with
+// dedicated buckets for 0 and 1), which bounds memory at 64 counters no
+// matter how many samples arrive while keeping exact count/sum/min/max.
+// Percentiles are reported from the buckets with linear interpolation
+// inside the crossing bucket — deterministic, and tight enough for the
+// "is the tail 10x the median?" questions the histograms exist to answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jtam::obs {
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::uint64_t v, std::uint64_t weight = 1);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value below which a `p` fraction of samples fall (0 < p <= 1),
+  /// interpolated within the crossing bucket; 0 when empty.
+  double percentile(double p) const;
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+
+  std::uint64_t bucket_count(int b) const { return buckets_[b]; }
+  /// Inclusive value range [lo, hi] covered by bucket `b`.
+  static void bucket_range(int b, std::uint64_t* lo, std::uint64_t* hi);
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace jtam::obs

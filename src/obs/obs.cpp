@@ -1,0 +1,145 @@
+#include "obs/obs.h"
+
+#include <chrono>
+#include <ostream>
+
+#include "support/text.h"
+
+namespace jtam::obs {
+
+void MeteredPipeline::on_block(const mdp::TraceBuffer& buf) {
+  const auto t0 = std::chrono::steady_clock::now();
+  inner_->on_block(buf);
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ++m_.blocks;
+  m_.fetch_events += buf.fetch().size();
+  m_.data_events += buf.data().size();
+  m_.marks += buf.marks().size();
+  m_.drain_seconds += dt;
+  if (dt > m_.max_block_seconds) m_.max_block_seconds = dt;
+}
+
+Collectors::Collectors(const Options& opts, rt::BackendKind backend,
+                       const tamc::CompiledProgram& compiled,
+                       std::uint32_t block_bytes)
+    : opts_(opts), symbols_(tamc::SymbolMap::from(compiled)) {
+  if (opts_.profile) {
+    std::vector<cache::CacheConfig> cfgs;
+    std::vector<ProfileCacheConfig> want = opts_.profile_caches;
+    if (want.empty()) want.push_back(ProfileCacheConfig{});  // 8K 4-way
+    for (const ProfileCacheConfig& pc : want) {
+      cache::CacheConfig cc;
+      cc.size_bytes = pc.size_bytes;
+      cc.block_bytes = block_bytes;
+      cc.assoc = pc.assoc;
+      cc.validate();
+      cfgs.push_back(cc);
+    }
+    profiler_.emplace(&symbols_, std::move(cfgs));
+  }
+  if (opts_.histograms) distributions_.emplace(backend);
+  if (opts_.timeline) {
+    timeline_.emplace(backend, &symbols_, opts_.timeline_max_events);
+  }
+}
+
+void Collectors::attach(driver::TracePipeline& pipe) {
+  if (profiler_) pipe.add(&*profiler_);
+  if (distributions_) pipe.add(&*distributions_);
+  if (timeline_) pipe.add(&*timeline_);
+}
+
+Report Collectors::finish(const PipelineMetrics* pm) {
+  Report r;
+  if (profiler_) r.profile = profiler_->finish();
+  if (distributions_) r.distributions = distributions_->finish();
+  if (timeline_) r.timeline = timeline_->finish();
+  if (pm != nullptr) r.pipeline = *pm;
+  return r;
+}
+
+namespace {
+
+void histogram_row(text::Table& t, const char* name, const Histogram& h) {
+  t.row({name, text::with_commas(h.count()), text::with_commas(h.sum()),
+         text::fixed(h.mean(), 2), text::fixed(h.p50(), 1),
+         text::fixed(h.p95(), 1), text::with_commas(h.max())});
+}
+
+}  // namespace
+
+void Report::write_text(std::ostream& os, int top_n) const {
+  if (profile) {
+    os << "Flat profile (top " << top_n << " of " << profile->rows.size()
+       << " rows; instructions = fetches):\n";
+    text::Table t;
+    std::vector<std::string> head = {"routine", "kind",   "instrs",
+                                     "%",       "reads",  "writes"};
+    for (const auto& c : profile->caches) head.push_back("imiss " + c.name());
+    for (const auto& c : profile->caches) head.push_back("dmiss " + c.name());
+    t.header(std::move(head));
+    const double total =
+        profile->total_fetches == 0
+            ? 1.0
+            : static_cast<double>(profile->total_fetches);
+    for (const ProfileRow* r : profile->top(top_n)) {
+      std::vector<std::string> cells = {
+          r->name,
+          tamc::symbol_kind_name(r->kind),
+          text::with_commas(r->fetches),
+          text::fixed(100.0 * static_cast<double>(r->fetches) / total, 1),
+          text::with_commas(r->reads),
+          text::with_commas(r->writes)};
+      for (std::uint64_t m : r->imisses) cells.push_back(text::with_commas(m));
+      for (std::uint64_t m : r->dmisses) cells.push_back(text::with_commas(m));
+      t.row(std::move(cells));
+    }
+    t.print(os);
+    os << "\n";
+  }
+  if (distributions) {
+    os << "Distributions:\n";
+    text::Table t;
+    t.header({"metric", "count", "sum", "mean", "p50", "p95", "max"});
+    histogram_row(t, "instructions / quantum", distributions->quantum_len);
+    histogram_row(t, "threads / quantum", distributions->tpq);
+    histogram_row(t, "instructions / thread", distributions->ipt);
+    histogram_row(t, "instructions / inlet", distributions->inlet_len);
+    histogram_row(t, "queue depth @ dispatch (low)",
+                  distributions->queue_depth[0]);
+    histogram_row(t, "queue depth @ dispatch (high)",
+                  distributions->queue_depth[1]);
+    histogram_row(t, "queue bytes @ dispatch (low)",
+                  distributions->queue_bytes[0]);
+    histogram_row(t, "queue bytes @ dispatch (high)",
+                  distributions->queue_bytes[1]);
+    t.print(os);
+    os << "\n";
+  }
+  if (timeline) {
+    os << "Timeline: " << text::with_commas(timeline->slices.size())
+       << " slices, " << text::with_commas(timeline->instants.size())
+       << " instants, " << text::with_commas(timeline->queue.size())
+       << " queue samples over "
+       << text::with_commas(timeline->total_instructions)
+       << " instructions";
+    if (timeline->dropped != 0) {
+      os << " (" << text::with_commas(timeline->dropped)
+         << " events past the cap were dropped)";
+    }
+    os << "\n\n";
+  }
+  if (pipeline) {
+    os << "Trace pipeline: " << text::with_commas(pipeline->blocks)
+       << " blocks, " << text::with_commas(pipeline->total_events())
+       << " events ("
+       << text::with_commas(
+              static_cast<std::uint64_t>(pipeline->events_per_second()))
+       << " events/s in drains; slowest block "
+       << text::fixed(pipeline->max_block_seconds * 1e3, 2) << " ms)\n";
+  }
+}
+
+}  // namespace jtam::obs

@@ -1,0 +1,102 @@
+// jtam::obs — observability over simulated runs.
+//
+// Bundles the individual collectors (profiler, distribution histograms,
+// timeline, pipeline self-metrics) behind one attach/finish pair so the
+// experiment driver can wire them into the batched trace pipeline with a
+// couple of lines.  Everything here observes the trace stream without
+// touching any measured state: a run with collectors attached produces a
+// RunResult bit-identical to a plain run (tests/obs_test.cpp), which is
+// why obs::Options is excluded from the run-memoization key.
+//
+// The collectors consume TraceBuffer blocks, so observability requires the
+// batched pipeline (RunOptions::batched_trace, the default); on the seed
+// per-event path the driver simply produces no report.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+
+#include "driver/trace_buffer.h"
+#include "obs/distributions.h"
+#include "obs/options.h"
+#include "obs/profiler.h"
+#include "obs/timeline.h"
+#include "runtime/layout.h"
+#include "tamc/lower.h"
+#include "tamc/symbols.h"
+
+namespace jtam::obs {
+
+/// Wall-clock self-metrics of the batched trace pipeline.  These measure
+/// the *simulator's* throughput, never the simulated program — they are
+/// reported alongside RunResult but are not part of it.
+struct PipelineMetrics {
+  std::uint64_t blocks = 0;
+  std::uint64_t fetch_events = 0;
+  std::uint64_t data_events = 0;
+  std::uint64_t marks = 0;
+  double drain_seconds = 0;      // total wall time inside block drains
+  double max_block_seconds = 0;  // slowest single block
+
+  std::uint64_t total_events() const {
+    return fetch_events + data_events + marks;
+  }
+  double events_per_second() const {
+    return drain_seconds <= 0 ? 0.0
+                              : static_cast<double>(total_events()) /
+                                    drain_seconds;
+  }
+};
+
+/// Everything the collectors produced for one run.
+struct Report {
+  std::optional<Profile> profile;
+  std::optional<Distributions> distributions;
+  std::optional<Timeline> timeline;
+  std::optional<PipelineMetrics> pipeline;
+
+  /// Human-readable rendering (profile top-`top_n`, distribution summary,
+  /// pipeline throughput).  The timeline is summarized, not dumped — use
+  /// write_chrome_trace for the real artifact.
+  void write_text(std::ostream& os, int top_n = 20) const;
+};
+
+/// TraceDrain wrapper that times every block handed to the inner drain and
+/// counts its events.
+class MeteredPipeline final : public mdp::TraceDrain {
+ public:
+  explicit MeteredPipeline(mdp::TraceDrain* inner) : inner_(inner) {}
+  void on_block(const mdp::TraceBuffer& buf) override;
+  const PipelineMetrics& metrics() const { return m_; }
+
+ private:
+  mdp::TraceDrain* inner_;
+  PipelineMetrics m_;
+};
+
+/// The collectors requested by an obs::Options, ready to attach to a run's
+/// TracePipeline.  Owns the symbol map the profiler and timeline share.
+class Collectors {
+ public:
+  Collectors(const Options& opts, rt::BackendKind backend,
+             const tamc::CompiledProgram& compiled,
+             std::uint32_t block_bytes);
+
+  /// Append the requested consumers to `pipe` (after the measurement
+  /// consumers, so a collector throwing cannot perturb them).
+  void attach(driver::TracePipeline& pipe);
+
+  /// Close all collectors and assemble the report.  `pm` is the metered
+  /// drain's result when pipeline metrics were requested, else null.
+  Report finish(const PipelineMetrics* pm);
+
+ private:
+  Options opts_;
+  tamc::SymbolMap symbols_;
+  std::optional<Profiler> profiler_;
+  std::optional<DistributionBuilder> distributions_;
+  std::optional<TimelineBuilder> timeline_;
+};
+
+}  // namespace jtam::obs

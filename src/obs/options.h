@@ -1,0 +1,56 @@
+// Observability configuration carried inside driver::RunOptions.
+//
+// Every collector is zero-cost when off: run_workload attaches the
+// corresponding TraceConsumer to the batched pipeline only for the
+// features requested here, and none of them writes to any measured state —
+// RunResult numbers are bit-identical with observability on or off
+// (enforced by tests/obs_test.cpp).  Deliberately dependency-light so
+// driver/experiment.h can include it without pulling the collectors in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jtam::obs {
+
+/// A cache geometry the profiler attributes misses for (it simulates its
+/// own private caches; the measured CacheBank is never touched).
+struct ProfileCacheConfig {
+  std::uint32_t size_bytes = 8 * 1024;
+  std::uint32_t assoc = 4;
+};
+
+struct Options {
+  /// Flat per-routine profile: instructions, reads/writes, and per-config
+  /// cache misses attributed to TAM codeblocks/inlets/threads and kernel
+  /// routines via the tamc symbol map.
+  bool profile = false;
+  /// Distribution histograms: quantum length, threads per quantum, inlet
+  /// run length, and queue depth sampled at dispatch.
+  bool histograms = false;
+  /// Scheduling timeline (frame activations, quanta, handlers, queue
+  /// occupancy) exportable as Chrome/Perfetto trace-event JSON.
+  bool timeline = false;
+  /// Self-metrics of the batched trace pipeline (events/sec, block drain
+  /// latency) — wall-clock measurements, never part of RunResult numbers.
+  bool pipeline_metrics = false;
+
+  /// Cache geometries the profiler simulates for miss attribution.  Empty
+  /// means the paper's headline 8K 4-way config.
+  std::vector<ProfileCacheConfig> profile_caches;
+  /// Cap on recorded timeline slices/samples; past it the timeline keeps
+  /// counting (for the truncation note) but stops recording.
+  std::size_t timeline_max_events = 1u << 20;
+
+  bool any() const {
+    return profile || histograms || timeline || pipeline_metrics;
+  }
+  static Options all() {
+    Options o;
+    o.profile = o.histograms = o.timeline = o.pipeline_metrics = true;
+    return o;
+  }
+};
+
+}  // namespace jtam::obs

@@ -1,0 +1,257 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "obs/replay.h"
+#include "support/json.h"
+
+namespace jtam::obs {
+
+namespace {
+
+constexpr std::uint32_t kNoPending = 0xFFFFFFFFu;
+
+}  // namespace
+
+Profiler::Profiler(const tamc::SymbolMap* map,
+                   std::vector<cache::CacheConfig> caches)
+    : map_(map), cache_cfgs_(std::move(caches)) {
+  for (const auto& cfg : cache_cfgs_) {
+    icaches_.emplace_back(cfg);
+    dcaches_.emplace_back(cfg);
+  }
+  nrows_ = map_->spans().size() + 2;
+  row_unmapped_ = static_cast<std::uint32_t>(map_->spans().size());
+  row_dispatch_ = row_unmapped_ + 1;
+  cells_.resize(nrows_);
+  imiss_.assign(cache_cfgs_.size() * nrows_, 0);
+  dmiss_.assign(cache_cfgs_.size() * nrows_, 0);
+  // Before the first mark a level's data accesses belong to whatever
+  // routine its first fetch lands in (kernel boot code): model run start
+  // as a pending switch carried into the first block.
+  cur_data_row_[0] = cur_data_row_[1] = row_unmapped_;
+  pending_carried_[0] = pending_carried_[1] = true;
+}
+
+std::uint32_t Profiler::row_of(mem::Addr code_addr) {
+  if (last_span_ != nullptr && code_addr >= last_span_->begin &&
+      code_addr < last_span_->end) {
+    return last_row_;
+  }
+  const tamc::SymbolSpan* s = map_->find(code_addr);
+  if (s == nullptr) return row_unmapped_;
+  last_span_ = s;
+  last_row_ = static_cast<std::uint32_t>(s - map_->spans().data());
+  return last_row_;
+}
+
+void Profiler::on_block(const mdp::TraceBuffer& buf) {
+  const std::size_t ncfg = cache_cfgs_.size();
+
+  // Pass 1: the fetch/mark walk.  Fetches attribute by address; marks
+  // become data-context switches — Dispatch/Suspend immediately (to the
+  // "(dispatch)" row, covering the machine's inter-handler queue
+  // accesses), context starts at the next same-level fetch.
+  switches_.clear();
+  std::uint32_t pending_pos[2] = {kNoPending, kNoPending};
+  for (int lv = 0; lv < 2; ++lv) {
+    if (pending_carried_[lv]) pending_pos[lv] = 0;
+  }
+  walk_fetches(
+      buf,
+      [&](const mdp::TraceBuffer::Mark& m) {
+        const auto kind = static_cast<mdp::MarkKind>(m.kind);
+        switch (kind) {
+          case mdp::MarkKind::ThreadStart:
+          case mdp::MarkKind::InletStart:
+          case mdp::MarkKind::SysStart:
+            if (pending_pos[m.level] == kNoPending) {
+              pending_pos[m.level] = m.data_pos;
+            }
+            break;
+          case mdp::MarkKind::Dispatch:
+          case mdp::MarkKind::Suspend:
+            switches_.push_back(Switch{m.data_pos, m.level, row_dispatch_});
+            break;
+          case mdp::MarkKind::Activate:
+          case mdp::MarkKind::FpCall:
+            break;
+        }
+      },
+      [&](std::size_t, mem::Addr addr, mdp::Priority p) {
+        const std::uint32_t row = row_of(addr);
+        ++cells_[row].fetch;
+        for (std::size_t c = 0; c < ncfg; ++c) {
+          if (!icaches_[c].read(addr)) ++imiss_[c * nrows_ + row];
+        }
+        const auto lv = static_cast<std::uint8_t>(p);
+        if (pending_pos[lv] != kNoPending) {
+          switches_.push_back(Switch{pending_pos[lv], lv, row});
+          pending_pos[lv] = kNoPending;
+        }
+      });
+  for (int lv = 0; lv < 2; ++lv) {
+    // A pending switch with no resolving fetch in this block carries over;
+    // the invariant (no same-level data between a mark and its resolving
+    // fetch) means applying it at position 0 of the next block is exact.
+    pending_carried_[lv] = pending_pos[lv] != kNoPending;
+  }
+
+  // Pass 2: the data walk, applying switches at their recorded positions.
+  std::stable_sort(switches_.begin(), switches_.end(),
+                   [](const Switch& a, const Switch& b) {
+                     return a.data_pos < b.data_pos;
+                   });
+  const auto& data = buf.data();
+  std::size_t si = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    while (si < switches_.size() && switches_[si].data_pos <= i) {
+      cur_data_row_[switches_[si].level] = switches_[si].row;
+      ++si;
+    }
+    const std::uint32_t w = data[i];
+    const std::uint32_t addr = w & ~3u;
+    const bool is_write = (w & 1u) != 0;
+    const std::uint32_t row = cur_data_row_[(w >> 1) & 1u];
+    if (is_write) {
+      ++cells_[row].write;
+    } else {
+      ++cells_[row].read;
+    }
+    for (std::size_t c = 0; c < ncfg; ++c) {
+      if (!dcaches_[c].access(addr, is_write)) ++dmiss_[c * nrows_ + row];
+    }
+  }
+  for (; si < switches_.size(); ++si) {
+    cur_data_row_[switches_[si].level] = switches_[si].row;
+  }
+}
+
+Profile Profiler::finish() {
+  Profile p;
+  p.caches = cache_cfgs_;
+  const std::size_t ncfg = cache_cfgs_.size();
+  for (std::size_t r = 0; r < nrows_; ++r) {
+    const Cell& c = cells_[r];
+    if (c.fetch == 0 && c.read == 0 && c.write == 0) continue;
+    ProfileRow row;
+    if (r < map_->spans().size()) {
+      const tamc::SymbolSpan& s = map_->spans()[r];
+      row.name = s.name;
+      row.kind = s.kind;
+      row.cb = s.cb;
+      row.idx = s.idx;
+    } else {
+      row.name = r == row_unmapped_ ? "(unmapped)" : "(dispatch)";
+      row.kind = tamc::SymbolKind::Other;
+    }
+    row.fetches = c.fetch;
+    row.reads = c.read;
+    row.writes = c.write;
+    row.imisses.resize(ncfg);
+    row.dmisses.resize(ncfg);
+    for (std::size_t cf = 0; cf < ncfg; ++cf) {
+      row.imisses[cf] = imiss_[cf * nrows_ + r];
+      row.dmisses[cf] = dmiss_[cf * nrows_ + r];
+    }
+    p.total_fetches += row.fetches;
+    p.total_reads += row.reads;
+    p.total_writes += row.writes;
+    p.rows.push_back(std::move(row));
+  }
+  return p;
+}
+
+std::vector<const ProfileRow*> Profile::top(int n) const {
+  std::vector<const ProfileRow*> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(&r);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ProfileRow* a, const ProfileRow* b) {
+                     return a->fetches > b->fetches;
+                   });
+  if (n > 0 && static_cast<std::size_t>(n) < out.size()) out.resize(n);
+  return out;
+}
+
+std::vector<ProfileRow> Profile::by_codeblock() const {
+  std::map<int, ProfileRow> acc;
+  for (const auto& r : rows) {
+    if (r.cb < 0) continue;
+    auto [it, fresh] = acc.try_emplace(r.cb);
+    ProfileRow& g = it->second;
+    if (fresh) {
+      g.name = "codeblock " + std::to_string(r.cb);
+      g.kind = tamc::SymbolKind::Thread;
+      g.cb = r.cb;
+      g.imisses.resize(caches.size());
+      g.dmisses.resize(caches.size());
+    }
+    g.fetches += r.fetches;
+    g.reads += r.reads;
+    g.writes += r.writes;
+    for (std::size_t c = 0; c < caches.size(); ++c) {
+      g.imisses[c] += r.imisses[c];
+      g.dmisses[c] += r.dmisses[c];
+    }
+  }
+  std::vector<ProfileRow> out;
+  out.reserve(acc.size());
+  for (auto& [cb, row] : acc) out.push_back(std::move(row));
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ProfileRow& a, const ProfileRow& b) {
+                     return a.fetches > b.fetches;
+                   });
+  return out;
+}
+
+void Profile::write_csv(std::ostream& os) const {
+  os << "name,kind,cb,idx,fetches,reads,writes";
+  for (const auto& c : caches) os << ",imiss_" << c.name();
+  for (const auto& c : caches) os << ",dmiss_" << c.name();
+  os << "\n";
+  for (const auto& r : rows) {
+    os << r.name << ',' << tamc::symbol_kind_name(r.kind) << ',' << r.cb
+       << ',' << r.idx << ',' << r.fetches << ',' << r.reads << ','
+       << r.writes;
+    for (std::uint64_t m : r.imisses) os << ',' << m;
+    for (std::uint64_t m : r.dmisses) os << ',' << m;
+    os << "\n";
+  }
+}
+
+void Profile::write_json(std::ostream& os) const {
+  os << "{\n  \"caches\": [";
+  for (std::size_t i = 0; i < caches.size(); ++i) {
+    const auto& c = caches[i];
+    os << (i == 0 ? "" : ", ") << "{\"name\": \"" << json::escape(c.name())
+       << "\", \"size_bytes\": " << c.size_bytes
+       << ", \"block_bytes\": " << c.block_bytes
+       << ", \"assoc\": " << c.assoc << "}";
+  }
+  os << "],\n  \"totals\": {\"fetches\": " << total_fetches
+     << ", \"reads\": " << total_reads << ", \"writes\": " << total_writes
+     << "},\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+       << json::escape(r.name) << "\", \"kind\": \""
+       << tamc::symbol_kind_name(r.kind) << "\", \"cb\": " << r.cb
+       << ", \"idx\": " << r.idx << ", \"fetches\": " << r.fetches
+       << ", \"reads\": " << r.reads << ", \"writes\": " << r.writes
+       << ", \"imisses\": [";
+    for (std::size_t c = 0; c < r.imisses.size(); ++c) {
+      os << (c == 0 ? "" : ", ") << r.imisses[c];
+    }
+    os << "], \"dmisses\": [";
+    for (std::size_t c = 0; c < r.dmisses.size(); ++c) {
+      os << (c == 0 ? "" : ", ") << r.dmisses[c];
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace jtam::obs

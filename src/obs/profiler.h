@@ -1,0 +1,105 @@
+// Flat profiler over the batched trace pipeline.
+//
+// Attributes every instruction fetch to the routine containing it (via the
+// tamc symbol map: TAM threads/inlets, kernel routines, the FP library)
+// and every data access to the mark-delimited context it executed under —
+// so a thread's profile row includes the reads/writes of the kernel and
+// FP-library calls it made, matching the paper's calling-context
+// attribution of instruction costs.  For each requested cache geometry the
+// profiler additionally simulates private I/D caches over the same streams
+// the measured CacheBank consumes (bit-identical miss totals, asserted by
+// tests/obs_test.cpp) and charges each miss to the same rows.
+//
+// Data-context reconstruction: the batched buffer does not preserve the
+// interleaving of data events with fetches, but every mark records both
+// its fetch and data positions.  A context switch (ThreadStart /
+// InletStart / SysStart) takes effect at the mark's data position; its
+// *row* is the routine of the next same-level fetch (the first instruction
+// of the new context).  Because a level emits no data events between a
+// mark and its next fetch, this reconstruction is exact.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "driver/trace_buffer.h"
+#include "tamc/symbols.h"
+
+namespace jtam::obs {
+
+struct ProfileRow {
+  std::string name;
+  tamc::SymbolKind kind = tamc::SymbolKind::Other;
+  int cb = -1;   // codeblock id for thread/inlet rows
+  int idx = -1;  // thread/inlet id
+  std::uint64_t fetches = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::vector<std::uint64_t> imisses;  // parallel to Profile::caches
+  std::vector<std::uint64_t> dmisses;
+};
+
+struct Profile {
+  std::vector<cache::CacheConfig> caches;
+  std::vector<ProfileRow> rows;  // address order; pseudo rows last
+  std::uint64_t total_fetches = 0;
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_writes = 0;
+
+  /// Rows sorted by descending fetch count; `n <= 0` returns all.
+  std::vector<const ProfileRow*> top(int n) const;
+  /// One row per codeblock (thread+inlet rows merged), sorted descending.
+  std::vector<ProfileRow> by_codeblock() const;
+
+  void write_csv(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+};
+
+class Profiler final : public driver::TraceConsumer {
+ public:
+  /// `map` must outlive the profiler.  `caches` are the geometries to
+  /// attribute misses for (may be empty).
+  Profiler(const tamc::SymbolMap* map,
+           std::vector<cache::CacheConfig> caches);
+
+  void on_block(const mdp::TraceBuffer& buf) override;
+
+  /// Assemble the report (call once, after the final flush).
+  Profile finish();
+
+ private:
+  struct Cell {
+    std::uint64_t fetch = 0;
+    std::uint64_t read = 0;
+    std::uint64_t write = 0;
+  };
+  struct Switch {
+    std::uint32_t data_pos;
+    std::uint8_t level;
+    std::uint32_t row;
+  };
+
+  std::uint32_t row_of(mem::Addr code_addr);
+
+  const tamc::SymbolMap* map_;
+  std::vector<cache::CacheConfig> cache_cfgs_;
+  std::vector<cache::SetAssocCache> icaches_;  // one per config
+  std::vector<cache::SetAssocCache> dcaches_;
+  std::size_t nrows_;
+  std::uint32_t row_unmapped_;
+  std::uint32_t row_dispatch_;
+  std::vector<Cell> cells_;
+  std::vector<std::uint64_t> imiss_;  // [config * nrows_ + row]
+  std::vector<std::uint64_t> dmiss_;
+  std::uint32_t cur_data_row_[2];
+  std::vector<std::uint32_t> pending_data_pos_[2];  // unresolved switches
+  bool pending_carried_[2] = {false, false};  // carried from a prior block
+  std::vector<Switch> switches_;              // scratch, rebuilt per block
+  const tamc::SymbolSpan* last_span_ = nullptr;  // lookup memo
+  std::uint32_t last_row_ = 0;
+};
+
+}  // namespace jtam::obs

@@ -1,0 +1,36 @@
+// Shared walk over one batched trace block: fetches in order with marks
+// applied at their recorded fetch positions — the same merge the stats
+// replay performs, exposed as a header-only helper so every observability
+// consumer reproduces the exact fetch/mark interleaving without copying
+// the loop.  Data events are not part of this walk; consumers that need
+// them attribute via TraceBuffer::Mark::data_pos (see profiler.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mdp/machine.h"
+
+namespace jtam::obs {
+
+/// Calls `on_mark(const TraceBuffer::Mark&)` and
+/// `on_fetch(std::size_t index, mem::Addr addr, mdp::Priority level)` in
+/// the exact order the machine produced them.
+template <typename MarkFn, typename FetchFn>
+inline void walk_fetches(const mdp::TraceBuffer& buf, MarkFn&& on_mark,
+                         FetchFn&& on_fetch) {
+  const auto& fetch = buf.fetch();
+  const auto& marks = buf.marks();
+  std::size_t mi = 0;
+  for (std::size_t i = 0; i < fetch.size(); ++i) {
+    while (mi < marks.size() && marks[mi].fetch_pos == i) {
+      on_mark(marks[mi++]);
+    }
+    const std::uint32_t w = fetch[i];
+    on_fetch(i, w & ~3u,
+             (w & 1u) != 0 ? mdp::Priority::High : mdp::Priority::Low);
+  }
+  while (mi < marks.size()) on_mark(marks[mi++]);
+}
+
+}  // namespace jtam::obs

@@ -1,0 +1,175 @@
+#include "obs/timeline.h"
+
+#include <ostream>
+
+#include "obs/replay.h"
+#include "support/json.h"
+
+namespace jtam::obs {
+
+TimelineBuilder::TimelineBuilder(rt::BackendKind backend,
+                                 const tamc::SymbolMap* map,
+                                 std::size_t max_events)
+    : backend_(backend), map_(map), max_events_(max_events) {}
+
+void TimelineBuilder::emit_slice(Timeline::Slice s) {
+  if (tl_.recorded_events() < max_events_) {
+    tl_.slices.push_back(std::move(s));
+  } else {
+    ++tl_.dropped;
+  }
+}
+
+void TimelineBuilder::open_slice(int level, std::uint64_t ts,
+                                 const char* fallback, std::uint32_t frame) {
+  Open& o = open_[level];
+  o.active = true;
+  o.named = map_ == nullptr;  // with a map, the first fetch names the slice
+  o.ts = ts;
+  o.name = fallback;
+  o.frame = frame;
+}
+
+void TimelineBuilder::close_slice(int level, std::uint64_t ts) {
+  Open& o = open_[level];
+  if (!o.active) return;
+  o.active = false;
+  emit_slice(Timeline::Slice{o.ts, ts - o.ts, std::move(o.name), level,
+                             o.frame});
+}
+
+void TimelineBuilder::on_block(const mdp::TraceBuffer& buf) {
+  walk_fetches(
+      buf,
+      [&](const mdp::TraceBuffer::Mark& m) {
+        const int l = m.level;
+        const std::uint64_t ts = fetch_base_ + m.fetch_pos;
+        const auto kind = static_cast<mdp::MarkKind>(m.kind);
+        switch (kind) {
+          case mdp::MarkKind::ThreadStart:
+          case mdp::MarkKind::InletStart:
+          case mdp::MarkKind::SysStart: {
+            close_slice(l, ts);
+            const char* fallback = kind == mdp::MarkKind::ThreadStart
+                                       ? "thread"
+                                       : kind == mdp::MarkKind::InletStart
+                                             ? "inlet"
+                                             : "sys";
+            open_slice(l, ts, fallback, m.aux);
+            const bool boundary =
+                kind == mdp::MarkKind::ThreadStart
+                    ? m.aux != quantum_frame_
+                    : kind == mdp::MarkKind::InletStart &&
+                          backend_ == rt::BackendKind::MessageDriven &&
+                          l == static_cast<int>(mdp::Priority::Low) &&
+                          m.aux != quantum_frame_;
+            if (boundary) {
+              if (quantum_.active) {
+                emit_slice(Timeline::Slice{quantum_.ts, ts - quantum_.ts,
+                                           std::move(quantum_.name),
+                                           kTimelineQuantumTrack,
+                                           quantum_.frame});
+              }
+              quantum_.active = true;
+              quantum_.ts = ts;
+              quantum_.name =
+                  "quantum f=" + std::to_string(m.aux);
+              quantum_.frame = m.aux;
+              quantum_frame_ = m.aux;
+            }
+            break;
+          }
+          case mdp::MarkKind::Activate:
+            if (tl_.recorded_events() < max_events_) {
+              tl_.instants.push_back(
+                  Timeline::Instant{ts, "activate", l, m.aux});
+            } else {
+              ++tl_.dropped;
+            }
+            break;
+          case mdp::MarkKind::Dispatch:
+          case mdp::MarkKind::Suspend:
+            if (kind == mdp::MarkKind::Suspend) close_slice(l, ts);
+            if (tl_.recorded_events() < max_events_) {
+              tl_.queue.push_back(Timeline::QueueSample{
+                  ts, l, mdp::queue_sample_depth(m.aux),
+                  mdp::queue_sample_bytes(m.aux)});
+            } else {
+              ++tl_.dropped;
+            }
+            break;
+          case mdp::MarkKind::FpCall:
+            break;  // stays inside the calling slice
+        }
+      },
+      [&](std::size_t i, mem::Addr addr, mdp::Priority p) {
+        Open& o = open_[static_cast<int>(p)];
+        if (o.active && !o.named) {
+          if (const tamc::SymbolSpan* s = map_->find(addr)) {
+            o.name = s->name;
+          }
+          o.named = true;
+        }
+        (void)i;
+      });
+  fetch_base_ += buf.fetch().size();
+}
+
+Timeline TimelineBuilder::finish() {
+  close_slice(0, fetch_base_);
+  close_slice(1, fetch_base_);
+  if (quantum_.active) {
+    quantum_.active = false;
+    emit_slice(Timeline::Slice{quantum_.ts, fetch_base_ - quantum_.ts,
+                               std::move(quantum_.name),
+                               kTimelineQuantumTrack, quantum_.frame});
+  }
+  tl_.total_instructions = fetch_base_;
+  return tl_;
+}
+
+void write_chrome_trace(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, const Timeline*>>& runs) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&]() -> std::ostream& {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    return os;
+  };
+  int pid = 0;
+  for (const auto& [label, tl] : runs) {
+    ++pid;
+    sep() << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+          << ", \"args\": {\"name\": \"" << json::escape(label) << "\"}}";
+    static const char* kTracks[] = {"low priority", "high priority",
+                                    "quanta"};
+    for (int t = 0; t < 3; ++t) {
+      sep() << " {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid
+            << ", \"tid\": " << t << ", \"args\": {\"name\": \"" << kTracks[t]
+            << "\"}}";
+    }
+    for (const auto& s : tl->slices) {
+      sep() << " {\"name\": \"" << json::escape(s.name)
+            << "\", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << s.tid
+            << ", \"ts\": " << s.ts << ", \"dur\": " << s.dur
+            << ", \"args\": {\"frame\": " << s.frame << "}}";
+    }
+    for (const auto& in : tl->instants) {
+      sep() << " {\"name\": \"" << json::escape(in.name)
+            << "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+            << ", \"tid\": " << in.tid << ", \"ts\": " << in.ts
+            << ", \"args\": {\"frame\": " << in.frame << "}}";
+    }
+    for (const auto& q : tl->queue) {
+      sep() << " {\"name\": \"queue L" << q.level
+            << "\", \"ph\": \"C\", \"pid\": " << pid << ", \"ts\": " << q.ts
+            << ", \"args\": {\"records\": " << q.depth
+            << ", \"bytes\": " << q.bytes << "}}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace jtam::obs

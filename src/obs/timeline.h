@@ -1,0 +1,109 @@
+// Scheduling timeline exporter (Chrome trace-event / Perfetto JSON).
+//
+// Reconstructs the machine's scheduling structure from the mark stream as
+// slices on a per-priority-level track, plus a synthetic "quanta" track
+// and a queue-occupancy counter per level, and writes the Chrome
+// trace-event JSON format (the `traceEvents` array form) that
+// ui.perfetto.dev and chrome://tracing load directly.  Timestamps are the
+// cumulative simulated instruction index — 1 "microsecond" per
+// instruction — so slice widths are directly comparable across runs.
+// Several runs (e.g. the MD and AM back-ends of one program) can be
+// written into a single file as separate processes.
+//
+// Slices are named via the tamc symbol map when one is provided (a slice
+// opened by ThreadStart/InletStart/SysStart is named after the routine of
+// the next same-level fetch — its first instruction); without a map they
+// fall back to the generic context names.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/trace_buffer.h"
+#include "runtime/layout.h"
+#include "tamc/symbols.h"
+
+namespace jtam::obs {
+
+/// Track ids inside one process: 0/1 are the priority levels, 2 the
+/// synthetic quantum track.
+inline constexpr int kTimelineQuantumTrack = 2;
+
+struct Timeline {
+  struct Slice {
+    std::uint64_t ts = 0;   // start, in simulated instructions
+    std::uint64_t dur = 0;  // length, in simulated instructions
+    std::string name;
+    int tid = 0;
+    std::uint32_t frame = 0;  // frame argument of the opening mark
+  };
+  struct Instant {
+    std::uint64_t ts = 0;
+    std::string name;
+    int tid = 0;
+    std::uint32_t frame = 0;
+  };
+  struct QueueSample {
+    std::uint64_t ts = 0;
+    int level = 0;
+    std::uint32_t depth = 0;
+    std::uint32_t bytes = 0;
+  };
+
+  std::vector<Slice> slices;
+  std::vector<Instant> instants;
+  std::vector<QueueSample> queue;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t dropped = 0;  // events past the recording cap
+
+  std::size_t recorded_events() const {
+    return slices.size() + instants.size() + queue.size();
+  }
+};
+
+class TimelineBuilder final : public driver::TraceConsumer {
+ public:
+  /// `map` may be null (generic slice names).  `max_events` caps recorded
+  /// events; past it the builder keeps counting into Timeline::dropped.
+  TimelineBuilder(rt::BackendKind backend, const tamc::SymbolMap* map,
+                  std::size_t max_events);
+
+  void on_block(const mdp::TraceBuffer& buf) override;
+
+  /// Close open slices and return the result (call once).
+  Timeline finish();
+
+ private:
+  struct Open {
+    bool active = false;
+    bool named = false;  // name resolved from the first fetch yet?
+    std::uint64_t ts = 0;
+    std::string name;
+    std::uint32_t frame = 0;
+  };
+
+  void open_slice(int level, std::uint64_t ts, const char* fallback,
+                  std::uint32_t frame);
+  void close_slice(int level, std::uint64_t ts);
+  void emit_slice(Timeline::Slice s);
+
+  rt::BackendKind backend_;
+  const tamc::SymbolMap* map_;
+  std::size_t max_events_;
+  Timeline tl_;
+  std::uint64_t fetch_base_ = 0;  // instructions before the current block
+  Open open_[2];
+  Open quantum_;
+  std::uint32_t quantum_frame_ = 0;
+};
+
+/// Write one or more labelled timelines as a Chrome trace-event JSON
+/// document, one process per timeline.
+void write_chrome_trace(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, const Timeline*>>& runs);
+
+}  // namespace jtam::obs

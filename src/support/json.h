@@ -1,0 +1,74 @@
+// Minimal JSON reader for validating machine-readable artifacts.
+//
+// The observability layer emits Chrome trace-event files and profile
+// exports; tests and tools need to confirm those parse and have the right
+// shape without taking an external dependency.  This is a strict
+// recursive-descent parser over the JSON grammar (RFC 8259) — no comments,
+// no trailing commas — returning a simple tree of values.  It is meant for
+// validation and small documents, not for bulk data processing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jtam::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Value() : type_(Type::Null) {}
+  explicit Value(bool b) : type_(Type::Bool), bool_(b) {}
+  explicit Value(double n) : type_(Type::Number), num_(n) {}
+  explicit Value(std::string s)
+      : type_(Type::String), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::Array), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::Object), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  // Typed accessors; each throws jtam::Error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member access; throws if not an object or the key is absent.
+  const Value& at(const std::string& key) const;
+  /// True if this is an object containing `key`.
+  bool has(const std::string& key) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse a complete JSON document.  Throws jtam::Error with a byte offset
+/// on malformed input or trailing garbage.
+Value parse(const std::string& text);
+
+/// Escape `s` for embedding inside a JSON string literal (quotes not
+/// included).  Control characters become \u00XX.
+std::string escape(const std::string& s);
+
+}  // namespace jtam::json

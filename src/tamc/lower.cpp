@@ -617,9 +617,8 @@ CompiledProgram compile(const tam::Program& prog, const CompileOptions& opts) {
 
   LowerEnv env{a,       prog, opts,
                kernel,  layouts, plan,
-               {},      {},   rt::inlet_queue(opts.backend)};
-  env.prep_threads = std::move(prep_threads);
-  env.prep_inlets = std::move(prep_inlets);
+               {},      {},   rt::inlet_queue(opts.backend),
+               std::move(prep_threads), std::move(prep_inlets), {}};
   if (opts.backend == rt::BackendKind::Hybrid) {
     JTAM_CHECK(!opts.am_enabled_variant,
                "the enabled variant applies to the AM back-end only");

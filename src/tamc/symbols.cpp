@@ -1,0 +1,113 @@
+#include "tamc/symbols.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace jtam::tamc {
+
+namespace {
+
+/// Parse "u<cb>_t<t>" / "u<cb>_in<i>" names; returns false for others.
+bool parse_user_sym(const std::string& name, SymbolKind* kind, int* cb,
+                    int* idx) {
+  if (name.size() < 4 || name[0] != 'u' ||
+      std::isdigit(static_cast<unsigned char>(name[1])) == 0) {
+    return false;
+  }
+  std::size_t p = 1;
+  int cb_v = 0;
+  while (p < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[p])) != 0) {
+    cb_v = cb_v * 10 + (name[p] - '0');
+    ++p;
+  }
+  if (p + 1 >= name.size() || name[p] != '_') return false;
+  ++p;
+  SymbolKind k;
+  if (name.compare(p, 2, "in") == 0) {
+    k = SymbolKind::Inlet;
+    p += 2;
+  } else if (name[p] == 't') {
+    k = SymbolKind::Thread;
+    p += 1;
+  } else {
+    return false;
+  }
+  if (p >= name.size()) return false;
+  int idx_v = 0;
+  for (; p < name.size(); ++p) {
+    if (std::isdigit(static_cast<unsigned char>(name[p])) == 0) return false;
+    idx_v = idx_v * 10 + (name[p] - '0');
+  }
+  *kind = k;
+  *cb = cb_v;
+  *idx = idx_v;
+  return true;
+}
+
+SymbolKind classify(const std::string& name, mem::Addr addr, int* cb,
+                    int* idx) {
+  *cb = -1;
+  *idx = -1;
+  if (name.rfind("fp_", 0) == 0) return SymbolKind::FpLib;
+  SymbolKind k;
+  if (parse_user_sym(name, &k, cb, idx)) return k;
+  if (addr < mem::kUserCodeBase) return SymbolKind::Kernel;
+  return SymbolKind::Other;
+}
+
+}  // namespace
+
+const char* symbol_kind_name(SymbolKind k) {
+  switch (k) {
+    case SymbolKind::Kernel: return "kernel";
+    case SymbolKind::FpLib: return "fplib";
+    case SymbolKind::Inlet: return "inlet";
+    case SymbolKind::Thread: return "thread";
+    case SymbolKind::Other: return "other";
+  }
+  return "?";
+}
+
+SymbolMap SymbolMap::from(const CompiledProgram& cp) {
+  return from_image(cp.image);
+}
+
+SymbolMap SymbolMap::from_image(const mdp::CodeImage& image) {
+  SymbolMap m;
+  m.spans_.reserve(image.symbols.size());
+  for (const auto& [name, addr] : image.symbols) {
+    SymbolSpan s;
+    s.begin = addr;
+    s.name = name;
+    s.kind = classify(name, addr, &s.cb, &s.idx);
+    m.spans_.push_back(std::move(s));
+  }
+  std::sort(m.spans_.begin(), m.spans_.end(),
+            [](const SymbolSpan& a, const SymbolSpan& b) {
+              return a.begin < b.begin;
+            });
+  // Close each span at the next symbol or its section's code limit.
+  const mem::Addr sys_limit = image.sys_code_limit();
+  const mem::Addr user_limit = image.user_code_limit();
+  for (std::size_t i = 0; i < m.spans_.size(); ++i) {
+    const mem::Addr section_limit =
+        m.spans_[i].begin < mem::kUserCodeBase ? sys_limit : user_limit;
+    m.spans_[i].end = i + 1 < m.spans_.size()
+                          ? std::min(m.spans_[i + 1].begin, section_limit)
+                          : section_limit;
+  }
+  m.begins_.reserve(m.spans_.size());
+  for (const SymbolSpan& s : m.spans_) m.begins_.push_back(s.begin);
+  return m;
+}
+
+const SymbolSpan* SymbolMap::find(mem::Addr a) const {
+  auto it = std::upper_bound(begins_.begin(), begins_.end(), a);
+  if (it == begins_.begin()) return nullptr;
+  const SymbolSpan& s = spans_[static_cast<std::size_t>(
+      std::distance(begins_.begin(), it) - 1)];
+  return a < s.end ? &s : nullptr;
+}
+
+}  // namespace jtam::tamc

@@ -1,0 +1,68 @@
+// Symbol map emitted by the TAM compiler for the observability layer.
+//
+// The assembler's linked symbol table already names every runtime kernel
+// entry point, floating-point library routine, and compiled inlet/thread
+// (CompiledProgram::thread_sym / inlet_sym).  This module turns that flat
+// name -> address table into sorted, non-overlapping address *spans* so a
+// profiler can attribute each instruction fetch to the routine containing
+// it with one binary search.
+//
+// Spans cover [symbol address, next symbol address) within a code section;
+// addresses before the first symbol of a section (there are none today,
+// but the map does not assume that) fall outside every span and are
+// reported as unmapped by find().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mem/memory_map.h"
+#include "tamc/lower.h"
+
+namespace jtam::tamc {
+
+/// Coarse classification of a code symbol, parsed from its name and
+/// section: the profiler groups rows and reports by these.
+enum class SymbolKind : std::uint8_t {
+  Kernel,  // runtime kernel routine (system code, "rt_*", stubs)
+  FpLib,   // software floating-point library ("fp_*")
+  Inlet,   // compiled TAM inlet ("u<cb>_in<i>")
+  Thread,  // compiled TAM thread ("u<cb>_t<t>")
+  Other,   // anything else in user code
+};
+
+const char* symbol_kind_name(SymbolKind k);
+
+/// One routine's address range.  `cb`/`idx` are the codeblock and
+/// thread/inlet ids for Inlet/Thread symbols, -1 otherwise.
+struct SymbolSpan {
+  mem::Addr begin = 0;
+  mem::Addr end = 0;  // exclusive
+  std::string name;
+  SymbolKind kind = SymbolKind::Other;
+  int cb = -1;
+  int idx = -1;
+};
+
+/// Sorted span table over both code sections.
+class SymbolMap {
+ public:
+  SymbolMap() = default;
+
+  /// Build the map for a compiled program.
+  static SymbolMap from(const CompiledProgram& cp);
+  /// Build directly from a linked image (what `from` uses internally).
+  static SymbolMap from_image(const mdp::CodeImage& image);
+
+  /// The span containing `a`, or nullptr when `a` is not covered.
+  const SymbolSpan* find(mem::Addr a) const;
+
+  const std::vector<SymbolSpan>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+
+ private:
+  std::vector<SymbolSpan> spans_;   // sorted by begin
+  std::vector<mem::Addr> begins_;   // parallel, for binary search
+};
+
+}  // namespace jtam::tamc

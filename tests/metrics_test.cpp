@@ -143,6 +143,41 @@ TEST(Granularity, RatiosHandleZeroDenominators) {
   EXPECT_DOUBLE_EQ(g.tpq(), 0.0);
   EXPECT_DOUBLE_EQ(g.ipt(), 0.0);
   EXPECT_DOUBLE_EQ(g.ipq(), 0.0);
+
+  // Each ratio guards its own denominator: zero quanta with live threads
+  // (and vice versa) must not divide by zero — and the non-degenerate
+  // ratio still computes.
+  Granularity threads_only;
+  threads_only.threads = 4;
+  threads_only.thread_instrs = 40;
+  EXPECT_DOUBLE_EQ(threads_only.tpq(), 0.0);
+  EXPECT_DOUBLE_EQ(threads_only.ipq(), 0.0);
+  EXPECT_DOUBLE_EQ(threads_only.ipt(), 10.0);
+
+  Granularity quanta_only;
+  quanta_only.quanta = 2;
+  quanta_only.quantum_instrs = 30;
+  EXPECT_DOUBLE_EQ(quanta_only.ipt(), 0.0);
+  EXPECT_DOUBLE_EQ(quanta_only.tpq(), 0.0);
+  EXPECT_DOUBLE_EQ(quanta_only.ipq(), 15.0);
+}
+
+TEST(StatsSink, QueueSampleMarksChangeNothing) {
+  // The machine-emitted Dispatch/Suspend marks are observability-only:
+  // no context change, no counter.  An instruction after them attributes
+  // exactly as it would have without them.
+  StatsSink s(rt::BackendKind::MessageDriven, nullptr);
+  s.on_mark(MarkKind::InletStart, 0xA0, Priority::Low);
+  s.on_mark(MarkKind::Dispatch, mdp::pack_queue_sample(64, 2),
+            Priority::Low);
+  s.on_fetch(mem::kUserCodeBase, Priority::Low);  // still inlet context
+  s.on_mark(MarkKind::Suspend, mdp::pack_queue_sample(0, 0), Priority::Low);
+  s.on_fetch(mem::kUserCodeBase + 4, Priority::Low);
+  const Granularity& g = s.granularity();
+  EXPECT_EQ(g.inlets, 1u);
+  EXPECT_EQ(g.inlet_instrs, 2u);
+  EXPECT_EQ(g.sched_instrs, 0u);
+  EXPECT_EQ(g.threads, 0u);
 }
 
 }  // namespace
