@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,6 +35,34 @@ inline std::string json_path_from_args(int argc, char** argv) {
     if (std::string(argv[i]) == "--json") return argv[i + 1];
   }
   return {};
+}
+
+/// --nodes <N>: largest node count of a multi-node sweep.  The sweep runs
+/// powers of two up to N plus N itself, e.g. --nodes 12 -> 1,2,4,8,12.
+/// Default (flag absent) is {1, 2, 4, 8}.
+inline std::vector<int> node_counts_from_args(int argc, char** argv,
+                                              int def_max = 8) {
+  int max_nodes = def_max;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--nodes") max_nodes = std::atoi(argv[i + 1]);
+  }
+  if (max_nodes < 1) max_nodes = 1;
+  std::vector<int> out;
+  for (int n = 1; n <= max_nodes; n *= 2) out.push_back(n);
+  if (out.back() != max_nodes) out.push_back(max_nodes);
+  return out;
+}
+
+/// --net=ideal | --net=mesh (or "--net ideal"): restrict a multi-node
+/// bench to one network model.  Default: both.
+inline std::vector<net::NetKind> nets_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--net" && i + 1 < argc) a = std::string("--net=") + argv[i + 1];
+    if (a == "--net=ideal") return {net::NetKind::Ideal};
+    if (a == "--net=mesh") return {net::NetKind::Mesh};
+  }
+  return {net::NetKind::Ideal, net::NetKind::Mesh};
 }
 
 /// Observability flags shared by every bench binary:

@@ -197,8 +197,9 @@ RunResult run_workload(const programs::Workload& w, const RunOptions& opts) {
 }
 
 MultiRunResult run_workload_multi(const programs::Workload& w,
-                                  const RunOptions& opts, int num_nodes,
-                                  std::uint32_t latency) {
+                                  const RunOptions& opts,
+                                  const MultiOptions& mopts) {
+  const int num_nodes = mopts.num_nodes;
   tamc::CompileOptions copts;
   copts.backend = opts.backend;
   copts.am_enabled_variant = opts.am_enabled_variant;
@@ -208,7 +209,10 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
 
   mdp::MultiMachine::Config mc;
   mc.num_nodes = num_nodes;
-  mc.latency = latency;
+  mc.net = mopts.net;
+  mc.latency = mopts.latency;
+  mc.max_inflight_messages = mopts.max_inflight_messages;
+  mc.link_buffer_flits = mopts.link_buffer_flits;
   mc.queue_bytes = opts.queue_bytes;
   mc.max_rounds = opts.max_instructions;
   mdp::MultiMachine mm(cp.image, mc);
@@ -236,6 +240,7 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   r.workload = w.name;
   r.backend = opts.backend;
   r.num_nodes = num_nodes;
+  r.net = mopts.net;
   r.status = mm.run();
   r.halt_value = mm.halt_value();
   r.rounds = mm.rounds();
@@ -243,15 +248,38 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   r.messages = mm.messages_sent();
   for (int n = 0; n < num_nodes; ++n) {
     r.per_node_instructions.push_back(mm.node(n).instructions_executed());
+    r.per_node_injection_stalls.push_back(
+        mm.node(n).injection_stall_cycles());
+    r.injection_stall_cycles += mm.node(n).injection_stall_cycles();
+    r.stalled_sends += mm.node(n).stalled_sends();
   }
+  const net::NetStats& ns = mm.network().stats();
+  r.hops = ns.hops;
+  r.msg_latency = ns.latency;
+  r.links = ns.links;
+  r.net_cycles = ns.cycles;
   if (r.status == mdp::RunStatus::Halted) {
     programs::CheckCtx check{mm.node(0), r.status, r.halt_value};
     r.check_error = w.check(check);
+  } else if (r.status == mdp::RunStatus::Deadlock) {
+    r.deadlock_report = mm.deadlock_report();
+    r.check_error = std::string("ensemble did not halt: ") +
+                    mdp::run_status_name(r.status) + "\n" +
+                    r.deadlock_report;
   } else {
     r.check_error = std::string("ensemble did not halt: ") +
                     mdp::run_status_name(r.status);
   }
   return r;
+}
+
+MultiRunResult run_workload_multi(const programs::Workload& w,
+                                  const RunOptions& opts, int num_nodes,
+                                  std::uint32_t latency) {
+  MultiOptions mopts;
+  mopts.num_nodes = num_nodes;
+  mopts.latency = latency;
+  return run_workload_multi(w, opts, mopts);
 }
 
 double BackendPair::ratio(std::uint32_t size_bytes, std::uint32_t assoc,

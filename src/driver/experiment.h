@@ -16,6 +16,7 @@
 #include "cache/cache_bank.h"
 #include "metrics/cycles.h"
 #include "metrics/granularity.h"
+#include "net/network.h"
 #include "obs/options.h"
 #include "programs/registry.h"
 #include "tamc/lower.h"
@@ -107,14 +108,23 @@ struct PreparedRun {
 PreparedRun prepare_run(const programs::Workload& w, const RunOptions& opts);
 
 /// Multi-node run (the paper's stated future work): the workload executes
-/// on `num_nodes` MDP nodes joined by a constant-latency network, frames
+/// on `num_nodes` MDP nodes joined by a network model from src/net, frames
 /// placed round-robin.  Cache simulation is omitted (the paper's cache
 /// study is uniprocessor); the oracle still validates the results and the
 /// round clock gives a parallel-time estimate.
+struct MultiOptions {
+  int num_nodes = 4;
+  net::NetKind net = net::NetKind::Ideal;
+  std::uint32_t latency = 16;               // ideal wire delivery delay
+  std::uint32_t max_inflight_messages = 0;  // ideal wire bound (0 = none)
+  std::uint32_t link_buffer_flits = 4;      // mesh per-link VN FIFO depth
+};
+
 struct MultiRunResult {
   std::string workload;
   rt::BackendKind backend{};
   int num_nodes = 0;
+  net::NetKind net{};
   mdp::RunStatus status{};
   std::uint32_t halt_value = 0;
   std::string check_error;
@@ -122,10 +132,27 @@ struct MultiRunResult {
   std::uint64_t total_instructions = 0;
   std::uint64_t messages = 0;        // network messages (remote sends)
   std::vector<std::uint64_t> per_node_instructions;
+  /// Injection backpressure: rounds each node spent stalled on a SENDE the
+  /// network refused, and how many distinct sends were refused-then-retried.
+  std::vector<std::uint64_t> per_node_injection_stalls;
+  std::uint64_t injection_stall_cycles = 0;  // sum over nodes
+  std::uint64_t stalled_sends = 0;
+  /// Network-carried metrics: per-message link hops and inject-to-deliver
+  /// latency (cycles), plus per-link flit counters (mesh only).
+  obs::Histogram hops;
+  obs::Histogram msg_latency;
+  std::vector<net::LinkStats> links;
+  std::uint64_t net_cycles = 0;
+  /// Per-node idle/queue state when status == Deadlock; empty otherwise.
+  std::string deadlock_report;
   bool ok() const {
     return status == mdp::RunStatus::Halted && check_error.empty();
   }
 };
+MultiRunResult run_workload_multi(const programs::Workload& w,
+                                  const RunOptions& opts,
+                                  const MultiOptions& mopts);
+/// Convenience overload: `num_nodes` on the default ideal wire.
 MultiRunResult run_workload_multi(const programs::Workload& w,
                                   const RunOptions& opts, int num_nodes,
                                   std::uint32_t latency = 16);

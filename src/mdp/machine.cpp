@@ -263,6 +263,21 @@ void Machine::exec(Level& lv, Priority p) {
     return;
   }
 
+  // Injection backpressure: a remote SENDE whose network cannot take the
+  // message right now stalls the node — the instruction does not execute
+  // (no fetch event, no instruction count, ip unchanged) and the step is
+  // burned as an injection-stall cycle.  The SENDE retries next step.
+  if (in.op == Op::SendE && lv.composing && net_ != nullptr &&
+      lv.compose_node != cfg_.node_id &&
+      !net_->can_accept(cfg_.node_id, lv.compose_dest)) {
+    if (!inj_stalled_) {
+      inj_stalled_ = true;
+      ++stalled_sends_;
+    }
+    ++injection_stall_cycles_;
+    return;
+  }
+
   if (tbuf_ != nullptr) {
     tbuf_->add_fetch(lv.ip, p);
   } else if (sink_ != nullptr) {
@@ -389,7 +404,9 @@ void Machine::exec(Level& lv, Priority p) {
       } else {
         JTAM_CHECK(net_ != nullptr,
                    "remote SENDE without a network attached");
-        net_->send(lv.compose_node, lv.compose_dest, lv.compose_words);
+        net_->send(cfg_.node_id, lv.compose_node, lv.compose_dest,
+                   lv.compose_words);
+        inj_stalled_ = false;
       }
       break;
     }

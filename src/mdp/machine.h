@@ -138,7 +138,16 @@ class TraceBuffer {
 class NetworkPort {
  public:
   virtual ~NetworkPort() = default;
-  virtual void send(int dest_node, Priority p,
+  /// False when `src_node`'s injection channel for priority `p` is full;
+  /// the machine then stalls the SENDE (no instruction executes, the ip
+  /// does not advance) and retries next step, counting the step as an
+  /// injection-stall cycle.  Default: never backpressure.
+  virtual bool can_accept(int src_node, Priority p) {
+    (void)src_node;
+    (void)p;
+    return true;
+  }
+  virtual void send(int src_node, int dest_node, Priority p,
                     std::span<const std::uint32_t> words) = 0;
 };
 
@@ -211,6 +220,13 @@ class Machine {
   std::uint64_t instructions_executed(Priority p) const {
     return instr_by_level_[static_cast<int>(p)];
   }
+  /// Steps burned waiting for the network to accept a SENDE (injection
+  /// backpressure), and how many distinct sends were rejected at least
+  /// once before the network took them.
+  std::uint64_t injection_stall_cycles() const {
+    return injection_stall_cycles_;
+  }
+  std::uint64_t stalled_sends() const { return stalled_sends_; }
   std::uint32_t reg(Priority p, Reg r) const {
     return levels_[static_cast<int>(p)].regs[r];
   }
@@ -317,6 +333,9 @@ class Machine {
   std::uint32_t halt_value_ = 0;
   std::uint64_t instr_count_ = 0;
   std::uint64_t instr_by_level_[2] = {0, 0};
+  std::uint64_t injection_stall_cycles_ = 0;
+  std::uint64_t stalled_sends_ = 0;
+  bool inj_stalled_ = false;  // current SENDE has been rejected at least once
 };
 
 }  // namespace jtam::mdp

@@ -1,12 +1,40 @@
 #include "mdp/multi.h"
 
+#include <sstream>
+
+#include "net/ideal.h"
+#include "net/mesh.h"
 #include "support/error.h"
 
 namespace jtam::mdp {
 
+namespace {
+
+std::unique_ptr<net::NetworkModel> make_network(
+    const MultiMachine::Config& cfg) {
+  switch (cfg.net) {
+    case net::NetKind::Ideal: {
+      net::IdealNetwork::Config nc;
+      nc.latency = cfg.latency;
+      nc.max_inflight_messages = cfg.max_inflight_messages;
+      return std::make_unique<net::IdealNetwork>(nc);
+    }
+    case net::NetKind::Mesh: {
+      net::MeshNetwork::Config nc;
+      nc.shape = net::Shape::for_nodes(cfg.num_nodes);
+      nc.link_buffer_flits = cfg.link_buffer_flits;
+      return std::make_unique<net::MeshNetwork>(nc);
+    }
+  }
+  throw Error("unknown network kind");
+}
+
+}  // namespace
+
 MultiMachine::MultiMachine(const CodeImage& image, Config cfg) : cfg_(cfg) {
   JTAM_CHECK(cfg_.num_nodes >= 1 && cfg_.num_nodes <= 256,
              "node count must be in [1, 256]");
+  net_ = make_network(cfg_);
   nodes_.reserve(static_cast<std::size_t>(cfg_.num_nodes));
   for (int n = 0; n < cfg_.num_nodes; ++n) {
     Machine::Config mc;
@@ -18,13 +46,21 @@ MultiMachine::MultiMachine(const CodeImage& image, Config cfg) : cfg_(cfg) {
   }
 }
 
-void MultiMachine::send(int dest_node, Priority p,
+bool MultiMachine::can_accept(int src_node, Priority p) {
+  return net_->can_accept(src_node, p);
+}
+
+void MultiMachine::send(int src_node, int dest_node, Priority p,
                         std::span<const std::uint32_t> words) {
   JTAM_CHECK(dest_node >= 0 && dest_node < cfg_.num_nodes,
              "network send to nonexistent node");
   ++messages_;
-  wire_.push_back(InFlight{rounds_ + cfg_.latency, dest_node, p,
-                           {words.begin(), words.end()}});
+  net_->inject(src_node, dest_node, p, words, rounds_);
+}
+
+void MultiMachine::deliver(int dest_node, Priority p,
+                           std::span<const std::uint32_t> words) {
+  nodes_[static_cast<std::size_t>(dest_node)]->deliver(p, words);
 }
 
 std::uint64_t MultiMachine::total_instructions() const {
@@ -33,14 +69,34 @@ std::uint64_t MultiMachine::total_instructions() const {
   return total;
 }
 
+std::uint64_t MultiMachine::total_injection_stalls() const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_) total += m->injection_stall_cycles();
+  return total;
+}
+
+std::string MultiMachine::describe_stuck_state() const {
+  std::ostringstream os;
+  os << "global deadlock after " << rounds_ << " rounds (" << messages_
+     << " messages sent, network "
+     << (net_->idle() ? "empty" : "still holding traffic") << "):";
+  for (const auto& m : nodes_) {
+    os << "\n  node " << m->node_id() << ": "
+       << (m->is_idle() ? "idle" : "live")
+       << ", low " << (m->level_active(Priority::Low) ? "active" : "suspended")
+       << "/q" << m->queue_depth(Priority::Low) << ", high "
+       << (m->level_active(Priority::High) ? "active" : "suspended") << "/q"
+       << m->queue_depth(Priority::High) << ", " << m->instructions_executed()
+       << " instrs, " << m->injection_stall_cycles() << " inj-stall cycles";
+  }
+  return os.str();
+}
+
 RunStatus MultiMachine::run() {
   for (rounds_ = 0; rounds_ < cfg_.max_rounds; ++rounds_) {
-    // Deliver everything whose flight time has elapsed (FIFO per wire).
-    while (!wire_.empty() && wire_.front().deliver_round <= rounds_) {
-      const InFlight& m = wire_.front();
-      nodes_[static_cast<std::size_t>(m.dest)]->deliver(m.p, m.words);
-      wire_.pop_front();
-    }
+    // One network cycle per round: deliveries land in the hardware queues
+    // before any node executes, exactly like the seed's wire.
+    net_->step(rounds_, *this);
     bool progress = false;
     for (auto& m : nodes_) {
       if (m->is_idle()) continue;
@@ -50,11 +106,15 @@ RunStatus MultiMachine::run() {
         halted_node_ = m->node_id();
         return RunStatus::Halted;
       }
-      // Budget(1) == executed an instruction; Deadlock == went idle.
+      // Budget(1) == executed an instruction (or burned an injection-stall
+      // cycle); Deadlock == went idle.
       progress = true;
       (void)s;
     }
-    if (!progress && wire_.empty()) return RunStatus::Deadlock;
+    if (!progress && net_->idle()) {
+      deadlock_report_ = describe_stuck_state();
+      return RunStatus::Deadlock;
+    }
   }
   return RunStatus::Budget;
 }

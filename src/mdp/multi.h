@@ -1,9 +1,19 @@
-// Multi-node J-Machine: N MDP nodes joined by a constant-latency FIFO
-// network.  The paper's systems "can run on multiple processors" but all
+// Multi-node J-Machine: N MDP nodes joined by a pluggable network model
+// (src/net).  The paper's systems "can run on multiple processors" but all
 // of its measurements are uniprocessor; this module carries the stated
 // future work ("our work would extend to multiple processors") — runs are
 // validated by the same workload oracles, with per-node instruction counts
 // and a parallel-rounds clock for speedup estimates.
+//
+// The network behind NetworkPort is one of
+//   net::IdealNetwork  constant-latency FIFO wire (default; bit-identical
+//                      to the seed MultiMachine, optionally bounded to
+//                      Config::max_inflight_messages in flight), or
+//   net::MeshNetwork   a cycle-level 3D-mesh wormhole simulator with
+//                      finite link buffers and two virtual networks,
+// advanced one network cycle per round.  Either can refuse an injection
+// (can_accept == false), which stalls the sending node's SENDE — counted
+// per node as injection-stall cycles.
 //
 // Addressing: user-data addresses carry the owning node in bits 24+, so a
 // frame or heap pointer is globally meaningful.  SENDs name their
@@ -14,19 +24,26 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mdp/machine.h"
+#include "net/network.h"
 
 namespace jtam::mdp {
 
-class MultiMachine : public NetworkPort {
+class MultiMachine : public NetworkPort, private net::DeliverySink {
  public:
   struct Config {
     int num_nodes = 4;
-    std::uint32_t latency = 16;  // network rounds from SENDE to delivery
+    net::NetKind net = net::NetKind::Ideal;
+    std::uint32_t latency = 16;  // ideal wire: rounds from SENDE to delivery
+    /// Ideal wire: how many messages may be in flight at once before
+    /// injection backpressures (0 = unbounded, the seed model).  The mesh
+    /// is always finite — its bound is the link buffering itself.
+    std::uint32_t max_inflight_messages = 0;
+    std::uint32_t link_buffer_flits = 4;  // mesh: per-VN flit FIFO per link
     std::uint32_t queue_bytes = mem::kQueueBytes;
     std::uint64_t max_rounds = 600'000'000ULL;
   };
@@ -37,9 +54,11 @@ class MultiMachine : public NetworkPort {
   int num_nodes() const { return cfg_.num_nodes; }
 
   /// Round-robin interleaved execution: every live node runs one
-  /// instruction per round; in-flight messages deliver after `latency`
-  /// rounds.  Stops at the first HALT, at global deadlock (all nodes idle,
-  /// nothing in flight), or when max_rounds expires.
+  /// instruction per round and the network advances one cycle.  Stops at
+  /// the first HALT, at global deadlock (all nodes idle, nothing in
+  /// flight) — reported as RunStatus::Deadlock, distinct from max_rounds
+  /// expiry (RunStatus::Budget), with deadlock_report() describing the
+  /// per-node state — or when max_rounds expires.
   RunStatus run();
 
   std::uint64_t rounds() const { return rounds_; }
@@ -47,26 +66,33 @@ class MultiMachine : public NetworkPort {
   std::uint32_t halt_value() const { return halt_value_; }
   int halted_node() const { return halted_node_; }
   std::uint64_t total_instructions() const;
+  std::uint64_t total_injection_stalls() const;
+
+  const net::NetworkModel& network() const { return *net_; }
+  /// Per-node idle/queue state captured when run() stopped on global
+  /// deadlock; empty otherwise.
+  const std::string& deadlock_report() const { return deadlock_report_; }
 
   // NetworkPort
-  void send(int dest_node, Priority p,
+  bool can_accept(int src_node, Priority p) override;
+  void send(int src_node, int dest_node, Priority p,
             std::span<const std::uint32_t> words) override;
 
  private:
-  struct InFlight {
-    std::uint64_t deliver_round;
-    int dest;
-    Priority p;
-    std::vector<std::uint32_t> words;
-  };
+  // net::DeliverySink — arrivals go into the destination's hardware queue.
+  void deliver(int dest_node, Priority p,
+               std::span<const std::uint32_t> words) override;
+
+  std::string describe_stuck_state() const;
 
   Config cfg_;
   std::vector<std::unique_ptr<Machine>> nodes_;
-  std::deque<InFlight> wire_;
+  std::unique_ptr<net::NetworkModel> net_;
   std::uint64_t rounds_ = 0;
   std::uint64_t messages_ = 0;
   std::uint32_t halt_value_ = 0;
   int halted_node_ = -1;
+  std::string deadlock_report_;
 };
 
 }  // namespace jtam::mdp

@@ -1,0 +1,38 @@
+#include "net/ideal.h"
+
+#include "support/error.h"
+
+namespace jtam::net {
+
+const char* net_kind_name(NetKind k) {
+  switch (k) {
+    case NetKind::Ideal: return "ideal";
+    case NetKind::Mesh: return "mesh";
+  }
+  return "?";
+}
+
+void IdealNetwork::inject(int src, int dest, mdp::Priority p,
+                          std::span<const std::uint32_t> words,
+                          std::uint64_t now) {
+  JTAM_CHECK(src != dest, "local send routed onto the network");
+  JTAM_CHECK(can_accept(src, p), "inject past the in-flight bound");
+  wire_.push_back(
+      InFlight{now + cfg_.latency, dest, p, {words.begin(), words.end()}});
+}
+
+void IdealNetwork::step(std::uint64_t now, DeliverySink& sink) {
+  ++stats_.cycles;
+  // The wire is FIFO and the latency constant, so everything due has
+  // gathered at the front; deliver in injection order.
+  while (!wire_.empty() && wire_.front().deliver_cycle <= now) {
+    const InFlight& m = wire_.front();
+    sink.deliver(m.dest, m.p, m.words);
+    ++stats_.messages;
+    stats_.hops.add(0);
+    stats_.latency.add(cfg_.latency);
+    wire_.pop_front();
+  }
+}
+
+}  // namespace jtam::net

@@ -1,0 +1,59 @@
+// The seed's network model, extracted behind the NetworkModel seam: an
+// in-order wire delivering every message a fixed number of rounds after
+// injection, with no contention and (by default) unbounded buffering.
+// With the default config this is bit-identical to the pre-seam
+// MultiMachine — same delivery rounds, same per-node interleaving —
+// which tests/net_test.cpp pins against golden numbers.
+//
+// `max_inflight_messages` bounds the wire: once that many messages are in
+// flight further injections are refused (can_accept == false) and the
+// sender stalls, making even the "ideal" wire admit that network buffering
+// is finite.  Refused-then-retried sends are counted by the machines
+// (Machine::stalled_sends); delivery order is unchanged.
+#pragma once
+
+#include <deque>
+
+#include "net/network.h"
+
+namespace jtam::net {
+
+class IdealNetwork final : public NetworkModel {
+ public:
+  struct Config {
+    std::uint32_t latency = 16;            // cycles from inject to deliver
+    std::uint32_t max_inflight_messages = 0;  // 0 = unbounded (seed model)
+  };
+
+  explicit IdealNetwork(Config cfg) : cfg_(cfg) {}
+
+  bool can_accept(int src, mdp::Priority p) const override {
+    (void)src;
+    (void)p;
+    return cfg_.max_inflight_messages == 0 ||
+           wire_.size() < cfg_.max_inflight_messages;
+  }
+
+  void inject(int src, int dest, mdp::Priority p,
+              std::span<const std::uint32_t> words,
+              std::uint64_t now) override;
+
+  void step(std::uint64_t now, DeliverySink& sink) override;
+
+  bool idle() const override { return wire_.empty(); }
+  const NetStats& stats() const override { return stats_; }
+
+ private:
+  struct InFlight {
+    std::uint64_t deliver_cycle;
+    int dest;
+    mdp::Priority p;
+    std::vector<std::uint32_t> words;
+  };
+
+  Config cfg_;
+  std::deque<InFlight> wire_;
+  NetStats stats_;
+};
+
+}  // namespace jtam::net

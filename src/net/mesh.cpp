@@ -1,0 +1,148 @@
+#include "net/mesh.h"
+
+#include "support/error.h"
+
+namespace jtam::net {
+
+MeshNetwork::MeshNetwork(Config cfg) : cfg_(cfg) {
+  const int n = cfg_.shape.nodes();
+  JTAM_CHECK(n >= 1, "mesh needs at least one node");
+  JTAM_CHECK(cfg_.link_buffer_flits >= 1, "links need at least one flit slot");
+  nodes_.resize(static_cast<std::size_t>(n));
+  out_link_.assign(static_cast<std::size_t>(n) * 6, -1);
+  in_links_.resize(static_cast<std::size_t>(n));
+  // Enumerate directed links in node-major, dimension-major order; this
+  // order is also the per-cycle scan order, so it is part of the model.
+  const int dims[3] = {cfg_.shape.x, cfg_.shape.y, cfg_.shape.z};
+  for (int id = 0; id < n; ++id) {
+    const Coord c = cfg_.shape.coord_of(id);
+    for (int dim = 0; dim < 3; ++dim) {
+      for (int dir : {-1, 1}) {
+        Coord t = c;
+        (dim == 0 ? t.x : dim == 1 ? t.y : t.z) += dir;
+        const int coord = dim == 0 ? t.x : dim == 1 ? t.y : t.z;
+        if (coord < 0 || coord >= dims[dim]) continue;
+        const int dst = cfg_.shape.id_of(t);
+        out_link_[static_cast<std::size_t>(id) * 6 + dim * 2 +
+                  (dir > 0 ? 1 : 0)] = static_cast<int>(links_.size());
+        in_links_[static_cast<std::size_t>(dst)].push_back(
+            static_cast<int>(links_.size()));
+        links_.push_back(Link{id, dst, dim, dir, {}, 0, 0, false});
+      }
+    }
+  }
+}
+
+std::uint32_t MeshNetwork::alloc_packet() {
+  if (!free_ids_.empty()) {
+    const std::uint32_t id = free_ids_.back();
+    free_ids_.pop_back();
+    return id;
+  }
+  packets_.emplace_back();
+  return static_cast<std::uint32_t>(packets_.size());
+}
+
+void MeshNetwork::release_packet(std::uint32_t id) {
+  pkt(id).words.clear();
+  free_ids_.push_back(id);
+  --live_packets_;
+}
+
+void MeshNetwork::inject(int src, int dest, mdp::Priority p,
+                         std::span<const std::uint32_t> words,
+                         std::uint64_t now) {
+  JTAM_CHECK(src != dest, "local send routed onto the network");
+  JTAM_CHECK(can_accept(src, p), "inject into a busy injection channel");
+  const std::uint32_t id = alloc_packet();
+  Packet& pk = pkt(id);
+  pk.src = src;
+  pk.dest = dest;
+  pk.p = p;
+  pk.words.assign(words.begin(), words.end());
+  pk.inject_cycle = now;
+  pk.hops = 0;
+  ++live_packets_;
+  // One head flit (routing header) plus one flit per payload word.
+  FlitQ& inj = nodes_[static_cast<std::size_t>(src)].inj[static_cast<int>(p)];
+  inj.inflow_pkt = 0;
+  inj.q.push_back(Flit{id, now, true, words.empty()});
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    inj.q.push_back(Flit{id, now, false, i + 1 == words.size()});
+  }
+}
+
+void MeshNetwork::advance(FlitQ& f, int vn, int node, std::uint64_t now,
+                          DeliverySink& sink) {
+  if (f.q.empty()) return;
+  const Flit fl = f.q.front();
+  if (fl.entered >= now) return;  // moved into this FIFO this cycle
+  Packet& pk = pkt(fl.pkt);
+  const Route r = ecube_route(cfg_.shape, node, pk.dest);
+  if (r.arrived) {
+    NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+    if (ns.eject_used) return;  // one flit per ejection port per cycle
+    std::uint32_t& owner = ns.eject_owner[vn];
+    if (owner != 0 && owner != fl.pkt) return;  // port held mid-packet
+    ns.eject_used = true;
+    owner = fl.tail ? 0 : fl.pkt;
+    f.q.pop_front();
+    if (fl.tail) {
+      sink.deliver(pk.dest, pk.p, pk.words);
+      ++stats_.messages;
+      stats_.hops.add(pk.hops);
+      stats_.latency.add(now - pk.inject_cycle);
+      release_packet(fl.pkt);
+    }
+    return;
+  }
+  Link& l = links_[static_cast<std::size_t>(
+      out_link_[static_cast<std::size_t>(node) * 6 + r.dim * 2 +
+                (r.dir > 0 ? 1 : 0)])];
+  if (l.used_this_cycle) return;  // physical link: one flit per cycle
+  FlitQ& t = l.vc[vn];
+  if (t.inflow_pkt != 0 && t.inflow_pkt != fl.pkt) return;  // wormhole
+  if (t.q.size() >= cfg_.link_buffer_flits) return;  // no credit: stalled
+  l.used_this_cycle = true;
+  t.inflow_pkt = fl.tail ? 0 : fl.pkt;
+  f.q.pop_front();
+  t.q.push_back(Flit{fl.pkt, now, fl.head, fl.tail});
+  ++l.flits;
+  ++stats_.flits;
+  if (fl.head) ++pk.hops;
+  const std::uint32_t occ =
+      static_cast<std::uint32_t>(l.vc[0].q.size() + l.vc[1].q.size());
+  if (occ > l.peak) l.peak = occ;
+}
+
+void MeshNetwork::step(std::uint64_t now, DeliverySink& sink) {
+  ++stats_.cycles;
+  for (Link& l : links_) l.used_this_cycle = false;
+  for (NodeState& ns : nodes_) ns.eject_used = false;
+  // High-priority virtual network first: it takes physical-link bandwidth
+  // ahead of low, so high traffic is never blocked behind it.  Within a
+  // VN, scan nodes in id order; at each node the injection channel is
+  // served first, then the incoming links in construction order.
+  for (int vn = kVns - 1; vn >= 0; --vn) {
+    for (int node = 0; node < cfg_.shape.nodes(); ++node) {
+      advance(nodes_[static_cast<std::size_t>(node)].inj[vn], vn, node, now,
+              sink);
+      for (int li : in_links_[static_cast<std::size_t>(node)]) {
+        advance(links_[static_cast<std::size_t>(li)].vc[vn], vn, node, now,
+                sink);
+      }
+    }
+  }
+}
+
+const NetStats& MeshNetwork::stats() const {
+  stats_.links.clear();
+  stats_.links.reserve(links_.size());
+  for (const Link& l : links_) {
+    stats_.links.push_back(LinkStats{l.src, l.dst, l.dim, l.dir, l.flits,
+                                     l.peak});
+  }
+  return stats_;
+}
+
+}  // namespace jtam::net

@@ -1,0 +1,117 @@
+// Cycle-level simulator of the J-Machine's 3D-mesh interconnect.
+//
+// Nodes sit on an X x Y x Z grid (Shape::for_nodes picks the most-cubic
+// factorization).  A message becomes a wormhole packet of one head flit
+// plus one flit per payload word; flits advance at most one link per
+// cycle.  Routing is dimension-order (e-cube: correct X, then Y, then Z),
+// which is deadlock-free on a mesh.  Each directed link carries two
+// virtual networks — one per MDP message priority — with a private flit
+// FIFO each, so a high-priority packet is never queued behind a blocked
+// low-priority one; the physical link moves one flit per cycle and the
+// high VN is served first.  Finite FIFOs (Config::link_buffer_flits) give
+// credit-style backpressure: a flit advances only into free space, and
+// when the pressure reaches the injection FIFO the sending node's SENDE
+// stalls (can_accept == false), which the machine counts as
+// injection-stall cycles.
+//
+// Everything is deterministic: links, nodes and virtual networks are
+// scanned in a fixed order each cycle, and packet bookkeeping reuses ids
+// from a LIFO free list — the same run always produces the same delivery
+// order and the same NetStats.
+#pragma once
+
+#include <deque>
+
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace jtam::net {
+
+class MeshNetwork final : public NetworkModel {
+ public:
+  struct Config {
+    Shape shape;
+    std::uint32_t link_buffer_flits = 4;  // per-VN FIFO capacity per link
+  };
+
+  explicit MeshNetwork(Config cfg);
+
+  bool can_accept(int src, mdp::Priority p) const override {
+    return nodes_[static_cast<std::size_t>(src)]
+        .inj[static_cast<int>(p)]
+        .q.empty();
+  }
+  void inject(int src, int dest, mdp::Priority p,
+              std::span<const std::uint32_t> words,
+              std::uint64_t now) override;
+  void step(std::uint64_t now, DeliverySink& sink) override;
+  bool idle() const override { return live_packets_ == 0; }
+  const NetStats& stats() const override;
+
+  const Shape& shape() const { return cfg_.shape; }
+
+ private:
+  static constexpr int kVns = 2;  // one virtual network per priority
+
+  struct Flit {
+    std::uint32_t pkt;      // packet id (index into packets_ + 1)
+    std::uint64_t entered;  // cycle this flit entered its current FIFO
+    bool head;
+    bool tail;
+  };
+
+  /// One virtual-channel FIFO.  `inflow_pkt` is the packet whose flits may
+  /// currently append (wormhole: packets never interleave in a channel) —
+  /// set when a head flit enters, cleared when the tail does.
+  struct FlitQ {
+    std::deque<Flit> q;
+    std::uint32_t inflow_pkt = 0;
+  };
+
+  struct Link {
+    int src;
+    int dst;
+    int dim;
+    int dir;
+    FlitQ vc[kVns];
+    std::uint64_t flits = 0;     // total flit traversals
+    std::uint32_t peak = 0;      // peak buffered flits (both VNs)
+    bool used_this_cycle = false;
+  };
+
+  struct NodeState {
+    FlitQ inj[kVns];                       // injection channel per VN
+    std::uint32_t eject_owner[kVns] = {};  // wormhole owner of the port
+    bool eject_used = false;               // one flit ejects per cycle
+  };
+
+  struct Packet {
+    int src = 0;
+    int dest = 0;
+    mdp::Priority p = mdp::Priority::Low;
+    std::vector<std::uint32_t> words;
+    std::uint64_t inject_cycle = 0;
+    std::uint32_t hops = 0;
+  };
+
+  Packet& pkt(std::uint32_t id) { return packets_[id - 1]; }
+  std::uint32_t alloc_packet();
+  void release_packet(std::uint32_t id);
+
+  /// Move (at most) the front flit of `f`, which sits at `node`, one step
+  /// onward: into the next e-cube link or out of the ejection port.
+  void advance(FlitQ& f, int vn, int node, std::uint64_t now,
+               DeliverySink& sink);
+
+  Config cfg_;
+  std::vector<Link> links_;
+  std::vector<int> out_link_;            // [node*6 + dim*2 + (dir>0)] or -1
+  std::vector<std::vector<int>> in_links_;  // per node, fixed order
+  std::vector<NodeState> nodes_;
+  std::vector<Packet> packets_;
+  std::vector<std::uint32_t> free_ids_;  // LIFO reuse, deterministic
+  std::uint64_t live_packets_ = 0;
+  mutable NetStats stats_;  // stats() refreshes the per-link snapshot
+};
+
+}  // namespace jtam::net

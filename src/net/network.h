@@ -1,0 +1,87 @@
+// The network seam of the multi-node J-Machine: mdp::MultiMachine drives
+// one NetworkModel per ensemble.  Two implementations exist —
+//
+//   net::IdealNetwork  the seed's constant-latency FIFO wire (default;
+//                      bit-identical to the pre-seam MultiMachine, pinned
+//                      by tests/net_test.cpp), optionally bounded to a
+//                      maximum number of in-flight messages;
+//   net::MeshNetwork   a deterministic cycle-level 3D-mesh simulator with
+//                      dimension-order wormhole routing, finite per-link
+//                      flit buffers and two virtual networks (net/mesh.h).
+//
+// The model is advanced one network cycle per MultiMachine round (step),
+// accepts whole messages from SENDE (inject) and exerts injection
+// backpressure through can_accept: while it returns false the sending
+// node's SENDE stalls and the machine counts the round as an
+// injection-stall cycle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mdp/isa.h"
+#include "obs/histogram.h"
+
+namespace jtam::net {
+
+enum class NetKind : std::uint8_t { Ideal = 0, Mesh = 1 };
+
+const char* net_kind_name(NetKind k);
+
+/// Per-directed-link counters (mesh only).  `flits` is the total number of
+/// flit traversals the link carried; utilization = flits / network cycles.
+struct LinkStats {
+  int src = 0;   // node ids of the link's endpoints
+  int dst = 0;
+  int dim = 0;   // 0=X, 1=Y, 2=Z
+  int dir = 0;   // +1 / -1
+  std::uint64_t flits = 0;
+  std::uint32_t peak_occupancy = 0;  // flits buffered at once (both VNs)
+};
+
+/// What a network model measured about itself over one run.
+struct NetStats {
+  std::uint64_t messages = 0;       // messages fully delivered
+  std::uint64_t flits = 0;          // flit-link traversals (mesh only)
+  std::uint64_t cycles = 0;         // network cycles advanced
+  obs::Histogram hops;              // per-message link traversals
+  obs::Histogram latency;           // per-message inject->deliver cycles
+  std::vector<LinkStats> links;     // empty for the ideal wire
+};
+
+/// Sink for messages leaving the network: MultiMachine buffers them into
+/// the destination node's hardware queue exactly like a local SENDE.
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+  virtual void deliver(int dest_node, mdp::Priority p,
+                       std::span<const std::uint32_t> words) = 0;
+};
+
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  /// True when node `src` may inject a priority-`p` message this cycle.
+  /// A false return is backpressure: the SENDE retries next round.
+  virtual bool can_accept(int src, mdp::Priority p) const = 0;
+
+  /// Hand a whole message to the network at cycle `now`.  Only legal
+  /// directly after can_accept(src, p) returned true, and only for
+  /// src != dest (local sends never reach the network).
+  virtual void inject(int src, int dest, mdp::Priority p,
+                      std::span<const std::uint32_t> words,
+                      std::uint64_t now) = 0;
+
+  /// Advance one network cycle; messages that complete arrival are handed
+  /// to `sink` in a deterministic order.
+  virtual void step(std::uint64_t now, DeliverySink& sink) = 0;
+
+  /// True when nothing is in flight (used for global-deadlock detection).
+  virtual bool idle() const = 0;
+
+  virtual const NetStats& stats() const = 0;
+};
+
+}  // namespace jtam::net

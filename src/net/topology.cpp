@@ -1,0 +1,80 @@
+#include "net/topology.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "support/error.h"
+
+namespace jtam::net {
+
+namespace {
+
+int floor_root(int n, int k) {  // largest r with r^k <= n
+  int r = 1;
+  while (true) {
+    long long p = 1;
+    for (int i = 0; i < k; ++i) p *= r + 1;
+    if (p > n) return r;
+    ++r;
+  }
+}
+
+}  // namespace
+
+Shape Shape::for_nodes(int n) {
+  JTAM_CHECK(n >= 1, "mesh needs at least one node");
+  // Largest z <= cbrt(n) dividing n, then largest y <= sqrt(n/z) dividing
+  // n/z; x takes the rest.  Sorted so x >= y >= z; x*y*z == n exactly.
+  int z = 1;
+  for (int c = floor_root(n, 3); c >= 1; --c) {
+    if (n % c == 0) {
+      z = c;
+      break;
+    }
+  }
+  const int rest = n / z;
+  int y = 1;
+  for (int c = floor_root(rest, 2); c >= 1; --c) {
+    if (rest % c == 0) {
+      y = c;
+      break;
+    }
+  }
+  int d[3] = {rest / y, y, z};
+  if (d[0] < d[1]) std::swap(d[0], d[1]);
+  if (d[1] < d[2]) std::swap(d[1], d[2]);
+  if (d[0] < d[1]) std::swap(d[0], d[1]);
+  Shape s;
+  s.x = d[0];
+  s.y = d[1];
+  s.z = d[2];
+  return s;
+}
+
+Route ecube_route(const Shape& s, int here, int dest) {
+  const Coord h = s.coord_of(here);
+  const Coord d = s.coord_of(dest);
+  Route r;
+  if (h.x != d.x) {
+    r.dim = 0;
+    r.dir = d.x > h.x ? 1 : -1;
+  } else if (h.y != d.y) {
+    r.dim = 1;
+    r.dir = d.y > h.y ? 1 : -1;
+  } else if (h.z != d.z) {
+    r.dim = 2;
+    r.dir = d.z > h.z ? 1 : -1;
+  } else {
+    r.arrived = true;
+  }
+  return r;
+}
+
+int hop_distance(const Shape& s, int a, int b) {
+  const Coord ca = s.coord_of(a);
+  const Coord cb = s.coord_of(b);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y) +
+         std::abs(ca.z - cb.z);
+}
+
+}  // namespace jtam::net

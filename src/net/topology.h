@@ -1,0 +1,60 @@
+// 3D mesh topology for the J-Machine interconnect: node-id <-> coordinate
+// mapping on an X x Y x Z grid and the dimension-order (e-cube) routing
+// function.  The J-Machine was a 3D mesh of MDP nodes; e-cube routing
+// corrects the X offset first, then Y, then Z, which is provably
+// deadlock-free on a mesh (no cyclic channel dependencies within a
+// virtual network).
+#pragma once
+
+#include <cstdint>
+
+namespace jtam::net {
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+};
+
+/// Grid dimensions.  Node ids are x-major: id = x + X*(y + Y*z).
+struct Shape {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+
+  int nodes() const { return x * y * z; }
+
+  /// The most-cubic factorization of `n` into x >= y >= z — the shape a
+  /// J-Machine of n nodes would be wired as (512 nodes = 8x8x8).  Exact:
+  /// x*y*z == n for every n >= 1.
+  static Shape for_nodes(int n);
+
+  Coord coord_of(int id) const {
+    Coord c;
+    c.x = id % x;
+    c.y = (id / x) % y;
+    c.z = id / (x * y);
+    return c;
+  }
+  int id_of(Coord c) const { return c.x + x * (c.y + y * c.z); }
+
+  bool operator==(const Shape& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+
+/// One e-cube routing step at `here` toward `dest`: the dimension (0=X,
+/// 1=Y, 2=Z) and direction (+1/-1) of the next link, or `arrived` when
+/// here == dest and the packet ejects.
+struct Route {
+  bool arrived = false;
+  int dim = 0;
+  int dir = 0;
+};
+
+Route ecube_route(const Shape& s, int here, int dest);
+
+/// Links an e-cube packet traverses from a to b: the Manhattan distance.
+int hop_distance(const Shape& s, int a, int b);
+
+}  // namespace jtam::net

@@ -1,6 +1,8 @@
 #include "obs/histogram.h"
 
 #include <bit>
+#include <cstring>
+#include <sstream>
 
 namespace jtam::obs {
 
@@ -31,6 +33,23 @@ void Histogram::bucket_range(int b, std::uint64_t* lo, std::uint64_t* hi) {
   }
   *lo = b == 1 ? 1 : (1ULL << (b - 1));
   *hi = (b >= 64 ? ~0ULL : (1ULL << b)) - 1;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_;
+  if (count_ != 0) {
+    os.precision(3);
+    os << std::fixed << " mean=" << mean() << " p50=" << p50()
+       << " p95=" << p95() << " max=" << max_;
+  }
+  return os.str();
+}
+
+bool Histogram::operator==(const Histogram& o) const {
+  return count_ == o.count_ && sum_ == o.sum_ && min_ == o.min_ &&
+         max_ == o.max_ &&
+         std::memcmp(buckets_, o.buckets_, sizeof(buckets_)) == 0;
 }
 
 double Histogram::percentile(double p) const {

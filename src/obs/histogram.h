@@ -40,6 +40,14 @@ class Histogram {
   /// Inclusive value range [lo, hi] covered by bucket `b`.
   static void bucket_range(int b, std::uint64_t* lo, std::uint64_t* hi);
 
+  /// One-line rendering ("n=.. mean=.. p50=.. p95=.. max=..") for bench
+  /// tables and log output; "n=0" when empty.
+  std::string summary() const;
+
+  /// Exact state equality (every bucket, count/sum/min/max) — what the
+  /// multi-node determinism tests compare run-to-run.
+  bool operator==(const Histogram& o) const;
+
  private:
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;

@@ -7,6 +7,7 @@
 
 #include "driver/experiment.h"
 #include "mdp/multi.h"
+#include "net/network.h"
 #include "programs/registry.h"
 #include "support/error.h"
 
@@ -22,7 +23,8 @@ programs::Workload small_workload(const std::string& name) {
   return programs::make_selection_sort(16);
 }
 
-using MultiCombo = std::tuple<const char*, rt::BackendKind, int>;
+using MultiCombo =
+    std::tuple<const char*, rt::BackendKind, int, net::NetKind>;
 
 class MultiNode : public ::testing::TestWithParam<MultiCombo> {};
 
@@ -30,11 +32,21 @@ TEST_P(MultiNode, OraclePasses) {
   const std::string name = std::get<0>(GetParam());
   driver::RunOptions opts;
   opts.backend = std::get<1>(GetParam());
-  driver::MultiRunResult r = driver::run_workload_multi(
-      small_workload(name), opts, std::get<2>(GetParam()));
+  driver::MultiOptions mopts;
+  mopts.num_nodes = std::get<2>(GetParam());
+  mopts.net = std::get<3>(GetParam());
+  driver::MultiRunResult r =
+      driver::run_workload_multi(small_workload(name), opts, mopts);
   EXPECT_TRUE(r.ok()) << name << ": " << r.check_error;
   EXPECT_EQ(static_cast<int>(r.per_node_instructions.size()),
             std::get<2>(GetParam()));
+  if (mopts.net == net::NetKind::Mesh && r.messages > 0) {
+    // Every delivered message records a hop count; a few sends may still
+    // be in flight when the first HALT stops the ensemble.
+    EXPECT_GT(r.hops.count(), 0u);
+    EXPECT_LE(r.hops.count(), r.messages);
+    EXPECT_GE(r.msg_latency.min(), 1u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -44,13 +56,16 @@ INSTANTIATE_TEST_SUITE_P(
                           "ss"),
         ::testing::Values(rt::BackendKind::MessageDriven,
                           rt::BackendKind::ActiveMessages),
-        ::testing::Values(2, 4)),
+        ::testing::Values(2, 4),
+        ::testing::Values(net::NetKind::Ideal, net::NetKind::Mesh)),
     [](const ::testing::TestParamInfo<MultiCombo>& info) {
       std::string s = std::get<0>(info.param);
       s += std::get<1>(info.param) == rt::BackendKind::MessageDriven
                ? "_MD"
                : "_AM";
       s += "_n" + std::to_string(std::get<2>(info.param));
+      s += std::get<3>(info.param) == net::NetKind::Ideal ? "_ideal"
+                                                          : "_mesh";
       return s;
     });
 
@@ -125,10 +140,12 @@ TEST(MultiNodeMachine, RemoteDereferenceFaults) {
 
 TEST(MultiNodeMachine, SendRoutesThroughTheNetwork) {
   struct Recorder final : mdp::NetworkPort {
+    int src = -1;
     int dest = -1;
     std::vector<std::uint32_t> words;
-    void send(int d, mdp::Priority,
+    void send(int s, int d, mdp::Priority,
               std::span<const std::uint32_t> w) override {
+      src = s;
       dest = d;
       words.assign(w.begin(), w.end());
     }
@@ -176,7 +193,7 @@ TEST(MultiNodeMachine, SendDrRoundRobins) {
   mdp::Machine m(img, mc);
   struct Recorder final : mdp::NetworkPort {
     std::vector<int> dests;
-    void send(int d, mdp::Priority,
+    void send(int, int d, mdp::Priority,
               std::span<const std::uint32_t>) override {
       dests.push_back(d);
     }

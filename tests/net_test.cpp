@@ -1,0 +1,299 @@
+// Tests for the src/net interconnect subsystem: topology/e-cube routing,
+// wormhole mesh behaviour (hop counts, priority overtaking, injection
+// backpressure), the bounded ideal wire, multi-node determinism, the
+// golden equivalence pin of the default ideal network against the
+// pre-seam MultiMachine, and deadlock reporting.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "mdp/assembler.h"
+#include "mdp/multi.h"
+#include "net/ideal.h"
+#include "net/mesh.h"
+#include "net/topology.h"
+#include "programs/registry.h"
+
+namespace jtam {
+namespace {
+
+TEST(Topology, FactorizationIsExactAndNearCubic) {
+  struct Case {
+    int n, x, y, z;
+  };
+  const Case cases[] = {{1, 1, 1, 1}, {2, 2, 1, 1},  {4, 2, 2, 1},
+                        {8, 2, 2, 2}, {12, 3, 2, 2}, {7, 7, 1, 1},
+                        {64, 4, 4, 4}, {256, 8, 8, 4}};
+  for (const Case& c : cases) {
+    const net::Shape s = net::Shape::for_nodes(c.n);
+    EXPECT_EQ(s.nodes(), c.n) << c.n;
+    EXPECT_EQ(s.x, c.x) << c.n;
+    EXPECT_EQ(s.y, c.y) << c.n;
+    EXPECT_EQ(s.z, c.z) << c.n;
+    EXPECT_TRUE(s.x >= s.y && s.y >= s.z) << c.n;
+  }
+}
+
+TEST(Topology, CoordRoundTripAndEcubeOrder) {
+  const net::Shape s{3, 3, 2};
+  for (int id = 0; id < s.nodes(); ++id) {
+    EXPECT_EQ(s.id_of(s.coord_of(id)), id);
+  }
+  // E-cube from node 0 to the far corner walks X fully, then Y, then Z.
+  int here = 0;
+  const int dest = s.nodes() - 1;
+  std::vector<int> dims;
+  while (true) {
+    const net::Route r = net::ecube_route(s, here, dest);
+    if (r.arrived) break;
+    dims.push_back(r.dim);
+    net::Coord c = s.coord_of(here);
+    (r.dim == 0 ? c.x : r.dim == 1 ? c.y : c.z) += r.dir;
+    here = s.id_of(c);
+  }
+  EXPECT_EQ(static_cast<int>(dims.size()), net::hop_distance(s, 0, dest));
+  EXPECT_TRUE(std::is_sorted(dims.begin(), dims.end()))
+      << "e-cube must correct dimensions in X, Y, Z order";
+}
+
+/// Records deliveries with the cycle they completed on.
+struct SinkRec final : net::DeliverySink {
+  struct Delivery {
+    int dest;
+    mdp::Priority p;
+    std::vector<std::uint32_t> words;
+    std::uint64_t cycle;
+  };
+  std::vector<Delivery> deliveries;
+  std::uint64_t now = 0;
+  void deliver(int dest, mdp::Priority p,
+               std::span<const std::uint32_t> w) override {
+    deliveries.push_back(Delivery{dest, p, {w.begin(), w.end()}, now});
+  }
+};
+
+void run_cycles(net::NetworkModel& nm, SinkRec& sink, std::uint64_t from,
+                std::uint64_t to) {
+  for (std::uint64_t c = from; c < to; ++c) {
+    sink.now = c;
+    nm.step(c, sink);
+  }
+}
+
+TEST(MeshNetwork, EcubeHopCountsAndPayloadIntegrity) {
+  net::MeshNetwork::Config cfg;
+  cfg.shape = net::Shape{3, 3, 2};
+  net::MeshNetwork mesh(cfg);
+  SinkRec sink;
+  const std::vector<std::uint32_t> words = {0xAA, 0xBB, 0xCC};
+  ASSERT_TRUE(mesh.can_accept(0, mdp::Priority::Low));
+  mesh.inject(0, 17, mdp::Priority::Low, words, 0);
+  EXPECT_FALSE(mesh.idle());
+  run_cycles(mesh, sink, 1, 64);
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(sink.deliveries[0].dest, 17);
+  EXPECT_EQ(sink.deliveries[0].words, words);
+  EXPECT_TRUE(mesh.idle());
+  const net::NetStats& st = mesh.stats();
+  EXPECT_EQ(st.messages, 1u);
+  // Head traverses exactly the Manhattan distance of links...
+  EXPECT_EQ(st.hops.max(), static_cast<std::uint64_t>(
+                               net::hop_distance(cfg.shape, 0, 17)));
+  // ...and the whole packet (head + 3 payload flits) crosses each of them.
+  EXPECT_EQ(st.flits, st.hops.max() * (words.size() + 1));
+  // Latency: one link per cycle for the head, then the body pipelines out.
+  EXPECT_GE(st.latency.min(), st.hops.max() + words.size());
+}
+
+TEST(MeshNetwork, HighPriorityOvertakesBlockedLowTraffic) {
+  net::MeshNetwork::Config cfg;
+  cfg.shape = net::Shape{4, 1, 1};
+  cfg.link_buffer_flits = 2;
+  net::MeshNetwork mesh(cfg);
+  SinkRec sink;
+  // A long low-priority packet worms 0 -> 3 first...
+  const std::vector<std::uint32_t> low(24, 0x1010);
+  mesh.inject(0, 3, mdp::Priority::Low, low, 0);
+  run_cycles(mesh, sink, 1, 3);  // its head is well into the mesh
+  // ...then a short high-priority packet chases it on the same links.
+  const std::vector<std::uint32_t> high = {0x42};
+  ASSERT_TRUE(mesh.can_accept(0, mdp::Priority::High));
+  mesh.inject(0, 3, mdp::Priority::High, high, 2);
+  run_cycles(mesh, sink, 3, 256);
+  ASSERT_EQ(sink.deliveries.size(), 2u);
+  EXPECT_EQ(sink.deliveries[0].p, mdp::Priority::High)
+      << "the high virtual network must not queue behind low flits";
+  EXPECT_EQ(sink.deliveries[0].words, high);
+  EXPECT_EQ(sink.deliveries[1].p, mdp::Priority::Low);
+  EXPECT_EQ(sink.deliveries[1].words, low);
+  EXPECT_LT(sink.deliveries[0].cycle, sink.deliveries[1].cycle);
+}
+
+TEST(MeshNetwork, InjectionChannelBackpressures) {
+  net::MeshNetwork::Config cfg;
+  cfg.shape = net::Shape{2, 1, 1};
+  net::MeshNetwork mesh(cfg);
+  SinkRec sink;
+  mesh.inject(0, 1, mdp::Priority::Low, std::vector<std::uint32_t>(8, 7), 0);
+  // The injection channel holds one packet per virtual network: a second
+  // low-priority SENDE must wait, while the high VN stays open.
+  EXPECT_FALSE(mesh.can_accept(0, mdp::Priority::Low));
+  EXPECT_TRUE(mesh.can_accept(0, mdp::Priority::High));
+  EXPECT_TRUE(mesh.can_accept(1, mdp::Priority::Low));
+  run_cycles(mesh, sink, 1, 32);
+  EXPECT_TRUE(mesh.can_accept(0, mdp::Priority::Low));
+  EXPECT_EQ(sink.deliveries.size(), 1u);
+}
+
+TEST(IdealNetwork, BoundedWireStallsAndRecovers) {
+  programs::Workload w = programs::make_mmt(6);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::MultiOptions unbounded;
+  unbounded.num_nodes = 4;
+  driver::MultiOptions bounded = unbounded;
+  bounded.max_inflight_messages = 1;
+  driver::MultiRunResult free_run = driver::run_workload_multi(w, opts, unbounded);
+  driver::MultiRunResult tight = driver::run_workload_multi(w, opts, bounded);
+  ASSERT_TRUE(free_run.ok()) << free_run.check_error;
+  ASSERT_TRUE(tight.ok()) << tight.check_error;
+  EXPECT_EQ(free_run.stalled_sends, 0u);
+  EXPECT_EQ(free_run.injection_stall_cycles, 0u);
+  EXPECT_GT(tight.stalled_sends, 0u)
+      << "a one-message wire must reject-then-retry overlapping sends";
+  EXPECT_GE(tight.injection_stall_cycles, tight.stalled_sends);
+  EXPECT_GT(tight.rounds, free_run.rounds);
+  EXPECT_EQ(tight.messages, free_run.messages);
+}
+
+// Golden pin: the default (ideal, unbounded, latency-16) network must stay
+// bit-identical to the pre-seam constant-latency MultiMachine.  These
+// numbers were captured at the commit that introduced the seam.
+TEST(IdealNetwork, MatchesPreSeamGoldenNumbers) {
+  struct Golden {
+    const char* key;
+    int backend;  // 0 = MD, 1 = AM
+    int nodes;
+    std::uint64_t rounds, messages, instructions;
+    std::uint32_t halt;
+  };
+  const Golden golden[] = {
+      {"mmt6", 0, 2, 24855ull, 465ull, 40193ull, 3225419776u},
+      {"mmt6", 0, 4, 18915ull, 620ull, 40193ull, 3225419776u},
+      {"mmt6", 1, 2, 33927ull, 465ull, 57461ull, 3225419776u},
+      {"mmt6", 1, 4, 25186ull, 620ull, 58978ull, 3225419776u},
+      {"qs24", 0, 2, 11004ull, 188ull, 13324ull, 24u},
+      {"qs24", 0, 4, 10561ull, 259ull, 13333ull, 24u},
+      {"qs24", 1, 2, 21377ull, 187ull, 28208ull, 24u},
+      {"qs24", 1, 4, 20387ull, 259ull, 29115ull, 24u},
+      {"wf", 0, 2, 19477ull, 360ull, 18337ull, 52430u},
+      {"wf", 0, 4, 19355ull, 540ull, 18343ull, 52430u},
+      {"wf", 1, 2, 32746ull, 360ull, 32451ull, 52430u},
+      {"wf", 1, 4, 32904ull, 540ull, 33249ull, 52430u},
+  };
+  for (const Golden& g : golden) {
+    programs::Workload w = std::string(g.key) == "mmt6"
+                               ? programs::make_mmt(6)
+                               : std::string(g.key) == "qs24"
+                                     ? programs::make_quicksort(24)
+                                     : programs::make_wavefront(8, 2);
+    driver::RunOptions opts;
+    opts.backend = g.backend == 0 ? rt::BackendKind::MessageDriven
+                                  : rt::BackendKind::ActiveMessages;
+    driver::MultiRunResult r = driver::run_workload_multi(w, opts, g.nodes);
+    ASSERT_TRUE(r.ok()) << g.key << ": " << r.check_error;
+    EXPECT_EQ(r.rounds, g.rounds) << g.key << " n=" << g.nodes;
+    EXPECT_EQ(r.messages, g.messages) << g.key << " n=" << g.nodes;
+    EXPECT_EQ(r.total_instructions, g.instructions)
+        << g.key << " n=" << g.nodes;
+    EXPECT_EQ(r.halt_value, g.halt) << g.key << " n=" << g.nodes;
+  }
+}
+
+void expect_identical(const driver::MultiRunResult& a,
+                      const driver::MultiRunResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.halt_value, b.halt_value);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_EQ(a.per_node_instructions, b.per_node_instructions);
+  EXPECT_EQ(a.per_node_injection_stalls, b.per_node_injection_stalls);
+  EXPECT_EQ(a.stalled_sends, b.stalled_sends);
+  EXPECT_TRUE(a.hops == b.hops);
+  EXPECT_TRUE(a.msg_latency == b.msg_latency);
+  EXPECT_EQ(a.net_cycles, b.net_cycles);
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i].flits, b.links[i].flits) << i;
+    EXPECT_EQ(a.links[i].peak_occupancy, b.links[i].peak_occupancy) << i;
+  }
+}
+
+TEST(MultiNodeDeterminism, RepeatedRunsAreBitIdentical) {
+  for (net::NetKind kind : {net::NetKind::Ideal, net::NetKind::Mesh}) {
+    for (rt::BackendKind backend : {rt::BackendKind::MessageDriven,
+                                    rt::BackendKind::ActiveMessages}) {
+      programs::Workload w = programs::make_mmt(6);
+      driver::RunOptions opts;
+      opts.backend = backend;
+      driver::MultiOptions mo;
+      mo.num_nodes = 4;
+      mo.net = kind;
+      driver::MultiRunResult r1 = driver::run_workload_multi(w, opts, mo);
+      driver::MultiRunResult r2 = driver::run_workload_multi(w, opts, mo);
+      ASSERT_TRUE(r1.ok()) << r1.check_error;
+      expect_identical(r1, r2);
+    }
+  }
+}
+
+TEST(MultiNodeDeadlock, ReportedDistinctlyFromBudgetWithNodeState) {
+  // One boot message whose handler just consumes it and suspends: after it
+  // runs, every node is idle with nothing in flight — a global deadlock,
+  // which must not be confused with max_rounds expiry.
+  mdp::Assembler a;
+  a.section(mdp::Section::SysCode);
+  a.here("entry");
+  a.suspend();
+  mdp::CodeImage img = a.link();
+
+  mdp::MultiMachine::Config mc;
+  mc.num_nodes = 2;
+  mdp::MultiMachine stuck(img, mc);
+  std::uint32_t boot[] = {img.symbol("entry")};
+  stuck.node(0).inject(mdp::Priority::Low, boot);
+  EXPECT_EQ(stuck.run(), mdp::RunStatus::Deadlock);
+  EXPECT_NE(stuck.deadlock_report(), "");
+  EXPECT_NE(stuck.deadlock_report().find("node 0"), std::string::npos);
+  EXPECT_NE(stuck.deadlock_report().find("node 1"), std::string::npos);
+  EXPECT_NE(stuck.deadlock_report().find("idle"), std::string::npos);
+
+  // The same ensemble stopped by the round budget reports Budget and
+  // leaves the deadlock report empty.
+  mc.max_rounds = 1;
+  mdp::MultiMachine capped(img, mc);
+  capped.node(0).inject(mdp::Priority::Low, boot);
+  EXPECT_EQ(capped.run(), mdp::RunStatus::Budget);
+  EXPECT_EQ(capped.deadlock_report(), "");
+}
+
+TEST(MultiNodeDeadlock, DriverSurfacesPerNodeState) {
+  // A deadlocking "workload": its boot handler suspends without halting.
+  // Routed through run_workload_multi the per-node state must appear in
+  // check_error.
+  programs::Workload w = programs::make_mmt(4);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  opts.max_instructions = 2000;  // rounds budget: expires mid-run
+  driver::MultiRunResult r = driver::run_workload_multi(w, opts, 4);
+  EXPECT_EQ(r.status, mdp::RunStatus::Budget);
+  EXPECT_EQ(r.deadlock_report, "");
+  EXPECT_NE(r.check_error.find("budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jtam
