@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -63,6 +64,29 @@ inline std::vector<net::NetKind> nets_from_args(int argc, char** argv) {
     if (a == "--net=mesh") return {net::NetKind::Mesh};
   }
   return {net::NetKind::Ideal, net::NetKind::Mesh};
+}
+
+/// --engine=stack | --engine=classic (or "--engine stack"): which cache
+/// engine measures the ladder.  Purely a performance knob — both engines
+/// produce bit-identical counts (tests/stacksim_test.cpp) — kept
+/// selectable so benches can time one against the other.
+inline driver::CacheEngine engine_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--engine" && i + 1 < argc) {
+      a = std::string("--engine=") + argv[i + 1];
+    }
+    if (a == "--engine=classic") return driver::CacheEngine::Classic;
+    if (a == "--engine=stack") return driver::CacheEngine::Stack;
+  }
+  return driver::CacheEngine::Stack;
+}
+
+/// The block sizes of the paper's §3.3 setup sweep ("block sizes varying
+/// from 8 to 64 bytes").
+inline std::span<const std::uint32_t> paper_block_sizes() {
+  static constexpr std::uint32_t kBlocks[] = {8, 16, 32, 64};
+  return kBlocks;
 }
 
 /// Observability flags shared by every bench binary:
@@ -203,6 +227,40 @@ inline std::vector<driver::BackendPair> run_all(
     out[i].md = std::move(rs[2 * i]);
     out[i].am = std::move(rs[2 * i + 1]);
     driver::require_ok({&out[i].md, &out[i].am});
+  }
+  return out;
+}
+
+/// Run every paper workload under both back-ends at each block size in
+/// `blocks`.  With the stack engine each (workload, back-end) pair costs
+/// ONE machine pass for all block sizes (driver::run_blocksize_sweep); the
+/// classic engine falls back to one memoized run per size.  out[k] holds
+/// the BackendPairs at blocks[k], workload order matching run_all.
+inline std::vector<std::vector<driver::BackendPair>> run_all_blocksizes(
+    const programs::Scale& scale, const driver::RunOptions& opts,
+    std::span<const std::uint32_t> blocks) {
+  const std::vector<programs::Workload> ws = programs::paper_workloads(scale);
+  std::cerr << "  simulating " << ws.size() << " workloads x {MD, AM} x "
+            << blocks.size() << " block sizes ...\n";
+  std::vector<std::vector<driver::BackendPair>> out(
+      blocks.size(), std::vector<driver::BackendPair>(ws.size()));
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    for (rt::BackendKind b :
+         {rt::BackendKind::MessageDriven, rt::BackendKind::ActiveMessages}) {
+      driver::RunOptions o = opts;
+      o.backend = b;
+      std::vector<driver::RunResult> rs =
+          driver::run_blocksize_sweep(ws[i], o, blocks);
+      for (std::size_t k = 0; k < blocks.size(); ++k) {
+        driver::RunResult& slot = b == rt::BackendKind::MessageDriven
+                                      ? out[k][i].md
+                                      : out[k][i].am;
+        slot = std::move(rs[k]);
+      }
+    }
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+      driver::require_ok({&out[k][i].md, &out[k][i].am});
+    }
   }
   return out;
 }

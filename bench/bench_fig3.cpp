@@ -8,42 +8,89 @@
 // high penalties; direct-mapped caches favour MD ("there is little
 // difference between the ratios for 2- and 4-way ... but there is for
 // direct-mapped").
+//
+// --blocks=all extends the sweep to every paper block size (8-64 B): with
+// the default stack engine each (workload, back-end) pair is simulated
+// once for all four ladders; --engine=classic re-runs the machine per
+// block size, which is the pre-stack-engine behaviour and the timing
+// baseline of BENCH_stacksim.json.
 
 #include "bench_common.h"
+
+namespace {
+
+bool all_blocks_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--blocks" && i + 1 < argc) {
+      a = std::string("--blocks=") + argv[i + 1];
+    }
+    if (a == "--blocks=all") return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
   const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
   const std::string json_path = bench::json_path_from_args(argc, argv);
+  const bool full = all_blocks_from_args(argc, argv);
+
+  driver::RunOptions opts;
+  opts.engine = bench::engine_from_args(argc, argv);
+  const std::vector<std::uint32_t> blocks =
+      full ? std::vector<std::uint32_t>(bench::paper_block_sizes().begin(),
+                                        bench::paper_block_sizes().end())
+           : std::vector<std::uint32_t>{64};
 
   bench::Stopwatch clock;
-  const driver::RunOptions opts;
-  const auto pairs = bench::run_all(scale, opts);
+  std::vector<std::vector<driver::BackendPair>> by_block;
+  if (opts.engine == driver::CacheEngine::Stack) {
+    by_block = bench::run_all_blocksizes(scale, opts, blocks);
+  } else {
+    for (std::uint32_t block : blocks) {
+      driver::RunOptions o = opts;
+      o.block_bytes = block;
+      by_block.push_back(bench::run_all(scale, o));
+    }
+  }
   const double wall = clock.seconds();
 
   std::vector<std::pair<std::string, double>> metrics;
-  for (std::uint32_t penalty : cache::paper_miss_penalties()) {
-    std::vector<driver::Series> series;
-    for (std::uint32_t assoc : cache::paper_associativities()) {
-      driver::Series s;
-      s.name = std::to_string(assoc) + "-way";
-      for (std::uint32_t size : cache::paper_cache_sizes()) {
-        const double g = bench::ratio_geomean(pairs, size, assoc, penalty);
-        s.values.push_back(g);
-        metrics.emplace_back("geomean_p" + std::to_string(penalty) + "_a" +
-                                 std::to_string(assoc) + "_" +
-                                 std::to_string(size / 1024) + "K",
-                             g);
-      }
-      series.push_back(std::move(s));
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    const std::vector<driver::BackendPair>& pairs = by_block[k];
+    const std::string mprefix =
+        full ? "b" + std::to_string(blocks[k]) + "_" : "";
+    if (full) {
+      std::cout << "==== " << blocks[k] << "-byte blocks ====\n\n";
     }
-    driver::print_ratio_table(
-        std::cout,
-        "Figure 3 (miss = " + std::to_string(penalty) +
-            " cycles): geomean MD/AM cycle ratio vs cache size",
-        bench::size_labels(), series);
+    for (std::uint32_t penalty : cache::paper_miss_penalties()) {
+      std::vector<driver::Series> series;
+      for (std::uint32_t assoc : cache::paper_associativities()) {
+        driver::Series s;
+        s.name = std::to_string(assoc) + "-way";
+        for (std::uint32_t size : cache::paper_cache_sizes()) {
+          const double g = bench::ratio_geomean(pairs, size, assoc, penalty);
+          s.values.push_back(g);
+          metrics.emplace_back(mprefix + "geomean_p" +
+                                   std::to_string(penalty) + "_a" +
+                                   std::to_string(assoc) + "_" +
+                                   std::to_string(size / 1024) + "K",
+                               g);
+        }
+        series.push_back(std::move(s));
+      }
+      driver::print_ratio_table(
+          std::cout,
+          "Figure 3 (miss = " + std::to_string(penalty) +
+              " cycles): geomean MD/AM cycle ratio vs cache size",
+          bench::size_labels(), series);
+    }
   }
+  std::cerr << "  simulation wall-clock: " << text::fixed(wall, 3) << " s\n";
   bench::write_json(json_path, "bench_fig3", wall, metrics);
   bench::maybe_export_obs(obs_args, scale, {});
   return 0;

@@ -13,7 +13,8 @@ int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const programs::Scale scale = bench::scale_from_args(argc, argv);
   const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
-  const driver::RunOptions opts;
+  driver::RunOptions opts;
+  opts.engine = bench::engine_from_args(argc, argv);
   const auto pairs = bench::run_all(scale, opts);
 
   std::vector<driver::Series> series;

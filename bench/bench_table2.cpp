@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
 
   bench::Stopwatch clock;
-  const driver::RunOptions opts;
+  driver::RunOptions opts;
+  opts.engine = bench::engine_from_args(argc, argv);
   const auto pairs = bench::run_all(scale, opts);
   const double wall = clock.seconds();
 

@@ -55,12 +55,20 @@ bool SetAssocCache::contains(std::uint32_t addr) const {
   return false;
 }
 
-std::vector<std::uint32_t> paper_cache_sizes() {
-  return {1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072};
+std::span<const std::uint32_t> paper_cache_sizes() {
+  static constexpr std::uint32_t kSizes[] = {1024,  2048,  4096,  8192,
+                                             16384, 32768, 65536, 131072};
+  return kSizes;
 }
 
-std::vector<std::uint32_t> paper_associativities() { return {1, 2, 4}; }
+std::span<const std::uint32_t> paper_associativities() {
+  static constexpr std::uint32_t kAssocs[] = {1, 2, 4};
+  return kAssocs;
+}
 
-std::vector<std::uint32_t> paper_miss_penalties() { return {12, 24, 48}; }
+std::span<const std::uint32_t> paper_miss_penalties() {
+  static constexpr std::uint32_t kPenalties[] = {12, 24, 48};
+  return kPenalties;
+}
 
 }  // namespace jtam::cache

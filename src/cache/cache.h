@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -188,13 +189,16 @@ inline bool SetAssocCache::access_slow(std::uint32_t block, bool is_write) {
   }
 }
 
+// The paper's sweep parameters.  Views over static storage: the benches
+// call these inside nested sweep loops, so they must not allocate.
+
 /// The per-program cache ladder the paper sweeps: 1K..128K in powers of two.
-std::vector<std::uint32_t> paper_cache_sizes();
+std::span<const std::uint32_t> paper_cache_sizes();
 
 /// The associativities the paper simulates.
-std::vector<std::uint32_t> paper_associativities();
+std::span<const std::uint32_t> paper_associativities();
 
 /// The miss penalties (cycles) the paper evaluates.
-std::vector<std::uint32_t> paper_miss_penalties();
+std::span<const std::uint32_t> paper_miss_penalties();
 
 }  // namespace jtam::cache

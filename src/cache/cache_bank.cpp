@@ -4,33 +4,40 @@
 
 namespace jtam::cache {
 
-CacheBank::CacheBank(const std::vector<CacheConfig>& configs)
-    : configs_(configs) {
-  JTAM_CHECK(!configs.empty(), "cache bank needs at least one configuration");
-  caches_.reserve(configs.size());
-  for (const auto& cfg : configs_) caches_.emplace_back(cfg);
-}
-
-CacheBank CacheBank::paper_bank(std::uint32_t block_bytes) {
+std::vector<CacheConfig> paper_ladder(std::uint32_t block_bytes) {
   std::vector<CacheConfig> cfgs;
   for (std::uint32_t assoc : paper_associativities()) {
     for (std::uint32_t size : paper_cache_sizes()) {
       cfgs.push_back(CacheConfig{size, block_bytes, assoc});
     }
   }
-  return CacheBank(cfgs);
+  return cfgs;
+}
+
+CacheBank::CacheBank(const std::vector<CacheConfig>& configs)
+    : configs_(configs) {
+  JTAM_CHECK(!configs.empty(), "cache bank needs at least one configuration");
+  caches_.reserve(configs.size());
+  for (const auto& cfg : configs_) caches_.emplace_back(cfg);
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    // First appearance wins, matching the old linear scan on duplicates.
+    index_.emplace(index_key(configs_[i].size_bytes, configs_[i].assoc), i);
+  }
+}
+
+CacheBank CacheBank::paper_bank(std::uint32_t block_bytes) {
+  return CacheBank(paper_ladder(block_bytes));
 }
 
 std::size_t CacheBank::find(std::uint32_t size_bytes,
                             std::uint32_t assoc) const {
-  for (std::size_t i = 0; i < configs_.size(); ++i) {
-    if (configs_[i].size_bytes == size_bytes && configs_[i].assoc == assoc) {
-      return i;
-    }
+  const auto it = index_.find(index_key(size_bytes, assoc));
+  if (it == index_.end()) {
+    throw Error("cache bank has no configuration " +
+                std::to_string(size_bytes) + "B/" + std::to_string(assoc) +
+                "-way");
   }
-  throw Error("cache bank has no configuration " +
-              std::to_string(size_bytes) + "B/" + std::to_string(assoc) +
-              "-way");
+  return it->second;
 }
 
 }  // namespace jtam::cache

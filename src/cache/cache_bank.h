@@ -10,11 +10,18 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.h"
 
 namespace jtam::cache {
+
+/// The paper's full ladder as a plain configuration list: sizes 1K-128K x
+/// associativity 1/2/4 at one block size, associativity-major.  Every cache
+/// engine (CacheBank, StackSimBank) builds from this one list so their
+/// configuration order — and therefore driver::RunResult::cache — matches.
+std::vector<CacheConfig> paper_ladder(std::uint32_t block_bytes = 64);
 
 /// One simulated split I/D cache pair.
 struct SplitCache {
@@ -59,13 +66,21 @@ class CacheBank {
   const SplitCache& at(std::size_t i) const { return caches_[i]; }
 
   /// Index of the configuration matching (size, assoc); throws if absent.
+  /// O(1): the constructor precomputes a (size, assoc) -> index map, since
+  /// report code calls this per metric inside sweep loops.
   std::size_t find(std::uint32_t size_bytes, std::uint32_t assoc) const;
 
   const std::vector<CacheConfig>& configs() const { return configs_; }
 
  private:
+  static std::uint64_t index_key(std::uint32_t size_bytes,
+                                 std::uint32_t assoc) {
+    return (static_cast<std::uint64_t>(size_bytes) << 32) | assoc;
+  }
+
   std::vector<CacheConfig> configs_;
   std::vector<SplitCache> caches_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
 };
 
 }  // namespace jtam::cache

@@ -1,0 +1,291 @@
+#include "cache/stack_sim.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "support/error.h"
+
+namespace jtam::cache {
+
+namespace {
+
+// Fibonacci hashing; block numbers are 24-bit addresses shifted right, so
+// the sentinel 0xFFFFFFFF never collides with a real key.
+std::uint32_t hash_block(std::uint32_t block) { return block * 2654435761u; }
+
+}  // namespace
+
+StackStream::StackStream(const std::vector<CacheConfig>& configs,
+                         std::uint32_t shard, std::uint32_t num_shards)
+    : configs_(configs) {
+  JTAM_CHECK(!configs_.empty(), "stack stream needs at least one config");
+  std::uint32_t min_sets = 0xFFFFFFFFu;
+  for (const CacheConfig& c : configs_) {
+    c.validate();
+    JTAM_CHECK(c.block_bytes == configs_[0].block_bytes,
+               "stack stream configs must share one block size");
+    min_sets = std::min(min_sets, c.num_sets());
+  }
+  JTAM_CHECK(num_shards != 0 && (num_shards & (num_shards - 1)) == 0,
+             "shard count must be a power of two");
+  JTAM_CHECK(num_shards <= min_sets,
+             "more shards than sets in the coarsest mapping");
+  JTAM_CHECK(shard < num_shards, "shard index out of range");
+  block_shift_ =
+      static_cast<std::uint32_t>(std::countr_zero(configs_[0].block_bytes));
+  shard_ = shard;
+  shard_mask_ = num_shards - 1;
+
+  // One Mapping per distinct set count; sorted ascending for determinism.
+  std::vector<std::uint32_t> set_counts;
+  set_counts.reserve(configs_.size());
+  for (const CacheConfig& c : configs_) set_counts.push_back(c.num_sets());
+  std::sort(set_counts.begin(), set_counts.end());
+  set_counts.erase(std::unique(set_counts.begin(), set_counts.end()),
+                   set_counts.end());
+
+  maps_.resize(set_counts.size());
+  cfg_loc_.resize(configs_.size());
+  std::uint32_t max_amax = 0;
+  for (std::size_t m = 0; m < set_counts.size(); ++m) {
+    Mapping& mp = maps_[m];
+    mp.set_mask = set_counts[m] - 1;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> here;  // (assoc, cfg)
+    for (std::size_t c = 0; c < configs_.size(); ++c) {
+      if (configs_[c].num_sets() != set_counts[m]) continue;
+      cfg_loc_[c] = CfgLoc{static_cast<std::uint32_t>(m), configs_[c].assoc};
+      here.emplace_back(configs_[c].assoc, static_cast<std::uint32_t>(c));
+    }
+    std::sort(here.begin(), here.end());
+    for (const auto& [assoc, cfg] : here) {
+      mp.assocs.push_back(assoc);
+      mp.cfg_of.push_back(cfg);
+      mp.amax = std::max(mp.amax, assoc);
+    }
+    mp.heads.assign(set_counts[m], kNil);
+    mp.hits_at_pos.assign(mp.amax, 0);
+    max_amax = std::max(max_amax, mp.amax);
+  }
+  walk_.resize(max_amax);
+  writebacks_.assign(configs_.size(), 0);
+  h_keys_.assign(1024, kNil);
+  h_vals_.assign(1024, 0);
+}
+
+void StackStream::access_slow(std::uint32_t block, bool is_write) {
+  std::uint32_t idx = find_entry(block);
+  const bool is_new = idx == kNil;
+  if (is_new) idx = new_entry(block);
+
+  for (Mapping& mp : maps_) {
+    const std::uint32_t set = block & mp.set_mask;
+
+    // Walk the set's recency list from the MRU end, at most amax nodes —
+    // beyond that every configuration of this mapping misses anyway.
+    std::uint32_t cur = mp.heads[set];
+    std::uint32_t n = 0;
+    while (cur != kNil && cur != idx && n < mp.amax) {
+      walk_[n++] = cur;
+      cur = mp.next[cur];
+    }
+    // Recency position of the accessed block, saturated at amax.  Entries
+    // are never unlinked, so a pool entry not found within the cap is
+    // simply deeper than every configuration's ways.
+    const std::uint32_t p = (!is_new && cur == idx) ? n : mp.amax;
+    if (p < mp.amax) ++mp.hits_at_pos[p];
+
+    // Evictions: an A-way configuration misses iff p >= A, and evicts iff
+    // its set is full, i.e. at least A other blocks precede this one
+    // (n >= A).  The victim is the LRU way — the walked node at A-1.
+    for (std::size_t a = 0; a < mp.assocs.size(); ++a) {
+      const std::uint32_t A = mp.assocs[a];
+      if (A > p || A > n) break;  // assocs ascending: later ones fail too
+      const std::uint32_t victim = walk_[A - 1];
+      if (A > mp.clean_limit[victim]) ++writebacks_[mp.cfg_of[a]];
+    }
+
+    if (is_new) {
+      const std::uint32_t h = mp.heads[set];
+      mp.next.push_back(h);
+      mp.prev.push_back(kNil);
+      mp.clean_limit.push_back(is_write ? 0 : mp.amax);
+      if (h != kNil) mp.prev[h] = idx;
+      mp.heads[set] = idx;
+    } else {
+      // Splice to the front (p > 0 always: the head is the globally most
+      // recent block, and the MRU fast path already filtered repeats).
+      const std::uint32_t pr = mp.prev[idx];
+      const std::uint32_t nx = mp.next[idx];
+      if (pr == kNil) {
+        mp.heads[set] = nx;
+      } else {
+        mp.next[pr] = nx;
+      }
+      if (nx != kNil) mp.prev[nx] = pr;
+      const std::uint32_t h = mp.heads[set];
+      mp.next[idx] = h;
+      mp.prev[idx] = kNil;
+      if (h != kNil) mp.prev[h] = idx;
+      mp.heads[set] = idx;
+      // Dirty-level update: a write dirties the block in every
+      // configuration; a read at position p refills it clean in the
+      // configurations that missed (assoc <= p) and leaves the rest alone.
+      if (is_write) {
+        mp.clean_limit[idx] = 0;
+      } else if (p > mp.clean_limit[idx]) {
+        mp.clean_limit[idx] = p;
+      }
+    }
+  }
+
+  mru_block_ = block;
+  mru_entry_ = idx;
+  mru_dirty_ = is_write;
+}
+
+void StackStream::mark_mru_dirty() {
+  for (Mapping& mp : maps_) mp.clean_limit[mru_entry_] = 0;
+  mru_dirty_ = true;
+}
+
+std::uint32_t StackStream::find_entry(std::uint32_t block) const {
+  const std::uint32_t mask = static_cast<std::uint32_t>(h_keys_.size()) - 1;
+  std::uint32_t i = hash_block(block) & mask;
+  while (h_keys_[i] != kNil) {
+    if (h_keys_[i] == block) return h_vals_[i];
+    i = (i + 1) & mask;
+  }
+  return kNil;
+}
+
+std::uint32_t StackStream::new_entry(std::uint32_t block) {
+  if ((h_used_ + 1) * 2 > h_keys_.size()) grow_table();
+  const std::uint32_t idx = static_cast<std::uint32_t>(blocks_.size());
+  blocks_.push_back(block);
+  const std::uint32_t mask = static_cast<std::uint32_t>(h_keys_.size()) - 1;
+  std::uint32_t i = hash_block(block) & mask;
+  while (h_keys_[i] != kNil) i = (i + 1) & mask;
+  h_keys_[i] = block;
+  h_vals_[i] = idx;
+  ++h_used_;
+  return idx;
+}
+
+void StackStream::grow_table() {
+  std::vector<std::uint32_t> keys(h_keys_.size() * 2, kNil);
+  std::vector<std::uint32_t> vals(h_vals_.size() * 2, 0);
+  const std::uint32_t mask = static_cast<std::uint32_t>(keys.size()) - 1;
+  for (std::size_t i = 0; i < h_keys_.size(); ++i) {
+    if (h_keys_[i] == kNil) continue;
+    std::uint32_t j = hash_block(h_keys_[i]) & mask;
+    while (keys[j] != kNil) j = (j + 1) & mask;
+    keys[j] = h_keys_[i];
+    vals[j] = h_vals_[i];
+  }
+  h_keys_ = std::move(keys);
+  h_vals_ = std::move(vals);
+}
+
+CacheStats StackStream::stats_for(std::size_t c) const {
+  const CfgLoc loc = cfg_loc_[c];
+  const Mapping& mp = maps_[loc.map];
+  std::uint64_t hits = mru_repeats_;
+  for (std::uint32_t p = 0; p < loc.assoc; ++p) hits += mp.hits_at_pos[p];
+  CacheStats s;
+  s.accesses = accesses_;
+  s.misses = accesses_ - hits;
+  s.writebacks = writebacks_[c];
+  return s;
+}
+
+StackSimBank::StackSimBank(const std::vector<CacheConfig>& configs,
+                           unsigned shards_hint)
+    : configs_(configs) {
+  JTAM_CHECK(!configs_.empty(), "stack bank needs at least one config");
+  loc_.resize(configs_.size());
+
+  // Group by block size, preserving first-appearance order.
+  std::vector<std::uint32_t> group_block;
+  std::vector<std::vector<CacheConfig>> group_cfgs;
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    const std::uint32_t bb = configs_[i].block_bytes;
+    std::size_t g = 0;
+    while (g < group_block.size() && group_block[g] != bb) ++g;
+    if (g == group_block.size()) {
+      group_block.push_back(bb);
+      group_cfgs.emplace_back();
+    }
+    loc_[i] = {static_cast<std::uint32_t>(g),
+               static_cast<std::uint32_t>(group_cfgs[g].size())};
+    group_cfgs[g].push_back(configs_[i]);
+  }
+
+  groups_.resize(group_cfgs.size());
+  for (std::size_t g = 0; g < group_cfgs.size(); ++g) {
+    std::uint32_t min_sets = 0xFFFFFFFFu;
+    for (const CacheConfig& c : group_cfgs[g]) {
+      min_sets = std::min(min_sets, c.num_sets());
+    }
+    std::uint32_t shards = 1;
+    while (shards * 2 <= shards_hint && shards * 2 <= min_sets) shards *= 2;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      groups_[g].ishards.emplace_back(group_cfgs[g], s, shards);
+      groups_[g].dshards.emplace_back(group_cfgs[g], s, shards);
+    }
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      tasks_.push_back(Task{static_cast<std::uint32_t>(g), s, false});
+      tasks_.push_back(Task{static_cast<std::uint32_t>(g), s, true});
+    }
+  }
+}
+
+CacheStats StackSimBank::istats(std::size_t i) const {
+  const auto [g, local] = loc_[i];
+  CacheStats sum;
+  for (const StackStream& s : groups_[g].ishards) {
+    const CacheStats part = s.stats_for(local);
+    sum.accesses += part.accesses;
+    sum.misses += part.misses;
+    sum.writebacks += part.writebacks;
+  }
+  return sum;
+}
+
+CacheStats StackSimBank::dstats(std::size_t i) const {
+  const auto [g, local] = loc_[i];
+  CacheStats sum;
+  for (const StackStream& s : groups_[g].dshards) {
+    const CacheStats part = s.stats_for(local);
+    sum.accesses += part.accesses;
+    sum.misses += part.misses;
+    sum.writebacks += part.writebacks;
+  }
+  return sum;
+}
+
+void StackSimBank::on_fetch(std::uint32_t addr) {
+  for (Group& g : groups_) {
+    for (StackStream& s : g.ishards) s.access(addr & ~3u, /*is_write=*/false);
+  }
+}
+
+void StackSimBank::on_data(std::uint32_t addr, bool is_write) {
+  for (Group& g : groups_) {
+    for (StackStream& s : g.dshards) s.access(addr & ~3u, is_write);
+  }
+}
+
+void StackSimBank::run_task(std::size_t t, const std::uint32_t* fetch_words,
+                            std::size_t nf, const std::uint32_t* data_words,
+                            std::size_t nd) {
+  const Task& tk = tasks_[t];
+  Group& g = groups_[tk.group];
+  if (tk.data) {
+    g.dshards[tk.shard].data_block(data_words, nd);
+  } else {
+    g.ishards[tk.shard].fetch_block(fetch_words, nf);
+  }
+}
+
+}  // namespace jtam::cache

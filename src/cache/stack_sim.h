@@ -1,0 +1,191 @@
+// Single-pass multi-configuration LRU cache simulation (Mattson stack
+// distances with set refinement).
+//
+// The classic CacheBank fans every reference out to ~24 independent
+// SetAssocCache instances, paying O(configs) work per event.  This module
+// computes the same counts in one pass per reference stream:
+//
+//  * All configurations sharing a block size form one *group*.  Within a
+//    group every set mapping is a power-of-two mask of the block number, so
+//    the mappings are nested: blocks that share a set under S sets also
+//    share one under any S' < S ("set refinement").
+//  * Per set mapping the simulator keeps true-LRU recency lists.  An A-way
+//    set of that mapping holds exactly the A most recently used blocks of
+//    the set (the LRU inclusion property), so an access at recency position
+//    p hits every configuration with assoc > p and misses the rest — one
+//    bounded list walk (at most max-assoc nodes) replaces a probe per
+//    configuration, and one `hits_at_pos` histogram per mapping yields the
+//    hit count of every ladder size at that mapping.
+//  * Write-backs fall out of the same pass via a per-entry *clean limit*
+//    (Thompson & Smith's dirty-level technique): after a write the limit is
+//    0; each read at recency position p raises it to max(limit, p), because
+//    configurations with assoc <= p just refilled the block clean while
+//    larger ones kept the dirty copy.  A block evicted from an A-way
+//    configuration (pushed from position A-1 to A) writes back iff
+//    A > clean_limit — bit-identical to the classic dirty bit.
+//
+// Equivalence with SetAssocCache is enforced, not hoped for:
+// tests/stacksim_test.cpp pins bit-identical miss/writeback/access counts
+// on full workload runs and tests/cache_property_test.cpp cross-checks
+// randomized streams, including degenerate single-set geometries.
+//
+// Sharding: blocks whose numbers differ in the low set bits never share a
+// set under any mapping of the group, so the sets can be partitioned by
+// low block bits and simulated on separate threads with bit-identical
+// results (driver::StackBankConsumer) — the stack analogue of the classic
+// engine's shard-by-configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace jtam::cache {
+
+/// Multi-configuration LRU simulator for ONE reference stream (the
+/// instruction or the data side) at ONE block size, optionally restricted
+/// to a power-of-two shard of the sets.  Feed it every access of the
+/// stream; it answers with per-configuration CacheStats identical to a
+/// SetAssocCache per configuration.
+class StackStream {
+ public:
+  /// `configs` must be non-empty and share one block size.  `shard` /
+  /// `num_shards` restrict this instance to blocks with
+  /// (block & (num_shards - 1)) == shard; num_shards must be a power of
+  /// two not exceeding the smallest set count of the group.
+  StackStream(const std::vector<CacheConfig>& configs, std::uint32_t shard,
+              std::uint32_t num_shards);
+
+  /// Simulate one access (no-op when the block is outside this shard).
+  void access(std::uint32_t addr, bool is_write) {
+    const std::uint32_t block = addr >> block_shift_;
+    if ((block & shard_mask_) != shard_) return;
+    ++accesses_;
+    if (block == mru_block_) {  // hit at recency position 0 of every mapping
+      ++mru_repeats_;
+      if (is_write && !mru_dirty_) mark_mru_dirty();
+      return;
+    }
+    access_slow(block, is_write);
+  }
+
+  /// Batched instruction-fetch stream in mdp::TraceBuffer encoding (bit 0
+  /// carries the priority level; the block shift discards it).
+  void fetch_block(const std::uint32_t* words, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      access(words[i] & ~3u, /*is_write=*/false);
+    }
+  }
+
+  /// Batched data stream in mdp::TraceBuffer encoding (bit 0 = is_write,
+  /// bit 1 = priority level).
+  void data_block(const std::uint32_t* words, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      access(words[i] & ~3u, (words[i] & 1u) != 0);
+    }
+  }
+
+  /// Counts for configuration `c` (index into the constructor's vector),
+  /// restricted to this shard's accesses.
+  CacheStats stats_for(std::size_t c) const;
+
+  const std::vector<CacheConfig>& configs() const { return configs_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// One set mapping (a distinct set count within the group) with its
+  /// intrusive per-set recency lists and hit-depth histogram.
+  struct Mapping {
+    std::uint32_t set_mask = 0;  // num_sets - 1
+    std::uint32_t amax = 0;      // largest assoc among configs here
+    std::vector<std::uint32_t> assocs;  // ascending, one per config
+    std::vector<std::uint32_t> cfg_of;  // config index per `assocs` entry
+    std::vector<std::uint32_t> heads;   // per set: MRU entry or kNil
+    // Parallel to the entry pool:
+    std::vector<std::uint32_t> next, prev;
+    std::vector<std::uint32_t> clean_limit;  // dirty iff assoc > clean_limit
+    std::vector<std::uint64_t> hits_at_pos;  // [recency position] < amax
+  };
+
+  void access_slow(std::uint32_t block, bool is_write);
+  void mark_mru_dirty();
+  std::uint32_t find_entry(std::uint32_t block) const;
+  std::uint32_t new_entry(std::uint32_t block);
+  void grow_table();
+
+  std::uint32_t block_shift_ = 0;
+  std::uint32_t shard_ = 0;
+  std::uint32_t shard_mask_ = 0;
+  std::uint32_t mru_block_ = kNil;  // block of the last access in-shard
+  std::uint32_t mru_entry_ = 0;
+  bool mru_dirty_ = false;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t mru_repeats_ = 0;  // position-0 hits taken on the fast path
+
+  std::vector<CacheConfig> configs_;
+  struct CfgLoc {
+    std::uint32_t map;
+    std::uint32_t assoc;
+  };
+  std::vector<CfgLoc> cfg_loc_;        // per config: its mapping + ways
+  std::vector<Mapping> maps_;
+  std::vector<std::uint64_t> writebacks_;  // per config
+  std::vector<std::uint32_t> blocks_;      // entry pool: block number
+  std::vector<std::uint32_t> walk_;        // scratch: first <= amax nodes
+  std::vector<std::uint32_t> h_keys_;      // open-addressed block -> entry
+  std::vector<std::uint32_t> h_vals_;
+  std::size_t h_used_ = 0;
+};
+
+/// Drop-in engine behind the cache ladder: same configuration list and
+/// per-config CacheStats as a CacheBank, computed by stack simulation.
+/// Configurations may span several block sizes; each block size becomes an
+/// independent group, so one machine pass can feed a whole block-size
+/// sweep (driver::run_blocksize_sweep).
+class StackSimBank {
+ public:
+  /// `shards_hint` bounds the per-group set sharding (rounded down to a
+  /// power of two capped by the group's smallest set count); 1 = serial.
+  explicit StackSimBank(const std::vector<CacheConfig>& configs,
+                        unsigned shards_hint = 1);
+
+  std::size_t size() const { return configs_.size(); }
+  const std::vector<CacheConfig>& configs() const { return configs_; }
+
+  /// Counts for configuration i, summed over shards — bit-identical to the
+  /// same stream driven through a SetAssocCache pair.
+  CacheStats istats(std::size_t i) const;
+  CacheStats dstats(std::size_t i) const;
+
+  /// Per-event feeds (tests and single-stepping; the batched path below is
+  /// the hot one).
+  void on_fetch(std::uint32_t addr);
+  void on_data(std::uint32_t addr, bool is_write);
+
+  /// Batched consumption is split into independent tasks, one per
+  /// (group, stream, set shard) — disjoint state, so any subset may run on
+  /// separate threads with bit-identical results.
+  std::size_t num_tasks() const { return tasks_.size(); }
+  void run_task(std::size_t t, const std::uint32_t* fetch_words,
+                std::size_t nf, const std::uint32_t* data_words,
+                std::size_t nd);
+
+ private:
+  struct Group {
+    std::vector<StackStream> ishards, dshards;
+  };
+  struct Task {
+    std::uint32_t group;
+    std::uint32_t shard;
+    bool data;
+  };
+
+  std::vector<CacheConfig> configs_;
+  std::vector<Group> groups_;
+  std::vector<Task> tasks_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> loc_;  // (group, local)
+};
+
+}  // namespace jtam::cache

@@ -2,6 +2,7 @@
 
 #include "mdp/multi.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -10,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "cache/stack_sim.h"
 #include "driver/trace_buffer.h"
 #include "obs/obs.h"
 #include "runtime/kernel.h"
@@ -106,12 +108,31 @@ PreparedRun prepare_run(const programs::Workload& w, const RunOptions& opts) {
   return out;
 }
 
-RunResult run_workload(const programs::Workload& w, const RunOptions& opts) {
+namespace {
+
+/// The body of run_workload.  `ladder_override`, when non-null, replaces
+/// the paper ladder at opts.block_bytes with an arbitrary configuration
+/// list (run_blocksize_sweep passes a multi-block-size ladder); it
+/// requires the stack engine on the batched pipeline.
+RunResult run_workload_impl(
+    const programs::Workload& w, const RunOptions& opts,
+    const std::vector<cache::CacheConfig>* ladder_override) {
   PreparedRun prep = prepare_run(w, opts);
   mdp::Machine& m = *prep.machine;
 
+  // The stack engine lives on the batched pipeline only; the seed per-event
+  // path keeps the classic fan-out (StatsSink drives a CacheBank directly).
+  const bool use_stack = opts.with_cache && opts.batched_trace &&
+                         opts.engine == CacheEngine::Stack;
+  JTAM_CHECK(ladder_override == nullptr || use_stack,
+             "a ladder override requires the stack engine on the batched "
+             "pipeline");
+
   std::optional<cache::CacheBank> bank;
-  if (opts.with_cache) bank.emplace(cache::CacheBank::paper_bank(opts.block_bytes));
+  std::optional<cache::StackSimBank> stack;
+  if (opts.with_cache && !use_stack) {
+    bank.emplace(cache::CacheBank::paper_bank(opts.block_bytes));
+  }
 
   RunResult r;
   r.workload = w.name;
@@ -121,21 +142,33 @@ RunResult run_workload(const programs::Workload& w, const RunOptions& opts) {
                           opts.batched_trace ? nullptr : (bank ? &*bank : nullptr));
   if (opts.batched_trace) {
     // Batched pipeline: the machine appends packed events; each full block
-    // replays into the stats accumulator and fans out to the cache ladder,
+    // replays into the stats accumulator and fans out to the cache engine,
     // sharded across the worker pool when the host has CPUs to spare.
     unsigned workers = opts.cache_workers;
     if (workers == 0) {
       workers = std::max(1u, std::thread::hardware_concurrency());
     }
+    if (use_stack) {
+      stack.emplace(ladder_override != nullptr
+                        ? *ladder_override
+                        : cache::paper_ladder(opts.block_bytes),
+                    workers > 1 ? workers : 1);
+    }
     TracePipeline pipe;
     StatsReplay stats_replay(&sink);
     pipe.add(&stats_replay);
     std::optional<CacheBankConsumer> cache_consumer;
+    std::optional<StackBankConsumer> stack_consumer;
     if (bank) {
       support::ThreadPool* pool =
           workers > 1 ? &support::ThreadPool::shared() : nullptr;
       cache_consumer.emplace(&*bank, pool, workers);
       pipe.add(&*cache_consumer);
+    } else if (stack) {
+      support::ThreadPool* pool =
+          workers > 1 ? &support::ThreadPool::shared() : nullptr;
+      stack_consumer.emplace(&*stack, pool);
+      pipe.add(&*stack_consumer);
     }
     // Observability collectors ride the same pipeline, after the
     // measurement consumers.  The metered drain (wall-clock self-metrics)
@@ -184,6 +217,11 @@ RunResult run_workload(const programs::Workload& w, const RunOptions& opts) {
                                      bank->at(i).icache.stats(),
                                      bank->at(i).dcache.stats()});
     }
+  } else if (stack) {
+    for (std::size_t i = 0; i < stack->size(); ++i) {
+      r.cache.push_back(ConfigResult{stack->configs()[i], stack->istats(i),
+                                     stack->dstats(i)});
+    }
   }
 
   if (r.status == mdp::RunStatus::Halted) {
@@ -194,6 +232,12 @@ RunResult run_workload(const programs::Workload& w, const RunOptions& opts) {
                     mdp::run_status_name(r.status);
   }
   return r;
+}
+
+}  // namespace
+
+RunResult run_workload(const programs::Workload& w, const RunOptions& opts) {
+  return run_workload_impl(w, opts, nullptr);
 }
 
 MultiRunResult run_workload_multi(const programs::Workload& w,
@@ -292,8 +336,9 @@ namespace {
 
 // Process-wide memo of completed runs.  Keys combine the workload's
 // identity key with every result-relevant option; the pipeline knobs
-// (batched_trace, cache_workers) are deliberately excluded — they cannot
-// change any measured number (tests/pipeline_test.cpp).
+// (engine, batched_trace, cache_workers) are deliberately excluded — they
+// cannot change any measured number (tests/pipeline_test.cpp,
+// tests/stacksim_test.cpp).
 std::mutex g_memo_mu;
 std::unordered_map<std::string, RunResult> g_memo;           // NOLINT
 RunMemoStats g_memo_stats;                                   // NOLINT
@@ -394,6 +439,92 @@ std::vector<RunResult> run_many(const std::vector<RunRequest>& reqs,
       } else {
         out[i] = g_memo.at(keys[i]);
       }
+    }
+  }
+  return out;
+}
+
+std::vector<RunResult> run_blocksize_sweep(
+    const programs::Workload& w, const RunOptions& opts,
+    std::span<const std::uint32_t> blocks) {
+  JTAM_CHECK(!blocks.empty(), "block-size sweep needs at least one size");
+
+  // The classic engine probes concrete cache geometries, so it cannot host
+  // a mixed-block-size ladder — fall back to one (memoized, concurrent)
+  // run per size.  Same for cache-less or per-event runs.
+  if (opts.engine == CacheEngine::Classic || !opts.batched_trace ||
+      !opts.with_cache) {
+    std::vector<RunRequest> reqs;
+    reqs.reserve(blocks.size());
+    for (std::uint32_t b : blocks) {
+      RunRequest req{w, opts};
+      req.opts.block_bytes = b;
+      reqs.push_back(std::move(req));
+    }
+    return run_many(reqs);
+  }
+
+  RunOptions base = opts;
+  // Collectors attach to one run's trace at one block size; the shared
+  // pass serves several, so it runs measurement-only.
+  base.obs = obs::Options{};
+
+  auto key_for = [&](std::uint32_t b) {
+    if (w.key.empty()) return std::string{};
+    RunOptions bo = base;
+    bo.block_bytes = b;
+    return w.key + '|' + options_key(bo);
+  };
+
+  std::vector<std::uint32_t> missing;
+  {
+    std::lock_guard<std::mutex> lk(g_memo_mu);
+    for (std::uint32_t b : blocks) {
+      const std::string key = key_for(b);
+      if (!key.empty() && g_memo.count(key) != 0) {
+        ++g_memo_stats.hits;
+        continue;
+      }
+      if (std::find(missing.begin(), missing.end(), b) == missing.end()) {
+        missing.push_back(b);
+      }
+    }
+    if (!missing.empty()) ++g_memo_stats.misses;  // one machine pass
+  }
+
+  std::unordered_map<std::uint32_t, RunResult> fresh;
+  if (!missing.empty()) {
+    // One machine pass over a ladder spanning every missing block size;
+    // paper_ladder order within each size keeps the per-size slices
+    // bit-identical to a plain run_workload at that size.
+    std::vector<cache::CacheConfig> ladder;
+    for (std::uint32_t b : missing) {
+      const std::vector<cache::CacheConfig> part = cache::paper_ladder(b);
+      ladder.insert(ladder.end(), part.begin(), part.end());
+    }
+    RunResult all = run_workload_impl(w, base, &ladder);
+    std::size_t off = 0;
+    for (std::uint32_t b : missing) {
+      const std::size_t n = cache::paper_ladder(b).size();
+      RunResult rb = all;
+      rb.cache.assign(all.cache.begin() + static_cast<std::ptrdiff_t>(off),
+                      all.cache.begin() + static_cast<std::ptrdiff_t>(off + n));
+      off += n;
+      fresh.emplace(b, std::move(rb));
+    }
+    if (!w.key.empty()) {
+      std::lock_guard<std::mutex> lk(g_memo_mu);
+      for (const auto& [b, rb] : fresh) g_memo[key_for(b)] = rb;
+    }
+  }
+
+  std::vector<RunResult> out;
+  out.reserve(blocks.size());
+  {
+    std::lock_guard<std::mutex> lk(g_memo_mu);
+    for (std::uint32_t b : blocks) {
+      const auto it = fresh.find(b);
+      out.push_back(it != fresh.end() ? it->second : g_memo.at(key_for(b)));
     }
   }
   return out;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@ struct Report;
 
 namespace jtam::driver {
 
+/// Which simulator computes the cache ladder's counts (see
+/// RunOptions::engine).
+enum class CacheEngine { Stack, Classic };
+
 struct RunOptions {
   rt::BackendKind backend = rt::BackendKind::ActiveMessages;
   bool am_enabled_variant = false;       // §2.4 ablation
@@ -42,8 +47,15 @@ struct RunOptions {
 
   // Performance knobs.  These select *how* the reference stream is
   // consumed, never what is measured: every combination produces
-  // bit-identical RunResults (enforced by tests/pipeline_test.cpp), so
-  // they are excluded from the run-memoization key.
+  // bit-identical RunResults (enforced by tests/pipeline_test.cpp and
+  // tests/stacksim_test.cpp), so they are excluded from the
+  // run-memoization key.
+  /// Cache engine.  `Stack` (default) computes the whole ladder in one
+  /// stack-distance pass per reference stream (cache::StackSimBank);
+  /// `Classic` fans every reference out to ~24 SetAssocCache instances.
+  /// Both produce bit-identical counts; Classic remains the equivalence
+  /// baseline and the only engine of the seed per-event path.
+  CacheEngine engine = CacheEngine::Stack;
   /// Batched SoA trace blocks (default) vs the seed's per-event TraceSink
   /// path, kept as the equivalence baseline.
   bool batched_trace = true;
@@ -187,6 +199,25 @@ struct RunRequest {
 /// outer parallelism already saturates the machine.
 std::vector<RunResult> run_many(const std::vector<RunRequest>& reqs,
                                 unsigned workers = 0);
+
+/// Simulate one workload at several block sizes from a single machine pass.
+///
+/// The reference stream a workload emits does not depend on the cache
+/// block size — the cache is a passive observer — so a block-size sweep
+/// needs one simulation feeding a StackSimBank whose ladder spans every
+/// requested block size, not one machine run per size.  Returns one
+/// RunResult per entry of `blocks`, each bit-identical to
+/// `run_workload(w, opts with block_bytes = blocks[i])`, and memoizes them
+/// under the same keys run_many uses (already-memoized sizes are served
+/// without touching the machine; the memo counts one miss per machine pass
+/// actually executed).
+///
+/// Requires the stack engine and the batched pipeline (the classic engine
+/// falls back to one run_workload per block size); obs collectors are not
+/// attached on the shared pass.
+std::vector<RunResult> run_blocksize_sweep(
+    const programs::Workload& w, const RunOptions& opts,
+    std::span<const std::uint32_t> blocks);
 
 /// Observability/test hooks for the run memo.
 struct RunMemoStats {

@@ -76,4 +76,19 @@ void CacheBankConsumer::on_block(const mdp::TraceBuffer& buf) {
   });
 }
 
+void StackBankConsumer::on_block(const mdp::TraceBuffer& buf) {
+  const std::uint32_t* fw = buf.fetch().data();
+  const std::size_t nf = buf.fetch().size();
+  const std::uint32_t* dw = buf.data().data();
+  const std::size_t nd = buf.data().size();
+  const std::size_t n = bank_->num_tasks();
+  if (pool_ == nullptr || n <= 1) {
+    for (std::size_t t = 0; t < n; ++t) bank_->run_task(t, fw, nf, dw, nd);
+    return;
+  }
+  pool_->parallel_for(n, [&](std::size_t t) {
+    bank_->run_task(t, fw, nf, dw, nd);
+  });
+}
+
 }  // namespace jtam::driver

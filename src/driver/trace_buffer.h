@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/cache_bank.h"
+#include "cache/stack_sim.h"
 #include "mdp/machine.h"
 #include "metrics/granularity.h"
 #include "support/thread_pool.h"
@@ -86,6 +87,23 @@ class CacheBankConsumer final : public TraceConsumer {
   cache::CacheBank* bank_;
   support::ThreadPool* pool_;
   std::size_t shards_;
+};
+
+/// Drains blocks into a StackSimBank.  The bank splits its work into
+/// independent (block-size group, stream, set shard) tasks; they share no
+/// state, so running them on a worker pool (serially when `pool` is null)
+/// is bit-identical to any other schedule.  Where CacheBankConsumer shards
+/// by configuration, the stack engine has only one simulator per stream —
+/// parallelism comes from partitioning the *sets* instead.
+class StackBankConsumer final : public TraceConsumer {
+ public:
+  StackBankConsumer(cache::StackSimBank* bank, support::ThreadPool* pool)
+      : bank_(bank), pool_(pool) {}
+  void on_block(const mdp::TraceBuffer& buf) override;
+
+ private:
+  cache::StackSimBank* bank_;
+  support::ThreadPool* pool_;
 };
 
 }  // namespace jtam::driver

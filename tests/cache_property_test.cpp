@@ -1,12 +1,16 @@
 // Parameterized property tests of the cache simulator over block sizes,
-// associativities and synthetic reference patterns.
+// associativities and synthetic reference patterns, plus randomized
+// cross-checks of the single-pass stack engine against SetAssocCache.
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "cache/cache.h"
+#include "cache/cache_bank.h"
+#include "cache/stack_sim.h"
 
 namespace jtam::cache {
 namespace {
@@ -89,6 +93,135 @@ TEST_P(PenaltyMonotonic, LargerCachesNeverifyFewerWritebacksThanMisses) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PenaltyMonotonic,
                          ::testing::ValuesIn(paper_cache_sizes()));
+
+// ---------------------------------------------------------------------------
+// StackSim vs SetAssocCache: the stack engine must reproduce every
+// access/miss/writeback count exactly, not approximately.
+
+/// One event of a synthetic trace: fetch, read or write.
+struct Ref {
+  std::uint32_t addr;
+  bool is_fetch;
+  bool is_write;
+};
+
+/// Mixed fetch/read/write stream.  `skewed` draws three quarters of the
+/// addresses from a hot 2 KB region (deep reuse, many stack hits at small
+/// depths); otherwise addresses are uniform over 256 KB (many cold misses
+/// and evictions).
+std::vector<Ref> ref_stream(int n, std::uint32_t seed, bool skewed) {
+  std::vector<Ref> out;
+  out.reserve(static_cast<std::size_t>(n));
+  std::uint32_t x = seed;
+  for (int i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    std::uint32_t addr;
+    if (skewed && (x & 3u) != 0) {
+      addr = (x >> 9) & 0x7FFu & ~3u;
+    } else {
+      addr = (x >> 7) & 0x3FFFFu & ~3u;
+    }
+    out.push_back(Ref{addr, (x & 4u) != 0, (x & 8u) != 0});
+  }
+  return out;
+}
+
+/// Drive one stream through both engines and compare every configuration.
+void cross_check(const std::vector<CacheConfig>& configs,
+                 const std::vector<Ref>& refs, const std::string& what) {
+  SCOPED_TRACE(what);
+  StackSimBank stack(configs);
+  CacheBank classic(configs);
+  for (const Ref& r : refs) {
+    if (r.is_fetch) {
+      stack.on_fetch(r.addr);
+      classic.on_fetch(r.addr);
+    } else {
+      stack.on_data(r.addr, r.is_write);
+      classic.on_data(r.addr, r.is_write);
+    }
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE(configs[i].name());
+    const CacheStats si = stack.istats(i);
+    const CacheStats sd = stack.dstats(i);
+    const CacheStats& ci = classic.at(i).icache.stats();
+    const CacheStats& cd = classic.at(i).dcache.stats();
+    EXPECT_EQ(si.accesses, ci.accesses);
+    EXPECT_EQ(si.misses, ci.misses);
+    EXPECT_EQ(si.writebacks, ci.writebacks);
+    EXPECT_EQ(sd.accesses, cd.accesses);
+    EXPECT_EQ(sd.misses, cd.misses);
+    EXPECT_EQ(sd.writebacks, cd.writebacks);
+  }
+}
+
+TEST(StackSimProperty, MatchesSetAssocOnRandomStreams) {
+  // N random streams, alternating skewed and uniform, over the full
+  // paper ladder at two block sizes.
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    const bool skewed = (seed % 2) == 0;
+    const std::vector<Ref> refs = ref_stream(40000, seed * 7919u, skewed);
+    cross_check(paper_ladder(64), refs,
+                "seed " + std::to_string(seed) + (skewed ? " skewed" : " uniform"));
+    cross_check(paper_ladder(8), refs,
+                "seed " + std::to_string(seed) + " 8B blocks");
+  }
+}
+
+TEST(StackSimProperty, MatchesSetAssocOnDegenerateGeometries) {
+  // Single-set (fully associative) caches, assoc == num_blocks, and a
+  // direct-mapped single-block extreme, mixed with ordinary geometries so
+  // several mappings coexist in one group.
+  const std::vector<CacheConfig> configs = {
+      CacheConfig{512, 64, 8},    // 1 set of 8 (assoc == num_blocks)
+      CacheConfig{1024, 64, 16},  // 1 set of 16
+      CacheConfig{256, 64, 4},    // 1 set of 4
+      CacheConfig{64, 64, 1},     // a single block
+      CacheConfig{8192, 64, 2},   // ordinary geometry sharing the group
+      CacheConfig{8192, 64, 1},
+  };
+  for (std::uint32_t seed : {3u, 11u}) {
+    cross_check(configs, ref_stream(30000, seed, seed == 3u),
+                "degenerate seed " + std::to_string(seed));
+  }
+}
+
+TEST(StackSimProperty, MatchesSetAssocAcrossMixedBlockSizeGroups) {
+  // One bank spanning several block sizes — the single-pass block-size
+  // sweep configuration — must behave as independent per-size groups.
+  std::vector<CacheConfig> configs;
+  for (std::uint32_t block : {8u, 16u, 32u, 64u}) {
+    const std::vector<CacheConfig> part = paper_ladder(block);
+    configs.insert(configs.end(), part.begin(), part.end());
+  }
+  cross_check(configs, ref_stream(30000, 123u, true), "mixed block sizes");
+}
+
+TEST(StackSimProperty, ShardedSumsMatchSerial) {
+  // Partitioning the sets across shards must change nothing: per-config
+  // sums over shards equal the serial engine bit for bit.
+  const std::vector<CacheConfig> configs = paper_ladder(64);
+  const std::vector<Ref> refs = ref_stream(30000, 77u, true);
+  StackSimBank serial(configs, 1);
+  StackSimBank sharded(configs, 4);
+  for (const Ref& r : refs) {
+    if (r.is_fetch) {
+      serial.on_fetch(r.addr);
+      sharded.on_fetch(r.addr);
+    } else {
+      serial.on_data(r.addr, r.is_write);
+      sharded.on_data(r.addr, r.is_write);
+    }
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE(configs[i].name());
+    EXPECT_EQ(serial.istats(i).misses, sharded.istats(i).misses);
+    EXPECT_EQ(serial.istats(i).accesses, sharded.istats(i).accesses);
+    EXPECT_EQ(serial.dstats(i).misses, sharded.dstats(i).misses);
+    EXPECT_EQ(serial.dstats(i).writebacks, sharded.dstats(i).writebacks);
+  }
+}
 
 TEST(CacheProperty, FullyAssociativeLruSizesAreNested) {
   // With one set (fully associative), a bigger LRU cache's contents always

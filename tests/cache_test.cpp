@@ -118,6 +118,18 @@ TEST(CacheBank, PaperBankHasAllConfigs) {
   EXPECT_THROW(bank.find(999, 1), Error);
 }
 
+// The precomputed (size, assoc) -> index map must agree with positional
+// lookup for every configuration and keep the throws-if-absent contract.
+TEST(CacheBank, FindReturnsMatchingIndexAndThrowsWhenAbsent) {
+  CacheBank bank = CacheBank::paper_bank();
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    const CacheConfig& c = bank.configs()[i];
+    EXPECT_EQ(bank.find(c.size_bytes, c.assoc), i) << c.name();
+  }
+  EXPECT_THROW(bank.find(8192, 8), Error);  // ladder size, absent assoc
+  EXPECT_THROW(bank.find(999, 1), Error);   // absent size
+}
+
 TEST(CacheBank, FansOutToAllConfigs) {
   CacheBank bank = CacheBank::paper_bank();
   bank.on_fetch(0x1000);

@@ -1,0 +1,141 @@
+// Bit-identical equivalence of the stack-distance cache engine with the
+// classic per-configuration simulator on real workload runs.
+//
+// The stack engine (cache::StackSimBank) exists purely to make the paper's
+// cache sweep cheaper; it must never change a measured number.  This file
+// pins that on full simulations: for every paper workload under both
+// back-ends, access/miss/writeback counts of all 24 ladder configurations
+// must equal the classic CacheBank's exactly — serial and sharded — and
+// the single-pass block-size sweep must reproduce per-block runs while
+// touching the machine only once.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "programs/registry.h"
+
+namespace {
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+programs::Scale quick_scale() {
+  return programs::Scale{12, 60, 10, 10, 12, 2, 40};
+}
+
+programs::Workload workload_by_name(const std::string& name) {
+  for (programs::Workload& w : programs::paper_workloads(quick_scale())) {
+    if (w.name == name) return w;
+  }
+  ADD_FAILURE() << "no workload named " << name;
+  return {};
+}
+
+void expect_same_measurement(const driver::RunResult& a,
+                             const driver::RunResult& b,
+                             const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.halt_value, b.halt_value);
+  EXPECT_EQ(a.check_error, b.check_error);
+  EXPECT_EQ(a.instructions, b.instructions);
+  ASSERT_EQ(a.cache.size(), b.cache.size());
+  for (std::size_t i = 0; i < a.cache.size(); ++i) {
+    SCOPED_TRACE(a.cache[i].config.name());
+    EXPECT_EQ(a.cache[i].config.size_bytes, b.cache[i].config.size_bytes);
+    EXPECT_EQ(a.cache[i].config.block_bytes, b.cache[i].config.block_bytes);
+    EXPECT_EQ(a.cache[i].config.assoc, b.cache[i].config.assoc);
+    EXPECT_EQ(a.cache[i].icache.accesses, b.cache[i].icache.accesses);
+    EXPECT_EQ(a.cache[i].icache.misses, b.cache[i].icache.misses);
+    EXPECT_EQ(a.cache[i].icache.writebacks, b.cache[i].icache.writebacks);
+    EXPECT_EQ(a.cache[i].dcache.accesses, b.cache[i].dcache.accesses);
+    EXPECT_EQ(a.cache[i].dcache.misses, b.cache[i].dcache.misses);
+    EXPECT_EQ(a.cache[i].dcache.writebacks, b.cache[i].dcache.writebacks);
+  }
+}
+
+class StackEngineEquivalence
+    : public ::testing::TestWithParam<rt::BackendKind> {};
+
+TEST_P(StackEngineEquivalence, MatchesClassicOnEveryWorkload) {
+  for (const programs::Workload& w : programs::paper_workloads(quick_scale())) {
+    driver::RunOptions classic;
+    classic.backend = GetParam();
+    classic.engine = driver::CacheEngine::Classic;
+    classic.cache_workers = 1;
+    const driver::RunResult base = driver::run_workload(w, classic);
+    ASSERT_TRUE(base.ok()) << w.name << ": " << base.check_error;
+    ASSERT_EQ(base.cache.size(), 24u);
+
+    driver::RunOptions stack = classic;
+    stack.engine = driver::CacheEngine::Stack;
+    expect_same_measurement(base, driver::run_workload(w, stack),
+                            w.name + " stack-serial");
+
+    stack.cache_workers = 4;  // shard by set index across the worker pool
+    expect_same_measurement(base, driver::run_workload(w, stack),
+                            w.name + " stack-sharded");
+  }
+}
+
+TEST_P(StackEngineEquivalence, MatchesClassicAtSmallBlocks) {
+  const programs::Workload w = workload_by_name("qs");
+  driver::RunOptions classic;
+  classic.backend = GetParam();
+  classic.engine = driver::CacheEngine::Classic;
+  classic.cache_workers = 1;
+  classic.block_bytes = 8;  // deepest ladder: up to 2 KB sets per mapping
+  const driver::RunResult base = driver::run_workload(w, classic);
+  ASSERT_TRUE(base.ok()) << base.check_error;
+
+  driver::RunOptions stack = classic;
+  stack.engine = driver::CacheEngine::Stack;
+  expect_same_measurement(base, driver::run_workload(w, stack), "8B blocks");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, StackEngineEquivalence,
+    ::testing::Values(rt::BackendKind::MessageDriven,
+                      rt::BackendKind::ActiveMessages),
+    [](const auto& info) {
+      return info.param == rt::BackendKind::MessageDriven ? "MD" : "AM";
+    });
+
+TEST(BlocksizeSweep, MatchesPerBlockRunsFromOneMachinePass) {
+  driver::clear_run_memo();
+  const programs::Workload w = workload_by_name("qs");
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  const std::vector<std::uint32_t> blocks = {8, 16, 32, 64};
+
+  const std::vector<driver::RunResult> sweep =
+      driver::run_blocksize_sweep(w, opts, blocks);
+  ASSERT_EQ(sweep.size(), blocks.size());
+  EXPECT_EQ(driver::run_memo_stats().misses, 1u);  // one machine pass
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    // The reference stream does not depend on the observing cache.
+    EXPECT_EQ(sweep[i].instructions, sweep[0].instructions);
+
+    driver::RunOptions per = opts;
+    per.engine = driver::CacheEngine::Classic;
+    per.cache_workers = 1;
+    per.block_bytes = blocks[i];
+    expect_same_measurement(driver::run_workload(w, per), sweep[i],
+                            "block " + std::to_string(blocks[i]));
+  }
+
+  // A second sweep is served entirely from the memo.
+  const std::vector<driver::RunResult> again =
+      driver::run_blocksize_sweep(w, opts, blocks);
+  EXPECT_EQ(driver::run_memo_stats().misses, 1u);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    expect_same_measurement(sweep[i], again[i],
+                            "memoized block " + std::to_string(blocks[i]));
+  }
+  driver::clear_run_memo();
+}
+
+}  // namespace
