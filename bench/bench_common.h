@@ -14,6 +14,8 @@
 #include "driver/experiment.h"
 #include "driver/report.h"
 #include "metrics/cycles.h"
+#include "obs/critical_path.h"
+#include "obs/flow.h"
 #include "obs/obs.h"
 #include "programs/registry.h"
 #include "support/text.h"
@@ -92,11 +94,18 @@ inline std::span<const std::uint32_t> paper_block_sizes() {
 /// Observability flags shared by every bench binary:
 ///   --trace <path>  write a Chrome/Perfetto timeline of every (workload,
 ///                   back-end) run at the bench's scale;
-///   --profile       print a flat profile + distribution summary per run.
+///   --profile       print a flat profile + distribution summary per run;
+///   --flow <path>   run each paper workload on a 4-node mesh with causal
+///                   message tracing and write one merged multi-node
+///                   Perfetto timeline (flow arrows across node tracks),
+///                   plus a per-run critical-path report on stdout.
 struct ObsArgs {
   std::string trace_path;
+  std::string flow_path;
   bool profile = false;
-  bool any() const { return profile || !trace_path.empty(); }
+  bool any() const {
+    return profile || !trace_path.empty() || !flow_path.empty();
+  }
 };
 
 inline ObsArgs obs_args_from_args(int argc, char** argv) {
@@ -104,9 +113,76 @@ inline ObsArgs obs_args_from_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--trace" && i + 1 < argc) oa.trace_path = argv[i + 1];
+    if (a == "--flow" && i + 1 < argc) oa.flow_path = argv[i + 1];
+    if (a.rfind("--flow=", 0) == 0) oa.flow_path = a.substr(7);
     if (a == "--profile") oa.profile = true;
   }
   return oa;
+}
+
+/// The flags every per-table/figure bench accepts, parsed in one call —
+/// the boilerplate that used to be copied into each main().
+struct CommonArgs {
+  programs::Scale scale;
+  std::string json_path;          // --json <path> ("" = not asked)
+  driver::CacheEngine engine{};   // --engine=stack|classic
+  ObsArgs obs;                    // --trace / --profile / --flow
+};
+
+inline CommonArgs common_args(int argc, char** argv) {
+  CommonArgs ca;
+  ca.scale = scale_from_args(argc, argv);
+  ca.json_path = json_path_from_args(argc, argv);
+  ca.engine = engine_from_args(argc, argv);
+  ca.obs = obs_args_from_args(argc, argv);
+  return ca;
+}
+
+/// When --flow was given, rerun each paper workload under both back-ends
+/// on a 4-node mesh with causal tracing on, write the merged multi-node
+/// Perfetto timeline, and print each run's critical-path decomposition.
+/// Like maybe_export_obs these are extra instrumented runs; measurement
+/// runs never see the tracer.
+inline void maybe_export_flow(const ObsArgs& oa,
+                              const programs::Scale& scale) {
+  if (oa.flow_path.empty()) return;
+  driver::RunOptions opts;
+  opts.with_cache = false;
+  driver::MultiOptions mopts;
+  mopts.num_nodes = 4;
+  mopts.net = net::NetKind::Mesh;
+  mopts.flow.enabled = true;
+  mopts.flow.sample_every = 256;
+
+  std::vector<std::pair<std::string, std::shared_ptr<const obs::FlowTrace>>>
+      traces;
+  for (const programs::Workload& w : programs::paper_workloads(scale)) {
+    for (rt::BackendKind b :
+         {rt::BackendKind::MessageDriven, rt::BackendKind::ActiveMessages}) {
+      opts.backend = b;
+      driver::MultiRunResult r = driver::run_workload_multi(w, opts, mopts);
+      const std::string label =
+          w.name + (b == rt::BackendKind::MessageDriven ? " / MD" : " / AM");
+      if (r.flow != nullptr) {
+        std::cout << "\n== " << label << " (4-node mesh) ==\n";
+        obs::write_critical_path(std::cout, *r.flow,
+                                 obs::analyze_critical_path(*r.flow));
+        traces.emplace_back(label, r.flow);
+      }
+    }
+  }
+  std::vector<std::pair<std::string, const obs::FlowTrace*>> refs;
+  refs.reserve(traces.size());
+  for (const auto& [label, tr] : traces) refs.emplace_back(label, tr.get());
+  std::ofstream out(oa.flow_path);
+  obs::write_flow_chrome_trace(out, refs);
+  if (!out) {
+    std::cerr << "warning: could not write flow trace to " << oa.flow_path
+              << "\n";
+  } else {
+    std::cerr << "  wrote " << oa.flow_path << " (" << refs.size()
+              << " flow traces)\n";
+  }
 }
 
 /// When --trace/--profile was given, run each paper workload under both
@@ -118,6 +194,8 @@ inline ObsArgs obs_args_from_args(int argc, char** argv) {
 inline void maybe_export_obs(const ObsArgs& oa, const programs::Scale& scale,
                              driver::RunOptions opts) {
   if (!oa.any()) return;
+  maybe_export_flow(oa, scale);
+  if (!oa.profile && oa.trace_path.empty()) return;
   opts.with_cache = false;
   opts.obs.profile = oa.profile;
   opts.obs.histograms = oa.profile;

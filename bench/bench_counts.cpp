@@ -13,11 +13,10 @@
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
-  const programs::Scale scale = bench::scale_from_args(argc, argv);
-  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
+  const bench::CommonArgs args = bench::common_args(argc, argv);
   driver::RunOptions opts;
   opts.with_cache = false;  // counts only: no cache ladder needed
-  const auto pairs = bench::run_all(scale, opts);
+  const auto pairs = bench::run_all(args.scale, opts);
 
   text::Table t;
   t.header({"Program", "reads MD/AM", "writes MD/AM", "fetches MD/AM",
@@ -48,6 +47,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\nPaper: MD/AM averages were 0.86 (reads), 0.87 (writes), "
                "0.77 (fetches).\n";
-  bench::maybe_export_obs(obs_args, scale, {});
+  bench::maybe_export_obs(args.obs, args.scale, {});
   return 0;
 }

@@ -14,13 +14,12 @@
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
-  const programs::Scale scale = bench::scale_from_args(argc, argv);
-  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
+  const bench::CommonArgs args = bench::common_args(argc, argv);
 
   text::Table t;
   t.header({"Program", "TPQ unen.", "TPQ enabled", "cycles unen. @24",
             "cycles enabled @24", "enabled/unen."});
-  for (const programs::Workload& w : programs::paper_workloads(scale)) {
+  for (const programs::Workload& w : programs::paper_workloads(args.scale)) {
     std::cerr << "  running " << w.name << " ...\n";
     driver::RunOptions opts;
     opts.backend = rt::BackendKind::ActiveMessages;
@@ -40,6 +39,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper: enabled quanta are larger and uniprocessor "
                "performance superior; the unenabled variant better models "
                "multiprocessor behaviour and is what the paper measures.\n";
-  bench::maybe_export_obs(obs_args, scale, {});
+  bench::maybe_export_obs(args.obs, args.scale, {});
   return 0;
 }

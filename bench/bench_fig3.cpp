@@ -34,13 +34,11 @@ bool all_blocks_from_args(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
-  const programs::Scale scale = bench::scale_from_args(argc, argv);
-  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
-  const std::string json_path = bench::json_path_from_args(argc, argv);
+  const bench::CommonArgs args = bench::common_args(argc, argv);
   const bool full = all_blocks_from_args(argc, argv);
 
   driver::RunOptions opts;
-  opts.engine = bench::engine_from_args(argc, argv);
+  opts.engine = args.engine;
   const std::vector<std::uint32_t> blocks =
       full ? std::vector<std::uint32_t>(bench::paper_block_sizes().begin(),
                                         bench::paper_block_sizes().end())
@@ -49,12 +47,12 @@ int main(int argc, char** argv) {
   bench::Stopwatch clock;
   std::vector<std::vector<driver::BackendPair>> by_block;
   if (opts.engine == driver::CacheEngine::Stack) {
-    by_block = bench::run_all_blocksizes(scale, opts, blocks);
+    by_block = bench::run_all_blocksizes(args.scale, opts, blocks);
   } else {
     for (std::uint32_t block : blocks) {
       driver::RunOptions o = opts;
       o.block_bytes = block;
-      by_block.push_back(bench::run_all(scale, o));
+      by_block.push_back(bench::run_all(args.scale, o));
     }
   }
   const double wall = clock.seconds();
@@ -91,7 +89,7 @@ int main(int argc, char** argv) {
     }
   }
   std::cerr << "  simulation wall-clock: " << text::fixed(wall, 3) << " s\n";
-  bench::write_json(json_path, "bench_fig3", wall, metrics);
-  bench::maybe_export_obs(obs_args, scale, {});
+  bench::write_json(args.json_path, "bench_fig3", wall, metrics);
+  bench::maybe_export_obs(args.obs, args.scale, {});
   return 0;
 }

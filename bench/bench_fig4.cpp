@@ -11,11 +11,10 @@
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
-  const programs::Scale scale = bench::scale_from_args(argc, argv);
-  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
+  const bench::CommonArgs args = bench::common_args(argc, argv);
   driver::RunOptions opts;
-  opts.engine = bench::engine_from_args(argc, argv);
-  const auto pairs = bench::run_all(scale, opts);
+  opts.engine = args.engine;
+  const auto pairs = bench::run_all(args.scale, opts);
 
   for (std::uint32_t penalty : cache::paper_miss_penalties()) {
     std::vector<driver::Series> series;
@@ -39,6 +38,6 @@ int main(int argc, char** argv) {
             std::to_string(penalty) + " cycles): MD/AM per program",
         bench::size_labels(), series);
   }
-  bench::maybe_export_obs(obs_args, scale, {});
+  bench::maybe_export_obs(args.obs, args.scale, {});
   return 0;
 }

@@ -15,13 +15,12 @@
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
-  const programs::Scale scale = bench::scale_from_args(argc, argv);
-  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
+  const bench::CommonArgs args = bench::common_args(argc, argv);
 
   text::Table t;
   t.header({"Program", "MD instr", "AM instr", "OAM instr", "OAM/MD",
             "OAM cycles@24 / MD", "/ AM"});
-  for (const programs::Workload& w : programs::paper_workloads(scale)) {
+  for (const programs::Workload& w : programs::paper_workloads(args.scale)) {
     std::cerr << "  running " << w.name << " ...\n";
     driver::RunOptions opts;
     opts.backend = rt::BackendKind::MessageDriven;
@@ -46,6 +45,6 @@ int main(int argc, char** argv) {
   std::cout << "\nThe hybrid should land between the pure systems: close "
                "to MD's instruction counts\nwhere handler-safe chains "
                "dominate, falling back to AM costs elsewhere.\n";
-  bench::maybe_export_obs(obs_args, scale, {});
+  bench::maybe_export_obs(args.obs, args.scale, {});
   return 0;
 }

@@ -13,8 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
-  const programs::Scale scale = bench::scale_from_args(argc, argv);
-  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
+  const bench::CommonArgs args = bench::common_args(argc, argv);
 
   struct Level {
     const char* name;
@@ -32,7 +31,7 @@ int main(int argc, char** argv) {
   for (const Level& l : levels) head.push_back(l.name);
   t.header(head);
 
-  for (const programs::Workload& w : programs::paper_workloads(scale)) {
+  for (const programs::Workload& w : programs::paper_workloads(args.scale)) {
     std::cerr << "  running " << w.name << " ...\n";
     std::vector<std::string> row{w.name};
     std::uint64_t base = 0;
@@ -57,6 +56,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\nEach column adds one §2.3 optimization; savings are "
                "relative to the plain MD implementation.\n";
-  bench::maybe_export_obs(obs_args, scale, {});
+  bench::maybe_export_obs(args.obs, args.scale, {});
   return 0;
 }

@@ -16,10 +16,40 @@
 // starts to matter.
 //
 // Flags: --quick, --json <path>, --nodes <N> (sweep to N, default 8),
-//        --net=ideal|mesh (default: both).
+//        --net=ideal|mesh (default: both),
+//        --programs <csv> (restrict the sweep, e.g. --programs mmt,qs),
+//        --flow <out.json> (rerun each program at the top node count with
+//        causal tracing: merged multi-node Perfetto timeline with flow
+//        arrows, plus a critical-path report per run on stdout.  These
+//        instrumented reruns leave the measured sweep untouched).
+
+#include <algorithm>
 
 #include "bench_common.h"
 #include "support/error.h"
+
+namespace {
+
+/// --programs <csv> / --programs=<csv>: workload-name filter ("" = all).
+std::vector<std::string> programs_from_args(int argc, char** argv) {
+  std::string csv;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--programs" && i + 1 < argc) csv = argv[i + 1];
+    if (a.rfind("--programs=", 0) == 0) csv = a.substr(11);
+  }
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > pos) out.push_back(csv.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
@@ -31,7 +61,18 @@ int main(int argc, char** argv) {
   }
   const std::vector<int> node_counts = bench::node_counts_from_args(argc, argv);
   const std::vector<net::NetKind> nets = bench::nets_from_args(argc, argv);
+  const std::vector<std::string> only = programs_from_args(argc, argv);
+  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
   const int top_nodes = node_counts.back();
+
+  std::vector<programs::Workload> workloads;
+  for (programs::Workload& w : programs::paper_workloads(scale)) {
+    if (only.empty() ||
+        std::find(only.begin(), only.end(), w.name) != only.end()) {
+      workloads.push_back(std::move(w));
+    }
+  }
+  if (workloads.empty()) throw Error("--programs matched no workload");
 
   bench::Stopwatch watch;
   std::vector<std::pair<std::string, double>> json_metrics;
@@ -50,7 +91,7 @@ int main(int argc, char** argv) {
                                "lat p50/p95", "hot link"});
         t.header(hdr);
       }
-      for (const programs::Workload& w : programs::paper_workloads(scale)) {
+      for (const programs::Workload& w : workloads) {
         std::cerr << "  running " << w.name << " ("
                   << net::net_kind_name(kind) << ") ...\n";
         driver::RunOptions opts;
@@ -122,5 +163,53 @@ int main(int argc, char** argv) {
                "SENDE injection stalls under contention.\n";
   bench::write_json(bench::json_path_from_args(argc, argv), "multinode",
                     watch.seconds(), json_metrics);
+
+  // --flow: instrumented reruns at the top node count, after the measured
+  // sweep so tracing can't perturb it (it wouldn't anyway: bit-identical
+  // results are pinned by tests/flow_test.cpp).  Prefer the mesh — its
+  // per-hop transit makes the flow arrows meaningful.
+  if (!obs_args.flow_path.empty()) {
+    const net::NetKind flow_net =
+        std::find(nets.begin(), nets.end(), net::NetKind::Mesh) != nets.end()
+            ? net::NetKind::Mesh
+            : nets.front();
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const obs::FlowTrace>>> traces;
+    for (rt::BackendKind backend : {rt::BackendKind::MessageDriven,
+                                    rt::BackendKind::ActiveMessages}) {
+      for (const programs::Workload& w : workloads) {
+        driver::RunOptions opts;
+        opts.backend = backend;
+        driver::MultiOptions mo;
+        mo.num_nodes = top_nodes;
+        mo.net = flow_net;
+        mo.flow.enabled = true;
+        mo.flow.sample_every = 256;
+        driver::MultiRunResult r = driver::run_workload_multi(w, opts, mo);
+        const std::string label =
+            w.name + (backend == rt::BackendKind::MessageDriven ? " / MD"
+                                                                : " / AM");
+        if (r.flow != nullptr) {
+          std::cout << "\n== " << label << " (" << top_nodes << "-node "
+                    << net::net_kind_name(flow_net) << ") ==\n";
+          obs::write_critical_path(std::cout, *r.flow,
+                                   obs::analyze_critical_path(*r.flow));
+          traces.emplace_back(label, r.flow);
+        }
+      }
+    }
+    std::vector<std::pair<std::string, const obs::FlowTrace*>> refs;
+    refs.reserve(traces.size());
+    for (const auto& [label, tr] : traces) refs.emplace_back(label, tr.get());
+    std::ofstream out(obs_args.flow_path);
+    obs::write_flow_chrome_trace(out, refs);
+    if (!out) {
+      std::cerr << "warning: could not write flow trace to "
+                << obs_args.flow_path << "\n";
+    } else {
+      std::cerr << "  wrote " << obs_args.flow_path << " (" << refs.size()
+                << " flow traces)\n";
+    }
+  }
   return 0;
 }

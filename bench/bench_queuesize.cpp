@@ -15,13 +15,12 @@
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
-  const programs::Scale scale = bench::scale_from_args(argc, argv);
-  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
+  const bench::CommonArgs args = bench::common_args(argc, argv);
 
   text::Table t;
   t.header({"Program", "MD low-q peak", "MD high-q peak", "AM high-q peak",
             "min queue (MD)"});
-  for (const programs::Workload& w : programs::paper_workloads(scale)) {
+  for (const programs::Workload& w : programs::paper_workloads(args.scale)) {
     std::cerr << "  running " << w.name << " ...\n";
     driver::RunOptions opts;
     opts.with_cache = false;
@@ -58,6 +57,6 @@ int main(int argc, char** argv) {
   std::cout << "\nEvery paper workload fits the 4096-byte hardware queue "
                "with headroom, as the\npaper verified; the MD low-priority "
                "queue is the deep one (it is the task queue).\n";
-  bench::maybe_export_obs(obs_args, scale, {});
+  bench::maybe_export_obs(args.obs, args.scale, {});
   return 0;
 }

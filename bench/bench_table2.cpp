@@ -14,14 +14,12 @@
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
-  const programs::Scale scale = bench::scale_from_args(argc, argv);
-  const std::string json_path = bench::json_path_from_args(argc, argv);
-  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
+  const bench::CommonArgs args = bench::common_args(argc, argv);
 
   bench::Stopwatch clock;
   driver::RunOptions opts;
-  opts.engine = bench::engine_from_args(argc, argv);
-  const auto pairs = bench::run_all(scale, opts);
+  opts.engine = args.engine;
+  const auto pairs = bench::run_all(args.scale, opts);
   const double wall = clock.seconds();
 
   std::cout << "Table 2: granularity and cycle ratios (8K 4-way, 64B "
@@ -64,7 +62,7 @@ int main(int argc, char** argv) {
                "(mmt) to ~0.6 (ss).\n";
 
   std::cerr << "  simulation wall-clock: " << text::fixed(wall, 3) << " s\n";
-  bench::write_json(json_path, "bench_table2", wall, metrics);
-  bench::maybe_export_obs(obs_args, scale, opts);
+  bench::write_json(args.json_path, "bench_table2", wall, metrics);
+  bench::maybe_export_obs(args.obs, args.scale, opts);
   return 0;
 }

@@ -14,10 +14,9 @@
 
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
-  const programs::Scale scale = bench::scale_from_args(argc, argv);
-  const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
+  const bench::CommonArgs args = bench::common_args(argc, argv);
   const driver::RunOptions opts;
-  const auto pairs = bench::run_all(scale, opts);
+  const auto pairs = bench::run_all(args.scale, opts);
 
   text::Table t;
   t.header({"Program", "MD writebacks", "AM writebacks", "MD/AM wb=0",
@@ -41,6 +40,6 @@ int main(int argc, char** argv) {
   std::cout << "\nCharging dirty evictions moves the ratio further toward "
                "MD (it writes less),\nstrengthening the paper's conclusion "
                "under a more complete memory model.\n";
-  bench::maybe_export_obs(obs_args, scale, {});
+  bench::maybe_export_obs(args.obs, args.scale, {});
   return 0;
 }

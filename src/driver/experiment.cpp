@@ -13,7 +13,9 @@
 
 #include "cache/stack_sim.h"
 #include "driver/trace_buffer.h"
+#include "obs/flow.h"
 #include "obs/obs.h"
+#include "tamc/symbols.h"
 #include "runtime/kernel.h"
 #include "runtime/layout.h"
 #include "support/error.h"
@@ -261,6 +263,23 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   mc.max_rounds = opts.max_instructions;
   mdp::MultiMachine mm(cp.image, mc);
 
+  // Attach the causal tracer before any boot message is injected, so the
+  // roots of the causal DAG are captured.  Per-node StatsSinks ride along
+  // for the granularity tie-out; neither touches measured state.
+  std::unique_ptr<obs::FlowTracer> tracer;
+  std::vector<std::unique_ptr<metrics::StatsSink>> flow_sinks;
+  if (mopts.flow.any()) {
+    tracer = std::make_unique<obs::FlowTracer>(mopts.flow, num_nodes);
+    for (int n = 0; n < num_nodes; ++n) {
+      mm.node(n).set_flow(tracer.get());
+      flow_sinks.push_back(
+          std::make_unique<metrics::StatsSink>(opts.backend, nullptr));
+      mm.node(n).set_sink(flow_sinks.back().get());
+    }
+    mm.network().set_flow_observer(tracer.get());
+    mm.set_round_hook(tracer.get());
+  }
+
   for (int n = 0; n < num_nodes; ++n) {
     install_runtime_state(mm.node(n), cp);
     mm.node(n).store_word(rt::kGlNodeId, static_cast<std::uint32_t>(n));
@@ -302,6 +321,15 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   r.msg_latency = ns.latency;
   r.links = ns.links;
   r.net_cycles = ns.cycles;
+  if (tracer != nullptr) {
+    auto trace = std::make_shared<obs::FlowTrace>(tracer->finish(mm));
+    trace->attach_symbols(tamc::SymbolMap::from(cp));
+    r.flow = std::move(trace);
+    for (int n = 0; n < num_nodes; ++n) {
+      r.per_node_gran.push_back(flow_sinks[static_cast<std::size_t>(n)]
+                                    ->granularity());
+    }
+  }
   if (r.status == mdp::RunStatus::Halted) {
     programs::CheckCtx check{mm.node(0), r.status, r.halt_value};
     r.check_error = w.check(check);

@@ -24,6 +24,7 @@
 
 namespace jtam::obs {
 struct Report;
+struct FlowTrace;
 }
 
 namespace jtam::driver {
@@ -130,6 +131,12 @@ struct MultiOptions {
   std::uint32_t latency = 16;               // ideal wire delivery delay
   std::uint32_t max_inflight_messages = 0;  // ideal wire bound (0 = none)
   std::uint32_t link_buffer_flits = 4;      // mesh per-link VN FIFO depth
+  /// Causal message tracing (obs::FlowTracer).  Observation only: every
+  /// measured field of MultiRunResult is bit-identical with tracing on
+  /// (tests/flow_test.cpp).  Multi-node runs are never memoized, so —
+  /// like RunOptions::obs — this needs no memo-key entry; keep it that
+  /// way if memoization is ever extended to them.
+  obs::FlowOptions flow;
 };
 
 struct MultiRunResult {
@@ -157,6 +164,14 @@ struct MultiRunResult {
   std::uint64_t net_cycles = 0;
   /// Per-node idle/queue state when status == Deadlock; empty otherwise.
   std::string deadlock_report;
+  /// Causal flow trace, present when MultiOptions::flow asked for one
+  /// (symbols already attached).  Not a measured number: equivalence
+  /// comparisons ignore it.
+  std::shared_ptr<const obs::FlowTrace> flow;
+  /// Per-node granularity counters (threads, inlets, activations, ...),
+  /// collected only when flow tracing is on — the tie-out target for the
+  /// trace's per-message mark attribution.
+  std::vector<metrics::Granularity> per_node_gran;
   bool ok() const {
     return status == mdp::RunStatus::Halted && check_error.empty();
   }

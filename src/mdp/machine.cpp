@@ -152,6 +152,7 @@ void Machine::set_defer_pool(Addr base, Addr limit) {
 
 void Machine::inject(Priority p, std::span<const std::uint32_t> words) {
   enqueue(p, words, p, /*emit_events=*/false);
+  if (flow_ != nullptr) flow_->on_boot(cfg_.node_id, p, words);
 }
 
 void Machine::enqueue(Priority p, std::span<const std::uint32_t> words,
@@ -207,6 +208,7 @@ void Machine::dispatch(Priority p) {
   // from queue memory; that read touches the memory system like any other.
   lv.ip = mem_read(lv.mb, p);
   lv.active = true;
+  if (flow_ != nullptr) flow_->on_dispatch(cfg_.node_id, p);
 }
 
 void Machine::consume_current(Priority p) {
@@ -217,6 +219,7 @@ void Machine::consume_current(Priority p) {
   q.used_bytes -= rec.pad + rec.len * mem::kWordBytes;
   q.head = rec.offset + rec.len * mem::kWordBytes;
   if (q.head == q.base + q.bytes) q.head = q.base;
+  if (flow_ != nullptr) flow_->on_consume(cfg_.node_id, p);
 }
 
 // --- execution ---------------------------------------------------------------
@@ -259,6 +262,10 @@ void Machine::exec(Level& lv, Priority p) {
   if (in.op == Op::Mark) {
     // Instrumentation is free: no fetch event, no cycle, no budget charge.
     emit_mark(static_cast<MarkKind>(in.imm), r[in.rs], p);
+    if (flow_ != nullptr) {
+      flow_->on_probe_mark(cfg_.node_id, static_cast<MarkKind>(in.imm),
+                           r[in.rs], p);
+    }
     lv.ip = next;
     return;
   }
@@ -275,6 +282,7 @@ void Machine::exec(Level& lv, Priority p) {
       ++stalled_sends_;
     }
     ++injection_stall_cycles_;
+    if (flow_ != nullptr) flow_->on_send_stall(cfg_.node_id, p);
     return;
   }
 
@@ -285,6 +293,7 @@ void Machine::exec(Level& lv, Priority p) {
   }
   ++instr_count_;
   ++instr_by_level_[static_cast<int>(p)];
+  if (flow_ != nullptr) flow_->on_instruction(cfg_.node_id, p);
   lv.ip = next;
 
   switch (in.op) {
@@ -293,6 +302,7 @@ void Machine::exec(Level& lv, Priority p) {
     case Op::Halt:
       halt_value_ = r[in.rs];
       halted_ = true;
+      if (flow_ != nullptr) flow_->on_halt(cfg_.node_id, p);
       break;
 
     case Op::Add: r[in.rd] = r[in.rs] + r[in.rt]; break;
@@ -401,11 +411,20 @@ void Machine::exec(Level& lv, Priority p) {
       lv.composing = false;
       if (lv.compose_node == cfg_.node_id) {
         enqueue(lv.compose_dest, lv.compose_words, p, /*emit_events=*/true);
+        if (flow_ != nullptr) {
+          flow_->on_local_send(cfg_.node_id, lv.compose_dest, p,
+                               lv.compose_words);
+        }
       } else {
         JTAM_CHECK(net_ != nullptr,
                    "remote SENDE without a network attached");
+        const std::uint64_t flow_id =
+            flow_ != nullptr
+                ? flow_->on_remote_send(cfg_.node_id, lv.compose_node,
+                                        lv.compose_dest, p, lv.compose_words)
+                : 0;
         net_->send(cfg_.node_id, lv.compose_node, lv.compose_dest,
-                   lv.compose_words);
+                   lv.compose_words, flow_id);
         inj_stalled_ = false;
       }
       break;

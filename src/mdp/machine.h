@@ -147,8 +147,52 @@ class NetworkPort {
     (void)p;
     return true;
   }
+  /// `flow_id` is the causal-trace id assigned by the FlowProbe for this
+  /// message (0 when tracing is off); the network carries it with the
+  /// packet so transit events can be attributed to the message.
   virtual void send(int src_node, int dest_node, Priority p,
-                    std::span<const std::uint32_t> words) = 0;
+                    std::span<const std::uint32_t> words,
+                    std::uint64_t flow_id) = 0;
+};
+
+/// Causal-flow instrumentation seam (obs::FlowTracer).  A probe attached
+/// with Machine::set_flow observes every message lifecycle event on this
+/// node: sends (with stall accounting), dispatches, per-message handler
+/// instruction counts, marks, and halt.  Zero-cost when absent — every
+/// hook site is a single null-pointer test — and hooks never touch
+/// measured state, so results are bit-identical with a probe attached
+/// (tests/flow_test.cpp).
+class FlowProbe {
+ public:
+  virtual ~FlowProbe() = default;
+  /// Host-side inject before the run (a boot message): a causal root.
+  virtual void on_boot(int node, Priority p,
+                       std::span<const std::uint32_t> words) = 0;
+  /// A SENDE enqueued `words` into this node's own queue for level `p`;
+  /// the sender was the handler running at `sender_level`.
+  virtual void on_local_send(int node, Priority p, Priority sender_level,
+                             std::span<const std::uint32_t> words) = 0;
+  /// A SENDE was accepted by the network.  Returns the flow id to carry
+  /// with the packet (0 = untracked).
+  virtual std::uint64_t on_remote_send(int node, int dest_node, Priority p,
+                                       Priority sender_level,
+                                       std::span<const std::uint32_t> words)
+      = 0;
+  /// A step burned waiting for the network to accept a SENDE composed at
+  /// `sender_level` (mirrors ++injection_stall_cycles).
+  virtual void on_send_stall(int node, Priority sender_level) = 0;
+  /// Dispatch pulled the oldest queued message at level `p`.
+  virtual void on_dispatch(int node, Priority p) = 0;
+  /// SUSPEND consumed the current message at level `p` (handler done).
+  virtual void on_consume(int node, Priority p) = 0;
+  /// One instruction executed at level `p`, charged to that level's
+  /// current message (mirrors ++instr_count_).
+  virtual void on_instruction(int node, Priority p) = 0;
+  /// A compiler-planted MARK executed while handling the current message.
+  virtual void on_probe_mark(int node, MarkKind kind, std::uint32_t aux,
+                             Priority p) = 0;
+  /// HALT executed at level `p`.
+  virtual void on_halt(int node, Priority p) = 0;
 };
 
 enum class RunStatus {
@@ -196,6 +240,9 @@ class Machine {
   /// per-dispatch work entirely.
   void set_queue_marks(bool on) { queue_marks_ = on; }
   void set_network(NetworkPort* net) { net_ = net; }
+  /// Attach a causal-flow probe (obs::FlowTracer).  Must be attached
+  /// before boot messages are injected so the causal roots are observed.
+  void set_flow(FlowProbe* flow) { flow_ = flow; }
   /// Network delivery of an arriving message (multi-node): buffered into
   /// queue memory with trace events, exactly like a local SENDE.
   void deliver(Priority p, std::span<const std::uint32_t> words) {
@@ -328,6 +375,7 @@ class Machine {
   TraceBuffer* tbuf_ = nullptr;
   bool queue_marks_ = false;
   NetworkPort* net_ = nullptr;
+  FlowProbe* flow_ = nullptr;
   int rr_node_ = 0;  // SENDDR round-robin placement counter
   bool halted_ = false;
   std::uint32_t halt_value_ = 0;

@@ -51,11 +51,12 @@ bool MultiMachine::can_accept(int src_node, Priority p) {
 }
 
 void MultiMachine::send(int src_node, int dest_node, Priority p,
-                        std::span<const std::uint32_t> words) {
+                        std::span<const std::uint32_t> words,
+                        std::uint64_t flow_id) {
   JTAM_CHECK(dest_node >= 0 && dest_node < cfg_.num_nodes,
              "network send to nonexistent node");
   ++messages_;
-  net_->inject(src_node, dest_node, p, words, rounds_);
+  net_->inject(src_node, dest_node, p, words, rounds_, flow_id);
 }
 
 void MultiMachine::deliver(int dest_node, Priority p,
@@ -94,6 +95,7 @@ std::string MultiMachine::describe_stuck_state() const {
 
 RunStatus MultiMachine::run() {
   for (rounds_ = 0; rounds_ < cfg_.max_rounds; ++rounds_) {
+    if (round_hook_ != nullptr) round_hook_->on_round(*this, rounds_);
     // One network cycle per round: deliveries land in the hardware queues
     // before any node executes, exactly like the seed's wire.
     net_->step(rounds_, *this);

@@ -33,6 +33,18 @@
 
 namespace jtam::mdp {
 
+class MultiMachine;
+
+/// Per-round observation hook (obs::FlowTracer's clock and time-series
+/// sampler).  Called at the top of every MultiMachine round, before the
+/// network steps and before any node executes, so samples are consistent
+/// start-of-round snapshots.  Zero-cost when absent.
+class RoundHook {
+ public:
+  virtual ~RoundHook() = default;
+  virtual void on_round(const MultiMachine& mm, std::uint64_t round) = 0;
+};
+
 class MultiMachine : public NetworkPort, private net::DeliverySink {
  public:
   struct Config {
@@ -51,6 +63,9 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
   MultiMachine(const CodeImage& image, Config cfg);
 
   Machine& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+  const Machine& node(int i) const {
+    return *nodes_[static_cast<std::size_t>(i)];
+  }
   int num_nodes() const { return cfg_.num_nodes; }
 
   /// Round-robin interleaved execution: every live node runs one
@@ -69,6 +84,12 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
   std::uint64_t total_injection_stalls() const;
 
   const net::NetworkModel& network() const { return *net_; }
+  /// Mutable network access, for attaching a net::FlowObserver.
+  net::NetworkModel& network() { return *net_; }
+  /// Attach a per-round hook (null detaches).  Observation only: it runs
+  /// before the round's network cycle and node steps and must not mutate
+  /// the ensemble.
+  void set_round_hook(RoundHook* hook) { round_hook_ = hook; }
   /// Per-node idle/queue state captured when run() stopped on global
   /// deadlock; empty otherwise.
   const std::string& deadlock_report() const { return deadlock_report_; }
@@ -76,7 +97,8 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
   // NetworkPort
   bool can_accept(int src_node, Priority p) override;
   void send(int src_node, int dest_node, Priority p,
-            std::span<const std::uint32_t> words) override;
+            std::span<const std::uint32_t> words,
+            std::uint64_t flow_id) override;
 
  private:
   // net::DeliverySink — arrivals go into the destination's hardware queue.
@@ -88,6 +110,7 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
   Config cfg_;
   std::vector<std::unique_ptr<Machine>> nodes_;
   std::unique_ptr<net::NetworkModel> net_;
+  RoundHook* round_hook_ = nullptr;
   std::uint64_t rounds_ = 0;
   std::uint64_t messages_ = 0;
   std::uint32_t halt_value_ = 0;

@@ -14,11 +14,11 @@ const char* net_kind_name(NetKind k) {
 
 void IdealNetwork::inject(int src, int dest, mdp::Priority p,
                           std::span<const std::uint32_t> words,
-                          std::uint64_t now) {
+                          std::uint64_t now, std::uint64_t flow_id) {
   JTAM_CHECK(src != dest, "local send routed onto the network");
   JTAM_CHECK(can_accept(src, p), "inject past the in-flight bound");
-  wire_.push_back(
-      InFlight{now + cfg_.latency, dest, p, {words.begin(), words.end()}});
+  wire_.push_back(InFlight{now + cfg_.latency, dest, p,
+                           {words.begin(), words.end()}, flow_id});
 }
 
 void IdealNetwork::step(std::uint64_t now, DeliverySink& sink) {
@@ -27,6 +27,9 @@ void IdealNetwork::step(std::uint64_t now, DeliverySink& sink) {
   // gathered at the front; deliver in injection order.
   while (!wire_.empty() && wire_.front().deliver_cycle <= now) {
     const InFlight& m = wire_.front();
+    if (flow_ != nullptr) {
+      flow_->on_deliver(m.flow_id, m.dest, m.p, 0, cfg_.latency, now);
+    }
     sink.deliver(m.dest, m.p, m.words);
     ++stats_.messages;
     stats_.hops.add(0);

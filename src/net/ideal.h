@@ -35,8 +35,8 @@ class IdealNetwork final : public NetworkModel {
   }
 
   void inject(int src, int dest, mdp::Priority p,
-              std::span<const std::uint32_t> words,
-              std::uint64_t now) override;
+              std::span<const std::uint32_t> words, std::uint64_t now,
+              std::uint64_t flow_id) override;
 
   void step(std::uint64_t now, DeliverySink& sink) override;
 
@@ -49,6 +49,7 @@ class IdealNetwork final : public NetworkModel {
     int dest;
     mdp::Priority p;
     std::vector<std::uint32_t> words;
+    std::uint64_t flow_id;
   };
 
   Config cfg_;

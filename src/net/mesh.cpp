@@ -51,7 +51,7 @@ void MeshNetwork::release_packet(std::uint32_t id) {
 
 void MeshNetwork::inject(int src, int dest, mdp::Priority p,
                          std::span<const std::uint32_t> words,
-                         std::uint64_t now) {
+                         std::uint64_t now, std::uint64_t flow_id) {
   JTAM_CHECK(src != dest, "local send routed onto the network");
   JTAM_CHECK(can_accept(src, p), "inject into a busy injection channel");
   const std::uint32_t id = alloc_packet();
@@ -62,6 +62,7 @@ void MeshNetwork::inject(int src, int dest, mdp::Priority p,
   pk.words.assign(words.begin(), words.end());
   pk.inject_cycle = now;
   pk.hops = 0;
+  pk.flow_id = flow_id;
   ++live_packets_;
   // One head flit (routing header) plus one flit per payload word.
   FlitQ& inj = nodes_[static_cast<std::size_t>(src)].inj[static_cast<int>(p)];
@@ -88,6 +89,10 @@ void MeshNetwork::advance(FlitQ& f, int vn, int node, std::uint64_t now,
     owner = fl.tail ? 0 : fl.pkt;
     f.q.pop_front();
     if (fl.tail) {
+      if (flow_ != nullptr) {
+        flow_->on_deliver(pk.flow_id, pk.dest, pk.p, pk.hops,
+                          now - pk.inject_cycle, now);
+      }
       sink.deliver(pk.dest, pk.p, pk.words);
       ++stats_.messages;
       stats_.hops.add(pk.hops);
@@ -109,7 +114,10 @@ void MeshNetwork::advance(FlitQ& f, int vn, int node, std::uint64_t now,
   t.q.push_back(Flit{fl.pkt, now, fl.head, fl.tail});
   ++l.flits;
   ++stats_.flits;
-  if (fl.head) ++pk.hops;
+  if (fl.head) {
+    ++pk.hops;
+    if (flow_ != nullptr) flow_->on_hop(pk.flow_id, l.src, l.dst, now);
+  }
   const std::uint32_t occ =
       static_cast<std::uint32_t>(l.vc[0].q.size() + l.vc[1].q.size());
   if (occ > l.peak) l.peak = occ;

@@ -42,8 +42,8 @@ class MeshNetwork final : public NetworkModel {
         .q.empty();
   }
   void inject(int src, int dest, mdp::Priority p,
-              std::span<const std::uint32_t> words,
-              std::uint64_t now) override;
+              std::span<const std::uint32_t> words, std::uint64_t now,
+              std::uint64_t flow_id) override;
   void step(std::uint64_t now, DeliverySink& sink) override;
   bool idle() const override { return live_packets_ == 0; }
   const NetStats& stats() const override;
@@ -92,6 +92,7 @@ class MeshNetwork final : public NetworkModel {
     std::vector<std::uint32_t> words;
     std::uint64_t inject_cycle = 0;
     std::uint32_t hops = 0;
+    std::uint64_t flow_id = 0;
   };
 
   Packet& pkt(std::uint32_t id) { return packets_[id - 1]; }

@@ -59,6 +59,28 @@ class DeliverySink {
                        std::span<const std::uint32_t> words) = 0;
 };
 
+/// Causal-flow observer over network transit (obs::FlowTracer).  Attached
+/// with NetworkModel::set_flow_observer; both callbacks receive the flow
+/// id the sender's FlowProbe stamped on the message at injection (0 =
+/// untracked).  Zero-cost when absent, and never touches NetStats — runs
+/// are bit-identical with an observer attached (tests/flow_test.cpp).
+class FlowObserver {
+ public:
+  virtual ~FlowObserver() = default;
+  /// A packet's head flit traversed the directed link src->dst (mesh
+  /// only; the ideal wire has no links).
+  virtual void on_hop(std::uint64_t flow_id, int link_src, int link_dst,
+                      std::uint64_t now) = 0;
+  /// A message finished transit and is about to be buffered at `dest`.
+  /// `hops` and `latency` are the exact values the model adds to
+  /// NetStats::hops / NetStats::latency for this delivery (0 and the
+  /// constant wire latency for IdealNetwork), so per-message records
+  /// rebuild those histograms bit-exactly.
+  virtual void on_deliver(std::uint64_t flow_id, int dest, mdp::Priority p,
+                          std::uint32_t hops, std::uint64_t latency,
+                          std::uint64_t now) = 0;
+};
+
 class NetworkModel {
  public:
   virtual ~NetworkModel() = default;
@@ -69,10 +91,11 @@ class NetworkModel {
 
   /// Hand a whole message to the network at cycle `now`.  Only legal
   /// directly after can_accept(src, p) returned true, and only for
-  /// src != dest (local sends never reach the network).
+  /// src != dest (local sends never reach the network).  `flow_id` is the
+  /// causal-trace id carried with the message (0 when tracing is off).
   virtual void inject(int src, int dest, mdp::Priority p,
                       std::span<const std::uint32_t> words,
-                      std::uint64_t now) = 0;
+                      std::uint64_t now, std::uint64_t flow_id) = 0;
 
   /// Advance one network cycle; messages that complete arrival are handed
   /// to `sink` in a deterministic order.
@@ -82,6 +105,12 @@ class NetworkModel {
   virtual bool idle() const = 0;
 
   virtual const NetStats& stats() const = 0;
+
+  /// Attach a causal-flow observer (null detaches).
+  void set_flow_observer(FlowObserver* o) { flow_ = o; }
+
+ protected:
+  FlowObserver* flow_ = nullptr;
 };
 
 }  // namespace jtam::net

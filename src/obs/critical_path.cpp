@@ -1,0 +1,104 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/flow.h"
+
+namespace jtam::obs {
+
+CriticalPath analyze_critical_path(const FlowTrace& trace) {
+  CriticalPath path;
+  if (trace.halt_msg == 0) return path;  // no HALT (deadlock / budget)
+
+  // Collect the chain halt -> root, then flip it root-first.
+  std::vector<std::uint64_t> chain;
+  for (std::uint64_t id = trace.halt_msg; id != 0;
+       id = trace.msg(id).parent) {
+    chain.push_back(id);
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  bool complete = trace.msg(chain.front()).kind == FlowMsgKind::Boot;
+  path.steps.reserve(chain.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const FlowMessage& m = trace.msg(chain[i]);
+    CriticalStep step;
+    step.msg = m.id;
+    step.stall_cycles = m.stall_cycles;
+    if (!m.dispatched()) {
+      complete = false;  // chain truncated mid-flight; durations partial
+      path.steps.push_back(step);
+      continue;
+    }
+    step.inject_wait = m.inject_wait();
+    step.transit = m.transit();
+    step.queue_wait = m.queue_wait();
+    // The handler segment runs from this dispatch to the moment it handed
+    // the chain onward: the next chain message's first send attempt, or
+    // the HALT (finish_ts) for the last link.
+    const std::uint64_t handoff = i + 1 < chain.size()
+                                      ? trace.msg(chain[i + 1]).send_ts
+                                      : m.finish_ts;
+    if (handoff == kFlowNoTs) {
+      complete = false;
+    } else {
+      step.handler = handoff - m.dispatch_ts;
+    }
+    path.steps.push_back(step);
+  }
+  for (const CriticalStep& s : path.steps) {
+    path.handler += s.handler;
+    path.inject_wait += s.inject_wait;
+    path.transit += s.transit;
+    path.queue_wait += s.queue_wait;
+  }
+  path.complete = complete;
+  return path;
+}
+
+namespace {
+
+void write_component(std::ostream& os, const char* name, std::uint64_t v,
+                     std::uint64_t total) {
+  os << "  " << name << " " << v << " rounds";
+  if (total != 0) {
+    os << " (" << (v * 1000 / total) / 10 << "." << (v * 1000 / total) % 10
+       << "%)";
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+void write_critical_path(std::ostream& os, const FlowTrace& trace,
+                         const CriticalPath& path) {
+  if (path.steps.empty()) {
+    os << "critical path: none (run ended without a traced HALT)\n";
+    return;
+  }
+  os << "critical path: " << path.steps.size() << " messages, "
+     << path.total() << " of " << trace.final_round << " rounds"
+     << (path.complete ? "" : " (incomplete chain)") << "\n";
+  const std::uint64_t total = path.total();
+  write_component(os, "handler     ", path.handler, total);
+  write_component(os, "queue wait  ", path.queue_wait, total);
+  write_component(os, "transit     ", path.transit, total);
+  write_component(os, "inject wait ", path.inject_wait, total);
+  os << "chain (root first):\n";
+  for (std::size_t i = 0; i < path.steps.size(); ++i) {
+    const CriticalStep& s = path.steps[i];
+    const FlowMessage& m = trace.msg(s.msg);
+    os << "  #" << (i + 1) << " " << flow_msg_kind_name(m.kind) << " "
+       << static_cast<int>(m.src_node);
+    if (m.kind == FlowMsgKind::Remote) {
+      os << "->" << static_cast<int>(m.dest_node) << " hops " << m.hops;
+    }
+    const std::string& name = trace.name_of(m);
+    if (!name.empty()) os << " " << name;
+    os << "  wait " << (s.inject_wait + s.transit + s.queue_wait)
+       << " handler " << s.handler << "\n";
+  }
+}
+
+}  // namespace jtam::obs

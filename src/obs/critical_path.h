@@ -1,0 +1,72 @@
+// Critical-path analysis over a causal flow trace.
+//
+// A run's critical path is the chain of messages from a boot root to the
+// message whose handler executed HALT, following each message's causal
+// parent.  Along that chain the run's wall-clock (rounds) decomposes into
+// four alternating component kinds:
+//
+//   handler      a handler computing, from its dispatch to the round it
+//                issued the next message on the chain (or, for the last
+//                link, to the HALT);
+//   inject wait  the next message waiting for the network to accept it
+//                (injection backpressure; contains its stall cycles);
+//   transit      the message in the network (== its net_latency);
+//   queue wait   the message buffered in the destination's hardware
+//                queue, waiting for dispatch.
+//
+// These segments are adjacent and non-overlapping, so when the chain
+// roots at a Boot message (send = inject = deliver = round 0) they
+// partition [0, final_round] exactly: handler + inject_wait + transit +
+// queue_wait == final_round, a bit-exact invariant pinned by
+// tests/flow_test.cpp.  The split is the locality argument of the paper
+// made mechanical: it shows whether a workload's end-to-end time is
+// bound by compute (handler), by the wire (transit), or by contention
+// (inject/queue wait) — and how that boundary moves between the
+// message-driven and TAM back-ends.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace jtam::obs {
+
+struct FlowTrace;
+
+/// One chain link: a message and the durations it contributed.
+struct CriticalStep {
+  std::uint64_t msg = 0;  // flow id; FlowTrace::msg(msg) for details
+  std::uint64_t handler = 0;
+  std::uint64_t inject_wait = 0;
+  std::uint64_t transit = 0;
+  std::uint64_t queue_wait = 0;
+  std::uint64_t stall_cycles = 0;  // portion of inject_wait spent stalled
+};
+
+struct CriticalPath {
+  /// True when the chain runs boot -> HALT with every stage timestamped;
+  /// then the component totals partition [0, final_round].  False when
+  /// the run ended without a HALT (deadlock / budget) or the halting
+  /// handler was untraced.
+  bool complete = false;
+  std::vector<CriticalStep> steps;  // root first, halting message last
+
+  // Component totals over the chain, in rounds.
+  std::uint64_t handler = 0;
+  std::uint64_t inject_wait = 0;
+  std::uint64_t transit = 0;
+  std::uint64_t queue_wait = 0;
+  std::uint64_t total() const {
+    return handler + inject_wait + transit + queue_wait;
+  }
+};
+
+/// Walk the causal chain ending at FlowTrace::halt_msg.
+CriticalPath analyze_critical_path(const FlowTrace& trace);
+
+/// Human-readable report: component breakdown, then the chain itself with
+/// per-link handler names (when attach_symbols ran) and durations.
+void write_critical_path(std::ostream& os, const FlowTrace& trace,
+                         const CriticalPath& path);
+
+}  // namespace jtam::obs

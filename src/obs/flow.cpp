@@ -1,0 +1,298 @@
+#include "obs/flow.h"
+
+#include <unordered_map>
+
+#include "tamc/symbols.h"
+
+namespace jtam::obs {
+
+namespace {
+
+/// Recording cap for the time-series sampler, mirroring max_hop_records'
+/// role for hop records: past it, samples are counted but not stored.
+constexpr std::size_t kMaxSamples = 1u << 20;
+
+}  // namespace
+
+const char* flow_msg_kind_name(FlowMsgKind k) {
+  switch (k) {
+    case FlowMsgKind::Boot:
+      return "boot";
+    case FlowMsgKind::Local:
+      return "local";
+    case FlowMsgKind::Remote:
+      return "remote";
+  }
+  return "?";
+}
+
+const std::string& FlowTrace::name_of(const FlowMessage& m) const {
+  static const std::string kEmpty;
+  if (m.name_idx < 0) return kEmpty;
+  return names[static_cast<std::size_t>(m.name_idx)];
+}
+
+Histogram FlowTrace::hop_histogram(int node) const {
+  Histogram h;
+  for (const FlowMessage& m : messages) {
+    if (m.kind != FlowMsgKind::Remote || !m.delivered()) continue;
+    if (node >= 0 && m.dest_node != node) continue;
+    h.add(m.hops);
+  }
+  return h;
+}
+
+Histogram FlowTrace::latency_histogram(int node) const {
+  Histogram h;
+  for (const FlowMessage& m : messages) {
+    if (m.kind != FlowMsgKind::Remote || !m.delivered()) continue;
+    if (node >= 0 && m.dest_node != node) continue;
+    h.add(m.net_latency);
+  }
+  return h;
+}
+
+std::uint64_t FlowTrace::stall_cycles(int node) const {
+  std::uint64_t total = pending_stall[static_cast<std::size_t>(node)];
+  for (const FlowMessage& m : messages) {
+    if (m.kind == FlowMsgKind::Remote && m.src_node == node) {
+      total += m.stall_cycles;
+    }
+  }
+  return total;
+}
+
+std::uint64_t FlowTrace::handler_instructions(int node) const {
+  std::uint64_t total = 0;
+  for (const FlowMessage& m : messages) {
+    if (m.dest_node == node) total += m.handler_instructions;
+  }
+  return total;
+}
+
+std::uint64_t FlowTrace::threads_started(int node) const {
+  std::uint64_t total = 0;
+  for (const FlowMessage& m : messages) {
+    if (node < 0 || m.dest_node == node) total += m.threads_started;
+  }
+  return total;
+}
+
+std::uint64_t FlowTrace::inlets_started(int node) const {
+  std::uint64_t total = 0;
+  for (const FlowMessage& m : messages) {
+    if (node < 0 || m.dest_node == node) total += m.inlets_started;
+  }
+  return total;
+}
+
+std::uint64_t FlowTrace::activations(int node) const {
+  std::uint64_t total = 0;
+  for (const FlowMessage& m : messages) {
+    if (node < 0 || m.dest_node == node) total += m.activations;
+  }
+  return total;
+}
+
+void FlowTrace::attach_symbols(const tamc::SymbolMap& map) {
+  // Resolve each distinct handler address once; messages naming the same
+  // routine share one FlowTrace::names entry.
+  std::unordered_map<std::uint32_t, std::int32_t> by_addr;
+  for (FlowMessage& m : messages) {
+    auto it = by_addr.find(m.handler);
+    if (it == by_addr.end()) {
+      std::int32_t idx = -1;
+      if (const tamc::SymbolSpan* s = map.find(m.handler); s != nullptr) {
+        idx = static_cast<std::int32_t>(names.size());
+        names.push_back(s->name);
+      }
+      it = by_addr.emplace(m.handler, idx).first;
+    }
+    m.name_idx = it->second;
+  }
+}
+
+FlowTracer::FlowTracer(const FlowOptions& opts, int num_nodes)
+    : opts_(opts), num_nodes_(num_nodes) {
+  levels_.resize(static_cast<std::size_t>(num_nodes) * 2);
+  trace_.num_nodes = num_nodes;
+  trace_.sample_every = opts.sample_every;
+  trace_.pending_stall.assign(static_cast<std::size_t>(num_nodes), 0);
+}
+
+FlowMessage& FlowTracer::new_message(FlowMsgKind kind, int src, int dest,
+                                     mdp::Priority p,
+                                     std::span<const std::uint32_t> words) {
+  FlowMessage m;
+  m.id = trace_.messages.size() + 1;
+  m.kind = kind;
+  m.priority = p;
+  m.src_node = static_cast<std::int16_t>(src);
+  m.dest_node = static_cast<std::int16_t>(dest);
+  m.handler = words.empty() ? 0 : words[0];
+  m.length_words = static_cast<std::uint32_t>(words.size());
+  trace_.messages.push_back(std::move(m));
+  return trace_.messages.back();
+}
+
+void FlowTracer::on_boot(int node, mdp::Priority p,
+                         std::span<const std::uint32_t> words) {
+  // Host-side inject: the message materializes in the queue at round 0
+  // with no sender, so every span stage up to delivery collapses.
+  FlowMessage& m = new_message(FlowMsgKind::Boot, node, node, p, words);
+  m.send_ts = now_;
+  m.inject_ts = now_;
+  m.deliver_ts = now_;
+  at(node, p).mirror.push_back(m.id);
+}
+
+void FlowTracer::on_local_send(int node, mdp::Priority p,
+                               mdp::Priority sender_level,
+                               std::span<const std::uint32_t> words) {
+  FlowMessage& m = new_message(FlowMsgKind::Local, node, node, p, words);
+  m.parent = at(node, sender_level).current;
+  m.send_ts = now_;
+  m.inject_ts = now_;
+  m.deliver_ts = now_;  // straight into the local queue: no transit
+  at(node, p).mirror.push_back(m.id);
+}
+
+std::uint64_t FlowTracer::on_remote_send(int node, int dest_node,
+                                         mdp::Priority p,
+                                         mdp::Priority sender_level,
+                                         std::span<const std::uint32_t> words) {
+  FlowMessage& m = new_message(FlowMsgKind::Remote, node, dest_node, p, words);
+  LevelState& ls = at(node, sender_level);
+  m.parent = ls.current;
+  // A send that had to wait for the network started at its first refused
+  // attempt; its stalled rounds (possibly non-contiguous under
+  // preemption) were accumulated by on_send_stall.
+  m.send_ts = ls.pending_stall != 0 ? ls.pending_send_ts : now_;
+  m.stall_cycles = ls.pending_stall;
+  ls.pending_stall = 0;
+  m.inject_ts = now_;
+  return m.id;
+}
+
+void FlowTracer::on_send_stall(int node, mdp::Priority sender_level) {
+  LevelState& ls = at(node, sender_level);
+  if (ls.pending_stall == 0) ls.pending_send_ts = now_;
+  ++ls.pending_stall;
+}
+
+void FlowTracer::on_dispatch(int node, mdp::Priority p) {
+  LevelState& ls = at(node, p);
+  if (ls.mirror.empty()) return;  // mirror desync guard; never expected
+  ls.current = ls.mirror.front();
+  msg(ls.current).dispatch_ts = now_;
+}
+
+void FlowTracer::on_consume(int node, mdp::Priority p) {
+  LevelState& ls = at(node, p);
+  if (ls.current != 0) msg(ls.current).finish_ts = now_;
+  if (!ls.mirror.empty()) ls.mirror.pop_front();
+  ls.current = 0;
+}
+
+void FlowTracer::on_instruction(int node, mdp::Priority p) {
+  const std::uint64_t id = at(node, p).current;
+  if (id != 0) ++msg(id).handler_instructions;
+}
+
+void FlowTracer::on_probe_mark(int node, mdp::MarkKind kind, std::uint32_t aux,
+                               mdp::Priority p) {
+  (void)aux;
+  const std::uint64_t id = at(node, p).current;
+  if (id == 0) return;
+  FlowMessage& m = msg(id);
+  switch (kind) {
+    case mdp::MarkKind::ThreadStart:
+      ++m.threads_started;
+      break;
+    case mdp::MarkKind::InletStart:
+      ++m.inlets_started;
+      break;
+    case mdp::MarkKind::Activate:
+      ++m.activations;
+      break;
+    default:
+      break;  // SysStart / FpCall are not per-message attributed
+  }
+}
+
+void FlowTracer::on_halt(int node, mdp::Priority p) {
+  const std::uint64_t id = at(node, p).current;
+  trace_.halt_msg = id;
+  trace_.halt_node = node;
+  // The halting handler is never consumed; close its span at the halt
+  // round so the critical path's final segment has an end.
+  if (id != 0) msg(id).finish_ts = now_;
+}
+
+void FlowTracer::on_hop(std::uint64_t flow_id, int link_src, int link_dst,
+                        std::uint64_t now) {
+  if (flow_id == 0) return;
+  if (hop_records_ >= opts_.max_hop_records) {
+    ++trace_.dropped_hops;
+    return;
+  }
+  ++hop_records_;
+  msg(flow_id).path.push_back(FlowHop{link_src, link_dst, now});
+}
+
+void FlowTracer::on_deliver(std::uint64_t flow_id, int dest, mdp::Priority p,
+                            std::uint32_t hops, std::uint64_t latency,
+                            std::uint64_t now) {
+  if (flow_id == 0) return;
+  FlowMessage& m = msg(flow_id);
+  m.deliver_ts = now;
+  m.hops = hops;
+  m.net_latency = latency;
+  // The model hands the message to its sink (the real queue) right after
+  // this callback, so pushing here keeps the mirror in enqueue order.
+  at(dest, p).mirror.push_back(flow_id);
+}
+
+void FlowTracer::on_round(const mdp::MultiMachine& mm, std::uint64_t round) {
+  now_ = round;
+  if (opts_.sample_every == 0 || round % opts_.sample_every != 0) return;
+  if (trace_.samples.size() >= kMaxSamples) {
+    ++trace_.dropped_samples;
+    return;
+  }
+  const net::NetStats& ns = mm.network().stats();
+  FlowSample s;
+  s.round = round;
+  const std::size_t n = static_cast<std::size_t>(num_nodes_);
+  s.queue_depth_low.reserve(n);
+  s.queue_depth_high.reserve(n);
+  s.node_instructions.reserve(n);
+  s.node_stall_cycles.reserve(n);
+  for (int i = 0; i < num_nodes_; ++i) {
+    const mdp::Machine& m = mm.node(i);
+    s.queue_depth_low.push_back(
+        static_cast<std::uint32_t>(m.queue_depth(mdp::Priority::Low)));
+    s.queue_depth_high.push_back(
+        static_cast<std::uint32_t>(m.queue_depth(mdp::Priority::High)));
+    s.node_instructions.push_back(m.instructions_executed());
+    s.node_stall_cycles.push_back(m.injection_stall_cycles());
+  }
+  s.link_flits.reserve(ns.links.size());
+  for (const net::LinkStats& l : ns.links) s.link_flits.push_back(l.flits);
+  s.messages_delivered = ns.messages;
+  s.net_flits = ns.flits;
+  trace_.samples.push_back(std::move(s));
+}
+
+FlowTrace FlowTracer::finish(const mdp::MultiMachine& mm) {
+  trace_.final_round = mm.rounds();
+  trace_.links = mm.network().stats().links;
+  for (int n = 0; n < num_nodes_; ++n) {
+    trace_.pending_stall[static_cast<std::size_t>(n)] =
+        at(n, mdp::Priority::Low).pending_stall +
+        at(n, mdp::Priority::High).pending_stall;
+  }
+  return std::move(trace_);
+}
+
+}  // namespace jtam::obs

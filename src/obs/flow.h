@@ -1,0 +1,245 @@
+// Causal message tracing across the multi-node ensemble.
+//
+// obs::FlowTracer sits on three observation seams at once — every node's
+// mdp::FlowProbe, the network's net::FlowObserver, and the ensemble's
+// mdp::RoundHook — and assembles one FlowMessage per message the run ever
+// carried: a trace id, the causal parent (the message whose handler
+// executed the SENDE), and the full span ladder send -> inject -> deliver
+// -> dispatch -> finish in round timestamps, plus per-hop link records on
+// the mesh.  That is a complete latency decomposition for every message:
+//
+//   inject wait   send_ts    .. inject_ts    (injection backpressure; the
+//                                             stalled rounds are exactly
+//                                             stall_cycles)
+//   net transit   inject_ts  .. deliver_ts   (== net_latency, the value
+//                                             the network's own latency
+//                                             histogram records)
+//   queue wait    deliver_ts .. dispatch_ts  (residency in the hardware
+//                                             message queue)
+//   handler       dispatch_ts .. finish_ts   (handler_instructions of
+//                                             compute, marks attributed)
+//
+// Everything the tracer records *refines* a counter the machine or the
+// network already keeps, and the refinement is bit-exact: per-message hop
+// and latency records rebuild NetStats::hops/latency exactly, per-message
+// stall cycles (plus the still-pending remainder) sum to each node's
+// injection_stall_cycles(), handler instruction counts sum to each node's
+// instructions_executed(), and mark counts match the Granularity totals —
+// all pinned by tests/flow_test.cpp over {ideal, mesh} x {MD, AM}.
+//
+// The tracer is observation-only (no measured state is touched; results
+// are bit-identical with tracing on) and zero-cost when off (every hook
+// site is one null test).  The message-identity scheme leans on a machine
+// invariant: hardware queues are FIFO and every message is dispatched
+// exactly once, so a per-(node, level) mirror of trace ids, pushed in
+// enqueue order, names the dispatched message without touching the
+// machine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mdp/multi.h"
+#include "net/network.h"
+#include "obs/histogram.h"
+#include "obs/options.h"
+
+namespace jtam::tamc {
+class SymbolMap;
+}
+
+namespace jtam::obs {
+
+/// How a message entered its destination queue.
+enum class FlowMsgKind : std::uint8_t {
+  Boot = 0,    // host-side inject before the run (causal root)
+  Local = 1,   // SENDE into the sender's own queue
+  Remote = 2,  // SENDE through the network
+};
+
+const char* flow_msg_kind_name(FlowMsgKind k);
+
+/// One link traversal of a message's head flit (mesh only).
+struct FlowHop {
+  int from = 0;
+  int to = 0;
+  std::uint64_t ts = 0;  // round the flit crossed the link
+};
+
+/// Timestamp value for "this stage never happened".
+inline constexpr std::uint64_t kFlowNoTs = ~0ULL;
+
+/// Everything recorded about one message.  Flow ids are dense and start
+/// at 1; id 0 means "no message" (e.g. FlowMessage::parent of a root).
+struct FlowMessage {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // message whose handler sent this one
+  FlowMsgKind kind = FlowMsgKind::Boot;
+  mdp::Priority priority = mdp::Priority::Low;  // queue level == handler level
+  std::int16_t src_node = 0;
+  std::int16_t dest_node = 0;
+  std::uint32_t handler = 0;       // word 0: the handler/inlet address
+  std::uint32_t length_words = 0;
+  std::int32_t name_idx = -1;      // into FlowTrace::names (attach_symbols)
+
+  // Span timestamps, in rounds.  Boot/Local messages have
+  // send == inject == deliver (no network transit).  kFlowNoTs marks a
+  // stage the run ended before reaching.
+  std::uint64_t send_ts = 0;                 // first SENDE attempt
+  std::uint64_t inject_ts = 0;               // network accepted the message
+  std::uint64_t deliver_ts = kFlowNoTs;      // buffered into the dest queue
+  std::uint64_t dispatch_ts = kFlowNoTs;     // dispatch hardware pulled it
+  std::uint64_t finish_ts = kFlowNoTs;       // SUSPEND consumed it
+
+  // Decomposition components, each mirroring a machine/network counter.
+  std::uint64_t stall_cycles = 0;      // rounds burned on refused injection
+  std::uint32_t hops = 0;              // == the value NetStats::hops got
+  std::uint64_t net_latency = 0;       // == the value NetStats::latency got
+  std::uint64_t handler_instructions = 0;
+  std::uint32_t threads_started = 0;   // ThreadStart marks while current
+  std::uint32_t inlets_started = 0;    // InletStart marks while current
+  std::uint32_t activations = 0;       // Activate marks while current
+
+  std::vector<FlowHop> path;  // per-hop transit (mesh; capped globally)
+
+  bool delivered() const { return deliver_ts != kFlowNoTs; }
+  bool dispatched() const { return dispatch_ts != kFlowNoTs; }
+  bool finished() const { return finish_ts != kFlowNoTs; }
+  std::uint64_t inject_wait() const { return inject_ts - send_ts; }
+  std::uint64_t transit() const { return deliver_ts - inject_ts; }
+  std::uint64_t queue_wait() const { return dispatch_ts - deliver_ts; }
+};
+
+/// One tick of the periodic time-series sampler (FlowOptions::sample_every
+/// rounds apart), a consistent start-of-round snapshot.  Per-node vectors
+/// are indexed by node id; counters are cumulative since round 0, so
+/// consecutive samples difference into rates.
+struct FlowSample {
+  std::uint64_t round = 0;
+  std::vector<std::uint32_t> queue_depth_low;   // records in the low queue
+  std::vector<std::uint32_t> queue_depth_high;
+  std::vector<std::uint64_t> node_instructions;  // cumulative
+  std::vector<std::uint64_t> node_stall_cycles;  // cumulative
+  std::vector<std::uint64_t> link_flits;  // cumulative, FlowTrace::links order
+  std::uint64_t messages_delivered = 0;   // cumulative (network)
+  std::uint64_t net_flits = 0;            // cumulative (mesh)
+};
+
+/// The assembled causal trace of one multi-node run.
+struct FlowTrace {
+  int num_nodes = 0;
+  std::uint64_t final_round = 0;   // MultiMachine::rounds() when run stopped
+  std::uint64_t halt_msg = 0;      // message whose handler executed HALT
+  int halt_node = -1;
+  std::uint64_t sample_every = 0;
+  std::vector<FlowMessage> messages;      // messages[id - 1]
+  std::vector<FlowSample> samples;
+  std::vector<net::LinkStats> links;      // geometry for FlowSample::link_flits
+  /// Stall cycles burned on sends the network never accepted before the
+  /// run ended, per source node (completes the stall tie-out).
+  std::vector<std::uint64_t> pending_stall;
+  std::uint64_t dropped_hops = 0;     // FlowHop records past max_hop_records
+  std::uint64_t dropped_samples = 0;  // samples past the recording cap
+  std::vector<std::string> names;     // handler names (attach_symbols)
+
+  const FlowMessage& msg(std::uint64_t id) const { return messages[id - 1]; }
+  /// Handler name of a message ("" when unresolved).
+  const std::string& name_of(const FlowMessage& m) const;
+
+  // --- tie-out aggregations over the per-message records ----------------
+  /// Hop histogram rebuilt from delivered remote messages; `node` filters
+  /// on destination (-1 = all).  Bit-equal to NetStats::hops for -1.
+  Histogram hop_histogram(int node = -1) const;
+  /// Same for inject-to-deliver latency; bit-equal to NetStats::latency.
+  Histogram latency_histogram(int node = -1) const;
+  /// Attributed + pending stall cycles of `node`'s sends; equals that
+  /// node's Machine::injection_stall_cycles().
+  std::uint64_t stall_cycles(int node) const;
+  /// Handler instructions of messages handled on `node`; equals that
+  /// node's Machine::instructions_executed().
+  std::uint64_t handler_instructions(int node) const;
+  /// Mark totals over messages handled on `node` (-1 = all); equal to the
+  /// node's Granularity counters (threads / inlets / activations).
+  std::uint64_t threads_started(int node = -1) const;
+  std::uint64_t inlets_started(int node = -1) const;
+  std::uint64_t activations(int node = -1) const;
+
+  /// Resolve per-message handler addresses to routine names.
+  void attach_symbols(const tamc::SymbolMap& map);
+};
+
+/// The collector.  Wire it to every seam before boot messages are
+/// injected:
+///
+///   obs::FlowTracer tracer(opts.flow, mm.num_nodes());
+///   for (int n = 0; n < mm.num_nodes(); ++n) mm.node(n).set_flow(&tracer);
+///   mm.network().set_flow_observer(&tracer);
+///   mm.set_round_hook(&tracer);
+///   ... inject boot messages, mm.run() ...
+///   obs::FlowTrace trace = tracer.finish(mm);
+class FlowTracer final : public mdp::FlowProbe,
+                         public net::FlowObserver,
+                         public mdp::RoundHook {
+ public:
+  FlowTracer(const FlowOptions& opts, int num_nodes);
+
+  // mdp::FlowProbe
+  void on_boot(int node, mdp::Priority p,
+               std::span<const std::uint32_t> words) override;
+  void on_local_send(int node, mdp::Priority p, mdp::Priority sender_level,
+                     std::span<const std::uint32_t> words) override;
+  std::uint64_t on_remote_send(int node, int dest_node, mdp::Priority p,
+                               mdp::Priority sender_level,
+                               std::span<const std::uint32_t> words) override;
+  void on_send_stall(int node, mdp::Priority sender_level) override;
+  void on_dispatch(int node, mdp::Priority p) override;
+  void on_consume(int node, mdp::Priority p) override;
+  void on_instruction(int node, mdp::Priority p) override;
+  void on_probe_mark(int node, mdp::MarkKind kind, std::uint32_t aux,
+                     mdp::Priority p) override;
+  void on_halt(int node, mdp::Priority p) override;
+
+  // net::FlowObserver
+  void on_hop(std::uint64_t flow_id, int link_src, int link_dst,
+              std::uint64_t now) override;
+  void on_deliver(std::uint64_t flow_id, int dest, mdp::Priority p,
+                  std::uint32_t hops, std::uint64_t latency,
+                  std::uint64_t now) override;
+
+  // mdp::RoundHook
+  void on_round(const mdp::MultiMachine& mm, std::uint64_t round) override;
+
+  /// Seal the trace (final round, link geometry, pending stalls) and
+  /// return it.  Call once, after MultiMachine::run().
+  FlowTrace finish(const mdp::MultiMachine& mm);
+
+ private:
+  struct LevelState {
+    std::deque<std::uint64_t> mirror;  // queued trace ids, FIFO like the HW
+    std::uint64_t current = 0;         // dispatched, not yet consumed
+    std::uint64_t pending_stall = 0;   // stall rounds of the next send
+    std::uint64_t pending_send_ts = 0; // round of its first refused attempt
+  };
+
+  FlowMessage& new_message(FlowMsgKind kind, int src, int dest,
+                           mdp::Priority p,
+                           std::span<const std::uint32_t> words);
+  LevelState& at(int node, mdp::Priority p) {
+    return levels_[static_cast<std::size_t>(node) * 2 +
+                   static_cast<std::size_t>(p)];
+  }
+  FlowMessage& msg(std::uint64_t id) { return trace_.messages[id - 1]; }
+
+  FlowOptions opts_;
+  int num_nodes_;
+  std::uint64_t now_ = 0;
+  std::uint64_t hop_records_ = 0;
+  std::vector<LevelState> levels_;  // [node * 2 + level]
+  FlowTrace trace_;
+};
+
+}  // namespace jtam::obs

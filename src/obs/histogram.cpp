@@ -25,6 +25,16 @@ void Histogram::add(std::uint64_t v, std::uint64_t weight) {
   sum_ += v * weight;
 }
 
+Histogram& Histogram::operator+=(const Histogram& o) {
+  if (o.count_ == 0) return *this;
+  if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  return *this;
+}
+
 void Histogram::bucket_range(int b, std::uint64_t* lo, std::uint64_t* hi) {
   if (b <= 0) {
     *lo = 0;

@@ -48,6 +48,14 @@ class Histogram {
   /// multi-node determinism tests compare run-to-run.
   bool operator==(const Histogram& o) const;
 
+  /// Merge another histogram into this one (cross-node aggregation).  The
+  /// result is exactly the histogram that adding both sample multisets
+  /// into one accumulator would have produced — add() is order-independent
+  /// — so merged per-node histograms tie out bit-exactly against a
+  /// machine-level one (tests/flow_test.cpp).
+  Histogram& operator+=(const Histogram& o);
+  Histogram& merge(const Histogram& o) { return *this += o; }
+
  private:
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;

@@ -21,6 +21,27 @@ struct ProfileCacheConfig {
   std::uint32_t assoc = 4;
 };
 
+/// Causal flow tracing for multi-node runs (obs::FlowTracer), carried in
+/// driver::MultiOptions.  Like every collector it is zero-cost when off —
+/// the machine/network hooks are single null-pointer tests — and never
+/// writes to measured state: MultiRunResult numbers are bit-identical with
+/// tracing on or off (enforced by tests/flow_test.cpp).
+struct FlowOptions {
+  /// Master switch: record one FlowMessage per message (trace id, causal
+  /// parent, span timestamps, per-message latency decomposition).
+  bool enabled = false;
+  /// Time-series sampler cadence in rounds (0 = no samples): per-node
+  /// queue depths, cumulative instructions/stalls, per-link flit counts.
+  std::uint64_t sample_every = 0;
+  /// Cap on recorded per-hop path records across all messages; past it the
+  /// tracer keeps every counter and timestamp exact (tie-outs still hold)
+  /// but stops appending FlowHop entries, counting the overflow in
+  /// FlowTrace::dropped_hops.
+  std::uint64_t max_hop_records = 1u << 20;
+
+  bool any() const { return enabled; }
+};
+
 struct Options {
   /// Flat per-routine profile: instructions, reads/writes, and per-config
   /// cache misses attributed to TAM codeblocks/inlets/threads and kernel

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/flow.h"
 #include "obs/replay.h"
 #include "support/json.h"
 
@@ -168,6 +169,96 @@ void write_chrome_trace(
             << ", \"args\": {\"records\": " << q.depth
             << ", \"bytes\": " << q.bytes << "}}";
     }
+  }
+  os << "\n]}\n";
+}
+
+void write_flow_chrome_trace(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, const FlowTrace*>>& runs) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&]() -> std::ostream& {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    return os;
+  };
+  int next_pid = 1;        // process ids, disjoint across runs and nodes
+  std::uint64_t flow_base = 0;  // makes s/f ids unique across runs
+  for (const auto& [label, tr] : runs) {
+    const int node_pid = next_pid;               // node n -> node_pid + n
+    const int net_pid = node_pid + tr->num_nodes;  // the sampler process
+    next_pid = net_pid + 1;
+    for (int n = 0; n < tr->num_nodes; ++n) {
+      sep() << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+            << (node_pid + n) << ", \"args\": {\"name\": \""
+            << json::escape(label) << " node " << n << "\"}}";
+      for (int t = 0; t < 2; ++t) {
+        sep() << " {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+              << (node_pid + n) << ", \"tid\": " << t
+              << ", \"args\": {\"name\": \""
+              << (t == 0 ? "low priority" : "high priority") << "\"}}";
+      }
+    }
+    sep() << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+          << net_pid << ", \"args\": {\"name\": \"" << json::escape(label)
+          << " network\"}}";
+    for (const FlowMessage& m : tr->messages) {
+      if (!m.dispatched()) continue;
+      const int pid = node_pid + m.dest_node;
+      const int tid = static_cast<int>(m.priority);
+      // The handling slice; a handler cut short by the run's end (the
+      // HALT closes its own) is drawn to the final round.
+      const std::uint64_t end =
+          m.finished() ? m.finish_ts : tr->final_round;
+      const std::string& name = tr->name_of(m);
+      sep() << " {\"name\": \"";
+      if (!name.empty()) {
+        os << json::escape(name);
+      } else {
+        os << "msg " << m.id;
+      }
+      os << "\", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << tid
+         << ", \"ts\": " << m.dispatch_ts
+         << ", \"dur\": " << (end - m.dispatch_ts)
+         << ", \"args\": {\"msg\": " << m.id << ", \"parent\": " << m.parent
+         << ", \"kind\": \"" << flow_msg_kind_name(m.kind)
+         << "\", \"hops\": " << m.hops
+         << ", \"stall\": " << m.stall_cycles << "}}";
+      // Send -> receive arrow for network-crossing messages: `s` anchors
+      // in the sending handler's slice at injection, `f` (bp "e") in this
+      // slice at dispatch.
+      if (m.kind == FlowMsgKind::Remote) {
+        const std::uint64_t fid = flow_base + m.id;
+        const int src_tid =
+            m.parent != 0 ? static_cast<int>(tr->msg(m.parent).priority) : 0;
+        sep() << " {\"name\": \"msg\", \"cat\": \"flow\", \"ph\": \"s\", "
+              << "\"id\": " << fid << ", \"pid\": "
+              << (node_pid + m.src_node) << ", \"tid\": " << src_tid
+              << ", \"ts\": " << m.inject_ts << "}";
+        sep() << " {\"name\": \"msg\", \"cat\": \"flow\", \"ph\": \"f\", "
+              << "\"bp\": \"e\", \"id\": " << fid << ", \"pid\": " << pid
+              << ", \"tid\": " << tid << ", \"ts\": " << m.dispatch_ts
+              << "}";
+      }
+    }
+    for (const FlowSample& s : tr->samples) {
+      for (int n = 0; n < tr->num_nodes; ++n) {
+        sep() << " {\"name\": \"queue node " << n
+              << "\", \"ph\": \"C\", \"pid\": " << (node_pid + n)
+              << ", \"ts\": " << s.round << ", \"args\": {\"low\": "
+              << s.queue_depth_low[static_cast<std::size_t>(n)]
+              << ", \"high\": "
+              << s.queue_depth_high[static_cast<std::size_t>(n)] << "}}";
+      }
+      sep() << " {\"name\": \"delivered\", \"ph\": \"C\", \"pid\": "
+            << net_pid << ", \"ts\": " << s.round
+            << ", \"args\": {\"messages\": " << s.messages_delivered << "}}";
+      sep() << " {\"name\": \"flits\", \"ph\": \"C\", \"pid\": " << net_pid
+            << ", \"ts\": " << s.round << ", \"args\": {\"flits\": "
+            << s.net_flits << "}}";
+    }
+    flow_base += tr->messages.size();
   }
   os << "\n]}\n";
 }

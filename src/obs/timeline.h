@@ -28,6 +28,8 @@
 
 namespace jtam::obs {
 
+struct FlowTrace;
+
 /// Track ids inside one process: 0/1 are the priority levels, 2 the
 /// synthetic quantum track.
 inline constexpr int kTimelineQuantumTrack = 2;
@@ -105,5 +107,17 @@ class TimelineBuilder final : public driver::TraceConsumer {
 void write_chrome_trace(
     std::ostream& os,
     const std::vector<std::pair<std::string, const Timeline*>>& runs);
+
+/// Write one or more causal flow traces (obs::FlowTrace) as a merged
+/// multi-node Chrome trace-event JSON document.  Each run contributes one
+/// process per node ("<label> node N", tracks = the two priority levels)
+/// carrying handler slices, plus a "<label> network" process with the
+/// sampler's counters; remote messages draw flow arrows (`s`/`f` events,
+/// ids unique across the whole file) from the sender's injection to the
+/// receiver's dispatch.  Timestamps are rounds — 1 "microsecond" per
+/// round — so node tracks of one run line up on a shared clock.
+void write_flow_chrome_trace(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, const FlowTrace*>>& runs);
 
 }  // namespace jtam::obs

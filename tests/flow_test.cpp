@@ -1,0 +1,363 @@
+// Causal flow tracing (obs::FlowTracer): tie-outs against the machine's
+// and network's own counters, bit-identical measured results with tracing
+// on, the critical-path partition invariant, the merged multi-node
+// Perfetto export, histogram merging, and the time-series sampler.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "driver/experiment.h"
+#include "obs/critical_path.h"
+#include "obs/flow.h"
+#include "obs/timeline.h"
+#include "programs/registry.h"
+#include "support/json.h"
+
+namespace jtam {
+namespace {
+
+driver::MultiRunResult traced_run(rt::BackendKind backend, net::NetKind kind,
+                                  int nodes = 4,
+                                  std::uint64_t sample_every = 0) {
+  programs::Workload w = programs::make_mmt(6);
+  driver::RunOptions opts;
+  opts.backend = backend;
+  driver::MultiOptions mopts;
+  mopts.num_nodes = nodes;
+  mopts.net = kind;
+  mopts.flow.enabled = true;
+  mopts.flow.sample_every = sample_every;
+  driver::MultiRunResult r = driver::run_workload_multi(w, opts, mopts);
+  EXPECT_TRUE(r.ok()) << r.check_error;
+  return r;
+}
+
+class FlowMatrix
+    : public testing::TestWithParam<std::tuple<rt::BackendKind,
+                                               net::NetKind>> {};
+
+// The decomposition tie-out: every per-message record the tracer keeps
+// re-sums, bit-exactly, to a counter the machine or network already
+// reported.  If any hook site drifted (missed event, double count, wrong
+// attribution), one of these equalities breaks.
+TEST_P(FlowMatrix, DecompositionTiesOutAgainstMachineCounters) {
+  const auto [backend, kind] = GetParam();
+  const driver::MultiRunResult r = traced_run(backend, kind);
+  ASSERT_NE(r.flow, nullptr);
+  const obs::FlowTrace& tr = *r.flow;
+
+  EXPECT_EQ(tr.num_nodes, r.num_nodes);
+  EXPECT_EQ(tr.final_round, r.rounds);
+
+  // Network tie-out: the per-message hop/latency records rebuild the
+  // model's own NetStats histograms exactly.
+  EXPECT_TRUE(tr.hop_histogram() == r.hops);
+  EXPECT_TRUE(tr.latency_histogram() == r.msg_latency);
+
+  // Every remote send became exactly one traced Remote message.
+  std::uint64_t remote = 0;
+  for (const obs::FlowMessage& m : tr.messages) {
+    if (m.kind == obs::FlowMsgKind::Remote) ++remote;
+  }
+  EXPECT_EQ(remote, r.messages);
+
+  ASSERT_EQ(r.per_node_gran.size(), static_cast<std::size_t>(r.num_nodes));
+  for (int n = 0; n < r.num_nodes; ++n) {
+    // Stall attribution: per-message stall cycles (plus any still-pending
+    // stall) sum to the node's injection-stall counter.
+    EXPECT_EQ(tr.stall_cycles(n), r.per_node_injection_stalls[
+                                      static_cast<std::size_t>(n)]);
+    // Instruction attribution: every instruction a node executed was
+    // charged to the message whose handler ran it.
+    EXPECT_EQ(tr.handler_instructions(n),
+              r.per_node_instructions[static_cast<std::size_t>(n)]);
+    // Mark attribution vs the node's granularity counters.
+    const metrics::Granularity& g =
+        r.per_node_gran[static_cast<std::size_t>(n)];
+    EXPECT_EQ(tr.threads_started(n), g.threads);
+    EXPECT_EQ(tr.inlets_started(n), g.inlets);
+    EXPECT_EQ(tr.activations(n), g.activations);
+  }
+}
+
+// Histogram::merge tie-out (cross-node aggregation): summing the per-node
+// destination-filtered histograms reproduces the machine-level histogram
+// bit-exactly.
+TEST_P(FlowMatrix, MergedPerNodeHistogramsEqualEnsembleHistograms) {
+  const auto [backend, kind] = GetParam();
+  const driver::MultiRunResult r = traced_run(backend, kind);
+  ASSERT_NE(r.flow, nullptr);
+  obs::Histogram hops, latency;
+  for (int n = 0; n < r.num_nodes; ++n) {
+    hops += r.flow->hop_histogram(n);
+    latency.merge(r.flow->latency_histogram(n));
+  }
+  EXPECT_TRUE(hops == r.hops);
+  EXPECT_TRUE(latency == r.msg_latency);
+}
+
+// The zero-cost-when-off contract's other half: with tracing ON, every
+// measured number is bit-identical to the untraced run.
+TEST_P(FlowMatrix, TracingLeavesMeasuredResultsBitIdentical) {
+  const auto [backend, kind] = GetParam();
+  programs::Workload w = programs::make_mmt(6);
+  driver::RunOptions opts;
+  opts.backend = backend;
+  driver::MultiOptions mopts;
+  mopts.num_nodes = 4;
+  mopts.net = kind;
+  const driver::MultiRunResult off = driver::run_workload_multi(w, opts,
+                                                                mopts);
+  mopts.flow.enabled = true;
+  mopts.flow.sample_every = 128;
+  const driver::MultiRunResult on = driver::run_workload_multi(w, opts,
+                                                               mopts);
+  ASSERT_TRUE(off.ok() && on.ok());
+  EXPECT_EQ(on.status, off.status);
+  EXPECT_EQ(on.halt_value, off.halt_value);
+  EXPECT_EQ(on.rounds, off.rounds);
+  EXPECT_EQ(on.total_instructions, off.total_instructions);
+  EXPECT_EQ(on.messages, off.messages);
+  EXPECT_EQ(on.per_node_instructions, off.per_node_instructions);
+  EXPECT_EQ(on.per_node_injection_stalls, off.per_node_injection_stalls);
+  EXPECT_EQ(on.injection_stall_cycles, off.injection_stall_cycles);
+  EXPECT_EQ(on.stalled_sends, off.stalled_sends);
+  EXPECT_EQ(on.net_cycles, off.net_cycles);
+  EXPECT_TRUE(on.hops == off.hops);
+  EXPECT_TRUE(on.msg_latency == off.msg_latency);
+  ASSERT_EQ(on.links.size(), off.links.size());
+  for (std::size_t i = 0; i < on.links.size(); ++i) {
+    EXPECT_EQ(on.links[i].flits, off.links[i].flits);
+    EXPECT_EQ(on.links[i].peak_occupancy, off.links[i].peak_occupancy);
+  }
+  EXPECT_EQ(off.flow, nullptr);
+  EXPECT_NE(on.flow, nullptr);
+}
+
+// The causal DAG is well-formed: parents precede children, span stages
+// are ordered, and the transit component is exactly the network latency.
+TEST_P(FlowMatrix, SpansAreCausallyOrdered) {
+  const auto [backend, kind] = GetParam();
+  const driver::MultiRunResult r = traced_run(backend, kind);
+  ASSERT_NE(r.flow, nullptr);
+  for (const obs::FlowMessage& m : r.flow->messages) {
+    EXPECT_LT(m.parent, m.id);  // parents are created first (or 0)
+    if (m.kind == obs::FlowMsgKind::Boot) {
+      EXPECT_EQ(m.parent, 0u);
+      EXPECT_EQ(m.deliver_ts, 0u);
+    }
+    EXPECT_LE(m.send_ts, m.inject_ts);
+    if (!m.delivered()) continue;
+    EXPECT_LE(m.inject_ts, m.deliver_ts);
+    EXPECT_EQ(m.transit(), m.net_latency);
+    EXPECT_GE(m.inject_wait(), m.stall_cycles);
+    if (!m.dispatched()) continue;
+    EXPECT_LE(m.deliver_ts, m.dispatch_ts);
+    if (m.finished()) EXPECT_LE(m.dispatch_ts, m.finish_ts);
+  }
+}
+
+// The headline invariant: the critical path's four components partition
+// [0, final_round] exactly — nothing double-counted, nothing missing.
+TEST_P(FlowMatrix, CriticalPathPartitionsTheRun) {
+  const auto [backend, kind] = GetParam();
+  const driver::MultiRunResult r = traced_run(backend, kind);
+  ASSERT_NE(r.flow, nullptr);
+  const obs::CriticalPath path = obs::analyze_critical_path(*r.flow);
+  ASSERT_FALSE(path.steps.empty());
+  EXPECT_TRUE(path.complete);
+  EXPECT_EQ(path.total(), r.flow->final_round);
+  EXPECT_EQ(path.handler + path.inject_wait + path.transit + path.queue_wait,
+            r.rounds);
+  EXPECT_EQ(r.flow->msg(path.steps.front().msg).kind,
+            obs::FlowMsgKind::Boot);
+  EXPECT_EQ(path.steps.back().msg, r.flow->halt_msg);
+  std::ostringstream os;
+  obs::write_critical_path(os, *r.flow, path);
+  EXPECT_NE(os.str().find("critical path:"), std::string::npos);
+  EXPECT_EQ(os.str().find("incomplete"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, FlowMatrix,
+    testing::Combine(testing::Values(rt::BackendKind::MessageDriven,
+                                     rt::BackendKind::ActiveMessages),
+                     testing::Values(net::NetKind::Ideal,
+                                     net::NetKind::Mesh)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ==
+                                 rt::BackendKind::MessageDriven
+                             ? "Md"
+                             : "Am") +
+             (std::get<1>(info.param) == net::NetKind::Ideal ? "Ideal"
+                                                             : "Mesh");
+    });
+
+TEST(FlowTrace, HandlerNamesResolveThroughSymbols) {
+  const driver::MultiRunResult r =
+      traced_run(rt::BackendKind::MessageDriven, net::NetKind::Mesh);
+  ASSERT_NE(r.flow, nullptr);
+  // The driver attaches symbols; at least some messages must name a real
+  // routine (the boot inlet at minimum).
+  std::uint64_t named = 0;
+  for (const obs::FlowMessage& m : r.flow->messages) {
+    if (!r.flow->name_of(m).empty()) ++named;
+  }
+  EXPECT_GT(named, 0u);
+  EXPECT_FALSE(r.flow->names.empty());
+}
+
+TEST(FlowSampler, CadenceAndMonotonicity) {
+  const driver::MultiRunResult r = traced_run(
+      rt::BackendKind::MessageDriven, net::NetKind::Mesh, 4, 64);
+  ASSERT_NE(r.flow, nullptr);
+  const obs::FlowTrace& tr = *r.flow;
+  ASSERT_GT(tr.samples.size(), 1u);
+  EXPECT_EQ(tr.sample_every, 64u);
+  std::uint64_t prev_round = 0;
+  std::uint64_t prev_instr = 0, prev_msgs = 0, prev_flits = 0;
+  bool first = true;
+  for (const obs::FlowSample& s : tr.samples) {
+    EXPECT_EQ(s.round % 64, 0u);
+    if (!first) EXPECT_GT(s.round, prev_round);
+    ASSERT_EQ(s.queue_depth_low.size(), 4u);
+    ASSERT_EQ(s.queue_depth_high.size(), 4u);
+    ASSERT_EQ(s.node_instructions.size(), 4u);
+    ASSERT_EQ(s.node_stall_cycles.size(), 4u);
+    ASSERT_EQ(s.link_flits.size(), tr.links.size());
+    std::uint64_t instr = 0;
+    for (std::uint64_t v : s.node_instructions) instr += v;
+    std::uint64_t flits = 0;
+    for (std::uint64_t v : s.link_flits) flits += v;
+    // Cumulative counters never move backwards.
+    EXPECT_GE(instr, prev_instr);
+    EXPECT_GE(s.messages_delivered, prev_msgs);
+    EXPECT_GE(flits, prev_flits);
+    EXPECT_EQ(s.net_flits, flits);  // link counters sum to the total
+    prev_round = s.round;
+    prev_instr = instr;
+    prev_msgs = s.messages_delivered;
+    prev_flits = flits;
+    first = false;
+  }
+  // Final cumulative values are bounded by the end-of-run totals.
+  EXPECT_LE(prev_instr, r.total_instructions);
+  EXPECT_LE(prev_msgs, r.messages);
+}
+
+TEST(FlowSampler, OffByDefault) {
+  const driver::MultiRunResult r =
+      traced_run(rt::BackendKind::MessageDriven, net::NetKind::Mesh);
+  ASSERT_NE(r.flow, nullptr);
+  EXPECT_TRUE(r.flow->samples.empty());
+}
+
+// ---- Perfetto export ----------------------------------------------------
+
+TEST(FlowChromeTrace, ParsesAndPairsFlowEventsAcrossDisjointNodeTracks) {
+  const driver::MultiRunResult md = traced_run(
+      rt::BackendKind::MessageDriven, net::NetKind::Mesh, 4, 256);
+  const driver::MultiRunResult am = traced_run(
+      rt::BackendKind::ActiveMessages, net::NetKind::Mesh, 4, 256);
+  ASSERT_NE(md.flow, nullptr);
+  ASSERT_NE(am.flow, nullptr);
+  std::ostringstream os;
+  obs::write_flow_chrome_trace(
+      os, {{"mmt / MD", md.flow.get()}, {"mmt / AM", am.flow.get()}});
+
+  const json::Value doc = json::parse(os.str());
+  const json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  std::set<int> declared_pids;
+  std::map<double, int> flow_begins, flow_ends;
+  std::size_t slices = 0;
+  for (const json::Value& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    const int pid = static_cast<int>(e.at("pid").as_number());
+    if (ph == "M" && e.at("name").as_string() == "process_name") {
+      EXPECT_TRUE(declared_pids.insert(pid).second)
+          << "pid " << pid << " declared twice: node tracks must be "
+          << "disjoint across runs and nodes";
+      continue;
+    }
+    EXPECT_TRUE(declared_pids.count(pid))
+        << ph << " event on undeclared pid " << pid;
+    if (ph == "X") {
+      ++slices;
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+      EXPECT_TRUE(e.at("args").has("msg"));
+    } else if (ph == "s") {
+      ++flow_begins[e.at("id").as_number()];
+    } else if (ph == "f") {
+      ++flow_ends[e.at("id").as_number()];
+      EXPECT_EQ(e.at("bp").as_string(), "e");
+    }
+  }
+  // Two runs x (4 nodes + 1 network process) declared.
+  EXPECT_EQ(declared_pids.size(), 10u);
+  EXPECT_GT(slices, 0u);
+  // Flow arrows pair up exactly: one begin and one end per id.
+  EXPECT_FALSE(flow_begins.empty());
+  EXPECT_EQ(flow_begins.size(), flow_ends.size());
+  for (const auto& [id, n] : flow_begins) {
+    EXPECT_EQ(n, 1) << "flow id " << id;
+    EXPECT_EQ(flow_ends[id], 1) << "flow id " << id;
+  }
+  // Both runs traced the same program on the same mesh, but the ids must
+  // not collide: the per-run offset keeps every arrow distinct.
+  EXPECT_EQ(flow_begins.size(),
+            static_cast<std::size_t>(md.messages + am.messages));
+}
+
+// ---- Histogram::merge unit tests ----------------------------------------
+
+TEST(HistogramMerge, EqualsSingleAccumulator) {
+  obs::Histogram a, b, all;
+  for (std::uint64_t v : {0ULL, 1ULL, 7ULL, 64ULL, 1000ULL}) {
+    a.add(v);
+    all.add(v);
+  }
+  for (std::uint64_t v : {2ULL, 2ULL, 500000ULL}) {
+    b.add(v);
+    all.add(v);
+  }
+  a += b;
+  EXPECT_TRUE(a == all);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 500000u);
+}
+
+TEST(HistogramMerge, EmptyOperandsAreIdentity) {
+  obs::Histogram empty1, empty2, h;
+  h.add(42);
+  h.add(3);
+  const obs::Histogram before = h;
+  h += empty1;  // merging empty changes nothing
+  EXPECT_TRUE(h == before);
+  empty1 += h;  // merging into empty copies, including min/max
+  EXPECT_TRUE(empty1 == before);
+  EXPECT_EQ(empty1.min(), 3u);
+  empty2 += obs::Histogram{};
+  EXPECT_EQ(empty2.count(), 0u);
+  EXPECT_TRUE(empty2 == obs::Histogram{});
+}
+
+TEST(HistogramMerge, MinMaxTightenCorrectly) {
+  obs::Histogram lo, hi;
+  lo.add(5);
+  hi.add(100);
+  hi.add(2);
+  lo.merge(hi);
+  EXPECT_EQ(lo.min(), 2u);
+  EXPECT_EQ(lo.max(), 100u);
+  EXPECT_EQ(lo.count(), 3u);
+  EXPECT_EQ(lo.sum(), 107u);
+}
+
+}  // namespace
+}  // namespace jtam

@@ -143,8 +143,8 @@ TEST(MultiNodeMachine, SendRoutesThroughTheNetwork) {
     int src = -1;
     int dest = -1;
     std::vector<std::uint32_t> words;
-    void send(int s, int d, mdp::Priority,
-              std::span<const std::uint32_t> w) override {
+    void send(int s, int d, mdp::Priority, std::span<const std::uint32_t> w,
+              std::uint64_t) override {
       src = s;
       dest = d;
       words.assign(w.begin(), w.end());
@@ -193,8 +193,8 @@ TEST(MultiNodeMachine, SendDrRoundRobins) {
   mdp::Machine m(img, mc);
   struct Recorder final : mdp::NetworkPort {
     std::vector<int> dests;
-    void send(int, int d, mdp::Priority,
-              std::span<const std::uint32_t>) override {
+    void send(int, int d, mdp::Priority, std::span<const std::uint32_t>,
+              std::uint64_t) override {
       dests.push_back(d);
     }
   } rec;

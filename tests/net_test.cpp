@@ -90,7 +90,7 @@ TEST(MeshNetwork, EcubeHopCountsAndPayloadIntegrity) {
   SinkRec sink;
   const std::vector<std::uint32_t> words = {0xAA, 0xBB, 0xCC};
   ASSERT_TRUE(mesh.can_accept(0, mdp::Priority::Low));
-  mesh.inject(0, 17, mdp::Priority::Low, words, 0);
+  mesh.inject(0, 17, mdp::Priority::Low, words, 0, 0);
   EXPECT_FALSE(mesh.idle());
   run_cycles(mesh, sink, 1, 64);
   ASSERT_EQ(sink.deliveries.size(), 1u);
@@ -116,12 +116,12 @@ TEST(MeshNetwork, HighPriorityOvertakesBlockedLowTraffic) {
   SinkRec sink;
   // A long low-priority packet worms 0 -> 3 first...
   const std::vector<std::uint32_t> low(24, 0x1010);
-  mesh.inject(0, 3, mdp::Priority::Low, low, 0);
+  mesh.inject(0, 3, mdp::Priority::Low, low, 0, 0);
   run_cycles(mesh, sink, 1, 3);  // its head is well into the mesh
   // ...then a short high-priority packet chases it on the same links.
   const std::vector<std::uint32_t> high = {0x42};
   ASSERT_TRUE(mesh.can_accept(0, mdp::Priority::High));
-  mesh.inject(0, 3, mdp::Priority::High, high, 2);
+  mesh.inject(0, 3, mdp::Priority::High, high, 2, 0);
   run_cycles(mesh, sink, 3, 256);
   ASSERT_EQ(sink.deliveries.size(), 2u);
   EXPECT_EQ(sink.deliveries[0].p, mdp::Priority::High)
@@ -137,7 +137,8 @@ TEST(MeshNetwork, InjectionChannelBackpressures) {
   cfg.shape = net::Shape{2, 1, 1};
   net::MeshNetwork mesh(cfg);
   SinkRec sink;
-  mesh.inject(0, 1, mdp::Priority::Low, std::vector<std::uint32_t>(8, 7), 0);
+  mesh.inject(0, 1, mdp::Priority::Low, std::vector<std::uint32_t>(8, 7), 0,
+              0);
   // The injection channel holds one packet per virtual network: a second
   // low-priority SENDE must wait, while the high VN stays open.
   EXPECT_FALSE(mesh.can_accept(0, mdp::Priority::Low));
