@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   driver::RunOptions opts;
   opts.engine = args.engine;
+  opts.dispatch = args.dispatch;
   const std::span<const std::uint32_t> blocks = bench::paper_block_sizes();
 
   bench::Stopwatch clock;

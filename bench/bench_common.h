@@ -84,6 +84,23 @@ inline driver::CacheEngine engine_from_args(int argc, char** argv) {
   return driver::CacheEngine::Stack;
 }
 
+/// --dispatch=decoded | --dispatch=classic (or "--dispatch decoded"):
+/// which interpreter loop runs the machine.  Like --engine this is purely
+/// a performance knob — both dispatchers produce bit-identical results
+/// (tests/interp_test.cpp) — kept selectable so the decoded engine can be
+/// timed against the seed switch loop on identical output.
+inline mdp::DispatchKind dispatch_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--dispatch" && i + 1 < argc) {
+      a = std::string("--dispatch=") + argv[i + 1];
+    }
+    if (a == "--dispatch=classic") return mdp::DispatchKind::Classic;
+    if (a == "--dispatch=decoded") return mdp::DispatchKind::Decoded;
+  }
+  return mdp::DispatchKind::Decoded;
+}
+
 /// The block sizes of the paper's §3.3 setup sweep ("block sizes varying
 /// from 8 to 64 bytes").
 inline std::span<const std::uint32_t> paper_block_sizes() {
@@ -126,7 +143,16 @@ struct CommonArgs {
   programs::Scale scale;
   std::string json_path;          // --json <path> ("" = not asked)
   driver::CacheEngine engine{};   // --engine=stack|classic
+  mdp::DispatchKind dispatch{};   // --dispatch=decoded|classic
   ObsArgs obs;                    // --trace / --profile / --flow
+
+  /// Baseline RunOptions with the performance knobs applied.
+  driver::RunOptions run_options() const {
+    driver::RunOptions opts;
+    opts.engine = engine;
+    opts.dispatch = dispatch;
+    return opts;
+  }
 };
 
 inline CommonArgs common_args(int argc, char** argv) {
@@ -134,6 +160,7 @@ inline CommonArgs common_args(int argc, char** argv) {
   ca.scale = scale_from_args(argc, argv);
   ca.json_path = json_path_from_args(argc, argv);
   ca.engine = engine_from_args(argc, argv);
+  ca.dispatch = dispatch_from_args(argc, argv);
   ca.obs = obs_args_from_args(argc, argv);
   return ca;
 }

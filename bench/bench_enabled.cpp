@@ -15,13 +15,15 @@
 int main(int argc, char** argv) {
   using namespace jtam;  // NOLINT(build/namespaces)
   const bench::CommonArgs args = bench::common_args(argc, argv);
+  const bench::Stopwatch clock;
 
   text::Table t;
   t.header({"Program", "TPQ unen.", "TPQ enabled", "cycles unen. @24",
             "cycles enabled @24", "enabled/unen."});
+  std::vector<std::pair<std::string, double>> metrics;
   for (const programs::Workload& w : programs::paper_workloads(args.scale)) {
     std::cerr << "  running " << w.name << " ...\n";
-    driver::RunOptions opts;
+    driver::RunOptions opts = args.run_options();
     opts.backend = rt::BackendKind::ActiveMessages;
     opts.am_enabled_variant = false;
     driver::RunResult unen = driver::run_workload(w, opts);
@@ -34,8 +36,13 @@ int main(int argc, char** argv) {
            text::fixed(en.gran.tpq(), 1), text::with_commas(cu),
            text::with_commas(ce),
            text::fixed(static_cast<double>(ce) / cu, 3)});
+    metrics.emplace_back(w.name + ".tpq_unenabled", unen.gran.tpq());
+    metrics.emplace_back(w.name + ".tpq_enabled", en.gran.tpq());
+    metrics.emplace_back(w.name + ".enabled_cycle_ratio_8K_4way_p24",
+                         static_cast<double>(ce) / cu);
   }
   t.print(std::cout);
+  bench::write_json(args.json_path, "enabled", clock.seconds(), metrics);
   std::cout << "\nPaper: enabled quanta are larger and uniprocessor "
                "performance superior; the unenabled variant better models "
                "multiprocessor behaviour and is what the paper measures.\n";

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
 
   driver::RunOptions opts;
   opts.engine = args.engine;
+  opts.dispatch = args.dispatch;
   const std::vector<std::uint32_t> blocks =
       full ? std::vector<std::uint32_t>(bench::paper_block_sizes().begin(),
                                         bench::paper_block_sizes().end())

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const bench::CommonArgs args = bench::common_args(argc, argv);
   driver::RunOptions opts;
   opts.engine = args.engine;
+  opts.dispatch = args.dispatch;
   const auto pairs = bench::run_all(args.scale, opts);
 
   for (std::uint32_t penalty : cache::paper_miss_penalties()) {

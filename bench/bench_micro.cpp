@@ -1,9 +1,23 @@
 // Micro-benchmarks of the simulator itself (google-benchmark): cache
 // access throughput, machine interpretation rate, compile time.  These
 // gate the practicality of the full sweeps, not the paper's results.
+//
+// `bench_micro --dispatch [--json path]` bypasses google-benchmark and
+// reports raw interpreter throughput (instructions/sec) for classic vs
+// decoded dispatch on two kernels — a tight arithmetic loop and a
+// SEND/SUSPEND handler loop — in the same JSON shape as the per-table
+// benches, so BENCH_interp.json carries a kernel-level number alongside
+// the end-to-end bench_table2/bench_fig3 walls.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
 #include "cache/cache.h"
 #include "cache/cache_bank.h"
 #include "driver/experiment.h"
@@ -16,6 +30,98 @@
 namespace {
 
 using namespace jtam;  // NOLINT(build/namespaces)
+
+/// Kernel 1: straight-line arithmetic — decrement to zero, halt.  The
+/// decoded engine's best case: one superblock re-entered per backward
+/// branch, no scheduler traffic.
+mdp::CodeImage arith_loop_image(std::int32_t iters) {
+  mdp::Assembler a;
+  a.section(mdp::Section::SysCode);
+  auto loop = a.label("loop");
+  a.movi(mdp::R0, iters);
+  a.bind(loop);
+  a.alui(mdp::Op::Subi, mdp::R0, mdp::R0, 1);
+  a.brnz(mdp::R0, loop);
+  a.halt(mdp::R0);
+  a.suspend();
+  return a.link();
+}
+
+/// Kernel 2: a self-reposting handler — each message runs a few
+/// instructions, composes a successor message (SENDL/SENDWI/SENDE) and
+/// SUSPENDs.  Every message crosses the two superblock exits the decoded
+/// engine must re-enter the scheduler at, so this bounds the chaining
+/// win by dispatch overhead.
+mdp::CodeImage handler_loop_image(std::int32_t messages) {
+  mdp::Assembler a;
+  a.section(mdp::Section::SysCode);
+  auto handler = a.label("handler");
+  auto done = a.label("done");
+  a.movi(mdp::R1, messages);
+  a.bind(handler);
+  a.alui(mdp::Op::Subi, mdp::R1, mdp::R1, 1);
+  a.brz(mdp::R1, done);
+  a.sendl();
+  a.sendwi(handler);
+  a.sende();
+  a.suspend();
+  a.bind(done);
+  a.halt(mdp::R1);
+  a.suspend();
+  return a.link();
+}
+
+/// Best-of-`reps` interpretation rate (instructions/sec) for one kernel
+/// under one dispatch kind, hooks off — the raw interpreter loop.
+double instrs_per_sec(const mdp::CodeImage& img, mdp::DispatchKind d,
+                      int reps = 5) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    mdp::Machine m(img);
+    m.set_dispatch(d);
+    std::uint32_t boot[] = {mem::kSysCodeBase};
+    m.inject(mdp::Priority::Low, boot);
+    const bench::Stopwatch clock;
+    if (m.run() != mdp::RunStatus::Halted) std::abort();
+    const double rate =
+        static_cast<double>(m.instructions_executed()) / clock.seconds();
+    if (rate > best) best = rate;
+  }
+  return best;
+}
+
+/// `--dispatch` mode: classic-vs-decoded interpreter throughput report.
+int run_dispatch_report(int argc, char** argv) {
+  const bench::Stopwatch wall;
+  struct Kernel {
+    const char* name;
+    mdp::CodeImage img;
+  };
+  Kernel kernels[] = {
+      {"arith", arith_loop_image(1'000'000)},
+      {"handler", handler_loop_image(200'000)},
+  };
+  std::vector<std::pair<std::string, double>> metrics;
+  std::cout << "interpreter throughput (Minstr/s, best of 5, hooks off)\n";
+  for (const Kernel& k : kernels) {
+    const double classic =
+        instrs_per_sec(k.img, mdp::DispatchKind::Classic);
+    const double decoded =
+        instrs_per_sec(k.img, mdp::DispatchKind::Decoded);
+    std::cout << "  " << k.name << ": classic " << classic / 1e6
+              << "  decoded " << decoded / 1e6 << "  speedup "
+              << decoded / classic << "x\n";
+    metrics.emplace_back(std::string(k.name) + "_classic_minstr_per_s",
+                         classic / 1e6);
+    metrics.emplace_back(std::string(k.name) + "_decoded_minstr_per_s",
+                         decoded / 1e6);
+    metrics.emplace_back(std::string(k.name) + "_decoded_speedup",
+                         decoded / classic);
+  }
+  bench::write_json(bench::json_path_from_args(argc, argv),
+                    "micro_dispatch", wall.seconds(), metrics);
+  return 0;
+}
 
 void BM_CacheAccess(benchmark::State& state) {
   cache::SetAssocCache c(cache::CacheConfig{
@@ -96,4 +202,15 @@ BENCHMARK(BM_EndToEndWorkload)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--dispatch") {
+      return run_dispatch_report(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

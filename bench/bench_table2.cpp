@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   bench::Stopwatch clock;
   driver::RunOptions opts;
   opts.engine = args.engine;
+  opts.dispatch = args.dispatch;
   const auto pairs = bench::run_all(args.scale, opts);
   const double wall = clock.seconds();
 

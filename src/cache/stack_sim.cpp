@@ -4,17 +4,14 @@
 #include <bit>
 #include <utility>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "support/error.h"
 
 namespace jtam::cache {
 
-namespace {
-
-// Fibonacci hashing; block numbers are 24-bit addresses shifted right, so
-// the sentinel 0xFFFFFFFF never collides with a real key.
-std::uint32_t hash_block(std::uint32_t block) { return block * 2654435761u; }
-
-}  // namespace
 
 StackStream::StackStream(const std::vector<CacheConfig>& configs,
                          std::uint32_t shard, std::uint32_t num_shards)
@@ -47,7 +44,6 @@ StackStream::StackStream(const std::vector<CacheConfig>& configs,
 
   maps_.resize(set_counts.size());
   cfg_loc_.resize(configs_.size());
-  std::uint32_t max_amax = 0;
   for (std::size_t m = 0; m < set_counts.size(); ++m) {
     Mapping& mp = maps_[m];
     mp.set_mask = set_counts[m] - 1;
@@ -63,128 +59,533 @@ StackStream::StackStream(const std::vector<CacheConfig>& configs,
       mp.cfg_of.push_back(cfg);
       mp.amax = std::max(mp.amax, assoc);
     }
-    mp.heads.assign(set_counts[m], kNil);
-    mp.hits_at_pos.assign(mp.amax, 0);
-    max_amax = std::max(max_amax, mp.amax);
+    // Interleaved rows: [amax recency slots][amax clean limits] per set.
+    mp.rows.assign(static_cast<std::size_t>(set_counts[m]) * 2 * mp.amax, 0);
+    for (std::size_t s = 0; s < set_counts[m]; ++s) {
+      for (std::uint32_t j = 0; j < mp.amax; ++j) {
+        mp.rows[s * 2 * mp.amax + j] = kNil;
+      }
+    }
+    mp.hits_at_pos.assign(mp.amax + 1, 0);
+    if (mp.amax == 4 && mp.assocs.size() <= 3) {
+      // Recognize the ladder's amax-4 shapes — assocs a suffix of
+      // {1, 2, 4} — so the vector kernel can unroll the writeback checks.
+      static constexpr std::uint32_t kLadder[3] = {1, 2, 4};
+      const std::size_t k = mp.assocs.size();
+      bool suffix = true;
+      for (std::size_t a = 0; a < k; ++a) {
+        suffix = suffix && mp.assocs[a] == kLadder[3 - k + a];
+      }
+      if (suffix) mp.pat = static_cast<std::uint32_t>(k);
+    }
   }
-  walk_.resize(max_amax);
   writebacks_.assign(configs_.size(), 0);
-  h_keys_.assign(1024, kNil);
-  h_vals_.assign(1024, 0);
+}
+
+inline void StackStream::apply(Mapping& mp, std::uint32_t block,
+                               bool is_write) {
+  const std::uint32_t amax = mp.amax;
+  const std::size_t base =
+      static_cast<std::size_t>(block & mp.set_mask) * 2 * amax;
+  std::uint32_t* blk = mp.rows.data() + base;
+  std::uint32_t* lim = blk + amax;
+
+  // Scan the set's recency window.  kNil appears only at the tail, so the
+  // scan stops at the block (hit at position p), at the first empty slot
+  // (p = number of resident blocks), or at the window's end.
+  std::uint32_t p = 0;
+  while (p < amax && blk[p] != block && blk[p] != kNil) ++p;
+  const bool hit = p < amax && blk[p] == block;
+  ++mp.hits_at_pos[hit ? p : amax];  // the trailing slot absorbs misses
+
+  // Evictions: an A-way configuration misses iff the block sits at recency
+  // position >= A, and evicts iff its set is full — at least A other
+  // blocks precede this one.  Both reduce to A <= p here (on a hit p
+  // counts the preceding blocks; on a miss p counts the residents).  The
+  // victim is the LRU way, slot A-1, whose clean limit says which
+  // configurations still hold it dirty.
+  for (std::size_t a = 0; a < mp.assocs.size(); ++a) {
+    const std::uint32_t A = mp.assocs[a];
+    if (A > p) break;  // assocs ascending: later ones fail too
+    if (A > lim[A - 1]) ++writebacks_[mp.cfg_of[a]];
+  }
+
+  // Dirty-level update: a write dirties the block in every configuration;
+  // a read at position p refills it clean in the configurations that
+  // missed (assoc <= p) and leaves the rest alone.  A miss is a fresh
+  // insert — clean everywhere means limit amax — which also covers a
+  // block returning from beyond the window: it misses every
+  // configuration, so its stale limit is irrelevant.
+  const std::uint32_t limit =
+      is_write ? 0 : (hit ? std::max(lim[p], p) : amax);
+
+  // Shift the preceding blocks down one slot and install at the front.
+  // On a miss the whole window shifts; the former slot amax-1 falls off.
+  for (std::uint32_t j = hit ? p : amax - 1; j > 0; --j) {
+    blk[j] = blk[j - 1];
+    lim[j] = lim[j - 1];
+  }
+  blk[0] = block;
+  lim[0] = limit;
 }
 
 void StackStream::access_slow(std::uint32_t block, bool is_write) {
-  std::uint32_t idx = find_entry(block);
-  const bool is_new = idx == kNil;
-  if (is_new) idx = new_entry(block);
-
-  for (Mapping& mp : maps_) {
-    const std::uint32_t set = block & mp.set_mask;
-
-    // Walk the set's recency list from the MRU end, at most amax nodes —
-    // beyond that every configuration of this mapping misses anyway.
-    std::uint32_t cur = mp.heads[set];
-    std::uint32_t n = 0;
-    while (cur != kNil && cur != idx && n < mp.amax) {
-      walk_[n++] = cur;
-      cur = mp.next[cur];
-    }
-    // Recency position of the accessed block, saturated at amax.  Entries
-    // are never unlinked, so a pool entry not found within the cap is
-    // simply deeper than every configuration's ways.
-    const std::uint32_t p = (!is_new && cur == idx) ? n : mp.amax;
-    if (p < mp.amax) ++mp.hits_at_pos[p];
-
-    // Evictions: an A-way configuration misses iff p >= A, and evicts iff
-    // its set is full, i.e. at least A other blocks precede this one
-    // (n >= A).  The victim is the LRU way — the walked node at A-1.
-    for (std::size_t a = 0; a < mp.assocs.size(); ++a) {
-      const std::uint32_t A = mp.assocs[a];
-      if (A > p || A > n) break;  // assocs ascending: later ones fail too
-      const std::uint32_t victim = walk_[A - 1];
-      if (A > mp.clean_limit[victim]) ++writebacks_[mp.cfg_of[a]];
-    }
-
-    if (is_new) {
-      const std::uint32_t h = mp.heads[set];
-      mp.next.push_back(h);
-      mp.prev.push_back(kNil);
-      mp.clean_limit.push_back(is_write ? 0 : mp.amax);
-      if (h != kNil) mp.prev[h] = idx;
-      mp.heads[set] = idx;
-    } else {
-      // Splice to the front (p > 0 always: the head is the globally most
-      // recent block, and the MRU fast path already filtered repeats).
-      const std::uint32_t pr = mp.prev[idx];
-      const std::uint32_t nx = mp.next[idx];
-      if (pr == kNil) {
-        mp.heads[set] = nx;
-      } else {
-        mp.next[pr] = nx;
-      }
-      if (nx != kNil) mp.prev[nx] = pr;
-      const std::uint32_t h = mp.heads[set];
-      mp.next[idx] = h;
-      mp.prev[idx] = kNil;
-      if (h != kNil) mp.prev[h] = idx;
-      mp.heads[set] = idx;
-      // Dirty-level update: a write dirties the block in every
-      // configuration; a read at position p refills it clean in the
-      // configurations that missed (assoc <= p) and leaves the rest alone.
-      if (is_write) {
-        mp.clean_limit[idx] = 0;
-      } else if (p > mp.clean_limit[idx]) {
-        mp.clean_limit[idx] = p;
-      }
-    }
-  }
-
+  for (Mapping& mp : maps_) apply(mp, block, is_write);
   mru_block_ = block;
-  mru_entry_ = idx;
   mru_dirty_ = is_write;
 }
 
 void StackStream::mark_mru_dirty() {
-  for (Mapping& mp : maps_) mp.clean_limit[mru_entry_] = 0;
+  // The most recent access put mru_block_ at slot 0 of its set in every
+  // mapping; dirtying it is one store per mapping.
+  for (Mapping& mp : maps_) {
+    mp.rows[static_cast<std::size_t>(mru_block_ & mp.set_mask) * 2 * mp.amax +
+            mp.amax] = 0;
+  }
   mru_dirty_ = true;
 }
 
-std::uint32_t StackStream::find_entry(std::uint32_t block) const {
-  const std::uint32_t mask = static_cast<std::uint32_t>(h_keys_.size()) - 1;
-  std::uint32_t i = hash_block(block) & mask;
-  while (h_keys_[i] != kNil) {
-    if (h_keys_[i] == block) return h_vals_[i];
-    i = (i + 1) & mask;
+std::pair<std::size_t, std::uint64_t> StackStream::replay_one(Mapping& mp,
+                                                              std::size_t n) {
+  const std::uint32_t set_mask = mp.set_mask;
+  const std::uint32_t amax = mp.amax;
+  std::uint64_t* ev = slow_.data();
+  std::size_t out = 0;
+  std::uint64_t filtered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t e = ev[i];
+    const std::uint32_t block = static_cast<std::uint32_t>(e >> 2);
+    const std::size_t base =
+        static_cast<std::size_t>(block & set_mask) * 2 * amax;
+    if (e & 2u) {  // dirty mark: the block sits at slot 0 of its set
+      mp.rows[base + amax] = 0;
+      ev[out++] = e;
+      continue;
+    }
+    if (mp.rows[base] == block) {
+      // Position-0 hit: no recency change, no eviction — and by position
+      // monotonicity it stays a position-0 hit at every finer mapping, so
+      // it leaves the list (writes stay behind as plain dirty marks).
+      ++mp.hits_at_pos[0];
+      ++filtered;
+      if (e & 1u) {
+        mp.rows[base + amax] = 0;
+        ev[out++] = e | 2u;
+      }
+      continue;
+    }
+    apply(mp, block, (e & 1u) != 0);
+    ev[out++] = e;
   }
-  return kNil;
+  return {out, filtered};
 }
 
-std::uint32_t StackStream::new_entry(std::uint32_t block) {
-  if ((h_used_ + 1) * 2 > h_keys_.size()) grow_table();
-  const std::uint32_t idx = static_cast<std::uint32_t>(blocks_.size());
-  blocks_.push_back(block);
-  const std::uint32_t mask = static_cast<std::uint32_t>(h_keys_.size()) - 1;
-  std::uint32_t i = hash_block(block) & mask;
-  while (h_keys_[i] != kNil) i = (i + 1) & mask;
-  h_keys_[i] = block;
-  h_vals_[i] = idx;
-  ++h_used_;
-  return idx;
+#if defined(__SSE2__)
+namespace {
+
+// Blend masks for the recency shift: lane j takes the shifted row iff
+// j <= shift_from.
+alignas(16) constexpr std::uint32_t kKeep[4][4] = {
+    {~0u, 0u, 0u, 0u},
+    {~0u, ~0u, 0u, 0u},
+    {~0u, ~0u, ~0u, 0u},
+    {~0u, ~0u, ~0u, ~0u},
+};
+
+/// Branchless single-access update of one 4-slot set (the paper ladder's
+/// assoc-4 sizes make amax == 4 at most set counts).  One vector compare
+/// finds the hit position, the recency shift is a fixed shuffle blended
+/// under a per-position mask, and the writeback checks are unconditional
+/// flag arithmetic — no data-dependent branches for the predictor to miss.
+/// Same updates as StackStream::apply(), in the same order, so counts are
+/// bit-identical.  `hits` has 5 slots; [4] is the miss dummy.  PAT is the
+/// mapping's writeback pattern (Mapping::pat): for 1..3 the assocs are the
+/// last PAT of {1, 2, 4} and the checks unroll with the ways as
+/// constants; 0 runs the generic loop.
+/// Returns 1 on a position-0 hit (the caller's cascade filter), else 0.
+template <int PAT>
+inline std::uint32_t sse4_step(std::uint32_t* blk, std::uint32_t* lim,
+                               std::uint64_t* hits, const std::uint32_t* as,
+                               const std::uint32_t* co, std::size_t ncfg,
+                               std::uint64_t* wb, std::uint32_t block,
+                               bool is_write) {
+  const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(blk));
+  const __m128i l = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lim));
+  const __m128i key = _mm_set1_epi32(static_cast<int>(block));
+  const __m128i nil = _mm_set1_epi32(-1);
+  const int meq = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(b, key)));
+  const int mnil = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(b, nil)));
+  // Hit position, or on a miss the resident count (kNil fills the tail).
+  const std::uint32_t p =
+      meq ? static_cast<std::uint32_t>(__builtin_ctz(meq))
+          : (mnil ? static_cast<std::uint32_t>(__builtin_ctz(mnil)) : 4u);
+  ++hits[meq ? p : 4u];
+  if constexpr (PAT == 0) {
+    for (std::size_t a = 0; a < ncfg; ++a) {
+      const std::uint32_t A = as[a];
+      wb[co[a]] += static_cast<std::uint64_t>((A <= p) & (A > lim[A - 1]));
+    }
+  } else {
+    // A <= p && A > lim[A-1] with A in the tail of {1, 2, 4}.
+    if constexpr (PAT >= 3) {
+      wb[co[0]] += static_cast<std::uint64_t>((p >= 1) & (lim[0] < 1));
+    }
+    if constexpr (PAT >= 2) {
+      wb[co[PAT - 2]] += static_cast<std::uint64_t>((p >= 2) & (lim[1] < 2));
+    }
+    wb[co[PAT - 1]] += static_cast<std::uint64_t>((p >= 4) & (lim[3] < 4));
+  }
+  const std::uint32_t limit =
+      is_write ? 0 : (meq ? std::max(lim[p & 3u], p) : 4u);
+  const std::uint32_t s = meq ? p : 3u;
+  const __m128i keep =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kKeep[s]));
+  // Row shifted down one lane (lane 0 is overwritten below).
+  const __m128i bs = _mm_shuffle_epi32(b, _MM_SHUFFLE(2, 1, 0, 0));
+  const __m128i ls = _mm_shuffle_epi32(l, _MM_SHUFFLE(2, 1, 0, 0));
+  _mm_storeu_si128(
+      reinterpret_cast<__m128i*>(blk),
+      _mm_or_si128(_mm_and_si128(bs, keep), _mm_andnot_si128(keep, b)));
+  _mm_storeu_si128(
+      reinterpret_cast<__m128i*>(lim),
+      _mm_or_si128(_mm_and_si128(ls, keep), _mm_andnot_si128(keep, l)));
+  blk[0] = block;
+  lim[0] = limit;
+  return static_cast<std::uint32_t>(meq & 1);
 }
 
-void StackStream::grow_table() {
-  std::vector<std::uint32_t> keys(h_keys_.size() * 2, kNil);
-  std::vector<std::uint32_t> vals(h_vals_.size() * 2, 0);
-  const std::uint32_t mask = static_cast<std::uint32_t>(keys.size()) - 1;
-  for (std::size_t i = 0; i < h_keys_.size(); ++i) {
-    if (h_keys_[i] == kNil) continue;
-    std::uint32_t j = hash_block(h_keys_[i]) & mask;
-    while (keys[j] != kNil) j = (j + 1) & mask;
-    keys[j] = h_keys_[i];
-    vals[j] = h_vals_[i];
+}  // namespace
+
+/// Replay pass over the 4-slot mappings using the branchless kernel.  With
+/// RW false (instruction stream) every entry is a plain read: the dirty
+/// mark and write-conversion paths compile out.
+template <int PAT, bool RW>
+std::pair<std::size_t, std::uint64_t> StackStream::replay_sse4(
+    Mapping& mp, std::size_t n) {
+  const std::uint32_t set_mask = mp.set_mask;
+  std::uint32_t* rows = mp.rows.data();
+  std::uint64_t* hits = mp.hits_at_pos.data();
+  const std::uint32_t* as = mp.assocs.data();
+  const std::uint32_t* co = mp.cfg_of.data();
+  const std::size_t ncfg = mp.assocs.size();
+  std::uint64_t* wb = writebacks_.data();
+  std::uint64_t* ev = slow_.data();
+  std::size_t out = 0;
+  std::uint64_t filtered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t e = ev[i];
+    if (i + 8 < n) {
+      // The entry stream is sequential but the set rows it lands on are
+      // not; get the row a few entries ahead moving toward L1.
+      const std::uint32_t nb = static_cast<std::uint32_t>(ev[i + 8] >> 2);
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       rows + static_cast<std::size_t>(nb & set_mask) * 8),
+                   _MM_HINT_T0);
+    }
+    const std::uint32_t block = static_cast<std::uint32_t>(e >> 2);
+    const std::size_t base = static_cast<std::size_t>(block & set_mask) * 8;
+    std::uint32_t* blk = rows + base;
+    std::uint32_t* lim = blk + 4;
+    if (RW && (e & 2u)) {  // dirty mark: the block sits at slot 0
+      lim[0] = 0;
+      ev[out++] = e;
+      continue;
+    }
+    // The kernel handles a position-0 hit with exactly the cascade
+    // filter's state updates (hit counted at 0, no writeback, limit
+    // preserved on a read / zeroed on a write, recency unchanged), so it
+    // runs unconditionally and just reports the flag; the drop/convert
+    // decision below is branch-free — the p0-hit pattern is data-dependent
+    // and mispredicts when tested.
+    const std::uint32_t w1 = RW ? static_cast<std::uint32_t>(e & 1u) : 0u;
+    const std::uint32_t p0 =
+        sse4_step<PAT>(blk, lim, hits, as, co, ncfg, wb, block, w1 != 0);
+    filtered += p0;
+    // p0 reads leave the list; p0 writes stay behind as dirty marks.
+    ev[out] = e | (static_cast<std::uint64_t>(p0) << 1);
+    out += 1u - (p0 & (1u - w1));
   }
-  h_keys_ = std::move(keys);
-  h_vals_ = std::move(vals);
+  return {out, filtered};
+}
+#endif  // __SSE2__
+
+// The batched feeds split the work the per-event access() interleaves:
+// pass 1 runs the MRU and position-0 filters over the whole batch (keeping
+// the coarsest mapping live as it goes), recording the surviving accesses
+// — and the clean->dirty transitions of filtered hits, which must land in
+// order — in `slow_`; pass 2 replays that list once per remaining mapping.
+// Same updates in the same order per mapping, so counts are bit-identical
+// to per-event feeding — but the per-mapping state stays hot in registers
+// and cache across the batch instead of being revisited per access.
+template <bool RW>
+void StackStream::replay(std::size_t n, std::uint64_t pos0) {
+  std::uint64_t pos0_cum = pos0;  // entries filtered by coarser mappings
+  for (std::size_t m = 2; m < maps_.size(); ++m) {
+    Mapping& mp = maps_[m];
+    // Everything a coarser mapping filtered was a position-0 hit here too.
+    mp.hits_at_pos[0] += pos0_cum;
+    std::pair<std::size_t, std::uint64_t> r;
+#if defined(__SSE2__)
+    if (mp.amax == 4) {
+      switch (mp.pat) {
+        case 1: r = replay_sse4<1, RW>(mp, n); break;
+        case 2: r = replay_sse4<2, RW>(mp, n); break;
+        case 3: r = replay_sse4<3, RW>(mp, n); break;
+        default: r = replay_sse4<0, RW>(mp, n); break;
+      }
+    } else {
+      r = replay_one(mp, n);
+    }
+#else
+    r = replay_one(mp, n);
+#endif
+    n = r.first;
+    pos0_cum += r.second;
+  }
+}
+
+// Pass 1 keeps the two coarsest mappings live.  Set refinement makes
+// recency positions monotone across mappings (the blocks preceding an
+// access in a finer mapping's set are a subset of those in a coarser
+// one's, so p_fine <= p_coarse), hence a block at the front of its set in
+// a coarse mapping sits at position 0 in *every* finer mapping — a
+// universal hit that changes no recency order and evicts nothing:
+//
+//  * At maps_[0] such a hit needs no per-mapping work at all:
+//    mru_repeats_ already feeds position 0 of every configuration in
+//    stats_for(), and a write only needs the ordered dirty-mark.
+//  * At maps_[1] the hit is recorded in its own histogram and counted in
+//    `pos0`, which replay() bulk-credits to the finer mappings.
+//
+// Entries filtered at either level never touch the scratch list, and
+// replay() starts at maps_[2] — the two longest per-mapping passes are
+// folded into this single walk over the words.
+void StackStream::fetch_block(const std::uint32_t* words, std::size_t n) {
+  if (slow_.size() < n) slow_.resize(n);  // grown once to the batch bound
+  std::uint64_t* dst = slow_.data();
+  Mapping& m0 = maps_.front();
+  Mapping* m1 = maps_.size() > 1 ? &maps_[1] : nullptr;
+  std::uint64_t pos0 = 0;
+  // Hot members and mapping fields cached in locals for the walk: the row
+  // stores could alias *this for all the compiler knows, so the member
+  // forms would reload and re-store them on every word.
+  const std::uint32_t bshift = block_shift_;
+  const std::uint32_t smask = shard_mask_, shard = shard_;
+  std::uint32_t mru = mru_block_;
+  std::uint64_t acc = 0, rep = 0;
+  const std::uint32_t mask0 = m0.set_mask, amax0 = m0.amax;
+  std::uint32_t* const rows0 = m0.rows.data();
+  std::uint64_t* const h0 = m0.hits_at_pos.data();
+  const std::uint32_t* const as0 = m0.assocs.data();
+  const std::uint32_t* const co0 = m0.cfg_of.data();
+  const std::size_t nc0 = m0.assocs.size();
+  const std::uint32_t mask1 = m1 != nullptr ? m1->set_mask : 0;
+  const std::uint32_t amax1 = m1 != nullptr ? m1->amax : 0;
+  std::uint32_t* const rows1 = m1 != nullptr ? m1->rows.data() : nullptr;
+  std::uint64_t* const h1 = m1 != nullptr ? m1->hits_at_pos.data() : nullptr;
+  const std::uint32_t* const as1 = m1 != nullptr ? m1->assocs.data() : nullptr;
+  const std::uint32_t* const co1 = m1 != nullptr ? m1->cfg_of.data() : nullptr;
+  const std::size_t nc1 = m1 != nullptr ? m1->assocs.size() : 0;
+  std::uint64_t* const wb = writebacks_.data();
+  // Read-only pass 1: fetches never dirty anything, so the filters reduce
+  // to their hit counts — no dirty-state tracking, no mark entries, and
+  // every recorded entry is a plain read.  Block sizes are at least one
+  // word, so the shift alone discards the metadata bits.
+  for (std::size_t i = 0; i < n;) {
+    const std::uint32_t block = words[i] >> bshift;
+    ++i;
+    if ((block & smask) != shard) continue;
+    ++acc;
+    if (block == mru) {
+      ++rep;
+      if (smask == 0) {
+        // Serial shard: the MRU block is simply the previous word's
+        // block, so repeats form runs of equal block numbers — sequential
+        // code fetches many instructions per block.  Skip the run with a
+        // compare-only scan; nothing but the counters changes.
+#if defined(__SSE2__)
+        const __m128i key = _mm_set1_epi32(static_cast<int>(block));
+        const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(bshift));
+        while (i + 4 <= n) {
+          const __m128i w =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + i));
+          const __m128i b4 = _mm_srl_epi32(w, sh);
+          if (_mm_movemask_ps(
+                  _mm_castsi128_ps(_mm_cmpeq_epi32(b4, key))) != 0xF) {
+            break;
+          }
+          i += 4;
+          rep += 4;
+          acc += 4;
+        }
+#endif
+        while (i < n && (words[i] >> bshift) == block) {
+          ++i;
+          ++rep;
+          ++acc;
+        }
+      }
+      continue;
+    }
+    const std::size_t base0 =
+        static_cast<std::size_t>(block & mask0) * 2 * amax0;
+    mru = block;
+    if (rows0[base0] == block) {
+      ++rep;  // position-0 hit in every mapping
+      continue;
+    }
+#if defined(__SSE2__)
+    if (amax0 == 4) {
+      sse4_step<0>(rows0 + base0, rows0 + base0 + 4, h0, as0, co0, nc0, wb,
+                   block, false);
+    } else {
+      apply(m0, block, false);
+    }
+#else
+    apply(m0, block, false);
+#endif
+    if (m1 == nullptr) continue;
+    const std::size_t base1 =
+        static_cast<std::size_t>(block & mask1) * 2 * amax1;
+    if (rows1[base1] == block) {
+      ++h1[0];  // position-0 hit at mapping 1 and finer
+      ++pos0;
+      continue;
+    }
+#if defined(__SSE2__)
+    if (amax1 == 4) {
+      sse4_step<0>(rows1 + base1, rows1 + base1 + 4, h1, as1, co1, nc1, wb,
+                   block, false);
+    } else {
+      apply(*m1, block, false);
+    }
+#else
+    apply(*m1, block, false);
+#endif
+    *dst++ = static_cast<std::uint64_t>(block) << 2;
+  }
+  accesses_ += acc;
+  mru_repeats_ += rep;
+  mru_block_ = mru;
+  replay<false>(static_cast<std::size_t>(dst - slow_.data()), pos0);
+}
+
+void StackStream::data_block(const std::uint32_t* words, std::size_t n) {
+  if (slow_.size() < n) slow_.resize(n);
+  std::uint64_t* dst = slow_.data();
+  Mapping& m0 = maps_.front();
+  Mapping* m1 = maps_.size() > 1 ? &maps_[1] : nullptr;
+  std::uint64_t pos0 = 0;
+  // Same local caching as fetch_block, plus the MRU dirty bit.
+  const std::uint32_t bshift = block_shift_;
+  const std::uint32_t smask = shard_mask_, shard = shard_;
+  std::uint32_t mru = mru_block_;
+  bool mdirty = mru_dirty_;
+  std::uint64_t acc = 0, rep = 0;
+  const std::uint32_t mask0 = m0.set_mask, amax0 = m0.amax;
+  std::uint32_t* const rows0 = m0.rows.data();
+  std::uint64_t* const h0 = m0.hits_at_pos.data();
+  const std::uint32_t* const as0 = m0.assocs.data();
+  const std::uint32_t* const co0 = m0.cfg_of.data();
+  const std::size_t nc0 = m0.assocs.size();
+  const std::uint32_t mask1 = m1 != nullptr ? m1->set_mask : 0;
+  const std::uint32_t amax1 = m1 != nullptr ? m1->amax : 0;
+  std::uint32_t* const rows1 = m1 != nullptr ? m1->rows.data() : nullptr;
+  std::uint64_t* const h1 = m1 != nullptr ? m1->hits_at_pos.data() : nullptr;
+  const std::uint32_t* const as1 = m1 != nullptr ? m1->assocs.data() : nullptr;
+  const std::uint32_t* const co1 = m1 != nullptr ? m1->cfg_of.data() : nullptr;
+  const std::size_t nc1 = m1 != nullptr ? m1->assocs.size() : 0;
+  std::uint64_t* const wb = writebacks_.data();
+  for (std::size_t i = 0; i < n;) {
+    const std::uint32_t block = words[i] >> bshift;
+    const bool is_write = (words[i] & 1u) != 0;
+    ++i;
+    if ((block & smask) != shard) continue;
+    ++acc;
+    if (block == mru) {
+      ++rep;
+      if (is_write && !mdirty) {
+        // Clean->dirty transition of the block at the front of every set:
+        // the live mappings take the limit store now, the finer ones get
+        // an ordered dirty-mark.
+        mdirty = true;
+        rows0[static_cast<std::size_t>(block & mask0) * 2 * amax0 + amax0] =
+            0;
+        if (m1 != nullptr) {
+          rows1[static_cast<std::size_t>(block & mask1) * 2 * amax1 +
+                amax1] = 0;
+        }
+        *dst++ = (static_cast<std::uint64_t>(block) << 2) | 3u;
+      }
+      if (smask == 0) {
+        // Serial-shard run skip, as in fetch_block — but a run may only
+        // be consumed while no state change is due, so it stops at the
+        // first clean write (the outer iteration then takes the
+        // transition through the branch above).
+        while (i < n && (words[i] >> bshift) == block &&
+               (mdirty || (words[i] & 1u) == 0)) {
+          ++i;
+          ++rep;
+          ++acc;
+        }
+      }
+      continue;
+    }
+    const std::size_t base0 =
+        static_cast<std::size_t>(block & mask0) * 2 * amax0;
+    mru = block;
+    mdirty = is_write;
+    if (rows0[base0] == block) {
+      ++rep;  // position-0 hit in every mapping
+      if (is_write) {
+        rows0[base0 + amax0] = 0;
+        if (m1 != nullptr) {
+          rows1[static_cast<std::size_t>(block & mask1) * 2 * amax1 +
+                amax1] = 0;
+        }
+        *dst++ = (static_cast<std::uint64_t>(block) << 2) | 3u;
+      }
+      continue;
+    }
+#if defined(__SSE2__)
+    if (amax0 == 4) {
+      sse4_step<0>(rows0 + base0, rows0 + base0 + 4, h0, as0, co0, nc0, wb,
+                   block, is_write);
+    } else {
+      apply(m0, block, is_write);
+    }
+#else
+    apply(m0, block, is_write);
+#endif
+    if (m1 == nullptr) continue;
+    const std::size_t base1 =
+        static_cast<std::size_t>(block & mask1) * 2 * amax1;
+    if (rows1[base1] == block) {
+      ++h1[0];  // position-0 hit at mapping 1 and finer
+      ++pos0;
+      if (is_write) {
+        rows1[base1 + amax1] = 0;
+        *dst++ = (static_cast<std::uint64_t>(block) << 2) | 3u;
+      }
+      continue;
+    }
+#if defined(__SSE2__)
+    if (amax1 == 4) {
+      sse4_step<0>(rows1 + base1, rows1 + base1 + 4, h1, as1, co1, nc1, wb,
+                   block, is_write);
+    } else {
+      apply(*m1, block, is_write);
+    }
+#else
+    apply(*m1, block, is_write);
+#endif
+    *dst++ = (static_cast<std::uint64_t>(block) << 2) | (is_write ? 1u : 0u);
+  }
+  accesses_ += acc;
+  mru_repeats_ += rep;
+  mru_block_ = mru;
+  mru_dirty_ = mdirty;
+  replay<true>(static_cast<std::size_t>(dst - slow_.data()), pos0);
 }
 
 CacheStats StackStream::stats_for(std::size_t c) const {

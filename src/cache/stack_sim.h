@@ -9,13 +9,21 @@
 //    group every set mapping is a power-of-two mask of the block number, so
 //    the mappings are nested: blocks that share a set under S sets also
 //    share one under any S' < S ("set refinement").
-//  * Per set mapping the simulator keeps true-LRU recency lists.  An A-way
+//  * Per set mapping the simulator keeps true-LRU recency order.  An A-way
 //    set of that mapping holds exactly the A most recently used blocks of
 //    the set (the LRU inclusion property), so an access at recency position
 //    p hits every configuration with assoc > p and misses the rest — one
-//    bounded list walk (at most max-assoc nodes) replaces a probe per
+//    bounded scan (at most max-assoc entries) replaces a probe per
 //    configuration, and one `hits_at_pos` histogram per mapping yields the
-//    hit count of every ladder size at that mapping.
+//    hit count of every ladder size at that mapping.  Because no
+//    configuration of the mapping can see deeper than max-assoc, each set
+//    stores only its max-assoc most recent blocks, in recency order, as a
+//    small flat array — blocks that fall off the end simply drop out, and a
+//    returning block is indistinguishable from a brand-new one (it misses
+//    everywhere and refills clean on a read / dirty on a write either way).
+//    The flat rows replace the per-access hash lookup and the intrusive
+//    linked-list walks of the earlier engine with a few contiguous words
+//    per mapping, which is where this engine's speed comes from.
 //  * Write-backs fall out of the same pass via a per-entry *clean limit*
 //    (Thompson & Smith's dirty-level technique): after a write the limit is
 //    0; each read at recency position p raises it to max(limit, p), because
@@ -37,6 +45,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.h"
@@ -71,20 +80,14 @@ class StackStream {
   }
 
   /// Batched instruction-fetch stream in mdp::TraceBuffer encoding (bit 0
-  /// carries the priority level; the block shift discards it).
-  void fetch_block(const std::uint32_t* words, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      access(words[i] & ~3u, /*is_write=*/false);
-    }
-  }
+  /// carries the priority level; the block shift discards it).  The
+  /// batched feeds run MRU filtering and the per-mapping updates as two
+  /// separate passes (see replay()), bit-identical to per-event access().
+  void fetch_block(const std::uint32_t* words, std::size_t n);
 
   /// Batched data stream in mdp::TraceBuffer encoding (bit 0 = is_write,
   /// bit 1 = priority level).
-  void data_block(const std::uint32_t* words, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      access(words[i] & ~3u, (words[i] & 1u) != 0);
-    }
-  }
+  void data_block(const std::uint32_t* words, std::size_t n);
 
   /// Counts for configuration `c` (index into the constructor's vector),
   /// restricted to this shard's accesses.
@@ -95,31 +98,58 @@ class StackStream {
  private:
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
-  /// One set mapping (a distinct set count within the group) with its
-  /// intrusive per-set recency lists and hit-depth histogram.
+  /// One set mapping (a distinct set count within the group).  `blocks`
+  /// holds, per set, the set's amax most recent blocks in recency order
+  /// (row stride amax, kNil only at the tail) and `limits` the parallel
+  /// clean limits.  The LRU inclusion property makes this window lossless:
+  /// a block pushed past position amax-1 can never hit again, and when it
+  /// returns its refill state (clean on read, dirty on write) is exactly a
+  /// fresh insert's, so forgetting it changes no count.
   struct Mapping {
     std::uint32_t set_mask = 0;  // num_sets - 1
     std::uint32_t amax = 0;      // largest assoc among configs here
+    /// Writeback-check pattern for the vector kernel: k in 1..3 means
+    /// `assocs` is the last k of {1, 2, 4} (the paper ladder's amax-4
+    /// shapes), letting the checks unroll with compile-time ways; 0 means
+    /// any other shape (generic loop).
+    std::uint32_t pat = 0;
     std::vector<std::uint32_t> assocs;  // ascending, one per config
     std::vector<std::uint32_t> cfg_of;  // config index per `assocs` entry
-    std::vector<std::uint32_t> heads;   // per set: MRU entry or kNil
-    // Parallel to the entry pool:
-    std::vector<std::uint32_t> next, prev;
-    std::vector<std::uint32_t> clean_limit;  // dirty iff assoc > clean_limit
-    std::vector<std::uint64_t> hits_at_pos;  // [recency position] < amax
+    /// Per set, one contiguous row of 2*amax words: the amax recency
+    /// slots, then their clean limits.  Interleaving keeps each set's
+    /// whole state on one cache line (32 bytes for the ladder's amax 4).
+    std::vector<std::uint32_t> rows;
+    /// [recency position] < amax, plus one trailing dummy slot that
+    /// absorbs unconditional increments on misses (never read back).
+    std::vector<std::uint64_t> hits_at_pos;
   };
 
+  void apply(Mapping& mp, std::uint32_t block, bool is_write);
   void access_slow(std::uint32_t block, bool is_write);
   void mark_mru_dirty();
-  std::uint32_t find_entry(std::uint32_t block) const;
-  std::uint32_t new_entry(std::uint32_t block);
-  void grow_table();
+  /// Pass 2 over slow_[0..n), starting at maps_[2] — pass 1 keeps the two
+  /// coarsest mappings live.  `pos0` is the number of accesses pass 1
+  /// filtered at mapping 1's position 0; they are position-0 hits at every
+  /// finer mapping too.  RW says whether the batch can contain writes or
+  /// dirty marks: the instruction stream never does (fetches are reads),
+  /// so its replay compiles without the mark and dirty-conversion logic
+  /// entirely.
+  template <bool RW>
+  void replay(std::size_t n, std::uint64_t pos0);
+  /// One mapping's replay pass over slow_[0..n).  Compacts the list in
+  /// place (position-0 reads drop out, position-0 writes become marks) and
+  /// returns {entries kept, position-0 hits filtered out}.
+  std::pair<std::size_t, std::uint64_t> replay_one(Mapping& mp,
+                                                   std::size_t n);
+  /// Vector variant for amax == 4; PAT is the mapping's `pat`.
+  template <int PAT, bool RW>
+  std::pair<std::size_t, std::uint64_t> replay_sse4(Mapping& mp,
+                                                    std::size_t n);
 
   std::uint32_t block_shift_ = 0;
   std::uint32_t shard_ = 0;
   std::uint32_t shard_mask_ = 0;
   std::uint32_t mru_block_ = kNil;  // block of the last access in-shard
-  std::uint32_t mru_entry_ = 0;
   bool mru_dirty_ = false;
   std::uint64_t accesses_ = 0;
   std::uint64_t mru_repeats_ = 0;  // position-0 hits taken on the fast path
@@ -132,11 +162,12 @@ class StackStream {
   std::vector<CfgLoc> cfg_loc_;        // per config: its mapping + ways
   std::vector<Mapping> maps_;
   std::vector<std::uint64_t> writebacks_;  // per config
-  std::vector<std::uint32_t> blocks_;      // entry pool: block number
-  std::vector<std::uint32_t> walk_;        // scratch: first <= amax nodes
-  std::vector<std::uint32_t> h_keys_;      // open-addressed block -> entry
-  std::vector<std::uint32_t> h_vals_;
-  std::size_t h_used_ = 0;
+  /// Batched-feed scratch: the accesses that survived the MRU filter, in
+  /// order, packed (block << 2) | dirty_mark << 1 | is_write.  Used as a
+  /// raw buffer — sized to the largest batch once, entry count passed to
+  /// replay() explicitly — so pass 1 appends with a bare pointer instead
+  /// of push_back.
+  std::vector<std::uint64_t> slow_;
 };
 
 /// Drop-in engine behind the cache ladder: same configuration list and

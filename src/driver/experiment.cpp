@@ -92,6 +92,7 @@ PreparedRun prepare_run(const programs::Workload& w, const RunOptions& opts) {
   mcfg.queue_bytes = opts.queue_bytes;
   mcfg.max_instructions = opts.max_instructions;
   out.machine = std::make_unique<mdp::Machine>(out.compiled.image, mcfg);
+  out.machine->set_dispatch(opts.dispatch);
   mdp::Machine& m = *out.machine;
   install_runtime_state(m, out.compiled);
 
@@ -261,6 +262,7 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   mc.link_buffer_flits = mopts.link_buffer_flits;
   mc.queue_bytes = opts.queue_bytes;
   mc.max_rounds = opts.max_instructions;
+  mc.dispatch = opts.dispatch;
   mdp::MultiMachine mm(cp.image, mc);
 
   // Attach the causal tracer before any boot message is injected, so the

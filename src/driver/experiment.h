@@ -57,6 +57,12 @@ struct RunOptions {
   /// Both produce bit-identical counts; Classic remains the equivalence
   /// baseline and the only engine of the seed per-event path.
   CacheEngine engine = CacheEngine::Stack;
+  /// Interpreter engine.  `Decoded` (default) runs the pre-decoded micro-op
+  /// engine with token-threaded dispatch and superblock chaining
+  /// (src/mdp/dispatch.cpp); `Classic` is the seed per-step
+  /// fetch/decode/switch loop, kept as the equivalence baseline.  Both
+  /// produce bit-identical results (tests/interp_test.cpp).
+  mdp::DispatchKind dispatch = mdp::DispatchKind::Decoded;
   /// Batched SoA trace blocks (default) vs the seed's per-event TraceSink
   /// path, kept as the equivalence baseline.
   bool batched_trace = true;

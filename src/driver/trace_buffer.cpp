@@ -44,7 +44,29 @@ void replay_block(const mdp::TraceBuffer& buf, Sink* sink) {
 }  // namespace
 
 void StatsReplay::on_block(const mdp::TraceBuffer& buf) {
-  replay_block(buf, sink_);
+  // Same fetch/mark interleaving as replay_block, but the fetches between
+  // consecutive marks go to the sink as one span: contexts change only at
+  // marks, so StatsSink can attribute each span in bulk (bit-identical —
+  // every stats counter is an order-independent sum).
+  const auto& fetch = buf.fetch();
+  const auto& marks = buf.marks();
+  const std::size_t nf = fetch.size();
+  std::size_t mi = 0;
+  std::size_t i = 0;
+  while (i < nf || mi < marks.size()) {
+    while (mi < marks.size() && marks[mi].fetch_pos == i) {
+      const auto& m = marks[mi++];
+      sink_->on_mark(static_cast<mdp::MarkKind>(m.kind), m.aux,
+                     static_cast<mdp::Priority>(m.level));
+    }
+    if (i >= nf) break;  // only trailing marks were left, now drained
+    const std::size_t end =
+        mi < marks.size() ? std::min<std::size_t>(marks[mi].fetch_pos, nf)
+                          : nf;
+    sink_->on_fetch_span(fetch.data() + i, end - i);
+    i = end;
+  }
+  sink_->on_data_span(buf.data().data(), buf.data().size());
 }
 
 void SinkReplay::on_block(const mdp::TraceBuffer& buf) {

@@ -77,7 +77,7 @@ CodeImage Assembler::link() const {
     for (const Pending& p : src) {
       Instr i = p.instr;
       if (p.has_fixup) {
-        i.imm = static_cast<std::int32_t>(labels_[p.label_id].addr);
+        i.imm = as_i(labels_[p.label_id].addr);
       }
       dst.push_back(i);
     }

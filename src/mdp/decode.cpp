@@ -1,0 +1,59 @@
+#include "mdp/decode.h"
+
+namespace jtam::mdp {
+
+void DecodedCache::decode_section(const std::vector<Instr>& code,
+                                  mem::Addr base, std::vector<Uop>& out) {
+  out.clear();
+  out.reserve(code.size() + 1);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Instr& in = code[i];
+    Uop u;
+    u.token = static_cast<std::uint16_t>(in.op);
+    u.rd = in.rd;
+    u.rs = in.rs;
+    u.rt = in.rt;
+    u.addr = base + static_cast<mem::Addr>(i) * mem::kWordBytes;
+    u.imm = as_u(in.imm);
+    u.off = as_u(in.off);
+    u.handler = labels_ != nullptr ? labels_[u.token] : nullptr;
+    out.push_back(u);
+  }
+  // Sentinel: executing past the last instruction of the section raises the
+  // classic unmapped-fetch fault at exactly this address.
+  Uop guard;
+  guard.token = kTokFault;
+  guard.addr = base + static_cast<mem::Addr>(code.size()) * mem::kWordBytes;
+  guard.handler = labels_ != nullptr ? labels_[kTokFault] : nullptr;
+  out.push_back(guard);
+}
+
+void DecodedCache::ensure(const CodeImage& image, const void* const* labels) {
+  if (valid_ && labels_ == labels) return;
+  labels_ = labels;
+  sys_n_ = image.sys_code.size();
+  user_n_ = image.user_code.size();
+  decode_section(image.sys_code, mem::kSysCodeBase, sys_);
+  decode_section(image.user_code, mem::kUserCodeBase, user_);
+  // Second pass: resolve direct branch targets now that both sections are
+  // at their final addresses.  An unresolvable target stays null — the
+  // fault fires only if the branch is *taken*, matching the classic
+  // engine, which only ever faults on the fetch it actually performs.
+  for (std::vector<Uop>* sec : {&sys_, &user_}) {
+    for (Uop& u : *sec) {
+      switch (static_cast<Op>(u.token)) {
+        case Op::Br:
+        case Op::Brz:
+        case Op::Brnz:
+        case Op::Call:
+          u.targ = lookup(u.imm);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  valid_ = true;
+}
+
+}  // namespace jtam::mdp

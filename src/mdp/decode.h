@@ -1,0 +1,96 @@
+// Decoded micro-op cache for the MDP interpreter.
+//
+// The classic interpreter (Machine::exec) pays per *dynamic* instruction for
+// work that only depends on the *static* instruction: the two-range bounds
+// check of code_at, the Mark/SendE special-case tests, the signed/unsigned
+// immediate conversions, and the 60+-case switch dispatch.  This module
+// performs that work once per code address: every Instr of the loaded
+// CodeImage is decoded into a Uop holding its dispatch token, register
+// indices, pre-converted immediates, its own address, a direct handler
+// pointer (a computed-goto label on GCC/Clang, see src/mdp/dispatch.cpp),
+// and — for direct branches — a pre-resolved pointer to the target Uop.
+//
+// Layout mirrors the image: one flat Uop array per code section, parallel
+// to CodeImage::{sys_code, user_code}, each terminated by a kTokFault
+// sentinel whose address is the first word past the section.  Straight-line
+// execution is therefore `++u`; falling off the end of a section lands on
+// the sentinel, which raises exactly the classic engine's
+// "instruction fetch from unmapped address" fault.
+//
+// Invalidation: data writes can never reach code regions (check_data_addr
+// admits only sys-data and user-data), so the steams that can change code
+// are host-side only — Machine::patch_code and Machine::load_image — and
+// both call invalidate().  The next run_steps re-decodes the whole image;
+// stale micro-ops are unreachable (tests/interp_test.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdp/assembler.h"
+#include "mdp/isa.h"
+#include "mem/memory_map.h"
+
+namespace jtam::mdp {
+
+/// Dispatch token: the Op value, plus one out-of-band sentinel.
+inline constexpr std::uint16_t kTokFault = kNumOps;
+inline constexpr int kNumTokens = kNumOps + 1;
+
+/// One pre-decoded instruction (micro-op).
+struct Uop {
+  std::uint16_t token = kTokFault;  // Op as an integer, or kTokFault
+  std::uint8_t rd = 0;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  mem::Addr addr = 0;       // this instruction's code address
+  std::uint32_t imm = 0;    // as_u(Instr::imm): address/immediate bits
+  std::uint32_t off = 0;    // as_u(Instr::off): byte offset for Ld/St/Sti/Ldm
+  const void* handler = nullptr;  // threaded-dispatch label (may be null)
+  const Uop* targ = nullptr;      // Br/Brz/Brnz/Call target (null = faults)
+
+  std::int32_t imm_s() const { return as_i(imm); }
+};
+
+/// The per-machine decoded image.  Rebuilt lazily by ensure(); owners call
+/// invalidate() on every seam that can change code.
+class DecodedCache {
+ public:
+  /// Decode `image` if needed.  `labels` is the dispatch label table of the
+  /// running engine (kNumTokens entries, indexed by token) or nullptr for
+  /// the switch fallback; a label-table change forces a re-decode so Uops
+  /// never carry labels of a stale engine instantiation.
+  void ensure(const CodeImage& image, const void* const* labels);
+
+  /// Drop all decoded state.  Cheap; the next ensure() re-decodes.
+  void invalidate() { valid_ = false; }
+
+  /// Micro-op at code address `a`, or nullptr when `a` is unaligned or
+  /// outside the decoded sections — the caller raises the classic fetch
+  /// fault (Machine::fault_fetch) with the same message code_at used.
+  const Uop* lookup(mem::Addr a) const {
+    if ((a & 3u) != 0) return nullptr;
+    if (a >= mem::kSysCodeBase) {
+      const std::size_t i = (a - mem::kSysCodeBase) / mem::kWordBytes;
+      if (i < sys_n_) return &sys_[i];
+    }
+    if (a >= mem::kUserCodeBase) {
+      const std::size_t i = (a - mem::kUserCodeBase) / mem::kWordBytes;
+      if (i < user_n_) return &user_[i];
+    }
+    return nullptr;
+  }
+
+ private:
+  void decode_section(const std::vector<Instr>& code, mem::Addr base,
+                      std::vector<Uop>& out);
+
+  bool valid_ = false;
+  const void* const* labels_ = nullptr;
+  std::size_t sys_n_ = 0;   // decodable uops, excluding the fault sentinel
+  std::size_t user_n_ = 0;
+  std::vector<Uop> sys_;
+  std::vector<Uop> user_;
+};
+
+}  // namespace jtam::mdp

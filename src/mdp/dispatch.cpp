@@ -1,0 +1,541 @@
+// Decoded micro-op engine: token-threaded dispatch with superblock chaining.
+//
+// This is the hot loop of the whole simulator.  It executes the pre-decoded
+// Uop stream (src/mdp/decode.h) instead of re-deriving everything from the
+// Instr at every dynamic instruction, and it chains straight-line runs —
+// *superblocks* — without re-entering the per-step scheduler bookkeeping.
+//
+// Dispatch is a computed goto on GCC/Clang (each Uop carries the label of
+// its handler, so dispatching is one indirect jump with per-site branch
+// prediction); define JTAM_NO_COMPUTED_GOTO to build the portable
+// switch-threaded fallback instead.  Both forms share one set of handler
+// bodies through the OP()/JTAM_DISPATCH() macros below.
+//
+// Superblock boundaries — the only points where the scheduler can change
+// which level runs next — follow from Machine::pick():
+//
+//   * HALT        (run over),
+//   * SUSPEND     (level goes inactive; dispatch pulls the next message),
+//   * SENDE       (queues change: a local send can make the high queue
+//                  non-empty and preempt, and a stalled remote send burns
+//                  the step without executing), and
+//   * EINT        (preemption by an already-pending high message becomes
+//                  legal mid-handler).
+//
+// Everything else chains: queues only change through SENDE, preemption
+// only becomes possible through EINT, and network deliveries land between
+// run_steps calls — so ALU ops, moves, memory ops, branches (direct and
+// indirect), MARK, DINT, and message composition are safe to run
+// back-to-back.  Every chained instruction still performs exactly the
+// classic per-instruction work in the classic order: one fetch event, one
+// instruction count, one flow hook, one ip update, one budget charge —
+// bit-identical counters, trace streams, and fault state
+// (tests/interp_test.cpp).
+//
+// Faults keep classic timing: a branch to an invalid address faults when
+// the *next* fetch would execute, never before the branch itself is charged
+// — if the branch exhausts the budget, the run returns Budget and the fault
+// waits for the next call, exactly like the seed loop.
+
+#include "mdp/machine.h"
+#include "support/error.h"
+
+namespace jtam::mdp {
+
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(JTAM_NO_COMPUTED_GOTO)
+#define JTAM_THREADED_DISPATCH 1
+#else
+#define JTAM_THREADED_DISPATCH 0
+#endif
+
+RunStatus Machine::run_steps_decoded(std::uint64_t n) {
+#if JTAM_THREADED_DISPATCH
+  // Token-indexed handler labels.  Order must mirror the Op enumerators
+  // exactly, with the fetch-fault sentinel last; the static_assert keeps
+  // the table in lockstep with the ISA, so adding an Op without a handler
+  // fails to compile instead of falling through the dispatch table.
+  static const void* const kLabels[] = {
+      &&lab_Nop,    &&lab_Halt,   &&lab_Add,    &&lab_Sub,    &&lab_Mul,
+      &&lab_Divs,   &&lab_Mods,   &&lab_And,    &&lab_Or,     &&lab_Xor,
+      &&lab_Shl,    &&lab_Shr,    &&lab_Slt,    &&lab_Sle,    &&lab_Seq,
+      &&lab_Sne,    &&lab_Addi,   &&lab_Subi,   &&lab_Muli,   &&lab_Andi,
+      &&lab_Ori,    &&lab_Shli,   &&lab_Shri,   &&lab_Slti,   &&lab_Movi,
+      &&lab_Mov,    &&lab_Fadd,   &&lab_Fsub,   &&lab_Fmul,   &&lab_Fdiv,
+      &&lab_Flt,    &&lab_Feq,    &&lab_Itof,   &&lab_Ftoi,   &&lab_Ld,
+      &&lab_St,     &&lab_Sti,    &&lab_Ldg,    &&lab_Stg,    &&lab_Ldm,
+      &&lab_Br,     &&lab_Brz,    &&lab_Brnz,   &&lab_Jmp,    &&lab_Call,
+      &&lab_Callr,  &&lab_Ret,    &&lab_SendH,  &&lab_SendL,  &&lab_SendW,
+      &&lab_SendWi, &&lab_SendD,  &&lab_SendDr, &&lab_SendE,  &&lab_Suspend,
+      &&lab_Eint,   &&lab_Dint,   &&lab_Itagld, &&lab_Itagst, &&lab_Idefer,
+      &&lab_Idhead, &&lab_Mark,   &&lab_Fault,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumTokens,
+                "dispatch label table out of sync with the Op enum");
+  dcache_.ensure(image_, kLabels);
+#define OP(name) lab_##name:
+#define JTAM_DISPATCH() goto* const_cast<void*>(u->handler)
+#else
+  dcache_.ensure(image_, nullptr);
+#define OP(name) case Op::name:
+#define JTAM_DISPATCH() goto dispatch_loop
+#endif
+
+  std::uint64_t executed = 0;
+  Level* lv = nullptr;
+  std::uint32_t* r = nullptr;
+  Priority p = Priority::Low;
+  const Uop* u = nullptr;
+  // The observer attachments cannot change during a run; caching them in
+  // const locals lets the compiler keep them in registers across the
+  // dispatch loop instead of reloading members through `this` on every
+  // instruction.
+  TraceBuffer* const tb = tbuf_;
+  TraceSink* const sk = sink_;
+  FlowProbe* const fl = flow_;
+  std::uint64_t* ilvl = nullptr;  // &instr_by_level_[p], refreshed at reenter
+
+// One budget step consumed (instruction, MARK, or injection stall) —
+// mirrors the per-exec charge of the classic run_steps loop.
+#define JTAM_CHARGE()                                      \
+  do {                                                     \
+    if (++executed >= n) {                                 \
+      return halted_ ? RunStatus::Halted : RunStatus::Budget; \
+    }                                                      \
+  } while (0)
+
+// Classic pre-op accounting, in the classic order: fetch event, counters,
+// flow hook, then the ip advance — all before the op body so a faulting op
+// leaves identical state behind.
+#define JTAM_ACCT()                                            \
+  do {                                                         \
+    if (tb != nullptr) {                                       \
+      tb->add_fetch(u->addr, p);                               \
+    } else if (sk != nullptr) {                                \
+      sk->on_fetch(u->addr, p);                                \
+    }                                                          \
+    ++instr_count_;                                            \
+    ++*ilvl;                                                   \
+    if (fl != nullptr) fl->on_instruction(cfg_.node_id, p);    \
+    lv->ip = u->addr + mem::kWordBytes;                        \
+  } while (0)
+
+// Chain to the next straight-line micro-op.
+#define JTAM_NEXT() \
+  do {              \
+    JTAM_CHARGE();  \
+    ++u;            \
+    JTAM_DISPATCH(); \
+  } while (0)
+
+// End the superblock: back through the scheduler (pick / dispatch).
+#define JTAM_BOUNDARY() \
+  do {                  \
+    JTAM_CHARGE();      \
+    goto reenter;       \
+  } while (0)
+
+// Taken direct branch: lv->ip already holds the target.  The pre-resolved
+// target is null when the target address is invalid; the fault fires here —
+// at the next fetch — with classic messages and classic budget timing.
+#define JTAM_TAKE_DIRECT()                       \
+  do {                                           \
+    JTAM_CHARGE();                               \
+    if (u->targ == nullptr) fault_fetch(lv->ip); \
+    u = u->targ;                                 \
+    JTAM_DISPATCH();                             \
+  } while (0)
+
+// Taken indirect branch (JMP/CALLR/RET): translate the dynamic target.
+#define JTAM_TAKE_DYNAMIC()                \
+  do {                                     \
+    JTAM_CHARGE();                         \
+    u = dcache_.lookup(lv->ip);            \
+    if (u == nullptr) fault_fetch(lv->ip); \
+    JTAM_DISPATCH();                       \
+  } while (0)
+
+reenter:
+  if (halted_) return RunStatus::Halted;
+  lv = pick();
+  if (lv == nullptr) return RunStatus::Deadlock;
+  p = (lv == &levels_[1]) ? Priority::High : Priority::Low;
+  ilvl = &instr_by_level_[static_cast<int>(p)];
+  r = lv->regs;
+  u = dcache_.lookup(lv->ip);
+  if (u == nullptr) fault_fetch(lv->ip);
+  JTAM_DISPATCH();
+
+#if !JTAM_THREADED_DISPATCH
+dispatch_loop:
+  if (u->token == kTokFault) fault_fetch(u->addr);
+  // Exhaustive over Op (no default): -Wswitch flags a missing handler.
+  switch (static_cast<Op>(u->token)) {
+#endif
+
+  OP(Nop) { JTAM_ACCT(); JTAM_NEXT(); }
+  OP(Halt) {
+    JTAM_ACCT();
+    halt_value_ = r[u->rs];
+    halted_ = true;
+    if (flow_ != nullptr) flow_->on_halt(cfg_.node_id, p);
+    JTAM_BOUNDARY();
+  }
+
+  OP(Add) { JTAM_ACCT(); r[u->rd] = r[u->rs] + r[u->rt]; JTAM_NEXT(); }
+  OP(Sub) { JTAM_ACCT(); r[u->rd] = r[u->rs] - r[u->rt]; JTAM_NEXT(); }
+  OP(Mul) { JTAM_ACCT(); r[u->rd] = r[u->rs] * r[u->rt]; JTAM_NEXT(); }
+  OP(Divs) {
+    JTAM_ACCT();
+    JTAM_CHECK(r[u->rt] != 0, "division by zero");
+    r[u->rd] = as_u(as_i(r[u->rs]) / as_i(r[u->rt]));
+    JTAM_NEXT();
+  }
+  OP(Mods) {
+    JTAM_ACCT();
+    JTAM_CHECK(r[u->rt] != 0, "modulo by zero");
+    r[u->rd] = as_u(as_i(r[u->rs]) % as_i(r[u->rt]));
+    JTAM_NEXT();
+  }
+  OP(And) { JTAM_ACCT(); r[u->rd] = r[u->rs] & r[u->rt]; JTAM_NEXT(); }
+  OP(Or) { JTAM_ACCT(); r[u->rd] = r[u->rs] | r[u->rt]; JTAM_NEXT(); }
+  OP(Xor) { JTAM_ACCT(); r[u->rd] = r[u->rs] ^ r[u->rt]; JTAM_NEXT(); }
+  OP(Shl) {
+    JTAM_ACCT();
+    r[u->rd] = r[u->rs] << (r[u->rt] & 31u);
+    JTAM_NEXT();
+  }
+  OP(Shr) {
+    JTAM_ACCT();
+    r[u->rd] = r[u->rs] >> (r[u->rt] & 31u);
+    JTAM_NEXT();
+  }
+  OP(Slt) {
+    JTAM_ACCT();
+    r[u->rd] = as_i(r[u->rs]) < as_i(r[u->rt]) ? 1 : 0;
+    JTAM_NEXT();
+  }
+  OP(Sle) {
+    JTAM_ACCT();
+    r[u->rd] = as_i(r[u->rs]) <= as_i(r[u->rt]) ? 1 : 0;
+    JTAM_NEXT();
+  }
+  OP(Seq) { JTAM_ACCT(); r[u->rd] = r[u->rs] == r[u->rt] ? 1 : 0; JTAM_NEXT(); }
+  OP(Sne) { JTAM_ACCT(); r[u->rd] = r[u->rs] != r[u->rt] ? 1 : 0; JTAM_NEXT(); }
+
+  OP(Addi) { JTAM_ACCT(); r[u->rd] = r[u->rs] + u->imm; JTAM_NEXT(); }
+  OP(Subi) { JTAM_ACCT(); r[u->rd] = r[u->rs] - u->imm; JTAM_NEXT(); }
+  OP(Muli) { JTAM_ACCT(); r[u->rd] = r[u->rs] * u->imm; JTAM_NEXT(); }
+  OP(Andi) { JTAM_ACCT(); r[u->rd] = r[u->rs] & u->imm; JTAM_NEXT(); }
+  OP(Ori) { JTAM_ACCT(); r[u->rd] = r[u->rs] | u->imm; JTAM_NEXT(); }
+  OP(Shli) { JTAM_ACCT(); r[u->rd] = r[u->rs] << (u->imm & 31u); JTAM_NEXT(); }
+  OP(Shri) { JTAM_ACCT(); r[u->rd] = r[u->rs] >> (u->imm & 31u); JTAM_NEXT(); }
+  OP(Slti) {
+    JTAM_ACCT();
+    r[u->rd] = as_i(r[u->rs]) < u->imm_s() ? 1 : 0;
+    JTAM_NEXT();
+  }
+
+  OP(Movi) { JTAM_ACCT(); r[u->rd] = u->imm; JTAM_NEXT(); }
+  OP(Mov) { JTAM_ACCT(); r[u->rd] = r[u->rs]; JTAM_NEXT(); }
+
+  OP(Fadd) {
+    JTAM_ACCT();
+    r[u->rd] = as_u(as_f(r[u->rs]) + as_f(r[u->rt]));
+    JTAM_NEXT();
+  }
+  OP(Fsub) {
+    JTAM_ACCT();
+    r[u->rd] = as_u(as_f(r[u->rs]) - as_f(r[u->rt]));
+    JTAM_NEXT();
+  }
+  OP(Fmul) {
+    JTAM_ACCT();
+    r[u->rd] = as_u(as_f(r[u->rs]) * as_f(r[u->rt]));
+    JTAM_NEXT();
+  }
+  OP(Fdiv) {
+    JTAM_ACCT();
+    r[u->rd] = as_u(as_f(r[u->rs]) / as_f(r[u->rt]));
+    JTAM_NEXT();
+  }
+  OP(Flt) {
+    JTAM_ACCT();
+    r[u->rd] = as_f(r[u->rs]) < as_f(r[u->rt]) ? 1 : 0;
+    JTAM_NEXT();
+  }
+  OP(Feq) {
+    JTAM_ACCT();
+    r[u->rd] = as_f(r[u->rs]) == as_f(r[u->rt]) ? 1 : 0;
+    JTAM_NEXT();
+  }
+  OP(Itof) {
+    JTAM_ACCT();
+    r[u->rd] = as_u(static_cast<float>(as_i(r[u->rs])));
+    JTAM_NEXT();
+  }
+  OP(Ftoi) {
+    JTAM_ACCT();
+    r[u->rd] = as_u(static_cast<std::int32_t>(as_f(r[u->rs])));
+    JTAM_NEXT();
+  }
+
+  OP(Ld) {
+    JTAM_ACCT();
+    r[u->rd] = mem_read(r[u->rs] + u->off, p);
+    JTAM_NEXT();
+  }
+  OP(St) {
+    JTAM_ACCT();
+    mem_write(r[u->rs] + u->off, r[u->rt], p);
+    JTAM_NEXT();
+  }
+  OP(Sti) {
+    JTAM_ACCT();
+    mem_write(r[u->rs] + u->off, u->imm, p);
+    JTAM_NEXT();
+  }
+  OP(Ldg) { JTAM_ACCT(); r[u->rd] = mem_read(u->imm, p); JTAM_NEXT(); }
+  OP(Stg) { JTAM_ACCT(); mem_write(u->imm, r[u->rs], p); JTAM_NEXT(); }
+  OP(Ldm) {
+    JTAM_ACCT();
+    r[u->rd] = mem_read(lv->mb + u->off, p);
+    JTAM_NEXT();
+  }
+
+  OP(Br) {
+    JTAM_ACCT();
+    lv->ip = u->imm;
+    JTAM_TAKE_DIRECT();
+  }
+  OP(Brz) {
+    JTAM_ACCT();
+    if (r[u->rs] == 0) {
+      lv->ip = u->imm;
+      JTAM_TAKE_DIRECT();
+    }
+    JTAM_NEXT();
+  }
+  OP(Brnz) {
+    JTAM_ACCT();
+    if (r[u->rs] != 0) {
+      lv->ip = u->imm;
+      JTAM_TAKE_DIRECT();
+    }
+    JTAM_NEXT();
+  }
+  OP(Jmp) {
+    JTAM_ACCT();
+    lv->ip = r[u->rs];
+    JTAM_TAKE_DYNAMIC();
+  }
+  OP(Call) {
+    JTAM_ACCT();
+    r[kRegLr] = u->addr + mem::kWordBytes;
+    lv->ip = u->imm;
+    JTAM_TAKE_DIRECT();
+  }
+  OP(Callr) {
+    JTAM_ACCT();
+    r[kRegLr] = u->addr + mem::kWordBytes;
+    lv->ip = r[u->rs];
+    JTAM_TAKE_DYNAMIC();
+  }
+  OP(Ret) {
+    JTAM_ACCT();
+    lv->ip = r[kRegLr];
+    JTAM_TAKE_DYNAMIC();
+  }
+
+  OP(SendH) {
+    JTAM_ACCT();
+    JTAM_CHECK(!lv->composing, "SENDH/SENDL while already composing");
+    lv->composing = true;
+    lv->compose_dest = Priority::High;
+    lv->compose_node = cfg_.node_id;
+    lv->compose_words.clear();
+    JTAM_NEXT();
+  }
+  OP(SendL) {
+    JTAM_ACCT();
+    JTAM_CHECK(!lv->composing, "SENDH/SENDL while already composing");
+    lv->composing = true;
+    lv->compose_dest = Priority::Low;
+    lv->compose_node = cfg_.node_id;
+    lv->compose_words.clear();
+    JTAM_NEXT();
+  }
+  OP(SendW) {
+    JTAM_ACCT();
+    JTAM_CHECK(lv->composing, "SENDW outside a message");
+    lv->compose_words.push_back(r[u->rs]);
+    JTAM_NEXT();
+  }
+  OP(SendWi) {
+    JTAM_ACCT();
+    JTAM_CHECK(lv->composing, "SENDWI outside a message");
+    lv->compose_words.push_back(u->imm);
+    JTAM_NEXT();
+  }
+  OP(SendD) {
+    JTAM_ACCT();
+    JTAM_CHECK(lv->composing, "SENDD outside a message");
+    {
+      const int dest = static_cast<int>(r[u->rs]);
+      JTAM_CHECK(dest >= 0 && dest < cfg_.num_nodes,
+                 "SENDD destination node out of range");
+      lv->compose_node = dest;
+    }
+    JTAM_NEXT();
+  }
+  OP(SendDr) {
+    JTAM_ACCT();
+    JTAM_CHECK(lv->composing, "SENDDR outside a message");
+    lv->compose_node = rr_node_;
+    rr_node_ = (rr_node_ + 1) % cfg_.num_nodes;
+    JTAM_NEXT();
+  }
+  OP(SendE) {
+    // Injection backpressure, checked before any accounting: the step is
+    // burned without executing an instruction (no fetch event, no count,
+    // ip unchanged) and the SENDE retries after the scheduler re-entry.
+    if (lv->composing && net_ != nullptr &&
+        lv->compose_node != cfg_.node_id &&
+        !net_->can_accept(cfg_.node_id, lv->compose_dest)) {
+      if (!inj_stalled_) {
+        inj_stalled_ = true;
+        ++stalled_sends_;
+      }
+      ++injection_stall_cycles_;
+      if (flow_ != nullptr) flow_->on_send_stall(cfg_.node_id, p);
+      JTAM_BOUNDARY();
+    }
+    JTAM_ACCT();
+    JTAM_CHECK(lv->composing, "SENDE outside a message");
+    lv->composing = false;
+    if (lv->compose_node == cfg_.node_id) {
+      enqueue(lv->compose_dest, lv->compose_words, p, /*emit_events=*/true);
+      if (flow_ != nullptr) {
+        flow_->on_local_send(cfg_.node_id, lv->compose_dest, p,
+                             lv->compose_words);
+      }
+    } else {
+      JTAM_CHECK(net_ != nullptr, "remote SENDE without a network attached");
+      const std::uint64_t flow_id =
+          flow_ != nullptr
+              ? flow_->on_remote_send(cfg_.node_id, lv->compose_node,
+                                      lv->compose_dest, p, lv->compose_words)
+              : 0;
+      net_->send(cfg_.node_id, lv->compose_node, lv->compose_dest,
+                 lv->compose_words, flow_id);
+      inj_stalled_ = false;
+    }
+    JTAM_BOUNDARY();
+  }
+
+  OP(Suspend) {
+    JTAM_ACCT();
+    JTAM_CHECK(lv->active, "SUSPEND at an idle level");
+    JTAM_CHECK(!lv->composing, "SUSPEND with a half-composed message");
+    consume_current(p);
+    lv->active = false;
+    if (queue_marks_) emit_queue_sample(MarkKind::Suspend, p);
+    JTAM_BOUNDARY();
+  }
+  OP(Eint) {
+    JTAM_ACCT();
+    lv->int_enabled = true;
+    JTAM_BOUNDARY();
+  }
+  OP(Dint) {
+    JTAM_ACCT();
+    lv->int_enabled = false;
+    JTAM_NEXT();
+  }
+
+  OP(Itagld) {
+    JTAM_ACCT();
+    {
+      const Addr a = r[u->rs];
+      r[u->rd] = mem_read(a, p);
+      r[u->rt] = tag(a) ? 1 : 0;
+    }
+    JTAM_NEXT();
+  }
+  OP(Itagst) {
+    JTAM_ACCT();
+    {
+      const Addr a = r[u->rs];
+      mem_write(a, r[u->rt], p);
+      set_tag(a, true);
+    }
+    JTAM_NEXT();
+  }
+  OP(Idefer) {
+    JTAM_ACCT();
+    {
+      const Addr a = r[u->rs];
+      JTAM_CHECK(defer_bump_ != 0, "deferred-read pool not configured");
+      JTAM_CHECK(defer_bump_ + 12 <= defer_limit_,
+                 "deferred-read pool exhausted");
+      const Addr node = defer_bump_;
+      defer_bump_ += 12;
+      auto it = defer_heads_.find(a);
+      const Addr old_head = it == defer_heads_.end() ? 0 : it->second;
+      mem_write(node + 0, r[u->rt], p);  // inlet address
+      mem_write(node + 4, r[u->rd], p);  // frame pointer
+      mem_write(node + 8, old_head, p);  // next
+      defer_heads_[a] = node;
+    }
+    JTAM_NEXT();
+  }
+  OP(Idhead) {
+    JTAM_ACCT();
+    {
+      const Addr a = r[u->rs];
+      auto it = defer_heads_.find(a);
+      if (it == defer_heads_.end()) {
+        r[u->rd] = 0;
+      } else {
+        r[u->rd] = it->second;
+        defer_heads_.erase(it);
+      }
+    }
+    JTAM_NEXT();
+  }
+
+  OP(Mark) {
+    // Instrumentation is free: no fetch event, no cycle — but, like the
+    // classic loop, it consumes one budget step per exec.
+    emit_mark(static_cast<MarkKind>(u->imm_s()), r[u->rs], p);
+    if (flow_ != nullptr) {
+      flow_->on_probe_mark(cfg_.node_id, static_cast<MarkKind>(u->imm_s()),
+                           r[u->rs], p);
+    }
+    lv->ip = u->addr + mem::kWordBytes;
+    JTAM_NEXT();
+  }
+
+#if !JTAM_THREADED_DISPATCH
+  }
+  fault_fetch(u->addr);  // unreachable: kTokFault is filtered above
+#else
+lab_Fault:
+  // Sentinel past the end of a code section, reached by straight-line
+  // chaining — the classic unmapped-fetch fault at exactly this address.
+  fault_fetch(u->addr);
+#endif
+
+#undef OP
+#undef JTAM_DISPATCH
+#undef JTAM_CHARGE
+#undef JTAM_ACCT
+#undef JTAM_NEXT
+#undef JTAM_BOUNDARY
+#undef JTAM_TAKE_DIRECT
+#undef JTAM_TAKE_DYNAMIC
+}
+
+#undef JTAM_THREADED_DISPATCH
+
+}  // namespace jtam::mdp

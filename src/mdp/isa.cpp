@@ -2,6 +2,15 @@
 
 namespace jtam::mdp {
 
+const char* run_status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::Halted: return "halted";
+    case RunStatus::Deadlock: return "deadlock";
+    case RunStatus::Budget: return "budget-exhausted";
+  }
+  return "?";
+}
+
 const char* op_name(Op op) {
   switch (op) {
     case Op::Nop: return "nop";

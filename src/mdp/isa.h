@@ -25,10 +25,28 @@
 // inlets, and quanta for the granularity statistics of Table 2.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string>
 
 namespace jtam::mdp {
+
+// --- Value reinterpretation -------------------------------------------------
+// One shared definition for the register-file bit reinterpretations the
+// interpreter, the micro-op decoder, the assembler's label fixups, and the
+// disassembler all perform.  Registers hold raw 32-bit words; signed
+// arithmetic, IEEE-754 singles, and code addresses are views of those bits.
+
+inline constexpr std::int32_t as_i(std::uint32_t v) {
+  return static_cast<std::int32_t>(v);
+}
+inline constexpr std::uint32_t as_u(std::int32_t v) {
+  return static_cast<std::uint32_t>(v);
+}
+inline constexpr float as_f(std::uint32_t v) { return std::bit_cast<float>(v); }
+inline constexpr std::uint32_t as_u(float f) {
+  return std::bit_cast<std::uint32_t>(f);
+}
 
 /// General-purpose registers.  Each priority level has its own bank of
 /// eight, so switching level moves no state through memory.
@@ -129,6 +147,34 @@ enum class Op : std::uint8_t {
   // rs = auxiliary register (frame pointer for thread/inlet marks).
   Mark,
 };
+
+/// Number of opcodes.  Mark is the last enumerator by construction; the
+/// decoded-dispatch label table and the decoder are sized against this so a
+/// new Op fails to compile rather than silently falling through a dispatch
+/// table (see src/mdp/dispatch.cpp).
+inline constexpr int kNumOps = static_cast<int>(Op::Mark) + 1;
+
+/// How the machine executes instructions.  `Decoded` (default) runs the
+/// pre-decoded micro-op engine with token-threaded dispatch and superblock
+/// chaining (src/mdp/dispatch.cpp); `Classic` is the seed's per-step
+/// fetch/decode/switch loop, kept as the equivalence baseline.  Both produce
+/// bit-identical architectural state, trace streams, and counters
+/// (tests/interp_test.cpp), so drivers exclude this knob from result
+/// memoization keys.
+enum class DispatchKind : std::uint8_t { Decoded, Classic };
+
+inline constexpr const char* dispatch_kind_name(DispatchKind d) {
+  return d == DispatchKind::Decoded ? "decoded" : "classic";
+}
+
+/// Why a run stopped (Machine::run / MultiMachine::run).
+enum class RunStatus {
+  Halted,    // a HALT instruction executed
+  Deadlock,  // both levels idle, both queues empty, no HALT seen
+  Budget,    // instruction budget exhausted
+};
+
+const char* run_status_name(RunStatus s);
 
 /// Marker kinds used for granularity accounting.  ThreadStart..FpCall are
 /// emitted by MARK instructions the compiler/runtime plant in the code;

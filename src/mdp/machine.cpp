@@ -1,29 +1,10 @@
 #include "mdp/machine.h"
 
-#include <bit>
 #include <sstream>
 
 #include "support/error.h"
 
 namespace jtam::mdp {
-
-namespace {
-
-float as_f(std::uint32_t v) { return std::bit_cast<float>(v); }
-std::uint32_t as_u(float f) { return std::bit_cast<std::uint32_t>(f); }
-std::int32_t as_i(std::uint32_t v) { return static_cast<std::int32_t>(v); }
-std::uint32_t as_u(std::int32_t v) { return static_cast<std::uint32_t>(v); }
-
-}  // namespace
-
-const char* run_status_name(RunStatus s) {
-  switch (s) {
-    case RunStatus::Halted: return "halted";
-    case RunStatus::Deadlock: return "deadlock";
-    case RunStatus::Budget: return "budget-exhausted";
-  }
-  return "?";
-}
 
 Machine::Machine(CodeImage image, Config cfg)
     : image_(std::move(image)), cfg_(cfg) {
@@ -60,60 +41,65 @@ const Instr& Machine::code_at(Addr a) const {
   throw Error(os.str());
 }
 
-void Machine::check_data_addr(Addr a) const {
+void Machine::fault_fetch(Addr a) const {
+  JTAM_CHECK((a & 3u) == 0, "instruction address not word aligned");
+  std::ostringstream os;
+  os << "instruction fetch from unmapped address 0x" << std::hex << a;
+  throw Error(os.str());
+}
+
+void Machine::patch_code(Addr a, const Instr& in) {
+  JTAM_CHECK((a & 3u) == 0, "instruction address not word aligned");
+  if (a >= mem::kSysCodeBase) {
+    std::size_t i = (a - mem::kSysCodeBase) / mem::kWordBytes;
+    if (i < image_.sys_code.size()) {
+      image_.sys_code[i] = in;
+      dcache_.invalidate();
+      return;
+    }
+  }
+  if (a >= mem::kUserCodeBase) {
+    std::size_t i = (a - mem::kUserCodeBase) / mem::kWordBytes;
+    if (i < image_.user_code.size()) {
+      image_.user_code[i] = in;
+      dcache_.invalidate();
+      return;
+    }
+  }
+  std::ostringstream os;
+  os << "code patch outside the loaded image at 0x" << std::hex << a;
+  throw Error(os.str());
+}
+
+void Machine::load_image(CodeImage image) {
+  image_ = std::move(image);
+  dcache_.invalidate();
+}
+
+void Machine::data_addr_fault(Addr a) const {
+  // Cold continuation of the inline check_data_addr: re-derive which rule
+  // the address broke and throw the matching diagnosis.
   if ((a & 3u) != 0) {
     std::ostringstream os;
     os << "unaligned data access at 0x" << std::hex << a;
     throw Error(os.str());
   }
-  const Addr node = a >> 24;       // user-data owner (multi-node)
   const Addr local = a & 0xFFFFFFu;
   if (local >= mem::kSysDataBase && local < mem::kSysDataLimit) {
-    if (node != 0) {
-      std::ostringstream os;
-      os << "sys-data address with node bits at 0x" << std::hex << a;
-      throw Error(os.str());
-    }
-    return;
+    std::ostringstream os;
+    os << "sys-data address with node bits at 0x" << std::hex << a;
+    throw Error(os.str());
   }
   if (local >= mem::kUserDataBase && local < mem::kUserDataLimit) {
-    if (static_cast<int>(node) != cfg_.node_id) {
-      std::ostringstream os;
-      os << "remote user-data address dereferenced locally: 0x" << std::hex
-         << a << " on node " << std::dec << cfg_.node_id
-         << " (remote data must travel by message)";
-      throw Error(os.str());
-    }
-    return;
+    std::ostringstream os;
+    os << "remote user-data address dereferenced locally: 0x" << std::hex
+       << a << " on node " << std::dec << cfg_.node_id
+       << " (remote data must travel by message)";
+    throw Error(os.str());
   }
   std::ostringstream os;
   os << "data access outside data regions at 0x" << std::hex << a;
   throw Error(os.str());
-}
-
-std::uint32_t Machine::mem_read(Addr a, Priority lvl, bool emit_event) {
-  check_data_addr(a);
-  if (emit_event) {
-    if (tbuf_ != nullptr) {
-      tbuf_->add_read(a & 0xFFFFFFu, lvl);
-    } else if (sink_ != nullptr) {
-      sink_->on_read(a & 0xFFFFFFu, lvl);
-    }
-  }
-  return memory_[(a & 0xFFFFFFu) / mem::kWordBytes];
-}
-
-void Machine::mem_write(Addr a, std::uint32_t v, Priority lvl,
-                        bool emit_event) {
-  check_data_addr(a);
-  if (emit_event) {
-    if (tbuf_ != nullptr) {
-      tbuf_->add_write(a & 0xFFFFFFu, lvl);
-    } else if (sink_ != nullptr) {
-      sink_->on_write(a & 0xFFFFFFu, lvl);
-    }
-  }
-  memory_[(a & 0xFFFFFFu) / mem::kWordBytes] = v;
 }
 
 std::uint32_t Machine::load_word(Addr a) const {
@@ -243,6 +229,11 @@ Machine::Level* Machine::pick() {
 RunStatus Machine::run() { return run_steps(cfg_.max_instructions); }
 
 RunStatus Machine::run_steps(std::uint64_t n) {
+  return dispatch_ == DispatchKind::Decoded ? run_steps_decoded(n)
+                                            : run_steps_classic(n);
+}
+
+RunStatus Machine::run_steps_classic(std::uint64_t n) {
   std::uint64_t executed = 0;
   while (!halted_) {
     Level* lv = pick();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mdp/assembler.h"
+#include "mdp/decode.h"
 #include "mdp/isa.h"
 #include "mem/memory_map.h"
 
@@ -195,14 +196,6 @@ class FlowProbe {
   virtual void on_halt(int node, Priority p) = 0;
 };
 
-enum class RunStatus {
-  Halted,    // a HALT instruction executed
-  Deadlock,  // both levels idle, both queues empty, no HALT seen
-  Budget,    // instruction budget exhausted
-};
-
-const char* run_status_name(RunStatus s);
-
 class Machine {
  public:
   struct Config {
@@ -227,8 +220,21 @@ class Machine {
   void set_tag(Addr a, bool present);
   /// Reserve [base, limit) in user data for deferred-read nodes.
   void set_defer_pool(Addr base, Addr limit);
+  /// Overwrite one instruction of the loaded image (host-side code write;
+  /// data-path stores can never reach code regions).  Invalidates the
+  /// decoded micro-op cache so the next step re-decodes.
+  void patch_code(Addr a, const Instr& in);
+  /// Replace the whole code image (program (re)load).  Invalidates the
+  /// decoded micro-op cache; data memory and machine state are untouched.
+  void load_image(CodeImage image);
 
   // --- execution ---------------------------------------------------------
+  /// Select the interpreter engine.  Decoded (default) and Classic are
+  /// bit-identical in every architectural and measured respect
+  /// (tests/interp_test.cpp); Classic is the seed loop kept as the
+  /// equivalence baseline.
+  void set_dispatch(DispatchKind d) { dispatch_ = d; }
+  DispatchKind dispatch() const { return dispatch_; }
   void set_sink(TraceSink* sink) { sink_ = sink; }
   /// Attach a batched trace buffer.  When set, it takes precedence over the
   /// per-event sink: events are appended inline and delivered to the
@@ -343,10 +349,49 @@ class Machine {
   /// Out-of-line: sample queue occupancy into a Dispatch/Suspend mark.
   /// Kept off the dispatch hot path behind the queue_marks_ test.
   void emit_queue_sample(MarkKind k, Priority p);
-  std::uint32_t mem_read(Addr a, Priority lvl, bool emit_event = true);
+  /// Data-address validation, inline fast path: the aligned, in-region,
+  /// right-node case falls through; everything else takes the out-of-line
+  /// throwing path, which rebuilds the precise diagnosis.
+  void check_data_addr(Addr a) const {
+    const Addr local = a & 0xFFFFFFu;
+    const Addr node = a >> 24;
+    if ((a & 3u) == 0) {
+      if (local >= mem::kSysDataBase && local < mem::kSysDataLimit &&
+          node == 0) {
+        return;
+      }
+      if (local >= mem::kUserDataBase && local < mem::kUserDataLimit &&
+          static_cast<int>(node) == cfg_.node_id) {
+        return;
+      }
+    }
+    data_addr_fault(a);
+  }
+  [[noreturn]] void data_addr_fault(Addr a) const;
+
+  std::uint32_t mem_read(Addr a, Priority lvl, bool emit_event = true) {
+    check_data_addr(a);
+    if (emit_event) {
+      if (tbuf_ != nullptr) {
+        tbuf_->add_read(a & 0xFFFFFFu, lvl);
+      } else if (sink_ != nullptr) {
+        sink_->on_read(a & 0xFFFFFFu, lvl);
+      }
+    }
+    return memory_[(a & 0xFFFFFFu) / mem::kWordBytes];
+  }
   void mem_write(Addr a, std::uint32_t v, Priority lvl,
-                 bool emit_event = true);
-  void check_data_addr(Addr a) const;
+                 bool emit_event = true) {
+    check_data_addr(a);
+    if (emit_event) {
+      if (tbuf_ != nullptr) {
+        tbuf_->add_write(a & 0xFFFFFFu, lvl);
+      } else if (sink_ != nullptr) {
+        sink_->on_write(a & 0xFFFFFFu, lvl);
+      }
+    }
+    memory_[(a & 0xFFFFFFu) / mem::kWordBytes] = v;
+  }
 
   void enqueue(Priority p, std::span<const std::uint32_t> words,
                Priority sender_level, bool emit_events);
@@ -358,10 +403,21 @@ class Machine {
   Level* pick();
   void exec(Level& lv, Priority p);
 
+  /// The seed per-step fetch/decode/switch loop (DispatchKind::Classic).
+  RunStatus run_steps_classic(std::uint64_t n);
+  /// The decoded micro-op engine with token-threaded dispatch and
+  /// superblock chaining (DispatchKind::Decoded, src/mdp/dispatch.cpp).
+  RunStatus run_steps_decoded(std::uint64_t n);
+  /// Raise the classic instruction-fetch fault for address `a` (alignment
+  /// first, then unmapped — same messages as code_at).
+  [[noreturn]] void fault_fetch(Addr a) const;
+
   std::size_t tag_index(Addr a) const;
 
   CodeImage image_;
   Config cfg_;
+  DispatchKind dispatch_ = DispatchKind::Decoded;
+  DecodedCache dcache_;
   std::vector<std::uint32_t> memory_;    // word-indexed flat memory
   std::vector<bool> tags_;               // presence tags over user data
   std::unordered_map<Addr, Addr> defer_heads_;

@@ -42,6 +42,7 @@ MultiMachine::MultiMachine(const CodeImage& image, Config cfg) : cfg_(cfg) {
     mc.node_id = n;
     mc.num_nodes = cfg_.num_nodes;
     nodes_.push_back(std::make_unique<Machine>(image, mc));
+    nodes_.back()->set_dispatch(cfg_.dispatch);
     nodes_.back()->set_network(this);
   }
 }

@@ -58,6 +58,9 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
     std::uint32_t link_buffer_flits = 4;  // mesh: per-VN flit FIFO per link
     std::uint32_t queue_bytes = mem::kQueueBytes;
     std::uint64_t max_rounds = 600'000'000ULL;
+    /// Interpreter engine for every node (perf knob; bit-identical results
+    /// either way — see mdp::DispatchKind).
+    DispatchKind dispatch = DispatchKind::Decoded;
   };
 
   MultiMachine(const CodeImage& image, Config cfg);

@@ -33,24 +33,7 @@ void StatsSink::on_fetch(mem::Addr a, mdp::Priority lvl) {
   const int l = static_cast<int>(lvl);
   ++counts_.fetch[l][region_index(a)];
   if (bank_ != nullptr) bank_->on_fetch(a);
-  switch (ctx_[l]) {
-    case Ctx::Thread:
-      ++gran_.thread_instrs;
-      ++gran_.quantum_instrs;  // thread context only exists at low priority
-      break;
-    case Ctx::Inlet:
-      ++gran_.inlet_instrs;
-      if (lvl == mdp::Priority::Low) ++gran_.quantum_instrs;
-      break;
-    case Ctx::Sys:
-    case Ctx::None:
-      if (lvl == mdp::Priority::Low) {
-        ++gran_.sched_instrs;
-      } else {
-        ++gran_.handler_instrs;
-      }
-      break;
-  }
+  add_context_instrs(l, 1);
 }
 
 void StatsSink::on_read(mem::Addr a, mdp::Priority lvl) {
@@ -61,53 +44,6 @@ void StatsSink::on_read(mem::Addr a, mdp::Priority lvl) {
 void StatsSink::on_write(mem::Addr a, mdp::Priority lvl) {
   ++counts_.write[static_cast<int>(lvl)][region_index(a)];
   if (bank_ != nullptr) bank_->on_data(a, /*is_write=*/true);
-}
-
-void StatsSink::on_mark(mdp::MarkKind kind, std::uint32_t aux,
-                        mdp::Priority lvl) {
-  const int l = static_cast<int>(lvl);
-  switch (kind) {
-    case mdp::MarkKind::ThreadStart:
-      ++gran_.threads;
-      ctx_[l] = Ctx::Thread;
-      // A quantum is a maximal run of threads from one frame ("how many
-      // threads from a frame are executed before a switch to another
-      // frame", §3.2) under both back-ends — consecutive AM activations
-      // of the same frame continue the quantum, just as consecutive MD
-      // messages for the same frame do.
-      if (aux != quantum_frame_) {
-        ++gran_.quanta;
-        quantum_frame_ = aux;
-      }
-      break;
-    case mdp::MarkKind::InletStart:
-      ++gran_.inlets;
-      ctx_[l] = Ctx::Inlet;
-      if (backend_ == rt::BackendKind::MessageDriven &&
-          lvl == mdp::Priority::Low && aux != quantum_frame_) {
-        ++gran_.quanta;
-        quantum_frame_ = aux;
-      }
-      break;
-    case mdp::MarkKind::SysStart:
-      ctx_[l] = Ctx::Sys;
-      break;
-    case mdp::MarkKind::Activate:
-      ++gran_.activations;
-      break;
-    case mdp::MarkKind::FpCall:
-      ++gran_.fp_calls;
-      // Attribution stays with the calling context: the FP library's
-      // instructions count toward the thread that called it, exactly as
-      // the inlined software-FP cost did on the MDP.
-      break;
-    case mdp::MarkKind::Dispatch:
-    case mdp::MarkKind::Suspend:
-      // Machine-emitted queue samples for the observability layer; they
-      // carry no context change and touch no granularity statistic, so the
-      // measured numbers are identical with or without observers attached.
-      break;
-  }
 }
 
 }  // namespace jtam::metrics

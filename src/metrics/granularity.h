@@ -21,6 +21,10 @@
 
 #include <cstdint>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "cache/cache_bank.h"
 #include "mdp/machine.h"
 #include "mem/memory_map.h"
@@ -31,10 +35,14 @@ namespace jtam::metrics {
 /// Branch-free region classification for hot paths (the address is known
 /// to be valid because the machine bounds-checked it).
 inline int region_index(mem::Addr a) {
-  if (a < mem::kUserCodeBase) return 0;  // system code
-  if (a < mem::kSysDataBase) return 1;   // user code
-  if (a < mem::kUserDataBase) return 2;  // system data (queues, globals, LCV)
-  return 3;                              // user data (frames, heap)
+  // 0 = system code, 1 = user code, 2 = system data (queues, globals,
+  // LCV), 3 = user data (frames, heap).  Written as a sum of range
+  // comparisons so the hot accounting loops stay branch-free: region
+  // switches (user code <-> system code, code <-> data) are frequent
+  // enough that the branching form mispredicts.
+  return static_cast<int>(a >= mem::kUserCodeBase) +
+         static_cast<int>(a >= mem::kSysDataBase) +
+         static_cast<int>(a >= mem::kUserDataBase);
 }
 
 inline constexpr int kNumRegions = 4;
@@ -89,13 +97,183 @@ class StatsSink final : public mdp::TraceSink {
   void on_read(mem::Addr a, mdp::Priority lvl) override;
   void on_write(mem::Addr a, mdp::Priority lvl) override;
   void on_mark(mdp::MarkKind kind, std::uint32_t aux,
-               mdp::Priority lvl) override;
+               mdp::Priority lvl) override {
+    const int l = static_cast<int>(lvl);
+    switch (kind) {
+      case mdp::MarkKind::ThreadStart:
+        ++gran_.threads;
+        ctx_[l] = Ctx::Thread;
+        // A quantum is a maximal run of threads from one frame ("how many
+        // threads from a frame are executed before a switch to another
+        // frame", §3.2) under both back-ends — consecutive AM activations
+        // of the same frame continue the quantum, just as consecutive MD
+        // messages for the same frame do.
+        if (aux != quantum_frame_) {
+          ++gran_.quanta;
+          quantum_frame_ = aux;
+        }
+        break;
+      case mdp::MarkKind::InletStart:
+        ++gran_.inlets;
+        ctx_[l] = Ctx::Inlet;
+        if (backend_ == rt::BackendKind::MessageDriven &&
+            lvl == mdp::Priority::Low && aux != quantum_frame_) {
+          ++gran_.quanta;
+          quantum_frame_ = aux;
+        }
+        break;
+      case mdp::MarkKind::SysStart:
+        ctx_[l] = Ctx::Sys;
+        break;
+      case mdp::MarkKind::Activate:
+        ++gran_.activations;
+        break;
+      case mdp::MarkKind::FpCall:
+        ++gran_.fp_calls;
+        // Attribution stays with the calling context: the FP library's
+        // instructions count toward the thread that called it, exactly as
+        // the inlined software-FP cost did on the MDP.
+        break;
+      case mdp::MarkKind::Dispatch:
+      case mdp::MarkKind::Suspend:
+        // Machine-emitted queue samples for the observability layer; they
+        // carry no context change and touch no granularity statistic, so
+        // the measured numbers are identical with or without observers
+        // attached.
+        break;
+    }
+  }
+
+  /// Batched replay of a fetch span in mdp::TraceBuffer encoding (bit 0 =
+  /// priority level).  The span must contain no mark boundary, so the
+  /// per-level context is constant across it and the context attribution
+  /// can be added in bulk; every counter is an order-independent sum, so
+  /// the result is bit-identical to n on_fetch calls.
+  void on_fetch_span(const std::uint32_t* words, std::size_t n) {
+    // Bucket counters indexed (level << 2) | region, flushed once per
+    // span; summing locally then adding is the same total.  The region
+    // bases are word-aligned and the encoding bits live below bit 2, so
+    // the range compares work on the raw words.
+    std::uint64_t local[kNumLevels * kNumRegions] = {};
+    std::size_t i = 0;
+#if defined(__SSE2__)
+    const __m128i c1 = _mm_set1_epi32(static_cast<int>(mem::kUserCodeBase) - 1);
+    const __m128i c2 = _mm_set1_epi32(static_cast<int>(mem::kSysDataBase) - 1);
+    const __m128i c3 = _mm_set1_epi32(static_cast<int>(mem::kUserDataBase) - 1);
+    const __m128i one = _mm_set1_epi32(1);
+    for (; i + 4 <= n; i += 4) {
+      const __m128i w =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + i));
+      // Each compare contributes 0 or -1; the sum is -region.
+      const __m128i rneg = _mm_add_epi32(
+          _mm_add_epi32(_mm_cmpgt_epi32(w, c1), _mm_cmpgt_epi32(w, c2)),
+          _mm_cmpgt_epi32(w, c3));
+      const __m128i idx = _mm_sub_epi32(
+          _mm_slli_epi32(_mm_and_si128(w, one), 2), rneg);
+      alignas(16) std::uint32_t ix[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(ix), idx);
+      ++local[ix[0]];
+      ++local[ix[1]];
+      ++local[ix[2]];
+      ++local[ix[3]];
+    }
+#endif
+    for (; i < n; ++i) {
+      const std::uint32_t w = words[i];
+      local[((w & 1u) << 2) | region_index(w & ~3u)]++;
+    }
+    if (bank_ != nullptr) {
+      for (std::size_t j = 0; j < n; ++j) bank_->on_fetch(words[j] & ~3u);
+    }
+    for (int l = 0; l < kNumLevels; ++l) {
+      std::uint64_t per_level = 0;
+      for (int r = 0; r < kNumRegions; ++r) {
+        counts_.fetch[l][r] += local[(l << 2) | r];
+        per_level += local[(l << 2) | r];
+      }
+      add_context_instrs(l, per_level);
+    }
+  }
+
+  /// Batched replay of a data span (bit 0 = is_write, bit 1 = level).
+  /// Data events carry no context, so any span is valid.
+  void on_data_span(const std::uint32_t* words, std::size_t n) {
+    // Buckets indexed (is_write << 3) | (level << 2) | region.
+    std::uint64_t local[2 * kNumLevels * kNumRegions] = {};
+    std::size_t i = 0;
+#if defined(__SSE2__)
+    const __m128i c1 = _mm_set1_epi32(static_cast<int>(mem::kUserCodeBase) - 1);
+    const __m128i c2 = _mm_set1_epi32(static_cast<int>(mem::kSysDataBase) - 1);
+    const __m128i c3 = _mm_set1_epi32(static_cast<int>(mem::kUserDataBase) - 1);
+    const __m128i one = _mm_set1_epi32(1);
+    const __m128i two = _mm_set1_epi32(2);
+    for (; i + 4 <= n; i += 4) {
+      const __m128i w =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + i));
+      const __m128i rneg = _mm_add_epi32(
+          _mm_add_epi32(_mm_cmpgt_epi32(w, c1), _mm_cmpgt_epi32(w, c2)),
+          _mm_cmpgt_epi32(w, c3));
+      // (is_write << 3) | (level << 2): bits 0 and 1 of w, repositioned.
+      const __m128i hi = _mm_add_epi32(
+          _mm_slli_epi32(_mm_and_si128(w, one), 3),
+          _mm_slli_epi32(_mm_and_si128(w, two), 1));
+      const __m128i idx = _mm_sub_epi32(hi, rneg);
+      alignas(16) std::uint32_t ix[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(ix), idx);
+      ++local[ix[0]];
+      ++local[ix[1]];
+      ++local[ix[2]];
+      ++local[ix[3]];
+    }
+#endif
+    for (; i < n; ++i) {
+      const std::uint32_t w = words[i];
+      local[((w & 1u) << 3) | ((w & 2u) << 1) | region_index(w & ~3u)]++;
+    }
+    if (bank_ != nullptr) {
+      for (std::size_t j = 0; j < n; ++j) {
+        bank_->on_data(words[j] & ~3u, (words[j] & 1u) != 0);
+      }
+    }
+    for (int l = 0; l < kNumLevels; ++l) {
+      for (int r = 0; r < kNumRegions; ++r) {
+        counts_.read[l][r] += local[(l << 2) | r];
+        counts_.write[l][r] += local[8 | (l << 2) | r];
+      }
+    }
+  }
 
   const AccessCounts& counts() const { return counts_; }
   const Granularity& granularity() const { return gran_; }
 
  private:
   enum class Ctx : std::uint8_t { None, Thread, Inlet, Sys };
+
+  /// Attribute `k` fetched instructions at level `l` to the current
+  /// context — the bulk form of on_fetch's per-event switch.
+  void add_context_instrs(int l, std::uint64_t k) {
+    if (k == 0) return;
+    switch (ctx_[l]) {
+      case Ctx::Thread:
+        gran_.thread_instrs += k;
+        gran_.quantum_instrs += k;  // thread context is low-priority only
+        break;
+      case Ctx::Inlet:
+        gran_.inlet_instrs += k;
+        if (l == static_cast<int>(mdp::Priority::Low)) {
+          gran_.quantum_instrs += k;
+        }
+        break;
+      case Ctx::Sys:
+      case Ctx::None:
+        if (l == static_cast<int>(mdp::Priority::Low)) {
+          gran_.sched_instrs += k;
+        } else {
+          gran_.handler_instrs += k;
+        }
+        break;
+    }
+  }
 
   rt::BackendKind backend_;
   cache::CacheBank* bank_;

@@ -1,0 +1,408 @@
+// Decoded-dispatch equivalence and decode-cache invalidation.
+//
+// The decoded micro-op engine (src/mdp/dispatch.cpp) exists purely to make
+// simulation cheaper; it must never change an architectural or measured
+// result.  This file pins that the way tests/stacksim_test.cpp pins the
+// cache engine:
+//
+//  * full-run equivalence — for every paper workload under both back-ends,
+//    decoded and classic dispatch produce bit-identical RunResults
+//    (status, halt value, instruction counts, granularity, access counts,
+//    all 24 cache configurations, queue high-water), on the batched and
+//    the per-event trace path, serial and sharded;
+//  * trace-stream equivalence — on a hand-assembled program crossing every
+//    superblock boundary kind, the exact per-event sink sequence (fetches,
+//    reads, writes, marks, in order) matches;
+//  * flow equivalence — multi-node causal flow decompositions match
+//    span-for-span;
+//  * invalidation — patch_code and load_image must drop stale micro-ops,
+//    so code patched between steps is never executed from the decode
+//    cache.
+//
+// The dispatch knob is excluded from the run-memo key (both kinds are the
+// same measurement), so every comparison here clears the memo first — a
+// memo hit would compare a result with itself and prove nothing.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "mdp/assembler.h"
+#include "mdp/isa.h"
+#include "mdp/machine.h"
+#include "obs/flow.h"
+#include "programs/registry.h"
+
+namespace {
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+programs::Scale quick_scale() {
+  return programs::Scale{12, 60, 10, 10, 12, 2, 40};
+}
+
+void expect_same_run(const driver::RunResult& a, const driver::RunResult& b,
+                     const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.halt_value, b.halt_value);
+  EXPECT_EQ(a.check_error, b.check_error);
+  EXPECT_EQ(a.instructions, b.instructions);
+
+  EXPECT_EQ(a.gran.threads, b.gran.threads);
+  EXPECT_EQ(a.gran.inlets, b.gran.inlets);
+  EXPECT_EQ(a.gran.quanta, b.gran.quanta);
+  EXPECT_EQ(a.gran.activations, b.gran.activations);
+  EXPECT_EQ(a.gran.fp_calls, b.gran.fp_calls);
+  EXPECT_EQ(a.gran.thread_instrs, b.gran.thread_instrs);
+  EXPECT_EQ(a.gran.inlet_instrs, b.gran.inlet_instrs);
+  EXPECT_EQ(a.gran.sched_instrs, b.gran.sched_instrs);
+  EXPECT_EQ(a.gran.handler_instrs, b.gran.handler_instrs);
+  EXPECT_EQ(a.gran.quantum_instrs, b.gran.quantum_instrs);
+
+  for (int l = 0; l < metrics::kNumLevels; ++l) {
+    for (int r = 0; r < metrics::kNumRegions; ++r) {
+      EXPECT_EQ(a.counts.fetch[l][r], b.counts.fetch[l][r]) << l << "," << r;
+      EXPECT_EQ(a.counts.read[l][r], b.counts.read[l][r]) << l << "," << r;
+      EXPECT_EQ(a.counts.write[l][r], b.counts.write[l][r]) << l << "," << r;
+    }
+  }
+
+  ASSERT_EQ(a.cache.size(), b.cache.size());
+  for (std::size_t i = 0; i < a.cache.size(); ++i) {
+    SCOPED_TRACE(a.cache[i].config.name());
+    EXPECT_EQ(a.cache[i].icache.accesses, b.cache[i].icache.accesses);
+    EXPECT_EQ(a.cache[i].icache.misses, b.cache[i].icache.misses);
+    EXPECT_EQ(a.cache[i].icache.writebacks, b.cache[i].icache.writebacks);
+    EXPECT_EQ(a.cache[i].dcache.accesses, b.cache[i].dcache.accesses);
+    EXPECT_EQ(a.cache[i].dcache.misses, b.cache[i].dcache.misses);
+    EXPECT_EQ(a.cache[i].dcache.writebacks, b.cache[i].dcache.writebacks);
+  }
+
+  EXPECT_EQ(a.queue_high_water[0], b.queue_high_water[0]);
+  EXPECT_EQ(a.queue_high_water[1], b.queue_high_water[1]);
+}
+
+/// Run one workload under `opts` with a cold memo, so a decoded and a
+/// classic run can never share one memoized result.
+driver::RunResult cold_run(const programs::Workload& w,
+                           driver::RunOptions opts) {
+  driver::clear_run_memo();
+  return driver::run_workload(w, opts);
+}
+
+class InterpEquivalence
+    : public ::testing::TestWithParam<rt::BackendKind> {};
+
+TEST_P(InterpEquivalence, MatchesClassicOnEveryWorkload) {
+  for (const programs::Workload& w : programs::paper_workloads(quick_scale())) {
+    driver::RunOptions classic;
+    classic.backend = GetParam();
+    classic.dispatch = mdp::DispatchKind::Classic;
+    classic.cache_workers = 1;
+    const driver::RunResult base = cold_run(w, classic);
+    ASSERT_TRUE(base.ok()) << w.name << ": " << base.check_error;
+    ASSERT_EQ(base.cache.size(), 24u);
+
+    driver::RunOptions decoded = classic;
+    decoded.dispatch = mdp::DispatchKind::Decoded;
+    expect_same_run(base, cold_run(w, decoded), w.name + " decoded-serial");
+
+    decoded.cache_workers = 4;  // decoded atop the sharded cache pool
+    expect_same_run(base, cold_run(w, decoded), w.name + " decoded-sharded");
+  }
+}
+
+TEST_P(InterpEquivalence, MatchesClassicOnPerEventTracePath) {
+  // The seed per-event TraceSink path (batched_trace off) exercises the
+  // other JTAM_ACCT branch: sink_->on_fetch per instruction instead of
+  // TraceBuffer appends.
+  for (const programs::Workload& w : programs::paper_workloads(quick_scale())) {
+    driver::RunOptions classic;
+    classic.backend = GetParam();
+    classic.dispatch = mdp::DispatchKind::Classic;
+    classic.batched_trace = false;
+    classic.engine = driver::CacheEngine::Classic;
+    classic.cache_workers = 1;
+    const driver::RunResult base = cold_run(w, classic);
+    ASSERT_TRUE(base.ok()) << w.name << ": " << base.check_error;
+
+    driver::RunOptions decoded = classic;
+    decoded.dispatch = mdp::DispatchKind::Decoded;
+    expect_same_run(base, cold_run(w, decoded), w.name + " per-event");
+  }
+}
+
+TEST_P(InterpEquivalence, MatchesClassicWithHooksOff) {
+  // Measurement hooks off entirely (no cache ladder): only the
+  // architectural outcome and the machine's own counters remain.
+  for (const programs::Workload& w : programs::paper_workloads(quick_scale())) {
+    driver::RunOptions classic;
+    classic.backend = GetParam();
+    classic.dispatch = mdp::DispatchKind::Classic;
+    classic.with_cache = false;
+    const driver::RunResult base = cold_run(w, classic);
+    ASSERT_TRUE(base.ok()) << w.name << ": " << base.check_error;
+
+    driver::RunOptions decoded = classic;
+    decoded.dispatch = mdp::DispatchKind::Decoded;
+    expect_same_run(base, cold_run(w, decoded), w.name + " hooks-off");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, InterpEquivalence,
+    ::testing::Values(rt::BackendKind::MessageDriven,
+                      rt::BackendKind::ActiveMessages),
+    [](const auto& info) {
+      return info.param == rt::BackendKind::MessageDriven ? "MD" : "AM";
+    });
+
+// ---------------------------------------------------------------------------
+// Trace-stream equivalence at the machine level: the exact event sequence.
+
+struct Event {
+  char kind;  // 'f' fetch, 'r' read, 'w' write, 'm' mark
+  std::uint32_t a;
+  std::uint32_t b;
+
+  bool operator==(const Event&) const = default;
+};
+
+class RecordingSink final : public mdp::TraceSink {
+ public:
+  void on_fetch(mem::Addr a, mdp::Priority p) override {
+    ev.push_back({'f', a, static_cast<std::uint32_t>(p)});
+  }
+  void on_read(mem::Addr a, mdp::Priority p) override {
+    ev.push_back({'r', a, static_cast<std::uint32_t>(p)});
+  }
+  void on_write(mem::Addr a, mdp::Priority p) override {
+    ev.push_back({'w', a, static_cast<std::uint32_t>(p)});
+  }
+  void on_mark(mdp::MarkKind k, std::uint32_t aux, mdp::Priority p) override {
+    ev.push_back({'m', (static_cast<std::uint32_t>(k) << 8) |
+                           static_cast<std::uint32_t>(p),
+                  aux});
+  }
+
+  std::vector<Event> ev;
+};
+
+/// A small program crossing every superblock boundary kind: straight-line
+/// arithmetic, a data store/load, a backward branch, a low-priority send
+/// (SENDE), SUSPEND, and a final handler that halts.
+mdp::CodeImage boundary_program() {
+  using namespace mdp;
+  Assembler a;
+  a.section(Section::SysCode);
+  auto loop = a.label("loop");
+  auto fin = a.label("fin");
+
+  auto entry = a.here("entry");
+  a.movi(R1, 5);
+  a.movi(R2, static_cast<std::int32_t>(mem::kUserDataBase + 0x40));
+  a.bind(loop);
+  a.alui(Op::Subi, R1, R1, 1);
+  a.st(R2, 0, R1);            // data write each iteration
+  a.ld(R3, R2, 0);            // and a read back
+  a.brnz(R1, loop);
+  a.sendl();                  // compose a local low message -> fin
+  a.sendwi(fin);
+  a.sende();
+  a.suspend();
+
+  a.bind(fin);
+  a.halt(R3);
+  a.suspend();
+
+  CodeImage img = a.link();
+  (void)entry;
+  return img;
+}
+
+std::vector<Event> record_run(mdp::DispatchKind d) {
+  mdp::CodeImage img = boundary_program();
+  mdp::Machine m(img);
+  m.set_dispatch(d);
+  RecordingSink sink;
+  m.set_sink(&sink);
+  const std::uint32_t boot[] = {img.symbol("entry")};
+  m.inject(mdp::Priority::Low, boot);
+  EXPECT_EQ(m.run(), mdp::RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), 0u);
+  return sink.ev;
+}
+
+TEST(InterpTraceStream, EventSequencesIdentical) {
+  const std::vector<Event> classic = record_run(mdp::DispatchKind::Classic);
+  const std::vector<Event> decoded = record_run(mdp::DispatchKind::Decoded);
+  ASSERT_FALSE(classic.empty());
+  ASSERT_EQ(classic.size(), decoded.size());
+  for (std::size_t i = 0; i < classic.size(); ++i) {
+    ASSERT_EQ(classic[i], decoded[i]) << "event " << i;
+  }
+}
+
+TEST(InterpTraceStream, BudgetBoundariesIdentical) {
+  // Chop the same run into 1-instruction budget slices: the decoded
+  // engine's charge points (including its superblock chaining) must agree
+  // with the classic loop step for step.
+  for (std::uint64_t slice : {1ull, 3ull, 7ull}) {
+    SCOPED_TRACE(slice);
+    std::vector<std::uint64_t> counts[2];
+    int k = 0;
+    for (mdp::DispatchKind d :
+         {mdp::DispatchKind::Classic, mdp::DispatchKind::Decoded}) {
+      mdp::CodeImage img = boundary_program();
+      mdp::Machine m(img);
+      m.set_dispatch(d);
+      const std::uint32_t boot[] = {img.symbol("entry")};
+      m.inject(mdp::Priority::Low, boot);
+      while (m.run_steps(slice) == mdp::RunStatus::Budget) {
+        counts[k].push_back(m.instructions_executed());
+      }
+      counts[k].push_back(m.instructions_executed());
+      EXPECT_TRUE(m.halted());
+      ++k;
+    }
+    EXPECT_EQ(counts[0], counts[1]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flow decompositions (multi-node causal tracing) are dispatch-invariant.
+
+TEST(InterpFlow, FlowDecompositionIdentical) {
+  driver::MultiRunResult runs[2];
+  int k = 0;
+  for (mdp::DispatchKind d :
+       {mdp::DispatchKind::Classic, mdp::DispatchKind::Decoded}) {
+    programs::Workload w = programs::make_mmt(6);
+    driver::RunOptions opts;
+    opts.backend = rt::BackendKind::ActiveMessages;
+    opts.dispatch = d;
+    driver::MultiOptions mopts;
+    mopts.num_nodes = 4;
+    mopts.net = net::NetKind::Mesh;
+    mopts.flow.enabled = true;
+    runs[k] = driver::run_workload_multi(w, opts, mopts);
+    ASSERT_TRUE(runs[k].ok()) << runs[k].check_error;
+    ASSERT_NE(runs[k].flow, nullptr);
+    ++k;
+  }
+  const obs::FlowTrace& a = *runs[0].flow;
+  const obs::FlowTrace& b = *runs[1].flow;
+  EXPECT_EQ(a.final_round, b.final_round);
+  EXPECT_EQ(a.halt_msg, b.halt_msg);
+  EXPECT_EQ(a.halt_node, b.halt_node);
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    SCOPED_TRACE(i);
+    const obs::FlowMessage& ma = a.messages[i];
+    const obs::FlowMessage& mb = b.messages[i];
+    EXPECT_EQ(ma.id, mb.id);
+    EXPECT_EQ(ma.parent, mb.parent);
+    EXPECT_EQ(ma.kind, mb.kind);
+    EXPECT_EQ(ma.priority, mb.priority);
+    EXPECT_EQ(ma.src_node, mb.src_node);
+    EXPECT_EQ(ma.dest_node, mb.dest_node);
+    EXPECT_EQ(ma.handler, mb.handler);
+    EXPECT_EQ(ma.length_words, mb.length_words);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decode-cache invalidation: stale micro-ops must never execute.
+
+mdp::CodeImage halting_program(std::uint32_t value) {
+  using namespace mdp;
+  Assembler a;
+  a.section(Section::SysCode);
+  auto entry = a.here("entry");
+  a.nop();  // step 0: lets a run_steps(1) warm the decode cache first
+  a.movi(R0, value);
+  a.halt(R0);
+  a.suspend();
+  (void)entry;
+  return a.link();
+}
+
+TEST(InterpInvalidation, PatchCodeDropsStaleUops) {
+  mdp::CodeImage img = halting_program(1);
+  mdp::Machine m(img);
+  m.set_dispatch(mdp::DispatchKind::Decoded);
+  const std::uint32_t boot[] = {img.symbol("entry")};
+  m.inject(mdp::Priority::Low, boot);
+
+  // One budget step: the decoded engine decodes the image and executes
+  // through the NOP, leaving the MOVI as a cached micro-op.
+  ASSERT_EQ(m.run_steps(1), mdp::RunStatus::Budget);
+
+  // Host-side patch of the MOVI immediate.  If invalidation leaked, the
+  // stale micro-op would still load 1.
+  mdp::Instr patched;
+  patched.op = mdp::Op::Movi;
+  patched.rd = mdp::R0;
+  patched.imm = 42;
+  m.patch_code(img.symbol("entry") + mem::kWordBytes, patched);
+
+  ASSERT_EQ(m.run(), mdp::RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), 42u);
+}
+
+TEST(InterpInvalidation, LoadImageDropsStaleUops) {
+  mdp::CodeImage img1 = halting_program(7);
+  mdp::Machine m(img1);
+  m.set_dispatch(mdp::DispatchKind::Decoded);
+  const std::uint32_t boot[] = {img1.symbol("entry")};
+  m.inject(mdp::Priority::Low, boot);
+  ASSERT_EQ(m.run_steps(1), mdp::RunStatus::Budget);  // decode cache warm
+
+  // Reload with an image identical in layout but different in content —
+  // the classic analogue of a program reload over the same addresses.
+  m.load_image(halting_program(9));
+  ASSERT_EQ(m.run(), mdp::RunStatus::Halted);
+  EXPECT_EQ(m.halt_value(), 9u);
+}
+
+TEST(InterpInvalidation, ClassicAgreesAfterPatch) {
+  for (mdp::DispatchKind d :
+       {mdp::DispatchKind::Classic, mdp::DispatchKind::Decoded}) {
+    SCOPED_TRACE(mdp::dispatch_kind_name(d));
+    mdp::CodeImage img = halting_program(1);
+    mdp::Machine m(img);
+    m.set_dispatch(d);
+    const std::uint32_t boot[] = {img.symbol("entry")};
+    m.inject(mdp::Priority::Low, boot);
+    ASSERT_EQ(m.run_steps(1), mdp::RunStatus::Budget);
+    mdp::Instr patched;
+    patched.op = mdp::Op::Movi;
+    patched.rd = mdp::R0;
+    patched.imm = 42;
+    m.patch_code(img.symbol("entry") + mem::kWordBytes, patched);
+    ASSERT_EQ(m.run(), mdp::RunStatus::Halted);
+    EXPECT_EQ(m.halt_value(), 42u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Naming tables stay exhaustive (satellite: consolidated RunStatus /
+// dispatch naming in isa.h).
+
+TEST(InterpNaming, EveryEnumValueHasAName) {
+  for (mdp::RunStatus s :
+       {mdp::RunStatus::Halted, mdp::RunStatus::Budget,
+        mdp::RunStatus::Deadlock}) {
+    EXPECT_STRNE(mdp::run_status_name(s), "");
+  }
+  EXPECT_STREQ(mdp::dispatch_kind_name(mdp::DispatchKind::Decoded),
+               "decoded");
+  EXPECT_STREQ(mdp::dispatch_kind_name(mdp::DispatchKind::Classic),
+               "classic");
+}
+
+}  // namespace
