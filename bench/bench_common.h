@@ -15,6 +15,7 @@
 #include "driver/report.h"
 #include "metrics/cycles.h"
 #include "obs/critical_path.h"
+#include "obs/export.h"
 #include "obs/flow.h"
 #include "obs/obs.h"
 #include "programs/registry.h"
@@ -112,16 +113,25 @@ inline std::span<const std::uint32_t> paper_block_sizes() {
 ///   --trace <path>  write a Chrome/Perfetto timeline of every (workload,
 ///                   back-end) run at the bench's scale;
 ///   --profile       print a flat profile + distribution summary per run;
+///   --locality      print a locality scorecard per run (per-symbol MRCs,
+///                   access-class breakdown, frame reuse distances) plus an
+///                   MD vs AM per-symbol diff per workload; with --trace
+///                   the timeline gains locality counter tracks;
+///   --out <path>    write the textual obs/locality reports to a file
+///                   instead of interleaving them with the bench's stdout
+///                   metric block;
 ///   --flow <path>   run each paper workload on a 4-node mesh with causal
 ///                   message tracing and write one merged multi-node
 ///                   Perfetto timeline (flow arrows across node tracks),
-///                   plus a per-run critical-path report on stdout.
+///                   plus a per-run critical-path report.
 struct ObsArgs {
   std::string trace_path;
   std::string flow_path;
+  std::string out_path;
   bool profile = false;
+  bool locality = false;
   bool any() const {
-    return profile || !trace_path.empty() || !flow_path.empty();
+    return profile || locality || !trace_path.empty() || !flow_path.empty();
   }
 };
 
@@ -130,9 +140,13 @@ inline ObsArgs obs_args_from_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--trace" && i + 1 < argc) oa.trace_path = argv[i + 1];
+    if (a.rfind("--trace=", 0) == 0) oa.trace_path = a.substr(8);
     if (a == "--flow" && i + 1 < argc) oa.flow_path = argv[i + 1];
     if (a.rfind("--flow=", 0) == 0) oa.flow_path = a.substr(7);
+    if (a == "--out" && i + 1 < argc) oa.out_path = argv[i + 1];
+    if (a.rfind("--out=", 0) == 0) oa.out_path = a.substr(6);
     if (a == "--profile") oa.profile = true;
+    if (a == "--locality") oa.locality = true;
   }
   return oa;
 }
@@ -201,66 +215,100 @@ inline void maybe_export_flow(const ObsArgs& oa,
   std::vector<std::pair<std::string, const obs::FlowTrace*>> refs;
   refs.reserve(traces.size());
   for (const auto& [label, tr] : traces) refs.emplace_back(label, tr.get());
-  std::ofstream out(oa.flow_path);
-  obs::write_flow_chrome_trace(out, refs);
-  if (!out) {
-    std::cerr << "warning: could not write flow trace to " << oa.flow_path
-              << "\n";
-  } else {
-    std::cerr << "  wrote " << oa.flow_path << " (" << refs.size()
-              << " flow traces)\n";
-  }
+  std::string note = "(";
+  note += std::to_string(refs.size());
+  note += " flow traces)";
+  obs::write_file(
+      oa.flow_path, "flow trace",
+      [&](std::ostream& out) { obs::write_flow_chrome_trace(out, refs); },
+      note);
 }
 
-/// When --trace/--profile was given, run each paper workload under both
-/// back-ends with the requested collectors attached and emit the
-/// artifacts.  These are extra instrumented runs made directly through
+/// When --trace/--profile/--locality was given, run each paper workload
+/// under both back-ends with the requested collectors attached and emit
+/// the artifacts.  These are extra instrumented runs made directly through
 /// run_workload (never the memo): measurement runs stay untouched, and the
 /// collectors cost nothing when the flags are absent.  The measured cache
-/// ladder is skipped — the profiler simulates its own caches.
+/// ladder is skipped — the profiler and locality collector simulate their
+/// own caches.  With --locality the per-run report includes the locality
+/// scorecard and, per workload, an MD vs AM per-symbol diff at the
+/// headline config; --out routes all textual reports to a file so they do
+/// not interleave with the bench's stdout metric block.
 inline void maybe_export_obs(const ObsArgs& oa, const programs::Scale& scale,
                              driver::RunOptions opts) {
   if (!oa.any()) return;
   maybe_export_flow(oa, scale);
-  if (!oa.profile && oa.trace_path.empty()) return;
+  if (!oa.profile && !oa.locality && oa.trace_path.empty()) return;
   opts.with_cache = false;
   opts.obs.profile = oa.profile;
   opts.obs.histograms = oa.profile;
   opts.obs.pipeline_metrics = oa.profile;
   opts.obs.timeline = !oa.trace_path.empty();
+  opts.obs.locality = oa.locality;
+
+  std::ofstream out_file;
+  std::ostream* rep = &std::cout;
+  if (!oa.out_path.empty()) {
+    out_file.open(oa.out_path);
+    if (out_file) {
+      rep = &out_file;
+    } else {
+      std::cerr << "warning: could not write obs report to " << oa.out_path
+                << "\n";
+    }
+  }
 
   std::vector<std::pair<std::string, std::shared_ptr<const obs::Report>>>
       runs;
   for (const programs::Workload& w : programs::paper_workloads(scale)) {
+    std::shared_ptr<const obs::Report> md_report;
     for (rt::BackendKind b :
          {rt::BackendKind::MessageDriven, rt::BackendKind::ActiveMessages}) {
       opts.backend = b;
       driver::RunResult r = driver::run_workload(w, opts);
       const std::string label =
           w.name + (b == rt::BackendKind::MessageDriven ? " / MD" : " / AM");
-      if (oa.profile && r.obs != nullptr) {
-        std::cout << "\n== " << label << " ==\n";
-        r.obs->write_text(std::cout);
+      if ((oa.profile || oa.locality) && r.obs != nullptr) {
+        *rep << "\n== " << label << " ==\n";
+        r.obs->write_text(*rep);
+      }
+      if (b == rt::BackendKind::MessageDriven) {
+        md_report = r.obs;
+      } else if (md_report != nullptr && r.obs != nullptr &&
+                 md_report->locality && r.obs->locality) {
+        const obs::LocalityReport& md = *md_report->locality;
+        obs::LocalityReport::diff(md, *r.obs->locality, md.headline)
+            .write_text(*rep);
       }
       runs.emplace_back(label, r.obs);
     }
   }
+  if (out_file) std::cerr << "  wrote " << oa.out_path << "\n";
   if (!oa.trace_path.empty()) {
-    std::vector<std::pair<std::string, const obs::Timeline*>> timelines;
-    for (const auto& [label, rep] : runs) {
-      if (rep != nullptr && rep->timeline) {
-        timelines.emplace_back(label, &*rep->timeline);
+    // With locality on, merge the counter tracks into the timeline file;
+    // both shapes load in Perfetto the same way.
+    std::vector<obs::LocalityTimelineRun> merged;
+    for (const auto& [label, report] : runs) {
+      if (report == nullptr) continue;
+      obs::LocalityTimelineRun run;
+      run.label = label;
+      if (report->timeline) run.timeline = &*report->timeline;
+      if (report->locality) run.locality = &*report->locality;
+      if (run.timeline != nullptr || run.locality != nullptr) {
+        merged.push_back(run);
       }
     }
-    std::ofstream out(oa.trace_path);
-    obs::write_chrome_trace(out, timelines);
-    if (!out) {
-      std::cerr << "warning: could not write timeline to " << oa.trace_path
-                << "\n";
-    } else {
-      std::cerr << "  wrote " << oa.trace_path << " ("
-                << timelines.size() << " timelines)\n";
-    }
+    std::string note = "(";
+    note += std::to_string(merged.size());
+    note += " timelines";
+    if (oa.locality) note += " + locality counters";
+    note += ")";
+    obs::write_file(
+        oa.trace_path, "timeline",
+        [&](std::ostream& out) {
+          obs::write_locality_chrome_trace(out, merged);
+        },
+        note);
   }
 }
 
@@ -300,13 +348,8 @@ inline void write_json(const std::string& path, const std::string& bench_name,
      << "    \"run_memo_hits\": " << memo.hits
      << ",\n    \"run_memo_misses\": " << memo.misses;
   os << "\n  }\n}\n";
-  std::ofstream out(path);
-  out << os.str();
-  if (!out) {
-    std::cerr << "warning: could not write JSON report to " << path << "\n";
-  } else {
-    std::cerr << "  wrote " << path << "\n";
-  }
+  obs::write_file(path, "JSON report",
+                  [&](std::ostream& out) { out << os.str(); });
 }
 
 /// Run every paper workload under both back-ends with the given options.

@@ -91,6 +91,8 @@ int main(int argc, char** argv) {
   }
   std::cerr << "  simulation wall-clock: " << text::fixed(wall, 3) << " s\n";
   bench::write_json(args.json_path, "bench_fig3", wall, metrics);
-  bench::maybe_export_obs(args.obs, args.scale, {});
+  // Pass the perf knobs through so the instrumented --profile/--locality
+  // runs exercise the same engine/dispatcher as the measurement runs.
+  bench::maybe_export_obs(args.obs, args.scale, opts);
   return 0;
 }

@@ -201,15 +201,13 @@ int main(int argc, char** argv) {
     std::vector<std::pair<std::string, const obs::FlowTrace*>> refs;
     refs.reserve(traces.size());
     for (const auto& [label, tr] : traces) refs.emplace_back(label, tr.get());
-    std::ofstream out(obs_args.flow_path);
-    obs::write_flow_chrome_trace(out, refs);
-    if (!out) {
-      std::cerr << "warning: could not write flow trace to "
-                << obs_args.flow_path << "\n";
-    } else {
-      std::cerr << "  wrote " << obs_args.flow_path << " (" << refs.size()
-                << " flow traces)\n";
-    }
+    std::string note = "(";
+    note += std::to_string(refs.size());
+    note += " flow traces)";
+    obs::write_file(
+        obs_args.flow_path, "flow trace",
+        [&](std::ostream& out) { obs::write_flow_chrome_trace(out, refs); },
+        note);
   }
   return 0;
 }

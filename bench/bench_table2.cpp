@@ -7,6 +7,11 @@
 // Expected shape (not absolute values): TPQ increases down the program
 // list, AM's TPQ/IPQ are >= MD's, and the MD/AM cycle ratio falls as TPQ
 // rises (finest-grained programs favour AM; coarse ones favour MD).
+//
+// --locality adds a per-run locality scorecard (per-symbol miss-ratio
+// curves over the whole 24-config ladder, frame/heap/queue/global access
+// breakdown) and an MD vs AM per-symbol diff per workload; pair it with
+// --out to keep the table's stdout metric block clean.
 
 #include <iostream>
 

@@ -1,64 +1,87 @@
 // Cache explorer: run one of the paper's workloads under both back-ends
-// and dump the entire cache ladder — instruction/data misses and total
-// cycles for every geometry the paper sweeps.  Useful for seeing exactly
-// where the MD/AM trade-off flips for a given program.
+// and dump the entire cache ladder — instruction/data misses and cycle
+// ratios for every geometry the paper sweeps, at every paper block size.
+// Useful for seeing exactly where the MD/AM trade-off flips for a given
+// program.
 //
-// Usage:  ./build/examples/cache_explorer [mmt|qs|dtw|paraffins|wavefront|ss]
+// The whole 4-block-size x 24-geometry grid costs ONE machine pass per
+// back-end: driver::run_blocksize_sweep records the reference stream once
+// and replays it through a stack-distance ladder per block size, instead
+// of re-simulating the machine per configuration (--engine=classic
+// restores the one-run-per-size behaviour for comparison).  Accepts the
+// common bench flags via bench::CommonArgs: --quick, --engine, --dispatch.
+//
+// Usage:  cache_explorer [mmt|qs|dtw|paraffins|wavefront|ss] [--quick]
 
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "driver/experiment.h"
-#include "driver/report.h"
-#include "programs/registry.h"
-#include "support/text.h"
+#include "bench_common.h"
 
 using namespace jtam;  // NOLINT(build/namespaces)
 
 int main(int argc, char** argv) {
-  const std::string which = argc > 1 ? argv[1] : "qs";
-  programs::Scale scale;
-  programs::Workload w = [&] {
-    if (which == "mmt") return programs::make_mmt(scale.mmt_n);
-    if (which == "qs") return programs::make_quicksort(scale.qs_n);
-    if (which == "dtw") return programs::make_dtw(scale.dtw_n);
-    if (which == "paraffins") return programs::make_paraffins(scale.paraffins_n);
-    if (which == "wavefront") {
-      return programs::make_wavefront(scale.wavefront_n,
-                                      scale.wavefront_steps);
-    }
-    if (which == "ss") return programs::make_selection_sort(scale.ss_n);
+  const bench::CommonArgs args = bench::common_args(argc, argv);
+  const std::string which =
+      (argc > 1 && argv[1][0] != '-') ? argv[1] : "qs";
+
+  const std::vector<programs::Workload> ws =
+      programs::paper_workloads(args.scale);
+  const programs::Workload* w = nullptr;
+  for (const programs::Workload& cand : ws) {
+    if (cand.name == which) w = &cand;
+  }
+  if (w == nullptr) {
     std::cerr << "unknown workload '" << which
               << "' (mmt|qs|dtw|paraffins|wavefront|ss)\n";
-    std::exit(2);
-  }();
+    return 2;
+  }
+  std::cout << w->description << "\n\n";
 
-  std::cout << w.description << "\n\n";
-  driver::BackendPair p = driver::run_both(w, driver::RunOptions{});
-  driver::require_ok({&p.md, &p.am});
+  const std::span<const std::uint32_t> blocks = bench::paper_block_sizes();
+  std::vector<driver::RunResult> md;
+  std::vector<driver::RunResult> am;
+  for (rt::BackendKind b :
+       {rt::BackendKind::MessageDriven, rt::BackendKind::ActiveMessages}) {
+    driver::RunOptions opts = args.run_options();
+    opts.backend = b;
+    std::vector<driver::RunResult> rs =
+        driver::run_blocksize_sweep(*w, opts, blocks);
+    (b == rt::BackendKind::MessageDriven ? md : am) = std::move(rs);
+  }
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    driver::require_ok({&md[k], &am[k]});
+  }
 
-  for (const driver::RunResult* r : {&p.md, &p.am}) {
+  for (const driver::RunResult* r : {&md[0], &am[0]}) {
     std::cout << "[" << rt::backend_name(r->backend) << "] "
               << text::with_commas(r->instructions) << " instructions, "
               << text::with_commas(r->counts.total_reads()) << " reads, "
               << text::with_commas(r->counts.total_writes()) << " writes\n";
   }
-  std::cout << "\n";
 
-  text::Table t;
-  t.header({"Config", "MD I-miss", "MD D-miss", "AM I-miss", "AM D-miss",
-            "MD/AM @12", "@24", "@48"});
-  for (const driver::ConfigResult& c : p.md.cache) {
-    const auto& cm = p.md.config(c.config.size_bytes, c.config.assoc);
-    const auto& ca = p.am.config(c.config.size_bytes, c.config.assoc);
-    t.row({c.config.name(), text::with_commas(cm.icache.misses),
-           text::with_commas(cm.dcache.misses),
-           text::with_commas(ca.icache.misses),
-           text::with_commas(ca.dcache.misses),
-           text::fixed(p.ratio(c.config.size_bytes, c.config.assoc, 12), 3),
-           text::fixed(p.ratio(c.config.size_bytes, c.config.assoc, 24), 3),
-           text::fixed(p.ratio(c.config.size_bytes, c.config.assoc, 48), 3)});
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    driver::BackendPair p;
+    p.md = std::move(md[k]);
+    p.am = std::move(am[k]);
+    std::cout << "\n==== " << blocks[k] << "-byte blocks ====\n";
+    text::Table t;
+    t.header({"Config", "MD I-miss", "MD D-miss", "AM I-miss", "AM D-miss",
+              "MD/AM @12", "@24", "@48"});
+    for (const driver::ConfigResult& c : p.md.cache) {
+      const auto& cm = p.md.config(c.config.size_bytes, c.config.assoc);
+      const auto& ca = p.am.config(c.config.size_bytes, c.config.assoc);
+      t.row({c.config.name(), text::with_commas(cm.icache.misses),
+             text::with_commas(cm.dcache.misses),
+             text::with_commas(ca.icache.misses),
+             text::with_commas(ca.dcache.misses),
+             text::fixed(p.ratio(c.config.size_bytes, c.config.assoc, 12), 3),
+             text::fixed(p.ratio(c.config.size_bytes, c.config.assoc, 24), 3),
+             text::fixed(p.ratio(c.config.size_bytes, c.config.assoc, 48),
+                         3)});
+    }
+    t.print(std::cout);
   }
-  t.print(std::cout);
   return 0;
 }

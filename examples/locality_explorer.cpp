@@ -1,0 +1,167 @@
+// locality_explorer: the jtam::obs locality-observatory command line.
+// Runs one paper workload under both back-ends with the locality collector
+// attached and emits the artifacts:
+//
+//   - a locality scorecard per run: per-symbol miss-ratio curves over the
+//     whole 24-config paper ladder, frame/heap/queue/global access-class
+//     breakdown, frame reuse-distance percentiles;
+//   - the MD vs AM per-symbol diff at the headline config — which symbols
+//     gain or lose locality when the scheduling regime changes;
+//   - optional CSV/JSON exports of the full attribution matrix and an
+//     optional Chrome/Perfetto trace with the scheduling timeline and the
+//     locality counter tracks merged per run.
+//
+// Everything comes out of ONE machine pass per back-end: the keyed stack
+// engine computes every symbol's hit count at all 24 geometries from the
+// same recorded reference stream.
+//
+// Usage:
+//   locality_explorer [workload] [--backend md|am|both] [--quick]
+//                     [--csv <path>] [--json <path>] [--trace <path>]
+//                     [--top N]
+//
+// Workloads: mmt qs dtw paraffins wavefront ss.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "driver/report.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "programs/registry.h"
+#include "support/text.h"
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+namespace {
+
+programs::Workload find_workload(const std::string& name,
+                                 const programs::Scale& scale) {
+  for (programs::Workload& w : programs::paper_workloads(scale)) {
+    if (w.name == name) return w;
+  }
+  std::cerr << "unknown workload '" << name
+            << "' (mmt|qs|dtw|paraffins|wavefront|ss)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "qs";
+  std::string backend = "both";
+  std::string csv_path;
+  std::string json_path;
+  std::string trace_path;
+  int top_n = 12;
+  bool quick = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << a << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--backend") {
+      backend = next();
+    } else if (a == "--csv") {
+      csv_path = next();
+    } else if (a == "--json") {
+      json_path = next();
+    } else if (a == "--trace") {
+      trace_path = next();
+    } else if (a == "--top") {
+      top_n = std::atoi(next().c_str());
+    } else if (a == "--quick") {
+      quick = true;
+    } else if (!a.empty() && a[0] != '-') {
+      workload = a;
+    } else {
+      std::cerr << "unknown option '" << a << "'\n";
+      return 2;
+    }
+  }
+  if (backend != "md" && backend != "am" && backend != "both") {
+    std::cerr << "--backend must be md, am, or both\n";
+    return 2;
+  }
+
+  const programs::Scale scale =
+      quick ? programs::Scale{12, 60, 10, 10, 12, 2, 40} : programs::Scale{};
+  const programs::Workload w = find_workload(workload, scale);
+
+  driver::RunOptions opts;
+  opts.with_cache = false;  // the keyed stack engine is the cache here
+  opts.obs.locality = true;
+  opts.obs.timeline = !trace_path.empty();
+
+  std::vector<rt::BackendKind> backends;
+  if (backend != "am") backends.push_back(rt::BackendKind::MessageDriven);
+  if (backend != "md") backends.push_back(rt::BackendKind::ActiveMessages);
+
+  std::cout << w.description << "\n";
+  std::vector<driver::RunResult> results;
+  for (rt::BackendKind b : backends) {
+    opts.backend = b;
+    results.push_back(driver::run_workload(w, opts));
+    driver::require_ok({&results.back()});
+    const driver::RunResult& r = results.back();
+    std::cout << "\n== " << w.name << " / " << rt::backend_name(r.backend)
+              << " — " << text::with_commas(r.instructions)
+              << " instructions ==\n";
+    r.obs->locality->write_text(std::cout, top_n);
+  }
+  if (results.size() == 2) {
+    const obs::LocalityReport& md = *results[0].obs->locality;
+    const obs::LocalityReport& am = *results[1].obs->locality;
+    obs::LocalityReport::diff(md, am, md.headline)
+        .write_text(std::cout, top_n);
+  }
+
+  if (!csv_path.empty()) {
+    obs::write_file(csv_path, "locality CSV", [&](std::ostream& out) {
+      for (const driver::RunResult& r : results) {
+        out << "# " << w.name << " / " << rt::backend_name(r.backend) << "\n";
+        r.obs->locality->write_csv(out);
+      }
+    });
+  }
+  if (!json_path.empty()) {
+    obs::write_file(json_path, "locality JSON", [&](std::ostream& out) {
+      if (results.size() == 1) {
+        results[0].obs->locality->write_json(out);
+        return;
+      }
+      out << "{\n";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        out << (i == 0 ? "" : ",\n") << "\""
+            << rt::backend_name(results[i].backend) << "\": ";
+        results[i].obs->locality->write_json(out);
+      }
+      out << "}\n";
+    });
+  }
+  if (!trace_path.empty()) {
+    std::vector<obs::LocalityTimelineRun> runs;
+    for (const driver::RunResult& r : results) {
+      obs::LocalityTimelineRun run;
+      run.label = w.name + std::string(" / ") + rt::backend_name(r.backend);
+      if (r.obs->timeline) run.timeline = &*r.obs->timeline;
+      if (r.obs->locality) run.locality = &*r.obs->locality;
+      runs.push_back(run);
+    }
+    obs::write_file(
+        trace_path, "locality trace",
+        [&](std::ostream& out) {
+          obs::write_locality_chrome_trace(out, runs);
+        },
+        "— open it at https://ui.perfetto.dev");
+  }
+  return 0;
+}

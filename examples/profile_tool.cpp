@@ -27,6 +27,7 @@
 
 #include "driver/experiment.h"
 #include "driver/report.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 #include "programs/registry.h"
 #include "support/text.h"
@@ -168,10 +169,10 @@ int main(int argc, char** argv) {
             &*r.obs->timeline);
       }
     }
-    std::ofstream out(trace_path);
-    obs::write_chrome_trace(out, timelines);
-    std::cerr << "wrote " << trace_path
-              << " — open it at https://ui.perfetto.dev\n";
+    obs::write_file(
+        trace_path, "timeline",
+        [&](std::ostream& out) { obs::write_chrome_trace(out, timelines); },
+        "— open it at https://ui.perfetto.dev");
   }
   return 0;
 }

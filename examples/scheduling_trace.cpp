@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "driver/experiment.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 #include "programs/registry.h"
 
@@ -94,10 +95,10 @@ int main(int argc, char** argv) {
                                  rt::backend_name(r.backend),
                              &*r.obs->timeline);
     }
-    std::ofstream out(trace_path);
-    obs::write_chrome_trace(out, timelines);
-    std::cerr << "wrote " << trace_path
-              << " — open it at https://ui.perfetto.dev\n";
+    obs::write_file(
+        trace_path, "timeline",
+        [&](std::ostream& out) { obs::write_chrome_trace(out, timelines); },
+        "— open it at https://ui.perfetto.dev");
   }
   return 0;
 }

@@ -1,0 +1,186 @@
+#include "cache/attr_stack.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "support/error.h"
+
+namespace jtam::cache {
+
+AttrStackStream::AttrStackStream(const std::vector<CacheConfig>& configs,
+                                 std::uint32_t num_keys,
+                                 std::uint32_t rd_window)
+    : num_keys_(num_keys), rd_window_(rd_window), configs_(configs) {
+  JTAM_CHECK(!configs_.empty(), "attr stack stream needs at least one config");
+  JTAM_CHECK(num_keys_ != 0, "attr stack stream needs at least one key");
+  for (const CacheConfig& c : configs_) {
+    c.validate();
+    JTAM_CHECK(c.block_bytes == configs_[0].block_bytes,
+               "attr stack stream configs must share one block size");
+  }
+  block_shift_ =
+      static_cast<std::uint32_t>(std::countr_zero(configs_[0].block_bytes));
+
+  // One Mapping per distinct set count, sorted ascending — the same
+  // construction as StackStream so the per-access walk visits identical
+  // state in identical order.
+  std::vector<std::uint32_t> set_counts;
+  set_counts.reserve(configs_.size());
+  for (const CacheConfig& c : configs_) set_counts.push_back(c.num_sets());
+  std::sort(set_counts.begin(), set_counts.end());
+  set_counts.erase(std::unique(set_counts.begin(), set_counts.end()),
+                   set_counts.end());
+
+  maps_.resize(set_counts.size());
+  cfg_loc_.resize(configs_.size());
+  for (std::size_t m = 0; m < set_counts.size(); ++m) {
+    Mapping& mp = maps_[m];
+    mp.set_mask = set_counts[m] - 1;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> here;  // (assoc, cfg)
+    for (std::size_t c = 0; c < configs_.size(); ++c) {
+      if (configs_[c].num_sets() != set_counts[m]) continue;
+      cfg_loc_[c] = CfgLoc{static_cast<std::uint32_t>(m), configs_[c].assoc};
+      here.emplace_back(configs_[c].assoc, static_cast<std::uint32_t>(c));
+    }
+    std::sort(here.begin(), here.end());
+    for (const auto& [assoc, cfg] : here) {
+      mp.assocs.push_back(assoc);
+      mp.cfg_of.push_back(cfg);
+      mp.amax = std::max(mp.amax, assoc);
+    }
+    mp.rows.assign(static_cast<std::size_t>(set_counts[m]) * 2 * mp.amax, 0);
+    for (std::size_t s = 0; s < set_counts[m]; ++s) {
+      for (std::uint32_t j = 0; j < mp.amax; ++j) {
+        mp.rows[s * 2 * mp.amax + j] = kNil;
+      }
+    }
+    mp.hits_at_pos.assign(
+        static_cast<std::size_t>(num_keys_) * (mp.amax + 1), 0);
+  }
+  accesses_.assign(num_keys_, 0);
+  mru_repeats_.assign(num_keys_, 0);
+  writebacks_.assign(static_cast<std::size_t>(configs_.size()) * num_keys_,
+                     0);
+  rd_hist_.assign(static_cast<std::size_t>(num_keys_) * kRdBuckets, 0);
+  rd_list_.reserve(rd_window_);
+}
+
+void AttrStackStream::record_reuse(std::uint32_t block, std::uint32_t key,
+                                   bool mru) {
+  if (rd_window_ == 0) return;
+  std::uint64_t* hist =
+      rd_hist_.data() + static_cast<std::size_t>(key) * kRdBuckets;
+  if (mru) {  // block is the window's front: distance 0, nothing moves
+    ++hist[0];
+    return;
+  }
+  std::uint32_t d = 0;
+  const std::uint32_t n = static_cast<std::uint32_t>(rd_list_.size());
+  while (d < n && rd_list_[d] != block) ++d;
+  if (d == n) {  // cold or pushed beyond the window
+    ++hist[kRdBuckets - 1];
+    if (n == rd_window_) rd_list_.pop_back();
+  } else {
+    const std::uint32_t b =
+        d == 0 ? 0
+               : std::min<std::uint32_t>(
+                     1 + static_cast<std::uint32_t>(std::bit_width(d) - 1),
+                     kRdBuckets - 2);
+    ++hist[b];
+    rd_list_.erase(rd_list_.begin() + d);
+  }
+  rd_list_.insert(rd_list_.begin(), block);
+}
+
+void AttrStackStream::access(std::uint32_t addr, bool is_write,
+                             std::uint32_t key) {
+  const std::uint32_t block = addr >> block_shift_;
+  ++accesses_[key];
+  if (block == mru_block_) {  // hit at position 0 of every mapping
+    ++mru_repeats_[key];
+    record_reuse(block, key, /*mru=*/true);
+    if (is_write && !mru_dirty_) mark_mru_dirty();
+    return;
+  }
+  record_reuse(block, key, /*mru=*/false);
+  access_slow(block, is_write, key);
+}
+
+// Same update sequence as StackStream::apply (see stack_sim.cpp for the
+// full commentary), with the hit histogram and the write-back charge
+// indexed by the accessing key.
+void AttrStackStream::apply(Mapping& mp, std::uint32_t block, bool is_write,
+                            std::uint32_t key) {
+  const std::uint32_t amax = mp.amax;
+  const std::size_t base =
+      static_cast<std::size_t>(block & mp.set_mask) * 2 * amax;
+  std::uint32_t* blk = mp.rows.data() + base;
+  std::uint32_t* lim = blk + amax;
+
+  std::uint32_t p = 0;
+  while (p < amax && blk[p] != block && blk[p] != kNil) ++p;
+  const bool hit = p < amax && blk[p] == block;
+  ++mp.hits_at_pos[static_cast<std::size_t>(key) * (amax + 1) +
+                   (hit ? p : amax)];
+
+  for (std::size_t a = 0; a < mp.assocs.size(); ++a) {
+    const std::uint32_t A = mp.assocs[a];
+    if (A > p) break;
+    if (A > lim[A - 1]) {
+      ++writebacks_[static_cast<std::size_t>(mp.cfg_of[a]) * num_keys_ + key];
+    }
+  }
+
+  const std::uint32_t limit =
+      is_write ? 0 : (hit ? std::max(lim[p], p) : amax);
+  for (std::uint32_t j = hit ? p : amax - 1; j > 0; --j) {
+    blk[j] = blk[j - 1];
+    lim[j] = lim[j - 1];
+  }
+  blk[0] = block;
+  lim[0] = limit;
+}
+
+void AttrStackStream::access_slow(std::uint32_t block, bool is_write,
+                                  std::uint32_t key) {
+  for (Mapping& mp : maps_) apply(mp, block, is_write, key);
+  mru_block_ = block;
+  mru_dirty_ = is_write;
+}
+
+void AttrStackStream::mark_mru_dirty() {
+  for (Mapping& mp : maps_) {
+    mp.rows[static_cast<std::size_t>(mru_block_ & mp.set_mask) * 2 * mp.amax +
+            mp.amax] = 0;
+  }
+  mru_dirty_ = true;
+}
+
+CacheStats AttrStackStream::stats_for(std::size_t c,
+                                      std::uint32_t key) const {
+  const CfgLoc loc = cfg_loc_[c];
+  const Mapping& mp = maps_[loc.map];
+  const std::uint64_t* hp =
+      mp.hits_at_pos.data() + static_cast<std::size_t>(key) * (mp.amax + 1);
+  std::uint64_t hits = mru_repeats_[key];
+  for (std::uint32_t p = 0; p < loc.assoc; ++p) hits += hp[p];
+  CacheStats s;
+  s.accesses = accesses_[key];
+  s.misses = accesses_[key] - hits;
+  s.writebacks = writebacks_[c * num_keys_ + key];
+  return s;
+}
+
+CacheStats AttrStackStream::total_for(std::size_t c) const {
+  CacheStats sum;
+  for (std::uint32_t k = 0; k < num_keys_; ++k) {
+    const CacheStats part = stats_for(c, k);
+    sum.accesses += part.accesses;
+    sum.misses += part.misses;
+    sum.writebacks += part.writebacks;
+  }
+  return sum;
+}
+
+}  // namespace jtam::cache

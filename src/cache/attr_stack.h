@@ -1,0 +1,124 @@
+// Attributed single-pass multi-configuration cache simulation.
+//
+// AttrStackStream is the keyed sibling of StackStream (stack_sim.h): the
+// same Mattson stack-distance automaton with set refinement and
+// Thompson & Smith clean limits, but every access carries a small integer
+// *attribution key* (the locality observatory uses codeblock-symbol rows
+// crossed with frame/heap/queue/global access classes) and every counter
+// the engine keeps is partitioned by that key:
+//
+//  * `hits_at_pos` becomes a per-key histogram per mapping, so one pass
+//    yields a full miss-ratio curve per key across every configuration of
+//    the group,
+//  * write-backs are charged to the key of the *evicting* access (the one
+//    that pushed the victim out), and
+//  * per-key access counts close the books: for any configuration,
+//    summing hits/misses/write-backs over keys is bit-identical to the
+//    unkeyed StackStream, because the keys only partition the increments —
+//    the LRU state and every update to it are key-blind.
+//
+// The engine also folds in a bounded *temporal reuse-distance* profile: a
+// move-to-front window of the last `rd_window` distinct blocks gives each
+// access its reuse distance (number of distinct blocks touched since the
+// previous access to this block), log2-bucketed per key, with one overflow
+// bucket for cold/beyond-window references.  This is the fully-associative
+// stack distance the per-mapping rows cannot provide, and it is what the
+// frame reuse-distance percentiles in obs::LocalityReport are built from.
+//
+// This class is deliberately the *slow twin*: per-event, serial, no SSE
+// kernels, no batching — it runs only when `--locality` observability is
+// requested, as a TraceConsumer alongside (never instead of) the measured
+// engines, so it can favour clarity and exactness over throughput.
+// tests/locality_test.cpp pins the conservation property against both
+// SetAssocCache and StackStream on randomized streams and full workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace jtam::cache {
+
+/// Keyed multi-configuration LRU simulator for one reference stream at one
+/// block size.  `configs` must be non-empty and share one block size (the
+/// StackStream group invariant); `key < num_keys` on every access.
+class AttrStackStream {
+ public:
+  /// Reuse-distance histogram shape: bucket 0 is distance 0 (immediate
+  /// reuse), bucket b in [1, kRdBuckets-2] covers distances
+  /// [2^(b-1), 2^b - 1], and the last bucket is beyond-window/cold.
+  static constexpr std::uint32_t kRdBuckets = 12;
+
+  AttrStackStream(const std::vector<CacheConfig>& configs,
+                  std::uint32_t num_keys, std::uint32_t rd_window = 512);
+
+  /// Simulate one access attributed to `key`.
+  void access(std::uint32_t addr, bool is_write, std::uint32_t key);
+
+  /// Counts for configuration `c` restricted to accesses tagged `key`.
+  CacheStats stats_for(std::size_t c, std::uint32_t key) const;
+
+  /// Counts for configuration `c` summed over all keys — bit-identical to
+  /// an unkeyed StackStream fed the same stream.
+  CacheStats total_for(std::size_t c) const;
+
+  std::uint64_t accesses_of(std::uint32_t key) const {
+    return accesses_[key];
+  }
+
+  /// Reuse-distance histogram of `key`: kRdBuckets counters.
+  const std::uint64_t* rd_hist(std::uint32_t key) const {
+    return rd_hist_.data() + static_cast<std::size_t>(key) * kRdBuckets;
+  }
+
+  /// Smallest reuse distance that lands in bucket `b`.
+  static std::uint64_t rd_bucket_floor(std::uint32_t b) {
+    return b == 0 ? 0 : 1ull << (b - 1);
+  }
+
+  const std::vector<CacheConfig>& configs() const { return configs_; }
+  std::uint32_t num_keys() const { return num_keys_; }
+  std::uint32_t rd_window() const { return rd_window_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// One set mapping, laid out exactly like StackStream::Mapping except
+  /// that hits_at_pos carries one (amax + 1)-slot histogram per key.
+  struct Mapping {
+    std::uint32_t set_mask = 0;
+    std::uint32_t amax = 0;
+    std::vector<std::uint32_t> assocs;  // ascending, one per config
+    std::vector<std::uint32_t> cfg_of;  // config index per `assocs` entry
+    std::vector<std::uint32_t> rows;    // per set: amax blocks, amax limits
+    std::vector<std::uint64_t> hits_at_pos;  // [key * (amax+1) + pos]
+  };
+
+  void apply(Mapping& mp, std::uint32_t block, bool is_write,
+             std::uint32_t key);
+  void access_slow(std::uint32_t block, bool is_write, std::uint32_t key);
+  void mark_mru_dirty();
+  void record_reuse(std::uint32_t block, std::uint32_t key, bool mru);
+
+  std::uint32_t block_shift_ = 0;
+  std::uint32_t num_keys_ = 0;
+  std::uint32_t rd_window_ = 0;
+  std::uint32_t mru_block_ = kNil;
+  bool mru_dirty_ = false;
+
+  std::vector<CacheConfig> configs_;
+  struct CfgLoc {
+    std::uint32_t map;
+    std::uint32_t assoc;
+  };
+  std::vector<CfgLoc> cfg_loc_;
+  std::vector<Mapping> maps_;
+  std::vector<std::uint64_t> accesses_;     // per key
+  std::vector<std::uint64_t> mru_repeats_;  // per key, position-0 fast path
+  std::vector<std::uint64_t> writebacks_;   // [config * num_keys + key]
+  std::vector<std::uint64_t> rd_hist_;      // [key * kRdBuckets + bucket]
+  std::vector<std::uint32_t> rd_list_;      // MTF window, most recent first
+};
+
+}  // namespace jtam::cache

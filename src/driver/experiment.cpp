@@ -178,7 +178,10 @@ RunResult run_workload_impl(
     // wraps the whole pipeline when asked for.
     std::optional<obs::Collectors> coll;
     if (opts.obs.any()) {
-      coll.emplace(opts.obs, opts.backend, prep.compiled, opts.block_bytes);
+      // prepare_run left the frame heap's base in the runtime bump cell;
+      // the locality collector splits user data on it (frame vs heap).
+      coll.emplace(opts.obs, opts.backend, prep.compiled, opts.block_bytes,
+                   m.load_word(rt::kGlHeapBump));
       coll->attach(pipe);
       // Only observers consume the synthetic queue-occupancy marks; skip
       // emitting them (and their per-dispatch cost) on measurement-only

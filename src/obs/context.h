@@ -1,0 +1,161 @@
+// Shared symbol/context reconstruction over the batched trace pipeline.
+//
+// Two obs collectors need the same view of a trace block: every
+// instruction fetch attributed to the routine containing it (via the tamc
+// symbol map) and every data access attributed to the mark-delimited
+// context it executed under — so a thread's row includes the reads/writes
+// of the kernel and FP-library calls it made, matching the paper's
+// calling-context attribution of instruction costs.  ContextReplayer owns
+// that reconstruction once; the Profiler (per-row counts + probe caches)
+// and the LocalityCollector (keyed stack simulation) are thin callbacks on
+// top of it.
+//
+// Data-context reconstruction: the batched buffer does not preserve the
+// interleaving of data events with fetches, but every mark records both
+// its fetch and data positions.  A context switch (ThreadStart /
+// InletStart / SysStart) takes effect at the mark's data position; its
+// *row* is the routine of the next same-level fetch (the first instruction
+// of the new context).  Because a level emits no data events between a
+// mark and its next fetch, this reconstruction is exact.  Dispatch and
+// Suspend marks switch to a dedicated "(dispatch)" pseudo row immediately,
+// covering the machine's inter-handler queue accesses; a second
+// "(unmapped)" pseudo row absorbs fetches outside every span and the data
+// accesses before the first mark.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/replay.h"
+#include "tamc/symbols.h"
+
+namespace jtam::obs {
+
+/// Streaming reconstructor: feed it every trace block in order via walk();
+/// it invokes `on_fetch(row, addr)` per instruction fetch and
+/// `on_data(row, addr, is_write)` per data access, with `row` in
+/// [0, num_rows()) — span index, row_unmapped(), or row_dispatch().
+class ContextReplayer {
+ public:
+  /// `map` must outlive the replayer.
+  explicit ContextReplayer(const tamc::SymbolMap* map) : map_(map) {
+    nrows_ = map_->spans().size() + 2;
+    row_unmapped_ = static_cast<std::uint32_t>(map_->spans().size());
+    row_dispatch_ = row_unmapped_ + 1;
+    // Before the first mark a level's data accesses belong to whatever
+    // routine its first fetch lands in (kernel boot code): model run start
+    // as a pending switch carried into the first block.
+    cur_data_row_[0] = cur_data_row_[1] = row_unmapped_;
+    pending_carried_[0] = pending_carried_[1] = true;
+  }
+
+  std::size_t num_rows() const { return nrows_; }
+  std::uint32_t row_unmapped() const { return row_unmapped_; }
+  std::uint32_t row_dispatch() const { return row_dispatch_; }
+  const tamc::SymbolMap& map() const { return *map_; }
+
+  /// Symbol row of a code address (memoized on the last span hit).
+  std::uint32_t row_of(mem::Addr code_addr) {
+    if (last_span_ != nullptr && code_addr >= last_span_->begin &&
+        code_addr < last_span_->end) {
+      return last_row_;
+    }
+    const tamc::SymbolSpan* s = map_->find(code_addr);
+    if (s == nullptr) return row_unmapped_;
+    last_span_ = s;
+    last_row_ = static_cast<std::uint32_t>(s - map_->spans().data());
+    return last_row_;
+  }
+
+  template <typename FetchFn, typename DataFn>
+  void walk(const mdp::TraceBuffer& buf, FetchFn&& on_fetch,
+            DataFn&& on_data) {
+    // Pass 1: the fetch/mark walk.  Fetches attribute by address; marks
+    // become data-context switches — Dispatch/Suspend immediately, context
+    // starts at the next same-level fetch.
+    switches_.clear();
+    std::uint32_t pending_pos[2] = {kNoPending, kNoPending};
+    for (int lv = 0; lv < 2; ++lv) {
+      if (pending_carried_[lv]) pending_pos[lv] = 0;
+    }
+    walk_fetches(
+        buf,
+        [&](const mdp::TraceBuffer::Mark& m) {
+          const auto kind = static_cast<mdp::MarkKind>(m.kind);
+          switch (kind) {
+            case mdp::MarkKind::ThreadStart:
+            case mdp::MarkKind::InletStart:
+            case mdp::MarkKind::SysStart:
+              if (pending_pos[m.level] == kNoPending) {
+                pending_pos[m.level] = m.data_pos;
+              }
+              break;
+            case mdp::MarkKind::Dispatch:
+            case mdp::MarkKind::Suspend:
+              switches_.push_back(Switch{m.data_pos, m.level, row_dispatch_});
+              break;
+            case mdp::MarkKind::Activate:
+            case mdp::MarkKind::FpCall:
+              break;
+          }
+        },
+        [&](std::size_t, mem::Addr addr, mdp::Priority p) {
+          const std::uint32_t row = row_of(addr);
+          on_fetch(row, addr);
+          const auto lv = static_cast<std::uint8_t>(p);
+          if (pending_pos[lv] != kNoPending) {
+            switches_.push_back(Switch{pending_pos[lv], lv, row});
+            pending_pos[lv] = kNoPending;
+          }
+        });
+    for (int lv = 0; lv < 2; ++lv) {
+      // A pending switch with no resolving fetch in this block carries
+      // over; the invariant (no same-level data between a mark and its
+      // resolving fetch) means applying it at position 0 of the next block
+      // is exact.
+      pending_carried_[lv] = pending_pos[lv] != kNoPending;
+    }
+
+    // Pass 2: the data walk, applying switches at their recorded
+    // positions.
+    std::stable_sort(switches_.begin(), switches_.end(),
+                     [](const Switch& a, const Switch& b) {
+                       return a.data_pos < b.data_pos;
+                     });
+    const auto& data = buf.data();
+    std::size_t si = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      while (si < switches_.size() && switches_[si].data_pos <= i) {
+        cur_data_row_[switches_[si].level] = switches_[si].row;
+        ++si;
+      }
+      const std::uint32_t w = data[i];
+      on_data(cur_data_row_[(w >> 1) & 1u], w & ~3u, (w & 1u) != 0);
+    }
+    for (; si < switches_.size(); ++si) {
+      cur_data_row_[switches_[si].level] = switches_[si].row;
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNoPending = 0xFFFFFFFFu;
+
+  struct Switch {
+    std::uint32_t data_pos;
+    std::uint8_t level;
+    std::uint32_t row;
+  };
+
+  const tamc::SymbolMap* map_;
+  std::size_t nrows_;
+  std::uint32_t row_unmapped_;
+  std::uint32_t row_dispatch_;
+  std::uint32_t cur_data_row_[2];
+  bool pending_carried_[2] = {false, false};
+  std::vector<Switch> switches_;  // scratch, rebuilt per block
+  const tamc::SymbolSpan* last_span_ = nullptr;  // lookup memo
+  std::uint32_t last_row_ = 0;
+};
+
+}  // namespace jtam::obs

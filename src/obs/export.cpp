@@ -1,0 +1,43 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace jtam::obs {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& what,
+                const std::function<void(std::ostream&)>& writer,
+                const std::string& note) {
+  std::ofstream out(path);
+  if (out) writer(out);
+  if (!out) {
+    std::cerr << "warning: could not write " << what << " to " << path << "\n";
+    return false;
+  }
+  std::cerr << "  wrote " << path;
+  if (!note.empty()) std::cerr << " " << note;
+  std::cerr << "\n";
+  return true;
+}
+
+std::ostream& JsonListSep::next(std::ostream& os) {
+  os << (first_ ? "\n" : ",\n");
+  first_ = false;
+  return os;
+}
+
+}  // namespace jtam::obs

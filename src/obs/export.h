@@ -1,0 +1,42 @@
+// Shared export plumbing for the observability writers.
+//
+// Every obs artifact writer (profile CSV/JSON, Chrome traces, locality
+// reports) and every bench/example that saves one used to carry its own
+// copy of the same three fragments: CSV field escaping, the
+// open-file/write/warn-on-failure dance, and the comma/newline separator
+// state of a hand-rolled JSON array.  This header is the single home for
+// all three.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace jtam::obs {
+
+/// Escape one CSV field per RFC 4180: fields containing a comma, a quote,
+/// or a newline are wrapped in double quotes with embedded quotes doubled;
+/// anything else passes through unchanged.
+std::string csv_escape(const std::string& field);
+
+/// Open `path`, run `writer` on the stream, and report the outcome on
+/// stderr — "  wrote <path>" on success, a warning naming `what` on
+/// failure.  Returns false when the file could not be opened or the stream
+/// failed.  `note` (optional) is appended to the success line, e.g.
+/// "(4 timelines)".
+bool write_file(const std::string& path, const std::string& what,
+                const std::function<void(std::ostream&)>& writer,
+                const std::string& note = {});
+
+/// Separator state for a hand-rolled JSON array: first element gets a
+/// newline, the rest ",\n" — the pattern every trace writer repeats.
+class JsonListSep {
+ public:
+  /// Emit the separator for the next element and return the stream.
+  std::ostream& next(std::ostream& os);
+
+ private:
+  bool first_ = true;
+};
+
+}  // namespace jtam::obs

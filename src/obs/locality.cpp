@@ -1,0 +1,527 @@
+#include "obs/locality.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "obs/export.h"
+#include "support/json.h"
+#include "support/text.h"
+
+namespace jtam::obs {
+
+const char* access_class_name(AccessClass c) {
+  switch (c) {
+    case AccessClass::Frame: return "frame";
+    case AccessClass::Heap: return "heap";
+    case AccessClass::Queue: return "queue";
+    case AccessClass::Global: return "global";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t headline_index(const std::vector<cache::CacheConfig>& ladder) {
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i].size_bytes == 8 * 1024 && ladder[i].assoc == 4) return i;
+  }
+  return 0;
+}
+
+}  // namespace
+
+LocalityCollector::LocalityCollector(
+    const tamc::SymbolMap* map,
+    const std::vector<cache::CacheConfig>& ladder, mem::Addr frame_heap_base)
+    : ctx_(map),
+      frame_base_(frame_heap_base),
+      headline_(headline_index(ladder)),
+      istream_(ladder, static_cast<std::uint32_t>(map->spans().size() + 2)),
+      dstream_(ladder, static_cast<std::uint32_t>(
+                           (map->spans().size() + 2) * kNumAccessClasses)) {}
+
+void LocalityCollector::on_block(const mdp::TraceBuffer& buf) {
+  ctx_.walk(
+      buf,
+      [&](std::uint32_t row, mem::Addr addr) {
+        istream_.access(addr & ~3u, /*is_write=*/false, row);
+      },
+      [&](std::uint32_t row, mem::Addr addr, bool is_write) {
+        const auto cls = classify_access(addr, frame_base_);
+        dstream_.access(addr, is_write,
+                        row * kNumAccessClasses +
+                            static_cast<std::uint32_t>(cls));
+      });
+  fetch_cum_ += buf.fetch().size();
+
+  // One cumulative-miss sample per block at the headline config — the
+  // Perfetto counter track's resolution.
+  LocalityReport::Sample s;
+  s.ts = fetch_cum_;
+  const std::uint32_t nrows = static_cast<std::uint32_t>(ctx_.num_rows());
+  for (std::uint32_t r = 0; r < nrows; ++r) {
+    s.imiss += istream_.stats_for(headline_, r).misses;
+    for (std::uint32_t c = 0; c < kNumAccessClasses; ++c) {
+      s.dmiss[c] +=
+          dstream_.stats_for(headline_, r * kNumAccessClasses + c).misses;
+    }
+  }
+  series_.push_back(s);
+}
+
+LocalityReport LocalityCollector::finish() {
+  LocalityReport rep;
+  rep.configs = istream_.configs();
+  rep.headline = headline_;
+  rep.rd_window = istream_.rd_window();
+  rep.series = std::move(series_);
+
+  const tamc::SymbolMap& map = ctx_.map();
+  const std::size_t nrows = ctx_.num_rows();
+  rep.rows.resize(nrows);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    LocalityReport::Row& row = rep.rows[r];
+    if (r < map.spans().size()) {
+      const tamc::SymbolSpan& s = map.spans()[r];
+      row.name = s.name;
+      row.kind = s.kind;
+      row.cb = s.cb;
+      row.idx = s.idx;
+    } else {
+      row.name = r == ctx_.row_unmapped() ? "(unmapped)" : "(dispatch)";
+    }
+  }
+
+  const std::size_t ncfg = rep.configs.size();
+  const std::size_t ndkeys = nrows * kNumAccessClasses;
+  rep.iacc.resize(nrows);
+  rep.imiss.resize(ncfg * nrows);
+  rep.ird.resize(nrows * LocalityReport::kRdBuckets);
+  rep.dacc.resize(ndkeys);
+  rep.dmiss.resize(ncfg * ndkeys);
+  rep.dwb.resize(ncfg * ndkeys);
+  rep.drd.resize(ndkeys * LocalityReport::kRdBuckets);
+
+  for (std::uint32_t r = 0; r < nrows; ++r) {
+    rep.iacc[r] = istream_.accesses_of(r);
+    const std::uint64_t* h = istream_.rd_hist(r);
+    for (std::uint32_t b = 0; b < LocalityReport::kRdBuckets; ++b) {
+      rep.ird[r * LocalityReport::kRdBuckets + b] = h[b];
+    }
+    for (std::size_t c = 0; c < ncfg; ++c) {
+      rep.imiss[c * nrows + r] = istream_.stats_for(c, r).misses;
+    }
+  }
+  for (std::uint32_t k = 0; k < ndkeys; ++k) {
+    rep.dacc[k] = dstream_.accesses_of(k);
+    const std::uint64_t* h = dstream_.rd_hist(k);
+    for (std::uint32_t b = 0; b < LocalityReport::kRdBuckets; ++b) {
+      rep.drd[k * LocalityReport::kRdBuckets + b] = h[b];
+    }
+    for (std::size_t c = 0; c < ncfg; ++c) {
+      const cache::CacheStats st = dstream_.stats_for(c, k);
+      rep.dmiss[c * ndkeys + k] = st.misses;
+      rep.dwb[c * ndkeys + k] = st.writebacks;
+    }
+  }
+  return rep;
+}
+
+std::uint64_t LocalityReport::symbol_accesses(std::uint32_t row) const {
+  std::uint64_t n = iacc[row];
+  for (std::uint32_t c = 0; c < kNumAccessClasses; ++c) {
+    n += dacc[row * kNumAccessClasses + c];
+  }
+  return n;
+}
+
+std::uint64_t LocalityReport::symbol_misses(std::uint32_t row,
+                                            std::size_t cfg) const {
+  const std::size_t ndkeys = rows.size() * kNumAccessClasses;
+  std::uint64_t n = imiss[cfg * rows.size() + row];
+  for (std::uint32_t c = 0; c < kNumAccessClasses; ++c) {
+    n += dmiss[cfg * ndkeys + row * kNumAccessClasses + c];
+  }
+  return n;
+}
+
+std::vector<double> LocalityReport::symbol_mrc(std::uint32_t row) const {
+  const std::uint64_t acc = symbol_accesses(row);
+  std::vector<double> mrc(configs.size(), 0.0);
+  if (acc == 0) return mrc;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    mrc[c] = static_cast<double>(symbol_misses(row, c)) /
+             static_cast<double>(acc);
+  }
+  return mrc;
+}
+
+std::uint64_t LocalityReport::class_accesses(AccessClass c) const {
+  std::uint64_t n = 0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    n += dacc[r * kNumAccessClasses + static_cast<std::uint32_t>(c)];
+  }
+  return n;
+}
+
+std::uint64_t LocalityReport::class_misses(AccessClass c,
+                                           std::size_t cfg) const {
+  const std::size_t ndkeys = rows.size() * kNumAccessClasses;
+  std::uint64_t n = 0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    n += dmiss[cfg * ndkeys + r * kNumAccessClasses +
+               static_cast<std::uint32_t>(c)];
+  }
+  return n;
+}
+
+std::uint64_t LocalityReport::class_writebacks(AccessClass c,
+                                               std::size_t cfg) const {
+  const std::size_t ndkeys = rows.size() * kNumAccessClasses;
+  std::uint64_t n = 0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    n += dwb[cfg * ndkeys + r * kNumAccessClasses +
+             static_cast<std::uint32_t>(c)];
+  }
+  return n;
+}
+
+std::vector<std::uint64_t> LocalityReport::class_rd_hist(
+    AccessClass c) const {
+  std::vector<std::uint64_t> h(kRdBuckets, 0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const std::size_t key = r * kNumAccessClasses +
+                            static_cast<std::uint32_t>(c);
+    for (std::uint32_t b = 0; b < kRdBuckets; ++b) {
+      h[b] += drd[key * kRdBuckets + b];
+    }
+  }
+  return h;
+}
+
+cache::CacheStats LocalityReport::itotal(std::size_t cfg) const {
+  cache::CacheStats s;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    s.accesses += iacc[r];
+    s.misses += imiss[cfg * rows.size() + r];
+  }
+  return s;
+}
+
+cache::CacheStats LocalityReport::dtotal(std::size_t cfg) const {
+  const std::size_t ndkeys = rows.size() * kNumAccessClasses;
+  cache::CacheStats s;
+  for (std::size_t k = 0; k < ndkeys; ++k) {
+    s.accesses += dacc[k];
+    s.misses += dmiss[cfg * ndkeys + k];
+    s.writebacks += dwb[cfg * ndkeys + k];
+  }
+  return s;
+}
+
+double LocalityReport::rd_percentile(const std::vector<std::uint64_t>& hist,
+                                     double q) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t h : hist) total += h;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::uint32_t b = 0; b < kRdBuckets; ++b) {
+    cum += hist[b];
+    if (static_cast<double>(cum) >= target) {
+      return b + 1 == kRdBuckets
+                 ? static_cast<double>(rd_window)
+                 : static_cast<double>(
+                       cache::AttrStackStream::rd_bucket_floor(b));
+    }
+  }
+  return static_cast<double>(rd_window);
+}
+
+double LocalityReport::frame_rd_percentile(double q) const {
+  return rd_percentile(class_rd_hist(AccessClass::Frame), q);
+}
+
+void LocalityReport::write_text(std::ostream& os, int top_n) const {
+  const cache::CacheConfig& hc = configs[headline];
+  const cache::CacheStats it = itotal(headline);
+  const cache::CacheStats dt = dtotal(headline);
+  os << "Locality attribution (" << configs.size()
+     << " configs, headline " << hc.name() << "):\n"
+     << "  I-stream: " << text::with_commas(it.accesses) << " fetches, "
+     << text::with_commas(it.misses) << " misses @ headline; D-stream: "
+     << text::with_commas(dt.accesses) << " accesses, "
+     << text::with_commas(dt.misses) << " misses, "
+     << text::with_commas(dt.writebacks) << " writebacks\n";
+
+  text::Table cls;
+  cls.header({"class", "accesses", "misses", "miss%", "writebacks",
+              "rd p50", "rd p95"});
+  for (std::uint32_t c = 0; c < kNumAccessClasses; ++c) {
+    const auto ac = static_cast<AccessClass>(c);
+    const std::uint64_t acc = class_accesses(ac);
+    if (acc == 0) continue;
+    const std::uint64_t miss = class_misses(ac, headline);
+    const std::vector<std::uint64_t> h = class_rd_hist(ac);
+    cls.row({access_class_name(ac), text::with_commas(acc),
+             text::with_commas(miss),
+             text::fixed(100.0 * static_cast<double>(miss) /
+                             static_cast<double>(acc),
+                         2),
+             text::with_commas(class_writebacks(ac, headline)),
+             text::fixed(rd_percentile(h, 0.50), 0),
+             text::fixed(rd_percentile(h, 0.95), 0)});
+  }
+  cls.print(os);
+  os << "  frame reuse distance: p50 "
+     << text::fixed(frame_rd_percentile(0.50), 0) << ", p90 "
+     << text::fixed(frame_rd_percentile(0.90), 0) << ", p99 "
+     << text::fixed(frame_rd_percentile(0.99), 0) << " distinct blocks"
+     << " (window " << rd_window << ")\n";
+
+  // Symbol scorecard: rows ranked by total misses at the headline config,
+  // with the best/worst point of each symbol's miss-ratio curve.
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t r = 0; r < rows.size(); ++r) {
+    if (symbol_accesses(r) != 0) order.push_back(r);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return symbol_misses(a, headline) >
+                            symbol_misses(b, headline);
+                   });
+  if (top_n > 0 && order.size() > static_cast<std::size_t>(top_n)) {
+    order.resize(static_cast<std::size_t>(top_n));
+  }
+  os << "  top symbols by misses @ " << hc.name() << ":\n";
+  text::Table t;
+  t.header({"symbol", "kind", "refs", "misses", "miss%", "mrc min%",
+            "mrc max%"});
+  for (std::uint32_t r : order) {
+    const std::uint64_t acc = symbol_accesses(r);
+    const std::uint64_t miss = symbol_misses(r, headline);
+    const std::vector<double> mrc = symbol_mrc(r);
+    const auto [lo, hi] = std::minmax_element(mrc.begin(), mrc.end());
+    t.row({rows[r].name, tamc::symbol_kind_name(rows[r].kind),
+           text::with_commas(acc), text::with_commas(miss),
+           text::fixed(100.0 * static_cast<double>(miss) /
+                           static_cast<double>(acc),
+                       2),
+           text::fixed(100.0 * *lo, 2), text::fixed(100.0 * *hi, 2)});
+  }
+  t.print(os);
+  os << "\n";
+}
+
+void LocalityReport::write_csv(std::ostream& os) const {
+  os << "name,kind,cb,idx,stream,class,accesses,rd_p50,rd_p95";
+  for (const auto& c : configs) os << ",miss_" << c.name();
+  os << "\n";
+  const std::size_t ndkeys = rows.size() * kNumAccessClasses;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Row& row = rows[r];
+    if (iacc[r] != 0) {
+      std::vector<std::uint64_t> h(kRdBuckets);
+      for (std::uint32_t b = 0; b < kRdBuckets; ++b) {
+        h[b] = ird[r * kRdBuckets + b];
+      }
+      os << csv_escape(row.name) << ','
+         << tamc::symbol_kind_name(row.kind) << ',' << row.cb << ','
+         << row.idx << ",I,," << iacc[r] << ','
+         << rd_percentile(h, 0.50) << ',' << rd_percentile(h, 0.95);
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        os << ',' << imiss[c * rows.size() + r];
+      }
+      os << "\n";
+    }
+    for (std::uint32_t cl = 0; cl < kNumAccessClasses; ++cl) {
+      const std::size_t key = r * kNumAccessClasses + cl;
+      if (dacc[key] == 0) continue;
+      std::vector<std::uint64_t> h(kRdBuckets);
+      for (std::uint32_t b = 0; b < kRdBuckets; ++b) {
+        h[b] = drd[key * kRdBuckets + b];
+      }
+      os << csv_escape(row.name) << ','
+         << tamc::symbol_kind_name(row.kind) << ',' << row.cb << ','
+         << row.idx << ",D," << access_class_name(static_cast<AccessClass>(cl))
+         << ',' << dacc[key] << ',' << rd_percentile(h, 0.50) << ','
+         << rd_percentile(h, 0.95);
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        os << ',' << dmiss[c * ndkeys + key];
+      }
+      os << "\n";
+    }
+  }
+}
+
+void LocalityReport::write_json(std::ostream& os) const {
+  const std::size_t ndkeys = rows.size() * kNumAccessClasses;
+  os << "{\n  \"headline\": " << headline
+     << ",\n  \"rd_window\": " << rd_window << ",\n  \"configs\": [";
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& c = configs[i];
+    os << (i == 0 ? "" : ", ") << "{\"name\": \"" << json::escape(c.name())
+       << "\", \"size_bytes\": " << c.size_bytes
+       << ", \"block_bytes\": " << c.block_bytes
+       << ", \"assoc\": " << c.assoc << "}";
+  }
+  os << "],\n  \"classes\": [";
+  for (std::uint32_t c = 0; c < kNumAccessClasses; ++c) {
+    os << (c == 0 ? "" : ", ") << '"'
+       << access_class_name(static_cast<AccessClass>(c)) << '"';
+  }
+  os << "],\n  \"rows\": [";
+  JsonListSep sep;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (symbol_accesses(static_cast<std::uint32_t>(r)) == 0) continue;
+    const Row& row = rows[r];
+    sep.next(os) << "    {\"name\": \"" << json::escape(row.name)
+                 << "\", \"kind\": \"" << tamc::symbol_kind_name(row.kind)
+                 << "\", \"cb\": " << row.cb << ", \"idx\": " << row.idx
+                 << ",\n     \"iacc\": " << iacc[r] << ", \"imiss\": [";
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      os << (c == 0 ? "" : ", ") << imiss[c * rows.size() + r];
+    }
+    os << "],\n     \"ird\": [";
+    for (std::uint32_t b = 0; b < kRdBuckets; ++b) {
+      os << (b == 0 ? "" : ", ") << ird[r * kRdBuckets + b];
+    }
+    os << "],\n     \"d\": [";
+    bool firstcls = true;
+    for (std::uint32_t cl = 0; cl < kNumAccessClasses; ++cl) {
+      const std::size_t key = r * kNumAccessClasses + cl;
+      if (dacc[key] == 0) continue;
+      os << (firstcls ? "" : ", ") << "{\"class\": \""
+         << access_class_name(static_cast<AccessClass>(cl))
+         << "\", \"acc\": " << dacc[key] << ", \"miss\": [";
+      firstcls = false;
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        os << (c == 0 ? "" : ", ") << dmiss[c * ndkeys + key];
+      }
+      os << "], \"wb\": [";
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        os << (c == 0 ? "" : ", ") << dwb[c * ndkeys + key];
+      }
+      os << "], \"rd\": [";
+      for (std::uint32_t b = 0; b < kRdBuckets; ++b) {
+        os << (b == 0 ? "" : ", ") << drd[key * kRdBuckets + b];
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << "\n  ],\n  \"series\": [";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const Sample& s = series[i];
+    os << (i == 0 ? "" : ", ") << "{\"ts\": " << s.ts
+       << ", \"imiss\": " << s.imiss << ", \"dmiss\": [";
+    for (std::uint32_t c = 0; c < kNumAccessClasses; ++c) {
+      os << (c == 0 ? "" : ", ") << s.dmiss[c];
+    }
+    os << "]}";
+  }
+  os << "]\n}\n";
+}
+
+LocalityDiff LocalityReport::diff(const LocalityReport& md,
+                                  const LocalityReport& am,
+                                  std::size_t cfg) {
+  LocalityDiff d;
+  d.config = md.configs[cfg];
+  // Match symbols by name: the two back-ends lower the same program, but
+  // span layout (and even span presence) can differ.
+  std::map<std::string, LocalityDiff::Entry> byname;
+  for (std::uint32_t r = 0; r < md.rows.size(); ++r) {
+    const std::uint64_t acc = md.symbol_accesses(r);
+    if (acc == 0) continue;
+    LocalityDiff::Entry& e = byname[md.rows[r].name];
+    e.name = md.rows[r].name;
+    e.kind = md.rows[r].kind;
+    e.md_accesses += acc;
+    e.md_misses += md.symbol_misses(r, cfg);
+  }
+  for (std::uint32_t r = 0; r < am.rows.size(); ++r) {
+    const std::uint64_t acc = am.symbol_accesses(r);
+    if (acc == 0) continue;
+    LocalityDiff::Entry& e = byname[am.rows[r].name];
+    if (e.name.empty()) {
+      e.name = am.rows[r].name;
+      e.kind = am.rows[r].kind;
+    }
+    e.am_accesses += acc;
+    e.am_misses += am.symbol_misses(r, cfg);
+  }
+  d.entries.reserve(byname.size());
+  for (auto& [name, e] : byname) d.entries.push_back(std::move(e));
+  std::stable_sort(d.entries.begin(), d.entries.end(),
+                   [](const LocalityDiff::Entry& a,
+                      const LocalityDiff::Entry& b) {
+                     const auto mag = [](const LocalityDiff::Entry& e) {
+                       const std::int64_t v = e.delta();
+                       return v < 0 ? -v : v;
+                     };
+                     return mag(a) > mag(b);
+                   });
+  return d;
+}
+
+void LocalityDiff::write_text(std::ostream& os, int top_n) const {
+  os << "MD vs AM locality diff @ " << config.name()
+     << " (+ = MD misses more):\n";
+  text::Table t;
+  t.header({"symbol", "kind", "MD miss", "AM miss", "delta", "MD miss%",
+            "AM miss%"});
+  int shown = 0;
+  for (const Entry& e : entries) {
+    if (top_n > 0 && shown >= top_n) break;
+    if (e.delta() == 0 && e.md_misses == 0) continue;
+    const std::int64_t delta = e.delta();
+    t.row({e.name, tamc::symbol_kind_name(e.kind),
+           text::with_commas(e.md_misses), text::with_commas(e.am_misses),
+           (delta >= 0 ? "+" : "-") +
+               text::with_commas(static_cast<std::uint64_t>(
+                   delta >= 0 ? delta : -delta)),
+           text::fixed(100.0 * e.md_miss_rate(), 2),
+           text::fixed(100.0 * e.am_miss_rate(), 2)});
+    ++shown;
+  }
+  t.print(os);
+  os << "\n";
+}
+
+void write_locality_chrome_trace(
+    std::ostream& os, const std::vector<LocalityTimelineRun>& runs) {
+  os << "{\"traceEvents\": [";
+  JsonListSep sep;
+  int pid = 0;
+  for (const LocalityTimelineRun& run : runs) {
+    ++pid;
+    if (run.timeline != nullptr) {
+      emit_timeline_process(os, sep, pid, run.label, *run.timeline);
+    } else {
+      sep.next(os) << " {\"name\": \"process_name\", \"ph\": \"M\", "
+                   << "\"pid\": " << pid << ", \"args\": {\"name\": \""
+                   << json::escape(run.label) << "\"}}";
+    }
+    if (run.locality == nullptr) continue;
+    const LocalityReport& loc = *run.locality;
+    for (const LocalityReport::Sample& s : loc.series) {
+      sep.next(os) << " {\"name\": \"imiss (cum)\", \"ph\": \"C\", "
+                   << "\"pid\": " << pid << ", \"ts\": " << s.ts
+                   << ", \"args\": {\"misses\": " << s.imiss << "}}";
+      sep.next(os) << " {\"name\": \"dmiss by class (cum)\", \"ph\": \"C\", "
+                   << "\"pid\": " << pid << ", \"ts\": " << s.ts
+                   << ", \"args\": {";
+      for (std::uint32_t c = 0; c < kNumAccessClasses; ++c) {
+        os << (c == 0 ? "" : ", ") << '"'
+           << access_class_name(static_cast<AccessClass>(c))
+           << "\": " << s.dmiss[c];
+      }
+      os << "}}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace jtam::obs

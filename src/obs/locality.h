@@ -1,0 +1,222 @@
+// Locality observatory: per-symbol, per-access-class miss-ratio curves.
+//
+// The paper reports aggregate MD/AM miss rates; this module answers the
+// follow-up question — *which* codeblocks, frames, and access classes gain
+// or lose locality when the scheduling regime changes.  A
+// LocalityCollector rides the batched trace pipeline as one more
+// zero-cost-when-off consumer: it replays the fetch/data streams through a
+// keyed Mattson engine (cache::AttrStackStream) whose attribution key is
+//
+//   I-stream: the symbol row of the fetched instruction
+//   D-stream: row * kNumAccessClasses + access class of the address
+//
+// where the row is the mark-delimited execution context reconstructed by
+// obs::ContextReplayer (the same attribution the profiler uses) and the
+// access class splits data addresses into frame / heap / queue / global.
+// One machine pass therefore yields a full miss-ratio curve per symbol
+// across every configuration of the paper ladder, per-key bounded
+// reuse-distance histograms, and per-class write-back counts — all of
+// which sum bit-exactly to the measured engine totals
+// (tests/locality_test.cpp pins this for all 24 configs, both back-ends).
+//
+// The MD↔AM diff (LocalityReport::diff) matches symbols by name across two
+// reports and ranks them by miss delta at a chosen configuration — the
+// per-codeblock locality signal the ROADMAP's adaptive hybrid back-end
+// needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cache/attr_stack.h"
+#include "cache/cache.h"
+#include "driver/trace_buffer.h"
+#include "mem/memory_map.h"
+#include "obs/context.h"
+#include "obs/timeline.h"
+#include "tamc/symbols.h"
+
+namespace jtam::obs {
+
+/// Data-access classes for locality attribution.  `Frame` is the runtime
+/// frame heap (activation frames and runtime allocations above the
+/// frame-heap base), `Heap` the user arrays and defer pool below it,
+/// `Queue` the two hardware message queues, `Global` everything else
+/// (OS globals, LCV, system tables).
+enum class AccessClass : std::uint32_t {
+  Frame = 0,
+  Heap = 1,
+  Queue = 2,
+  Global = 3,
+};
+
+inline constexpr std::uint32_t kNumAccessClasses = 4;
+
+const char* access_class_name(AccessClass c);
+
+/// Classify a data address.  `frame_heap_base` is the frame heap's start
+/// (the initial runtime heap-bump value, read from the machine after
+/// program setup).
+inline AccessClass classify_access(mem::Addr a, mem::Addr frame_heap_base) {
+  if (a >= mem::kUserDataBase) {
+    return a >= frame_heap_base ? AccessClass::Frame : AccessClass::Heap;
+  }
+  if (mem::in_queue(a)) return AccessClass::Queue;
+  return AccessClass::Global;
+}
+
+/// MD↔AM locality comparison at one configuration: symbols matched by
+/// name, ranked by |misses(MD) - misses(AM)| descending.
+struct LocalityDiff {
+  struct Entry {
+    std::string name;
+    tamc::SymbolKind kind = tamc::SymbolKind::Other;
+    std::uint64_t md_accesses = 0;  // I + D, config-independent
+    std::uint64_t am_accesses = 0;
+    std::uint64_t md_misses = 0;  // I + D at `config`
+    std::uint64_t am_misses = 0;
+
+    std::int64_t delta() const {
+      return static_cast<std::int64_t>(md_misses) -
+             static_cast<std::int64_t>(am_misses);
+    }
+    double md_miss_rate() const {
+      return md_accesses == 0 ? 0.0
+                              : static_cast<double>(md_misses) /
+                                    static_cast<double>(md_accesses);
+    }
+    double am_miss_rate() const {
+      return am_accesses == 0 ? 0.0
+                              : static_cast<double>(am_misses) /
+                                    static_cast<double>(am_accesses);
+    }
+  };
+
+  cache::CacheConfig config;
+  std::vector<Entry> entries;
+
+  void write_text(std::ostream& os, int top_n = 12) const;
+};
+
+/// Everything the collector accumulated for one run, with query helpers.
+/// Flattened counter layout (all indices documented at the fields):
+/// I-stream keys are symbol rows, D-stream keys are
+/// row * kNumAccessClasses + class.
+struct LocalityReport {
+  static constexpr std::uint32_t kRdBuckets =
+      cache::AttrStackStream::kRdBuckets;
+
+  struct Row {
+    std::string name;
+    tamc::SymbolKind kind = tamc::SymbolKind::Other;
+    int cb = -1;
+    int idx = -1;
+  };
+
+  /// One cumulative-miss sample at the headline config, taken per trace
+  /// block (ts = instructions executed so far).
+  struct Sample {
+    std::uint64_t ts = 0;
+    std::uint64_t imiss = 0;
+    std::array<std::uint64_t, kNumAccessClasses> dmiss{};
+  };
+
+  std::vector<cache::CacheConfig> configs;  // the ladder, one block size
+  std::vector<Row> rows;                    // symbol spans + 2 pseudo rows
+  std::size_t headline = 0;  // config index for series and scorecards
+  std::uint32_t rd_window = 0;
+
+  std::vector<std::uint64_t> iacc;   // [row]
+  std::vector<std::uint64_t> imiss;  // [cfg * rows + row]
+  std::vector<std::uint64_t> ird;    // [row * kRdBuckets + bucket]
+  std::vector<std::uint64_t> dacc;   // [dkey]
+  std::vector<std::uint64_t> dmiss;  // [cfg * rows * kNumAccessClasses + dkey]
+  std::vector<std::uint64_t> dwb;    // same shape as dmiss
+  std::vector<std::uint64_t> drd;    // [dkey * kRdBuckets + bucket]
+  std::vector<Sample> series;
+
+  std::size_t num_rows() const { return rows.size(); }
+  std::uint32_t dkey(std::uint32_t row, AccessClass c) const {
+    return row * kNumAccessClasses + static_cast<std::uint32_t>(c);
+  }
+
+  /// Total references attributed to a symbol row (I + all D classes).
+  std::uint64_t symbol_accesses(std::uint32_t row) const;
+  /// Total misses of a symbol row at configuration `cfg` (I + all D).
+  std::uint64_t symbol_misses(std::uint32_t row, std::size_t cfg) const;
+  /// Per-symbol miss-ratio curve: miss rate at every configuration.
+  std::vector<double> symbol_mrc(std::uint32_t row) const;
+
+  /// D-stream counts of one access class summed over rows.
+  std::uint64_t class_accesses(AccessClass c) const;
+  std::uint64_t class_misses(AccessClass c, std::size_t cfg) const;
+  std::uint64_t class_writebacks(AccessClass c, std::size_t cfg) const;
+  /// Reuse-distance histogram of one class summed over rows (kRdBuckets).
+  std::vector<std::uint64_t> class_rd_hist(AccessClass c) const;
+
+  /// Attributed totals at `cfg`, summed over every key — bit-identical to
+  /// the measured engine's CacheStats for the same run (the conservation
+  /// property).
+  cache::CacheStats itotal(std::size_t cfg) const;
+  cache::CacheStats dtotal(std::size_t cfg) const;
+
+  /// Approximate percentile of a kRdBuckets log2 histogram: the floor
+  /// distance of the bucket containing quantile `q` in [0, 1]; the
+  /// overflow bucket reports `rd_window` (read as "at least").
+  double rd_percentile(const std::vector<std::uint64_t>& hist,
+                       double q) const;
+  /// Frame-class reuse-distance percentile (the headline locality signal).
+  double frame_rd_percentile(double q) const;
+
+  void write_text(std::ostream& os, int top_n = 12) const;
+  void write_csv(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+
+  /// Build the MD↔AM diff at configuration index `cfg` (of md.configs);
+  /// symbols are matched by name, so the two reports may come from runs
+  /// with different span layouts.
+  static LocalityDiff diff(const LocalityReport& md,
+                           const LocalityReport& am, std::size_t cfg);
+};
+
+/// One run of a merged timeline+locality Chrome trace: `timeline` and
+/// `locality` may each be null (the present parts are emitted).
+struct LocalityTimelineRun {
+  std::string label;
+  const Timeline* timeline = nullptr;
+  const LocalityReport* locality = nullptr;
+};
+
+/// Write timelines with the locality counter tracks (cumulative I misses
+/// and per-class D misses at the headline config) merged into each run's
+/// process — one file loads in Perfetto with slices and counters aligned.
+void write_locality_chrome_trace(std::ostream& os,
+                                 const std::vector<LocalityTimelineRun>& runs);
+
+class LocalityCollector final : public driver::TraceConsumer {
+ public:
+  /// `map` must outlive the collector.  `ladder` must share one block size
+  /// (cache::paper_ladder(block_bytes) in the driver).
+  LocalityCollector(const tamc::SymbolMap* map,
+                    const std::vector<cache::CacheConfig>& ladder,
+                    mem::Addr frame_heap_base);
+
+  void on_block(const mdp::TraceBuffer& buf) override;
+
+  /// Assemble the report (call once, after the final flush).
+  LocalityReport finish();
+
+ private:
+  ContextReplayer ctx_;
+  mem::Addr frame_base_;
+  std::size_t headline_;
+  cache::AttrStackStream istream_;
+  cache::AttrStackStream dstream_;
+  std::uint64_t fetch_cum_ = 0;
+  std::vector<LocalityReport::Sample> series_;
+};
+
+}  // namespace jtam::obs

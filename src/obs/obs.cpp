@@ -3,6 +3,7 @@
 #include <chrono>
 #include <ostream>
 
+#include "cache/cache_bank.h"
 #include "support/text.h"
 
 namespace jtam::obs {
@@ -23,7 +24,7 @@ void MeteredPipeline::on_block(const mdp::TraceBuffer& buf) {
 
 Collectors::Collectors(const Options& opts, rt::BackendKind backend,
                        const tamc::CompiledProgram& compiled,
-                       std::uint32_t block_bytes)
+                       std::uint32_t block_bytes, mem::Addr frame_heap_base)
     : opts_(opts), symbols_(tamc::SymbolMap::from(compiled)) {
   if (opts_.profile) {
     std::vector<cache::CacheConfig> cfgs;
@@ -43,12 +44,17 @@ Collectors::Collectors(const Options& opts, rt::BackendKind backend,
   if (opts_.timeline) {
     timeline_.emplace(backend, &symbols_, opts_.timeline_max_events);
   }
+  if (opts_.locality) {
+    locality_.emplace(&symbols_, cache::paper_ladder(block_bytes),
+                      frame_heap_base);
+  }
 }
 
 void Collectors::attach(driver::TracePipeline& pipe) {
   if (profiler_) pipe.add(&*profiler_);
   if (distributions_) pipe.add(&*distributions_);
   if (timeline_) pipe.add(&*timeline_);
+  if (locality_) pipe.add(&*locality_);
 }
 
 Report Collectors::finish(const PipelineMetrics* pm) {
@@ -56,6 +62,7 @@ Report Collectors::finish(const PipelineMetrics* pm) {
   if (profiler_) r.profile = profiler_->finish();
   if (distributions_) r.distributions = distributions_->finish();
   if (timeline_) r.timeline = timeline_->finish();
+  if (locality_) r.locality = locality_->finish();
   if (pm != nullptr) r.pipeline = *pm;
   return r;
 }
@@ -130,6 +137,9 @@ void Report::write_text(std::ostream& os, int top_n) const {
          << " events past the cap were dropped)";
     }
     os << "\n\n";
+  }
+  if (locality) {
+    locality->write_text(os, top_n);
   }
   if (pipeline) {
     os << "Trace pipeline: " << text::with_commas(pipeline->blocks)

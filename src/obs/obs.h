@@ -19,6 +19,7 @@
 
 #include "driver/trace_buffer.h"
 #include "obs/distributions.h"
+#include "obs/locality.h"
 #include "obs/options.h"
 #include "obs/profiler.h"
 #include "obs/timeline.h"
@@ -55,6 +56,7 @@ struct Report {
   std::optional<Distributions> distributions;
   std::optional<Timeline> timeline;
   std::optional<PipelineMetrics> pipeline;
+  std::optional<LocalityReport> locality;
 
   /// Human-readable rendering (profile top-`top_n`, distribution summary,
   /// pipeline throughput).  The timeline is summarized, not dumped — use
@@ -79,9 +81,13 @@ class MeteredPipeline final : public mdp::TraceDrain {
 /// TracePipeline.  Owns the symbol map the profiler and timeline share.
 class Collectors {
  public:
+  /// `frame_heap_base` is the frame heap's start address (the runtime
+  /// heap-bump value after program setup), used by the locality collector
+  /// to split user data into frame vs heap access classes; pass 0 when
+  /// locality is off.
   Collectors(const Options& opts, rt::BackendKind backend,
              const tamc::CompiledProgram& compiled,
-             std::uint32_t block_bytes);
+             std::uint32_t block_bytes, mem::Addr frame_heap_base);
 
   /// Append the requested consumers to `pipe` (after the measurement
   /// consumers, so a collector throwing cannot perturb them).
@@ -97,6 +103,7 @@ class Collectors {
   std::optional<Profiler> profiler_;
   std::optional<DistributionBuilder> distributions_;
   std::optional<TimelineBuilder> timeline_;
+  std::optional<LocalityCollector> locality_;
 };
 
 }  // namespace jtam::obs

@@ -56,6 +56,12 @@ struct Options {
   /// Self-metrics of the batched trace pipeline (events/sec, block drain
   /// latency) — wall-clock measurements, never part of RunResult numbers.
   bool pipeline_metrics = false;
+  /// Locality attribution: per-symbol miss-ratio curves over the whole
+  /// paper cache ladder, frame/heap/queue/global access-class breakdowns,
+  /// and bounded reuse-distance histograms (obs::LocalityReport), computed
+  /// by a keyed stack engine over the same trace streams the measured
+  /// caches consume.
+  bool locality = false;
 
   /// Cache geometries the profiler simulates for miss attribution.  Empty
   /// means the paper's headline 8K 4-way config.
@@ -65,11 +71,12 @@ struct Options {
   std::size_t timeline_max_events = 1u << 20;
 
   bool any() const {
-    return profile || histograms || timeline || pipeline_metrics;
+    return profile || histograms || timeline || pipeline_metrics || locality;
   }
   static Options all() {
     Options o;
     o.profile = o.histograms = o.timeline = o.pipeline_metrics = true;
+    o.locality = true;
     return o;
   }
 };

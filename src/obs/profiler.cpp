@@ -4,147 +4,66 @@
 #include <map>
 #include <ostream>
 
-#include "obs/replay.h"
+#include "obs/export.h"
 #include "support/json.h"
 
 namespace jtam::obs {
 
-namespace {
-
-constexpr std::uint32_t kNoPending = 0xFFFFFFFFu;
-
-}  // namespace
-
 Profiler::Profiler(const tamc::SymbolMap* map,
                    std::vector<cache::CacheConfig> caches)
-    : map_(map), cache_cfgs_(std::move(caches)) {
+    : ctx_(map), cache_cfgs_(std::move(caches)) {
   for (const auto& cfg : cache_cfgs_) {
     icaches_.emplace_back(cfg);
     dcaches_.emplace_back(cfg);
   }
-  nrows_ = map_->spans().size() + 2;
-  row_unmapped_ = static_cast<std::uint32_t>(map_->spans().size());
-  row_dispatch_ = row_unmapped_ + 1;
-  cells_.resize(nrows_);
-  imiss_.assign(cache_cfgs_.size() * nrows_, 0);
-  dmiss_.assign(cache_cfgs_.size() * nrows_, 0);
-  // Before the first mark a level's data accesses belong to whatever
-  // routine its first fetch lands in (kernel boot code): model run start
-  // as a pending switch carried into the first block.
-  cur_data_row_[0] = cur_data_row_[1] = row_unmapped_;
-  pending_carried_[0] = pending_carried_[1] = true;
-}
-
-std::uint32_t Profiler::row_of(mem::Addr code_addr) {
-  if (last_span_ != nullptr && code_addr >= last_span_->begin &&
-      code_addr < last_span_->end) {
-    return last_row_;
-  }
-  const tamc::SymbolSpan* s = map_->find(code_addr);
-  if (s == nullptr) return row_unmapped_;
-  last_span_ = s;
-  last_row_ = static_cast<std::uint32_t>(s - map_->spans().data());
-  return last_row_;
+  cells_.resize(ctx_.num_rows());
+  imiss_.assign(cache_cfgs_.size() * ctx_.num_rows(), 0);
+  dmiss_.assign(cache_cfgs_.size() * ctx_.num_rows(), 0);
 }
 
 void Profiler::on_block(const mdp::TraceBuffer& buf) {
   const std::size_t ncfg = cache_cfgs_.size();
-
-  // Pass 1: the fetch/mark walk.  Fetches attribute by address; marks
-  // become data-context switches — Dispatch/Suspend immediately (to the
-  // "(dispatch)" row, covering the machine's inter-handler queue
-  // accesses), context starts at the next same-level fetch.
-  switches_.clear();
-  std::uint32_t pending_pos[2] = {kNoPending, kNoPending};
-  for (int lv = 0; lv < 2; ++lv) {
-    if (pending_carried_[lv]) pending_pos[lv] = 0;
-  }
-  walk_fetches(
+  const std::size_t nrows = ctx_.num_rows();
+  ctx_.walk(
       buf,
-      [&](const mdp::TraceBuffer::Mark& m) {
-        const auto kind = static_cast<mdp::MarkKind>(m.kind);
-        switch (kind) {
-          case mdp::MarkKind::ThreadStart:
-          case mdp::MarkKind::InletStart:
-          case mdp::MarkKind::SysStart:
-            if (pending_pos[m.level] == kNoPending) {
-              pending_pos[m.level] = m.data_pos;
-            }
-            break;
-          case mdp::MarkKind::Dispatch:
-          case mdp::MarkKind::Suspend:
-            switches_.push_back(Switch{m.data_pos, m.level, row_dispatch_});
-            break;
-          case mdp::MarkKind::Activate:
-          case mdp::MarkKind::FpCall:
-            break;
-        }
-      },
-      [&](std::size_t, mem::Addr addr, mdp::Priority p) {
-        const std::uint32_t row = row_of(addr);
+      [&](std::uint32_t row, mem::Addr addr) {
         ++cells_[row].fetch;
         for (std::size_t c = 0; c < ncfg; ++c) {
-          if (!icaches_[c].read(addr)) ++imiss_[c * nrows_ + row];
+          if (!icaches_[c].read(addr)) ++imiss_[c * nrows + row];
         }
-        const auto lv = static_cast<std::uint8_t>(p);
-        if (pending_pos[lv] != kNoPending) {
-          switches_.push_back(Switch{pending_pos[lv], lv, row});
-          pending_pos[lv] = kNoPending;
+      },
+      [&](std::uint32_t row, mem::Addr addr, bool is_write) {
+        if (is_write) {
+          ++cells_[row].write;
+        } else {
+          ++cells_[row].read;
+        }
+        for (std::size_t c = 0; c < ncfg; ++c) {
+          if (!dcaches_[c].access(addr, is_write)) {
+            ++dmiss_[c * nrows + row];
+          }
         }
       });
-  for (int lv = 0; lv < 2; ++lv) {
-    // A pending switch with no resolving fetch in this block carries over;
-    // the invariant (no same-level data between a mark and its resolving
-    // fetch) means applying it at position 0 of the next block is exact.
-    pending_carried_[lv] = pending_pos[lv] != kNoPending;
-  }
-
-  // Pass 2: the data walk, applying switches at their recorded positions.
-  std::stable_sort(switches_.begin(), switches_.end(),
-                   [](const Switch& a, const Switch& b) {
-                     return a.data_pos < b.data_pos;
-                   });
-  const auto& data = buf.data();
-  std::size_t si = 0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    while (si < switches_.size() && switches_[si].data_pos <= i) {
-      cur_data_row_[switches_[si].level] = switches_[si].row;
-      ++si;
-    }
-    const std::uint32_t w = data[i];
-    const std::uint32_t addr = w & ~3u;
-    const bool is_write = (w & 1u) != 0;
-    const std::uint32_t row = cur_data_row_[(w >> 1) & 1u];
-    if (is_write) {
-      ++cells_[row].write;
-    } else {
-      ++cells_[row].read;
-    }
-    for (std::size_t c = 0; c < ncfg; ++c) {
-      if (!dcaches_[c].access(addr, is_write)) ++dmiss_[c * nrows_ + row];
-    }
-  }
-  for (; si < switches_.size(); ++si) {
-    cur_data_row_[switches_[si].level] = switches_[si].row;
-  }
 }
 
 Profile Profiler::finish() {
   Profile p;
   p.caches = cache_cfgs_;
   const std::size_t ncfg = cache_cfgs_.size();
-  for (std::size_t r = 0; r < nrows_; ++r) {
+  const std::size_t nrows = ctx_.num_rows();
+  const tamc::SymbolMap& map = ctx_.map();
+  for (std::size_t r = 0; r < nrows; ++r) {
     const Cell& c = cells_[r];
     if (c.fetch == 0 && c.read == 0 && c.write == 0) continue;
     ProfileRow row;
-    if (r < map_->spans().size()) {
-      const tamc::SymbolSpan& s = map_->spans()[r];
+    if (r < map.spans().size()) {
+      const tamc::SymbolSpan& s = map.spans()[r];
       row.name = s.name;
       row.kind = s.kind;
       row.cb = s.cb;
       row.idx = s.idx;
     } else {
-      row.name = r == row_unmapped_ ? "(unmapped)" : "(dispatch)";
+      row.name = r == ctx_.row_unmapped() ? "(unmapped)" : "(dispatch)";
       row.kind = tamc::SymbolKind::Other;
     }
     row.fetches = c.fetch;
@@ -153,8 +72,8 @@ Profile Profiler::finish() {
     row.imisses.resize(ncfg);
     row.dmisses.resize(ncfg);
     for (std::size_t cf = 0; cf < ncfg; ++cf) {
-      row.imisses[cf] = imiss_[cf * nrows_ + r];
-      row.dmisses[cf] = dmiss_[cf * nrows_ + r];
+      row.imisses[cf] = imiss_[cf * nrows + r];
+      row.dmisses[cf] = dmiss_[cf * nrows + r];
     }
     p.total_fetches += row.fetches;
     p.total_reads += row.reads;
@@ -213,8 +132,8 @@ void Profile::write_csv(std::ostream& os) const {
   for (const auto& c : caches) os << ",dmiss_" << c.name();
   os << "\n";
   for (const auto& r : rows) {
-    os << r.name << ',' << tamc::symbol_kind_name(r.kind) << ',' << r.cb
-       << ',' << r.idx << ',' << r.fetches << ',' << r.reads << ','
+    os << csv_escape(r.name) << ',' << tamc::symbol_kind_name(r.kind) << ','
+       << r.cb << ',' << r.idx << ',' << r.fetches << ',' << r.reads << ','
        << r.writes;
     for (std::uint64_t m : r.imisses) os << ',' << m;
     for (std::uint64_t m : r.dmisses) os << ',' << m;

@@ -1,22 +1,12 @@
 // Flat profiler over the batched trace pipeline.
 //
-// Attributes every instruction fetch to the routine containing it (via the
-// tamc symbol map: TAM threads/inlets, kernel routines, the FP library)
-// and every data access to the mark-delimited context it executed under —
-// so a thread's profile row includes the reads/writes of the kernel and
-// FP-library calls it made, matching the paper's calling-context
-// attribution of instruction costs.  For each requested cache geometry the
-// profiler additionally simulates private I/D caches over the same streams
-// the measured CacheBank consumes (bit-identical miss totals, asserted by
+// Attributes every instruction fetch to the routine containing it and
+// every data access to the mark-delimited context it executed under — the
+// reconstruction lives in obs::ContextReplayer (context.h), shared with
+// the locality collector.  For each requested cache geometry the profiler
+// additionally simulates private I/D caches over the same streams the
+// measured CacheBank consumes (bit-identical miss totals, asserted by
 // tests/obs_test.cpp) and charges each miss to the same rows.
-//
-// Data-context reconstruction: the batched buffer does not preserve the
-// interleaving of data events with fetches, but every mark records both
-// its fetch and data positions.  A context switch (ThreadStart /
-// InletStart / SysStart) takes effect at the mark's data position; its
-// *row* is the routine of the next same-level fetch (the first instruction
-// of the new context).  Because a level emits no data events between a
-// mark and its next fetch, this reconstruction is exact.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +16,7 @@
 
 #include "cache/cache.h"
 #include "driver/trace_buffer.h"
+#include "obs/context.h"
 #include "tamc/symbols.h"
 
 namespace jtam::obs {
@@ -76,30 +67,14 @@ class Profiler final : public driver::TraceConsumer {
     std::uint64_t read = 0;
     std::uint64_t write = 0;
   };
-  struct Switch {
-    std::uint32_t data_pos;
-    std::uint8_t level;
-    std::uint32_t row;
-  };
 
-  std::uint32_t row_of(mem::Addr code_addr);
-
-  const tamc::SymbolMap* map_;
+  ContextReplayer ctx_;
   std::vector<cache::CacheConfig> cache_cfgs_;
   std::vector<cache::SetAssocCache> icaches_;  // one per config
   std::vector<cache::SetAssocCache> dcaches_;
-  std::size_t nrows_;
-  std::uint32_t row_unmapped_;
-  std::uint32_t row_dispatch_;
   std::vector<Cell> cells_;
-  std::vector<std::uint64_t> imiss_;  // [config * nrows_ + row]
+  std::vector<std::uint64_t> imiss_;  // [config * num_rows + row]
   std::vector<std::uint64_t> dmiss_;
-  std::uint32_t cur_data_row_[2];
-  std::vector<std::uint32_t> pending_data_pos_[2];  // unresolved switches
-  bool pending_carried_[2] = {false, false};  // carried from a prior block
-  std::vector<Switch> switches_;              // scratch, rebuilt per block
-  const tamc::SymbolSpan* last_span_ = nullptr;  // lookup memo
-  std::uint32_t last_row_ = 0;
 };
 
 }  // namespace jtam::obs

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/export.h"
 #include "obs/flow.h"
 #include "obs/replay.h"
 #include "support/json.h"
@@ -129,46 +130,47 @@ Timeline TimelineBuilder::finish() {
   return tl_;
 }
 
+void emit_timeline_process(std::ostream& os, JsonListSep& sep, int pid,
+                           const std::string& label, const Timeline& tl) {
+  sep.next(os) << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+               << pid << ", \"args\": {\"name\": \"" << json::escape(label)
+               << "\"}}";
+  static const char* kTracks[] = {"low priority", "high priority", "quanta"};
+  for (int t = 0; t < 3; ++t) {
+    sep.next(os) << " {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+                 << pid << ", \"tid\": " << t << ", \"args\": {\"name\": \""
+                 << kTracks[t] << "\"}}";
+  }
+  for (const auto& s : tl.slices) {
+    sep.next(os) << " {\"name\": \"" << json::escape(s.name)
+                 << "\", \"ph\": \"X\", \"pid\": " << pid
+                 << ", \"tid\": " << s.tid << ", \"ts\": " << s.ts
+                 << ", \"dur\": " << s.dur << ", \"args\": {\"frame\": "
+                 << s.frame << "}}";
+  }
+  for (const auto& in : tl.instants) {
+    sep.next(os) << " {\"name\": \"" << json::escape(in.name)
+                 << "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+                 << ", \"tid\": " << in.tid << ", \"ts\": " << in.ts
+                 << ", \"args\": {\"frame\": " << in.frame << "}}";
+  }
+  for (const auto& q : tl.queue) {
+    sep.next(os) << " {\"name\": \"queue L" << q.level
+                 << "\", \"ph\": \"C\", \"pid\": " << pid
+                 << ", \"ts\": " << q.ts << ", \"args\": {\"records\": "
+                 << q.depth << ", \"bytes\": " << q.bytes << "}}";
+  }
+}
+
 void write_chrome_trace(
     std::ostream& os,
     const std::vector<std::pair<std::string, const Timeline*>>& runs) {
   os << "{\"traceEvents\": [";
-  bool first = true;
-  auto sep = [&]() -> std::ostream& {
-    os << (first ? "\n" : ",\n");
-    first = false;
-    return os;
-  };
+  JsonListSep sep;
   int pid = 0;
   for (const auto& [label, tl] : runs) {
     ++pid;
-    sep() << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
-          << ", \"args\": {\"name\": \"" << json::escape(label) << "\"}}";
-    static const char* kTracks[] = {"low priority", "high priority",
-                                    "quanta"};
-    for (int t = 0; t < 3; ++t) {
-      sep() << " {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid
-            << ", \"tid\": " << t << ", \"args\": {\"name\": \"" << kTracks[t]
-            << "\"}}";
-    }
-    for (const auto& s : tl->slices) {
-      sep() << " {\"name\": \"" << json::escape(s.name)
-            << "\", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << s.tid
-            << ", \"ts\": " << s.ts << ", \"dur\": " << s.dur
-            << ", \"args\": {\"frame\": " << s.frame << "}}";
-    }
-    for (const auto& in : tl->instants) {
-      sep() << " {\"name\": \"" << json::escape(in.name)
-            << "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
-            << ", \"tid\": " << in.tid << ", \"ts\": " << in.ts
-            << ", \"args\": {\"frame\": " << in.frame << "}}";
-    }
-    for (const auto& q : tl->queue) {
-      sep() << " {\"name\": \"queue L" << q.level
-            << "\", \"ph\": \"C\", \"pid\": " << pid << ", \"ts\": " << q.ts
-            << ", \"args\": {\"records\": " << q.depth
-            << ", \"bytes\": " << q.bytes << "}}";
-    }
+    emit_timeline_process(os, sep, pid, label, *tl);
   }
   os << "\n]}\n";
 }
@@ -177,12 +179,8 @@ void write_flow_chrome_trace(
     std::ostream& os,
     const std::vector<std::pair<std::string, const FlowTrace*>>& runs) {
   os << "{\"traceEvents\": [";
-  bool first = true;
-  auto sep = [&]() -> std::ostream& {
-    os << (first ? "\n" : ",\n");
-    first = false;
-    return os;
-  };
+  JsonListSep lsep;
+  auto sep = [&]() -> std::ostream& { return lsep.next(os); };
   int next_pid = 1;        // process ids, disjoint across runs and nodes
   std::uint64_t flow_base = 0;  // makes s/f ids unique across runs
   for (const auto& [label, tr] : runs) {

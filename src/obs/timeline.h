@@ -102,11 +102,20 @@ class TimelineBuilder final : public driver::TraceConsumer {
   std::uint32_t quantum_frame_ = 0;
 };
 
+class JsonListSep;
+
 /// Write one or more labelled timelines as a Chrome trace-event JSON
 /// document, one process per timeline.
 void write_chrome_trace(
     std::ostream& os,
     const std::vector<std::pair<std::string, const Timeline*>>& runs);
+
+/// Emit one timeline's process/thread metadata and events into an open
+/// traceEvents array — the per-run body of write_chrome_trace, shared with
+/// the locality counter-track merger (obs/locality.h) so both writers
+/// produce identical timeline events.
+void emit_timeline_process(std::ostream& os, JsonListSep& sep, int pid,
+                           const std::string& label, const Timeline& tl);
 
 /// Write one or more causal flow traces (obs::FlowTrace) as a merged
 /// multi-node Chrome trace-event JSON document.  Each run contributes one

@@ -1,0 +1,432 @@
+// Locality observatory — attribution conservation and zero-cost contract.
+//
+// The central property: attribution only *partitions* counts, never changes
+// them.  Summing the keyed engine's per-key hit/miss/write-back counters
+// over all keys must be bit-identical to the unkeyed StackStream and to
+// SetAssocCache on the same stream (randomized streams, degenerate
+// geometries included), and a LocalityReport's itotal/dtotal must be
+// bit-identical to the measured cache ladder of the same run for every
+// configuration, every paper program, both back-ends, serial and sharded.
+// And like every obs collector, --locality must leave the measured
+// RunResult bit-identical to an untraced run.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/attr_stack.h"
+#include "cache/cache.h"
+#include "cache/cache_bank.h"
+#include "cache/stack_sim.h"
+#include "driver/experiment.h"
+#include "obs/obs.h"
+#include "programs/registry.h"
+#include "support/json.h"
+
+namespace {
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+programs::Scale quick_scale() {
+  return programs::Scale{12, 60, 10, 10, 12, 2, 40};
+}
+
+programs::Workload workload_by_name(const std::string& name) {
+  for (programs::Workload& w : programs::paper_workloads(quick_scale())) {
+    if (w.name == name) return w;
+  }
+  ADD_FAILURE() << "no workload named " << name;
+  return {};
+}
+
+// (addr, is_write, key) stream from a deterministic LCG.
+struct KeyedRef {
+  std::uint32_t addr;
+  bool is_write;
+  std::uint32_t key;
+};
+
+std::vector<KeyedRef> keyed_stream(int n, std::uint32_t seed,
+                                   std::uint32_t addr_mask,
+                                   std::uint32_t num_keys) {
+  std::vector<KeyedRef> out;
+  out.reserve(static_cast<std::size_t>(n));
+  std::uint32_t x = seed;
+  for (int i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    out.push_back({(x >> 7) & addr_mask & ~3u, (x & 1) != 0,
+                   (x >> 3) % num_keys});
+  }
+  return out;
+}
+
+// Feed one stream through the keyed engine, the unkeyed stack engine, and
+// one SetAssocCache per config; require bit-identical totals and per-key
+// sums everywhere.
+void expect_conservation(const std::vector<cache::CacheConfig>& cfgs,
+                         const std::vector<KeyedRef>& refs,
+                         std::uint32_t num_keys) {
+  cache::AttrStackStream attr(cfgs, num_keys);
+  cache::StackStream stack(cfgs, /*shard=*/0, /*num_shards=*/1);
+  std::vector<cache::SetAssocCache> classic;
+  for (const cache::CacheConfig& c : cfgs) classic.emplace_back(c);
+
+  for (const KeyedRef& r : refs) {
+    attr.access(r.addr, r.is_write, r.key);
+    stack.access(r.addr, r.is_write);
+    for (cache::SetAssocCache& c : classic) c.access(r.addr, r.is_write);
+  }
+
+  std::uint64_t key_accesses = 0;
+  for (std::uint32_t k = 0; k < num_keys; ++k) {
+    key_accesses += attr.accesses_of(k);
+  }
+  EXPECT_EQ(key_accesses, refs.size());
+
+  for (std::size_t c = 0; c < cfgs.size(); ++c) {
+    SCOPED_TRACE(cfgs[c].name());
+    const cache::CacheStats total = attr.total_for(c);
+    const cache::CacheStats stk = stack.stats_for(c);
+    const cache::CacheStats& cls = classic[c].stats();
+
+    cache::CacheStats keyed;
+    for (std::uint32_t k = 0; k < num_keys; ++k) {
+      const cache::CacheStats s = attr.stats_for(c, k);
+      keyed.accesses += s.accesses;
+      keyed.misses += s.misses;
+      keyed.writebacks += s.writebacks;
+    }
+    EXPECT_EQ(keyed.accesses, total.accesses);
+    EXPECT_EQ(keyed.misses, total.misses);
+    EXPECT_EQ(keyed.writebacks, total.writebacks);
+
+    EXPECT_EQ(total.accesses, stk.accesses);
+    EXPECT_EQ(total.misses, stk.misses);
+    EXPECT_EQ(total.writebacks, stk.writebacks);
+
+    EXPECT_EQ(total.accesses, cls.accesses);
+    EXPECT_EQ(total.misses, cls.misses);
+    EXPECT_EQ(total.writebacks, cls.writebacks);
+  }
+}
+
+// --- AttrStackStream vs StackStream vs SetAssocCache -------------------------
+
+TEST(AttrStack, RandomStreamsConserveOnPaperLadder) {
+  const std::vector<cache::CacheConfig> ladder = cache::paper_ladder(64);
+  ASSERT_EQ(ladder.size(), 24u);
+  for (std::uint32_t seed : {7u, 99u, 12345u}) {
+    SCOPED_TRACE(seed);
+    expect_conservation(ladder, keyed_stream(30000, seed, 0x3FFFF, 11), 11);
+  }
+}
+
+TEST(AttrStack, DegenerateGeometriesConserve) {
+  // Single-set, direct-mapped, and tiny caches at an 8-byte block — the
+  // geometries where off-by-one position/limit bugs would show first.
+  const std::vector<cache::CacheConfig> cfgs = {
+      {32, 8, 4},    // one set, fully associative
+      {64, 8, 1},    // direct-mapped, 8 sets
+      {128, 8, 2},   // 8 sets, 2-way
+      {1024, 8, 4},  // 32 sets
+  };
+  for (std::uint32_t seed : {3u, 41u}) {
+    SCOPED_TRACE(seed);
+    expect_conservation(cfgs, keyed_stream(20000, seed, 0x1FFF, 5), 5);
+  }
+}
+
+TEST(AttrStack, SingleKeyMatchesUnkeyedPerKeyStats) {
+  // With one key the per-key stats *are* the totals.
+  const std::vector<cache::CacheConfig> cfgs = {{8192, 64, 4}, {1024, 64, 1}};
+  cache::AttrStackStream attr(cfgs, 1);
+  cache::StackStream stack(cfgs, 0, 1);
+  for (const KeyedRef& r : keyed_stream(25000, 77, 0xFFFF, 1)) {
+    attr.access(r.addr, r.is_write, 0);
+    stack.access(r.addr, r.is_write);
+  }
+  for (std::size_t c = 0; c < cfgs.size(); ++c) {
+    const cache::CacheStats a = attr.stats_for(c, 0);
+    const cache::CacheStats s = stack.stats_for(c);
+    EXPECT_EQ(a.accesses, s.accesses);
+    EXPECT_EQ(a.misses, s.misses);
+    EXPECT_EQ(a.writebacks, s.writebacks);
+  }
+}
+
+TEST(AttrStack, ReuseHistogramCountsEveryAccess) {
+  const std::vector<cache::CacheConfig> cfgs = {{8192, 64, 4}};
+  const std::uint32_t num_keys = 7;
+  cache::AttrStackStream attr(cfgs, num_keys, /*rd_window=*/64);
+  const std::vector<KeyedRef> refs = keyed_stream(10000, 5, 0x7FFF, num_keys);
+  for (const KeyedRef& r : refs) attr.access(r.addr, r.is_write, r.key);
+  std::uint64_t total = 0;
+  for (std::uint32_t k = 0; k < num_keys; ++k) {
+    const std::uint64_t* h = attr.rd_hist(k);
+    for (std::uint32_t b = 0; b < cache::AttrStackStream::kRdBuckets; ++b) {
+      total += h[b];
+    }
+  }
+  EXPECT_EQ(total, refs.size());
+  EXPECT_EQ(cache::AttrStackStream::rd_bucket_floor(0), 0u);
+  EXPECT_EQ(cache::AttrStackStream::rd_bucket_floor(1), 1u);
+  EXPECT_EQ(cache::AttrStackStream::rd_bucket_floor(5), 16u);
+}
+
+// --- Workload conservation: report totals vs the measured ladder -------------
+
+void expect_report_ties_out(const driver::RunResult& r) {
+  ASSERT_NE(r.obs, nullptr);
+  ASSERT_TRUE(r.obs->locality.has_value());
+  const obs::LocalityReport& rep = *r.obs->locality;
+  ASSERT_EQ(rep.configs.size(), r.cache.size());
+  for (std::size_t c = 0; c < rep.configs.size(); ++c) {
+    SCOPED_TRACE(rep.configs[c].name());
+    // Match by geometry, not index, so the report stays valid even if the
+    // ladder orders change independently.
+    const driver::ConfigResult* measured = nullptr;
+    for (const driver::ConfigResult& m : r.cache) {
+      if (m.config.size_bytes == rep.configs[c].size_bytes &&
+          m.config.assoc == rep.configs[c].assoc &&
+          m.config.block_bytes == rep.configs[c].block_bytes) {
+        measured = &m;
+      }
+    }
+    ASSERT_NE(measured, nullptr);
+    const cache::CacheStats it = rep.itotal(c);
+    const cache::CacheStats dt = rep.dtotal(c);
+    EXPECT_EQ(it.accesses, measured->icache.accesses);
+    EXPECT_EQ(it.misses, measured->icache.misses);
+    EXPECT_EQ(dt.accesses, measured->dcache.accesses);
+    EXPECT_EQ(dt.misses, measured->dcache.misses);
+    EXPECT_EQ(dt.writebacks, measured->dcache.writebacks);
+  }
+}
+
+TEST(LocalityConservation, AllPaperProgramsBothBackendsAllConfigs) {
+  for (programs::Workload& w : programs::paper_workloads(quick_scale())) {
+    for (rt::BackendKind b : {rt::BackendKind::MessageDriven,
+                              rt::BackendKind::ActiveMessages}) {
+      SCOPED_TRACE(w.name + (b == rt::BackendKind::MessageDriven ? "/MD"
+                                                                 : "/AM"));
+      driver::RunOptions opts;
+      opts.backend = b;
+      opts.obs.locality = true;
+      driver::RunResult r = driver::run_workload(w, opts);
+      ASSERT_TRUE(r.ok()) << r.check_error;
+      expect_report_ties_out(r);
+    }
+  }
+}
+
+TEST(LocalityConservation, ShardedMeasurementTiesOutToo) {
+  const programs::Workload w = workload_by_name("qs");
+  for (rt::BackendKind b : {rt::BackendKind::MessageDriven,
+                            rt::BackendKind::ActiveMessages}) {
+    driver::RunOptions opts;
+    opts.backend = b;
+    opts.cache_workers = 4;  // shard the measured bank; collector is serial
+    opts.obs.locality = true;
+    driver::RunResult r = driver::run_workload(w, opts);
+    ASSERT_TRUE(r.ok()) << r.check_error;
+    expect_report_ties_out(r);
+  }
+}
+
+// --- Zero-cost-when-off ------------------------------------------------------
+
+TEST(LocalityZeroCost, MeasurementBitIdenticalWithLocalityOn) {
+  const programs::Workload w = workload_by_name("mmt");
+  for (rt::BackendKind b : {rt::BackendKind::MessageDriven,
+                            rt::BackendKind::ActiveMessages}) {
+    driver::RunOptions plain;
+    plain.backend = b;
+    driver::RunOptions traced = plain;
+    traced.obs.locality = true;
+
+    const driver::RunResult a = driver::run_workload(w, plain);
+    const driver::RunResult c = driver::run_workload(w, traced);
+    ASSERT_EQ(a.status, c.status);
+    EXPECT_EQ(a.halt_value, c.halt_value);
+    EXPECT_EQ(a.instructions, c.instructions);
+    EXPECT_EQ(a.gran.threads, c.gran.threads);
+    EXPECT_EQ(a.gran.quanta, c.gran.quanta);
+    EXPECT_EQ(a.gran.quantum_instrs, c.gran.quantum_instrs);
+    ASSERT_EQ(a.cache.size(), c.cache.size());
+    for (std::size_t i = 0; i < a.cache.size(); ++i) {
+      SCOPED_TRACE(a.cache[i].config.name());
+      EXPECT_EQ(a.cache[i].icache.accesses, c.cache[i].icache.accesses);
+      EXPECT_EQ(a.cache[i].icache.misses, c.cache[i].icache.misses);
+      EXPECT_EQ(a.cache[i].dcache.accesses, c.cache[i].dcache.accesses);
+      EXPECT_EQ(a.cache[i].dcache.misses, c.cache[i].dcache.misses);
+      EXPECT_EQ(a.cache[i].dcache.writebacks, c.cache[i].dcache.writebacks);
+    }
+    EXPECT_EQ(a.obs, nullptr);
+    ASSERT_NE(c.obs, nullptr);
+    EXPECT_TRUE(c.obs->locality.has_value());
+  }
+}
+
+// --- Report queries, diff, exports -------------------------------------------
+
+class LocalityReportFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const programs::Workload w = workload_by_name("qs");
+    for (rt::BackendKind b : {rt::BackendKind::MessageDriven,
+                              rt::BackendKind::ActiveMessages}) {
+      driver::RunOptions opts;
+      opts.backend = b;
+      opts.with_cache = false;
+      opts.obs.locality = true;
+      opts.obs.timeline = true;
+      driver::RunResult r = driver::run_workload(w, opts);
+      ASSERT_TRUE(r.ok()) << r.check_error;
+      (b == rt::BackendKind::MessageDriven ? md_ : am_) =
+          new driver::RunResult(std::move(r));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete md_;
+    delete am_;
+    md_ = nullptr;
+    am_ = nullptr;
+  }
+
+  static const obs::LocalityReport& md() { return *md_->obs->locality; }
+  static const obs::LocalityReport& am() { return *am_->obs->locality; }
+
+  static driver::RunResult* md_;
+  static driver::RunResult* am_;
+};
+
+driver::RunResult* LocalityReportFixture::md_ = nullptr;
+driver::RunResult* LocalityReportFixture::am_ = nullptr;
+
+TEST_F(LocalityReportFixture, ClassBreakdownSumsToDTotal) {
+  const obs::LocalityReport& rep = md();
+  std::uint64_t acc = 0;
+  std::uint64_t miss = 0;
+  std::uint64_t wb = 0;
+  for (std::uint32_t c = 0; c < obs::kNumAccessClasses; ++c) {
+    const auto ac = static_cast<obs::AccessClass>(c);
+    acc += rep.class_accesses(ac);
+    miss += rep.class_misses(ac, rep.headline);
+    wb += rep.class_writebacks(ac, rep.headline);
+  }
+  const cache::CacheStats dt = rep.dtotal(rep.headline);
+  EXPECT_EQ(acc, dt.accesses);
+  EXPECT_EQ(miss, dt.misses);
+  EXPECT_EQ(wb, dt.writebacks);
+  // A TAM run touches frames and the message queues by construction.
+  EXPECT_GT(rep.class_accesses(obs::AccessClass::Frame), 0u);
+  EXPECT_GT(rep.class_accesses(obs::AccessClass::Queue), 0u);
+}
+
+TEST_F(LocalityReportFixture, MrcAndPercentilesAreSane) {
+  const obs::LocalityReport& rep = md();
+  // Headline must be the paper's 8K 4-way.
+  EXPECT_EQ(rep.configs[rep.headline].size_bytes, 8u * 1024);
+  EXPECT_EQ(rep.configs[rep.headline].assoc, 4u);
+  for (std::uint32_t r = 0; r < rep.rows.size(); ++r) {
+    if (rep.symbol_accesses(r) == 0) continue;
+    for (double m : rep.symbol_mrc(r)) {
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+  }
+  const double p50 = rep.frame_rd_percentile(0.50);
+  const double p90 = rep.frame_rd_percentile(0.90);
+  const double p99 = rep.frame_rd_percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, static_cast<double>(rep.rd_window));
+}
+
+TEST_F(LocalityReportFixture, DiffConservesAndRanksByDelta) {
+  const obs::LocalityDiff d =
+      obs::LocalityReport::diff(md(), am(), md().headline);
+  EXPECT_EQ(d.config.size_bytes, 8u * 1024);
+  ASSERT_FALSE(d.entries.empty());
+  std::uint64_t md_miss = 0;
+  std::uint64_t am_miss = 0;
+  for (std::size_t i = 0; i < d.entries.size(); ++i) {
+    md_miss += d.entries[i].md_misses;
+    am_miss += d.entries[i].am_misses;
+    if (i > 0) {
+      const auto mag = [](const obs::LocalityDiff::Entry& e) {
+        const std::int64_t v = e.delta();
+        return v < 0 ? -v : v;
+      };
+      EXPECT_LE(mag(d.entries[i]), mag(d.entries[i - 1]));
+    }
+  }
+  // Every attributed miss appears in exactly one entry.
+  EXPECT_EQ(md_miss, md().itotal(md().headline).misses +
+                         md().dtotal(md().headline).misses);
+  EXPECT_EQ(am_miss, am().itotal(am().headline).misses +
+                         am().dtotal(am().headline).misses);
+  std::ostringstream os;
+  d.write_text(os);
+  EXPECT_NE(os.str().find("MD vs AM locality diff"), std::string::npos);
+}
+
+TEST_F(LocalityReportFixture, CsvAndJsonExportsAreWellFormed) {
+  std::ostringstream csv;
+  md().write_csv(csv);
+  EXPECT_EQ(csv.str().rfind("name,kind,cb,idx,stream,class,accesses", 0), 0u);
+  // One miss column per config.
+  const std::string header = csv.str().substr(0, csv.str().find('\n'));
+  std::size_t cols = 0;
+  for (char ch : header) cols += ch == ',' ? 1 : 0;
+  EXPECT_EQ(cols, 8 + md().configs.size());
+
+  std::ostringstream js;
+  md().write_json(js);
+  const json::Value doc = json::parse(js.str());
+  EXPECT_EQ(doc.at("configs").as_array().size(), md().configs.size());
+  EXPECT_EQ(doc.at("classes").as_array().size(),
+            static_cast<std::size_t>(obs::kNumAccessClasses));
+  EXPECT_FALSE(doc.at("rows").as_array().empty());
+  EXPECT_FALSE(doc.at("series").as_array().empty());
+}
+
+TEST_F(LocalityReportFixture, ChromeTraceMergesCountersWithTimeline) {
+  std::ostringstream os;
+  obs::write_locality_chrome_trace(
+      os, {{"qs / MD", &*md_->obs->timeline, &md()},
+           {"qs / AM", nullptr, &am()}});
+  const json::Value doc = json::parse(os.str());
+  const json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+  int imiss_counters = 0;
+  int dmiss_counters = 0;
+  int slices = 0;
+  for (const json::Value& e : events) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "C" && e.at("name").as_string() == "imiss (cum)") {
+      ++imiss_counters;
+    }
+    if (ph == "C" && e.at("name").as_string() == "dmiss by class (cum)") {
+      ++dmiss_counters;
+    }
+    if (ph == "X") ++slices;
+  }
+  EXPECT_GT(imiss_counters, 0);
+  EXPECT_EQ(imiss_counters, dmiss_counters);
+  EXPECT_GT(slices, 0);  // the MD run's timeline rode along
+}
+
+TEST_F(LocalityReportFixture, TextScorecardMentionsTheLadder) {
+  std::ostringstream os;
+  md().write_text(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Locality attribution (24 configs"), std::string::npos);
+  EXPECT_NE(s.find("frame reuse distance"), std::string::npos);
+  EXPECT_NE(s.find("top symbols by misses"), std::string::npos);
+}
+
+}  // namespace
