@@ -19,6 +19,7 @@
 #include "obs/flow.h"
 #include "obs/obs.h"
 #include "programs/registry.h"
+#include "support/error.h"
 #include "support/text.h"
 
 namespace jtam::bench {
@@ -67,6 +68,96 @@ inline std::vector<net::NetKind> nets_from_args(int argc, char** argv) {
     if (a == "--net=mesh") return {net::NetKind::Mesh};
   }
   return {net::NetKind::Ideal, net::NetKind::Mesh};
+}
+
+/// Aggregation/placement knobs for multi-node benches (net/aggregate,
+/// mdp/placement):
+///   --agg=off|dest|relay        aggregation modes to sweep (csv; default
+///                               off only, which is bit-identical to the
+///                               seed path — pinned by aggregate_test)
+///   --agg-bytes=<n>             coalescing-buffer seal threshold (bytes)
+///   --agg-timeout=<n>           max cycles a partial buffer waits
+///   --placement=rr|near|owner|cluster
+///                               SENDDR frame-placement policies to sweep
+///                               (csv; default rr, the seed policy)
+struct AggArgs {
+  std::vector<net::AggMode> modes = {net::AggMode::Off};
+  std::vector<mdp::PlacementKind> placements = {mdp::PlacementKind::RoundRobin};
+  std::uint32_t agg_bytes = 256;
+  std::uint32_t agg_timeout = 64;
+
+  /// True when any combination beyond the seed (off, rr) was requested —
+  /// the flagless stdout/JSON shape must stay byte-stable otherwise.
+  bool sweeping() const {
+    return modes.size() > 1 || placements.size() > 1 ||
+           modes[0] != net::AggMode::Off ||
+           placements[0] != mdp::PlacementKind::RoundRobin;
+  }
+
+  void apply(driver::MultiOptions& mo, net::AggMode mode,
+             mdp::PlacementKind placement) const {
+    mo.agg = mode;
+    mo.agg_bytes = agg_bytes;
+    mo.agg_timeout = agg_timeout;
+    mo.placement.kind = placement;
+  }
+};
+
+inline AggArgs agg_args_from_args(int argc, char** argv) {
+  AggArgs aa;
+  auto split_csv = [](const std::string& csv) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+      const std::size_t comma = csv.find(',', pos);
+      const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+      if (end > pos) out.push_back(csv.substr(pos, end - pos));
+      pos = end + 1;
+    }
+    return out;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    for (const char* flag : {"--agg", "--agg-bytes", "--agg-timeout",
+                             "--placement"}) {
+      if (a == flag && i + 1 < argc) a = a + "=" + argv[i + 1];
+    }
+    if (a.rfind("--agg=", 0) == 0) {
+      aa.modes.clear();
+      for (const std::string& m : split_csv(a.substr(6))) {
+        if (m == "off") aa.modes.push_back(net::AggMode::Off);
+        else if (m == "dest") aa.modes.push_back(net::AggMode::Dest);
+        else if (m == "relay") aa.modes.push_back(net::AggMode::Relay);
+        else throw Error("unknown --agg mode: " + m);
+      }
+      if (aa.modes.empty()) aa.modes.push_back(net::AggMode::Off);
+    }
+    if (a.rfind("--agg-bytes=", 0) == 0) {
+      aa.agg_bytes = static_cast<std::uint32_t>(
+          std::atoi(a.substr(12).c_str()));
+    }
+    if (a.rfind("--agg-timeout=", 0) == 0) {
+      aa.agg_timeout = static_cast<std::uint32_t>(
+          std::atoi(a.substr(14).c_str()));
+    }
+    if (a.rfind("--placement=", 0) == 0) {
+      aa.placements.clear();
+      for (const std::string& p : split_csv(a.substr(12))) {
+        if (p == "rr") aa.placements.push_back(mdp::PlacementKind::RoundRobin);
+        else if (p == "near") aa.placements.push_back(
+            mdp::PlacementKind::Nearest);
+        else if (p == "owner") aa.placements.push_back(
+            mdp::PlacementKind::Owner);
+        else if (p == "cluster") aa.placements.push_back(
+            mdp::PlacementKind::Cluster);
+        else throw Error("unknown --placement policy: " + p);
+      }
+      if (aa.placements.empty()) {
+        aa.placements.push_back(mdp::PlacementKind::RoundRobin);
+      }
+    }
+  }
+  return aa;
 }
 
 /// --engine=stack | --engine=classic (or "--engine stack"): which cache

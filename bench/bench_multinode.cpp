@@ -18,10 +18,15 @@
 // Flags: --quick, --json <path>, --nodes <N> (sweep to N, default 8),
 //        --net=ideal|mesh (default: both),
 //        --programs <csv> (restrict the sweep, e.g. --programs mmt,qs),
+//        --agg=off|dest|relay, --agg-bytes=<n>, --agg-timeout=<n>,
+//        --placement=rr|near|owner|cluster (csv lists open an
+//        aggregation x placement sweep; the flagless defaults off/rr
+//        keep the seed output byte-identical — see bench_common.h),
 //        --flow <out.json> (rerun each program at the top node count with
 //        causal tracing: merged multi-node Perfetto timeline with flow
 //        arrows, plus a critical-path report per run on stdout.  These
-//        instrumented reruns leave the measured sweep untouched).
+//        instrumented reruns leave the measured sweep untouched; they run
+//        under the first requested agg/placement combination).
 
 #include <algorithm>
 
@@ -63,7 +68,21 @@ int main(int argc, char** argv) {
   const std::vector<net::NetKind> nets = bench::nets_from_args(argc, argv);
   const std::vector<std::string> only = programs_from_args(argc, argv);
   const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
+  const bench::AggArgs agg_args = bench::agg_args_from_args(argc, argv);
   const int top_nodes = node_counts.back();
+
+  // One table section per (agg mode, placement) combination.  Without the
+  // flags this is the single seed combination (off, rr) and every byte of
+  // output below stays identical to the pre-aggregation bench.
+  struct Combo {
+    net::AggMode agg;
+    mdp::PlacementKind placement;
+  };
+  std::vector<Combo> combos;
+  for (net::AggMode m : agg_args.modes) {
+    for (mdp::PlacementKind p : agg_args.placements) combos.push_back({m, p});
+  }
+  const bool sweeping = agg_args.sweeping();
 
   std::vector<programs::Workload> workloads;
   for (programs::Workload& w : programs::paper_workloads(scale)) {
@@ -81,79 +100,146 @@ int main(int argc, char** argv) {
     const char* bk =
         backend == rt::BackendKind::MessageDriven ? "md" : "am";
     for (net::NetKind kind : nets) {
-      std::cout << "=== " << rt::backend_name(backend) << " / "
-                << net::net_kind_name(kind) << " network ===\n";
-      text::Table t;
-      {
-        std::vector<std::string> hdr{"Program"};
-        for (int n : node_counts) hdr.push_back("N=" + std::to_string(n));
-        hdr.insert(hdr.end(), {"speedup", "msgs", "inj-stall", "hops p50/p95",
-                               "lat p50/p95", "hot link"});
-        t.header(hdr);
-      }
-      for (const programs::Workload& w : workloads) {
-        std::cerr << "  running " << w.name << " ("
-                  << net::net_kind_name(kind) << ") ...\n";
-        driver::RunOptions opts;
-        opts.backend = backend;
-        std::vector<std::string> row{w.name};
-        std::uint64_t r1 = 0;
-        driver::MultiRunResult top;
-        for (int nodes : node_counts) {
-          driver::MultiOptions mo;
-          mo.num_nodes = nodes;
-          mo.net = kind;
-          driver::MultiRunResult r = driver::run_workload_multi(w, opts, mo);
-          if (!r.ok()) {
-            throw Error(w.name + " failed on " + std::to_string(nodes) +
-                        " nodes (" + net::net_kind_name(kind) +
-                        "): " + r.check_error);
+      for (const Combo& combo : combos) {
+        const bool agg_on = combo.agg != net::AggMode::Off;
+        std::cout << "=== " << rt::backend_name(backend) << " / "
+                  << net::net_kind_name(kind) << " network";
+        if (sweeping) {
+          std::cout << " / agg=" << net::agg_mode_name(combo.agg);
+          if (agg_on) {
+            std::cout << "(" << agg_args.agg_bytes << "B,"
+                      << agg_args.agg_timeout << "cy)";
           }
-          row.push_back(text::with_commas(r.rounds));
-          if (nodes == 1) r1 = r.rounds;
-          if (nodes == top_nodes) top = std::move(r);
+          std::cout << " / placement="
+                    << mdp::placement_kind_name(combo.placement);
         }
-        const double speedup =
-            static_cast<double>(r1) / static_cast<double>(top.rounds);
-        // Hottest link: flit traversals / network cycles, over all links.
-        double hot = 0;
-        for (const net::LinkStats& l : top.links) {
-          if (top.net_cycles > 0) {
-            hot = std::max(hot, static_cast<double>(l.flits) /
-                                    static_cast<double>(top.net_cycles));
+        std::cout << " ===\n";
+        text::Table t;
+        {
+          std::vector<std::string> hdr{"Program"};
+          for (int n : node_counts) hdr.push_back("N=" + std::to_string(n));
+          hdr.insert(hdr.end(), {"speedup", "msgs", "inj-stall",
+                                 "hops p50/p95", "lat p50/p95", "hot link"});
+          if (agg_on) hdr.insert(hdr.end(), {"bundles", "msgs/bndl"});
+          t.header(hdr);
+        }
+        for (const programs::Workload& w : workloads) {
+          std::cerr << "  running " << w.name << " ("
+                    << net::net_kind_name(kind) << ") ...\n";
+          driver::RunOptions opts;
+          opts.backend = backend;
+          std::vector<std::string> row{w.name};
+          std::uint64_t r1 = 0;
+          driver::MultiRunResult top;
+          for (int nodes : node_counts) {
+            driver::MultiOptions mo;
+            mo.num_nodes = nodes;
+            mo.net = kind;
+            agg_args.apply(mo, combo.agg, combo.placement);
+            driver::MultiRunResult r = driver::run_workload_multi(w, opts, mo);
+            if (!r.ok()) {
+              throw Error(w.name + " failed on " + std::to_string(nodes) +
+                          " nodes (" + net::net_kind_name(kind) +
+                          "): " + r.check_error);
+            }
+            row.push_back(text::with_commas(r.rounds));
+            if (nodes == 1) r1 = r.rounds;
+            if (nodes == top_nodes) top = std::move(r);
           }
-        }
-        row.push_back(text::fixed(speedup, 2));
-        row.push_back(text::with_commas(top.messages));
-        row.push_back(text::with_commas(top.injection_stall_cycles));
-        row.push_back(text::fixed(top.hops.p50(), 1) + "/" +
-                      text::fixed(top.hops.p95(), 1));
-        row.push_back(text::fixed(top.msg_latency.p50(), 1) + "/" +
-                      text::fixed(top.msg_latency.p95(), 1));
-        row.push_back(kind == net::NetKind::Mesh
-                          ? text::fixed(100.0 * hot, 1) + "%"
-                          : std::string("-"));
-        t.row(row);
+          const double speedup =
+              static_cast<double>(r1) / static_cast<double>(top.rounds);
+          // Hottest link: flit traversals / network cycles, over all links.
+          double hot = 0;
+          for (const net::LinkStats& l : top.links) {
+            if (top.net_cycles > 0) {
+              hot = std::max(hot, static_cast<double>(l.flits) /
+                                      static_cast<double>(top.net_cycles));
+            }
+          }
+          row.push_back(text::fixed(speedup, 2));
+          row.push_back(text::with_commas(top.messages));
+          row.push_back(text::with_commas(top.injection_stall_cycles));
+          row.push_back(text::fixed(top.hops.p50(), 1) + "/" +
+                        text::fixed(top.hops.p95(), 1));
+          row.push_back(text::fixed(top.msg_latency.p50(), 1) + "/" +
+                        text::fixed(top.msg_latency.p95(), 1));
+          row.push_back(kind == net::NetKind::Mesh
+                            ? text::fixed(100.0 * hot, 1) + "%"
+                            : std::string("-"));
+          const net::AggStats& agg = top.net_stats.agg;
+          if (agg_on) {
+            row.push_back(text::with_commas(agg.bundles));
+            row.push_back(agg.bundles > 0
+                              ? text::fixed(agg.bundle_messages.mean(), 1)
+                              : std::string("-"));
+          }
+          t.row(row);
 
-        const std::string key = std::string(bk) + "." +
-                                net::net_kind_name(kind) + "." + w.name +
-                                ".n" + std::to_string(top_nodes) + ".";
-        json_metrics.emplace_back(key + "rounds",
-                                  static_cast<double>(top.rounds));
-        json_metrics.emplace_back(key + "speedup", speedup);
-        json_metrics.emplace_back(key + "messages",
-                                  static_cast<double>(top.messages));
-        json_metrics.emplace_back(
-            key + "inj_stall_cycles",
-            static_cast<double>(top.injection_stall_cycles));
-        if (kind == net::NetKind::Mesh) {
-          json_metrics.emplace_back(key + "hops_mean", top.hops.mean());
-          json_metrics.emplace_back(key + "lat_p95", top.msg_latency.p95());
-          json_metrics.emplace_back(key + "hot_link_util", hot);
+          std::string key = std::string(bk) + "." +
+                            net::net_kind_name(kind) + ".";
+          if (sweeping) {
+            key += std::string("agg-") + net::agg_mode_name(combo.agg) +
+                   ".pl-" + mdp::placement_kind_name(combo.placement) + ".";
+          }
+          key += w.name + ".n" + std::to_string(top_nodes) + ".";
+          json_metrics.emplace_back(key + "rounds",
+                                    static_cast<double>(top.rounds));
+          json_metrics.emplace_back(key + "speedup", speedup);
+          json_metrics.emplace_back(key + "messages",
+                                    static_cast<double>(top.messages));
+          json_metrics.emplace_back(
+              key + "inj_stall_cycles",
+              static_cast<double>(top.injection_stall_cycles));
+          if (kind == net::NetKind::Mesh) {
+            json_metrics.emplace_back(key + "hops_mean", top.hops.mean());
+            json_metrics.emplace_back(key + "lat_p95", top.msg_latency.p95());
+            json_metrics.emplace_back(key + "hot_link_util", hot);
+          }
+          if (agg_on) {
+            // Aggregation stats block (satellite of the aggregation
+            // subsystem): how much the coalescing layer actually bundled.
+            json_metrics.emplace_back(key + "agg.bundles",
+                                      static_cast<double>(agg.bundles));
+            json_metrics.emplace_back(
+                key + "agg.bundled_messages",
+                static_cast<double>(agg.bundled_messages));
+            json_metrics.emplace_back(
+                key + "agg.bypass_messages",
+                static_cast<double>(agg.bypass_messages));
+            json_metrics.emplace_back(
+                key + "agg.relay_forwards",
+                static_cast<double>(agg.relay_forwards));
+            json_metrics.emplace_back(key + "agg.flush_size",
+                                      static_cast<double>(agg.flush_size));
+            json_metrics.emplace_back(key + "agg.flush_timeout",
+                                      static_cast<double>(agg.flush_timeout));
+            json_metrics.emplace_back(key + "agg.msgs_per_bundle",
+                                      agg.bundle_messages.mean());
+            json_metrics.emplace_back(key + "agg.buffer_wait_p95",
+                                      agg.buffer_wait.p95());
+          }
+          if (sweeping) {
+            // Placement stats block: how evenly the policy spread work.
+            std::uint64_t max_instr = 0;
+            std::uint64_t sum_instr = 0;
+            for (std::uint64_t n : top.per_node_instructions) {
+              max_instr = std::max(max_instr, n);
+              sum_instr += n;
+            }
+            const double mean_instr =
+                top.per_node_instructions.empty()
+                    ? 0.0
+                    : static_cast<double>(sum_instr) /
+                          static_cast<double>(top.per_node_instructions.size());
+            json_metrics.emplace_back(
+                key + "placement.instr_imbalance",
+                mean_instr > 0 ? static_cast<double>(max_instr) / mean_instr
+                               : 0.0);
+          }
         }
+        t.print(std::cout);
+        std::cout << "\n";
       }
-      t.print(std::cout);
-      std::cout << "\n";
     }
   }
   std::cout << "Speedups mirror each program's dataflow: independent rows "
@@ -161,6 +247,12 @@ int main(int argc, char** argv) {
                "selection sort do not.  The mesh\ncolumns show what the "
                "ideal wire hides: hop-dependent latency, hot links,\nand "
                "SENDE injection stalls under contention.\n";
+  if (sweeping) {
+    std::cout << "Aggregation bundles only the low-priority virtual network "
+                 "— MD task-queue\ntraffic coalesces, AM inlet traffic "
+                 "(priority-high) bypasses untouched — so\nthe sweep shifts "
+                 "the MD columns and leaves AM as the control.\n";
+  }
   bench::write_json(bench::json_path_from_args(argc, argv), "multinode",
                     watch.seconds(), json_metrics);
 
@@ -183,6 +275,7 @@ int main(int argc, char** argv) {
         driver::MultiOptions mo;
         mo.num_nodes = top_nodes;
         mo.net = flow_net;
+        agg_args.apply(mo, combos.front().agg, combos.front().placement);
         mo.flow.enabled = true;
         mo.flow.sample_every = 256;
         driver::MultiRunResult r = driver::run_workload_multi(w, opts, mo);

@@ -11,10 +11,21 @@
 // plotted over time instead of only summed — where does the hot spot
 // form, and when.
 //
+// With --agg dest|relay the run goes through the software aggregation
+// layer (net/aggregate) and the CSV grows two columns: packets (bundle
+// packets the link carried — head-flit count) and flits_per_packet (mean
+// wire words per bundle, the on-the-wire coalescing factor).  The stderr
+// summary then also prints the aggregation block (bundles, payloads per
+// bundle, flush causes).
+//
 // Usage:  ./build/examples/mesh_viz [workload] [--nodes N] [--backend md|am]
-//                                   [--buckets R]
+//                                   [--buckets R] [--net mesh|ideal]
+//                                   [--agg off|dest|relay] [--agg-bytes N]
+//                                   [--agg-timeout N]
 //         workload: mmt|qs|dtw|paraffins|wavefront|ss   (default mmt)
-// CSV goes to stdout; a human summary goes to stderr.
+// CSV goes to stdout; a human summary goes to stderr.  --net ideal runs
+// the constant-latency wire instead: it has no links, so there is nothing
+// to visualize and the tool says so rather than emitting an empty table.
 
 #include <algorithm>
 #include <iostream>
@@ -33,6 +44,10 @@ int main(int argc, char** argv) {
   int nodes = 8;
   long buckets = 0;  // --buckets R: sample link traffic every R rounds
   rt::BackendKind backend = rt::BackendKind::MessageDriven;
+  net::NetKind kind = net::NetKind::Mesh;
+  net::AggMode agg = net::AggMode::Off;
+  std::uint32_t agg_bytes = 256;
+  std::uint32_t agg_timeout = 64;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--nodes" && i + 1 < argc) {
@@ -43,10 +58,23 @@ int main(int argc, char** argv) {
       backend = std::string(argv[++i]) == "am"
                     ? rt::BackendKind::ActiveMessages
                     : rt::BackendKind::MessageDriven;
+    } else if (a == "--net" && i + 1 < argc) {
+      kind = std::string(argv[++i]) == "ideal" ? net::NetKind::Ideal
+                                               : net::NetKind::Mesh;
+    } else if (a == "--agg" && i + 1 < argc) {
+      const std::string m = argv[++i];
+      agg = m == "dest"    ? net::AggMode::Dest
+            : m == "relay" ? net::AggMode::Relay
+                           : net::AggMode::Off;
+    } else if (a == "--agg-bytes" && i + 1 < argc) {
+      agg_bytes = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--agg-timeout" && i + 1 < argc) {
+      agg_timeout = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (a[0] != '-') {
       which = a;
     }
   }
+  const bool agg_on = agg != net::AggMode::Off;
 
   programs::Scale scale;
   programs::Workload w = [&] {
@@ -68,7 +96,10 @@ int main(int argc, char** argv) {
   opts.backend = backend;
   driver::MultiOptions mo;
   mo.num_nodes = nodes;
-  mo.net = net::NetKind::Mesh;
+  mo.net = kind;
+  mo.agg = agg;
+  mo.agg_bytes = agg_bytes;
+  mo.agg_timeout = agg_timeout;
   if (buckets > 0) {
     mo.flow.enabled = true;
     mo.flow.sample_every = static_cast<std::uint64_t>(buckets);
@@ -81,15 +112,28 @@ int main(int argc, char** argv) {
 
   const net::Shape shape = net::Shape::for_nodes(nodes);
   std::cerr << which << " / " << rt::backend_name(backend) << " on "
-            << shape.x << "x" << shape.y << "x" << shape.z << " mesh: "
+            << shape.x << "x" << shape.y << "x" << shape.z << " "
+            << net::net_kind_name(kind) << ": "
             << text::with_commas(r.rounds) << " rounds, "
             << text::with_commas(r.messages) << " messages, hops "
             << r.hops.summary() << ", latency " << r.msg_latency.summary()
             << ", " << text::with_commas(r.injection_stall_cycles)
             << " injection-stall cycles\n";
+  if (agg_on) std::cerr << "  agg: " << r.net_stats.agg.summary() << "\n";
+
+  if (kind == net::NetKind::Ideal) {
+    // The constant-latency wire delivers point-to-point with no routed
+    // links at all — there is no utilization to plot.  Say so instead of
+    // printing a header over zero rows.
+    std::cerr << "ideal network has no links — nothing to visualize "
+                 "(rerun with --net mesh for the link CSV)\n";
+    return 0;
+  }
 
   std::cout << "src,dst,src_x,src_y,src_z,dst_x,dst_y,dst_z,dim,dir,"
-               "flits,peak_occupancy,utilization\n";
+               "flits,peak_occupancy,utilization";
+  if (agg_on) std::cout << ",packets,flits_per_packet";
+  std::cout << "\n";
   std::vector<net::LinkStats> links = r.links;
   std::sort(links.begin(), links.end(),
             [](const net::LinkStats& a, const net::LinkStats& b) {
@@ -106,7 +150,16 @@ int main(int argc, char** argv) {
               << s.z << "," << d.x << "," << d.y << "," << d.z << ","
               << "XYZ"[l.dim] << "," << (l.dir > 0 ? "+" : "-") << ","
               << l.flits << "," << l.peak_occupancy << ","
-              << text::fixed(util, 4) << "\n";
+              << text::fixed(util, 4);
+    if (agg_on) {
+      std::cout << "," << l.packets << ","
+                << (l.packets > 0
+                        ? text::fixed(static_cast<double>(l.flits) /
+                                          static_cast<double>(l.packets),
+                                      2)
+                        : std::string("0"));
+    }
+    std::cout << "\n";
   }
 
   // Time-bucketed per-link traffic, from the causal sampler's cumulative

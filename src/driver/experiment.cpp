@@ -263,6 +263,10 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   mc.latency = mopts.latency;
   mc.max_inflight_messages = mopts.max_inflight_messages;
   mc.link_buffer_flits = mopts.link_buffer_flits;
+  mc.agg = mopts.agg;
+  mc.agg_bytes = mopts.agg_bytes;
+  mc.agg_timeout = mopts.agg_timeout;
+  mc.placement = mopts.placement;
   mc.queue_bytes = opts.queue_bytes;
   mc.max_rounds = opts.max_instructions;
   mc.dispatch = opts.dispatch;
@@ -326,6 +330,7 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   r.msg_latency = ns.latency;
   r.links = ns.links;
   r.net_cycles = ns.cycles;
+  r.net_stats = ns;
   if (tracer != nullptr) {
     auto trace = std::make_shared<obs::FlowTrace>(tracer->finish(mm));
     trace->attach_symbols(tamc::SymbolMap::from(cp));

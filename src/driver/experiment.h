@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "cache/cache_bank.h"
+#include "mdp/placement.h"
 #include "metrics/cycles.h"
 #include "metrics/granularity.h"
+#include "net/aggregate.h"
 #include "net/network.h"
 #include "obs/options.h"
 #include "programs/registry.h"
@@ -137,6 +139,18 @@ struct MultiOptions {
   std::uint32_t latency = 16;               // ideal wire delivery delay
   std::uint32_t max_inflight_messages = 0;  // ideal wire bound (0 = none)
   std::uint32_t link_buffer_flits = 4;      // mesh per-link VN FIFO depth
+  /// Software message aggregation (net::AggregateNetwork) in front of the
+  /// network model.  Off (the default) is bit-identical to the bare model
+  /// (tests/aggregate_test.cpp).  Unlike `flow` below, aggregation and
+  /// placement DO change measured numbers — if memoization is ever
+  /// extended to multi-node runs these four fields (and `placement`) must
+  /// join the memo key.
+  net::AggMode agg = net::AggMode::Off;
+  std::uint32_t agg_bytes = 256;    // aggregation seal threshold
+  std::uint32_t agg_timeout = 64;   // max cycles a partial buffer waits
+  /// SENDDR frame-placement policy (mdp::PlacementPolicy).  The default
+  /// round-robin is bit-identical to the seed's hard-wired counter.
+  mdp::PlacementConfig placement;
   /// Causal message tracing (obs::FlowTracer).  Observation only: every
   /// measured field of MultiRunResult is bit-identical with tracing on
   /// (tests/flow_test.cpp).  Multi-node runs are never memoized, so —
@@ -168,6 +182,11 @@ struct MultiRunResult {
   obs::Histogram msg_latency;
   std::vector<net::LinkStats> links;
   std::uint64_t net_cycles = 0;
+  /// The complete network-stats block (supersets hops/msg_latency/links/
+  /// net_cycles, which stay for existing callers) including the
+  /// aggregation counters; net_stats.agg is all-zero when aggregation is
+  /// off.  Compare whole runs with net::NetStats::operator==.
+  net::NetStats net_stats;
   /// Per-node idle/queue state when status == Deadlock; empty otherwise.
   std::string deadlock_report;
   /// Causal flow trace, present when MultiOptions::flow asked for one

@@ -154,6 +154,13 @@ class Assembler {
     return emit({Op::SendD, 0, rs}, c);
   }
   Addr senddr(const char* c = nullptr) { return emit({Op::SendDr}, c); }
+  /// SENDDR with a placement key: the immediate is handed to the node's
+  /// frame-placement policy (mdp/placement.h).  The lowered FAlloc passes
+  /// the codeblock id so owner-computes placement can key on it; policies
+  /// that do not use a key (round-robin, nearest, cluster) ignore it.
+  Addr senddr(ImmOrLabel key, const char* c = nullptr) {
+    return emit({Op::SendDr}, key, c);
+  }
   Addr sende() { return emit({Op::SendE}); }
   Addr suspend() { return emit({Op::Suspend}); }
   Addr eint() { return emit({Op::Eint}); }

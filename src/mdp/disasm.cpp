@@ -80,6 +80,7 @@ std::string disasm(const Instr& in) {
       os << " " << reg_name(in.rs);
       break;
     case Op::SendDr:
+      if (in.imm != 0) os << " key=0x" << std::hex << in.imm;
       break;
     case Op::SendWi:
       os << " 0x" << std::hex << in.imm;

@@ -391,8 +391,7 @@ dispatch_loop:
   OP(SendDr) {
     JTAM_ACCT();
     JTAM_CHECK(lv->composing, "SENDDR outside a message");
-    lv->compose_node = rr_node_;
-    rr_node_ = (rr_node_ + 1) % cfg_.num_nodes;
+    lv->compose_node = placement_->place(u->imm);
     JTAM_NEXT();
   }
   OP(SendE) {
@@ -401,7 +400,8 @@ dispatch_loop:
     // ip unchanged) and the SENDE retries after the scheduler re-entry.
     if (lv->composing && net_ != nullptr &&
         lv->compose_node != cfg_.node_id &&
-        !net_->can_accept(cfg_.node_id, lv->compose_dest)) {
+        !net_->can_accept(cfg_.node_id, lv->compose_node,
+                          lv->compose_dest)) {
       if (!inj_stalled_) {
         inj_stalled_ = true;
         ++stalled_sends_;

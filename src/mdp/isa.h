@@ -125,7 +125,10 @@ enum class Op : std::uint8_t {
   SendWi,  // append immediate (typically a handler label) to it
   SendD,   // set the composing message's destination node from rs
            // (multi-node only; default is the local node)
-  SendDr,  // set the destination to the allocator's round-robin next node
+  SendDr,  // set the destination from the node's frame-placement policy
+           // (mdp/placement.h; round-robin by default).  imm carries an
+           // optional placement key — the codeblock id for FAlloc — that
+           // key-driven policies (owner-computes) hash; others ignore it.
            // (multi-node frame placement assist)
   SendE,   // inject: write the words into the destination queue's memory
            // (or hand them to the network when the destination is remote)

@@ -13,8 +13,10 @@ Machine::Machine(CodeImage image, Config cfg)
   JTAM_CHECK(cfg_.num_nodes >= 1 && cfg_.node_id >= 0 &&
                  cfg_.node_id < cfg_.num_nodes,
              "node id out of range");
-  // Stagger round-robin placement so nodes do not all allocate on node 0.
-  rr_node_ = cfg_.node_id;
+  // The default round-robin policy staggers by node id so nodes do not
+  // all allocate on node 0 (bit-identical to the seed counter).
+  placement_ = PlacementPolicy::make(cfg_.placement, cfg_.node_id,
+                                     cfg_.num_nodes);
   memory_.assign(mem::kMemoryLimit / mem::kWordBytes, 0);
   tags_.assign((mem::kUserDataLimit - mem::kUserDataBase) / mem::kWordBytes,
                false);
@@ -267,7 +269,7 @@ void Machine::exec(Level& lv, Priority p) {
   // burned as an injection-stall cycle.  The SENDE retries next step.
   if (in.op == Op::SendE && lv.composing && net_ != nullptr &&
       lv.compose_node != cfg_.node_id &&
-      !net_->can_accept(cfg_.node_id, lv.compose_dest)) {
+      !net_->can_accept(cfg_.node_id, lv.compose_node, lv.compose_dest)) {
     if (!inj_stalled_) {
       inj_stalled_ = true;
       ++stalled_sends_;
@@ -394,8 +396,7 @@ void Machine::exec(Level& lv, Priority p) {
     }
     case Op::SendDr:
       JTAM_CHECK(lv.composing, "SENDDR outside a message");
-      lv.compose_node = rr_node_;
-      rr_node_ = (rr_node_ + 1) % cfg_.num_nodes;
+      lv.compose_node = placement_->place(as_u(in.imm));
       break;
     case Op::SendE: {
       JTAM_CHECK(lv.composing, "SENDE outside a message");

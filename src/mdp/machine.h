@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "mdp/assembler.h"
 #include "mdp/decode.h"
 #include "mdp/isa.h"
+#include "mdp/placement.h"
 #include "mem/memory_map.h"
 
 namespace jtam::mdp {
@@ -139,12 +141,16 @@ class TraceBuffer {
 class NetworkPort {
  public:
   virtual ~NetworkPort() = default;
-  /// False when `src_node`'s injection channel for priority `p` is full;
-  /// the machine then stalls the SENDE (no instruction executes, the ip
-  /// does not advance) and retries next step, counting the step as an
-  /// injection-stall cycle.  Default: never backpressure.
-  virtual bool can_accept(int src_node, Priority p) {
+  /// False when `src_node`'s injection channel for priority `p` toward
+  /// `dest_node` is full; the machine then stalls the SENDE (no
+  /// instruction executes, the ip does not advance) and retries next step,
+  /// counting the step as an injection-stall cycle.  The destination
+  /// matters only to aggregating networks (net::AggregateNetwork keys its
+  /// coalescing buffers by destination); the wire and mesh ignore it.
+  /// Default: never backpressure.
+  virtual bool can_accept(int src_node, int dest_node, Priority p) {
     (void)src_node;
+    (void)dest_node;
     (void)p;
     return true;
   }
@@ -206,6 +212,10 @@ class Machine {
     // per-node private and never carry node bits.
     int node_id = 0;
     int num_nodes = 1;
+    /// SENDDR frame-placement policy (mdp/placement.h).  The default
+    /// round-robin policy is bit-identical to the seed's hard-coded
+    /// counter (tests/aggregate_test.cpp pins this).
+    PlacementConfig placement;
   };
 
   explicit Machine(CodeImage image) : Machine(std::move(image), Config{}) {}
@@ -432,7 +442,7 @@ class Machine {
   bool queue_marks_ = false;
   NetworkPort* net_ = nullptr;
   FlowProbe* flow_ = nullptr;
-  int rr_node_ = 0;  // SENDDR round-robin placement counter
+  std::unique_ptr<PlacementPolicy> placement_;  // SENDDR destination choice
   bool halted_ = false;
   std::uint32_t halt_value_ = 0;
   std::uint64_t instr_count_ = 0;

@@ -12,21 +12,31 @@ namespace {
 
 std::unique_ptr<net::NetworkModel> make_network(
     const MultiMachine::Config& cfg) {
+  std::unique_ptr<net::NetworkModel> base;
   switch (cfg.net) {
     case net::NetKind::Ideal: {
       net::IdealNetwork::Config nc;
       nc.latency = cfg.latency;
       nc.max_inflight_messages = cfg.max_inflight_messages;
-      return std::make_unique<net::IdealNetwork>(nc);
+      base = std::make_unique<net::IdealNetwork>(nc);
+      break;
     }
     case net::NetKind::Mesh: {
       net::MeshNetwork::Config nc;
       nc.shape = net::Shape::for_nodes(cfg.num_nodes);
       nc.link_buffer_flits = cfg.link_buffer_flits;
-      return std::make_unique<net::MeshNetwork>(nc);
+      base = std::make_unique<net::MeshNetwork>(nc);
+      break;
     }
   }
-  throw Error("unknown network kind");
+  if (base == nullptr) throw Error("unknown network kind");
+  if (cfg.agg == net::AggMode::Off) return base;
+  net::AggregateNetwork::Config ac;
+  ac.mode = cfg.agg;
+  ac.shape = net::Shape::for_nodes(cfg.num_nodes);
+  ac.flush_bytes = cfg.agg_bytes;
+  ac.flush_timeout = cfg.agg_timeout;
+  return std::make_unique<net::AggregateNetwork>(ac, std::move(base));
 }
 
 }  // namespace
@@ -41,14 +51,15 @@ MultiMachine::MultiMachine(const CodeImage& image, Config cfg) : cfg_(cfg) {
     mc.queue_bytes = cfg_.queue_bytes;
     mc.node_id = n;
     mc.num_nodes = cfg_.num_nodes;
+    mc.placement = cfg_.placement;
     nodes_.push_back(std::make_unique<Machine>(image, mc));
     nodes_.back()->set_dispatch(cfg_.dispatch);
     nodes_.back()->set_network(this);
   }
 }
 
-bool MultiMachine::can_accept(int src_node, Priority p) {
-  return net_->can_accept(src_node, p);
+bool MultiMachine::can_accept(int src_node, int dest_node, Priority p) {
+  return net_->can_accept(src_node, dest_node, p);
 }
 
 void MultiMachine::send(int src_node, int dest_node, Priority p,

@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "mdp/machine.h"
+#include "mdp/placement.h"
+#include "net/aggregate.h"
 #include "net/network.h"
 
 namespace jtam::mdp {
@@ -56,6 +58,15 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
     /// is always finite — its bound is the link buffering itself.
     std::uint32_t max_inflight_messages = 0;
     std::uint32_t link_buffer_flits = 4;  // mesh: per-VN flit FIFO per link
+    /// Software message aggregation in front of the network model
+    /// (net::AggregateNetwork).  Off (the default) constructs the bare
+    /// model and is bit-identical to the pre-aggregation simulator.
+    net::AggMode agg = net::AggMode::Off;
+    std::uint32_t agg_bytes = 256;    // aggregation: seal threshold
+    std::uint32_t agg_timeout = 64;   // aggregation: max buffer wait, cycles
+    /// SENDDR frame-placement policy for every node (mdp::PlacementPolicy).
+    /// The default round-robin is bit-identical to the seed counter.
+    PlacementConfig placement;
     std::uint32_t queue_bytes = mem::kQueueBytes;
     std::uint64_t max_rounds = 600'000'000ULL;
     /// Interpreter engine for every node (perf knob; bit-identical results
@@ -98,7 +109,7 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
   const std::string& deadlock_report() const { return deadlock_report_; }
 
   // NetworkPort
-  bool can_accept(int src_node, Priority p) override;
+  bool can_accept(int src_node, int dest_node, Priority p) override;
   void send(int src_node, int dest_node, Priority p,
             std::span<const std::uint32_t> words,
             std::uint64_t flow_id) override;

@@ -1,0 +1,133 @@
+#include "mdp/placement.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "net/topology.h"
+#include "support/error.h"
+
+namespace jtam::mdp {
+
+const char* placement_kind_name(PlacementKind k) {
+  switch (k) {
+    case PlacementKind::RoundRobin: return "rr";
+    case PlacementKind::Nearest: return "near";
+    case PlacementKind::Owner: return "owner";
+    case PlacementKind::Cluster: return "cluster";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The seed counter, verbatim: start at this node's id (staggering the
+/// nodes' allocation streams), advance by one per SENDDR, wrap.
+class RoundRobinPolicy final : public PlacementPolicy {
+ public:
+  RoundRobinPolicy(int node_id, int num_nodes)
+      : next_(node_id), num_nodes_(num_nodes) {}
+  int place(std::uint32_t key) override {
+    (void)key;
+    const int n = next_;
+    next_ = (next_ + 1) % num_nodes_;
+    return n;
+  }
+
+ private:
+  int next_;
+  int num_nodes_;
+};
+
+/// Cycle the nodes sorted by (hop distance from this node, id) on the
+/// mesh shape a J-Machine of num_nodes would be wired as — the same
+/// Shape::for_nodes the mesh network model uses, so "near" means near on
+/// the actual wires.  Self (distance 0) comes first: allocations stay
+/// local until the neighbourhood ring fills.
+class NearestPolicy final : public PlacementPolicy {
+ public:
+  NearestPolicy(int node_id, int num_nodes) {
+    const net::Shape s = net::Shape::for_nodes(num_nodes);
+    ring_.reserve(static_cast<std::size_t>(num_nodes));
+    for (int n = 0; n < num_nodes; ++n) ring_.push_back(n);
+    std::sort(ring_.begin(), ring_.end(), [&](int a, int b) {
+      const int da = net::hop_distance(s, node_id, a);
+      const int db = net::hop_distance(s, node_id, b);
+      return da != db ? da < db : a < b;
+    });
+  }
+  int place(std::uint32_t key) override {
+    (void)key;
+    const int n = ring_[cursor_];
+    cursor_ = (cursor_ + 1) % ring_.size();
+    return n;
+  }
+
+ private:
+  std::vector<int> ring_;
+  std::size_t cursor_ = 0;
+};
+
+/// Owner-computes: every sender hashes the placement key the same way, so
+/// all activations of one codeblock share a home node regardless of who
+/// allocates them.  Knuth multiplicative hash spreads the small dense
+/// codeblock ids across the node range.
+class OwnerPolicy final : public PlacementPolicy {
+ public:
+  explicit OwnerPolicy(int num_nodes) : num_nodes_(num_nodes) {}
+  int place(std::uint32_t key) override {
+    return static_cast<int>((key * 2654435761u) %
+                            static_cast<std::uint32_t>(num_nodes_));
+  }
+
+ private:
+  int num_nodes_;
+};
+
+/// Stick with the current target until `budget` placements land on it,
+/// then advance round-robin — consecutive allocations (which tend to
+/// communicate) cluster on one node.
+class ClusterPolicy final : public PlacementPolicy {
+ public:
+  ClusterPolicy(int node_id, int num_nodes, std::uint32_t budget)
+      : current_(node_id),
+        num_nodes_(num_nodes),
+        budget_(budget == 0 ? 1 : budget) {}
+  int place(std::uint32_t key) override {
+    (void)key;
+    if (placed_ >= budget_) {
+      current_ = (current_ + 1) % num_nodes_;
+      placed_ = 0;
+    }
+    ++placed_;
+    return current_;
+  }
+
+ private:
+  int current_;
+  int num_nodes_;
+  std::uint32_t budget_;
+  std::uint32_t placed_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> PlacementPolicy::make(
+    const PlacementConfig& cfg, int node_id, int num_nodes) {
+  JTAM_CHECK(num_nodes >= 1, "placement needs at least one node");
+  JTAM_CHECK(node_id >= 0 && node_id < num_nodes,
+             "placement node id out of range");
+  switch (cfg.kind) {
+    case PlacementKind::RoundRobin:
+      return std::make_unique<RoundRobinPolicy>(node_id, num_nodes);
+    case PlacementKind::Nearest:
+      return std::make_unique<NearestPolicy>(node_id, num_nodes);
+    case PlacementKind::Owner:
+      return std::make_unique<OwnerPolicy>(num_nodes);
+    case PlacementKind::Cluster:
+      return std::make_unique<ClusterPolicy>(node_id, num_nodes,
+                                             cfg.cluster_budget);
+  }
+  throw Error("unknown placement kind");
+}
+
+}  // namespace jtam::mdp

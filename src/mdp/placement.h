@@ -1,0 +1,67 @@
+// Frame-placement policies for SENDDR.
+//
+// The MDP's SENDDR instruction names "the allocator's next node": the seed
+// hard-coded a per-machine round-robin counter into mdp::Machine.  This
+// seam extracts that decision into a PlacementPolicy so the multi-node
+// experiments can ask where locality-aware placement moves the MD/AM
+// story — the J-Machine placed frames blindly, real machines do not.
+//
+// Policies:
+//   RoundRobin  the seed behaviour, bit-identical (counter starts at the
+//               node's own id, wraps modulo the node count) — the default,
+//               pinned by tests/aggregate_test.cpp and the golden numbers
+//               in tests/net_test.cpp;
+//   Nearest     topology-aware: cycle nodes in increasing net::Shape hop
+//               distance from this node (self first), so successive
+//               allocations fill the neighbourhood before spilling;
+//   Owner       owner-computes: hash the SENDDR placement key (the
+//               lowered codeblock id of the FAlloc being placed) so every
+//               activation of a codeblock lands on that codeblock's home
+//               node — deterministic and agreed on by every sender;
+//   Cluster     locality-clustering: keep placing on the current target
+//               until a per-node budget fills, then advance round-robin —
+//               batches of collaborating frames share a node.
+//
+// The policy is consulted once per SENDDR, with the instruction's
+// placement-key immediate (see tamc/lower.cpp: FAlloc lowers the
+// codeblock id into SENDDR's imm field).  Every policy is deterministic
+// pure state-machine code: same instruction stream, same placements.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace jtam::mdp {
+
+enum class PlacementKind : std::uint8_t {
+  RoundRobin = 0,
+  Nearest = 1,
+  Owner = 2,
+  Cluster = 3,
+};
+
+const char* placement_kind_name(PlacementKind k);
+
+struct PlacementConfig {
+  PlacementKind kind = PlacementKind::RoundRobin;
+  /// Cluster: allocations placed on a node before advancing to the next.
+  std::uint32_t cluster_budget = 4;
+};
+
+/// One per machine (policies keep per-node state, e.g. the round-robin
+/// cursor).  `place` returns the destination node for one SENDDR.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Decide the destination node of one SENDDR.  `key` is the
+  /// instruction's placement-key immediate: the codeblock id for FAlloc
+  /// messages, 0 when the emitter had no key.  Must return a node id in
+  /// [0, num_nodes).
+  virtual int place(std::uint32_t key) = 0;
+
+  static std::unique_ptr<PlacementPolicy> make(const PlacementConfig& cfg,
+                                               int node_id, int num_nodes);
+};
+
+}  // namespace jtam::mdp

@@ -1,0 +1,299 @@
+#include "net/aggregate.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace jtam::net {
+
+const char* agg_mode_name(AggMode m) {
+  switch (m) {
+    case AggMode::Off: return "off";
+    case AggMode::Dest: return "dest";
+    case AggMode::Relay: return "relay";
+  }
+  return "?";
+}
+
+AggregateNetwork::AggregateNetwork(Config cfg,
+                                   std::unique_ptr<NetworkModel> inner)
+    : cfg_(cfg), inner_(std::move(inner)) {
+  JTAM_CHECK(cfg_.mode != AggMode::Off,
+             "AggMode::Off means no aggregation layer; construct the "
+             "inner model directly");
+  JTAM_CHECK(cfg_.shape.nodes() >= 1, "aggregation needs at least one node");
+  flush_words_ = cfg_.flush_bytes / 4;
+  if (flush_words_ < 2) flush_words_ = 2;  // count word + one message
+  const int n = cfg_.shape.nodes();
+  src_.resize(static_cast<std::size_t>(n));
+  for (SrcState& s : src_) {
+    s.by_dest.resize(static_cast<std::size_t>(n));
+  }
+  // The layer always observes the inner model: stats and flow fan-out
+  // need the per-packet hop/latency values only the inner model knows.
+  inner_->set_flow_observer(this);
+}
+
+int AggregateNetwork::bundle_dest(int at, int final_dest) const {
+  if (cfg_.mode == AggMode::Dest) return final_dest;
+  // Relay: gather along X first — messages from `at` whose destinations
+  // share a column meet at (final.x, at.y, at.z).  At that relay the same
+  // function maps (relay, final) back to the relay itself, which resolves
+  // to a direct phase-2 bundle, so every message forwards at most once.
+  const Coord a = cfg_.shape.coord_of(at);
+  const Coord f = cfg_.shape.coord_of(final_dest);
+  const int relay = cfg_.shape.id_of(Coord{f.x, a.y, a.z});
+  return relay == at ? final_dest : relay;
+}
+
+bool AggregateNetwork::can_accept(int src, int dest, mdp::Priority p) const {
+  if (p == mdp::Priority::High) {
+    // Priority bypass: high traffic goes straight to the inner model's
+    // high virtual network, so its backpressure is the inner model's.
+    return inner_->can_accept(src, dest, p);
+  }
+  const Buffer& b = src_[static_cast<std::size_t>(src)]
+                        .by_dest[static_cast<std::size_t>(
+                            bundle_dest(src, dest))];
+  // Double buffering: refuse only when the sealed half is still waiting
+  // on the inner network AND the filling half is already at the
+  // threshold — both halves full, the dart_amsgq writer-blocks case.
+  return !(b.sealed_outstanding && b.fill_words >= flush_words_);
+}
+
+void AggregateNetwork::mark_active(int src, int dest) {
+  Buffer& b = src_[static_cast<std::size_t>(src)]
+                  .by_dest[static_cast<std::size_t>(dest)];
+  if (!b.in_active) {
+    b.in_active = true;
+    src_[static_cast<std::size_t>(src)].active.push_back(dest);
+  }
+}
+
+void AggregateNetwork::enqueue_msg(int at, int final_dest, Pending&& msg,
+                                   std::uint64_t now) {
+  const int bd = bundle_dest(at, final_dest);
+  Buffer& b = src_[static_cast<std::size_t>(at)]
+                  .by_dest[static_cast<std::size_t>(bd)];
+  if (b.fill.empty()) {
+    b.oldest = now;
+    b.fill_words = 1;  // the bundle's count word
+  }
+  b.fill_words += 1 + static_cast<std::uint32_t>(msg.words.size());
+  b.fill.push_back(std::move(msg));
+  ++buffered_;
+  mark_active(at, bd);
+  if (!b.sealed_outstanding && b.fill_words >= flush_words_) {
+    seal(at, bd, /*by_size=*/true);
+  }
+}
+
+void AggregateNetwork::seal(int src, int dest, bool by_size) {
+  Buffer& b = src_[static_cast<std::size_t>(src)]
+                  .by_dest[static_cast<std::size_t>(dest)];
+  Sealed s;
+  s.dest = dest;
+  s.words = b.fill_words;
+  s.msgs = std::move(b.fill);
+  b.fill.clear();
+  b.fill_words = 0;
+  b.sealed_outstanding = true;
+  ++stats_.agg.bundles;
+  if (by_size) {
+    ++stats_.agg.flush_size;
+  } else {
+    ++stats_.agg.flush_timeout;
+  }
+  stats_.agg.bundle_messages.add(s.msgs.size());
+  stats_.agg.bundle_words.add(s.words);
+  src_[static_cast<std::size_t>(src)].ready.push_back(std::move(s));
+}
+
+std::uint64_t AggregateNetwork::alloc_record() {
+  if (!free_records_.empty()) {
+    const std::uint64_t rid = free_records_.back();
+    free_records_.pop_back();
+    return rid;
+  }
+  records_.emplace_back();
+  return static_cast<std::uint64_t>(records_.size()) | kRecordBit;
+}
+
+void AggregateNetwork::release_record(std::uint64_t rid) {
+  record(rid).msgs.clear();
+  free_records_.push_back(rid);
+}
+
+void AggregateNetwork::inject_bundle(int src, Sealed&& s, std::uint64_t now) {
+  // Frame the bundle as the inner network's payload: its flit/latency
+  // cost models real framing overhead (one header word per constituent
+  // plus the count word).
+  std::vector<std::uint32_t> words;
+  words.reserve(s.words);
+  words.push_back(static_cast<std::uint32_t>(s.msgs.size()));
+  for (const Pending& m : s.msgs) {
+    words.push_back((static_cast<std::uint32_t>(m.final_dest) << 16) |
+                    static_cast<std::uint32_t>(m.words.size()));
+    words.insert(words.end(), m.words.begin(), m.words.end());
+  }
+  for (const Pending& m : s.msgs) {
+    stats_.agg.buffer_wait.add(now - m.buffer_round);
+  }
+  buffered_ -= s.msgs.size();
+  const std::uint64_t rid = alloc_record();
+  record(rid).msgs = std::move(s.msgs);
+  src_[static_cast<std::size_t>(src)]
+      .by_dest[static_cast<std::size_t>(s.dest)]
+      .sealed_outstanding = false;
+  inner_->inject(src, s.dest, mdp::Priority::Low, words, now, rid);
+}
+
+void AggregateNetwork::inject(int src, int dest, mdp::Priority p,
+                              std::span<const std::uint32_t> words,
+                              std::uint64_t now, std::uint64_t flow_id) {
+  JTAM_CHECK(src != dest, "local send routed onto the network");
+  JTAM_CHECK(can_accept(src, dest, p), "inject past aggregation capacity");
+  if (p == mdp::Priority::High) {
+    ++stats_.agg.bypass_messages;
+    JTAM_CHECK((flow_id & kRecordBit) == 0, "flow id collides with records");
+    inner_->inject(src, dest, p, words, now, flow_id);
+    return;
+  }
+  ++stats_.agg.bundled_messages;
+  Pending m;
+  m.final_dest = dest;
+  m.words.assign(words.begin(), words.end());
+  m.flow_id = flow_id;
+  m.enqueue_round = now;
+  m.buffer_round = now;
+  m.hops_before = 0;
+  enqueue_msg(src, dest, std::move(m), now);
+}
+
+void AggregateNetwork::step(std::uint64_t now, DeliverySink& sink) {
+  ++stats_.cycles;
+  sink_ = &sink;
+  now_ = now;
+  const int n = cfg_.shape.nodes();
+  for (int src = 0; src < n; ++src) {
+    SrcState& ss = src_[static_cast<std::size_t>(src)];
+    // Seal due buffers, scanning in insertion order and compacting the
+    // active list in place (deterministic; buffers whose work is gone
+    // leave the list).
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ss.active.size(); ++i) {
+      const int dest = ss.active[i];
+      Buffer& b = ss.by_dest[static_cast<std::size_t>(dest)];
+      if (!b.sealed_outstanding && !b.fill.empty() &&
+          (b.fill_words >= flush_words_ ||
+           now - b.oldest >= cfg_.flush_timeout)) {
+        seal(src, dest, b.fill_words >= flush_words_);
+      }
+      if (b.sealed_outstanding || !b.fill.empty()) {
+        ss.active[keep++] = dest;
+      } else {
+        b.in_active = false;
+      }
+    }
+    ss.active.resize(keep);
+    // Drain sealed bundles into the inner network, FIFO, for as long as
+    // it grants credit.
+    while (!ss.ready.empty() &&
+           inner_->can_accept(src, ss.ready.front().dest,
+                              mdp::Priority::Low)) {
+      Sealed s = std::move(ss.ready.front());
+      ss.ready.pop_front();
+      inject_bundle(src, std::move(s), now);
+    }
+  }
+  inner_->step(now, *this);
+  sink_ = nullptr;
+}
+
+void AggregateNetwork::on_hop(std::uint64_t flow_id, int link_src,
+                              int link_dst, std::uint64_t now) {
+  if ((flow_id & kRecordBit) == 0) {
+    // Bypassing high-priority packet: forward its own trace id.
+    if (flow_ != nullptr && flow_id != 0) {
+      flow_->on_hop(flow_id, link_src, link_dst, now);
+    }
+    return;
+  }
+  // A bundle's head flit crossed a link: every constituent did.
+  if (flow_ == nullptr) return;
+  for (const Pending& m : record(flow_id).msgs) {
+    if (m.flow_id != 0) flow_->on_hop(m.flow_id, link_src, link_dst, now);
+  }
+}
+
+void AggregateNetwork::on_deliver(std::uint64_t flow_id, int dest,
+                                  mdp::Priority p, std::uint32_t hops,
+                                  std::uint64_t latency, std::uint64_t now) {
+  if ((flow_id & kRecordBit) == 0) {
+    // Bypass delivery: constituent-level stats, verbatim flow event.  The
+    // adapter's deliver() below forwards the message itself.
+    ++stats_.messages;
+    stats_.hops.add(hops);
+    stats_.latency.add(latency);
+    if (flow_ != nullptr && flow_id != 0) {
+      flow_->on_deliver(flow_id, dest, p, hops, latency, now);
+    }
+    return;
+  }
+  // A bundle finished transit; deliver() fires next with its payload.
+  pending_rid_ = flow_id;
+  pending_hops_ = hops;
+}
+
+void AggregateNetwork::deliver(int dest, mdp::Priority p,
+                               std::span<const std::uint32_t> words) {
+  if (p == mdp::Priority::High) {
+    sink_->deliver(dest, p, words);
+    return;
+  }
+  JTAM_CHECK(pending_rid_ != 0, "bundle delivery without its record");
+  const std::uint64_t rid = pending_rid_;
+  pending_rid_ = 0;
+  JTAM_CHECK(!words.empty() && words[0] == record(rid).msgs.size(),
+             "bundle framing does not match its record");
+  for (Pending& m : record(rid).msgs) {
+    const std::uint32_t total_hops = m.hops_before + pending_hops_;
+    if (m.final_dest == dest) {
+      // Home: constituent-level stats and flow event, immediately before
+      // the constituent's own delivery — the order obs::FlowTracer's
+      // queue mirror depends on.
+      const std::uint64_t lat = now_ - m.enqueue_round;
+      ++stats_.messages;
+      stats_.hops.add(total_hops);
+      stats_.latency.add(lat);
+      if (flow_ != nullptr && m.flow_id != 0) {
+        flow_->on_deliver(m.flow_id, dest, mdp::Priority::Low, total_hops,
+                          lat, now_);
+      }
+      sink_->deliver(dest, mdp::Priority::Low, m.words);
+    } else {
+      // Relay: not home yet — re-bundle toward the final destination.
+      // Hops and the end-to-end clock carry over; the relay's buffers
+      // never refuse (the message already left its source; NI buffering
+      // absorbs it).
+      ++stats_.agg.relay_forwards;
+      m.hops_before = total_hops;
+      m.buffer_round = now_;
+      enqueue_msg(dest, m.final_dest, std::move(m), now_);
+    }
+  }
+  release_record(rid);
+}
+
+bool AggregateNetwork::idle() const {
+  return buffered_ == 0 && inner_->idle();
+}
+
+const NetStats& AggregateNetwork::stats() const {
+  const NetStats& in = inner_->stats();
+  stats_.flits = in.flits;
+  stats_.links = in.links;
+  return stats_;
+}
+
+}  // namespace jtam::net

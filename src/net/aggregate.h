@@ -1,0 +1,186 @@
+// Software message aggregation at the network interface.
+//
+// The paper's network charges every remote SENDE full per-message cost;
+// real machines at J-Machine scale coalesce small messages before they
+// touch the wires.  AggregateNetwork interposes behind the NetworkModel
+// seam, in front of the wire or mesh it wraps:
+//
+//   machine SENDE -> coalescing buffers -> bundle packet -> inner model
+//                                                        -> deliver fan-out
+//
+// Low-priority messages are gathered into per-(source, bundle-destination)
+// buffers and travel as ONE inner-network message — on the mesh, one
+// wormhole packet — framed as [count, (dest<<16|len) per message,
+// payload words...]; arrival unpacks the bundle and delivers each
+// constituent separately, so machines see exactly the messages that were
+// sent.  High-priority traffic always bypasses aggregation straight into
+// the inner model's high virtual network: runtime replies stay latency-
+// critical and must never queue behind a filling buffer.
+//
+// Flush policy: a buffer seals when its occupancy reaches
+// Config::flush_bytes (cause: size) or when its oldest message has waited
+// Config::flush_timeout network cycles (cause: timeout).  The timeout is
+// in cycles because the network model has no other clock — one cycle per
+// MultiMachine round — and a finite timeout doubles as the liveness
+// guarantee: a lone message can wait at most `timeout` cycles, so
+// aggregation can never deadlock an idle ensemble.  Buffers are
+// double-buffered (the dart_amsgq shape): sealing moves the contents to a
+// per-source injection FIFO and leaves an empty filling buffer behind, so
+// a sealed bundle awaiting the inner network never blocks new enqueues.
+// Only when a buffer has BOTH a sealed bundle outstanding and a filling
+// half at the threshold does can_accept backpressure the SENDE.
+//
+// Relay mode (the MPIX_Alltoall shape on the 3D net::Shape): a message
+// from s to d is first bundled toward the relay node (d.x, s.y, s.z) —
+// gathering along the first mesh dimension — where arriving constituents
+// not yet home are re-bundled toward their final destination.  Hops and
+// end-to-end latency accumulate across both phases; re-application of the
+// relay function at the relay is the identity, so every message forwards
+// at most once.
+//
+// Observability: the layer keeps constituent-level NetStats (messages,
+// hops, latency are per original message; flits/links mirror the inner
+// model) plus an AggStats block, and fans inner-network FlowObserver
+// events out per constituent — a bundle delivery produces one on_deliver
+// per constituent immediately before that constituent's sink.deliver, in
+// order, so obs::FlowTracer's queue mirror and its NetStats tie-outs hold
+// unchanged and critical-path spans still partition the run's rounds.
+//
+// Determinism: buffers are scanned per source in insertion order, sealed
+// bundles inject FIFO per source, and bundle bookkeeping reuses record
+// ids from a LIFO free list — same run, same delivery order, same stats.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace jtam::net {
+
+/// Aggregation mode knob (off = no AggregateNetwork is constructed).
+enum class AggMode : std::uint8_t { Off = 0, Dest = 1, Relay = 2 };
+
+const char* agg_mode_name(AggMode m);
+
+class AggregateNetwork final : public NetworkModel,
+                               private DeliverySink,
+                               private FlowObserver {
+ public:
+  struct Config {
+    AggMode mode = AggMode::Dest;  // Dest or Relay (Off never constructs)
+    Shape shape;                   // node grid; relay routing + node count
+    std::uint32_t flush_bytes = 256;   // seal threshold (bundle bytes)
+    std::uint32_t flush_timeout = 64;  // max cycles a partial buffer waits
+  };
+
+  AggregateNetwork(Config cfg, std::unique_ptr<NetworkModel> inner);
+
+  bool can_accept(int src, int dest, mdp::Priority p) const override;
+  void inject(int src, int dest, mdp::Priority p,
+              std::span<const std::uint32_t> words, std::uint64_t now,
+              std::uint64_t flow_id) override;
+  void step(std::uint64_t now, DeliverySink& sink) override;
+  bool idle() const override;
+  const NetStats& stats() const override;
+
+  const NetworkModel& inner() const { return *inner_; }
+
+ private:
+  /// Record ids carried as the inner network's flow_id are tagged with
+  /// this bit so they can never collide with real (small, dense) trace
+  /// ids of bypassing high-priority messages.
+  static constexpr std::uint64_t kRecordBit = 1ULL << 63;
+
+  /// One buffered constituent message.
+  struct Pending {
+    int final_dest = 0;
+    std::vector<std::uint32_t> words;
+    std::uint64_t flow_id = 0;
+    std::uint64_t enqueue_round = 0;  // original SENDE-accept round
+    std::uint64_t buffer_round = 0;   // entry round of the current buffer
+    std::uint32_t hops_before = 0;    // hops from earlier relay phases
+  };
+
+  /// A sealed bundle waiting for the inner network to accept it.
+  struct Sealed {
+    int dest = 0;        // bundle destination (buffer key)
+    std::uint32_t words = 0;  // framing-inclusive size at seal
+    std::vector<Pending> msgs;
+  };
+
+  /// Per-(source, bundle-destination) coalescing slot: an elastic filling
+  /// half plus at most one sealed bundle outstanding (double buffering).
+  struct Buffer {
+    std::vector<Pending> fill;
+    std::uint32_t fill_words = 0;  // framing-inclusive occupancy
+    std::uint64_t oldest = 0;      // buffer-entry round of fill.front()
+    bool sealed_outstanding = false;
+    bool in_active = false;        // member of SrcState::active
+  };
+
+  struct SrcState {
+    std::vector<Buffer> by_dest;   // indexed by bundle destination
+    std::vector<int> active;       // dests with work, insertion order
+    std::deque<Sealed> ready;      // sealed bundles, FIFO to the inner net
+  };
+
+  /// In-flight bundle bookkeeping, keyed by the record id the inner model
+  /// carries as flow_id.  Constituents keep their payload and span data
+  /// here; the simulated packet carries only the framed words.
+  struct Record {
+    std::vector<Pending> msgs;
+  };
+
+  /// Where a Low message enqueued at `at` toward `final` gathers next:
+  /// `final` in Dest mode; in Relay mode the first-dimension relay
+  /// (final.x, at.y, at.z), or `final` directly when that relay is `at`.
+  int bundle_dest(int at, int final_dest) const;
+
+  /// Append one message to its coalescing buffer at node `at` (a machine
+  /// inject, or a relay forward) and seal on the size threshold.
+  void enqueue_msg(int at, int final_dest, Pending&& msg, std::uint64_t now);
+  void seal(int src, int dest, bool by_size);
+  void inject_bundle(int src, Sealed&& b, std::uint64_t now);
+  void mark_active(int src, int dest);
+
+  std::uint64_t alloc_record();
+  void release_record(std::uint64_t rid);
+  Record& record(std::uint64_t rid) {
+    return records_[static_cast<std::size_t>(rid & ~kRecordBit) - 1];
+  }
+
+  // DeliverySink (adapter around the inner model's deliveries): unpacks
+  // bundles, forwards bypass traffic, re-enqueues relay constituents.
+  void deliver(int dest, mdp::Priority p,
+               std::span<const std::uint32_t> words) override;
+
+  // FlowObserver (always attached to the inner model): fans hop/deliver
+  // events out per constituent and accounts bypass stats.
+  void on_hop(std::uint64_t flow_id, int link_src, int link_dst,
+              std::uint64_t now) override;
+  void on_deliver(std::uint64_t flow_id, int dest, mdp::Priority p,
+                  std::uint32_t hops, std::uint64_t latency,
+                  std::uint64_t now) override;
+
+  Config cfg_;
+  std::uint32_t flush_words_;  // cfg_.flush_bytes in words
+  std::unique_ptr<NetworkModel> inner_;
+  std::vector<SrcState> src_;
+  std::vector<Record> records_;
+  std::vector<std::uint64_t> free_records_;  // LIFO reuse, deterministic
+  std::uint64_t buffered_ = 0;  // constituents in buffers or ready FIFOs
+
+  // Live only while inner_->step runs inside our step.
+  DeliverySink* sink_ = nullptr;
+  std::uint64_t now_ = 0;
+  std::uint64_t pending_rid_ = 0;    // record id of the delivering bundle
+  std::uint32_t pending_hops_ = 0;   // its inner-network hop count
+
+  mutable NetStats stats_;  // stats() refreshes the inner-model mirror
+};
+
+}  // namespace jtam::net

@@ -16,7 +16,7 @@ void IdealNetwork::inject(int src, int dest, mdp::Priority p,
                           std::span<const std::uint32_t> words,
                           std::uint64_t now, std::uint64_t flow_id) {
   JTAM_CHECK(src != dest, "local send routed onto the network");
-  JTAM_CHECK(can_accept(src, p), "inject past the in-flight bound");
+  JTAM_CHECK(can_accept(src, dest, p), "inject past the in-flight bound");
   wire_.push_back(InFlight{now + cfg_.latency, dest, p,
                            {words.begin(), words.end()}, flow_id});
 }

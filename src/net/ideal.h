@@ -27,8 +27,9 @@ class IdealNetwork final : public NetworkModel {
 
   explicit IdealNetwork(Config cfg) : cfg_(cfg) {}
 
-  bool can_accept(int src, mdp::Priority p) const override {
+  bool can_accept(int src, int dest, mdp::Priority p) const override {
     (void)src;
+    (void)dest;
     (void)p;
     return cfg_.max_inflight_messages == 0 ||
            wire_.size() < cfg_.max_inflight_messages;

@@ -27,7 +27,7 @@ MeshNetwork::MeshNetwork(Config cfg) : cfg_(cfg) {
                   (dir > 0 ? 1 : 0)] = static_cast<int>(links_.size());
         in_links_[static_cast<std::size_t>(dst)].push_back(
             static_cast<int>(links_.size()));
-        links_.push_back(Link{id, dst, dim, dir, {}, 0, 0, false});
+        links_.push_back(Link{id, dst, dim, dir, {}, 0, 0, 0, false});
       }
     }
   }
@@ -53,7 +53,8 @@ void MeshNetwork::inject(int src, int dest, mdp::Priority p,
                          std::span<const std::uint32_t> words,
                          std::uint64_t now, std::uint64_t flow_id) {
   JTAM_CHECK(src != dest, "local send routed onto the network");
-  JTAM_CHECK(can_accept(src, p), "inject into a busy injection channel");
+  JTAM_CHECK(can_accept(src, dest, p),
+             "inject into a busy injection channel");
   const std::uint32_t id = alloc_packet();
   Packet& pk = pkt(id);
   pk.src = src;
@@ -116,6 +117,7 @@ void MeshNetwork::advance(FlitQ& f, int vn, int node, std::uint64_t now,
   ++stats_.flits;
   if (fl.head) {
     ++pk.hops;
+    ++l.packets;
     if (flow_ != nullptr) flow_->on_hop(pk.flow_id, l.src, l.dst, now);
   }
   const std::uint32_t occ =
@@ -148,7 +150,7 @@ const NetStats& MeshNetwork::stats() const {
   stats_.links.reserve(links_.size());
   for (const Link& l : links_) {
     stats_.links.push_back(LinkStats{l.src, l.dst, l.dim, l.dir, l.flits,
-                                     l.peak});
+                                     l.packets, l.peak});
   }
   return stats_;
 }

@@ -36,7 +36,8 @@ class MeshNetwork final : public NetworkModel {
 
   explicit MeshNetwork(Config cfg);
 
-  bool can_accept(int src, mdp::Priority p) const override {
+  bool can_accept(int src, int dest, mdp::Priority p) const override {
+    (void)dest;  // injection-channel pressure is destination-independent
     return nodes_[static_cast<std::size_t>(src)]
         .inj[static_cast<int>(p)]
         .q.empty();
@@ -75,6 +76,7 @@ class MeshNetwork final : public NetworkModel {
     int dir;
     FlitQ vc[kVns];
     std::uint64_t flits = 0;     // total flit traversals
+    std::uint64_t packets = 0;   // head-flit traversals (whole packets)
     std::uint32_t peak = 0;      // peak buffered flits (both VNs)
     bool used_this_cycle = false;
   };

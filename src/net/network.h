@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "mdp/isa.h"
@@ -31,13 +32,37 @@ const char* net_kind_name(NetKind k);
 
 /// Per-directed-link counters (mesh only).  `flits` is the total number of
 /// flit traversals the link carried; utilization = flits / network cycles.
+/// `packets` counts head-flit traversals — whole wormhole packets, so with
+/// aggregation on it is the number of bundles the link carried.
 struct LinkStats {
   int src = 0;   // node ids of the link's endpoints
   int dst = 0;
   int dim = 0;   // 0=X, 1=Y, 2=Z
   int dir = 0;   // +1 / -1
   std::uint64_t flits = 0;
+  std::uint64_t packets = 0;
   std::uint32_t peak_occupancy = 0;  // flits buffered at once (both VNs)
+
+  /// Exact equality of geometry and counters, for run-to-run tie-outs.
+  bool operator==(const LinkStats& o) const;
+};
+
+/// What the aggregation layer (net/aggregate.h) measured about itself.
+/// All zero when no AggregateNetwork is interposed.
+struct AggStats {
+  std::uint64_t bundles = 0;           // sealed buffers injected as packets
+  std::uint64_t bundled_messages = 0;  // low-priority messages coalesced
+  std::uint64_t bypass_messages = 0;   // high-priority direct injections
+  std::uint64_t relay_forwards = 0;    // constituents re-bundled at a relay
+  std::uint64_t flush_size = 0;        // seals caused by the size threshold
+  std::uint64_t flush_timeout = 0;     // seals caused by the cycle timeout
+  obs::Histogram bundle_messages;      // constituent messages per bundle
+  obs::Histogram bundle_words;         // buffer occupancy (words) at seal
+  obs::Histogram buffer_wait;          // per-constituent enqueue->inject
+
+  bool operator==(const AggStats& o) const;
+  /// One-line rendering for bench tables and log output.
+  std::string summary() const;
 };
 
 /// What a network model measured about itself over one run.
@@ -48,6 +73,13 @@ struct NetStats {
   obs::Histogram hops;              // per-message link traversals
   obs::Histogram latency;           // per-message inject->deliver cycles
   std::vector<LinkStats> links;     // empty for the ideal wire
+  AggStats agg;                     // aggregation layer (zero when off)
+
+  /// Exact equality of every counter, histogram and link record — what
+  /// multi-run equivalence tests compare instead of field-by-field checks.
+  bool operator==(const NetStats& o) const;
+  /// One-line rendering ("msgs=.. flits=.. hops{..} lat{..}").
+  std::string summary() const;
 };
 
 /// Sink for messages leaving the network: MultiMachine buffers them into
@@ -85,12 +117,15 @@ class NetworkModel {
  public:
   virtual ~NetworkModel() = default;
 
-  /// True when node `src` may inject a priority-`p` message this cycle.
-  /// A false return is backpressure: the SENDE retries next round.
-  virtual bool can_accept(int src, mdp::Priority p) const = 0;
+  /// True when node `src` may inject a priority-`p` message toward `dest`
+  /// this cycle.  A false return is backpressure: the SENDE retries next
+  /// round.  Only an aggregating model reads `dest` (its coalescing
+  /// buffers are per-destination); the wire and mesh ignore it, so their
+  /// answer is destination-independent.
+  virtual bool can_accept(int src, int dest, mdp::Priority p) const = 0;
 
   /// Hand a whole message to the network at cycle `now`.  Only legal
-  /// directly after can_accept(src, p) returned true, and only for
+  /// directly after can_accept(src, dest, p) returned true, and only for
   /// src != dest (local sends never reach the network).  `flow_id` is the
   /// causal-trace id carried with the message (0 when tracing is off).
   virtual void inject(int src, int dest, mdp::Priority p,

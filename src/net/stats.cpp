@@ -1,0 +1,52 @@
+#include <sstream>
+
+#include "net/network.h"
+#include "support/text.h"
+
+namespace jtam::net {
+
+bool LinkStats::operator==(const LinkStats& o) const {
+  return src == o.src && dst == o.dst && dim == o.dim && dir == o.dir &&
+         flits == o.flits && packets == o.packets &&
+         peak_occupancy == o.peak_occupancy;
+}
+
+bool AggStats::operator==(const AggStats& o) const {
+  return bundles == o.bundles && bundled_messages == o.bundled_messages &&
+         bypass_messages == o.bypass_messages &&
+         relay_forwards == o.relay_forwards && flush_size == o.flush_size &&
+         flush_timeout == o.flush_timeout &&
+         bundle_messages == o.bundle_messages &&
+         bundle_words == o.bundle_words && buffer_wait == o.buffer_wait;
+}
+
+std::string AggStats::summary() const {
+  if (bundles == 0 && bundled_messages == 0 && bypass_messages == 0) {
+    return "off";
+  }
+  std::ostringstream os;
+  os << "bundles=" << bundles << " msgs=" << bundled_messages << " (mean "
+     << text::fixed(bundle_messages.mean(), 1) << "/bundle) bypass="
+     << bypass_messages << " relay=" << relay_forwards
+     << " flush[size=" << flush_size << " timeout=" << flush_timeout
+     << "] wait{" << buffer_wait.summary() << "}";
+  return os.str();
+}
+
+bool NetStats::operator==(const NetStats& o) const {
+  return messages == o.messages && flits == o.flits && cycles == o.cycles &&
+         hops == o.hops && latency == o.latency && links == o.links &&
+         agg == o.agg;
+}
+
+std::string NetStats::summary() const {
+  std::ostringstream os;
+  os << "msgs=" << messages << " flits=" << flits << " cycles=" << cycles
+     << " hops{" << hops.summary() << "} lat{" << latency.summary() << "}";
+  if (!links.empty()) os << " links=" << links.size();
+  const std::string a = agg.summary();
+  if (a != "off") os << " agg{" << a << "}";
+  return os.str();
+}
+
+}  // namespace jtam::net

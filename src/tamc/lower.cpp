@@ -246,7 +246,13 @@ class BodyGen {
         break;
       case VOpKind::FAlloc:
         a.sendh();
-        if (env_.opt.multi_node) a.senddr("round-robin frame placement");
+        // The codeblock id rides in SENDDR's immediate as the placement
+        // key, so key-driven policies (owner-computes) can home every
+        // activation of a codeblock on one node; the default round-robin
+        // policy ignores it (mdp/placement.h).
+        if (env_.opt.multi_node) {
+          a.senddr(op.cb, "policy frame placement, keyed by codeblock");
+        }
         a.sendwi(env_.kernel.rt_falloc);
         a.sendwi(op.cb, "codeblock id");
         a.sendwi(env_.inlet_labels[cb_][op.inlet], "reply inlet");

@@ -1,0 +1,511 @@
+// The aggregation + placement subsystem (net/aggregate, mdp/placement):
+// the off/round-robin bit-identity pin across every program, back-end and
+// network, the aggregated runs' oracle matrix, flow-tracing invariants
+// with aggregation on, and behavioural unit tests of the coalescing
+// buffers (flush causes, priority bypass, relay forwarding, double-
+// buffered backpressure) and of each placement policy.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "mdp/placement.h"
+#include "net/aggregate.h"
+#include "net/ideal.h"
+#include "net/topology.h"
+#include "obs/critical_path.h"
+#include "obs/flow.h"
+#include "programs/registry.h"
+
+namespace jtam {
+namespace {
+
+programs::Workload small_workload(const std::string& name) {
+  if (name == "mmt") return programs::make_mmt(6);
+  if (name == "qs") return programs::make_quicksort(24);
+  if (name == "dtw") return programs::make_dtw(7);
+  if (name == "paraffins") return programs::make_paraffins(8);
+  if (name == "wavefront") return programs::make_wavefront(8, 2);
+  return programs::make_selection_sort(16);
+}
+
+const char* kPrograms[] = {"mmt", "qs", "dtw", "paraffins", "wavefront",
+                           "sort"};
+
+void expect_bit_identical(const driver::MultiRunResult& a,
+                          const driver::MultiRunResult& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what;
+  EXPECT_EQ(a.halt_value, b.halt_value) << what;
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.messages, b.messages) << what;
+  EXPECT_EQ(a.total_instructions, b.total_instructions) << what;
+  EXPECT_EQ(a.per_node_instructions, b.per_node_instructions) << what;
+  EXPECT_EQ(a.per_node_injection_stalls, b.per_node_injection_stalls) << what;
+  EXPECT_EQ(a.injection_stall_cycles, b.injection_stall_cycles) << what;
+  EXPECT_EQ(a.stalled_sends, b.stalled_sends) << what;
+  EXPECT_TRUE(a.net_stats == b.net_stats)
+      << what << ":\n  " << a.net_stats.summary() << "\n  vs\n  "
+      << b.net_stats.summary();
+}
+
+// The acceptance pin: agg=off + placement=rr, spelled out explicitly, is
+// bit-identical to the flagless default across every program, both
+// back-ends and both network models — the new subsystem is invisible
+// until asked for.
+TEST(AggregatePin, OffRoundRobinIsBitIdenticalToDefaults) {
+  for (const char* prog : kPrograms) {
+    for (rt::BackendKind backend : {rt::BackendKind::MessageDriven,
+                                    rt::BackendKind::ActiveMessages}) {
+      for (net::NetKind kind : {net::NetKind::Ideal, net::NetKind::Mesh}) {
+        programs::Workload w = small_workload(prog);
+        driver::RunOptions opts;
+        opts.backend = backend;
+        driver::MultiOptions defaults;
+        defaults.num_nodes = 4;
+        defaults.net = kind;
+        driver::MultiOptions spelled = defaults;
+        spelled.agg = net::AggMode::Off;
+        spelled.placement.kind = mdp::PlacementKind::RoundRobin;
+        const driver::MultiRunResult a =
+            driver::run_workload_multi(w, opts, defaults);
+        const driver::MultiRunResult b =
+            driver::run_workload_multi(w, opts, spelled);
+        ASSERT_TRUE(a.ok()) << prog << ": " << a.check_error;
+        expect_bit_identical(
+            a, b,
+            std::string(prog) + "/" +
+                (backend == rt::BackendKind::MessageDriven ? "md" : "am") +
+                "/" + net::net_kind_name(kind));
+        EXPECT_TRUE(b.net_stats.agg == net::AggStats{})
+            << "agg stats must stay zero with aggregation off";
+        EXPECT_EQ(b.net_stats.agg.summary(), "off");
+      }
+    }
+  }
+}
+
+// With aggregation on, runs still satisfy their oracles on every
+// back-end x network x mode combination, and the aggregation accounting
+// is internally consistent: every low message was bundled, every high
+// message bypassed, and constituents delivered equal the histograms'
+// populations.
+class AggMatrix : public testing::TestWithParam<
+                      std::tuple<rt::BackendKind, net::NetKind, net::AggMode>> {
+};
+
+TEST_P(AggMatrix, AggregatedRunsPassOraclesWithConsistentAccounting) {
+  const auto [backend, kind, mode] = GetParam();
+  programs::Workload w = programs::make_mmt(6);
+  driver::RunOptions opts;
+  opts.backend = backend;
+  driver::MultiOptions mopts;
+  mopts.num_nodes = 8;
+  mopts.net = kind;
+  driver::MultiRunResult off = driver::run_workload_multi(w, opts, mopts);
+  mopts.agg = mode;
+  mopts.agg_bytes = 64;
+  mopts.agg_timeout = 8;
+  driver::MultiRunResult on = driver::run_workload_multi(w, opts, mopts);
+  ASSERT_TRUE(off.ok()) << off.check_error;
+  ASSERT_TRUE(on.ok()) << on.check_error;
+  EXPECT_EQ(on.halt_value, off.halt_value);
+
+  const net::AggStats& agg = on.net_stats.agg;
+  if (backend == rt::BackendKind::ActiveMessages) {
+    // AM inlets are interrupt-style handlers on the high-priority queue
+    // (rt::inlet_queue), and high traffic always bypasses coalescing —
+    // so under AM aggregation is a transparent no-op: everything
+    // bypasses, nothing bundles, and the measured run is unchanged.
+    EXPECT_EQ(agg.bundles, 0u);
+    EXPECT_EQ(agg.bundled_messages, 0u);
+    EXPECT_EQ(agg.bypass_messages, on.messages);
+    EXPECT_EQ(on.rounds, off.rounds);
+    EXPECT_TRUE(on.net_stats.hops == off.net_stats.hops);
+    EXPECT_TRUE(on.net_stats.latency == off.net_stats.latency);
+    return;
+  }
+  // MD rides the low-priority task queue, so its traffic coalesces.
+  EXPECT_GT(agg.bundles, 0u);
+  EXPECT_GT(agg.bundled_messages, 0u);
+  EXPECT_EQ(agg.bundles, agg.flush_size + agg.flush_timeout);
+  EXPECT_EQ(agg.bundles, agg.bundle_messages.count());
+  EXPECT_EQ(agg.bundles, agg.bundle_words.count());
+  // Every network message went one way or the other.
+  EXPECT_EQ(agg.bundled_messages + agg.bypass_messages, on.messages);
+  // Constituent-level delivery stats: one histogram entry per delivered
+  // message (bundled or bypassing), never per bundle.
+  EXPECT_EQ(on.net_stats.messages, on.net_stats.hops.count());
+  EXPECT_EQ(on.net_stats.messages, on.net_stats.latency.count());
+  EXPECT_LE(on.net_stats.messages, on.messages)
+      << "each constituent is counted once, at its final delivery";
+  if (mode == net::AggMode::Dest) {
+    EXPECT_EQ(agg.relay_forwards, 0u)
+        << "destination mode never forwards through a relay";
+  }
+  // Aggregation coalesces: fewer inner-network packets than messages
+  // (bundle_messages.mean() > 1 whenever any coalescing happened).
+  EXPECT_LE(agg.bundles, agg.bundled_messages + agg.relay_forwards);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, AggMatrix,
+    testing::Combine(testing::Values(rt::BackendKind::MessageDriven,
+                                     rt::BackendKind::ActiveMessages),
+                     testing::Values(net::NetKind::Ideal, net::NetKind::Mesh),
+                     testing::Values(net::AggMode::Dest, net::AggMode::Relay)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ==
+                                 rt::BackendKind::MessageDriven
+                             ? "Md"
+                             : "Am") +
+             (std::get<1>(info.param) == net::NetKind::Ideal ? "Ideal"
+                                                             : "Mesh") +
+             (std::get<2>(info.param) == net::AggMode::Dest ? "Dest"
+                                                            : "Relay");
+    });
+
+// Flow tracing composes with aggregation: per-constituent fan-out keeps
+// every tie-out and the critical-path partition invariant intact.
+class AggFlow
+    : public testing::TestWithParam<std::tuple<net::NetKind, net::AggMode>> {};
+
+TEST_P(AggFlow, FlowSpansStillTieOutAndPartitionTheRun) {
+  const auto [kind, mode] = GetParam();
+  programs::Workload w = programs::make_mmt(6);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::MultiOptions mopts;
+  mopts.num_nodes = 8;
+  mopts.net = kind;
+  mopts.agg = mode;
+  mopts.agg_bytes = 64;
+  mopts.agg_timeout = 8;
+  mopts.flow.enabled = true;
+  const driver::MultiRunResult r = driver::run_workload_multi(w, opts, mopts);
+  ASSERT_TRUE(r.ok()) << r.check_error;
+  ASSERT_NE(r.flow, nullptr);
+  const obs::FlowTrace& tr = *r.flow;
+
+  // Tracing must not change measured numbers (spot check: same run
+  // without the tracer).
+  driver::MultiOptions untraced = mopts;
+  untraced.flow = obs::FlowOptions{};
+  const driver::MultiRunResult off =
+      driver::run_workload_multi(w, opts, untraced);
+  EXPECT_EQ(r.rounds, off.rounds);
+  EXPECT_TRUE(r.net_stats == off.net_stats);
+
+  // Per-message hop/latency records rebuild the constituent-level
+  // NetStats histograms bit-exactly, aggregation notwithstanding.
+  EXPECT_TRUE(tr.hop_histogram() == r.net_stats.hops);
+  EXPECT_TRUE(tr.latency_histogram() == r.net_stats.latency);
+
+  // One traced Remote message per machine-level remote send: bundling is
+  // invisible to the causal trace.
+  std::uint64_t remote = 0;
+  for (const obs::FlowMessage& m : tr.messages) {
+    if (m.kind == obs::FlowMsgKind::Remote) ++remote;
+    EXPECT_LE(m.send_ts, m.inject_ts);
+    if (!m.delivered()) continue;
+    EXPECT_LE(m.inject_ts, m.deliver_ts);
+    EXPECT_EQ(m.transit(), m.net_latency)
+        << "span transit must equal the recorded (end-to-end, buffer-"
+           "inclusive) network latency";
+  }
+  EXPECT_EQ(remote, r.messages);
+
+  // The acceptance invariant: the critical path's components still
+  // partition [0, final_round] exactly with aggregation on.
+  const obs::CriticalPath path = obs::analyze_critical_path(tr);
+  ASSERT_FALSE(path.steps.empty());
+  EXPECT_TRUE(path.complete);
+  EXPECT_EQ(path.total(), tr.final_round);
+  EXPECT_EQ(path.handler + path.inject_wait + path.transit + path.queue_wait,
+            r.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Nets, AggFlow,
+    testing::Combine(testing::Values(net::NetKind::Ideal, net::NetKind::Mesh),
+                     testing::Values(net::AggMode::Dest, net::AggMode::Relay)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == net::NetKind::Ideal
+                             ? "Ideal"
+                             : "Mesh") +
+             (std::get<1>(info.param) == net::AggMode::Dest ? "Dest"
+                                                            : "Relay");
+    });
+
+// ---------------------------------------------------------------------
+// Behavioural unit tests against a bare AggregateNetwork.
+
+struct SinkRec final : net::DeliverySink {
+  struct Delivery {
+    int dest;
+    mdp::Priority p;
+    std::vector<std::uint32_t> words;
+    std::uint64_t cycle;
+  };
+  std::vector<Delivery> deliveries;
+  std::uint64_t now = 0;
+  void deliver(int dest, mdp::Priority p,
+               std::span<const std::uint32_t> w) override {
+    deliveries.push_back(Delivery{dest, p, {w.begin(), w.end()}, now});
+  }
+};
+
+std::unique_ptr<net::AggregateNetwork> make_agg(net::Shape shape,
+                                                net::AggMode mode,
+                                                std::uint32_t flush_bytes,
+                                                std::uint32_t flush_timeout,
+                                                std::uint32_t latency = 4) {
+  net::IdealNetwork::Config ic;
+  ic.latency = latency;
+  net::AggregateNetwork::Config ac;
+  ac.mode = mode;
+  ac.shape = shape;
+  ac.flush_bytes = flush_bytes;
+  ac.flush_timeout = flush_timeout;
+  return std::make_unique<net::AggregateNetwork>(
+      ac, std::make_unique<net::IdealNetwork>(ic));
+}
+
+void run_cycles(net::NetworkModel& nm, SinkRec& sink, std::uint64_t from,
+                std::uint64_t to) {
+  for (std::uint64_t c = from; c < to; ++c) {
+    sink.now = c;
+    nm.step(c, sink);
+  }
+}
+
+TEST(AggregateNetwork, TimeoutFlushCoalescesAndPreservesOrder) {
+  auto agg = make_agg(net::Shape{2, 1, 1}, net::AggMode::Dest,
+                      /*flush_bytes=*/256, /*flush_timeout=*/4);
+  SinkRec sink;
+  const std::vector<std::uint32_t> m1 = {0xA1, 0xA2};
+  const std::vector<std::uint32_t> m2 = {0xB1};
+  const std::vector<std::uint32_t> m3 = {0xC1, 0xC2, 0xC3};
+  agg->inject(0, 1, mdp::Priority::Low, m1, 0, 0);
+  agg->inject(0, 1, mdp::Priority::Low, m2, 0, 0);
+  agg->inject(0, 1, mdp::Priority::Low, m3, 0, 0);
+  EXPECT_FALSE(agg->idle());
+  run_cycles(*agg, sink, 1, 32);
+  EXPECT_TRUE(agg->idle());
+  ASSERT_EQ(sink.deliveries.size(), 3u);
+  EXPECT_EQ(sink.deliveries[0].words, m1);
+  EXPECT_EQ(sink.deliveries[1].words, m2);
+  EXPECT_EQ(sink.deliveries[2].words, m3);
+  // All three rode one bundle, so they complete on the same cycle.
+  EXPECT_EQ(sink.deliveries[0].cycle, sink.deliveries[2].cycle);
+  const net::NetStats& st = agg->stats();
+  EXPECT_EQ(st.messages, 3u);
+  EXPECT_EQ(st.agg.bundles, 1u);
+  EXPECT_EQ(st.agg.bundled_messages, 3u);
+  EXPECT_EQ(st.agg.flush_timeout, 1u);
+  EXPECT_EQ(st.agg.flush_size, 0u);
+  EXPECT_EQ(st.agg.bundle_messages.max(), 3u);
+  // Framing: count word + (header + payload) per message = 1 + 3+2+4.
+  EXPECT_EQ(st.agg.bundle_words.max(), 10u);
+  // End-to-end latency spans the buffered wait plus the wire.
+  EXPECT_GE(st.latency.min(), 4u + 4u);
+}
+
+TEST(AggregateNetwork, SizeThresholdSealsWithoutWaiting) {
+  auto agg = make_agg(net::Shape{2, 1, 1}, net::AggMode::Dest,
+                      /*flush_bytes=*/16, /*flush_timeout=*/1000);
+  SinkRec sink;
+  agg->inject(0, 1, mdp::Priority::Low, std::vector<std::uint32_t>(3, 9), 0,
+              0);
+  run_cycles(*agg, sink, 1, 16);
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  const net::NetStats& st = agg->stats();
+  EXPECT_EQ(st.agg.flush_size, 1u);
+  EXPECT_EQ(st.agg.flush_timeout, 0u);
+}
+
+TEST(AggregateNetwork, HighPriorityBypassesFillingBuffers) {
+  auto agg = make_agg(net::Shape{2, 1, 1}, net::AggMode::Dest,
+                      /*flush_bytes=*/256, /*flush_timeout=*/50);
+  SinkRec sink;
+  agg->inject(0, 1, mdp::Priority::Low, std::vector<std::uint32_t>{1}, 0, 0);
+  agg->inject(0, 1, mdp::Priority::High, std::vector<std::uint32_t>{2}, 0, 0);
+  run_cycles(*agg, sink, 1, 128);
+  ASSERT_EQ(sink.deliveries.size(), 2u);
+  EXPECT_EQ(sink.deliveries[0].p, mdp::Priority::High)
+      << "high priority must not wait for a buffer to fill";
+  EXPECT_LT(sink.deliveries[0].cycle, sink.deliveries[1].cycle);
+  EXPECT_EQ(agg->stats().agg.bypass_messages, 1u);
+  EXPECT_EQ(agg->stats().agg.bundled_messages, 1u);
+}
+
+TEST(AggregateNetwork, RelayModeForwardsAcrossTheFirstDimensionOnce) {
+  // Shape 2x2x1: 0=(0,0) 1=(1,0) 2=(0,1) 3=(1,1).  A message 0 -> 3
+  // gathers at the relay (1,0) = node 1, then re-bundles to 3.
+  auto agg = make_agg(net::Shape{2, 2, 1}, net::AggMode::Relay,
+                      /*flush_bytes=*/256, /*flush_timeout=*/2);
+  SinkRec sink;
+  const std::vector<std::uint32_t> diag = {0xD1};
+  const std::vector<std::uint32_t> row = {0xB2};
+  agg->inject(0, 3, mdp::Priority::Low, diag, 0, 0);
+  agg->inject(0, 1, mdp::Priority::Low, row, 0, 0);
+  run_cycles(*agg, sink, 1, 64);
+  EXPECT_TRUE(agg->idle());
+  ASSERT_EQ(sink.deliveries.size(), 2u);
+  // Both complete; the diagonal one takes two phases.
+  const net::NetStats& st = agg->stats();
+  EXPECT_EQ(st.messages, 2u);
+  EXPECT_EQ(st.agg.relay_forwards, 1u);
+  EXPECT_EQ(st.agg.bundles, 2u);
+  for (const SinkRec::Delivery& d : sink.deliveries) {
+    if (d.words == diag) EXPECT_EQ(d.dest, 3);
+    if (d.words == row) EXPECT_EQ(d.dest, 1);
+  }
+}
+
+TEST(AggregateNetwork, BackpressuresOnlyWhenBothHalvesAreFull) {
+  // flush_bytes=8 -> 2 words: any message seals its buffer immediately.
+  auto agg = make_agg(net::Shape{2, 1, 1}, net::AggMode::Dest,
+                      /*flush_bytes=*/8, /*flush_timeout=*/100,
+                      /*latency=*/32);
+  SinkRec sink;
+  agg->inject(0, 1, mdp::Priority::Low, std::vector<std::uint32_t>{1}, 0, 0);
+  // First bundle sealed (outstanding); the filling half is empty, so the
+  // double buffer still accepts...
+  EXPECT_TRUE(agg->can_accept(0, 1, mdp::Priority::Low));
+  agg->inject(0, 1, mdp::Priority::Low, std::vector<std::uint32_t>{2}, 0, 0);
+  // ...but now the filling half is itself at the threshold while the
+  // sealed half waits: both halves full, SENDE must stall.
+  EXPECT_FALSE(agg->can_accept(0, 1, mdp::Priority::Low));
+  EXPECT_TRUE(agg->can_accept(0, 1, mdp::Priority::High))
+      << "the high VN is never blocked by coalescing buffers";
+  run_cycles(*agg, sink, 1, 128);
+  EXPECT_TRUE(agg->can_accept(0, 1, mdp::Priority::Low));
+  EXPECT_EQ(sink.deliveries.size(), 2u);
+  EXPECT_TRUE(agg->idle());
+}
+
+TEST(AggregateNetwork, RepeatedRunsProduceIdenticalStats) {
+  net::NetStats first;
+  for (int rep = 0; rep < 2; ++rep) {
+    auto agg = make_agg(net::Shape{2, 2, 1}, net::AggMode::Relay,
+                        /*flush_bytes=*/24, /*flush_timeout=*/3);
+    SinkRec sink;
+    std::uint64_t flow_id = 0;
+    for (int s = 0; s < 4; ++s) {
+      for (int d = 0; d < 4; ++d) {
+        if (s == d) continue;
+        agg->inject(s, d, mdp::Priority::Low,
+                    std::vector<std::uint32_t>{static_cast<std::uint32_t>(
+                        s * 16 + d)},
+                    0, ++flow_id);
+      }
+    }
+    run_cycles(*agg, sink, 1, 256);
+    ASSERT_TRUE(agg->idle());
+    EXPECT_EQ(sink.deliveries.size(), 12u);
+    if (rep == 0) {
+      first = agg->stats();
+    } else {
+      EXPECT_TRUE(agg->stats() == first) << agg->stats().summary();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Placement policies.
+
+TEST(Placement, RoundRobinMatchesTheSeedCounter) {
+  auto p = mdp::PlacementPolicy::make(mdp::PlacementConfig{}, /*node=*/1,
+                                      /*num_nodes=*/3);
+  // The seed counter starts at the owning node and wraps: 1, 2, 0, 1, ...
+  const int want[] = {1, 2, 0, 1, 2, 0};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(p->place(0), want[i]) << i;
+  }
+}
+
+TEST(Placement, NearestCyclesNodesInHopDistanceOrder) {
+  mdp::PlacementConfig cfg;
+  cfg.kind = mdp::PlacementKind::Nearest;
+  auto p = mdp::PlacementPolicy::make(cfg, /*node=*/0, /*num_nodes=*/8);
+  // 2x2x2 grid from node 0: self, then the three axis neighbours, then
+  // the three face diagonals, then the far corner — ties broken by id.
+  const int want[] = {0, 1, 2, 4, 3, 5, 6, 7};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(p->place(0), want[i % 8]) << i;
+  }
+  // And the ordering really is by hop distance.
+  const net::Shape s = net::Shape::for_nodes(8);
+  for (int i = 0; i + 1 < 8; ++i) {
+    EXPECT_LE(net::hop_distance(s, 0, want[i]),
+              net::hop_distance(s, 0, want[i + 1]));
+  }
+}
+
+TEST(Placement, OwnerComputesIsKeyStableAcrossNodes) {
+  mdp::PlacementConfig cfg;
+  cfg.kind = mdp::PlacementKind::Owner;
+  auto on0 = mdp::PlacementPolicy::make(cfg, 0, 5);
+  auto on3 = mdp::PlacementPolicy::make(cfg, 3, 5);
+  bool spread = false;
+  for (std::uint32_t key = 0; key < 64; ++key) {
+    const int n = on0->place(key);
+    EXPECT_EQ(n, on3->place(key)) << "every node must agree on the owner";
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, 5);
+    EXPECT_EQ(n, on0->place(key)) << "placement is a pure function of key";
+    if (n != on0->place(0)) spread = true;
+  }
+  EXPECT_TRUE(spread) << "different codeblocks must land on different owners";
+}
+
+TEST(Placement, ClusterFillsTheBudgetBeforeAdvancing) {
+  mdp::PlacementConfig cfg;
+  cfg.kind = mdp::PlacementKind::Cluster;
+  cfg.cluster_budget = 3;
+  auto p = mdp::PlacementPolicy::make(cfg, /*node=*/2, /*num_nodes=*/4);
+  const int want[] = {2, 2, 2, 3, 3, 3, 0, 0, 0, 1, 1, 1, 2, 2, 2};
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(p->place(0), want[i]) << i;
+  }
+}
+
+TEST(Placement, KnobsAreNamedForBenchTables) {
+  EXPECT_STREQ(mdp::placement_kind_name(mdp::PlacementKind::RoundRobin), "rr");
+  EXPECT_STREQ(mdp::placement_kind_name(mdp::PlacementKind::Nearest), "near");
+  EXPECT_STREQ(mdp::placement_kind_name(mdp::PlacementKind::Owner), "owner");
+  EXPECT_STREQ(mdp::placement_kind_name(mdp::PlacementKind::Cluster),
+               "cluster");
+  EXPECT_STREQ(net::agg_mode_name(net::AggMode::Off), "off");
+  EXPECT_STREQ(net::agg_mode_name(net::AggMode::Dest), "dest");
+  EXPECT_STREQ(net::agg_mode_name(net::AggMode::Relay), "relay");
+}
+
+// Non-default placement policies keep every workload correct: the frames
+// land elsewhere but the computation is location-transparent.
+TEST(Placement, AllPoliciesPassTheOracles) {
+  for (mdp::PlacementKind kind :
+       {mdp::PlacementKind::Nearest, mdp::PlacementKind::Owner,
+        mdp::PlacementKind::Cluster}) {
+    for (rt::BackendKind backend : {rt::BackendKind::MessageDriven,
+                                    rt::BackendKind::ActiveMessages}) {
+      programs::Workload w = programs::make_mmt(6);
+      driver::RunOptions opts;
+      opts.backend = backend;
+      driver::MultiOptions mopts;
+      mopts.num_nodes = 8;
+      mopts.placement.kind = kind;
+      const driver::MultiRunResult r =
+          driver::run_workload_multi(w, opts, mopts);
+      EXPECT_TRUE(r.ok()) << mdp::placement_kind_name(kind) << ": "
+                          << r.check_error;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jtam
