@@ -26,7 +26,13 @@
 //        causal tracing: merged multi-node Perfetto timeline with flow
 //        arrows, plus a critical-path report per run on stdout.  These
 //        instrumented reruns leave the measured sweep untouched; they run
-//        under the first requested agg/placement combination).
+//        under the first requested agg/placement combination),
+//        --threads <csv> (e.g. --threads 1,2,4,8: time the windowed
+//        parallel engine (mdp/parmulti.cpp) against the serial loop at the
+//        top node count, verify every measured field is bit-identical, and
+//        emit a parallel.* JSON stat block — threads, windows, barriers,
+//        wall-ms, speedup.  Speedups track the host's CPU count; the
+//        equivalence check does not).
 
 #include <algorithm>
 
@@ -54,6 +60,51 @@ std::vector<std::string> programs_from_args(int argc, char** argv) {
   return out;
 }
 
+/// --threads <csv> / --threads=<csv>: worker counts for the parallel-engine
+/// sweep (empty = sweep not requested).
+std::vector<unsigned> threads_from_args(int argc, char** argv) {
+  std::string csv;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) csv = argv[i + 1];
+    if (a.rfind("--threads=", 0) == 0) csv = a.substr(10);
+  }
+  std::vector<unsigned> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > pos) {
+      const int v = std::atoi(csv.substr(pos, end - pos).c_str());
+      if (v >= 1) out.push_back(static_cast<unsigned>(v));
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+/// Every measured field of two multi-node runs must agree exactly — the
+/// parallel engine's contract (ParallelStats and the flow trace are
+/// execution reports, not measurements, and are excluded).
+void require_identical(const jtam::driver::MultiRunResult& serial,
+                       const jtam::driver::MultiRunResult& par,
+                       const std::string& what) {
+  const bool same =
+      serial.status == par.status && serial.halt_value == par.halt_value &&
+      serial.rounds == par.rounds &&
+      serial.total_instructions == par.total_instructions &&
+      serial.messages == par.messages &&
+      serial.injection_stall_cycles == par.injection_stall_cycles &&
+      serial.stalled_sends == par.stalled_sends &&
+      serial.per_node_instructions == par.per_node_instructions &&
+      serial.per_node_injection_stalls == par.per_node_injection_stalls &&
+      serial.net_stats == par.net_stats;
+  if (!same) {
+    throw jtam::Error(what + ": parallel run diverged from the serial "
+                             "baseline");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,6 +120,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> only = programs_from_args(argc, argv);
   const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
   const bench::AggArgs agg_args = bench::agg_args_from_args(argc, argv);
+  const std::vector<unsigned> thread_counts = threads_from_args(argc, argv);
   const int top_nodes = node_counts.back();
 
   // One table section per (agg mode, placement) combination.  Without the
@@ -253,6 +305,97 @@ int main(int argc, char** argv) {
                  "(priority-high) bypasses untouched — so\nthe sweep shifts "
                  "the MD columns and leaves AM as the control.\n";
   }
+  // --threads: the parallel-engine sweep.  Every parallel run is checked
+  // bit-identical to a freshly-timed serial baseline before its wall time
+  // is reported, so a speedup can never be bought with a divergent result.
+  if (!thread_counts.empty()) {
+    for (rt::BackendKind backend : {rt::BackendKind::MessageDriven,
+                                    rt::BackendKind::ActiveMessages}) {
+      const char* bk =
+          backend == rt::BackendKind::MessageDriven ? "md" : "am";
+      for (net::NetKind kind : nets) {
+        std::cout << "=== parallel engine / " << rt::backend_name(backend)
+                  << " / " << net::net_kind_name(kind) << " network / N="
+                  << top_nodes << " ===\n";
+        text::Table t;
+        {
+          std::vector<std::string> hdr{"Program", "serial ms"};
+          for (unsigned T : thread_counts) {
+            hdr.push_back("T=" + std::to_string(T));
+          }
+          hdr.insert(hdr.end(), {"windows", "W-limit", "barriers"});
+          t.header(hdr);
+        }
+        for (const programs::Workload& w : workloads) {
+          std::cerr << "  timing " << w.name << " ("
+                    << net::net_kind_name(kind) << ", threads sweep) ...\n";
+          driver::RunOptions opts;
+          opts.backend = backend;
+          driver::MultiOptions mo;
+          mo.num_nodes = top_nodes;
+          mo.net = kind;
+          agg_args.apply(mo, combos.front().agg, combos.front().placement);
+          const auto timed = [&](unsigned threads) {
+            mo.threads = threads;
+            const auto t0 = std::chrono::steady_clock::now();
+            driver::MultiRunResult r = driver::run_workload_multi(w, opts, mo);
+            const double ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+            return std::make_pair(std::move(r), ms);
+          };
+          auto [serial, serial_ms] = timed(0);
+          if (!serial.ok()) {
+            throw Error(w.name + " failed on " + std::to_string(top_nodes) +
+                        " nodes (" + net::net_kind_name(kind) +
+                        "): " + serial.check_error);
+          }
+          const std::string key = std::string("parallel.") + bk + "." +
+                                  net::net_kind_name(kind) + "." + w.name +
+                                  ".n" + std::to_string(top_nodes) + ".";
+          json_metrics.emplace_back(key + "serial_ms", serial_ms);
+          std::vector<std::string> row{w.name, text::fixed(serial_ms, 1)};
+          driver::MultiRunResult last;
+          for (unsigned T : thread_counts) {
+            auto [par, par_ms] = timed(T);
+            require_identical(serial, par,
+                              w.name + " T=" + std::to_string(T) + " (" +
+                                  net::net_kind_name(kind) + ")");
+            const double speedup = par_ms > 0 ? serial_ms / par_ms : 0.0;
+            row.push_back(text::fixed(par_ms, 1) + " (" +
+                          text::fixed(speedup, 2) + "x)");
+            const std::string tkey = key + "t" + std::to_string(T) + ".";
+            json_metrics.emplace_back(tkey + "wall_ms", par_ms);
+            json_metrics.emplace_back(tkey + "speedup", speedup);
+            json_metrics.emplace_back(
+                tkey + "threads", static_cast<double>(par.parallel.threads));
+            json_metrics.emplace_back(
+                tkey + "windows", static_cast<double>(par.parallel.windows));
+            json_metrics.emplace_back(
+                tkey + "barriers", static_cast<double>(par.parallel.barriers));
+            json_metrics.emplace_back(tkey + "engaged",
+                                      par.parallel.engaged ? 1.0 : 0.0);
+            last = std::move(par);
+          }
+          json_metrics.emplace_back(
+              key + "window_limit",
+              static_cast<double>(last.parallel.window_limit));
+          row.push_back(text::with_commas(last.parallel.windows));
+          row.push_back(std::to_string(last.parallel.window_limit));
+          row.push_back(text::with_commas(last.parallel.barriers));
+          t.row(row);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+      }
+    }
+    std::cout << "Every parallel column is verified bit-identical to the "
+                 "serial baseline\n(rounds, halt value, messages, per-node "
+                 "counters, NetStats) before its time\nis reported.  "
+                 "Speedups track the host's CPU count — equivalence does "
+                 "not.\n\n";
+  }
+
   bench::write_json(bench::json_path_from_args(argc, argv), "multinode",
                     watch.seconds(), json_metrics);
 

@@ -250,11 +250,18 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
                                   const RunOptions& opts,
                                   const MultiOptions& mopts) {
   const int num_nodes = mopts.num_nodes;
+  // The node-field shift of global addresses must agree between the
+  // compiled kernels (node-extraction shifts) and the machines (address
+  // checks), so it is resolved here and passed to both.  <= 256 nodes uses
+  // the seed layout (shift 24, bit-identical code and addresses).
+  const std::uint32_t node_shift = mem::node_shift_for_nodes(num_nodes);
+  JTAM_CHECK(node_shift != 0, "node count exceeds every node-field shift");
   tamc::CompileOptions copts;
   copts.backend = opts.backend;
   copts.am_enabled_variant = opts.am_enabled_variant;
   copts.md = opts.md;
   copts.multi_node = true;
+  copts.node_shift = node_shift;
   tamc::CompiledProgram cp = tamc::compile(w.program, copts);
 
   mdp::MultiMachine::Config mc;
@@ -270,6 +277,8 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   mc.queue_bytes = opts.queue_bytes;
   mc.max_rounds = opts.max_instructions;
   mc.dispatch = opts.dispatch;
+  mc.node_shift = node_shift;
+  mc.threads = mopts.threads;
   mdp::MultiMachine mm(cp.image, mc);
 
   // Attach the causal tracer before any boot message is injected, so the
@@ -298,12 +307,20 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   programs::SetupCtx setup(mm.node(0), cp);
   w.setup(setup);
 
+  // Each node's heap starts with a defer-record pool: 1 MB under the seed
+  // layout, a quarter of the (smaller) per-node user window under the
+  // narrow shifts — at shift 22 those coincide, so <= 256-node runs keep
+  // the seed's exact addresses.
+  const mem::NodeCodec codec(node_shift);
+  const mem::Addr window_bytes = codec.user_limit - mem::kUserDataBase;
+  const mem::Addr defer_bytes =
+      std::min<mem::Addr>(mem::Addr{1} << 20, window_bytes / 4);
   for (int n = 0; n < num_nodes; ++n) {
     const mem::Addr local_base =
         n == 0 ? setup.cursor() : mem::kUserDataBase;
-    const mem::Addr global_base =
-        (static_cast<mem::Addr>(n) << 24) | local_base;
-    const mem::Addr defer_limit = global_base + (1u << 20);
+    const mem::Addr global_base = codec.global_of(
+        static_cast<mem::Addr>(n), local_base);
+    const mem::Addr defer_limit = global_base + defer_bytes;
     mm.node(n).set_defer_pool(global_base, defer_limit);
     mm.node(n).store_word(rt::kGlHeapBump, defer_limit);
   }
@@ -331,6 +348,7 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   r.links = ns.links;
   r.net_cycles = ns.cycles;
   r.net_stats = ns;
+  r.parallel = mm.parallel_stats();
   if (tracer != nullptr) {
     auto trace = std::make_shared<obs::FlowTrace>(tracer->finish(mm));
     trace->attach_symbols(tamc::SymbolMap::from(cp));

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cache/cache_bank.h"
+#include "mdp/multi.h"
 #include "mdp/placement.h"
 #include "metrics/cycles.h"
 #include "metrics/granularity.h"
@@ -157,6 +158,15 @@ struct MultiOptions {
   /// like RunOptions::obs — this needs no memo-key entry; keep it that
   /// way if memoization is ever extended to them.
   obs::FlowOptions flow;
+  /// Worker threads for the conservatively-synchronized parallel engine
+  /// (mdp/parmulti.cpp).  0 (default) runs the classic serial round loop;
+  /// >= 1 runs the windowed engine with that many shard workers, with
+  /// results bit-identical to serial (tests/parmulti_test.cpp).  The
+  /// engine falls back to serial when flow tracing is on (per-instruction
+  /// probes may not fire from worker threads) or the network has no
+  /// lookahead (bounded ideal wire); MultiRunResult::parallel reports
+  /// what actually ran.
+  unsigned threads = 0;
 };
 
 struct MultiRunResult {
@@ -197,6 +207,10 @@ struct MultiRunResult {
   /// collected only when flow tracing is on — the tie-out target for the
   /// trace's per-message mark attribution.
   std::vector<metrics::Granularity> per_node_gran;
+  /// What the parallel engine actually did (all-zero / engaged == false
+  /// for serial runs).  Not a measured number: equivalence comparisons
+  /// ignore it.
+  mdp::MultiMachine::ParallelStats parallel;
   bool ok() const {
     return status == mdp::RunStatus::Halted && check_error.empty();
   }

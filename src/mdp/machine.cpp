@@ -13,12 +13,22 @@ Machine::Machine(CodeImage image, Config cfg)
   JTAM_CHECK(cfg_.num_nodes >= 1 && cfg_.node_id >= 0 &&
                  cfg_.node_id < cfg_.num_nodes,
              "node id out of range");
+  JTAM_CHECK(cfg_.node_shift == 24 ||
+                 (cfg_.node_shift >= 19 && cfg_.node_shift <= 22),
+             "node-field shift must be 24 (seed layout) or in [19, 22]");
+  JTAM_CHECK(static_cast<std::uint64_t>(cfg_.num_nodes) <=
+                 mem::max_nodes_for_shift(cfg_.node_shift),
+             "node count does not fit the node-field shift");
+  codec_ = mem::NodeCodec(cfg_.node_shift);
   // The default round-robin policy staggers by node id so nodes do not
   // all allocate on node 0 (bit-identical to the seed counter).
   placement_ = PlacementPolicy::make(cfg_.placement, cfg_.node_id,
                                      cfg_.num_nodes);
-  memory_.assign(mem::kMemoryLimit / mem::kWordBytes, 0);
-  tags_.assign((mem::kUserDataLimit - mem::kUserDataBase) / mem::kWordBytes,
+  // Flat memory covers [0, user_limit): at the seed shift this is the full
+  // 16 MB kMemoryLimit; narrower shifts shrink the user window (and so the
+  // per-node footprint) to kUserDataBase + 2^shift.
+  memory_.assign(codec_.user_limit / mem::kWordBytes, 0);
+  tags_.assign((codec_.user_limit - mem::kUserDataBase) / mem::kWordBytes,
                false);
   queues_[0] = Queue{mem::kLowQueueBase, cfg_.queue_bytes,
                      mem::kLowQueueBase, mem::kLowQueueBase, 0, 0, {}};
@@ -86,13 +96,20 @@ void Machine::data_addr_fault(Addr a) const {
     os << "unaligned data access at 0x" << std::hex << a;
     throw Error(os.str());
   }
-  const Addr local = a & 0xFFFFFFu;
-  if (local >= mem::kSysDataBase && local < mem::kSysDataLimit) {
+  const Addr local = codec_.local_of(a);
+  // Seed diagnosis at shift 24: a sys-range local with node bits set.  At
+  // narrower shifts sys addresses never alias into a legal node's window
+  // (max_nodes_for_shift caps node ids below the underflow range), so the
+  // seed wording is kept for the shift-24 case it describes.
+  if (cfg_.node_shift == 24 && (a & 0xFFFFFFu) >= mem::kSysDataBase &&
+      (a & 0xFFFFFFu) < mem::kSysDataLimit) {
     std::ostringstream os;
     os << "sys-data address with node bits at 0x" << std::hex << a;
     throw Error(os.str());
   }
-  if (local >= mem::kUserDataBase && local < mem::kUserDataLimit) {
+  if (local >= mem::kUserDataBase && local < codec_.user_limit &&
+      (cfg_.node_shift == 24 ||
+       codec_.node_of(a) < static_cast<Addr>(cfg_.num_nodes))) {
     std::ostringstream os;
     os << "remote user-data address dereferenced locally: 0x" << std::hex
        << a << " on node " << std::dec << cfg_.node_id
@@ -106,17 +123,17 @@ void Machine::data_addr_fault(Addr a) const {
 
 std::uint32_t Machine::load_word(Addr a) const {
   check_data_addr(a);
-  return memory_[(a & 0xFFFFFFu) / mem::kWordBytes];
+  return memory_[local_data_addr(a) / mem::kWordBytes];
 }
 
 void Machine::store_word(Addr a, std::uint32_t v) {
   check_data_addr(a);
-  memory_[(a & 0xFFFFFFu) / mem::kWordBytes] = v;
+  memory_[local_data_addr(a) / mem::kWordBytes] = v;
 }
 
 std::size_t Machine::tag_index(Addr a) const {
-  const Addr local = a & 0xFFFFFFu;
-  JTAM_CHECK(local >= mem::kUserDataBase && local < mem::kUserDataLimit,
+  const Addr local = codec_.local_of(a);
+  JTAM_CHECK(local >= mem::kUserDataBase && local < codec_.user_limit,
              "presence tags exist only over user data");
   JTAM_CHECK((a & 3u) == 0, "tag access not word aligned");
   return (local - mem::kUserDataBase) / mem::kWordBytes;
@@ -127,10 +144,9 @@ bool Machine::tag(Addr a) const { return tags_[tag_index(a)]; }
 void Machine::set_tag(Addr a, bool present) { tags_[tag_index(a)] = present; }
 
 void Machine::set_defer_pool(Addr base, Addr limit) {
-  const Addr lb = base & 0xFFFFFFu;
-  const Addr ll = ((limit - 4) & 0xFFFFFFu) + 4;
-  JTAM_CHECK(lb >= mem::kUserDataBase && ll <= mem::kUserDataLimit &&
-                 lb < ll,
+  const Addr lb = codec_.local_of(base);
+  const Addr ll = codec_.local_of(limit - 4) + 4;
+  JTAM_CHECK(lb >= mem::kUserDataBase && ll <= codec_.user_limit && lb < ll,
              "deferred-read pool must lie inside user data");
   defer_bump_ = base;
   defer_limit_ = limit;

@@ -208,10 +208,15 @@ class Machine {
     std::uint32_t queue_bytes = mem::kQueueBytes;  // per priority level
     std::uint64_t max_instructions = 2'000'000'000ULL;
     // Multi-node: this node's id and the machine count.  User-data
-    // addresses carry the owning node in bits 24+; sys-data and code are
-    // per-node private and never carry node bits.
+    // addresses carry the owning node in the bits at `node_shift` and up
+    // (mem::NodeCodec); sys-data and code are per-node private and never
+    // carry node bits.  The default shift 24 is the seed layout (node in
+    // bits 24+, 12 MB local user window); narrower shifts shrink the
+    // per-node window to 2^shift bytes so 512-8184 node ensembles fit in
+    // 32-bit addresses.
     int node_id = 0;
     int num_nodes = 1;
+    std::uint32_t node_shift = mem::kNodeShiftDefault;
     /// SENDDR frame-placement policy (mdp/placement.h).  The default
     /// round-robin policy is bit-identical to the seed's hard-coded
     /// counter (tests/aggregate_test.cpp pins this).
@@ -290,6 +295,41 @@ class Machine {
     return injection_stall_cycles_;
   }
   std::uint64_t stalled_sends() const { return stalled_sends_; }
+  /// The node/local address split this machine runs under (seed: shift 24).
+  const mem::NodeCodec& node_codec() const { return codec_; }
+  /// True when a causal-flow probe / per-event trace attachment is live.
+  /// The parallel multi-node engine uses these to fall back to the serial
+  /// loop: per-instruction callbacks may not fire from worker threads.
+  bool has_flow() const { return flow_ != nullptr; }
+  bool has_trace_attachment() const {
+    return sink_ != nullptr || tbuf_ != nullptr;
+  }
+
+  /// Snapshot of every counter a MultiRunResult can observe per node.  The
+  /// windowed parallel engine (mdp/parmulti.cpp) saves one per node per
+  /// round and restores it when a mid-window halt means the serial loop
+  /// would not have executed that node's later rounds.
+  struct CounterSnapshot {
+    std::uint64_t instr_count = 0;
+    std::uint64_t instr_low = 0;
+    std::uint64_t instr_high = 0;
+    std::uint64_t injection_stall_cycles = 0;
+    std::uint64_t stalled_sends = 0;
+    bool inj_stalled = false;
+  };
+  CounterSnapshot save_counters() const {
+    return {instr_count_,    instr_by_level_[0],
+            instr_by_level_[1], injection_stall_cycles_,
+            stalled_sends_,  inj_stalled_};
+  }
+  void restore_counters(const CounterSnapshot& s) {
+    instr_count_ = s.instr_count;
+    instr_by_level_[0] = s.instr_low;
+    instr_by_level_[1] = s.instr_high;
+    injection_stall_cycles_ = s.injection_stall_cycles;
+    stalled_sends_ = s.stalled_sends;
+    inj_stalled_ = s.inj_stalled;
+  }
   std::uint32_t reg(Priority p, Reg r) const {
     return levels_[static_cast<int>(p)].regs[r];
   }
@@ -363,15 +403,17 @@ class Machine {
   /// right-node case falls through; everything else takes the out-of-line
   /// throwing path, which rebuilds the precise diagnosis.
   void check_data_addr(Addr a) const {
-    const Addr local = a & 0xFFFFFFu;
-    const Addr node = a >> 24;
     if ((a & 3u) == 0) {
-      if (local >= mem::kSysDataBase && local < mem::kSysDataLimit &&
-          node == 0) {
+      // Sys-data addresses never carry node bits, so the raw-range test is
+      // exact.  (At the seed shift 24 this is provably the seed's
+      // `local in sys-range && node == 0` check: sys-data lies below 2^24,
+      // so node bits and local split are the identity there.)
+      if (a >= mem::kSysDataBase && a < mem::kSysDataLimit) {
         return;
       }
-      if (local >= mem::kUserDataBase && local < mem::kUserDataLimit &&
-          static_cast<int>(node) == cfg_.node_id) {
+      if (codec_.local_of(a) >= mem::kUserDataBase &&
+          codec_.local_of(a) < codec_.user_limit &&
+          static_cast<int>(codec_.node_of(a)) == cfg_.node_id) {
         return;
       }
     }
@@ -379,28 +421,37 @@ class Machine {
   }
   [[noreturn]] void data_addr_fault(Addr a) const;
 
+  /// Node-local byte address of a validated data address: sys-data is
+  /// node-private and carries no node bits; user data goes through the
+  /// codec.  At the seed shift 24 both branches equal `a & 0xFFFFFF`.
+  Addr local_data_addr(Addr a) const {
+    return a < mem::kUserDataBase ? a : codec_.local_of(a);
+  }
+
   std::uint32_t mem_read(Addr a, Priority lvl, bool emit_event = true) {
     check_data_addr(a);
+    const Addr local = local_data_addr(a);
     if (emit_event) {
       if (tbuf_ != nullptr) {
-        tbuf_->add_read(a & 0xFFFFFFu, lvl);
+        tbuf_->add_read(local, lvl);
       } else if (sink_ != nullptr) {
-        sink_->on_read(a & 0xFFFFFFu, lvl);
+        sink_->on_read(local, lvl);
       }
     }
-    return memory_[(a & 0xFFFFFFu) / mem::kWordBytes];
+    return memory_[local / mem::kWordBytes];
   }
   void mem_write(Addr a, std::uint32_t v, Priority lvl,
                  bool emit_event = true) {
     check_data_addr(a);
+    const Addr local = local_data_addr(a);
     if (emit_event) {
       if (tbuf_ != nullptr) {
-        tbuf_->add_write(a & 0xFFFFFFu, lvl);
+        tbuf_->add_write(local, lvl);
       } else if (sink_ != nullptr) {
-        sink_->on_write(a & 0xFFFFFFu, lvl);
+        sink_->on_write(local, lvl);
       }
     }
-    memory_[(a & 0xFFFFFFu) / mem::kWordBytes] = v;
+    memory_[local / mem::kWordBytes] = v;
   }
 
   void enqueue(Priority p, std::span<const std::uint32_t> words,
@@ -426,6 +477,7 @@ class Machine {
 
   CodeImage image_;
   Config cfg_;
+  mem::NodeCodec codec_;
   DispatchKind dispatch_ = DispatchKind::Decoded;
   DecodedCache dcache_;
   std::vector<std::uint32_t> memory_;    // word-indexed flat memory

@@ -42,8 +42,13 @@ std::unique_ptr<net::NetworkModel> make_network(
 }  // namespace
 
 MultiMachine::MultiMachine(const CodeImage& image, Config cfg) : cfg_(cfg) {
-  JTAM_CHECK(cfg_.num_nodes >= 1 && cfg_.num_nodes <= 256,
-             "node count must be in [1, 256]");
+  node_shift_ = cfg_.node_shift == 0
+                    ? mem::node_shift_for_nodes(cfg_.num_nodes)
+                    : cfg_.node_shift;
+  JTAM_CHECK(cfg_.num_nodes >= 1 && node_shift_ != 0 &&
+                 static_cast<std::uint64_t>(cfg_.num_nodes) <=
+                     mem::max_nodes_for_shift(node_shift_),
+             "node count must be in [1, 8184] and fit the node-field shift");
   net_ = make_network(cfg_);
   nodes_.reserve(static_cast<std::size_t>(cfg_.num_nodes));
   for (int n = 0; n < cfg_.num_nodes; ++n) {
@@ -51,6 +56,7 @@ MultiMachine::MultiMachine(const CodeImage& image, Config cfg) : cfg_(cfg) {
     mc.queue_bytes = cfg_.queue_bytes;
     mc.node_id = n;
     mc.num_nodes = cfg_.num_nodes;
+    mc.node_shift = node_shift_;
     mc.placement = cfg_.placement;
     nodes_.push_back(std::make_unique<Machine>(image, mc));
     nodes_.back()->set_dispatch(cfg_.dispatch);
@@ -59,6 +65,12 @@ MultiMachine::MultiMachine(const CodeImage& image, Config cfg) : cfg_(cfg) {
 }
 
 bool MultiMachine::can_accept(int src_node, int dest_node, Priority p) {
+  // During a parallel node phase the network is only read, never written
+  // (injections are staged), so this const query is safe from workers.
+  // The answer matches the serial loop because every engaged network
+  // model answers can_accept(src, ...) from per-source state alone — see
+  // net::NetworkModel::lookahead() — and a node can attempt at most one
+  // SENDE per round.
   return net_->can_accept(src_node, dest_node, p);
 }
 
@@ -67,6 +79,18 @@ void MultiMachine::send(int src_node, int dest_node, Priority p,
                         std::uint64_t flow_id) {
   JTAM_CHECK(dest_node >= 0 && dest_node < cfg_.num_nodes,
              "network send to nonexistent node");
+  if (staging_) {
+    // Parallel node phase: park the message in the sender's lane; the
+    // coordinator injects every staged send in serial (round, src) order
+    // at the window barrier, with the round it was staged in as `now`, so
+    // the network sees the exact serial injection sequence.
+    auto& lane = staged_[static_cast<std::size_t>(src_node)];
+    lane.push_back(StagedSend{
+        staging_round_[static_cast<std::size_t>(src_node)], src_node,
+        dest_node, p, flow_id,
+        std::vector<std::uint32_t>(words.begin(), words.end())});
+    return;
+  }
   ++messages_;
   net_->inject(src_node, dest_node, p, words, rounds_, flow_id);
 }
@@ -106,8 +130,31 @@ std::string MultiMachine::describe_stuck_state() const {
 }
 
 RunStatus MultiMachine::run() {
+  par_stats_ = ParallelStats{};
+  if (cfg_.threads >= 1 && parallel_eligible()) return run_parallel();
+  return run_serial();
+}
+
+bool MultiMachine::parallel_eligible() const {
+  // The windowed engine needs at least one round of network lookahead and
+  // coordinator-only observation: per-instruction flow probes and trace
+  // attachments fire from whichever worker steps the node, which would
+  // both race and reorder their event streams, so those runs stay serial.
+  if (net_->lookahead() == 0) return false;
+  if (net_->has_flow_observer()) return false;
+  for (const auto& m : nodes_) {
+    if (m->has_flow() || m->has_trace_attachment()) return false;
+  }
+  return true;
+}
+
+RunStatus MultiMachine::run_serial() {
+  const std::uint64_t hook_every =
+      round_hook_ != nullptr ? round_hook_->round_interval() : 1;
   for (rounds_ = 0; rounds_ < cfg_.max_rounds; ++rounds_) {
-    if (round_hook_ != nullptr) round_hook_->on_round(*this, rounds_);
+    if (round_hook_ != nullptr && rounds_ % hook_every == 0) {
+      round_hook_->on_round(*this, rounds_);
+    }
     // One network cycle per round: deliveries land in the hardware queues
     // before any node executes, exactly like the seed's wire.
     net_->step(rounds_, *this);

@@ -15,12 +15,22 @@
 // (can_accept == false), which stalls the sending node's SENDE — counted
 // per node as injection-stall cycles.
 //
-// Addressing: user-data addresses carry the owning node in bits 24+, so a
-// frame or heap pointer is globally meaningful.  SENDs name their
-// destination node (SENDD from an address's node field, SENDDR for
-// round-robin frame placement); messages to remote nodes traverse the
-// network and are buffered into the destination's hardware queue exactly
-// like local sends.
+// Addressing: user-data addresses carry the owning node in their high bits
+// (mem::NodeCodec; the seed layout puts it in bits 24+ and is the
+// bit-identical default for <= 256 nodes, narrower node-field shifts admit
+// up to 8184 nodes), so a frame or heap pointer is globally meaningful.
+// SENDs name their destination node (SENDD from an address's node field,
+// SENDDR for round-robin frame placement); messages to remote nodes
+// traverse the network and are buffered into the destination's hardware
+// queue exactly like local sends.
+//
+// Execution engines: the classic loop steps every node serially each round
+// (Config::threads == 0).  Config::threads >= 1 selects the windowed
+// parallel engine (mdp/parmulti.cpp): nodes are sharded across workers and
+// advance through conservative lookahead windows bounded by the network's
+// minimum end-to-end latency, with cross-shard messages exchanged only at
+// window barriers — results bit-identical to the serial loop
+// (tests/parmulti_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -38,13 +48,27 @@ namespace jtam::mdp {
 class MultiMachine;
 
 /// Per-round observation hook (obs::FlowTracer's clock and time-series
-/// sampler).  Called at the top of every MultiMachine round, before the
+/// sampler).  Called at the top of a MultiMachine round, before the
 /// network steps and before any node executes, so samples are consistent
 /// start-of-round snapshots.  Zero-cost when absent.
+///
+/// Cadence contract (tests/parmulti_test.cpp): on_round fires for rounds
+/// that are multiples of round_interval(), in strictly increasing round
+/// order, always from the thread that called MultiMachine::run() — never
+/// from a shard worker.  Under the windowed parallel engine those rounds
+/// are window boundaries (the engine shrinks lookahead windows so every
+/// hook round starts a window), and the ensemble state the hook observes
+/// is exactly the serial start-of-round state, so an interval-1 hook sees
+/// the identical snapshot sequence under both engines.
 class RoundHook {
  public:
   virtual ~RoundHook() = default;
   virtual void on_round(const MultiMachine& mm, std::uint64_t round) = 0;
+  /// Rounds between on_round calls (default: every round).  A coarser
+  /// interval lets the parallel engine keep full-size lookahead windows
+  /// instead of opening a barrier at every round.  Must be >= 1 and
+  /// constant for the duration of a run.
+  virtual std::uint64_t round_interval() const { return 1; }
 };
 
 class MultiMachine : public NetworkPort, private net::DeliverySink {
@@ -72,6 +96,30 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
     /// Interpreter engine for every node (perf knob; bit-identical results
     /// either way — see mdp::DispatchKind).
     DispatchKind dispatch = DispatchKind::Decoded;
+    /// Node-field shift of global user addresses (mem::NodeCodec).  0
+    /// auto-selects: the seed layout (24) for <= 256 nodes, the widest
+    /// narrower shift that fits otherwise.  Explicit values must admit
+    /// num_nodes (mem::max_nodes_for_shift).
+    std::uint32_t node_shift = 0;
+    /// Shard workers for the conservatively-synchronized parallel engine
+    /// (mdp/parmulti.cpp).  0 (default) runs the classic serial loop —
+    /// the bit-identical baseline.  >= 1 runs lookahead windows with that
+    /// many workers; results are bit-identical to serial.  Falls back to
+    /// the serial loop (parallel_stats().engaged == false) when the
+    /// network has no lookahead or a flow probe / trace sink is attached
+    /// to any node.
+    unsigned threads = 0;
+  };
+
+  /// What the windowed engine did during run() (all zero after a serial
+  /// run).  barriers counts worker rendezvous points (two per window);
+  /// window_limit is the network lookahead bound the windows were cut to.
+  struct ParallelStats {
+    bool engaged = false;
+    unsigned threads = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t window_limit = 0;
   };
 
   MultiMachine(const CodeImage& image, Config cfg);
@@ -107,6 +155,11 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
   /// Per-node idle/queue state captured when run() stopped on global
   /// deadlock; empty otherwise.
   const std::string& deadlock_report() const { return deadlock_report_; }
+  /// Windowed-engine execution report (all zero after a serial run).
+  const ParallelStats& parallel_stats() const { return par_stats_; }
+  /// The node-field shift the ensemble actually runs under (resolved from
+  /// Config::node_shift, 0 = auto).
+  std::uint32_t node_shift() const { return node_shift_; }
 
   // NetworkPort
   bool can_accept(int src_node, int dest_node, Priority p) override;
@@ -121,7 +174,28 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
 
   std::string describe_stuck_state() const;
 
+  /// The classic serial round loop (the equivalence baseline).
+  RunStatus run_serial();
+  /// The conservatively-synchronized windowed engine (mdp/parmulti.cpp).
+  /// Bit-identical to run_serial in every MultiRunResult-visible respect;
+  /// requires net_->lookahead() >= 1 and no per-node trace attachments.
+  RunStatus run_parallel();
+  /// True when run() may use the windowed engine under this configuration.
+  bool parallel_eligible() const;
+
+  /// One SENDE captured during a parallel node phase, committed to the
+  /// network at the window barrier in serial (round, src) order.
+  struct StagedSend {
+    std::uint64_t round = 0;
+    int src = 0;
+    int dest = 0;
+    Priority p = Priority::Low;
+    std::uint64_t flow_id = 0;
+    std::vector<std::uint32_t> words;
+  };
+
   Config cfg_;
+  std::uint32_t node_shift_ = mem::kNodeShiftDefault;
   std::vector<std::unique_ptr<Machine>> nodes_;
   std::unique_ptr<net::NetworkModel> net_;
   RoundHook* round_hook_ = nullptr;
@@ -130,6 +204,15 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
   std::uint32_t halt_value_ = 0;
   int halted_node_ = -1;
   std::string deadlock_report_;
+  ParallelStats par_stats_;
+  // Windowed-engine staging state (owned by run_parallel).  While a node
+  // phase runs, send() appends to the sender's per-node staging lane
+  // (each node is owned by exactly one worker, so lanes are race-free)
+  // instead of injecting; staging_round_ carries the round the owning
+  // worker is executing for that node.
+  bool staging_ = false;
+  std::vector<std::vector<StagedSend>> staged_;
+  std::vector<std::uint64_t> staging_round_;
 };
 
 }  // namespace jtam::mdp

@@ -1,0 +1,400 @@
+// The conservatively-synchronized windowed parallel engine behind
+// MultiMachine::run() (Config::threads >= 1): the tentpole path that turns
+// the serial round loop into a parallel discrete-event simulation while
+// staying bit-identical to it in every MultiRunResult-visible respect.
+//
+// Structure of one lookahead window [T, T+W):
+//
+//   coordinator   fire the RoundHook (T is always a hook boundary), then
+//                 materialize every network delivery due inside the window
+//                 — plan_window for models with lookahead > 1, a plain
+//                 step(T) into a collector when W == 1 — and open the
+//                 window barrier;
+//   node phase    each shard (a contiguous node range owned by one worker;
+//                 the coordinator runs shard 0 itself) sweeps rounds T,
+//                 T+1, ...: applies its nodes' due deliveries in the
+//                 planned order, then steps each non-idle node one
+//                 instruction, snapshotting its counters first.  SENDEs
+//                 are parked in per-node staging lanes (MultiMachine::send)
+//                 instead of touching the network;
+//   barrier       workers rendezvous; the coordinator then resolves the
+//                 window serially: pick the halt winner (smallest
+//                 (round, node) — exactly the node the serial sweep sees
+//                 first), roll overrun nodes back to their snapshots,
+//                 detect global deadlock, commit network stats
+//                 (commit_window) and inject the surviving staged sends in
+//                 serial (round, src) order with their staged round as
+//                 `now`.
+//
+// W is bounded by the network's conservative lookahead (net::NetworkModel::
+// lookahead), by the distance to the next RoundHook boundary, and by the
+// remaining round budget, so every delivery inside a window is determined
+// before it opens and hooks only ever observe exact serial start-of-round
+// states from the run() caller's thread.
+//
+// What "bit-identical" covers — and what it deliberately does not: rounds,
+// halt value and node, message count, per-node instruction and stall
+// counters, and the network's NetStats all match the serial loop exactly
+// (tests/parmulti_test.cpp).  Nodes that overran a mid-window halt are
+// rolled back through their counter snapshots; their memory words and
+// queue contents may retain traces of the discarded rounds, which is
+// invisible to results because the workloads' I-structure discipline makes
+// data words write-once and nothing reads ensemble state after a halt.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "mdp/multi.h"
+#include "support/error.h"
+#include "support/thread_pool.h"
+
+namespace jtam::mdp {
+
+namespace {
+
+constexpr std::uint64_t kNoHalt = ~std::uint64_t{0};
+
+/// Windows larger than this gain nothing (node work dominates) but cost
+/// snapshot-grid memory, so very high-latency ideal wires are clamped.
+constexpr std::uint64_t kMaxWindowRounds = 1024;
+
+/// Spin briefly, then yield: barriers are microseconds apart when shards
+/// are balanced, but on an oversubscribed host (or a 1-CPU one) the yield
+/// keeps the spinners from starving the shard that is still working.
+template <typename Pred>
+void spin_until(const Pred& pred) {
+  unsigned spins = 0;
+  while (!pred()) {
+    if (++spins >= 64) std::this_thread::yield();
+  }
+}
+
+/// Adapts one serial net step into the planned-delivery form the node
+/// phase applies.  Used when W == 1: the model keeps its own stats inside
+/// step(), so the hop/latency fields here are never read.
+struct RoundCollector final : net::DeliverySink {
+  std::uint64_t round = 0;
+  std::vector<net::NetworkModel::PlannedDelivery>* out = nullptr;
+  void deliver(int dest, Priority p,
+               std::span<const std::uint32_t> words) override {
+    out->push_back(net::NetworkModel::PlannedDelivery{
+        round, dest, p, {words.begin(), words.end()}, 0, 0, 0});
+  }
+};
+
+/// Per-shard working state.  Cache-line aligned so one worker's snapshot
+/// and progress writes never false-share with a sibling's.
+struct alignas(64) Shard {
+  int begin = 0;  // node id range [begin, end)
+  int end = 0;
+  /// (round-in-window, node) grids; `ran` marks which snapshot cells hold
+  /// the pre-execution counters a halt rollback may need.
+  std::vector<Machine::CounterSnapshot> snap;
+  std::vector<std::uint8_t> ran;
+  std::vector<std::uint8_t> progress;  // any node stepped, per round
+  std::uint64_t halt_round = kNoHalt;  // this shard's halt candidate
+  int halt_node = -1;
+  std::exception_ptr error;
+};
+
+/// Barrier + broadcast state shared by the coordinator and the workers.
+struct Control {
+  std::atomic<std::uint64_t> epoch{0};   // bumped to release a window
+  std::atomic<unsigned> arrived{0};      // workers done with the window
+  std::atomic<bool> stop{false};
+  /// Smallest halt round seen so far, published so sibling shards stop
+  /// producing rounds a rollback would discard anyway.  Purely an
+  /// optimization: a stale read only costs wasted (rolled-back) work.
+  std::atomic<std::uint64_t> halt_hint{kNoHalt};
+};
+
+}  // namespace
+
+RunStatus MultiMachine::run_parallel() {
+  const int n_nodes = cfg_.num_nodes;
+  const unsigned n_shards =
+      std::min(cfg_.threads, static_cast<unsigned>(n_nodes));
+  const std::uint64_t hook_every =
+      round_hook_ != nullptr ? round_hook_->round_interval() : 0;
+  JTAM_CHECK(round_hook_ == nullptr || hook_every >= 1,
+             "RoundHook::round_interval must be >= 1");
+  const std::uint64_t wmax =
+      std::min(net_->lookahead(), kMaxWindowRounds);
+
+  par_stats_.engaged = true;
+  par_stats_.threads = n_shards;
+  par_stats_.window_limit = wmax;
+
+  staged_.assign(static_cast<std::size_t>(n_nodes), {});
+  staging_round_.assign(static_cast<std::size_t>(n_nodes), 0);
+  staging_ = true;
+  struct StagingReset {
+    MultiMachine* mm;
+    ~StagingReset() {
+      mm->staging_ = false;
+      mm->staged_.clear();
+      mm->staging_round_.clear();
+    }
+  } staging_reset{this};
+
+  // Contiguous shard ranges, sized within one node of each other.
+  std::vector<Shard> shards(n_shards);
+  {
+    const int base = n_nodes / static_cast<int>(n_shards);
+    const int rem = n_nodes % static_cast<int>(n_shards);
+    int at = 0;
+    for (unsigned s = 0; s < n_shards; ++s) {
+      shards[s].begin = at;
+      at += base + (static_cast<int>(s) < rem ? 1 : 0);
+      shards[s].end = at;
+      const std::size_t cells =
+          static_cast<std::size_t>(wmax) *
+          static_cast<std::size_t>(shards[s].end - shards[s].begin);
+      shards[s].snap.resize(cells);
+      shards[s].ran.assign(cells, 0);
+      shards[s].progress.assign(static_cast<std::size_t>(wmax), 0);
+    }
+  }
+
+  // Window broadcast: written by the coordinator before the epoch bump
+  // (release), read by workers after the acquire — never touched while a
+  // node phase is in flight.
+  Control ctrl;
+  std::uint64_t win_from = 0;
+  std::uint64_t win_rounds = 0;
+  std::vector<net::NetworkModel::PlannedDelivery> planned;
+
+  auto run_shard = [&](Shard& sh) {
+    const std::uint64_t wfrom = win_from;
+    const std::uint64_t w = win_rounds;
+    const int count = sh.end - sh.begin;
+    sh.halt_round = kNoHalt;
+    sh.halt_node = -1;
+    std::fill(sh.ran.begin(),
+              sh.ran.begin() + static_cast<std::ptrdiff_t>(w * count), 0);
+    std::fill(sh.progress.begin(),
+              sh.progress.begin() + static_cast<std::ptrdiff_t>(w), 0);
+    std::size_t cur = 0;  // planned[] is round-ascending: one pass suffices
+    for (std::uint64_t r = wfrom; r < wfrom + w; ++r) {
+      // A sibling shard halted at an earlier round: everything past it is
+      // rolled back at the barrier, so stop producing it.
+      if (r > ctrl.halt_hint.load(std::memory_order_relaxed)) break;
+      while (cur < planned.size() && planned[cur].round < r) ++cur;
+      for (std::size_t i = cur; i < planned.size() && planned[i].round == r;
+           ++i) {
+        const auto& d = planned[i];
+        if (d.dest >= sh.begin && d.dest < sh.end) {
+          nodes_[static_cast<std::size_t>(d.dest)]->deliver(d.p, d.words);
+        }
+      }
+      const std::size_t row = static_cast<std::size_t>(r - wfrom) *
+                              static_cast<std::size_t>(count);
+      bool prog = false;
+      for (int n = sh.begin; n < sh.end; ++n) {
+        Machine& m = *nodes_[static_cast<std::size_t>(n)];
+        if (m.is_idle()) continue;
+        prog = true;
+        const std::size_t cell = row + static_cast<std::size_t>(n - sh.begin);
+        sh.snap[cell] = m.save_counters();
+        sh.ran[cell] = 1;
+        staging_round_[static_cast<std::size_t>(n)] = r;
+        if (m.run_steps(1) == RunStatus::Halted) {
+          sh.progress[r - wfrom] = 1;
+          sh.halt_round = r;
+          sh.halt_node = n;
+          std::uint64_t hint = ctrl.halt_hint.load(std::memory_order_relaxed);
+          while (r < hint && !ctrl.halt_hint.compare_exchange_weak(
+                                 hint, r, std::memory_order_relaxed)) {
+          }
+          // The serial sweep stops mid-round here: this shard's later
+          // nodes and rounds must not run at all.
+          return;
+        }
+      }
+      sh.progress[r - wfrom] = prog ? 1 : 0;
+    }
+  };
+
+  auto guarded_shard = [&](Shard& sh) {
+    try {
+      run_shard(sh);
+    } catch (...) {
+      sh.error = std::current_exception();
+      // Tell sibling shards to stop wasting the window; the coordinator
+      // rethrows before the hint is ever read as a halt.
+      ctrl.halt_hint.store(0, std::memory_order_relaxed);
+    }
+  };
+
+  const unsigned n_workers = n_shards - 1;
+  support::ThreadPool pool(n_workers);
+  // Destroyed before `pool`, so its epoch bump releases every parked
+  // worker to observe `stop` and return — on normal exit and unwind alike.
+  struct WorkerRelease {
+    Control* c;
+    ~WorkerRelease() {
+      c->stop.store(true, std::memory_order_relaxed);
+      c->epoch.fetch_add(1, std::memory_order_release);
+    }
+  } worker_release{&ctrl};
+  for (unsigned s = 1; s < n_shards; ++s) {
+    pool.submit([&ctrl, &guarded_shard, &shards, s] {
+      std::uint64_t seen = 0;
+      while (true) {
+        spin_until([&] {
+          return ctrl.epoch.load(std::memory_order_acquire) != seen;
+        });
+        seen = ctrl.epoch.load(std::memory_order_acquire);
+        if (ctrl.stop.load(std::memory_order_relaxed)) return;
+        guarded_shard(shards[s]);
+        ctrl.arrived.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+
+  RoundCollector collector;
+  std::vector<StagedSend> commit;
+
+  std::uint64_t from = 0;
+  while (from < cfg_.max_rounds) {
+    rounds_ = from;
+    if (round_hook_ != nullptr && from % hook_every == 0) {
+      round_hook_->on_round(*this, from);
+    }
+    std::uint64_t w = std::min(wmax, cfg_.max_rounds - from);
+    if (hook_every > 0) {
+      const std::uint64_t next_hook = (from / hook_every + 1) * hook_every;
+      w = std::min(w, next_hook - from);
+    }
+
+    planned.clear();
+    if (w == 1) {
+      // One round of lookahead: the model's own step at T is exact — only
+      // its deliveries are rerouted through the collector for the shards.
+      collector.round = from;
+      collector.out = &planned;
+      net_->step(from, collector);
+    } else {
+      net_->plan_window(from, w, planned);
+    }
+
+    // --- node phase -----------------------------------------------------
+    win_from = from;
+    win_rounds = w;
+    ctrl.halt_hint.store(kNoHalt, std::memory_order_relaxed);
+    if (n_workers > 0) ctrl.epoch.fetch_add(1, std::memory_order_release);
+    guarded_shard(shards[0]);
+    if (n_workers > 0) {
+      spin_until([&] {
+        return ctrl.arrived.load(std::memory_order_acquire) == n_workers;
+      });
+      ctrl.arrived.store(0, std::memory_order_relaxed);
+      par_stats_.barriers += 2;
+    }
+    ++par_stats_.windows;
+
+    // --- serial window resolution ---------------------------------------
+    for (const Shard& sh : shards) {
+      if (sh.error) std::rethrow_exception(sh.error);
+    }
+
+    // Halt winner: the smallest (round, node) candidate is exactly the
+    // node the serial round-major, node-minor sweep would see halt first.
+    std::uint64_t halt_r = kNoHalt;
+    int halt_n = -1;
+    for (const Shard& sh : shards) {
+      if (sh.halt_round < halt_r ||
+          (sh.halt_round == halt_r && sh.halt_node < halt_n)) {
+        halt_r = sh.halt_round;
+        halt_n = sh.halt_node;
+      }
+    }
+
+    // Merge the staging lanes into serial injection order.  Each lane is
+    // already round-ascending and a node stages at most one send per round
+    // (one instruction), so (round, src) keys are unique.
+    commit.clear();
+    for (auto& lane : staged_) {
+      for (auto& s : lane) commit.push_back(std::move(s));
+      lane.clear();
+    }
+    std::sort(commit.begin(), commit.end(),
+              [](const StagedSend& a, const StagedSend& b) {
+                return a.round != b.round ? a.round < b.round : a.src < b.src;
+              });
+
+    if (halt_n >= 0) {
+      // Rewind every node to its serial stopping point: node halt_n's HALT
+      // ends the round sweep mid-pass, so nodes above it rewind to before
+      // round halt_r and nodes below it keep that round but nothing later.
+      // Restoring the earliest overrun snapshot undoes all later steps at
+      // once — the counters are monotonic within the window.
+      for (Shard& sh : shards) {
+        const std::size_t count = static_cast<std::size_t>(sh.end - sh.begin);
+        for (int n = sh.begin; n < sh.end; ++n) {
+          const std::uint64_t bad = n > halt_n ? halt_r : halt_r + 1;
+          for (std::uint64_t r = bad; r < from + w; ++r) {
+            const std::size_t cell =
+                static_cast<std::size_t>(r - from) * count +
+                static_cast<std::size_t>(n - sh.begin);
+            if (sh.ran[cell]) {
+              nodes_[static_cast<std::size_t>(n)]->restore_counters(
+                  sh.snap[cell]);
+              break;
+            }
+          }
+        }
+      }
+      if (w > 1) net_->commit_window(from, halt_r, planned);
+      for (const StagedSend& s : commit) {
+        // Sorted order: the first overrun send ends the committed prefix.
+        if (s.round > halt_r || (s.round == halt_r && s.src > halt_n)) break;
+        ++messages_;
+        net_->inject(s.src, s.dest, s.p, s.words, s.round, s.flow_id);
+      }
+      rounds_ = halt_r;
+      halt_value_ = nodes_[static_cast<std::size_t>(halt_n)]->halt_value();
+      halted_node_ = halt_n;
+      return RunStatus::Halted;
+    }
+
+    // Global deadlock: a round where no shard stepped a node and nothing
+    // was in flight — not on the wire, not planned for a later round, not
+    // parked in a staging lane.  Idleness is absorbing inside a window
+    // (only a delivery can wake a node), so the first such round is where
+    // the serial loop would have stopped, and nothing ran after it.
+    std::uint64_t dead_r = kNoHalt;
+    for (std::uint64_t r = from; r < from + w && dead_r == kNoHalt; ++r) {
+      bool busy = false;
+      for (const Shard& sh : shards) busy = busy || sh.progress[r - from] != 0;
+      busy = busy || !net_->idle();
+      busy = busy || (w > 1 && !planned.empty() && planned.back().round > r);
+      busy = busy || (!commit.empty() && commit.front().round <= r);
+      if (!busy) dead_r = r;
+    }
+    if (dead_r != kNoHalt) {
+      JTAM_CHECK(commit.empty(), "staged sends at global deadlock");
+      if (w > 1) net_->commit_window(from, dead_r, planned);
+      rounds_ = dead_r;
+      deadlock_report_ = describe_stuck_state();
+      return RunStatus::Deadlock;
+    }
+
+    // The window completed: charge the network for every round it covered
+    // and inject the staged sends in serial (round, src) order, each with
+    // the round it was staged in as `now`.
+    if (w > 1) net_->commit_window(from, from + w - 1, planned);
+    for (const StagedSend& s : commit) {
+      ++messages_;
+      net_->inject(s.src, s.dest, s.p, s.words, s.round, s.flow_id);
+    }
+    from += w;
+  }
+  rounds_ = cfg_.max_rounds;
+  return RunStatus::Budget;
+}
+
+}  // namespace jtam::mdp

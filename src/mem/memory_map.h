@@ -77,4 +77,75 @@ inline bool in_queue(Addr a) {
   return a >= kLowQueueBase && a < kHighQueueBase + kQueueBytes;
 }
 
+// --- Multi-node global addressing ----------------------------------------
+// A multi-node ensemble packs the owning node id into the high bits of a
+// user-data address.  The seed layout uses shift 24: node = a >> 24,
+// local = a & 0xFFFFFF, which caps ensembles at 256 nodes (node 255's user
+// window must still fit in 32 bits).  J-Machine-scale configs narrow the
+// per-node user window instead: with node-field shift `w < 24` a global
+// user address is
+//
+//     g = kUserDataBase + (node << w) + offset,      offset in [0, 2^w)
+//
+// i.e. node slots of 2^w bytes stacked from kUserDataBase upward, and each
+// node's local user window is [kUserDataBase, kUserDataBase + 2^w) — a
+// prefix of the seed's [kUserDataBase, kUserDataLimit) region, so the
+// system regions, queue addresses, and code layout are untouched.  The
+// NodeCodec below unifies both forms: at shift 24 the subtraction term is
+// zero and node_of/local_of reduce exactly to the seed's `a >> 24` /
+// `a & 0xFFFFFF`.
+//
+// Narrower shifts must keep kUserDataBase (= 1<<22) divisible by 2^w so
+// kernels can extract the node id with a shift and a constant subtract;
+// hence the supported set {24, 22, 21, 20, 19} (23 is excluded).
+
+/// Supported node-field shifts, widest window first.
+inline constexpr Addr kNodeShiftDefault = 24;  // seed layout, <=256 nodes
+
+/// Max node count addressable at shift `w`.  At the seed shift 24 node
+/// slots of 2^24 bytes stack from address 0 (the user window is an offset
+/// inside the slot), giving 256; at narrower shifts slots of 2^w stack
+/// from kUserDataBase upward.  The bound also makes the codec sound: any
+/// address below kUserDataBase underflows node_of to >= this value, so it
+/// can never pass a legal node's ownership check.
+inline constexpr std::uint64_t max_nodes_for_shift(Addr w) {
+  const std::uint64_t sub = w == 24 ? 0 : kUserDataBase;
+  return ((std::uint64_t{1} << 32) - sub) >> w;
+}
+
+/// Smallest disturbance shift for an ensemble of `nodes`: 24 (the seed
+/// layout, bit-identical) whenever it fits, else the widest narrower shift
+/// whose address space holds `nodes` slots.  Throws via the caller's range
+/// check for nodes > max_nodes_for_shift(19) (= 8184).
+inline constexpr Addr node_shift_for_nodes(int nodes) {
+  if (nodes <= 256) return 24;
+  for (Addr w : {Addr{22}, Addr{21}, Addr{20}, Addr{19}}) {
+    if (static_cast<std::uint64_t>(nodes) <= max_nodes_for_shift(w)) return w;
+  }
+  return 0;  // unrepresentable; callers JTAM_CHECK against this
+}
+
+/// Node/local split of a global user-data address at a given shift.
+/// All three accessors reduce to the seed formulas at shift 24.
+struct NodeCodec {
+  Addr shift = kNodeShiftDefault;
+  Addr sub = 0;           // kUserDataBase for shift < 24, 0 for seed shift
+  Addr mask = 0xFF'FFFF;  // (1 << shift) - 1
+  Addr user_limit = kUserDataLimit;  // per-node local user window end
+
+  constexpr NodeCodec() = default;
+  explicit constexpr NodeCodec(Addr w)
+      : shift(w),
+        sub(w == 24 ? 0 : kUserDataBase),
+        mask((Addr{1} << w) - 1),
+        user_limit(w == 24 ? kUserDataLimit
+                           : kUserDataBase + (Addr{1} << w)) {}
+
+  constexpr Addr node_of(Addr g) const { return (g - sub) >> shift; }
+  constexpr Addr local_of(Addr g) const { return sub + ((g - sub) & mask); }
+  constexpr Addr global_of(Addr node, Addr local) const {
+    return (node << shift) + local;
+  }
+};
+
 }  // namespace jtam::mem

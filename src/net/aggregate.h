@@ -87,6 +87,13 @@ class AggregateNetwork final : public NetworkModel,
   bool idle() const override;
   const NetStats& stats() const override;
 
+  /// Windowed execution: one round of lookahead when the inner model has
+  /// any (our can_accept reads per-source buffer state plus the inner
+  /// model's per-source answer), none when the inner model opts out.
+  std::uint64_t lookahead() const override {
+    return inner_->lookahead() == 0 ? 0 : 1;
+  }
+
   const NetworkModel& inner() const { return *inner_; }
 
  private:

@@ -38,4 +38,45 @@ void IdealNetwork::step(std::uint64_t now, DeliverySink& sink) {
   }
 }
 
+std::uint64_t IdealNetwork::lookahead() const {
+  // Bounded wire: can_accept reads the global in-flight count, which any
+  // node's injection changes — no per-source guarantee, no lookahead.
+  if (cfg_.max_inflight_messages != 0) return 0;
+  // Unbounded wire: a message injected at round T is delivered at the
+  // step of round >= T + max(latency, 1) (inject happens after the
+  // round's step even at latency 0), so every delivery in the next
+  // max(latency, 1) rounds is determined by injections before T.
+  return cfg_.latency > 1 ? cfg_.latency : 1;
+}
+
+void IdealNetwork::plan_window(std::uint64_t from, std::uint64_t rounds,
+                               std::vector<PlannedDelivery>& out) {
+  // Pop everything due in rounds [from, from + rounds) in wire order —
+  // deliver_cycle is nondecreasing (FIFO + constant latency), so one
+  // front-to-back sweep yields (round ascending, serial delivery order
+  // within each round), exactly the order step() would deliver them.
+  const std::uint64_t end = from + rounds;
+  while (!wire_.empty() && wire_.front().deliver_cycle < end) {
+    InFlight& m = wire_.front();
+    const std::uint64_t due =
+        m.deliver_cycle < from ? from : m.deliver_cycle;
+    out.push_back(PlannedDelivery{due, m.dest, m.p, std::move(m.words),
+                                  m.flow_id, 0, cfg_.latency});
+    wire_.pop_front();
+  }
+}
+
+void IdealNetwork::commit_window(std::uint64_t from, std::uint64_t stop,
+                                 const std::vector<PlannedDelivery>& planned) {
+  // The serial loop stepped the wire once per round through `stop`
+  // inclusive, and counted exactly the deliveries due by then.
+  stats_.cycles += stop - from + 1;
+  for (const PlannedDelivery& d : planned) {
+    if (d.round > stop) break;  // planned is round-ascending
+    ++stats_.messages;
+    stats_.hops.add(d.hops);
+    stats_.latency.add(d.latency);
+  }
+}
+
 }  // namespace jtam::net

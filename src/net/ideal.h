@@ -44,6 +44,16 @@ class IdealNetwork final : public NetworkModel {
   bool idle() const override { return wire_.empty(); }
   const NetStats& stats() const override { return stats_; }
 
+  // Windowed execution: the unbounded wire has max(latency, 1) rounds of
+  // lookahead and splits step() into plan/commit so a mid-window halt
+  // still produces exact serial NetStats; the bounded wire opts out
+  // (can_accept reads the global in-flight count).
+  std::uint64_t lookahead() const override;
+  void plan_window(std::uint64_t from, std::uint64_t rounds,
+                   std::vector<PlannedDelivery>& out) override;
+  void commit_window(std::uint64_t from, std::uint64_t stop,
+                     const std::vector<PlannedDelivery>& planned) override;
+
  private:
   struct InFlight {
     std::uint64_t deliver_cycle;

@@ -141,8 +141,55 @@ class NetworkModel {
 
   virtual const NetStats& stats() const = 0;
 
+  // --- windowed execution (the parallel MultiMachine engine) -------------
+  /// Conservative lookahead L: given every injection before round T, all
+  /// deliveries in rounds [T, T+L) are already fully determined, so the
+  /// engine may execute L rounds of node work between barriers.  A model
+  /// advertising L >= 1 additionally guarantees that can_accept(src, ...)
+  /// depends only on per-`src` state — one source's injection at round T
+  /// never changes another source's answer at round T — which is what
+  /// lets workers query backpressure concurrently while injections are
+  /// staged (mdp::MultiMachine::send).  Return 0 to opt out: the engine
+  /// falls back to the serial loop (e.g. the bounded ideal wire, whose
+  /// can_accept reads the global in-flight count).  The default 1 is
+  /// correct for any model that honors the per-source can_accept rule:
+  /// the engine then steps the model once per round on the coordinator,
+  /// exactly like the serial loop.
+  virtual std::uint64_t lookahead() const { return 1; }
+
+  /// One delivery popped by plan_window: due at round `round`, carrying
+  /// the hop/latency values its stats commit will add to the histograms.
+  struct PlannedDelivery {
+    std::uint64_t round = 0;
+    int dest = 0;
+    mdp::Priority p = mdp::Priority::Low;
+    std::vector<std::uint32_t> words;
+    std::uint64_t flow_id = 0;
+    std::uint32_t hops = 0;
+    std::uint64_t latency = 0;
+  };
+
+  /// Models with lookahead() > 1 split step() into a plan/commit pair so a
+  /// mid-window halt still yields exact serial NetStats.  plan_window pops
+  /// every delivery due in rounds [T, T+W) into `out` in the serial
+  /// delivery order WITHOUT touching stats(); the engine applies them to
+  /// the destination queues as their rounds execute, then calls
+  /// commit_window(T, stop) with the last round that actually ran —
+  /// charging cycles for rounds [T, stop] and message/hop/latency stats
+  /// for exactly the deliveries with round <= stop, bit-identical to
+  /// stepping the serial loop through `stop`.  Unreachable for models that
+  /// keep the default lookahead of 0 or 1 (the engine uses plain step()).
+  virtual void plan_window(std::uint64_t from, std::uint64_t rounds,
+                           std::vector<PlannedDelivery>& out);
+  virtual void commit_window(std::uint64_t from, std::uint64_t stop,
+                             const std::vector<PlannedDelivery>& planned);
+
   /// Attach a causal-flow observer (null detaches).
   void set_flow_observer(FlowObserver* o) { flow_ = o; }
+  /// True when a flow observer is attached (the parallel engine falls
+  /// back to the serial loop so observer callbacks stay coordinator-only
+  /// and in serial order).
+  bool has_flow_observer() const { return flow_ != nullptr; }
 
  protected:
   FlowObserver* flow_ = nullptr;

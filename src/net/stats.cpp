@@ -1,9 +1,22 @@
 #include <sstream>
 
 #include "net/network.h"
+#include "support/error.h"
 #include "support/text.h"
 
 namespace jtam::net {
+
+void NetworkModel::plan_window(std::uint64_t /*from*/,
+                               std::uint64_t /*rounds*/,
+                               std::vector<PlannedDelivery>& /*out*/) {
+  throw Error("plan_window is only defined for models with lookahead > 1");
+}
+
+void NetworkModel::commit_window(
+    std::uint64_t /*from*/, std::uint64_t /*stop*/,
+    const std::vector<PlannedDelivery>& /*planned*/) {
+  throw Error("commit_window is only defined for models with lookahead > 1");
+}
 
 bool LinkStats::operator==(const LinkStats& o) const {
   return src == o.src && dst == o.dst && dim == o.dim && dir == o.dir &&

@@ -22,7 +22,8 @@ namespace jtam::rt {
 using namespace mdp;  // NOLINT(build/namespaces) — assembler DSL
 
 void emit_istructure_handlers(Assembler& a, KernelRefs& refs,
-                              Priority reply_queue, bool multi_node) {
+                              Priority reply_queue, bool multi_node,
+                              std::uint32_t node_shift) {
   // Open a reply message routed to the home node of the frame in `frame`.
   auto begin_reply = [&](Reg frame) {
     if (reply_queue == Priority::High) {
@@ -31,7 +32,7 @@ void emit_istructure_handlers(Assembler& a, KernelRefs& refs,
       a.sendl();
     }
     if (multi_node) {
-      a.alui(Op::Shri, R5, frame, 24, "reply destination node");
+      emit_node_of(a, R5, frame, node_shift, "reply destination node");
       a.sendd(R5);
     }
   };

@@ -45,7 +45,27 @@ struct KernelRefs {
 struct KernelOptions {
   BackendKind backend = BackendKind::ActiveMessages;
   bool multi_node = false;  // route replies by the frame's node field
+  /// Node-field shift of global user addresses (mem::NodeCodec).  24 (the
+  /// seed layout) extracts the node with a single SHRI; narrower shifts
+  /// need one extra SUBI (see emit_node_of).
+  std::uint32_t node_shift = mem::kNodeShiftDefault;
 };
+
+/// Emit "dst = owning node of the global user address in src".  At the
+/// seed shift 24 this is the single `SHRI dst, src, 24` the seed kernels
+/// used (bit-identical instruction stream); at narrower shifts the user
+/// window base shifts into the node field and one SUBI strips it
+/// (kUserDataBase is divisible by 2^shift for every supported shift).
+inline void emit_node_of(mdp::Assembler& a, mdp::Reg dst, mdp::Reg src,
+                         std::uint32_t node_shift, const char* note) {
+  a.alui(mdp::Op::Shri, dst, src, static_cast<std::int32_t>(node_shift),
+         note);
+  if (node_shift != mem::kNodeShiftDefault) {
+    a.alui(mdp::Op::Subi, dst, dst,
+           static_cast<std::int32_t>(mem::kUserDataBase >> node_shift),
+           "strip user-data base from node field");
+  }
+}
 
 /// Queue that carries messages addressed to user inlets: the high-priority
 /// queue under Active Messages (inlets are interrupt-style handlers), the
@@ -60,7 +80,9 @@ KernelRefs emit_kernel(mdp::Assembler& a, const KernelOptions& opts);
 void emit_fp_library(mdp::Assembler& a, KernelRefs& refs);
 void emit_istructure_handlers(mdp::Assembler& a, KernelRefs& refs,
                               mdp::Priority reply_queue,
-                              bool multi_node = false);
+                              bool multi_node = false,
+                              std::uint32_t node_shift =
+                                  mem::kNodeShiftDefault);
 void emit_am_kernel(mdp::Assembler& a, KernelRefs& refs);
 void emit_md_kernel(mdp::Assembler& a, KernelRefs& refs);
 

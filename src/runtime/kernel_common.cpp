@@ -24,7 +24,8 @@ namespace {
 // Pops the codeblock's free list when possible, else bump-allocates; zeroes
 // the header; copies the entry-count template from the descriptor table.
 void emit_falloc(Assembler& a, KernelRefs& refs, BackendKind backend,
-                 Priority reply_queue, bool multi_node) {
+                 Priority reply_queue, bool multi_node,
+                 std::uint32_t node_shift) {
   refs.rt_falloc = a.here("rt_falloc");
   a.mark(MarkKind::SysStart);
   LabelRef reuse = a.label();
@@ -75,7 +76,7 @@ void emit_falloc(Assembler& a, KernelRefs& refs, BackendKind backend,
     a.sendl();
   }
   if (multi_node) {
-    a.alui(Op::Shri, R5, R1, 24, "reply destination node");
+    emit_node_of(a, R5, R1, node_shift, "reply destination node");
     a.sendd(R5);
   }
   a.sendw(R0);
@@ -105,7 +106,7 @@ void emit_ffree(Assembler& a, KernelRefs& refs) {
 //   message: [rt_halloc, size_bytes, reply_inlet, reply_frame]
 //   reply:   [reply_inlet, reply_frame, base]
 void emit_halloc(Assembler& a, KernelRefs& refs, Priority reply_queue,
-                 bool multi_node) {
+                 bool multi_node, std::uint32_t node_shift) {
   refs.rt_halloc = a.here("rt_halloc");
   a.mark(MarkKind::SysStart);
   a.ldm(R0, 4, "size in bytes");
@@ -120,7 +121,7 @@ void emit_halloc(Assembler& a, KernelRefs& refs, Priority reply_queue,
     a.sendl();
   }
   if (multi_node) {
-    a.alui(Op::Shri, R5, R3, 24, "reply destination node");
+    emit_node_of(a, R5, R3, node_shift, "reply destination node");
     a.sendd(R5);
   }
   a.sendw(R2);
@@ -164,10 +165,12 @@ KernelRefs emit_kernel(Assembler& a, const KernelOptions& opts) {
   const Priority replies = inlet_queue(opts.backend);
 
   emit_halt(a, refs);
-  emit_falloc(a, refs, opts.backend, replies, opts.multi_node);
+  emit_falloc(a, refs, opts.backend, replies, opts.multi_node,
+              opts.node_shift);
   emit_ffree(a, refs);
-  emit_halloc(a, refs, replies, opts.multi_node);
-  emit_istructure_handlers(a, refs, replies, opts.multi_node);
+  emit_halloc(a, refs, replies, opts.multi_node, opts.node_shift);
+  emit_istructure_handlers(a, refs, replies, opts.multi_node,
+                           opts.node_shift);
   emit_fp_library(a, refs);
   if (opts.backend == BackendKind::MessageDriven) {
     emit_md_kernel(a, refs);

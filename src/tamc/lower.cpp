@@ -125,10 +125,11 @@ class BodyGen {
   }
 
   /// Multi-node: route the composing message to the node owning the
-  /// address/frame in `r` (its bits 24+).  No-op on single-node builds.
+  /// address/frame in `r` (its node field, mem::NodeCodec).  No-op on
+  /// single-node builds.
   void route_by(Reg r) {
     if (!env_.opt.multi_node) return;
-    env_.a.alui(Op::Shri, R5, r, 24, "destination node");
+    rt::emit_node_of(env_.a, R5, r, env_.opt.node_shift, "destination node");
     env_.a.sendd(R5);
   }
 
@@ -580,7 +581,7 @@ CompiledProgram compile(const tam::Program& prog, const CompileOptions& opts) {
   Assembler a;
   a.section(Section::SysCode);
   rt::KernelRefs kernel =
-      rt::emit_kernel(a, {opts.backend, opts.multi_node});
+      rt::emit_kernel(a, {opts.backend, opts.multi_node, opts.node_shift});
 
   const MdOptPlan plan = analyze_md_opts(
       prog, opts.backend == rt::BackendKind::MessageDriven ? opts.md

@@ -42,6 +42,11 @@ struct CompileOptions {
   /// SENDDR for frame placement) so the program runs on mdp::MultiMachine.
   /// Single-node output is bit-identical with this off.
   bool multi_node = false;
+  /// Node-field shift of the target ensemble's global user addresses
+  /// (mem::NodeCodec).  The default 24 emits the seed's single-SHRI node
+  /// extraction; narrower shifts add one SUBI to strip the user-data base
+  /// from the node field.  Ignored unless multi_node is set.
+  std::uint32_t node_shift = mem::kNodeShiftDefault;
 };
 
 struct CompiledProgram {

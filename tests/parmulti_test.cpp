@@ -1,0 +1,547 @@
+// Tests for the conservatively-synchronized windowed parallel engine
+// (mdp/parmulti.cpp) and the widened node addressing behind it
+// (mem::NodeCodec):
+//
+//   - serial/parallel bit-identical equivalence across every workload,
+//     back-end, network model, aggregation mode and thread count;
+//   - halt resolution: mid-window halts roll overrun nodes back, the
+//     winner is the serial sweep's (round, node) minimum;
+//   - deadlock and budget-expiry equivalence, including the report text;
+//   - the RoundHook cadence contract: hook rounds are window boundaries,
+//     fire in increasing order from the run() caller's thread, and see
+//     exact serial start-of-round ensemble state;
+//   - the node-field codec: seed identity at shift 24, round trips and
+//     capacity at the narrow shifts, machine-level accept/fault behavior,
+//     and 512..4096-node ensembles end to end.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "mdp/assembler.h"
+#include "mdp/multi.h"
+#include "mem/memory_map.h"
+#include "net/topology.h"
+#include "programs/registry.h"
+#include "support/error.h"
+
+namespace jtam {
+namespace {
+
+programs::Workload small_workload(const std::string& name) {
+  if (name == "mmt") return programs::make_mmt(6);
+  if (name == "qs") return programs::make_quicksort(24);
+  if (name == "dtw") return programs::make_dtw(7);
+  if (name == "paraffins") return programs::make_paraffins(8);
+  if (name == "wavefront") return programs::make_wavefront(8, 2);
+  return programs::make_selection_sort(16);
+}
+
+/// Every measured field must agree exactly; ParallelStats and the flow
+/// trace are execution reports and deliberately excluded.
+void expect_identical(const driver::MultiRunResult& a,
+                      const driver::MultiRunResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.halt_value, b.halt_value);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_EQ(a.injection_stall_cycles, b.injection_stall_cycles);
+  EXPECT_EQ(a.stalled_sends, b.stalled_sends);
+  EXPECT_EQ(a.per_node_instructions, b.per_node_instructions);
+  EXPECT_EQ(a.per_node_injection_stalls, b.per_node_injection_stalls);
+  EXPECT_EQ(a.deadlock_report, b.deadlock_report);
+  EXPECT_TRUE(a.net_stats == b.net_stats)
+      << a.net_stats.summary() << "\n  vs\n" << b.net_stats.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Serial/parallel equivalence matrix
+
+using ParCombo =
+    std::tuple<const char*, rt::BackendKind, net::NetKind, net::AggMode>;
+
+class ParallelEquivalence : public ::testing::TestWithParam<ParCombo> {};
+
+TEST_P(ParallelEquivalence, BitIdenticalAtEveryThreadCount) {
+  const std::string name = std::get<0>(GetParam());
+  driver::RunOptions opts;
+  opts.backend = std::get<1>(GetParam());
+  driver::MultiOptions mo;
+  mo.num_nodes = 4;
+  mo.net = std::get<2>(GetParam());
+  mo.agg = std::get<3>(GetParam());
+  const programs::Workload w = small_workload(name);
+
+  mo.threads = 0;
+  const driver::MultiRunResult serial = driver::run_workload_multi(w, opts, mo);
+  ASSERT_TRUE(serial.ok()) << name << ": " << serial.check_error;
+  EXPECT_FALSE(serial.parallel.engaged);
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    mo.threads = threads;
+    const driver::MultiRunResult par = driver::run_workload_multi(w, opts, mo);
+    ASSERT_TRUE(par.ok()) << name << " T=" << threads << ": "
+                          << par.check_error;
+    EXPECT_TRUE(par.parallel.engaged) << name << " T=" << threads;
+    // Shards never exceed nodes; barriers come two per window once real
+    // workers exist.
+    EXPECT_EQ(par.parallel.threads, std::min(threads, 4u));
+    EXPECT_GE(par.parallel.windows, 1u);
+    if (par.parallel.threads > 1) {
+      EXPECT_EQ(par.parallel.barriers, 2 * par.parallel.windows);
+    } else {
+      EXPECT_EQ(par.parallel.barriers, 0u);
+    }
+    expect_identical(serial, par);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ParallelEquivalence,
+    ::testing::Combine(
+        ::testing::Values("mmt", "qs", "dtw", "paraffins", "wavefront", "ss"),
+        ::testing::Values(rt::BackendKind::MessageDriven,
+                          rt::BackendKind::ActiveMessages),
+        ::testing::Values(net::NetKind::Ideal, net::NetKind::Mesh),
+        ::testing::Values(net::AggMode::Off, net::AggMode::Dest)),
+    [](const ::testing::TestParamInfo<ParCombo>& info) {
+      std::string s = std::get<0>(info.param);
+      s += std::get<1>(info.param) == rt::BackendKind::MessageDriven ? "_MD"
+                                                                     : "_AM";
+      s += std::get<2>(info.param) == net::NetKind::Ideal ? "_ideal" : "_mesh";
+      s += std::get<3>(info.param) == net::AggMode::Off ? "_aggoff" : "_aggon";
+      return s;
+    });
+
+TEST(ParallelEngine, WindowLimitTracksNetworkLookahead) {
+  programs::Workload w = programs::make_mmt(6);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::MultiOptions mo;
+  mo.num_nodes = 4;
+  mo.threads = 4;
+
+  mo.net = net::NetKind::Ideal;  // unbounded wire: latency rounds of slack
+  driver::MultiRunResult ideal = driver::run_workload_multi(w, opts, mo);
+  EXPECT_EQ(ideal.parallel.window_limit, 16u);
+  EXPECT_LT(ideal.parallel.windows, ideal.rounds);
+
+  mo.net = net::NetKind::Mesh;  // cycle-level model: one round per window
+  driver::MultiRunResult mesh = driver::run_workload_multi(w, opts, mo);
+  EXPECT_EQ(mesh.parallel.window_limit, 1u);
+}
+
+TEST(ParallelEngine, FallsBackWhenNetworkHasNoLookahead) {
+  // The bounded ideal wire answers can_accept from the global in-flight
+  // count, so it opts out of windowed execution entirely.
+  programs::Workload w = programs::make_mmt(6);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::MultiOptions mo;
+  mo.num_nodes = 4;
+  mo.max_inflight_messages = 4;
+  mo.threads = 0;
+  const driver::MultiRunResult serial = driver::run_workload_multi(w, opts, mo);
+  ASSERT_TRUE(serial.ok()) << serial.check_error;
+  mo.threads = 4;
+  const driver::MultiRunResult par = driver::run_workload_multi(w, opts, mo);
+  ASSERT_TRUE(par.ok()) << par.check_error;
+  EXPECT_FALSE(par.parallel.engaged);
+  expect_identical(serial, par);
+}
+
+TEST(ParallelEngine, FallsBackWhenFlowTracingIsOn) {
+  // Per-instruction flow probes must fire from the coordinator in serial
+  // order, so tracing runs stay on the classic loop.
+  programs::Workload w = programs::make_mmt(6);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::ActiveMessages;
+  driver::MultiOptions mo;
+  mo.num_nodes = 4;
+  mo.net = net::NetKind::Mesh;
+  mo.flow.enabled = true;
+  mo.threads = 8;
+  const driver::MultiRunResult r = driver::run_workload_multi(w, opts, mo);
+  ASSERT_TRUE(r.ok()) << r.check_error;
+  EXPECT_FALSE(r.parallel.engaged);
+  ASSERT_NE(r.flow, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Halt resolution: custom images that stop mid-window
+
+/// One straight-line handler per node: `lengths[n]` ADDIs, then HALT with
+/// a per-node value (100 + node).  Returns the linked image; entry symbol
+/// for node n is "entry<n>".
+mdp::CodeImage staircase_image(const std::vector<int>& lengths) {
+  mdp::Assembler a;
+  a.section(mdp::Section::SysCode);
+  for (std::size_t n = 0; n < lengths.size(); ++n) {
+    a.here("entry" + std::to_string(n));
+    a.movi(mdp::R1, 100 + static_cast<int>(n));
+    for (int i = 0; i < lengths[n]; ++i) {
+      a.alui(mdp::Op::Addi, mdp::R2, mdp::R2, 1);
+    }
+    a.halt(mdp::R1);
+  }
+  return a.link();
+}
+
+struct StairRun {
+  mdp::RunStatus status;
+  std::uint64_t rounds;
+  std::uint32_t halt_value;
+  int halted_node;
+  std::vector<std::uint64_t> per_node_instr;
+};
+
+StairRun run_staircase(const std::vector<int>& lengths, unsigned threads) {
+  const mdp::CodeImage img = staircase_image(lengths);
+  mdp::MultiMachine::Config mc;
+  mc.num_nodes = static_cast<int>(lengths.size());
+  mc.threads = threads;
+  mdp::MultiMachine mm(img, mc);
+  for (std::size_t n = 0; n < lengths.size(); ++n) {
+    std::uint32_t boot[] = {img.symbol("entry" + std::to_string(n))};
+    mm.node(static_cast<int>(n)).inject(mdp::Priority::Low, boot);
+  }
+  StairRun r;
+  r.status = mm.run();
+  r.rounds = mm.rounds();
+  r.halt_value = mm.halt_value();
+  r.halted_node = mm.halted_node();
+  if (threads >= 1) {
+    EXPECT_TRUE(mm.parallel_stats().engaged);
+  }
+  for (int n = 0; n < mc.num_nodes; ++n) {
+    r.per_node_instr.push_back(mm.node(n).instructions_executed());
+  }
+  return r;
+}
+
+void expect_same_stair(const StairRun& a, const StairRun& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.halt_value, b.halt_value);
+  EXPECT_EQ(a.halted_node, b.halted_node);
+  EXPECT_EQ(a.per_node_instr, b.per_node_instr);
+}
+
+TEST(ParallelHalt, MidWindowHaltRollsBackOverrunNodes) {
+  // Node 0 halts a few rounds into a 16-round window while node 1 still
+  // has work: node 1's extra steps must be rewound to the serial stopping
+  // point (the serial sweep ends mid-round at the halt).
+  const std::vector<int> lengths{4, 40};
+  const StairRun serial = run_staircase(lengths, 0);
+  ASSERT_EQ(serial.status, mdp::RunStatus::Halted);
+  EXPECT_EQ(serial.halted_node, 0);
+  EXPECT_EQ(serial.halt_value, 100u);
+  for (unsigned threads : {1u, 2u}) {
+    expect_same_stair(serial, run_staircase(lengths, threads));
+  }
+}
+
+TEST(ParallelHalt, EarliestRoundWinsAcrossShards) {
+  // Node 2 halts first; shards owning nodes 0 and 1 keep running until
+  // the barrier, then everything past node 2's round is discarded.
+  const std::vector<int> lengths{40, 40, 3, 40};
+  const StairRun serial = run_staircase(lengths, 0);
+  ASSERT_EQ(serial.status, mdp::RunStatus::Halted);
+  EXPECT_EQ(serial.halted_node, 2);
+  EXPECT_EQ(serial.halt_value, 102u);
+  for (unsigned threads : {2u, 4u}) {
+    expect_same_stair(serial, run_staircase(lengths, threads));
+  }
+}
+
+TEST(ParallelHalt, SameRoundTieBreaksToLowestNode) {
+  // Two nodes reach HALT at the same round; the serial sweep sees the
+  // lower-numbered node first, and so must the parallel engine.
+  const std::vector<int> lengths{7, 7};
+  const StairRun serial = run_staircase(lengths, 0);
+  ASSERT_EQ(serial.status, mdp::RunStatus::Halted);
+  EXPECT_EQ(serial.halted_node, 0);
+  EXPECT_EQ(serial.halt_value, 100u);
+  for (unsigned threads : {1u, 2u}) {
+    expect_same_stair(serial, run_staircase(lengths, threads));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock and budget equivalence
+
+TEST(ParallelDeadlock, MatchesSerialReportOnBothNetworks) {
+  // One boot message whose handler consumes it and suspends: after round
+  // 0 every node is idle with nothing in flight.
+  mdp::Assembler a;
+  a.section(mdp::Section::SysCode);
+  a.here("entry");
+  a.suspend();
+  const mdp::CodeImage img = a.link();
+
+  for (net::NetKind kind : {net::NetKind::Ideal, net::NetKind::Mesh}) {
+    auto run_once = [&](unsigned threads) {
+      mdp::MultiMachine::Config mc;
+      mc.num_nodes = 4;
+      mc.net = kind;
+      mc.threads = threads;
+      mdp::MultiMachine mm(img, mc);
+      std::uint32_t boot[] = {img.symbol("entry")};
+      mm.node(0).inject(mdp::Priority::Low, boot);
+      const mdp::RunStatus status = mm.run();
+      if (threads >= 1) {
+        EXPECT_TRUE(mm.parallel_stats().engaged);
+      }
+      return std::make_tuple(status, mm.rounds(), mm.messages_sent(),
+                             mm.deadlock_report());
+    };
+    const auto serial = run_once(0);
+    EXPECT_EQ(std::get<0>(serial), mdp::RunStatus::Deadlock);
+    EXPECT_NE(std::get<3>(serial).find("idle"), std::string::npos);
+    for (unsigned threads : {1u, 4u}) {
+      EXPECT_EQ(serial, run_once(threads))
+          << net::net_kind_name(kind) << " T=" << threads;
+    }
+  }
+}
+
+TEST(ParallelBudget, ExpiryMatchesSerialEvenMidWindow) {
+  // 2005 is not a multiple of the 16-round lookahead window, so the last
+  // window is truncated by the budget — rounds must still come out equal.
+  programs::Workload w = programs::make_mmt(6);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  opts.max_instructions = 2005;  // multi-node: the rounds budget
+  driver::MultiOptions mo;
+  mo.num_nodes = 4;
+  mo.threads = 0;
+  const driver::MultiRunResult serial = driver::run_workload_multi(w, opts, mo);
+  EXPECT_EQ(serial.status, mdp::RunStatus::Budget);
+  EXPECT_EQ(serial.rounds, 2005u);
+  for (unsigned threads : {1u, 4u}) {
+    mo.threads = threads;
+    const driver::MultiRunResult par = driver::run_workload_multi(w, opts, mo);
+    EXPECT_TRUE(par.parallel.engaged);
+    expect_identical(serial, par);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RoundHook cadence contract
+
+struct RecordingHook final : mdp::RoundHook {
+  explicit RecordingHook(std::uint64_t iv)
+      : interval(iv), caller(std::this_thread::get_id()) {}
+  void on_round(const mdp::MultiMachine& mm, std::uint64_t round) override {
+    if (std::this_thread::get_id() != caller) from_worker = true;
+    // total_instructions() is a start-of-round ensemble snapshot: under
+    // the windowed engine it must equal the serial value because every
+    // hook round opens a window with all earlier rounds committed.
+    seen.emplace_back(round, mm.total_instructions());
+  }
+  std::uint64_t round_interval() const override { return interval; }
+
+  std::uint64_t interval;
+  std::thread::id caller;
+  bool from_worker = false;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen;
+};
+
+TEST(RoundHookCadence, WindowBoundariesSerialOrderCallerThread) {
+  const std::vector<int> lengths{60, 45, 30, 75};
+  const mdp::CodeImage img = staircase_image(lengths);
+  for (std::uint64_t interval : {std::uint64_t{1}, std::uint64_t{5},
+                                 std::uint64_t{7}}) {
+    auto run_once = [&](unsigned threads, RecordingHook& hook) {
+      mdp::MultiMachine::Config mc;
+      mc.num_nodes = static_cast<int>(lengths.size());
+      mc.threads = threads;
+      mdp::MultiMachine mm(img, mc);
+      for (std::size_t n = 0; n < lengths.size(); ++n) {
+        std::uint32_t boot[] = {img.symbol("entry" + std::to_string(n))};
+        mm.node(static_cast<int>(n)).inject(mdp::Priority::Low, boot);
+      }
+      mm.set_round_hook(&hook);
+      EXPECT_EQ(mm.run(), mdp::RunStatus::Halted);
+      if (threads >= 1) {
+        EXPECT_TRUE(mm.parallel_stats().engaged);
+        // Hook boundaries shrink the windows: an interval below the
+        // 16-round lookahead caps every window at the interval.
+        if (interval < 16) {
+          EXPECT_GE(mm.parallel_stats().windows,
+                    mm.rounds() / std::max<std::uint64_t>(interval, 1));
+        }
+      }
+      return mm.rounds();
+    };
+    RecordingHook serial_hook(interval);
+    const std::uint64_t serial_rounds = run_once(0, serial_hook);
+    ASSERT_FALSE(serial_hook.seen.empty());
+    for (std::size_t i = 0; i < serial_hook.seen.size(); ++i) {
+      EXPECT_EQ(serial_hook.seen[i].first, i * interval);
+    }
+    EXPECT_LE(serial_hook.seen.back().first, serial_rounds);
+
+    for (unsigned threads : {1u, 4u}) {
+      RecordingHook par_hook(interval);
+      const std::uint64_t par_rounds = run_once(threads, par_hook);
+      EXPECT_EQ(par_rounds, serial_rounds);
+      EXPECT_FALSE(par_hook.from_worker)
+          << "hook fired from a shard worker (interval " << interval << ")";
+      EXPECT_EQ(par_hook.seen, serial_hook.seen)
+          << "hook observation diverged at interval " << interval
+          << ", threads " << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node-field codec: seed identity, round trips, capacity
+
+TEST(NodeCodec, SeedShiftIsBitIdentical) {
+  const mem::NodeCodec codec(24);
+  for (mem::Addr g : {0x00400000u, 0x03412345u, 0xFF400000u, 0x80FFFFFCu}) {
+    EXPECT_EQ(codec.node_of(g), g >> 24);
+    EXPECT_EQ(codec.local_of(g), g & 0xFFFFFFu);
+  }
+  EXPECT_EQ(codec.global_of(3, 0x412345u), (3u << 24) | 0x412345u);
+  EXPECT_EQ(codec.user_limit, mem::kUserDataLimit);
+}
+
+TEST(NodeCodec, RoundTripsAtEveryShift) {
+  for (std::uint32_t shift : {24u, 22u, 21u, 20u, 19u}) {
+    const mem::NodeCodec codec(shift);
+    const std::uint64_t max_nodes = mem::max_nodes_for_shift(shift);
+    for (mem::Addr node :
+         {mem::Addr{0}, mem::Addr{1},
+          static_cast<mem::Addr>(max_nodes - 1)}) {
+      for (mem::Addr local :
+           {mem::kUserDataBase, mem::kUserDataBase + 4,
+            codec.user_limit - 4}) {
+        const mem::Addr g = codec.global_of(node, local);
+        EXPECT_EQ(codec.node_of(g), node) << "shift " << shift;
+        EXPECT_EQ(codec.local_of(g), local) << "shift " << shift;
+        EXPECT_GE(codec.local_of(g), mem::kUserDataBase);
+        EXPECT_LT(codec.local_of(g), codec.user_limit);
+      }
+    }
+    // At the narrow shifts sys-data addresses must never decode to a
+    // legal node id (the sub-base underflow wraps past max_nodes); the
+    // seed shift instead excludes sys ranges before the codec runs.
+    if (shift != 24) {
+      EXPECT_GE(codec.node_of(mem::kSysDataBase),
+                static_cast<mem::Addr>(max_nodes));
+    }
+  }
+}
+
+TEST(NodeCodec, CapacityLadder) {
+  EXPECT_EQ(mem::max_nodes_for_shift(24), 256u);
+  EXPECT_EQ(mem::max_nodes_for_shift(22), 1023u);
+  EXPECT_EQ(mem::max_nodes_for_shift(21), 2046u);
+  EXPECT_EQ(mem::max_nodes_for_shift(20), 4092u);
+  EXPECT_EQ(mem::max_nodes_for_shift(19), 8184u);
+
+  EXPECT_EQ(mem::node_shift_for_nodes(1), 24u);
+  EXPECT_EQ(mem::node_shift_for_nodes(256), 24u);
+  EXPECT_EQ(mem::node_shift_for_nodes(257), 22u);
+  EXPECT_EQ(mem::node_shift_for_nodes(512), 22u);
+  EXPECT_EQ(mem::node_shift_for_nodes(1024), 21u);
+  EXPECT_EQ(mem::node_shift_for_nodes(2048), 20u);
+  EXPECT_EQ(mem::node_shift_for_nodes(4092), 20u);
+  EXPECT_EQ(mem::node_shift_for_nodes(4096), 19u);
+  EXPECT_EQ(mem::node_shift_for_nodes(8184), 19u);
+  EXPECT_EQ(mem::node_shift_for_nodes(8185), 0u);  // unrepresentable
+}
+
+TEST(NodeCodec, ShapesForLargeEnsembles) {
+  for (int n : {512, 1024, 4096}) {
+    const net::Shape s = net::Shape::for_nodes(n);
+    EXPECT_EQ(s.x * s.y * s.z, n);
+    EXPECT_GE(s.x, s.y);
+    EXPECT_GE(s.y, s.z);
+  }
+  EXPECT_EQ(net::Shape::for_nodes(512).z, 8);
+  EXPECT_EQ(net::Shape::for_nodes(4096).z, 16);
+}
+
+TEST(NodeCodec, MachineEnforcesNarrowShiftAddressing) {
+  mdp::Assembler a;
+  a.section(mdp::Section::SysCode);
+  a.here("entry");
+  a.suspend();
+  const mdp::CodeImage img = a.link();
+
+  mdp::Machine::Config mc;
+  mc.node_id = 3;
+  mc.num_nodes = 512;
+  mc.node_shift = 22;
+  mdp::Machine m(img, mc);
+  const mem::NodeCodec codec(22);
+
+  // Own-node user data and node-private sys data are accessible...
+  const mem::Addr own = codec.global_of(3, mem::kUserDataBase + 64);
+  m.store_word(own, 0xBEEF);
+  EXPECT_EQ(m.load_word(own), 0xBEEFu);
+  m.store_word(mem::kSysDataBase + 8, 7);
+  EXPECT_EQ(m.load_word(mem::kSysDataBase + 8), 7u);
+
+  // ... another node's window and out-of-window locals fault.
+  EXPECT_THROW(m.load_word(codec.global_of(4, mem::kUserDataBase + 64)),
+               Error);
+  EXPECT_THROW(m.load_word(codec.global_of(3, codec.user_limit)), Error);
+}
+
+TEST(NodeCodec, MultiMachineLiftsTheSeedNodeCap) {
+  mdp::Assembler a;
+  a.section(mdp::Section::SysCode);
+  a.here("entry");
+  a.movi(mdp::R1, 9);
+  a.halt(mdp::R1);
+  const mdp::CodeImage img = a.link();
+
+  mdp::MultiMachine::Config mc;
+  mc.num_nodes = 512;
+  mdp::MultiMachine mm(img, mc);
+  EXPECT_EQ(mm.node_shift(), 22u);
+  std::uint32_t boot[] = {img.symbol("entry")};
+  mm.node(511).inject(mdp::Priority::Low, boot);
+  EXPECT_EQ(mm.run(), mdp::RunStatus::Halted);
+  EXPECT_EQ(mm.halted_node(), 511);
+  EXPECT_EQ(mm.halt_value(), 9u);
+
+  // Explicit shifts must admit the node count; > 8184 fits no shift.
+  mc.node_shift = 24;
+  EXPECT_THROW(mdp::MultiMachine(img, mc), Error);
+  mc.node_shift = 0;
+  mc.num_nodes = 8185;
+  EXPECT_THROW(mdp::MultiMachine(img, mc), Error);
+}
+
+TEST(LargeEnsemble, FiveTwelveNodesSerialAndParallelAgree) {
+  // The headline configuration: a 512-node J-Machine sweep, serial vs the
+  // windowed engine, bit-identical.
+  programs::Workload w = programs::make_mmt(6);
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::MultiOptions mo;
+  mo.num_nodes = 512;
+  mo.threads = 0;
+  const driver::MultiRunResult serial = driver::run_workload_multi(w, opts, mo);
+  ASSERT_TRUE(serial.ok()) << serial.check_error;
+  EXPECT_EQ(serial.per_node_instructions.size(), 512u);
+  mo.threads = 8;
+  const driver::MultiRunResult par = driver::run_workload_multi(w, opts, mo);
+  ASSERT_TRUE(par.ok()) << par.check_error;
+  EXPECT_TRUE(par.parallel.engaged);
+  EXPECT_EQ(par.parallel.threads, 8u);
+  expect_identical(serial, par);
+}
+
+}  // namespace
+}  // namespace jtam
