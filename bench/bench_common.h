@@ -214,15 +214,22 @@ inline std::span<const std::uint32_t> paper_block_sizes() {
 ///   --flow <path>   run each paper workload on a 4-node mesh with causal
 ///                   message tracing and write one merged multi-node
 ///                   Perfetto timeline (flow arrows across node tracks),
-///                   plus a per-run critical-path report.
+///                   plus a per-run critical-path report;
+///   --host-profile  time the host itself: the obs report gains a
+///                   host-time observatory section (engine wall clock,
+///                   trace-pipeline stage times, thread-pool worker
+///                   utilization) attributing where the simulator spends
+///                   real time.
 struct ObsArgs {
   std::string trace_path;
   std::string flow_path;
   std::string out_path;
   bool profile = false;
   bool locality = false;
+  bool host_profile = false;
   bool any() const {
-    return profile || locality || !trace_path.empty() || !flow_path.empty();
+    return profile || locality || host_profile || !trace_path.empty() ||
+           !flow_path.empty();
   }
 };
 
@@ -238,6 +245,7 @@ inline ObsArgs obs_args_from_args(int argc, char** argv) {
     if (a.rfind("--out=", 0) == 0) oa.out_path = a.substr(6);
     if (a == "--profile") oa.profile = true;
     if (a == "--locality") oa.locality = true;
+    if (a == "--host-profile") oa.host_profile = true;
   }
   return oa;
 }
@@ -329,13 +337,17 @@ inline void maybe_export_obs(const ObsArgs& oa, const programs::Scale& scale,
                              driver::RunOptions opts) {
   if (!oa.any()) return;
   maybe_export_flow(oa, scale);
-  if (!oa.profile && !oa.locality && oa.trace_path.empty()) return;
+  if (!oa.profile && !oa.locality && !oa.host_profile &&
+      oa.trace_path.empty()) {
+    return;
+  }
   opts.with_cache = false;
   opts.obs.profile = oa.profile;
   opts.obs.histograms = oa.profile;
   opts.obs.pipeline_metrics = oa.profile;
   opts.obs.timeline = !oa.trace_path.empty();
   opts.obs.locality = oa.locality;
+  opts.obs.host_profile = oa.host_profile;
 
   std::ofstream out_file;
   std::ostream* rep = &std::cout;
@@ -359,7 +371,8 @@ inline void maybe_export_obs(const ObsArgs& oa, const programs::Scale& scale,
       driver::RunResult r = driver::run_workload(w, opts);
       const std::string label =
           w.name + (b == rt::BackendKind::MessageDriven ? " / MD" : " / AM");
-      if ((oa.profile || oa.locality) && r.obs != nullptr) {
+      if ((oa.profile || oa.locality || oa.host_profile) &&
+          r.obs != nullptr) {
         *rep << "\n== " << label << " ==\n";
         r.obs->write_text(*rep);
       }
@@ -426,7 +439,8 @@ inline void write_json(const std::string& path, const std::string& bench_name,
   if (path.empty()) return;
   std::ostringstream os;
   os.precision(15);
-  os << "{\n  \"bench\": \"" << bench_name << "\",\n  \"wall_seconds\": "
+  os << "{\n  \"schema_version\": " << obs::kObsSchemaVersion
+     << ",\n  \"bench\": \"" << bench_name << "\",\n  \"wall_seconds\": "
      << wall_seconds << ",\n  \"metrics\": {";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n") << "    \"" << metrics[i].first

@@ -32,12 +32,26 @@
 //        top node count, verify every measured field is bit-identical, and
 //        emit a parallel.* JSON stat block — threads, windows, barriers,
 //        wall-ms, speedup.  Speedups track the host's CPU count; the
-//        equivalence check does not).
+//        equivalence check does not),
+//        --host-profile (host-time observatory: rerun each program at the
+//        top node count with the wall-clock profiler attached — first a
+//        plain run, then the layered one, verified bit-identical — print
+//        each HostReport and emit host.* JSON keys),
+//        --signals (attach the online signal bus to the same layered
+//        reruns; implies the identity check too),
+//        --host-trace <out.json> (merged Perfetto document: host-clock
+//        phase/window tracks per layered run),
+//        --host-out <out.json> / --signals-out <out.json> (machine-
+//        readable HostReport / SignalSnapshot dumps, one labeled entry
+//        per layered run).
 
 #include <algorithm>
 
 #include "bench_common.h"
+#include "obs/host.h"
+#include "obs/signals.h"
 #include "support/error.h"
+#include "support/json.h"
 
 namespace {
 
@@ -83,6 +97,31 @@ std::vector<unsigned> threads_from_args(int argc, char** argv) {
   return out;
 }
 
+/// --signals / --host-trace <path> / --host-out <path> /
+/// --signals-out <path>: the host-observatory knobs beyond bench_common's
+/// --host-profile.
+struct HostArgs {
+  bool signals = false;
+  std::string trace_path;
+  std::string host_out;
+  std::string signals_out;
+};
+
+HostArgs host_args_from_args(int argc, char** argv) {
+  HostArgs ha;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    for (const char* flag : {"--host-trace", "--host-out", "--signals-out"}) {
+      if (a == flag && i + 1 < argc) a = a + "=" + argv[i + 1];
+    }
+    if (a == "--signals") ha.signals = true;
+    if (a.rfind("--host-trace=", 0) == 0) ha.trace_path = a.substr(13);
+    if (a.rfind("--host-out=", 0) == 0) ha.host_out = a.substr(11);
+    if (a.rfind("--signals-out=", 0) == 0) ha.signals_out = a.substr(14);
+  }
+  return ha;
+}
+
 /// Every measured field of two multi-node runs must agree exactly — the
 /// parallel engine's contract (ParallelStats and the flow trace are
 /// execution reports, not measurements, and are excluded).
@@ -121,6 +160,7 @@ int main(int argc, char** argv) {
   const bench::ObsArgs obs_args = bench::obs_args_from_args(argc, argv);
   const bench::AggArgs agg_args = bench::agg_args_from_args(argc, argv);
   const std::vector<unsigned> thread_counts = threads_from_args(argc, argv);
+  const HostArgs host_args = host_args_from_args(argc, argv);
   const int top_nodes = node_counts.back();
 
   // One table section per (agg mode, placement) combination.  Without the
@@ -394,6 +434,158 @@ int main(int argc, char** argv) {
                  "counters, NetStats) before its time\nis reported.  "
                  "Speedups track the host's CPU count — equivalence does "
                  "not.\n\n";
+  }
+
+  // --host-profile / --signals / --host-trace / --host-out /
+  // --signals-out: the host-time observatory.  Rerun each program at the
+  // top node count with the observation layers attached — a plain run
+  // first, then the layered one, checked bit-identical in every measured
+  // field (the zero-perturbation contract, also pinned by
+  // tests/hostobs_test.cpp) — then report where the host's wall clock
+  // went and what the signal boards held at the end.  Like --flow these
+  // reruns leave the measured sweep untouched; they use the first
+  // requested network and agg/placement combination, and the largest
+  // --threads count (serial when --threads was not given).
+  const bool host_prof_on = obs_args.host_profile ||
+                            !host_args.trace_path.empty() ||
+                            !host_args.host_out.empty();
+  const bool signals_on =
+      host_args.signals || !host_args.signals_out.empty();
+  if (host_prof_on || signals_on) {
+    const net::NetKind host_net = nets.front();
+    const unsigned host_threads =
+        thread_counts.empty() ? 0 : thread_counts.back();
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const obs::HostReport>>> host_runs;
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const obs::SignalSnapshot>>>
+        signal_runs;
+    for (rt::BackendKind backend : {rt::BackendKind::MessageDriven,
+                                    rt::BackendKind::ActiveMessages}) {
+      const char* bk =
+          backend == rt::BackendKind::MessageDriven ? "md" : "am";
+      for (const programs::Workload& w : workloads) {
+        std::cerr << "  observing " << w.name << " ("
+                  << net::net_kind_name(host_net) << ", T=" << host_threads
+                  << ") ...\n";
+        driver::RunOptions opts;
+        opts.backend = backend;
+        driver::MultiOptions mo;
+        mo.num_nodes = top_nodes;
+        mo.net = host_net;
+        agg_args.apply(mo, combos.front().agg, combos.front().placement);
+        mo.threads = host_threads;
+        driver::MultiRunResult plain = driver::run_workload_multi(w, opts, mo);
+        mo.host_profile = host_prof_on;
+        mo.signals.enabled = signals_on;
+        driver::MultiRunResult layered =
+            driver::run_workload_multi(w, opts, mo);
+        if (!layered.ok()) {
+          throw Error(w.name + " failed under the host observatory: " +
+                      layered.check_error);
+        }
+        require_identical(plain, layered,
+                          w.name + " (host observatory, T=" +
+                              std::to_string(host_threads) + ")");
+        const std::string label =
+            w.name + (backend == rt::BackendKind::MessageDriven ? " / MD"
+                                                                : " / AM");
+        std::cout << "\n== " << label << " (" << top_nodes << "-node "
+                  << net::net_kind_name(host_net) << ", T=" << host_threads
+                  << ", host observatory) ==\n";
+        const std::string key = std::string(bk) + "." + w.name + ".n" +
+                                std::to_string(top_nodes) + ".";
+        if (layered.host != nullptr) {
+          const obs::HostReport& hr = *layered.host;
+          hr.write_text(std::cout);
+          json_metrics.emplace_back("host." + key + "engine_wall_ms",
+                                    static_cast<double>(hr.engine_wall_ns) /
+                                        1e6);
+          json_metrics.emplace_back("host." + key + "coverage",
+                                    hr.coverage());
+          json_metrics.emplace_back("host." + key + "windows",
+                                    static_cast<double>(hr.windows));
+          json_metrics.emplace_back("host." + key + "imbalance",
+                                    hr.imbalance());
+          host_runs.emplace_back(label, layered.host);
+        }
+        if (layered.signals != nullptr) {
+          const obs::SignalSnapshot& ss = *layered.signals;
+          std::uint64_t quanta = 0;
+          std::uint64_t inlets = 0;
+          std::uint64_t publishes = 0;
+          for (const obs::SignalSnapshot::Node& n : ss.nodes) {
+            quanta += n.frame.quanta;
+            inlets += n.frame.inlets;
+            publishes = std::max(publishes, n.frame.seq);
+          }
+          std::cout << "Signal bus: " << ss.nodes.size() << " boards, "
+                    << publishes << " publishes; totals "
+                    << text::with_commas(quanta) << " quanta, "
+                    << text::with_commas(inlets) << " inlets\n";
+          // Deterministic counters (exact-match keys for bench_diff, not
+          // tolerance-gated timing): the bus's own cadence and totals.
+          json_metrics.emplace_back("signals." + key + "publishes",
+                                    static_cast<double>(publishes));
+          json_metrics.emplace_back("signals." + key + "quanta",
+                                    static_cast<double>(quanta));
+          json_metrics.emplace_back("signals." + key + "inlets",
+                                    static_cast<double>(inlets));
+          signal_runs.emplace_back(label, layered.signals);
+        }
+      }
+    }
+    std::cout << "\nEvery observed run above was verified bit-identical to "
+                 "a plain run first:\nthe observatory and the signal bus "
+                 "change no measured number.\n\n";
+    if (!host_args.trace_path.empty()) {
+      std::vector<std::pair<std::string, const obs::FlowTrace*>> flow_refs;
+      std::vector<std::pair<std::string, const obs::HostReport*>> host_refs;
+      host_refs.reserve(host_runs.size());
+      for (const auto& [label, hr] : host_runs) {
+        host_refs.emplace_back(label, hr.get());
+      }
+      std::string note = "(";
+      note += std::to_string(host_refs.size());
+      note += " host reports)";
+      obs::write_file(
+          host_args.trace_path, "host trace",
+          [&](std::ostream& out) {
+            obs::write_host_chrome_trace(out, flow_refs, host_refs);
+          },
+          note);
+    }
+    if (!host_args.host_out.empty()) {
+      obs::write_file(host_args.host_out, "host report", [&](std::ostream&
+                                                                 out) {
+        out << "{\"schema_version\": " << obs::kObsSchemaVersion
+            << ", \"runs\": [";
+        obs::JsonListSep sep;
+        for (const auto& [label, hr] : host_runs) {
+          sep.next(out) << "{\"label\": \"" << json::escape(label)
+                        << "\", \"host\": ";
+          hr->write_json(out);
+          out << "}";
+        }
+        out << "\n]}\n";
+      });
+    }
+    if (!host_args.signals_out.empty()) {
+      obs::write_file(host_args.signals_out, "signal snapshot",
+                      [&](std::ostream& out) {
+                        out << "{\"schema_version\": "
+                            << obs::kObsSchemaVersion << ", \"runs\": [";
+                        obs::JsonListSep sep;
+                        for (const auto& [label, ss] : signal_runs) {
+                          sep.next(out) << "{\"label\": \""
+                                        << json::escape(label)
+                                        << "\", \"signals\": ";
+                          ss->write_json(out);
+                          out << "}";
+                        }
+                        out << "\n]}\n";
+                      });
+    }
   }
 
   bench::write_json(bench::json_path_from_args(argc, argv), "multinode",

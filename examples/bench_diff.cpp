@@ -1,0 +1,170 @@
+// bench_diff: compare two bench --json reports (bench_common.h's
+// write_json shape) and flag what changed.
+//
+//   bench_diff <baseline.json> <candidate.json> [--max-wall-regress <pct>]
+//
+// Metric keys fall into two classes:
+//
+//   * deterministic counters (rounds, messages, miss counts, signal-bus
+//     totals, ...) must match EXACTLY — any difference, or a key present
+//     on one side only, is a regression.  These are the numbers the
+//     simulator pins bit-identical across engines and observation layers,
+//     so a drift here means the measured results changed.
+//
+//   * timing keys (wall clocks, speedups, host.* observatory sections,
+//     run-memo hit rates) are host-dependent noise by nature.  They are
+//     reported informationally; with --max-wall-regress <pct> a
+//     worse-than-baseline change beyond that percentage becomes a failure
+//     too (candidate slower on lower-is-better keys, or slower-than
+//     -baseline speedup on higher-is-better ones).
+//
+// Exit status: 0 = clean, 1 = mismatch/regression, 2 = usage or schema
+// error (unreadable file, missing schema_version, different schema
+// versions or bench names — diffing those would compare apples to
+// oranges).  CI runs this against the committed BENCH_*.json baselines.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/json.h"
+
+namespace {
+
+using jtam::json::Value;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw jtam::Error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Host-dependent keys: compared with tolerance, never exactly.
+bool is_timing_key(const std::string& k) {
+  for (const char* pat :
+       {"wall", "_ms", "speedup", "per_sec", "seconds", "host.", "coverage",
+        "imbalance", "run_memo"}) {
+    if (k.find(pat) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Keys where a larger candidate value is an improvement, not a cost.
+bool higher_is_better(const std::string& k) {
+  return k.find("speedup") != std::string::npos ||
+         k.find("per_sec") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path;
+  std::string cand_path;
+  double max_regress_pct = -1;  // < 0: timing is informational only
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--max-wall-regress" && i + 1 < argc) {
+      a = a + "=" + argv[++i];
+    }
+    if (a.rfind("--max-wall-regress=", 0) == 0) {
+      max_regress_pct = std::atof(a.substr(19).c_str());
+    } else if (base_path.empty()) {
+      base_path = a;
+    } else if (cand_path.empty()) {
+      cand_path = a;
+    } else {
+      std::cerr << "usage: bench_diff <baseline.json> <candidate.json> "
+                   "[--max-wall-regress <pct>]\n";
+      return 2;
+    }
+  }
+  if (cand_path.empty()) {
+    std::cerr << "usage: bench_diff <baseline.json> <candidate.json> "
+                 "[--max-wall-regress <pct>]\n";
+    return 2;
+  }
+
+  try {
+    const Value base = jtam::json::parse(slurp(base_path));
+    const Value cand = jtam::json::parse(slurp(cand_path));
+
+    // Schema gate: refuse to diff documents of different shapes.
+    for (const auto* v : {&base, &cand}) {
+      if (!v->has("schema_version")) {
+        std::cerr << "bench_diff: report lacks schema_version (predates "
+                     "the versioned exporters) — regenerate it\n";
+        return 2;
+      }
+    }
+    if (base.at("schema_version").as_number() !=
+        cand.at("schema_version").as_number()) {
+      std::cerr << "bench_diff: schema_version mismatch ("
+                << base.at("schema_version").as_number() << " vs "
+                << cand.at("schema_version").as_number() << ")\n";
+      return 2;
+    }
+    if (base.at("bench").as_string() != cand.at("bench").as_string()) {
+      std::cerr << "bench_diff: different benches (" <<
+          base.at("bench").as_string() << " vs "
+                << cand.at("bench").as_string() << ")\n";
+      return 2;
+    }
+
+    const auto& bm = base.at("metrics").as_object();
+    const auto& cm = cand.at("metrics").as_object();
+    int failures = 0;
+    int exact_ok = 0;
+    int timing_seen = 0;
+    for (const auto& [key, bv] : bm) {
+      const auto it = cm.find(key);
+      if (it == cm.end()) {
+        std::cout << "MISSING  " << key << " (in baseline only)\n";
+        ++failures;
+        continue;
+      }
+      const double b = bv.as_number();
+      const double c = it->second.as_number();
+      if (is_timing_key(key)) {
+        ++timing_seen;
+        const double worse = higher_is_better(key) ? b - c : c - b;
+        const double pct = b != 0 ? 100.0 * worse / std::fabs(b) : 0.0;
+        if (max_regress_pct >= 0 && pct > max_regress_pct) {
+          std::cout << "SLOWER   " << key << ": " << b << " -> " << c << " (+"
+                    << pct << "% worse, limit " << max_regress_pct << "%)\n";
+          ++failures;
+        }
+        continue;
+      }
+      if (b == c) {
+        ++exact_ok;
+      } else {
+        std::cout << "CHANGED  " << key << ": " << b << " -> " << c << "\n";
+        ++failures;
+      }
+    }
+    for (const auto& [key, cv] : cm) {
+      if (bm.find(key) == bm.end()) {
+        std::cout << "NEW      " << key << " = " << cv.as_number()
+                  << " (in candidate only)\n";
+        ++failures;
+      }
+    }
+    std::cout << "bench_diff: " << base.at("bench").as_string() << ": "
+              << exact_ok << " metrics identical, " << timing_seen
+              << " timing keys "
+              << (max_regress_pct >= 0
+                      ? "checked at " + std::to_string(max_regress_pct) + "%"
+                      : std::string("informational"))
+              << ", " << failures << " failures\n";
+    return failures == 0 ? 0 : 1;
+  } catch (const jtam::Error& e) {
+    std::cerr << "bench_diff: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,165 @@
+// signal_watch: a live dashboard over the online signal bus.
+//
+//   signal_watch [workload] [--backend=md|am] [--nodes <N>] [--threads <T>]
+//                [--publish-every <rounds>] [--interval-ms <n>] [--quick]
+//
+// Runs one paper workload on a multi-node machine with the signal bus
+// attached (driver::MultiOptions::signals) and, from a separate watcher
+// thread, polls every node's SignalBoard while the simulation executes —
+// the seqlock makes the concurrent reads race-free without a single lock
+// or pause of the engine.  Each poll prints one dashboard line of
+// fleet-wide telemetry (published round, quantum/inlet totals, streaming
+// EWMAs of queue depth and SENDE stall rate); after the run the final
+// per-node frames are dumped with their per-codeblock attribution.
+//
+// The watcher holds the shared_ptr handed to on_signals_ready, so the
+// boards outlive the run until it is done reading.  Telemetry is
+// observation-only: this run's measured numbers are bit-identical to a
+// plain run's (tests/hostobs_test.cpp pins that contract).
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "obs/signals.h"
+#include "programs/registry.h"
+#include "support/error.h"
+
+using namespace jtam;  // NOLINT(build/namespaces)
+
+namespace {
+
+/// One polled line: everything the boards currently agree on.
+void print_sample(const obs::SignalHub& hub) {
+  std::uint64_t round = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t quanta = 0;
+  std::uint64_t inlets = 0;
+  std::uint64_t instrs = 0;
+  double qdepth = 0;
+  double stall = 0;
+  int published = 0;
+  for (int n = 0; n < hub.num_nodes(); ++n) {
+    obs::SignalFrame f;
+    if (!hub.board(n).read(f)) continue;
+    ++published;
+    round = std::max(round, f.round);
+    publishes += f.seq;
+    quanta += f.quanta;
+    inlets += f.inlets;
+    instrs += f.instructions;
+    qdepth += f.queue_depth_ewma[0] + f.queue_depth_ewma[1];
+    stall += f.stall_rate_ewma;
+  }
+  if (published == 0) {
+    std::cout << "[watch] no frames published yet\n";
+    return;
+  }
+  std::cout << "[watch] round=" << round << " publishes=" << publishes
+            << " instrs=" << instrs << " quanta=" << quanta
+            << " inlets=" << inlets
+            << " qdepth_ewma=" << qdepth / published
+            << " stall_ewma=" << stall / published << " (" << published << "/"
+            << hub.num_nodes() << " boards live)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name = "mmt";
+  rt::BackendKind backend = rt::BackendKind::ActiveMessages;
+  int nodes = 4;
+  unsigned threads = 0;
+  std::uint64_t publish_every = 64;
+  int interval_ms = 2;
+  programs::Scale scale{};
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    for (const char* flag : {"--backend", "--nodes", "--threads",
+                             "--publish-every", "--interval-ms"}) {
+      if (a == flag && i + 1 < argc) a = a + "=" + argv[++i];
+    }
+    if (a == "--quick") {
+      scale = programs::Scale{12, 60, 10, 10, 12, 2, 40};
+    } else if (a.rfind("--backend=", 0) == 0) {
+      backend = a.substr(10) == "md" ? rt::BackendKind::MessageDriven
+                                     : rt::BackendKind::ActiveMessages;
+    } else if (a.rfind("--nodes=", 0) == 0) {
+      nodes = std::atoi(a.substr(8).c_str());
+    } else if (a.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(std::atoi(a.substr(10).c_str()));
+    } else if (a.rfind("--publish-every=", 0) == 0) {
+      publish_every =
+          static_cast<std::uint64_t>(std::atoll(a.substr(16).c_str()));
+    } else if (a.rfind("--interval-ms=", 0) == 0) {
+      interval_ms = std::atoi(a.substr(14).c_str());
+    } else if (a.rfind("--", 0) != 0) {
+      name = a;
+    }
+  }
+
+  const programs::Workload* w = nullptr;
+  std::vector<programs::Workload> all = programs::paper_workloads(scale);
+  for (const programs::Workload& cand : all) {
+    if (cand.name == name) w = &cand;
+  }
+  if (w == nullptr) throw Error("unknown workload: " + name);
+
+  driver::RunOptions opts;
+  opts.backend = backend;
+  driver::MultiOptions mo;
+  mo.num_nodes = nodes;
+  mo.threads = threads;
+  mo.signals.enabled = true;
+  mo.signals.publish_every = publish_every;
+
+  // The watcher: started the moment the hub exists, polling concurrently
+  // with the run.  It stops when told the run is over (the final frames
+  // are read below, from the snapshot).
+  std::atomic<bool> done{false};
+  std::thread watcher;
+  mo.on_signals_ready = [&](std::shared_ptr<const obs::SignalHub> hub) {
+    watcher = std::thread([&done, hub, interval_ms] {
+      while (!done.load(std::memory_order_acquire)) {
+        print_sample(*hub);
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+      print_sample(*hub);  // one last look at the final frames
+    });
+  };
+
+  std::cout << "watching " << name << " / " << rt::backend_name(backend)
+            << " on " << nodes << " nodes (publish every " << publish_every
+            << " rounds, poll every " << interval_ms << " ms)\n";
+  driver::MultiRunResult r = driver::run_workload_multi(*w, opts, mo);
+  done.store(true, std::memory_order_release);
+  if (watcher.joinable()) watcher.join();
+  if (!r.ok()) throw Error(name + " failed: " + r.check_error);
+
+  std::cout << "\nrun complete: " << r.rounds << " rounds, "
+            << r.total_instructions << " instructions, " << r.messages
+            << " messages\n\nfinal frames:\n";
+  if (r.signals != nullptr) {
+    for (std::size_t n = 0; n < r.signals->nodes.size(); ++n) {
+      const obs::SignalFrame& f = r.signals->nodes[n].frame;
+      std::cout << "  node " << n << ": seq=" << f.seq
+                << " round=" << f.round << " instrs=" << f.instructions
+                << " quanta=" << f.quanta << " (len ewma "
+                << f.quantum_len_ewma << ") inlets=" << f.inlets
+                << " (run ewma " << f.inlet_run_ewma << ") stalls="
+                << f.send_stall_cycles << "\n";
+      for (std::uint32_t c = 0; c < f.num_codeblocks; ++c) {
+        if (f.cb[c].instrs == 0) continue;
+        std::cout << "    cb" << c << ": instrs=" << f.cb[c].instrs
+                  << " runs=" << f.cb[c].runs << " run_len_ewma="
+                  << f.cb[c].run_len_ewma << "\n";
+      }
+    }
+  }
+  return 0;
+}

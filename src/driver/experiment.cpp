@@ -3,6 +3,7 @@
 #include "mdp/multi.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -15,6 +16,7 @@
 #include "driver/trace_buffer.h"
 #include "obs/flow.h"
 #include "obs/obs.h"
+#include "obs/signals.h"
 #include "tamc/symbols.h"
 #include "runtime/kernel.h"
 #include "runtime/layout.h"
@@ -159,19 +161,19 @@ RunResult run_workload_impl(
     }
     TracePipeline pipe;
     StatsReplay stats_replay(&sink);
-    pipe.add(&stats_replay);
+    pipe.add(&stats_replay, "stats");
     std::optional<CacheBankConsumer> cache_consumer;
     std::optional<StackBankConsumer> stack_consumer;
     if (bank) {
       support::ThreadPool* pool =
           workers > 1 ? &support::ThreadPool::shared() : nullptr;
       cache_consumer.emplace(&*bank, pool, workers);
-      pipe.add(&*cache_consumer);
+      pipe.add(&*cache_consumer, "cache");
     } else if (stack) {
       support::ThreadPool* pool =
           workers > 1 ? &support::ThreadPool::shared() : nullptr;
       stack_consumer.emplace(&*stack, pool);
-      pipe.add(&*stack_consumer);
+      pipe.add(&*stack_consumer, "stack");
     }
     // Observability collectors ride the same pipeline, after the
     // measurement consumers.  The metered drain (wall-clock self-metrics)
@@ -194,14 +196,43 @@ RunResult run_workload_impl(
       metered.emplace(&pipe);
       drain = &*metered;
     }
+    // Host-time observatory: stage timers on the pipeline, meters on the
+    // shared pool the cache consumers shard over.  Wall-clock only — no
+    // measured number can change (the timers never touch the event data).
+    const bool host_prof = opts.obs.host_profile;
+    support::ThreadPool* metered_pool = nullptr;
+    std::vector<support::ThreadPool::WorkerStats> pool_before;
+    if (host_prof) {
+      pipe.enable_stage_timing();
+      if (workers > 1) {
+        metered_pool = &support::ThreadPool::shared();
+        metered_pool->set_metering(true);
+        pool_before = metered_pool->worker_stats();
+      }
+    }
+    const auto host_t0 = std::chrono::steady_clock::now();
     mdp::TraceBuffer buf(drain);
     m.set_trace_buffer(&buf);
     r.status = m.run();
     buf.flush();  // final partial block
     m.set_trace_buffer(nullptr);
     if (coll) {
-      r.obs = std::make_shared<obs::Report>(
-          coll->finish(metered ? &metered->metrics() : nullptr));
+      obs::Report rep = coll->finish(metered ? &metered->metrics() : nullptr);
+      if (host_prof) {
+        obs::HostReport hr;
+        hr.engine_wall_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - host_t0)
+                .count());
+        hr.shards = 1;
+        hr.add_stage_times(pipe.stage_times());
+        if (metered_pool != nullptr) {
+          hr.add_pool_stats(pool_before, metered_pool->worker_stats());
+          metered_pool->set_metering(false);
+        }
+        rep.host = std::move(hr);
+      }
+      r.obs = std::make_shared<obs::Report>(std::move(rep));
     }
   } else {
     // Seed path: one virtual TraceSink callback per event, fanned into
@@ -298,6 +329,22 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
     mm.set_round_hook(tracer.get());
   }
 
+  // Host observatory + signal bus, both pure observers of the run.  The
+  // hub's buffers are attached by MultiMachine::run() itself, after the
+  // engine choice.
+  std::unique_ptr<obs::HostProfiler> host_prof;
+  if (mopts.host_profile) {
+    host_prof = std::make_unique<obs::HostProfiler>();
+    mm.set_host_profiler(host_prof.get());
+  }
+  std::shared_ptr<obs::SignalHub> signal_hub;
+  if (mopts.signals.enabled) {
+    signal_hub = std::make_shared<obs::SignalHub>(mopts.signals, opts.backend,
+                                                  cp, num_nodes);
+    mm.set_telemetry(signal_hub.get());
+    if (mopts.on_signals_ready) mopts.on_signals_ready(signal_hub);
+  }
+
   for (int n = 0; n < num_nodes; ++n) {
     install_runtime_state(mm.node(n), cp);
     mm.node(n).store_word(rt::kGlNodeId, static_cast<std::uint32_t>(n));
@@ -349,6 +396,14 @@ MultiRunResult run_workload_multi(const programs::Workload& w,
   r.net_cycles = ns.cycles;
   r.net_stats = ns;
   r.parallel = mm.parallel_stats();
+  if (host_prof != nullptr) {
+    r.host = std::make_shared<const obs::HostReport>(
+        std::move(host_prof->report()));
+  }
+  if (signal_hub != nullptr) {
+    r.signals =
+        std::make_shared<const obs::SignalSnapshot>(signal_hub->finish());
+  }
   if (tracer != nullptr) {
     auto trace = std::make_shared<obs::FlowTrace>(tracer->finish(mm));
     trace->attach_symbols(tamc::SymbolMap::from(cp));

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -28,6 +29,9 @@
 namespace jtam::obs {
 struct Report;
 struct FlowTrace;
+struct HostReport;
+struct SignalSnapshot;
+class SignalHub;
 }
 
 namespace jtam::driver {
@@ -167,6 +171,25 @@ struct MultiOptions {
   /// lookahead (bounded ideal wire); MultiRunResult::parallel reports
   /// what actually ran.
   unsigned threads = 0;
+  /// Host-time observatory (obs::HostProfiler): wall-clock phase and
+  /// shard-busy attribution of whichever engine ran.  Observation only —
+  /// every measured field is bit-identical with it on
+  /// (tests/hostobs_test.cpp) — and, measuring only the host, exempt from
+  /// any future memo key the same way `flow` is.
+  bool host_profile = false;
+  /// Online signal bus (obs::SignalHub): per-node streaming scheduler
+  /// telemetry published to lock-free boards during the run.  Observation
+  /// only, same contract as `host_profile`.  Works under both engines —
+  /// the hub's buffers attach after the engine choice, so signals never
+  /// force the serial loop.
+  obs::SignalOptions signals;
+  /// Live-query seam: invoked once the signal hub exists (signals.enabled
+  /// only), before the run starts.  Watcher threads and dashboards
+  /// (examples/signal_watch.cpp) hold the shared_ptr and read
+  /// hub->board(n) concurrently with the run — the seqlock makes that
+  /// race-free — and must drop it when done; the driver keeps its own
+  /// reference until the final snapshot is taken.
+  std::function<void(std::shared_ptr<const obs::SignalHub>)> on_signals_ready;
 };
 
 struct MultiRunResult {
@@ -211,6 +234,13 @@ struct MultiRunResult {
   /// for serial runs).  Not a measured number: equivalence comparisons
   /// ignore it.
   mdp::MultiMachine::ParallelStats parallel;
+  /// Host-time observatory report, present when MultiOptions::host_profile
+  /// was set.  Wall-clock only: equivalence comparisons ignore it.
+  std::shared_ptr<const obs::HostReport> host;
+  /// Final signal-bus snapshot (per-node frames + tie-out Distributions),
+  /// present when MultiOptions::signals.enabled.  Equivalence comparisons
+  /// ignore it.
+  std::shared_ptr<const obs::SignalSnapshot> signals;
   bool ok() const {
     return status == mdp::RunStatus::Halted && check_error.empty();
   }

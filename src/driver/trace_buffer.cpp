@@ -1,8 +1,25 @@
 #include "driver/trace_buffer.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace jtam::driver {
+
+void TracePipeline::on_block(const mdp::TraceBuffer& buf) {
+  if (!timed_) {
+    for (TraceConsumer* c : consumers_) c->on_block(buf);
+    return;
+  }
+  for (std::size_t i = 0; i < consumers_.size(); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    consumers_[i]->on_block(buf);
+    times_[i].ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    ++times_[i].blocks;
+  }
+}
 
 namespace {
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "cache/cache_bank.h"
@@ -36,15 +37,34 @@ class TraceConsumer {
 
 /// The drain a TraceBuffer flushes into: forwards each block to an ordered
 /// list of consumers (the batched analogue of Machine::set_sink).
+///
+/// Stage timing (obs::HostReport): enable_stage_timing() wraps every
+/// consumer call in a steady-clock pair, accumulating per-stage wall time
+/// under the name passed to add().  Off by default and zero-cost when off
+/// (one branch per block, not per event); it measures the simulator, never
+/// the simulated program, so it cannot perturb any result.
 class TracePipeline final : public mdp::TraceDrain {
  public:
-  void add(TraceConsumer* c) { consumers_.push_back(c); }
-  void on_block(const mdp::TraceBuffer& buf) override {
-    for (TraceConsumer* c : consumers_) c->on_block(buf);
+  /// Cumulative wall time one consumer spent draining blocks.
+  struct StageTime {
+    const char* name = "stage";
+    std::uint64_t ns = 0;
+    std::uint64_t blocks = 0;
+  };
+
+  void add(TraceConsumer* c, const char* name = "stage") {
+    consumers_.push_back(c);
+    times_.push_back(StageTime{name, 0, 0});
   }
+  void enable_stage_timing() { timed_ = true; }
+  const std::vector<StageTime>& stage_times() const { return times_; }
+
+  void on_block(const mdp::TraceBuffer& buf) override;
 
  private:
   std::vector<TraceConsumer*> consumers_;
+  std::vector<StageTime> times_;
+  bool timed_ = false;
 };
 
 /// Replays blocks into the granularity/count accumulator.  Marks are

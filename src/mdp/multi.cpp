@@ -129,10 +129,56 @@ std::string MultiMachine::describe_stuck_state() const {
   return os.str();
 }
 
+bool MultiMachine::ParallelStats::operator==(const ParallelStats& o) const {
+  return engaged == o.engaged && threads == o.threads &&
+         windows == o.windows && barriers == o.barriers &&
+         window_limit == o.window_limit;
+}
+
+std::string MultiMachine::ParallelStats::summary() const {
+  if (!engaged) return "serial";
+  std::ostringstream os;
+  os << "parallel threads=" << threads << " windows=" << windows
+     << " barriers=" << barriers << " window_limit=" << window_limit;
+  return os.str();
+}
+
 RunStatus MultiMachine::run() {
   par_stats_ = ParallelStats{};
-  if (cfg_.threads >= 1 && parallel_eligible()) return run_parallel();
-  return run_serial();
+  // The engine choice precedes the telemetry attach: parallel_eligible()
+  // rejects *external* trace attachments (they would observe from worker
+  // threads they don't expect), but the telemetry hub is built for the
+  // windowed engine's ownership discipline, so its buffers must not
+  // demote the run to serial.
+  const bool parallel = cfg_.threads >= 1 && parallel_eligible();
+  struct TelemetryAttach {
+    MultiMachine* mm = nullptr;
+    ~TelemetryAttach() {
+      if (mm == nullptr) return;
+      for (auto& m : mm->nodes_) {
+        m->set_trace_buffer(nullptr);
+        m->set_queue_marks(false);
+      }
+    }
+  } telemetry_attach;
+  if (telemetry_ != nullptr) {
+    telemetry_attach.mm = this;
+    for (int n = 0; n < cfg_.num_nodes; ++n) {
+      TraceBuffer* buf = telemetry_->node_buffer(n);
+      if (buf != nullptr) {
+        nodes_[static_cast<std::size_t>(n)]->set_trace_buffer(buf);
+        nodes_[static_cast<std::size_t>(n)]->set_queue_marks(true);
+      }
+    }
+  }
+  const RunStatus s = parallel ? run_parallel() : run_serial();
+  if (telemetry_ != nullptr) {
+    PhaseClock clk(host_);
+    telemetry_->publish(*this, rounds_, /*final=*/true);
+    clk.lap(EngineProfiler::Phase::Publish);
+  }
+  if (host_ != nullptr) host_->on_run_end(rounds_, par_stats_.windows);
+  return s;
 }
 
 bool MultiMachine::parallel_eligible() const {
@@ -151,13 +197,20 @@ bool MultiMachine::parallel_eligible() const {
 RunStatus MultiMachine::run_serial() {
   const std::uint64_t hook_every =
       round_hook_ != nullptr ? round_hook_->round_interval() : 1;
+  const std::uint64_t publish_every =
+      telemetry_ != nullptr ? telemetry_->publish_interval() : 0;
+  std::uint64_t last_publish = 0;
+  PhaseClock clk(host_);
+  if (host_ != nullptr) host_->on_run_begin(false, 1, 0);
   for (rounds_ = 0; rounds_ < cfg_.max_rounds; ++rounds_) {
     if (round_hook_ != nullptr && rounds_ % hook_every == 0) {
       round_hook_->on_round(*this, rounds_);
+      clk.lap(EngineProfiler::Phase::Hook);
     }
     // One network cycle per round: deliveries land in the hardware queues
     // before any node executes, exactly like the seed's wire.
     net_->step(rounds_, *this);
+    clk.lap(EngineProfiler::Phase::NetStep);
     bool progress = false;
     for (auto& m : nodes_) {
       if (m->is_idle()) continue;
@@ -165,6 +218,7 @@ RunStatus MultiMachine::run_serial() {
       if (s == RunStatus::Halted) {
         halt_value_ = m->halt_value();
         halted_node_ = m->node_id();
+        clk.lap(EngineProfiler::Phase::NodeStep);
         return RunStatus::Halted;
       }
       // Budget(1) == executed an instruction (or burned an injection-stall
@@ -174,7 +228,14 @@ RunStatus MultiMachine::run_serial() {
     }
     if (!progress && net_->idle()) {
       deadlock_report_ = describe_stuck_state();
+      clk.lap(EngineProfiler::Phase::NodeStep);
       return RunStatus::Deadlock;
+    }
+    clk.lap(EngineProfiler::Phase::NodeStep);
+    if (publish_every > 0 && rounds_ + 1 - last_publish >= publish_every) {
+      last_publish = rounds_ + 1;
+      telemetry_->publish(*this, last_publish, /*final=*/false);
+      clk.lap(EngineProfiler::Phase::Publish);
     }
   }
   return RunStatus::Budget;

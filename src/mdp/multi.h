@@ -33,6 +33,7 @@
 // (tests/parmulti_test.cpp).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -69,6 +70,100 @@ class RoundHook {
   /// instead of opening a barrier at every round.  Must be >= 1 and
   /// constant for the duration of a run.
   virtual std::uint64_t round_interval() const { return 1; }
+};
+
+/// Wall-clock self-profiling seam for the execution engines (implemented
+/// by obs::HostProfiler).  The engines time their own phases with chained
+/// steady-clock timestamps — each phase's end stamp is the next phase's
+/// start — so within one run the reported durations partition the
+/// engine's wall time by construction.  Every callback fires on the
+/// thread that called MultiMachine::run(); per-shard busy times are
+/// measured by the owning worker and handed over at the window barrier.
+/// Host-time observation only: nothing here may read or depend on any
+/// simulated quantity beyond the round/window numbers passed in, and runs
+/// are bit-identical with a profiler attached (tests/hostobs_test.cpp).
+class EngineProfiler {
+ public:
+  enum class Phase : std::uint8_t {
+    Setup = 0,     // parallel: shard grids + worker pool construction
+    Hook,          // RoundHook::on_round
+    Plan,          // parallel: plan_window / W==1 collector step
+    NodePhase,     // parallel: the coordinator's own shard sweep
+    BarrierWait,   // parallel: spinning for the last worker
+    StagingMerge,  // parallel: error/halt scan + staged-lane merge + sort
+    Commit,        // parallel: rollback + commit_window + staged injection
+    NetStep,       // serial: the per-round network step
+    NodeStep,      // serial: the per-round node sweep
+    Publish,       // telemetry flush/publish at boundaries (either engine)
+  };
+  static constexpr int kNumPhases = 10;
+
+  virtual ~EngineProfiler() = default;
+  virtual void on_run_begin(bool parallel, unsigned shards,
+                            std::uint64_t window_limit) = 0;
+  /// One phase segment completed, `ns` steady-clock nanoseconds long.
+  virtual void on_phase(Phase p, std::uint64_t ns) = 0;
+  /// Parallel engine, once per window after its serial resolution: the
+  /// window extent and each shard's busy time inside the node phase
+  /// (`shard_busy_ns[0..shards)`, coordinator's own shard first).
+  virtual void on_window(std::uint64_t round_from, std::uint64_t rounds,
+                         const std::uint64_t* shard_busy_ns,
+                         unsigned shards) = 0;
+  virtual void on_run_end(std::uint64_t rounds, std::uint64_t windows) = 0;
+};
+
+/// Chained phase stopwatch over an EngineProfiler: lap(p) charges the
+/// wall time since the previous lap (or construction) to phase `p`, so a
+/// sequence of laps partitions the elapsed time exactly — the property
+/// behind the HostReport's "phases sum to the engine wall clock"
+/// guarantee.  Every call is a no-op when no profiler is attached.
+class PhaseClock {
+ public:
+  explicit PhaseClock(EngineProfiler* host) : host_(host) {
+    if (host_ != nullptr) last_ = std::chrono::steady_clock::now();
+  }
+  void lap(EngineProfiler::Phase p) {
+    if (host_ == nullptr) return;
+    const auto now = std::chrono::steady_clock::now();
+    host_->on_phase(p, static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               now - last_)
+                               .count()));
+    last_ = now;
+  }
+
+ private:
+  EngineProfiler* host_;
+  std::chrono::steady_clock::time_point last_{};
+};
+
+/// Engine-driven per-node telemetry seam (implemented by
+/// obs::SignalHub).  When attached, MultiMachine::run() — *after* the
+/// serial/parallel eligibility decision, so telemetry never forces the
+/// serial loop — attaches node_buffer(n) to each node as its batched
+/// trace buffer, enables queue-occupancy marks, and calls publish() on
+/// the run() caller's thread at round boundaries at least
+/// publish_interval() apart (window barriers under the parallel engine)
+/// and once more when the run stops.  Between publishes each node's
+/// buffer is touched only by the worker that owns the node, so the
+/// implementation may keep per-node accumulation state without locks.
+/// Observation only: buffers record the trace stream without changing
+/// any measured number, and runs with telemetry attached are
+/// bit-identical to plain runs (tests/hostobs_test.cpp).
+class NodeTelemetry {
+ public:
+  virtual ~NodeTelemetry() = default;
+  /// Trace buffer to attach to node `n` for the duration of the run
+  /// (owned by the telemetry; nullptr = leave the node unattached).
+  virtual TraceBuffer* node_buffer(int n) = 0;
+  /// Minimum rounds between publish points (>= 1, constant per run).
+  virtual std::uint64_t publish_interval() const = 0;
+  /// Publish point on the run() caller's thread: every round below
+  /// `round` has been executed and every node buffer is quiescent.  The
+  /// implementation flushes the buffers it owns.  `final` marks the
+  /// last publish of the run (after halt/deadlock/budget resolution).
+  virtual void publish(const MultiMachine& mm, std::uint64_t round,
+                       bool final) = 0;
 };
 
 class MultiMachine : public NetworkPort, private net::DeliverySink {
@@ -120,6 +215,13 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
     std::uint64_t windows = 0;
     std::uint64_t barriers = 0;
     std::uint64_t window_limit = 0;
+
+    /// Exact equality of every field — so parallel-engine stats
+    /// participate in run-equivalence checks the same way NetStats and
+    /// AggStats do.
+    bool operator==(const ParallelStats& o) const;
+    /// One-line rendering ("serial" / "parallel threads=.. windows=..").
+    std::string summary() const;
   };
 
   MultiMachine(const CodeImage& image, Config cfg);
@@ -152,6 +254,13 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
   /// before the round's network cycle and node steps and must not mutate
   /// the ensemble.
   void set_round_hook(RoundHook* hook) { round_hook_ = hook; }
+  /// Attach a wall-clock engine profiler (null detaches).  Host-time
+  /// observation only — simulated results are bit-identical either way.
+  void set_host_profiler(EngineProfiler* p) { host_ = p; }
+  /// Attach a per-node telemetry hub (null detaches).  Buffers attach at
+  /// run() after the engine choice, so telemetry runs under whichever
+  /// engine the configuration selects.
+  void set_telemetry(NodeTelemetry* t) { telemetry_ = t; }
   /// Per-node idle/queue state captured when run() stopped on global
   /// deadlock; empty otherwise.
   const std::string& deadlock_report() const { return deadlock_report_; }
@@ -199,6 +308,8 @@ class MultiMachine : public NetworkPort, private net::DeliverySink {
   std::vector<std::unique_ptr<Machine>> nodes_;
   std::unique_ptr<net::NetworkModel> net_;
   RoundHook* round_hook_ = nullptr;
+  EngineProfiler* host_ = nullptr;
+  NodeTelemetry* telemetry_ = nullptr;
   std::uint64_t rounds_ = 0;
   std::uint64_t messages_ = 0;
   std::uint32_t halt_value_ = 0;

@@ -42,6 +42,7 @@
 // data words write-once and nothing reads ensemble state after a halt.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <thread>
@@ -98,6 +99,11 @@ struct alignas(64) Shard {
   std::uint64_t halt_round = kNoHalt;  // this shard's halt candidate
   int halt_node = -1;
   std::exception_ptr error;
+  /// Wall time the owning worker spent inside this window's node phase,
+  /// written before the arrival barrier and read by the coordinator after
+  /// it (obs::HostReport's shard-imbalance data).  Unused when no
+  /// EngineProfiler is attached.
+  std::uint64_t busy_ns = 0;
 };
 
 /// Barrier + broadcast state shared by the coordinator and the workers.
@@ -123,6 +129,11 @@ RunStatus MultiMachine::run_parallel() {
              "RoundHook::round_interval must be >= 1");
   const std::uint64_t wmax =
       std::min(net_->lookahead(), kMaxWindowRounds);
+  const std::uint64_t publish_every =
+      telemetry_ != nullptr ? telemetry_->publish_interval() : 0;
+  std::uint64_t last_publish = 0;
+  PhaseClock clk(host_);
+  if (host_ != nullptr) host_->on_run_begin(true, n_shards, wmax);
 
   par_stats_.engaged = true;
   par_stats_.threads = n_shards;
@@ -218,7 +229,10 @@ RunStatus MultiMachine::run_parallel() {
     }
   };
 
+  const bool timed = host_ != nullptr;
   auto guarded_shard = [&](Shard& sh) {
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
     try {
       run_shard(sh);
     } catch (...) {
@@ -226,6 +240,12 @@ RunStatus MultiMachine::run_parallel() {
       // Tell sibling shards to stop wasting the window; the coordinator
       // rethrows before the hint is ever read as a halt.
       ctrl.halt_hint.store(0, std::memory_order_relaxed);
+    }
+    if (timed) {
+      sh.busy_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
     }
   };
 
@@ -257,12 +277,20 @@ RunStatus MultiMachine::run_parallel() {
 
   RoundCollector collector;
   std::vector<StagedSend> commit;
+  std::vector<std::uint64_t> shard_busy(n_shards, 0);
+  const auto report_window = [&](std::uint64_t wfrom, std::uint64_t w) {
+    if (host_ == nullptr) return;
+    for (unsigned s = 0; s < n_shards; ++s) shard_busy[s] = shards[s].busy_ns;
+    host_->on_window(wfrom, w, shard_busy.data(), n_shards);
+  };
+  clk.lap(EngineProfiler::Phase::Setup);
 
   std::uint64_t from = 0;
   while (from < cfg_.max_rounds) {
     rounds_ = from;
     if (round_hook_ != nullptr && from % hook_every == 0) {
       round_hook_->on_round(*this, from);
+      clk.lap(EngineProfiler::Phase::Hook);
     }
     std::uint64_t w = std::min(wmax, cfg_.max_rounds - from);
     if (hook_every > 0) {
@@ -280,6 +308,7 @@ RunStatus MultiMachine::run_parallel() {
     } else {
       net_->plan_window(from, w, planned);
     }
+    clk.lap(EngineProfiler::Phase::Plan);
 
     // --- node phase -----------------------------------------------------
     win_from = from;
@@ -287,6 +316,7 @@ RunStatus MultiMachine::run_parallel() {
     ctrl.halt_hint.store(kNoHalt, std::memory_order_relaxed);
     if (n_workers > 0) ctrl.epoch.fetch_add(1, std::memory_order_release);
     guarded_shard(shards[0]);
+    clk.lap(EngineProfiler::Phase::NodePhase);
     if (n_workers > 0) {
       spin_until([&] {
         return ctrl.arrived.load(std::memory_order_acquire) == n_workers;
@@ -294,6 +324,7 @@ RunStatus MultiMachine::run_parallel() {
       ctrl.arrived.store(0, std::memory_order_relaxed);
       par_stats_.barriers += 2;
     }
+    clk.lap(EngineProfiler::Phase::BarrierWait);
     ++par_stats_.windows;
 
     // --- serial window resolution ---------------------------------------
@@ -325,6 +356,7 @@ RunStatus MultiMachine::run_parallel() {
               [](const StagedSend& a, const StagedSend& b) {
                 return a.round != b.round ? a.round < b.round : a.src < b.src;
               });
+    clk.lap(EngineProfiler::Phase::StagingMerge);
 
     if (halt_n >= 0) {
       // Rewind every node to its serial stopping point: node halt_n's HALT
@@ -358,6 +390,8 @@ RunStatus MultiMachine::run_parallel() {
       rounds_ = halt_r;
       halt_value_ = nodes_[static_cast<std::size_t>(halt_n)]->halt_value();
       halted_node_ = halt_n;
+      clk.lap(EngineProfiler::Phase::Commit);
+      report_window(from, w);
       return RunStatus::Halted;
     }
 
@@ -380,6 +414,8 @@ RunStatus MultiMachine::run_parallel() {
       if (w > 1) net_->commit_window(from, dead_r, planned);
       rounds_ = dead_r;
       deadlock_report_ = describe_stuck_state();
+      clk.lap(EngineProfiler::Phase::Commit);
+      report_window(from, w);
       return RunStatus::Deadlock;
     }
 
@@ -391,7 +427,17 @@ RunStatus MultiMachine::run_parallel() {
       ++messages_;
       net_->inject(s.src, s.dest, s.p, s.words, s.round, s.flow_id);
     }
+    clk.lap(EngineProfiler::Phase::Commit);
+    report_window(from, w);
     from += w;
+    if (publish_every > 0 && from - last_publish >= publish_every) {
+      // Workers are parked between windows, so every node buffer is
+      // quiescent and the hub may read machine counters race-free.
+      last_publish = from;
+      rounds_ = from;
+      telemetry_->publish(*this, from, /*final=*/false);
+      clk.lap(EngineProfiler::Phase::Publish);
+    }
   }
   rounds_ = cfg_.max_rounds;
   return RunStatus::Budget;

@@ -44,6 +44,16 @@ class DistributionBuilder final : public driver::TraceConsumer {
   /// Close any open runs/quantum and return the result (call once).
   Distributions finish();
 
+  /// Mid-stream snapshot: the result finish() would return right now,
+  /// without disturbing the live state (the builder is trivially
+  /// copyable-by-value, so this copies it and finishes the copy).  Used by
+  /// the signal bus to publish streaming aggregates that tie out exactly
+  /// against a post-hoc finish().
+  Distributions snapshot() const {
+    DistributionBuilder copy(*this);
+    return copy.finish();
+  }
+
  private:
   enum class Ctx : std::uint8_t { None, Thread, Inlet, Sys };
 

@@ -14,6 +14,15 @@
 
 namespace jtam::obs {
 
+/// Version stamp carried by every machine-readable artifact the repo
+/// emits: the bench `--json` reports (bench/bench_common.h), the obs JSON
+/// exporters (profile, locality, host report, signal snapshots).  Bump it
+/// whenever a field is renamed, removed, or changes meaning — downstream
+/// tooling (examples/bench_diff.cpp, the CI baseline gates) refuses to
+/// compare documents whose versions disagree, so stale baselines fail
+/// loudly instead of producing nonsense diffs.
+inline constexpr int kObsSchemaVersion = 1;
+
 /// Escape one CSV field per RFC 4180: fields containing a comma, a quote,
 /// or a newline are wrapped in double quotes with embedded quotes doubled;
 /// anything else passes through unchanged.

@@ -1,0 +1,311 @@
+#include "obs/host.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/export.h"
+#include "obs/timeline.h"
+#include "support/json.h"
+
+namespace jtam::obs {
+
+namespace {
+
+const char* const kPhaseNames[HostReport::kNumPhases] = {
+    "setup",        "hook",   "plan",     "node_phase", "barrier_wait",
+    "staging_merge", "commit", "net_step", "node_step",  "publish",
+};
+
+/// Render steady-clock nanoseconds as fractional trace microseconds
+/// (Perfetto `ts`/`dur` are microseconds; windows resolve in hundreds of
+/// nanoseconds on small runs, so integer microseconds would collapse
+/// them).
+void put_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000;
+  const unsigned frac = static_cast<unsigned>(ns % 1000);
+  os << '.' << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + frac / 10 % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+std::uint64_t HostReport::phase_total_ns() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t v : phase_ns) total += v;
+  return total;
+}
+
+double HostReport::coverage() const {
+  return engine_wall_ns == 0 ? 0.0
+                             : static_cast<double>(phase_total_ns()) /
+                                   static_cast<double>(engine_wall_ns);
+}
+
+double HostReport::imbalance() const {
+  if (shard_busy_ns.empty()) return 0.0;
+  std::uint64_t max = 0, sum = 0;
+  for (std::uint64_t v : shard_busy_ns) {
+    max = std::max(max, v);
+    sum += v;
+  }
+  if (sum == 0) return 0.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(shard_busy_ns.size());
+  return static_cast<double>(max) / mean;
+}
+
+const char* HostReport::phase_name(int p) {
+  return p >= 0 && p < kNumPhases ? kPhaseNames[p] : "?";
+}
+
+void HostReport::add_pool_stats(
+    const std::vector<support::ThreadPool::WorkerStats>& before,
+    const std::vector<support::ThreadPool::WorkerStats>& after) {
+  pool_workers.clear();
+  pool_workers.reserve(after.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    Worker w;
+    w.busy_ns = after[i].busy_ns - (i < before.size() ? before[i].busy_ns : 0);
+    w.tasks = after[i].tasks - (i < before.size() ? before[i].tasks : 0);
+    pool_workers.push_back(w);
+  }
+}
+
+void HostReport::add_stage_times(
+    const std::vector<driver::TracePipeline::StageTime>& st) {
+  stages.clear();
+  stages.reserve(st.size());
+  for (const auto& s : st) {
+    stages.push_back(Stage{s.name, s.ns, s.blocks});
+  }
+}
+
+void HostReport::write_text(std::ostream& os) const {
+  os << "host observatory (" << (parallel ? "parallel" : "serial")
+     << " engine, " << shards << " shard" << (shards == 1 ? "" : "s");
+  if (parallel) os << ", window limit " << window_limit;
+  os << ")\n";
+  os << "  engine wall " << ms(engine_wall_ns) << " ms over " << rounds
+     << " rounds";
+  if (parallel) os << ", " << windows << " windows";
+  os << "; phase coverage " << coverage() * 100.0 << "%\n";
+  const std::uint64_t total = phase_total_ns();
+  for (int p = 0; p < kNumPhases; ++p) {
+    if (phase_ns[static_cast<std::size_t>(p)] == 0) continue;
+    const std::uint64_t v = phase_ns[static_cast<std::size_t>(p)];
+    os << "    " << phase_name(p) << " " << ms(v) << " ms ("
+       << (total == 0 ? 0.0
+                      : static_cast<double>(v) * 100.0 /
+                            static_cast<double>(total))
+       << "%)\n";
+  }
+  if (!shard_busy_ns.empty()) {
+    os << "  shard busy (node phase):";
+    for (std::size_t s = 0; s < shard_busy_ns.size(); ++s) {
+      os << " s" << s << "=" << ms(shard_busy_ns[s]) << "ms";
+    }
+    os << "  imbalance " << imbalance() << "\n";
+  }
+  if (windows_dropped != 0) {
+    os << "  window samples: " << sampled.size() << " kept, "
+       << windows_dropped << " past the cap (totals include them)\n";
+  }
+  for (const Worker& w : pool_workers) {
+    os << "  pool worker: busy " << ms(w.busy_ns) << " ms over " << w.tasks
+       << " tasks\n";
+  }
+  for (const Stage& s : stages) {
+    os << "  pipeline stage " << s.name << ": " << ms(s.ns) << " ms over "
+       << s.blocks << " blocks\n";
+  }
+}
+
+void HostReport::write_csv(std::ostream& os) const {
+  os << "kind,name,ns,count\n";
+  os << "engine,wall," << engine_wall_ns << "," << rounds << "\n";
+  for (int p = 0; p < kNumPhases; ++p) {
+    os << "phase," << phase_name(p) << ","
+       << phase_ns[static_cast<std::size_t>(p)] << "," << windows << "\n";
+  }
+  for (std::size_t s = 0; s < shard_busy_ns.size(); ++s) {
+    os << "shard,s" << s << "," << shard_busy_ns[s] << "," << windows << "\n";
+  }
+  for (std::size_t i = 0; i < pool_workers.size(); ++i) {
+    os << "pool_worker,w" << i << "," << pool_workers[i].busy_ns << ","
+       << pool_workers[i].tasks << "\n";
+  }
+  for (const Stage& s : stages) {
+    os << "stage," << csv_escape(s.name) << "," << s.ns << "," << s.blocks
+       << "\n";
+  }
+}
+
+void HostReport::write_json(std::ostream& os) const {
+  os << "{\n  \"schema_version\": " << kObsSchemaVersion
+     << ",\n  \"engine\": {\"parallel\": " << (parallel ? "true" : "false")
+     << ", \"shards\": " << shards << ", \"window_limit\": " << window_limit
+     << ", \"rounds\": " << rounds << ", \"windows\": " << windows
+     << "},\n  \"wall_ns\": " << engine_wall_ns << ",\n  \"coverage\": "
+     << coverage() << ",\n  \"phases_ns\": {";
+  JsonListSep psep;
+  for (int p = 0; p < kNumPhases; ++p) {
+    psep.next(os) << "    \"" << phase_name(p) << "\": "
+                  << phase_ns[static_cast<std::size_t>(p)];
+  }
+  os << "\n  },\n  \"shard_busy_ns\": [";
+  JsonListSep ssep;
+  for (std::uint64_t v : shard_busy_ns) ssep.next(os) << "    " << v;
+  os << "\n  ],\n  \"imbalance\": " << imbalance()
+     << ",\n  \"windows_sampled\": " << sampled.size()
+     << ",\n  \"windows_dropped\": " << windows_dropped
+     << ",\n  \"pool_workers\": [";
+  JsonListSep wsep;
+  for (const Worker& w : pool_workers) {
+    wsep.next(os) << "    {\"busy_ns\": " << w.busy_ns << ", \"tasks\": "
+                  << w.tasks << "}";
+  }
+  os << "\n  ],\n  \"stages\": [";
+  JsonListSep tsep;
+  for (const Stage& s : stages) {
+    tsep.next(os) << "    {\"name\": \"" << json::escape(s.name)
+                  << "\", \"ns\": " << s.ns << ", \"blocks\": " << s.blocks
+                  << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+HostProfiler::HostProfiler(std::size_t max_window_samples)
+    : max_samples_(max_window_samples) {}
+
+void HostProfiler::on_run_begin(bool parallel, unsigned shards,
+                                std::uint64_t window_limit) {
+  r_ = HostReport{};
+  r_.parallel = parallel;
+  r_.shards = shards;
+  r_.window_limit = window_limit;
+  r_.shard_busy_ns.assign(shards, 0);
+  window_mark_.fill(0);
+  t0_ = std::chrono::steady_clock::now();
+}
+
+void HostProfiler::on_phase(Phase p, std::uint64_t ns) {
+  r_.phase_ns[static_cast<std::size_t>(p)] += ns;
+}
+
+void HostProfiler::on_window(std::uint64_t round_from, std::uint64_t rounds,
+                             const std::uint64_t* shard_busy_ns,
+                             unsigned shards) {
+  for (unsigned s = 0; s < shards && s < r_.shard_busy_ns.size(); ++s) {
+    r_.shard_busy_ns[s] += shard_busy_ns[s];
+  }
+  if (r_.sampled.size() >= max_samples_) {
+    ++r_.windows_dropped;
+    // Keep the delta chain honest: totals since the last sample still
+    // belong to the dropped window, not the next kept one.
+    window_mark_ = r_.phase_ns;
+    return;
+  }
+  HostReport::WindowSample w;
+  w.round_from = round_from;
+  w.rounds = rounds;
+  w.t_end_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+  for (int p = 0; p < HostReport::kNumPhases; ++p) {
+    w.phase_ns[static_cast<std::size_t>(p)] =
+        r_.phase_ns[static_cast<std::size_t>(p)] -
+        window_mark_[static_cast<std::size_t>(p)];
+  }
+  window_mark_ = r_.phase_ns;
+  w.shard_busy_ns.assign(shard_busy_ns, shard_busy_ns + shards);
+  r_.sampled.push_back(std::move(w));
+}
+
+void HostProfiler::on_run_end(std::uint64_t rounds, std::uint64_t windows) {
+  r_.rounds = rounds;
+  r_.windows = windows;
+  r_.engine_wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+}
+
+void write_host_chrome_trace(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, const FlowTrace*>>& flow_runs,
+    const std::vector<std::pair<std::string, const HostReport*>>& host_runs) {
+  os << "{\"traceEvents\": [";
+  JsonListSep lsep;
+  auto sep = [&]() -> std::ostream& { return lsep.next(os); };
+  int next_pid = 1;
+  emit_flow_runs(os, lsep, next_pid, flow_runs);
+  for (const auto& [label, hr] : host_runs) {
+    const int pid = next_pid++;
+    sep() << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+          << ", \"args\": {\"name\": \"" << json::escape(label)
+          << " host\"}}";
+    static const char* kTracks[] = {"engine phases", "windows", "shard busy"};
+    for (int t = 0; t < 3; ++t) {
+      sep() << " {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid
+            << ", \"tid\": " << t << ", \"args\": {\"name\": \""
+            << kTracks[t] << "\"}}";
+    }
+    auto phase_slice = [&](int p, std::uint64_t ts_ns, std::uint64_t dur_ns) {
+      sep() << " {\"name\": \"" << HostReport::phase_name(p)
+            << "\", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": 0, "
+            << "\"ts\": ";
+      put_us(os, ts_ns);
+      os << ", \"dur\": ";
+      put_us(os, dur_ns);
+      os << "}";
+    };
+    if (hr->sampled.empty()) {
+      // Serial run (or an unsampled parallel one): the per-phase totals
+      // laid end-to-end — proportions, not a real schedule.
+      std::uint64_t at = 0;
+      for (int p = 0; p < HostReport::kNumPhases; ++p) {
+        const std::uint64_t v = hr->phase_ns[static_cast<std::size_t>(p)];
+        if (v == 0) continue;
+        phase_slice(p, at, v);
+        at += v;
+      }
+    } else {
+      for (const auto& w : hr->sampled) {
+        std::uint64_t span = 0;
+        for (std::uint64_t v : w.phase_ns) span += v;
+        const std::uint64_t start = w.t_end_ns > span ? w.t_end_ns - span : 0;
+        sep() << " {\"name\": \"window @" << w.round_from << " +" << w.rounds
+              << "\", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": 1, "
+              << "\"ts\": ";
+        put_us(os, start);
+        os << ", \"dur\": ";
+        put_us(os, span);
+        os << ", \"args\": {\"round_from\": " << w.round_from
+           << ", \"rounds\": " << w.rounds << "}}";
+        std::uint64_t at = start;
+        for (int p = 0; p < HostReport::kNumPhases; ++p) {
+          const std::uint64_t v = w.phase_ns[static_cast<std::size_t>(p)];
+          if (v == 0) continue;
+          phase_slice(p, at, v);
+          at += v;
+        }
+        sep() << " {\"name\": \"shard busy\", \"ph\": \"C\", \"pid\": " << pid
+              << ", \"tid\": 2, \"ts\": ";
+        put_us(os, w.t_end_ns);
+        os << ", \"args\": {";
+        for (std::size_t s = 0; s < w.shard_busy_ns.size(); ++s) {
+          if (s != 0) os << ", ";
+          os << "\"s" << s << "\": " << w.shard_busy_ns[s];
+        }
+        os << "}}";
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace jtam::obs

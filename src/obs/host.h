@@ -1,0 +1,161 @@
+// Host-time observatory: wall-clock self-profiling of the simulator.
+//
+// Everything in this header measures the *simulator* — how long the host
+// spent planning windows, sweeping nodes, waiting at barriers, draining
+// trace blocks — never the simulated program.  The collection seam is
+// mdp::EngineProfiler (mdp/multi.h), implemented here by HostProfiler and
+// attached with MultiMachine::set_host_profiler(); because the engine's
+// PhaseClock laps partition its wall time exactly, the HostReport's phase
+// totals sum to the measured engine wall clock by construction (the >= 95%
+// coverage contract is asserted in tests/hostobs_test.cpp).  Attaching a
+// profiler changes no measured number: runs with and without one are
+// bit-identical in every RunResult/MultiRunResult-visible respect.
+//
+// A HostReport also carries two driver-side ingredients the engine cannot
+// see: per-worker utilization of the support::ThreadPool that shards the
+// cache consumers (add_pool_stats) and per-stage drain times of the
+// TracePipeline (add_stage_times).  Together they answer "where did the
+// host seconds go" for both the multi-node engine and the single-node
+// scheduler-lab pipeline.
+//
+// Clock split: simulated artifacts (timelines, flow traces) tick in
+// simulated instructions or rounds; everything here ticks in steady-clock
+// nanoseconds.  write_host_chrome_trace merges both into one Perfetto
+// document as separate process groups — side-by-side structure, not a
+// shared axis (see DESIGN.md, "Two clocks").
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/trace_buffer.h"
+#include "mdp/multi.h"
+#include "support/thread_pool.h"
+
+namespace jtam::obs {
+
+struct FlowTrace;
+
+/// Where the host's wall clock went during one MultiMachine::run() (or one
+/// single-node pipeline run, which uses only the stage/pool sections).
+struct HostReport {
+  static constexpr int kNumPhases = mdp::EngineProfiler::kNumPhases;
+
+  // --- engine shape -----------------------------------------------------
+  bool parallel = false;       // windowed engine vs serial round loop
+  unsigned shards = 0;         // worker shards (1 = coordinator only)
+  std::uint64_t window_limit = 0;  // lookahead clamp the windows were cut to
+  std::uint64_t rounds = 0;
+  std::uint64_t windows = 0;
+
+  // --- engine wall clock ------------------------------------------------
+  /// steady-clock span from on_run_begin to on_run_end.
+  std::uint64_t engine_wall_ns = 0;
+  /// Exclusive per-phase totals (indexed by mdp::EngineProfiler::Phase).
+  std::array<std::uint64_t, kNumPhases> phase_ns{};
+
+  /// One resolved window of the parallel engine, sampled until the cap.
+  /// phase_ns holds only the slice of each phase charged during this
+  /// window; shard_busy_ns[s] is the wall time shard s's owning worker
+  /// spent inside the node phase (coordinator's own shard first).
+  struct WindowSample {
+    std::uint64_t round_from = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t t_end_ns = 0;  // since on_run_begin, at resolution
+    std::array<std::uint64_t, kNumPhases> phase_ns{};
+    std::vector<std::uint64_t> shard_busy_ns;
+  };
+  std::vector<WindowSample> sampled;
+  std::uint64_t windows_dropped = 0;  // windows past the sampling cap
+
+  /// Whole-run per-shard node-phase busy time (all windows, dropped ones
+  /// included) — the load-imbalance evidence.
+  std::vector<std::uint64_t> shard_busy_ns;
+
+  // --- driver-side sections (filled by the experiment driver) -----------
+  struct Worker {
+    std::uint64_t busy_ns = 0;
+    std::uint64_t tasks = 0;
+  };
+  std::vector<Worker> pool_workers;  // trace-pipeline pool utilization
+
+  struct Stage {
+    std::string name;
+    std::uint64_t ns = 0;
+    std::uint64_t blocks = 0;
+  };
+  std::vector<Stage> stages;  // TracePipeline per-consumer drain times
+
+  // --- derived ----------------------------------------------------------
+  std::uint64_t phase_total_ns() const;
+  /// phase_total_ns / engine_wall_ns (0 when no wall was measured).  The
+  /// chained-lap design keeps this at ~1.0; the unmeasured residue is pool
+  /// teardown and the gaps between the engine's PhaseClock scopes.
+  double coverage() const;
+  /// max / mean of shard_busy_ns (1.0 = perfectly balanced; 0 if empty).
+  double imbalance() const;
+  static const char* phase_name(int p);
+
+  /// Record the pipeline pool's per-worker counters for this run as the
+  /// difference `after - before` (the shared pool's meters are cumulative
+  /// across runs, so callers snapshot around the run).
+  void add_pool_stats(const std::vector<support::ThreadPool::WorkerStats>& before,
+                      const std::vector<support::ThreadPool::WorkerStats>& after);
+  void add_stage_times(const std::vector<driver::TracePipeline::StageTime>& st);
+
+  void write_text(std::ostream& os) const;
+  /// `kind,name,ns,count` rows: phases, shards, pool workers, stages.
+  void write_csv(std::ostream& os) const;
+  /// Carries obs::kObsSchemaVersion; window samples are summarized by
+  /// count, not dumped — the Perfetto export is the per-window artifact.
+  void write_json(std::ostream& os) const;
+};
+
+/// The mdp::EngineProfiler implementation behind the report.  All
+/// callbacks fire on the run() caller's thread (the engine contract), so
+/// no synchronization is needed; per-shard busy times arrive through
+/// on_window already ferried across the window barrier.
+class HostProfiler final : public mdp::EngineProfiler {
+ public:
+  /// `max_window_samples` bounds HostReport::sampled; later windows still
+  /// feed every total and count into windows_dropped.
+  explicit HostProfiler(std::size_t max_window_samples = 4096);
+
+  void on_run_begin(bool parallel, unsigned shards,
+                    std::uint64_t window_limit) override;
+  void on_phase(Phase p, std::uint64_t ns) override;
+  void on_window(std::uint64_t round_from, std::uint64_t rounds,
+                 const std::uint64_t* shard_busy_ns, unsigned shards) override;
+  void on_run_end(std::uint64_t rounds, std::uint64_t windows) override;
+
+  const HostReport& report() const { return r_; }
+  HostReport& report() { return r_; }
+
+ private:
+  HostReport r_;
+  std::size_t max_samples_;
+  std::chrono::steady_clock::time_point t0_{};
+  /// phase_ns accumulators at the previous on_window — the delta is the
+  /// per-window phase attribution.
+  std::array<std::uint64_t, kNumPhases> window_mark_{};
+};
+
+/// One Perfetto document holding the simulated flow traces (rounds as
+/// microseconds, exactly as write_flow_chrome_trace emits them) plus one
+/// host-clock process per HostReport (steady-clock nanoseconds rendered as
+/// fractional microseconds): an "engine phases" track of per-window phase
+/// slices (serial runs get their phase totals laid end-to-end), a
+/// "windows" track of window-extent slices, and a per-shard busy counter.
+/// Either list may be empty.
+void write_host_chrome_trace(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, const FlowTrace*>>& flow_runs,
+    const std::vector<std::pair<std::string, const HostReport*>>& host_runs);
+
+}  // namespace jtam::obs

@@ -357,7 +357,8 @@ void LocalityReport::write_csv(std::ostream& os) const {
 
 void LocalityReport::write_json(std::ostream& os) const {
   const std::size_t ndkeys = rows.size() * kNumAccessClasses;
-  os << "{\n  \"headline\": " << headline
+  os << "{\n  \"schema_version\": " << kObsSchemaVersion
+     << ",\n  \"headline\": " << headline
      << ",\n  \"rd_window\": " << rd_window << ",\n  \"configs\": [";
   for (std::size_t i = 0; i < configs.size(); ++i) {
     const auto& c = configs[i];

@@ -51,10 +51,10 @@ Collectors::Collectors(const Options& opts, rt::BackendKind backend,
 }
 
 void Collectors::attach(driver::TracePipeline& pipe) {
-  if (profiler_) pipe.add(&*profiler_);
-  if (distributions_) pipe.add(&*distributions_);
-  if (timeline_) pipe.add(&*timeline_);
-  if (locality_) pipe.add(&*locality_);
+  if (profiler_) pipe.add(&*profiler_, "obs:profile");
+  if (distributions_) pipe.add(&*distributions_, "obs:histograms");
+  if (timeline_) pipe.add(&*timeline_, "obs:timeline");
+  if (locality_) pipe.add(&*locality_, "obs:locality");
 }
 
 Report Collectors::finish(const PipelineMetrics* pm) {
@@ -140,6 +140,10 @@ void Report::write_text(std::ostream& os, int top_n) const {
   }
   if (locality) {
     locality->write_text(os, top_n);
+  }
+  if (host) {
+    host->write_text(os);
+    os << "\n";
   }
   if (pipeline) {
     os << "Trace pipeline: " << text::with_commas(pipeline->blocks)

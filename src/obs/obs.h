@@ -19,6 +19,7 @@
 
 #include "driver/trace_buffer.h"
 #include "obs/distributions.h"
+#include "obs/host.h"
 #include "obs/locality.h"
 #include "obs/options.h"
 #include "obs/profiler.h"
@@ -57,6 +58,10 @@ struct Report {
   std::optional<Timeline> timeline;
   std::optional<PipelineMetrics> pipeline;
   std::optional<LocalityReport> locality;
+  /// Host-time observatory (Options::host_profile): stage/pool wall-clock
+  /// attribution for this run.  Filled by the experiment driver, not by
+  /// Collectors — the timers live in the pipeline and the pool.
+  std::optional<HostReport> host;
 
   /// Human-readable rendering (profile top-`top_n`, distribution summary,
   /// pipeline throughput).  The timeline is summarized, not dumped — use

@@ -42,6 +42,19 @@ struct FlowOptions {
   bool any() const { return enabled; }
 };
 
+/// Online signal bus for multi-node runs (obs::SignalHub), carried in
+/// driver::MultiOptions.  Observation only: per-node streaming aggregates
+/// are published to lock-free boards at round boundaries, and every
+/// measured MultiRunResult field is bit-identical with the bus on or off
+/// (tests/hostobs_test.cpp).
+struct SignalOptions {
+  bool enabled = false;
+  /// Rounds between board publishes (the NodeTelemetry publish interval).
+  std::uint64_t publish_every = 64;
+  /// EWMA smoothing factor for the streaming rates (0 < alpha <= 1).
+  double alpha = 0.25;
+};
+
 struct Options {
   /// Flat per-routine profile: instructions, reads/writes, and per-config
   /// cache misses attributed to TAM codeblocks/inlets/threads and kernel
@@ -62,6 +75,12 @@ struct Options {
   /// by a keyed stack engine over the same trace streams the measured
   /// caches consume.
   bool locality = false;
+  /// Host-time observatory (obs::HostReport): wall-clock self-profiling of
+  /// the run — per-stage trace-pipeline drain times and worker-pool
+  /// utilization for single-node runs (multi-node runs carry the engine
+  /// phase clock too, via driver::MultiOptions::host_profile).  Measures
+  /// the simulator, never the simulated program.
+  bool host_profile = false;
 
   /// Cache geometries the profiler simulates for miss attribution.  Empty
   /// means the paper's headline 8K 4-way config.
@@ -71,12 +90,14 @@ struct Options {
   std::size_t timeline_max_events = 1u << 20;
 
   bool any() const {
-    return profile || histograms || timeline || pipeline_metrics || locality;
+    return profile || histograms || timeline || pipeline_metrics ||
+           locality || host_profile;
   }
   static Options all() {
     Options o;
     o.profile = o.histograms = o.timeline = o.pipeline_metrics = true;
     o.locality = true;
+    o.host_profile = true;
     return o;
   }
 };

@@ -142,7 +142,8 @@ void Profile::write_csv(std::ostream& os) const {
 }
 
 void Profile::write_json(std::ostream& os) const {
-  os << "{\n  \"caches\": [";
+  os << "{\n  \"schema_version\": " << kObsSchemaVersion
+     << ",\n  \"caches\": [";
   for (std::size_t i = 0; i < caches.size(); ++i) {
     const auto& c = caches[i];
     os << (i == 0 ? "" : ", ") << "{\"name\": \"" << json::escape(c.name())

@@ -1,0 +1,287 @@
+#include "obs/signals.h"
+
+#include <cstring>
+#include <ostream>
+
+#include "obs/export.h"
+#include "obs/replay.h"
+#include "support/error.h"
+
+namespace jtam::obs {
+
+// --- SignalBoard -----------------------------------------------------------
+//
+// Seqlock discipline (Boehm, "Can seqlocks get along with programming
+// language memory models?"): every shared word is an atomic, so there is
+// no formal data race for TSan to flag; the fences give the classic
+// odd/even protocol its ordering.
+
+void SignalBoard::publish(const SignalFrame& f) {
+  std::uint64_t buf[kWords];
+  std::memcpy(buf, &f, sizeof(f));
+  const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+  seq_.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < kWords; ++i) {
+    words_[i].store(buf[i], std::memory_order_relaxed);
+  }
+  seq_.store(s + 2, std::memory_order_release);  // even: frame s/2+1 live
+}
+
+bool SignalBoard::read(SignalFrame& out) const {
+  std::uint64_t buf[kWords];
+  for (;;) {
+    const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if (s1 == 0) return false;
+    if ((s1 & 1) != 0) continue;  // writer mid-publish
+    for (std::size_t i = 0; i < kWords; ++i) {
+      buf[i] = words_[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) == s1) {
+      std::memcpy(&out, buf, sizeof(out));
+      return true;
+    }
+  }
+}
+
+// --- SignalAccumulator -----------------------------------------------------
+
+SignalAccumulator::SignalAccumulator(rt::BackendKind backend,
+                                     const tamc::SymbolMap* map, double alpha)
+    : builder_(backend), map_(map), alpha_(alpha) {}
+
+void SignalAccumulator::close_run(int level) {
+  const int cb = run_cb_[level];
+  if (cb >= 0 && run_len_[level] > 0) {
+    CodeblockSignal& sig = cb_[cb];
+    const double len = static_cast<double>(run_len_[level]);
+    sig.run_len_ewma = sig.runs <= 1
+                           ? len
+                           : alpha_ * len + (1.0 - alpha_) * sig.run_len_ewma;
+  }
+  run_cb_[level] = -1;
+  run_len_[level] = 0;
+  pending_[level] = false;
+}
+
+void SignalAccumulator::on_block(const mdp::TraceBuffer& buf) {
+  builder_.on_block(buf);
+  walk_fetches(
+      buf,
+      [&](const mdp::TraceBuffer::Mark& m) {
+        switch (static_cast<mdp::MarkKind>(m.kind)) {
+          case mdp::MarkKind::ThreadStart:
+          case mdp::MarkKind::InletStart:
+            close_run(m.level);
+            pending_[m.level] = true;
+            break;
+          case mdp::MarkKind::SysStart:
+            close_run(m.level);
+            break;
+          default:
+            break;
+        }
+      },
+      [&](std::size_t, mem::Addr addr, mdp::Priority p) {
+        const int l = static_cast<int>(p);
+        // Codeblock of this fetch, through a one-span cache (runs execute
+        // straight-line code far more often than they cross routines).
+        if (last_span_ == nullptr || addr < last_span_->begin ||
+            addr >= last_span_->end) {
+          last_span_ = map_ != nullptr ? map_->find(addr) : nullptr;
+        }
+        const int cb =
+            last_span_ != nullptr && last_span_->cb >= 0 &&
+                    last_span_->cb < rt::kMaxCodeblocks
+                ? last_span_->cb
+                : -1;
+        if (cb >= 0) {
+          ++cb_[cb].instrs;
+          if (cb + 1 > num_cb_) num_cb_ = cb + 1;
+        }
+        if (pending_[l]) {
+          pending_[l] = false;
+          run_cb_[l] = cb;
+          run_len_[l] = 0;
+          if (cb >= 0) ++cb_[cb].runs;
+        }
+        if (run_cb_[l] >= 0) ++run_len_[l];
+      });
+}
+
+void SignalAccumulator::fill_codeblocks(SignalFrame& f) const {
+  f.num_codeblocks = static_cast<std::uint32_t>(num_cb_);
+  for (int i = 0; i < num_cb_; ++i) f.cb[i] = cb_[i];
+}
+
+// --- SignalHub -------------------------------------------------------------
+
+struct SignalHub::PerNode {
+  std::unique_ptr<SignalAccumulator> acc;
+  std::unique_ptr<mdp::TraceBuffer> buf;
+  SignalBoard board;
+  SignalFrame prev;  // last published frame (EWMA deltas)
+  bool published = false;
+};
+
+SignalHub::SignalHub(const SignalOptions& opts, rt::BackendKind backend,
+                     const tamc::CompiledProgram& compiled, int num_nodes)
+    : opts_(opts), symbols_(tamc::SymbolMap::from(compiled)) {
+  JTAM_CHECK(opts_.publish_every >= 1, "signal publish interval must be >= 1");
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    auto pn = std::make_unique<PerNode>();
+    pn->acc =
+        std::make_unique<SignalAccumulator>(backend, &symbols_, opts_.alpha);
+    pn->buf = std::make_unique<mdp::TraceBuffer>(pn->acc.get());
+    nodes_.push_back(std::move(pn));
+  }
+}
+
+SignalHub::~SignalHub() = default;
+
+mdp::TraceBuffer* SignalHub::node_buffer(int n) {
+  return nodes_[static_cast<std::size_t>(n)]->buf.get();
+}
+
+const SignalBoard& SignalHub::board(int n) const {
+  return nodes_[static_cast<std::size_t>(n)]->board;
+}
+
+namespace {
+
+/// EWMA step over one publish interval: `count` new samples of total
+/// `sum`.  No new samples -> keep; first samples ever -> seed with the
+/// interval mean.
+double ewma_step(double prev, bool seeded, double alpha, std::uint64_t count,
+                 std::uint64_t sum) {
+  if (count == 0) return prev;
+  const double mean = static_cast<double>(sum) / static_cast<double>(count);
+  return seeded ? alpha * mean + (1.0 - alpha) * prev : mean;
+}
+
+}  // namespace
+
+void SignalHub::publish(const mdp::MultiMachine& mm, std::uint64_t round,
+                        bool final) {
+  for (int n = 0; n < num_nodes(); ++n) {
+    PerNode& pn = *nodes_[static_cast<std::size_t>(n)];
+    pn.buf->flush();
+    const Distributions d = pn.acc->distributions();
+
+    SignalFrame f;
+    f.seq = pn.prev.seq + 1;
+    f.round = round;
+    f.final_frame = final ? 1 : 0;
+    f.quanta = d.quantum_len.count();
+    f.quantum_instrs = d.quantum_len.sum();
+    f.threads = d.ipt.count();
+    f.thread_instrs = d.ipt.sum();
+    f.inlets = d.inlet_len.count();
+    f.inlet_instrs = d.inlet_len.sum();
+    for (int l = 0; l < 2; ++l) {
+      f.dispatches[l] = d.queue_depth[l].count();
+      f.queue_depth_sum[l] = d.queue_depth[l].sum();
+      f.queue_bytes_sum[l] = d.queue_bytes[l].sum();
+    }
+
+    const mdp::Machine& m = mm.node(n);
+    f.instructions = m.instructions_executed();
+    f.send_stall_cycles = m.injection_stall_cycles();
+    f.queue_depth_now[0] =
+        static_cast<std::uint32_t>(m.queue_depth(mdp::Priority::Low));
+    f.queue_depth_now[1] =
+        static_cast<std::uint32_t>(m.queue_depth(mdp::Priority::High));
+
+    // Interval deltas against the previous frame drive the EWMAs.  A
+    // frame's snapshot may close runs the next interval reopens, so a
+    // delta can transiently be "negative" in sum terms; clamp at zero —
+    // the streaming view tolerates it, the cumulative counters above are
+    // the exact ones.
+    const SignalFrame& p = pn.prev;
+    auto delta = [](std::uint64_t cur, std::uint64_t old) {
+      return cur >= old ? cur - old : 0;
+    };
+    const bool seeded = pn.published;
+    f.quantum_len_ewma =
+        ewma_step(p.quantum_len_ewma, seeded, opts_.alpha,
+                  delta(f.quanta, p.quanta),
+                  delta(f.quantum_instrs, p.quantum_instrs));
+    f.inlet_run_ewma = ewma_step(p.inlet_run_ewma, seeded, opts_.alpha,
+                                 delta(f.inlets, p.inlets),
+                                 delta(f.inlet_instrs, p.inlet_instrs));
+    for (int l = 0; l < 2; ++l) {
+      f.queue_depth_ewma[l] =
+          ewma_step(p.queue_depth_ewma[l], seeded, opts_.alpha,
+                    delta(f.dispatches[l], p.dispatches[l]),
+                    delta(f.queue_depth_sum[l], p.queue_depth_sum[l]));
+    }
+    f.stall_rate_ewma = ewma_step(
+        p.stall_rate_ewma, seeded, opts_.alpha, delta(round, p.round),
+        delta(f.send_stall_cycles, p.send_stall_cycles));
+
+    pn.acc->fill_codeblocks(f);
+    pn.board.publish(f);
+    pn.prev = f;
+    pn.published = true;
+  }
+}
+
+SignalSnapshot SignalHub::finish() {
+  SignalSnapshot out;
+  out.publish_every = opts_.publish_every;
+  out.alpha = opts_.alpha;
+  out.nodes.reserve(nodes_.size());
+  for (auto& pn : nodes_) {
+    pn->buf->flush();
+    out.nodes.push_back(SignalSnapshot::Node{pn->prev, pn->acc->distributions()});
+  }
+  return out;
+}
+
+void SignalSnapshot::write_json(std::ostream& os) const {
+  os << "{\n  \"schema_version\": " << kObsSchemaVersion
+     << ",\n  \"publish_every\": " << publish_every
+     << ",\n  \"alpha\": " << alpha << ",\n  \"nodes\": [";
+  JsonListSep nsep;
+  for (const Node& node : nodes) {
+    const SignalFrame& f = node.frame;
+    const bool ok = f.seq != 0;
+    nsep.next(os) << "    {\"published\": " << (ok ? "true" : "false");
+    if (ok) {
+      os << ", \"seq\": " << f.seq << ", \"round\": " << f.round
+         << ", \"final\": " << (f.final_frame != 0 ? "true" : "false")
+         << ",\n     \"instructions\": " << f.instructions
+         << ", \"quanta\": " << f.quanta << ", \"quantum_instrs\": "
+         << f.quantum_instrs << ", \"threads\": " << f.threads
+         << ", \"thread_instrs\": " << f.thread_instrs << ", \"inlets\": "
+         << f.inlets << ", \"inlet_instrs\": " << f.inlet_instrs
+         << ",\n     \"dispatches\": [" << f.dispatches[0] << ", "
+         << f.dispatches[1] << "], \"queue_depth_sum\": ["
+         << f.queue_depth_sum[0] << ", " << f.queue_depth_sum[1]
+         << "], \"queue_bytes_sum\": [" << f.queue_bytes_sum[0] << ", "
+         << f.queue_bytes_sum[1] << "], \"queue_depth_now\": ["
+         << f.queue_depth_now[0] << ", " << f.queue_depth_now[1]
+         << "], \"send_stall_cycles\": " << f.send_stall_cycles
+         << ",\n     \"quantum_len_ewma\": " << f.quantum_len_ewma
+         << ", \"inlet_run_ewma\": " << f.inlet_run_ewma
+         << ", \"queue_depth_ewma\": [" << f.queue_depth_ewma[0] << ", "
+         << f.queue_depth_ewma[1] << "], \"stall_rate_ewma\": "
+         << f.stall_rate_ewma << ",\n     \"codeblocks\": [";
+      JsonListSep csep;
+      for (std::uint32_t c = 0; c < f.num_codeblocks; ++c) {
+        const CodeblockSignal& s = f.cb[c];
+        if (s.instrs == 0 && s.runs == 0) continue;
+        csep.next(os) << "      {\"cb\": " << c << ", \"instrs\": "
+                      << s.instrs << ", \"runs\": " << s.runs
+                      << ", \"run_len_ewma\": " << s.run_len_ewma << "}";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace jtam::obs

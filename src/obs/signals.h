@@ -1,0 +1,193 @@
+// Online signal bus: streaming scheduler telemetry published while a
+// multi-node run executes, readable from outside the engine without locks.
+//
+// Each node gets a SignalAccumulator (fed by the engine through the
+// mdp::NodeTelemetry seam, mdp/multi.h) that replays the node's batched
+// trace stream through the same DistributionBuilder state machine the
+// post-hoc collectors use, plus a per-codeblock attribution walk.  At
+// publish points — every SignalOptions::publish_every rounds on the run()
+// caller's thread, where every node buffer is quiescent — the hub distills
+// the accumulated state into a fixed-size SignalFrame (cumulative counters
+// + streaming EWMAs, keyed by codeblock) and writes it to the node's
+// SignalBoard.
+//
+// The board is a seqlock over a word array of std::atomic<uint64_t>: the
+// writer bumps the sequence odd (release-fenced), stores the serialized
+// frame with relaxed word stores, then publishes the even sequence with a
+// release store; readers retry on odd or changed sequences.  Every access
+// is an atomic, so concurrent watchers (examples/signal_watch.cpp, any
+// RoundHook) are data-race-free by construction — the design TSan
+// verifies in tests/hostobs_test.cpp.
+//
+// Exactness contract: the frame's cumulative counters are count/sum pairs
+// of the accumulator's DistributionBuilder histograms, so the *final*
+// frame of a run ties out bit-exactly against a post-hoc
+// obs::Distributions replay of the same trace (quanta == quantum_len
+// count, quantum_instrs == its sum, and so on — asserted by
+// tests/hostobs_test.cpp).  Mid-run frames are snapshots in which still-
+// open runs/quanta are counted as if they closed at the publish point.
+// Attaching the bus changes no measured number: runs with signals on are
+// bit-identical to plain runs under both engines.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "mdp/multi.h"
+#include "obs/distributions.h"
+#include "obs/options.h"
+#include "runtime/layout.h"
+#include "tamc/lower.h"
+#include "tamc/symbols.h"
+
+namespace jtam::obs {
+
+/// Streaming view of one codeblock's scheduling behaviour on one node.
+struct CodeblockSignal {
+  std::uint64_t instrs = 0;  // fetches inside the codeblock's routines
+  std::uint64_t runs = 0;    // thread/inlet runs that started in it
+  double run_len_ewma = 0;   // EWMA of those runs' lengths
+};
+
+/// One published frame: everything a watcher can know about a node at a
+/// publish point.  Trivially copyable and 8-byte granular by layout — the
+/// SignalBoard serializes it word-by-word.
+struct SignalFrame {
+  std::uint64_t seq = 0;    // publish counter, 1-based
+  std::uint64_t round = 0;  // every round below this has executed
+
+  // Cumulative counters — count/sum of the builder's histograms, so the
+  // final frame equals the post-hoc Distributions tie-out quantities.
+  std::uint64_t quanta = 0;
+  std::uint64_t quantum_instrs = 0;
+  std::uint64_t threads = 0;
+  std::uint64_t thread_instrs = 0;
+  std::uint64_t inlets = 0;
+  std::uint64_t inlet_instrs = 0;
+  std::uint64_t dispatches[2] = {0, 0};       // per priority level
+  std::uint64_t queue_depth_sum[2] = {0, 0};  // records, at dispatch
+  std::uint64_t queue_bytes_sum[2] = {0, 0};
+
+  // Live machine counters at the publish point.
+  std::uint64_t instructions = 0;
+  std::uint64_t send_stall_cycles = 0;  // cumulative SENDE injection stalls
+  std::uint32_t queue_depth_now[2] = {0, 0};
+
+  // Streaming EWMAs over publish intervals (seeded with the first
+  // interval's mean; intervals with no new samples keep the old value).
+  double quantum_len_ewma = 0;
+  double inlet_run_ewma = 0;
+  double queue_depth_ewma[2] = {0, 0};  // mean depth seen by dispatches
+  double stall_rate_ewma = 0;           // stall cycles per round
+
+  std::uint32_t num_codeblocks = 0;
+  std::uint32_t final_frame = 0;  // 1 on the run's last publish
+  CodeblockSignal cb[rt::kMaxCodeblocks] = {};
+};
+
+static_assert(sizeof(SignalFrame) % 8 == 0);
+
+/// Single-writer / many-reader seqlock holding one SignalFrame.
+class SignalBoard {
+ public:
+  /// Writer side (the hub, on the run() caller's thread only).
+  void publish(const SignalFrame& f);
+
+  /// Reader side: copy out the latest consistent frame.  Returns false
+  /// when nothing has been published yet; retries internally on writer
+  /// overlap (bounded in practice — publishes are µs apart at worst).
+  bool read(SignalFrame& out) const;
+
+ private:
+  static constexpr std::size_t kWords = sizeof(SignalFrame) / 8;
+  std::atomic<std::uint64_t> seq_{0};
+  std::array<std::atomic<std::uint64_t>, kWords> words_{};
+};
+
+/// Per-node stream processor: the drain of the node's telemetry trace
+/// buffer.  Owns the DistributionBuilder replica plus the codeblock
+/// attribution state.  Touched only by the node's owning worker between
+/// publishes and by the hub at publish points (the NodeTelemetry
+/// quiescence contract), so it needs no synchronization of its own.
+class SignalAccumulator final : public mdp::TraceDrain {
+ public:
+  SignalAccumulator(rt::BackendKind backend, const tamc::SymbolMap* map,
+                    double alpha);
+
+  void on_block(const mdp::TraceBuffer& buf) override;
+
+  /// The Distributions a post-hoc finish() would produce right now.
+  Distributions distributions() const { return builder_.snapshot(); }
+  /// Copy the per-codeblock signals into `f` (cb table + count).
+  void fill_codeblocks(SignalFrame& f) const;
+
+ private:
+  void close_run(int level);
+
+  DistributionBuilder builder_;
+  const tamc::SymbolMap* map_;
+  double alpha_;
+  // Codeblock attribution: the run open at each level and its owner.
+  bool pending_[2] = {false, false};  // Start seen, first fetch not yet
+  int run_cb_[2] = {-1, -1};
+  std::uint64_t run_len_[2] = {0, 0};
+  const tamc::SymbolSpan* last_span_ = nullptr;  // find() cache
+  CodeblockSignal cb_[rt::kMaxCodeblocks] = {};
+  int num_cb_ = 0;
+};
+
+/// End-of-run state of the bus: one final frame per node plus the
+/// accumulator's closed Distributions — the tie-out artifact (the frame's
+/// cumulative counters equal the Distributions' count/sum pairs exactly).
+struct SignalSnapshot {
+  std::uint64_t publish_every = 0;
+  double alpha = 0;
+  struct Node {
+    SignalFrame frame;
+    Distributions dist;
+  };
+  std::vector<Node> nodes;
+
+  /// schema_version + per-node counters/EWMAs and the non-empty codeblock
+  /// signals.
+  void write_json(std::ostream& os) const;
+};
+
+/// The bus: implements the engine's NodeTelemetry seam, owns one buffer +
+/// accumulator + board per node.  Query path: board(n).read(...) from any
+/// thread, including a RoundHook (hooks run on the coordinator, where the
+/// frame read is trivially consistent) or an external watcher thread.
+class SignalHub final : public mdp::NodeTelemetry {
+ public:
+  SignalHub(const SignalOptions& opts, rt::BackendKind backend,
+            const tamc::CompiledProgram& compiled, int num_nodes);
+  ~SignalHub() override;
+
+  mdp::TraceBuffer* node_buffer(int n) override;
+  std::uint64_t publish_interval() const override {
+    return opts_.publish_every;
+  }
+  void publish(const mdp::MultiMachine& mm, std::uint64_t round,
+               bool final) override;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const SignalBoard& board(int n) const;
+
+  /// Close the accumulators and return the end-of-run state (call once,
+  /// after the run).
+  SignalSnapshot finish();
+
+ private:
+  struct PerNode;
+
+  SignalOptions opts_;
+  tamc::SymbolMap symbols_;
+  std::vector<std::unique_ptr<PerNode>> nodes_;
+};
+
+}  // namespace jtam::obs

@@ -179,9 +179,16 @@ void write_flow_chrome_trace(
     std::ostream& os,
     const std::vector<std::pair<std::string, const FlowTrace*>>& runs) {
   os << "{\"traceEvents\": [";
-  JsonListSep lsep;
+  JsonListSep sep;
+  int next_pid = 1;
+  emit_flow_runs(os, sep, next_pid, runs);
+  os << "\n]}\n";
+}
+
+void emit_flow_runs(
+    std::ostream& os, JsonListSep& lsep, int& next_pid,
+    const std::vector<std::pair<std::string, const FlowTrace*>>& runs) {
   auto sep = [&]() -> std::ostream& { return lsep.next(os); };
-  int next_pid = 1;        // process ids, disjoint across runs and nodes
   std::uint64_t flow_base = 0;  // makes s/f ids unique across runs
   for (const auto& [label, tr] : runs) {
     const int node_pid = next_pid;               // node n -> node_pid + n
@@ -258,7 +265,6 @@ void write_flow_chrome_trace(
     }
     flow_base += tr->messages.size();
   }
-  os << "\n]}\n";
 }
 
 }  // namespace jtam::obs

@@ -129,4 +129,13 @@ void write_flow_chrome_trace(
     std::ostream& os,
     const std::vector<std::pair<std::string, const FlowTrace*>>& runs);
 
+/// Emit the flow runs' processes and events into an already-open
+/// traceEvents array — the body of write_flow_chrome_trace, shared with
+/// the host-clock merger (obs/host.h) so both writers produce identical
+/// flow events.  `next_pid` is the first free process id and is advanced
+/// past every process this call allocates.
+void emit_flow_runs(
+    std::ostream& os, JsonListSep& sep, int& next_pid,
+    const std::vector<std::pair<std::string, const FlowTrace*>>& runs);
+
 }  // namespace jtam::obs

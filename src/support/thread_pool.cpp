@@ -1,15 +1,26 @@
 #include "support/thread_pool.h"
 
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <utility>
 
 namespace jtam::support {
 
+namespace {
+std::uint64_t meter_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned workers) {
   threads_.reserve(workers);
+  if (workers > 0) meters_ = std::make_unique<MeterSlot[]>(workers);
   for (unsigned i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -22,7 +33,8 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  MeterSlot& meter = meters_[index];
   for (;;) {
     std::function<void()> task;
     {
@@ -32,12 +44,29 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (metering_.load(std::memory_order_relaxed)) {
+      const std::uint64_t t0 = meter_now_ns();
+      task();
+      meter.busy_ns.fetch_add(meter_now_ns() - t0,
+                              std::memory_order_relaxed);
+      meter.tasks.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      task();
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (--pending_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out(threads_.size());
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    out[i].busy_ns = meters_[i].busy_ns.load(std::memory_order_relaxed);
+    out[i].tasks = meters_[i].tasks.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void ThreadPool::submit(std::function<void()> fn) {

@@ -11,8 +11,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -51,10 +53,38 @@ class ThreadPool {
   /// Process-wide pool used by the experiment pipeline.
   static ThreadPool& shared();
 
+  /// Per-worker wall-clock utilization (obs::HostReport).  Metering is off
+  /// by default and costs one relaxed load per task when off; when on,
+  /// each worker accumulates the wall time spent inside task bodies and a
+  /// task count into its own cache-line-padded slot.  Only pool workers
+  /// are metered — work a parallel_for caller claims for itself is the
+  /// caller's time, not the pool's.  Counters are cumulative across the
+  /// pool's lifetime; callers diff snapshots around the region they care
+  /// about.
+  struct WorkerStats {
+    std::uint64_t busy_ns = 0;
+    std::uint64_t tasks = 0;
+  };
+  void set_metering(bool on) {
+    metering_.store(on, std::memory_order_relaxed);
+  }
+  /// Snapshot of every worker's counters (size() entries).  Safe to call
+  /// while tasks run: slots are written only by their owning worker with
+  /// relaxed atomics, so a concurrent snapshot is merely slightly stale.
+  std::vector<WorkerStats> worker_stats() const;
+
  private:
-  void worker_loop();
+  void worker_loop(unsigned index);
+
+  /// One worker's meter, padded so neighbours never share a cache line.
+  struct alignas(64) MeterSlot {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> tasks{0};
+  };
 
   std::vector<std::thread> threads_;
+  std::unique_ptr<MeterSlot[]> meters_;
+  std::atomic<bool> metering_{false};
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable work_cv_;

@@ -1,0 +1,478 @@
+// Tests for the host-time observatory (obs/host) and the online signal
+// bus (obs/signals):
+//
+//   - the determinism contract: every measured field of a multi-node run
+//     is bit-identical with both observation layers attached, across the
+//     full workload x back-end x engine matrix;
+//   - the tie-out contract: the final frame on each node's SignalBoard
+//     equals the post-hoc Distributions replay of the same trace
+//     (count/sum pairs), the live machine counters, and is itself
+//     engine-independent;
+//   - the coverage contract: HostReport phase totals account for >= 95%
+//     of the measured engine wall clock (chained-lap construction);
+//   - SignalBoard seqlock correctness under concurrent writer/reader
+//     threads (the test ThreadSanitizer CI runs over this file);
+//   - the live-query seam: MultiOptions::on_signals_ready hands a watcher
+//     thread shared board access during the run;
+//   - schema_version in the new JSON exporters, and the
+//     ParallelStats summary()/operator== regression surface.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "obs/export.h"
+#include "obs/host.h"
+#include "obs/obs.h"
+#include "obs/signals.h"
+#include "programs/registry.h"
+#include "support/json.h"
+
+namespace jtam {
+namespace {
+
+programs::Workload small_workload(const std::string& name) {
+  if (name == "mmt") return programs::make_mmt(6);
+  if (name == "qs") return programs::make_quicksort(24);
+  if (name == "dtw") return programs::make_dtw(7);
+  if (name == "paraffins") return programs::make_paraffins(8);
+  if (name == "wavefront") return programs::make_wavefront(8, 2);
+  return programs::make_selection_sort(16);
+}
+
+/// Every measured field must agree exactly (ParallelStats, host report
+/// and signal snapshot are execution/observation reports, excluded).
+void expect_identical(const driver::MultiRunResult& a,
+                      const driver::MultiRunResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.halt_value, b.halt_value);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_EQ(a.injection_stall_cycles, b.injection_stall_cycles);
+  EXPECT_EQ(a.stalled_sends, b.stalled_sends);
+  EXPECT_EQ(a.per_node_instructions, b.per_node_instructions);
+  EXPECT_EQ(a.per_node_injection_stalls, b.per_node_injection_stalls);
+  EXPECT_EQ(a.deadlock_report, b.deadlock_report);
+  EXPECT_TRUE(a.net_stats == b.net_stats)
+      << a.net_stats.summary() << "\n  vs\n" << b.net_stats.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract: observation layers change no measured number
+
+using ObsCombo = std::tuple<const char*, rt::BackendKind>;
+
+class HostObsDeterminism : public ::testing::TestWithParam<ObsCombo> {};
+
+TEST_P(HostObsDeterminism, LayersOnIsBitIdenticalAtEveryThreadCount) {
+  const std::string name = std::get<0>(GetParam());
+  driver::RunOptions opts;
+  opts.backend = std::get<1>(GetParam());
+  driver::MultiOptions mo;
+  mo.num_nodes = 4;
+  const programs::Workload w = small_workload(name);
+
+  mo.threads = 0;
+  const driver::MultiRunResult plain = driver::run_workload_multi(w, opts, mo);
+  ASSERT_TRUE(plain.ok()) << name << ": " << plain.check_error;
+
+  for (unsigned threads : {0u, 2u, 4u}) {
+    mo.threads = threads;
+    mo.host_profile = true;
+    mo.signals.enabled = true;
+    mo.signals.publish_every = 64;
+    const driver::MultiRunResult layered =
+        driver::run_workload_multi(w, opts, mo);
+    ASSERT_TRUE(layered.ok()) << name << " T=" << threads << ": "
+                              << layered.check_error;
+    expect_identical(plain, layered);
+    ASSERT_NE(layered.host, nullptr);
+    ASSERT_NE(layered.signals, nullptr);
+    // The layers also never change what engine runs.
+    EXPECT_EQ(layered.parallel.engaged, threads >= 1);
+    EXPECT_EQ(layered.host->parallel, threads >= 1);
+    mo.host_profile = false;
+    mo.signals.enabled = false;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, HostObsDeterminism,
+    ::testing::Combine(
+        ::testing::Values("mmt", "qs", "dtw", "paraffins", "wavefront", "ss"),
+        ::testing::Values(rt::BackendKind::MessageDriven,
+                          rt::BackendKind::ActiveMessages)),
+    [](const ::testing::TestParamInfo<ObsCombo>& info) {
+      std::string s = std::get<0>(info.param);
+      s += std::get<1>(info.param) == rt::BackendKind::MessageDriven ? "_MD"
+                                                                     : "_AM";
+      return s;
+    });
+
+// ---------------------------------------------------------------------------
+// Tie-out: final board frames == post-hoc Distributions == live counters
+
+void expect_frame_ties_out(const obs::SignalSnapshot::Node& node) {
+  const obs::SignalFrame& f = node.frame;
+  const obs::Distributions& d = node.dist;
+  EXPECT_EQ(f.quanta, d.quantum_len.count());
+  EXPECT_EQ(f.quantum_instrs, d.quantum_len.sum());
+  EXPECT_EQ(f.threads, d.ipt.count());
+  EXPECT_EQ(f.thread_instrs, d.ipt.sum());
+  EXPECT_EQ(f.inlets, d.inlet_len.count());
+  EXPECT_EQ(f.inlet_instrs, d.inlet_len.sum());
+  for (int l = 0; l < 2; ++l) {
+    EXPECT_EQ(f.dispatches[l], d.queue_depth[l].count());
+    EXPECT_EQ(f.queue_depth_sum[l], d.queue_depth[l].sum());
+    EXPECT_EQ(f.queue_bytes_sum[l], d.queue_bytes[l].sum());
+  }
+}
+
+TEST(SignalTieOut, FinalFrameEqualsPostHocDistributionsAndLiveCounters) {
+  for (rt::BackendKind backend : {rt::BackendKind::MessageDriven,
+                                  rt::BackendKind::ActiveMessages}) {
+    driver::RunOptions opts;
+    opts.backend = backend;
+    driver::MultiOptions mo;
+    mo.num_nodes = 4;
+    mo.threads = 0;
+    mo.signals.enabled = true;
+    mo.signals.publish_every = 64;
+    const programs::Workload w = small_workload("mmt");
+    const driver::MultiRunResult r = driver::run_workload_multi(w, opts, mo);
+    ASSERT_TRUE(r.ok()) << r.check_error;
+    ASSERT_NE(r.signals, nullptr);
+    ASSERT_EQ(static_cast<int>(r.signals->nodes.size()), 4);
+    std::uint64_t instr_total = 0;
+    for (std::size_t n = 0; n < r.signals->nodes.size(); ++n) {
+      const obs::SignalFrame& f = r.signals->nodes[n].frame;
+      EXPECT_GE(f.seq, 1u);
+      EXPECT_EQ(f.final_frame, 1u);
+      EXPECT_EQ(f.round, r.rounds);
+      // Board frame vs the machine's own counters.
+      EXPECT_EQ(f.instructions, r.per_node_instructions[n]);
+      EXPECT_EQ(f.send_stall_cycles, r.per_node_injection_stalls[n]);
+      instr_total += f.instructions;
+      // Board frame vs the post-hoc replay of the same trace.
+      expect_frame_ties_out(r.signals->nodes[n]);
+    }
+    EXPECT_EQ(instr_total, r.total_instructions);
+  }
+}
+
+TEST(SignalTieOut, CumulativeCountersAreEngineIndependent) {
+  // The per-node trace stream has identical content under the serial loop
+  // and the windowed engine, so the bus's cumulative counters must match
+  // exactly — only publish cadence (seq) and thus EWMAs may differ.
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::ActiveMessages;
+  driver::MultiOptions mo;
+  mo.num_nodes = 4;
+  mo.signals.enabled = true;
+  mo.signals.publish_every = 64;
+  const programs::Workload w = small_workload("qs");
+  mo.threads = 0;
+  const driver::MultiRunResult serial = driver::run_workload_multi(w, opts, mo);
+  ASSERT_TRUE(serial.ok()) << serial.check_error;
+  mo.threads = 2;
+  const driver::MultiRunResult par = driver::run_workload_multi(w, opts, mo);
+  ASSERT_TRUE(par.ok()) << par.check_error;
+  ASSERT_TRUE(par.parallel.engaged);
+  ASSERT_NE(serial.signals, nullptr);
+  ASSERT_NE(par.signals, nullptr);
+  ASSERT_EQ(serial.signals->nodes.size(), par.signals->nodes.size());
+  for (std::size_t n = 0; n < serial.signals->nodes.size(); ++n) {
+    const obs::SignalFrame& a = serial.signals->nodes[n].frame;
+    const obs::SignalFrame& b = par.signals->nodes[n].frame;
+    EXPECT_EQ(a.quanta, b.quanta);
+    EXPECT_EQ(a.quantum_instrs, b.quantum_instrs);
+    EXPECT_EQ(a.threads, b.threads);
+    EXPECT_EQ(a.thread_instrs, b.thread_instrs);
+    EXPECT_EQ(a.inlets, b.inlets);
+    EXPECT_EQ(a.inlet_instrs, b.inlet_instrs);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.send_stall_cycles, b.send_stall_cycles);
+    for (int l = 0; l < 2; ++l) {
+      EXPECT_EQ(a.dispatches[l], b.dispatches[l]);
+      EXPECT_EQ(a.queue_depth_sum[l], b.queue_depth_sum[l]);
+      EXPECT_EQ(a.queue_bytes_sum[l], b.queue_bytes_sum[l]);
+    }
+    EXPECT_EQ(a.num_codeblocks, b.num_codeblocks);
+    for (std::uint32_t c = 0; c < a.num_codeblocks; ++c) {
+      EXPECT_EQ(a.cb[c].instrs, b.cb[c].instrs);
+      EXPECT_EQ(a.cb[c].runs, b.cb[c].runs);
+    }
+    // Both snapshots' post-hoc replays agree too.
+    expect_frame_ties_out(serial.signals->nodes[n]);
+    expect_frame_ties_out(par.signals->nodes[n]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Host-report coverage and shape
+
+TEST(HostReport, PhaseTotalsCoverTheEngineWallClock) {
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::ActiveMessages;
+  driver::MultiOptions mo;
+  mo.num_nodes = 4;
+  mo.host_profile = true;
+  const programs::Workload w = small_workload("mmt");
+  for (unsigned threads : {0u, 2u}) {
+    mo.threads = threads;
+    const driver::MultiRunResult r = driver::run_workload_multi(w, opts, mo);
+    ASSERT_TRUE(r.ok()) << r.check_error;
+    ASSERT_NE(r.host, nullptr);
+    const obs::HostReport& hr = *r.host;
+    EXPECT_EQ(hr.rounds, r.rounds);
+    ASSERT_GT(hr.engine_wall_ns, 0u);
+    // The chained-lap design: phases partition the engine wall clock.
+    EXPECT_GE(hr.coverage(), 0.95) << hr.phase_total_ns() << " of "
+                                   << hr.engine_wall_ns;
+    EXPECT_LE(hr.coverage(), 1.02);
+    if (threads >= 1) {
+      EXPECT_TRUE(hr.parallel);
+      EXPECT_EQ(hr.shards, 2u);
+      EXPECT_EQ(hr.windows, r.parallel.windows);
+      EXPECT_EQ(hr.window_limit, r.parallel.window_limit);
+      ASSERT_EQ(hr.shard_busy_ns.size(), 2u);
+      EXPECT_GT(hr.shard_busy_ns[0], 0u);
+      EXPECT_GE(hr.imbalance(), 1.0);
+      EXPECT_FALSE(hr.sampled.empty());
+      // Sampled windows carry per-window slices of the same phases.
+      std::uint64_t windowed = 0;
+      for (const obs::HostReport::WindowSample& ws : hr.sampled) {
+        for (std::uint64_t ns : ws.phase_ns) windowed += ns;
+      }
+      EXPECT_LE(windowed, hr.phase_total_ns());
+    } else {
+      EXPECT_FALSE(hr.parallel);
+      EXPECT_EQ(hr.shards, 1u);
+      EXPECT_TRUE(hr.sampled.empty());
+    }
+  }
+}
+
+TEST(HostReport, WindowSamplingCapCountsDroppedWindows) {
+  // Drive the profiler directly: three windows through a cap of two.
+  obs::HostProfiler prof(2);
+  prof.on_run_begin(true, 2, 16);
+  const std::uint64_t busy[2] = {100, 200};
+  prof.on_phase(mdp::EngineProfiler::Phase::Plan, 50);
+  prof.on_window(0, 16, busy, 2);
+  prof.on_phase(mdp::EngineProfiler::Phase::Plan, 70);
+  prof.on_window(16, 16, busy, 2);
+  prof.on_phase(mdp::EngineProfiler::Phase::Plan, 90);
+  prof.on_window(32, 16, busy, 2);
+  prof.on_run_end(48, 3);
+  const obs::HostReport& hr = prof.report();
+  EXPECT_EQ(hr.windows, 3u);
+  ASSERT_EQ(hr.sampled.size(), 2u);
+  EXPECT_EQ(hr.windows_dropped, 1u);
+  // Per-window attribution is the delta since the previous window — the
+  // dropped window must not bleed into a later sample.
+  const int plan = static_cast<int>(mdp::EngineProfiler::Phase::Plan);
+  EXPECT_EQ(hr.sampled[0].phase_ns[plan], 50u);
+  EXPECT_EQ(hr.sampled[1].phase_ns[plan], 70u);
+  // Whole-run shard busy accumulates across all three windows.
+  ASSERT_EQ(hr.shard_busy_ns.size(), 2u);
+  EXPECT_EQ(hr.shard_busy_ns[0], 300u);
+  EXPECT_EQ(hr.shard_busy_ns[1], 600u);
+  EXPECT_DOUBLE_EQ(hr.imbalance(), 600.0 / 450.0);
+}
+
+TEST(HostReport, SingleNodePipelinePathFillsStagesAndPool) {
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  opts.with_cache = false;
+  opts.obs.profile = true;
+  opts.obs.histograms = true;
+  opts.obs.host_profile = true;
+  const driver::RunResult r =
+      driver::run_workload(small_workload("mmt"), opts);
+  ASSERT_TRUE(r.check_error.empty()) << r.check_error;
+  ASSERT_NE(r.obs, nullptr);
+  ASSERT_TRUE(r.obs->host.has_value());
+  const obs::HostReport& hr = *r.obs->host;
+  EXPECT_GT(hr.engine_wall_ns, 0u);
+  ASSERT_FALSE(hr.stages.empty());
+  bool saw_obs_stage = false;
+  for (const obs::HostReport::Stage& s : hr.stages) {
+    if (s.name.rfind("obs:", 0) == 0) saw_obs_stage = true;
+    EXPECT_GT(s.blocks, 0u);
+  }
+  EXPECT_TRUE(saw_obs_stage);
+}
+
+// ---------------------------------------------------------------------------
+// SignalBoard seqlock under contention (ThreadSanitizer target)
+
+TEST(SignalBoard, ConcurrentReadersSeeOnlyConsistentFrames) {
+  obs::SignalBoard board;
+  std::atomic<bool> stop{false};
+  constexpr std::uint64_t kPublishes = 20000;
+
+  // Every word of the frame is derived from seq, so any torn read fails
+  // the relations below.
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> good_reads{0};
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      obs::SignalFrame f;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!board.read(f)) continue;
+        ASSERT_GE(f.seq, 1u);
+        ASSERT_LE(f.seq, kPublishes);
+        ASSERT_EQ(f.round, f.seq * 7);
+        ASSERT_EQ(f.quanta, f.seq * 3);
+        ASSERT_EQ(f.instructions, f.seq * 11);
+        ASSERT_EQ(f.cb[0].instrs, f.seq * 13);
+        good_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::uint64_t s = 1; s <= kPublishes; ++s) {
+    obs::SignalFrame f;
+    f.seq = s;
+    f.round = s * 7;
+    f.quanta = s * 3;
+    f.instructions = s * 11;
+    f.num_codeblocks = 1;
+    f.cb[0].instrs = s * 13;
+    board.publish(f);
+  }
+  // On a single-CPU host the publish loop may finish before the readers
+  // ever run; keep the board live until both have seen a frame.
+  while (good_reads.load(std::memory_order_relaxed) < 2) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : readers) th.join();
+  EXPECT_GT(good_reads.load(), 0u);
+  obs::SignalFrame last;
+  ASSERT_TRUE(board.read(last));
+  EXPECT_EQ(last.seq, kPublishes);
+}
+
+TEST(SignalBoard, ReadBeforeFirstPublishReturnsFalse) {
+  obs::SignalBoard board;
+  obs::SignalFrame f;
+  EXPECT_FALSE(board.read(f));
+}
+
+// ---------------------------------------------------------------------------
+// The live-query seam: a watcher thread during a real run
+
+TEST(SignalWatcher, OnSignalsReadyGrantsConcurrentBoardAccess) {
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::ActiveMessages;
+  driver::MultiOptions mo;
+  mo.num_nodes = 4;
+  mo.threads = 2;
+  mo.signals.enabled = true;
+  mo.signals.publish_every = 32;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> frames_seen{0};
+  std::thread watcher;
+  mo.on_signals_ready = [&](std::shared_ptr<const obs::SignalHub> hub) {
+    watcher = std::thread([&done, &frames_seen, hub] {
+      obs::SignalFrame f;
+      while (!done.load(std::memory_order_acquire)) {
+        for (int n = 0; n < hub->num_nodes(); ++n) {
+          if (hub->board(n).read(f)) {
+            frames_seen.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  };
+  const driver::MultiRunResult r =
+      driver::run_workload_multi(small_workload("mmt"), opts, mo);
+  done.store(true, std::memory_order_release);
+  ASSERT_TRUE(watcher.joinable());
+  watcher.join();
+  ASSERT_TRUE(r.ok()) << r.check_error;
+  EXPECT_GT(frames_seen.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters and regression surfaces
+
+TEST(HostObsExport, JsonCarriesSchemaVersion) {
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::MultiOptions mo;
+  mo.num_nodes = 2;
+  mo.threads = 2;
+  mo.host_profile = true;
+  mo.signals.enabled = true;
+  const driver::MultiRunResult r =
+      driver::run_workload_multi(small_workload("ss"), opts, mo);
+  ASSERT_TRUE(r.ok()) << r.check_error;
+  ASSERT_NE(r.host, nullptr);
+  ASSERT_NE(r.signals, nullptr);
+
+  std::ostringstream hj;
+  r.host->write_json(hj);
+  const json::Value host = json::parse(hj.str());
+  EXPECT_EQ(host.at("schema_version").as_number(), obs::kObsSchemaVersion);
+  EXPECT_GT(host.at("wall_ns").as_number(), 0.0);
+  EXPECT_TRUE(host.at("phases_ns").is_object());
+
+  std::ostringstream sj;
+  r.signals->write_json(sj);
+  const json::Value sig = json::parse(sj.str());
+  EXPECT_EQ(sig.at("schema_version").as_number(), obs::kObsSchemaVersion);
+  EXPECT_EQ(sig.at("nodes").as_array().size(), 2u);
+
+  // The Perfetto merge and the CSV dump parse/emit without issue.
+  std::ostringstream trace;
+  obs::write_host_chrome_trace(trace, {}, {{"ss / MD", r.host.get()}});
+  const json::Value tr = json::parse(trace.str());
+  EXPECT_FALSE(tr.at("traceEvents").as_array().empty());
+  std::ostringstream csv;
+  r.host->write_csv(csv);
+  EXPECT_NE(csv.str().find("phase,"), std::string::npos);
+}
+
+TEST(ParallelStatsRegression, EqualityAndSummary) {
+  mdp::MultiMachine::ParallelStats a;
+  a.engaged = true;
+  a.threads = 2;
+  a.windows = 10;
+  a.barriers = 20;
+  a.window_limit = 16;
+  mdp::MultiMachine::ParallelStats b = a;
+  EXPECT_TRUE(a == b);
+  b.windows = 11;
+  EXPECT_FALSE(a == b);
+  mdp::MultiMachine::ParallelStats serial;
+  EXPECT_EQ(serial.summary(), "serial");
+  EXPECT_NE(a.summary().find("threads=2"), std::string::npos);
+  EXPECT_NE(a.summary().find("windows=10"), std::string::npos);
+
+  // And the real engine reports coherent stats end-to-end.
+  driver::RunOptions opts;
+  opts.backend = rt::BackendKind::MessageDriven;
+  driver::MultiOptions mo;
+  mo.num_nodes = 4;
+  mo.threads = 2;
+  const driver::MultiRunResult r =
+      driver::run_workload_multi(small_workload("ss"), opts, mo);
+  ASSERT_TRUE(r.ok()) << r.check_error;
+  EXPECT_TRUE(r.parallel.engaged);
+  EXPECT_TRUE(r.parallel == r.parallel);
+  EXPECT_NE(r.parallel.summary().find("parallel"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jtam
